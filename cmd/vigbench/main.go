@@ -1,0 +1,100 @@
+// Command vigbench regenerates the paper's evaluation (§6): every figure
+// and the in-text verification statistics, printed as paper-style tables.
+//
+// Usage:
+//
+//	vigbench [-fig 12|12x|13|14|v1|ablation|all] [-scale F]
+//
+// -scale shrinks experiment durations (1.0 = full paper-shaped run,
+// 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
+// claim being reproduced is the *shape* (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vignat/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, ablation, all")
+	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
+	flag.Parse()
+
+	s := experiments.Scale(*scale)
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "vigbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("12", func() error {
+		fmt.Println("=== Fig. 12: average probe-flow latency vs background flows (Texp = 2s) ===")
+		rows, err := experiments.Fig12(experiments.Fig12Config{Timeout: 2 * time.Second, Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig12(rows, nil))
+		return nil
+	})
+
+	run("12x", func() error {
+		fmt.Println("=== Fig. 12 variant (in text): Texp = 60s, flows never expire ===")
+		rows, err := experiments.Fig12(experiments.Fig12Config{Timeout: 60 * time.Second, Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig12(rows, nil))
+		return nil
+	})
+
+	run("13", func() error {
+		fmt.Println("=== Fig. 13: probe-latency CCDF at 60k background flows ===")
+		rows, err := experiments.Fig13(experiments.Fig13Config{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig13(rows))
+		return nil
+	})
+
+	run("14", func() error {
+		fmt.Println("=== Fig. 14: max throughput at ≤0.1% loss vs flow count (64B packets) ===")
+		rows, err := experiments.Fig14(experiments.Fig14Config{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig14(rows, nil))
+		return nil
+	})
+
+	run("v1", func() error {
+		fmt.Println("=== Verification statistics (paper §5.2.1–5.2.2 in-text) ===")
+		tv, err := experiments.RunTableV1(runtime.GOMAXPROCS(0), 50)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tv.Format())
+		return nil
+	})
+
+	run("ablation", func() error {
+		fmt.Println("=== Flow-table ablation: open addressing (verified) vs chaining (unverified) ===")
+		rows, err := experiments.RunAblation([]float64{0.25, 0.5, 0.75, 0.92, 0.99}, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblation(rows))
+		return nil
+	})
+}

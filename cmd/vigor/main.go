@@ -1,0 +1,222 @@
+// Command vigor runs the verification pipeline — exhaustive symbolic
+// execution plus lazy-proof validation (the paper's §5) — over the NFs
+// in this repository and prints a Fig. 7-style report.
+//
+// Usage:
+//
+//	vigor [-nf nat|discard] [-model exact|over|under] [-workers N]
+//	      [-traces] [-inventory]
+//
+// -model selects the symbolic model, including the two deliberately
+// broken ones from the paper's Fig. 4, whose failure modes the report
+// then demonstrates. -traces dumps every symbolic trace in the Fig. 9
+// format. -inventory prints the code-size breakdown (the paper's §5.1.3
+// statistics analogue).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vignat/internal/discard"
+	"vignat/internal/experiments"
+	"vignat/internal/firewall"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/validator"
+)
+
+func main() {
+	nf := flag.String("nf", "nat", "network function to verify: nat, discard, or firewall")
+	model := flag.String("model", "exact", "symbolic model: exact, over (Fig.4b), under (Fig.4c)")
+	workers := flag.Int("workers", 0, "validation workers (0 = all CPUs)")
+	traces := flag.Bool("traces", false, "dump symbolic traces (Fig. 9 format)")
+	inventory := flag.Bool("inventory", false, "print code inventory and exit")
+	flag.Parse()
+
+	if *inventory {
+		if err := printInventory(); err != nil {
+			fmt.Fprintln(os.Stderr, "vigor:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	switch *nf {
+	case "nat":
+		runNAT(*model, *workers, *traces)
+	case "discard":
+		runDiscard(*model)
+	case "firewall":
+		runFirewall()
+	default:
+		fmt.Fprintf(os.Stderr, "vigor: unknown nf %q\n", *nf)
+		os.Exit(2)
+	}
+}
+
+func runFirewall() {
+	rep, err := firewall.Verify()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vigor:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func natPolicy(model string) symbex.ModelPolicy {
+	switch model {
+	case "over":
+		return symbex.ModelOverApprox
+	case "under":
+		return symbex.ModelUnderApprox
+	default:
+		return symbex.ModelExact
+	}
+}
+
+func runNAT(model string, workers int, dumpTraces bool) {
+	cfg := symbex.NATEnvConfig{
+		Policy:    natPolicy(model),
+		PortBase:  experiments.PortBase,
+		PortCount: experiments.Capacity,
+	}
+	res, err := symbex.RunNAT(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vigor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exhaustive symbolic execution: %d feasible paths, %d pruned, %d verification tasks\n",
+		len(res.Paths), res.Pruned, res.TraceCount())
+	if dumpTraces {
+		for i, t := range res.Paths {
+			fmt.Printf("--- path %d ---\n%s\n", i, t.String())
+		}
+	}
+	rep := validator.Validate(res, validator.Config{Workers: workers})
+	fmt.Println(rep.Summary())
+	for _, v := range rep.Verdicts {
+		if !v.OK() {
+			fmt.Printf("  path %d: P1=%v P4=%v P5=%v\n", v.Path, v.P1Err, v.P4Errs, v.P5Errs)
+		}
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func runDiscard(model string) {
+	var m discard.RingModel
+	switch model {
+	case "over":
+		m = discard.RingModelOverApprox
+	case "under":
+		m = discard.RingModelUnderApprox
+	default:
+		m = discard.RingModelExact
+	}
+	rep, err := discard.Verify(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vigor:", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+	for _, f := range rep.P1Failures {
+		fmt.Println("  P1:", f)
+	}
+	for _, f := range rep.P5Failures {
+		fmt.Println("  P5:", f)
+	}
+	for _, f := range rep.P2Violations {
+		fmt.Println("  P2:", f)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+// printInventory reports lines of code per subsystem, the analogue of
+// the paper's "libVig contains 2.2 KLOC of C, 4K lines of contracts,
+// 21.8K lines of proof".
+func printInventory() error {
+	groups := map[string]string{
+		"internal/libvig":           "libVig data structures",
+		"internal/firewall":         "stateful firewall NF (extension)",
+		"internal/libvig/contracts": "libVig contracts (P3 harness)",
+		"internal/nat":              "VigNAT (production)",
+		"internal/vigor":            "Vigor toolchain (ESE+validator)",
+		"internal/netstack":         "packet codec",
+		"internal/dpdk":             "DPDK substrate",
+		"internal/moongen":          "traffic generator",
+		"internal/testbed":          "testbed simulation",
+		"internal/unverified":       "unverified NAT baseline",
+		"internal/netfilter":        "NetFilter baseline",
+		"internal/discard":          "discard example NF",
+	}
+	type row struct {
+		name       string
+		code, test int
+	}
+	var rows []row
+	for dir, name := range groups {
+		code, test, err := countDir(dir)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{name, code, test})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].code > rows[j].code })
+	fmt.Printf("%-34s %10s %10s\n", "subsystem", "code LoC", "test LoC")
+	totalC, totalT := 0, 0
+	for _, r := range rows {
+		fmt.Printf("%-34s %10d %10d\n", r.name, r.code, r.test)
+		totalC += r.code
+		totalT += r.test
+	}
+	fmt.Printf("%-34s %10d %10d\n", "total", totalC, totalT)
+	return nil
+}
+
+func countDir(dir string) (code, test int, err error) {
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, werr error) error {
+		if werr != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return werr
+		}
+		// Group directories nest (libvig/contracts under libvig);
+		// count files in exactly the requested directory tree, letting
+		// the sub-group double-count intentionally for its own row.
+		n, cerr := countLines(path)
+		if cerr != nil {
+			return cerr
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			test += n
+		} else {
+			code += n
+		}
+		return nil
+	})
+	return code, test, err
+}
+
+func countLines(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}

@@ -1,0 +1,103 @@
+// Home gateway scenario: the workload the paper's introduction
+// motivates — a NAT in a home router carrying a mix of long-lived TCP
+// sessions (streaming), short UDP exchanges (DNS), and idle flows that
+// must expire, all behind one external IP. Runs on the simulated DPDK
+// substrate with virtual time, and cross-checks every observable action
+// against the executable RFC 3022 specification.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vignat/internal/core"
+	"vignat/internal/flow"
+	"vignat/internal/netstack"
+	"vignat/internal/vigor/spec"
+)
+
+const (
+	nHosts  = 8
+	texp    = 2 * time.Second
+	simTime = 30 * time.Second
+)
+
+func main() {
+	extIP := core.IPv4(203, 0, 113, 77)
+	cfg := core.DefaultConfig(extIP)
+	cfg.Timeout = texp
+	cfg.Capacity = 1024
+	clock := core.NewVirtualClock()
+	nat, err := core.New(cfg, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := spec.NewOracle(cfg.Capacity, texp.Nanoseconds(), extIP, cfg.PortBase, cfg.Capacity)
+
+	dns := flow.ID{DstIP: core.IPv4(9, 9, 9, 9), DstPort: 53, Proto: flow.UDP}
+	video := flow.ID{DstIP: core.IPv4(151, 101, 1, 1), DstPort: 443, Proto: flow.TCP}
+
+	type counters struct{ sent, dropped, expired int }
+	var c counters
+	scratch := make([]byte, 2048)
+
+	process := func(id flow.ID, fromInternal bool) core.Verdict {
+		s := &netstack.FrameSpec{ID: id, PayloadLen: 64}
+		frame := netstack.Craft(scratch[:netstack.FrameLen(s)], s)
+		v := nat.Process(frame, fromInternal)
+		obs := spec.Observed{Verdict: v}
+		if v != core.VerdictDrop {
+			var p netstack.Packet
+			if err := p.Parse(frame); err != nil {
+				log.Fatal(err)
+			}
+			obs.Tuple = p.FlowID()
+		}
+		if err := oracle.Step(id, fromInternal, true, clock.Now(), obs); err != nil {
+			log.Fatalf("RFC 3022 violation: %v", err)
+		}
+		if v == core.VerdictDrop {
+			c.dropped++
+		} else {
+			c.sent++
+		}
+		return v
+	}
+
+	// Each host keeps one video session alive (packet every 500 ms) and
+	// fires a DNS query every 5 s; DNS flows (one packet) expire between
+	// queries, so each query allocates and each expiry releases a port.
+	step := 100 * time.Millisecond
+	for tick := 0; time.Duration(tick)*step < simTime; tick++ {
+		clock.Advance(step.Nanoseconds())
+		now := time.Duration(tick) * step
+		for h := 0; h < nHosts; h++ {
+			host := core.IPv4(192, 168, 1, byte(10+h))
+			if now%(500*time.Millisecond) == 0 {
+				id := video
+				id.SrcIP, id.SrcPort = host, uint16(52000+h)
+				process(id, true)
+			}
+			if now%(5*time.Second) == time.Duration(h)*step {
+				id := dns
+				id.SrcIP, id.SrcPort = host, uint16(40000+h)
+				process(id, true)
+			}
+		}
+	}
+
+	st := nat.Stats()
+	fmt.Printf("home gateway simulation (%v virtual):\n", simTime)
+	fmt.Printf("  packets forwarded: %d, dropped: %d\n", c.sent, c.dropped)
+	fmt.Printf("  flows created: %d, expired: %d, live now: %d\n",
+		st.FlowsCreated, st.FlowsExpired, nat.Table().Size())
+	fmt.Printf("  spec-level state agrees: oracle tracks %d live sessions\n", oracle.Size())
+	if int(st.FlowsCreated-st.FlowsExpired) != nat.Table().Size() {
+		log.Fatal("accounting mismatch")
+	}
+	if nat.Table().Size() != oracle.Size() {
+		log.Fatal("NAT and spec oracle disagree on live sessions")
+	}
+	fmt.Println("every observable action conformed to RFC 3022 ✓")
+}

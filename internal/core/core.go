@@ -1,0 +1,94 @@
+// Package core is the public face of the VigNAT reproduction: it ties
+// together the paper's two contributions — the NAT itself and the Vigor
+// verification pipeline that proves it correct — behind a small API that
+// the examples and command-line tools use.
+//
+// The shape mirrors the paper's Fig. 7: building a NAT gives you the
+// production artifact; calling Verify gives you the five-part proof
+// (P1 semantics, P2 low-level safety, P3 libVig contracts — established
+// separately by the contracts test suite — P4 usage discipline, P5 model
+// validity) over the very stateless logic the NAT executes.
+package core
+
+import (
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/validator"
+)
+
+// Re-exported types, so example code needs only this package.
+type (
+	// NAT is the production VigNAT.
+	NAT = nat.NAT
+	// Config holds the NAT's static parameters (CAP, Texp, EXT_IP...).
+	Config = nat.Config
+	// Verdict is a packet's externally visible outcome.
+	Verdict = stateless.Verdict
+	// Addr is an IPv4 address.
+	Addr = flow.Addr
+	// Clock supplies time to the NAT.
+	Clock = libvig.Clock
+	// ProofReport is the outcome of the verification pipeline.
+	ProofReport = validator.Report
+)
+
+// Verdicts.
+const (
+	VerdictDrop       = stateless.VerdictDrop
+	VerdictToExternal = stateless.VerdictToExternal
+	VerdictToInternal = stateless.VerdictToInternal
+)
+
+// IPv4 builds an address from dotted-quad components.
+func IPv4(a, b, c, d byte) Addr { return flow.MakeAddr(a, b, c, d) }
+
+// New builds a production NAT. A nil clock selects the system monotonic
+// clock.
+func New(cfg Config, clock Clock) (*NAT, error) {
+	if clock == nil {
+		clock = libvig.NewSystemClock()
+	}
+	return nat.New(cfg, clock)
+}
+
+// NewVirtualClock returns a manually advanced clock for deterministic
+// setups (tests, simulations).
+func NewVirtualClock() *libvig.VirtualClock { return libvig.NewVirtualClock(0) }
+
+// Verify runs the Vigor pipeline over the NAT's stateless logic with the
+// exact symbolic models: exhaustive symbolic execution, then lazy
+// validation of P1/P4/P5 on every feasible path. The returned report's
+// OK method tells whether the proof is complete. workers ≤ 0 uses all
+// CPUs, mirroring the paper's parallel trace verification.
+func Verify(cfg Config, workers int) (*ProofReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := symbex.RunNAT(symbex.NATEnvConfig{
+		Policy:    symbex.ModelExact,
+		PortBase:  uint64(cfg.PortBase),
+		PortCount: uint64(cfg.Capacity),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return validator.Validate(res, validator.Config{Workers: workers}), nil
+}
+
+// DefaultConfig returns the paper's experimental configuration behind
+// the given external IP.
+func DefaultConfig(extIP Addr) Config {
+	return Config{
+		Capacity:     nat.DefaultCapacity,
+		Timeout:      2 * time.Second,
+		ExternalIP:   extIP,
+		PortBase:     nat.DefaultPortBase,
+		InternalPort: 0,
+		ExternalPort: 1,
+	}
+}

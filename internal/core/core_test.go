@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"vignat/internal/flow"
+	"vignat/internal/netstack"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(IPv4(203, 0, 113, 1))
+	clock := NewVirtualClock()
+	n, err := New(cfg, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := flow.ID{
+		SrcIP: IPv4(10, 0, 0, 1), SrcPort: 1234,
+		DstIP: IPv4(8, 8, 8, 8), DstPort: 53, Proto: flow.UDP,
+	}
+	spec := &netstack.FrameSpec{ID: id}
+	frame := netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	if v := n.Process(frame, true); v != VerdictToExternal {
+		t.Fatalf("verdict %v", v)
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	rep, err := Verify(DefaultConfig(IPv4(203, 0, 113, 1)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("proof failed: %s", rep.Summary())
+	}
+}
+
+func TestFacadeVerifyRejectsBadConfig(t *testing.T) {
+	if _, err := Verify(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFacadeNilClockUsesSystem(t *testing.T) {
+	n, err := New(DefaultConfig(IPv4(203, 0, 113, 1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil {
+		t.Fatal("nil NAT")
+	}
+}

@@ -1,0 +1,218 @@
+package discard
+
+import (
+	"fmt"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// RingModel selects the symbolic model of ring_pop_front — the three
+// models of the paper's Fig. 4.
+type RingModel uint8
+
+// Ring models.
+const (
+	// RingModelExact is Fig. 4 model (a): the popped packet is symbolic
+	// but constrained by packet_constraints (port != 9).
+	RingModelExact RingModel = iota
+	// RingModelOverApprox is model (b): fully unconstrained output. ESE
+	// succeeds but the semantic property becomes unprovable (Step 3b).
+	RingModelOverApprox
+	// RingModelUnderApprox is model (c): the popped packet always has
+	// port 0. Model validation fails (Step 3a) because the ring
+	// contract allows a wider output range.
+	RingModelUnderApprox
+)
+
+// vocab is the symbolic vocabulary of one discard path.
+type vocab struct {
+	recvPort sym.Var
+	popPort  sym.Var
+	sentPort sym.Var
+	sendSeen bool
+}
+
+// symEnv binds Env to the symbolic machine.
+type symEnv struct {
+	m     *Machine
+	model RingModel
+	v     *vocab
+
+	received     bool
+	port9        bool
+	port9Asked   bool
+	ringNotFull  bool
+	ringNotEmpty bool
+	popped       bool
+}
+
+// Machine aliases the engine's machine for readability here.
+type Machine = symbex.Machine
+
+var _ Env = (*symEnv)(nil)
+
+func (e *symEnv) RingFull() bool {
+	d := e.m.Decide(trace.CallGeneric, "ring_full", nil, nil)
+	e.ringNotFull = !d
+	return d
+}
+
+func (e *symEnv) Receive() bool {
+	d := e.m.Decide(trace.CallGeneric, "receive", nil, nil)
+	e.received = d
+	return d
+}
+
+func (e *symEnv) PacketHasPort9() bool {
+	if !e.received {
+		e.m.Violate("P2: packet port read without a received packet")
+	}
+	d := e.m.Decide(trace.CallGeneric, "packet_has_port9",
+		[]sym.Atom{sym.EqVC(e.v.recvPort, 9)},
+		[]sym.Atom{sym.NeVC(e.v.recvPort, 9)})
+	e.port9 = d
+	e.port9Asked = true
+	return d
+}
+
+func (e *symEnv) RingPush() {
+	// ring_push_back pre-conditions: room in the ring, and the loop
+	// invariant that pushed packets satisfy packet_constraints.
+	if !e.ringNotFull {
+		e.m.Violate("P4: ring_push_back without checking ring_full")
+	}
+	if !e.received {
+		e.m.Violate("P4: ring_push_back without a received packet")
+	}
+	if !e.port9Asked || e.port9 {
+		e.m.Violate("P4: ring_push_back may violate the ring invariant (port 9 unchecked)")
+	}
+	e.m.Record(trace.Call{Kind: trace.CallGeneric, Name: "ring_push_back", Handle: -1})
+}
+
+func (e *symEnv) RingEmpty() bool {
+	d := e.m.Decide(trace.CallGeneric, "ring_empty", nil, nil)
+	e.ringNotEmpty = !d
+	return d
+}
+
+func (e *symEnv) CanSend() bool {
+	return e.m.Decide(trace.CallGeneric, "can_send", nil, nil)
+}
+
+func (e *symEnv) RingPop() PacketHandle {
+	if !e.ringNotEmpty {
+		e.m.Violate("P4: ring_pop_front without checking ring_empty")
+	}
+	e.popped = true
+	var out []sym.Atom
+	switch e.model {
+	case RingModelExact:
+		// FILL_SYMBOLIC + ASSUME(packet_constraints(p)) — Fig. 4 (a).
+		out = []sym.Atom{sym.NeVC(e.v.popPort, 9)}
+	case RingModelOverApprox:
+		// Fig. 4 (b): no constraint at all.
+	case RingModelUnderApprox:
+		// Fig. 4 (c): p->port = 0.
+		out = []sym.Atom{sym.EqVC(e.v.popPort, 0)}
+	}
+	e.m.Record(trace.Call{Kind: trace.CallGeneric, Name: "ring_pop_front", Handle: 0, Out: out})
+	return PacketHandle(0)
+}
+
+func (e *symEnv) Send(h PacketHandle) {
+	if !e.popped {
+		e.m.Violate("P2: send of a packet that was never popped")
+	}
+	e.v.sendSeen = true
+	e.m.Record(trace.Call{
+		Kind: trace.CallGeneric, Name: "send", Handle: int(h),
+		Out: []sym.Atom{sym.EqVV(e.v.sentPort, e.v.popPort)},
+	})
+}
+
+// Report summarizes verification of the discard NF.
+type Report struct {
+	Paths        int
+	Tasks        int
+	P1Failures   []string // semantic property: sent packets never target port 9
+	P5Failures   []string // ring model validity vs the ring contract
+	P2Violations []string
+}
+
+// OK reports whether the proof is complete.
+func (r *Report) OK() bool {
+	return r.Paths > 0 && len(r.P1Failures) == 0 && len(r.P5Failures) == 0 && len(r.P2Violations) == 0
+}
+
+// Summary renders the report.
+func (r *Report) Summary() string {
+	status := "PROOF COMPLETE"
+	if !r.OK() {
+		status = "PROOF FAILED"
+	}
+	return fmt.Sprintf("%s: %d paths, %d tasks; P1 failures: %d, P5 failures: %d, P2 violations: %d",
+		status, r.Paths, r.Tasks, len(r.P1Failures), len(r.P5Failures), len(r.P2Violations))
+}
+
+// Verify runs the full Vigor pipeline on the discard NF with the given
+// ring model: exhaustive symbolic execution of Iteration, then lazy
+// validation of the semantic property ("the NF never yields a packet
+// with target port 9") and of the model against the ring contract.
+func Verify(model RingModel) (*Report, error) {
+	var voc *vocab
+	res, err := symbex.Explore(func(m *Machine) {
+		voc = &vocab{
+			recvPort: m.Fresh("recv_port"),
+			popPort:  m.Fresh("popped_port"),
+			sentPort: m.Fresh("sent_port"),
+		}
+		env := &symEnv{m: m, model: model, v: voc}
+		Iteration(env)
+		m.AttachMeta(voc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Paths: len(res.Paths), Tasks: res.TraceCount()}
+	rep.P2Violations = res.Violations
+	var solver sym.Solver
+	for i, t := range res.Paths {
+		v, ok := t.Meta.(*vocab)
+		if !ok {
+			return nil, fmt.Errorf("discard: path %d has no vocabulary", i)
+		}
+		// P5: every model claim about ring_pop_front must be entailed
+		// by the ring contract's post-condition (Fig. 3): the popped
+		// packet satisfies packet_constraints, i.e. port != 9.
+		for j := range t.Seq {
+			c := &t.Seq[j]
+			if c.Kind != trace.CallGeneric || c.Name != "ring_pop_front" {
+				continue
+			}
+			contract := []sym.Atom{sym.NeVC(v.popPort, 9)}
+			for _, claim := range c.Out {
+				if !solver.Entails(contract, claim) {
+					rep.P5Failures = append(rep.P5Failures, fmt.Sprintf(
+						"path %d: model claim %v not justified by ring contract", i, claim))
+				}
+			}
+		}
+		// P1: if the path sends, the sent packet must not target port 9
+		// (the paper's ll.24-26 weaving: assert(sent_packet->port != 9)).
+		for j := range t.Seq {
+			c := &t.Seq[j]
+			if c.Kind != trace.CallGeneric || c.Name != "send" {
+				continue
+			}
+			want := sym.NeVC(v.sentPort, 9)
+			if !solver.Entails(t.Constraints, want) {
+				rep.P1Failures = append(rep.P1Failures, fmt.Sprintf(
+					"path %d: cannot prove %v", i, want))
+			}
+		}
+	}
+	return rep, nil
+}

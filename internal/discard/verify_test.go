@@ -1,0 +1,50 @@
+package discard
+
+import "testing"
+
+// TestVerifyExactModel proves the §3 properties with Fig. 4's model (a):
+// the NF never crashes and never yields a packet with target port 9.
+func TestVerifyExactModel(t *testing.T) {
+	rep, err := Verify(RingModelExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("proof failed: %s\nP1: %v\nP5: %v\nP2: %v", rep.Summary(), rep.P1Failures, rep.P5Failures, rep.P2Violations)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestVerifyOverApproxModel reproduces the paper's Step-3b failure: the
+// too-abstract model (b) breaks the semantic proof but passes model
+// validation.
+func TestVerifyOverApproxModel(t *testing.T) {
+	rep, err := Verify(RingModelOverApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("model (b) must not produce a complete proof")
+	}
+	if len(rep.P1Failures) == 0 {
+		t.Error("expected P1 failures with the over-approximate model")
+	}
+	if len(rep.P5Failures) != 0 {
+		t.Errorf("model (b) must pass P5, got %v", rep.P5Failures)
+	}
+}
+
+// TestVerifyUnderApproxModel reproduces the Step-3a failure: model (c)
+// is narrower than the ring contract, so model validation rejects it.
+func TestVerifyUnderApproxModel(t *testing.T) {
+	rep, err := Verify(RingModelUnderApprox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("model (c) must not produce a complete proof")
+	}
+	if len(rep.P5Failures) == 0 {
+		t.Error("expected P5 failures with the under-approximate model")
+	}
+}

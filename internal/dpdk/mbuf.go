@@ -1,0 +1,121 @@
+// Package dpdk simulates the slice of DPDK that VigNAT uses: preallocated
+// mbuf pools, polled ports with RX/TX rings, and burst send/receive. The
+// paper's NF runs a single-core poll loop — rx_burst, process, tx_burst —
+// and this package reproduces that structure so the NF code reads exactly
+// like its C counterpart. There is no real NIC underneath: the testbed
+// package plays the role of the wire.
+package dpdk
+
+import (
+	"errors"
+
+	"vignat/internal/libvig"
+)
+
+// DataRoomSize is the per-mbuf buffer size, matching DPDK's default
+// RTE_MBUF_DEFAULT_DATAROOM.
+const DataRoomSize = 2048
+
+// Mbuf is a message buffer: a preallocated frame buffer plus metadata.
+// Mbufs are owned by exactly one party at a time (pool, wire, or NF);
+// the ownership discipline is the one Vigor's leak checker enforces —
+// the paper reports catching a real leak of exactly this resource.
+type Mbuf struct {
+	room [DataRoomSize]byte
+
+	// Data is the active frame: a slice of room.
+	Data []byte
+	// Port is the input port index, set at RX time.
+	Port uint16
+	// RxTime is the wire timestamp at reception (the "hardware
+	// timestamp" the paper's latency measurements rely on).
+	RxTime libvig.Time
+
+	pool      *Mempool
+	allocated bool
+}
+
+// SetFrame copies frame into the mbuf's data room and points Data at it.
+// Frames longer than the data room are rejected.
+func (m *Mbuf) SetFrame(frame []byte) error {
+	if len(frame) > len(m.room) {
+		return errors.New("dpdk: frame exceeds mbuf data room")
+	}
+	copy(m.room[:], frame)
+	m.Data = m.room[:len(frame)]
+	return nil
+}
+
+// Room exposes the raw data room so crafting can build frames in place.
+func (m *Mbuf) Room() []byte { return m.room[:] }
+
+// SetLen points Data at the first n bytes of the room (after in-place
+// crafting).
+func (m *Mbuf) SetLen(n int) { m.Data = m.room[:n] }
+
+// Mempool is a preallocated pool of mbufs, the analogue of
+// rte_mempool/rte_pktmbuf_pool. Allocation and free are O(1) and the pool
+// never grows: when it is exhausted, RX drops packets, exactly like a real
+// NIC running out of descriptors.
+type Mempool struct {
+	free  []*Mbuf
+	top   int
+	total int
+}
+
+// NewMempool preallocates n mbufs.
+func NewMempool(n int) (*Mempool, error) {
+	if n <= 0 {
+		return nil, errors.New("dpdk: mempool size must be positive")
+	}
+	p := &Mempool{free: make([]*Mbuf, n), total: n}
+	backing := make([]Mbuf, n)
+	for i := range backing {
+		backing[i].pool = p
+		p.free[i] = &backing[i]
+	}
+	p.top = n
+	return p, nil
+}
+
+// Alloc takes an mbuf from the pool. It returns nil when the pool is
+// exhausted; callers must treat that as packet loss, not as a fatal
+// error.
+func (p *Mempool) Alloc() *Mbuf {
+	if p.top == 0 {
+		return nil
+	}
+	p.top--
+	m := p.free[p.top]
+	m.allocated = true
+	m.Data = nil
+	m.Port = 0
+	m.RxTime = 0
+	return m
+}
+
+// Free returns an mbuf to its pool. Double frees are reported as errors
+// (the low-level property P2 forbids them) and leave the pool intact.
+func (p *Mempool) Free(m *Mbuf) error {
+	if m == nil {
+		return errors.New("dpdk: free of nil mbuf")
+	}
+	if m.pool != p {
+		return errors.New("dpdk: mbuf freed to foreign pool")
+	}
+	if !m.allocated {
+		return errors.New("dpdk: double free of mbuf")
+	}
+	m.allocated = false
+	p.free[p.top] = m
+	p.top++
+	return nil
+}
+
+// InUse returns the number of mbufs currently allocated; the NF's
+// loop-end leak check asserts this matches the number of frames buffered
+// in rings.
+func (p *Mempool) InUse() int { return p.total - p.top }
+
+// Size returns the pool's capacity.
+func (p *Mempool) Size() int { return p.total }

@@ -1,0 +1,134 @@
+package dpdk
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/libvig"
+)
+
+// Default queue depths, matching the RX/TX descriptor counts VigNAT
+// configures.
+const (
+	DefaultRxQueue = 512
+	DefaultTxQueue = 512
+)
+
+// PortStats counts a port's traffic, mirroring rte_eth_stats.
+type PortStats struct {
+	RxPackets uint64 // ipackets
+	TxPackets uint64 // opackets
+	RxDropped uint64 // imissed: RX queue full or mempool empty
+	TxDropped uint64 // TX queue full
+}
+
+// Port is a polled network port: an RX ring the wire side fills and a TX
+// ring the wire side drains. The NF side uses RxBurst/TxBurst; the
+// testbed side uses DeliverRx/DrainTx.
+type Port struct {
+	ID    uint16
+	rx    *libvig.Ring[*Mbuf]
+	tx    *libvig.Ring[*Mbuf]
+	pool  *Mempool
+	stats PortStats
+}
+
+// NewPort creates a port with the given queue depths, drawing RX mbufs
+// from pool.
+func NewPort(id uint16, rxDepth, txDepth int, pool *Mempool) (*Port, error) {
+	if pool == nil {
+		return nil, errors.New("dpdk: port needs a mempool")
+	}
+	rx, err := libvig.NewRing[*Mbuf](rxDepth)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: rx ring: %w", err)
+	}
+	tx, err := libvig.NewRing[*Mbuf](txDepth)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: tx ring: %w", err)
+	}
+	return &Port{ID: id, rx: rx, tx: tx, pool: pool}, nil
+}
+
+// Pool returns the mempool backing this port's RX path.
+func (p *Port) Pool() *Mempool { return p.pool }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// --- NF side (the DPDK API surface VigNAT uses) ---
+
+// RxBurst receives up to len(bufs) packets into bufs, returning the
+// count. Ownership of returned mbufs transfers to the caller, which must
+// either TxBurst them or Free them — the leak check depends on it.
+func (p *Port) RxBurst(bufs []*Mbuf) int {
+	n := 0
+	for n < len(bufs) && !p.rx.Empty() {
+		m, _ := p.rx.PopFront()
+		bufs[n] = m
+		n++
+	}
+	return n
+}
+
+// TxBurst enqueues up to len(bufs) packets for transmission, returning
+// how many were accepted. Ownership of accepted mbufs transfers to the
+// port; rejected ones remain with the caller (DPDK semantics: the caller
+// must free them or retry).
+func (p *Port) TxBurst(bufs []*Mbuf) int {
+	n := 0
+	for n < len(bufs) && !p.tx.Full() {
+		_ = p.tx.PushBack(bufs[n])
+		n++
+	}
+	p.stats.TxPackets += uint64(n)
+	p.stats.TxDropped += uint64(len(bufs) - n)
+	return n
+}
+
+// --- wire side (used by the testbed) ---
+
+// DeliverRx places a frame arriving from the wire at time now into the RX
+// queue, allocating an mbuf from the port's pool. It reports whether the
+// frame was accepted; drops are counted like a NIC's imissed.
+func (p *Port) DeliverRx(frame []byte, now libvig.Time) bool {
+	if p.rx.Full() {
+		p.stats.RxDropped++
+		return false
+	}
+	m := p.pool.Alloc()
+	if m == nil {
+		p.stats.RxDropped++
+		return false
+	}
+	if err := m.SetFrame(frame); err != nil {
+		_ = p.pool.Free(m)
+		p.stats.RxDropped++
+		return false
+	}
+	m.Port = p.ID
+	m.RxTime = now
+	_ = p.rx.PushBack(m)
+	p.stats.RxPackets++
+	return true
+}
+
+// DrainTx removes up to len(bufs) transmitted frames from the TX queue
+// for the wire to carry. Ownership transfers to the caller (the testbed
+// frees them after copying the frame onto the wire).
+func (p *Port) DrainTx(bufs []*Mbuf) int {
+	n := 0
+	for n < len(bufs) && !p.tx.Empty() {
+		m, _ := p.tx.PopFront()
+		bufs[n] = m
+		n++
+	}
+	return n
+}
+
+// RxQueueLen returns the RX ring occupancy (tests and backpressure
+// modelling).
+func (p *Port) RxQueueLen() int { return p.rx.Len() }
+
+// TxQueueLen returns the TX ring occupancy.
+func (p *Port) TxQueueLen() int { return p.tx.Len() }

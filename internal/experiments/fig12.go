@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vignat/internal/testbed"
+)
+
+// Fig12Row is one x-axis point of Fig. 12: the average probe-flow
+// latency per NF at a given background-flow count.
+type Fig12Row struct {
+	BackgroundFlows int
+	Latency         map[NFKind]time.Duration
+}
+
+// Fig12Config parameterizes the Fig. 12 run.
+type Fig12Config struct {
+	// Timeout is the NAT flow expiry: 2 s for the main experiment,
+	// 60 s for the in-text variant where no flow ever expires.
+	Timeout time.Duration
+	// FlowCounts is the x-axis; nil means the paper's axis.
+	FlowCounts []int
+	// NFs selects middleboxes; nil means all four.
+	NFs []NFKind
+	// Scale shrinks run duration for smoke tests.
+	Scale Scale
+}
+
+// Fig12 measures average probe-flow latency as a function of the number
+// of background flows (paper Fig. 12; with Timeout=60s, the in-text
+// variant). Probe flows expire between packets when Timeout is 2 s, so
+// each probe packet exercises the miss+insert worst case; with 60 s they
+// never expire and probes take the hit path.
+func Fig12(cfg Fig12Config) ([]Fig12Row, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	counts := cfg.FlowCounts
+	if counts == nil {
+		counts = FlowCounts
+	}
+	nfs := cfg.NFs
+	if nfs == nil {
+		nfs = AllNFs
+	}
+	rows := make([]Fig12Row, 0, len(counts))
+	for _, n := range counts {
+		row := Fig12Row{BackgroundFlows: n, Latency: make(map[NFKind]time.Duration)}
+		for _, kind := range nfs {
+			mb, err := BuildMiddlebox(kind, cfg.Timeout)
+			if err != nil {
+				return nil, err
+			}
+			lcfg := testbed.DefaultLatencyConfig(n)
+			lcfg.Warmup = cfg.Scale.apply(lcfg.Warmup)
+			lcfg.Duration = cfg.Scale.apply(lcfg.Duration)
+			rec, err := testbed.MeasureLatency(mb, lcfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %v @%d flows: %w", kind, n, err)
+			}
+			// Trimmed mean: see moongen.LatencyRecorder.TrimmedMean.
+			row.Latency[kind] = rec.TrimmedMean(0.01)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFig12 renders the rows as a text table in the paper's units.
+func FormatFig12(rows []Fig12Row, nfs []NFKind) string {
+	if nfs == nil {
+		nfs = AllNFs
+	}
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "%-18s", "bg flows")
+	for _, k := range nfs {
+		fmt.Fprintf(b, "%18s", k)
+	}
+	fmt.Fprintln(b)
+	for _, r := range rows {
+		fmt.Fprintf(b, "%-18d", r.BackgroundFlows)
+		for _, k := range nfs {
+			fmt.Fprintf(b, "%15.2fµs", float64(r.Latency[k].Nanoseconds())/1000)
+		}
+		fmt.Fprintln(b)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vignat/internal/moongen"
+	"vignat/internal/testbed"
+)
+
+// Fig13Thresholds is the x-axis of the latency CCDF (Fig. 13): the
+// microsecond band where the NATs differ, plus the far tail where the
+// DPDK outliers dominate and the curves coincide.
+var Fig13Thresholds = []time.Duration{
+	4500 * time.Nanosecond,
+	4750 * time.Nanosecond,
+	5000 * time.Nanosecond,
+	5250 * time.Nanosecond,
+	5500 * time.Nanosecond,
+	5750 * time.Nanosecond,
+	6000 * time.Nanosecond,
+	6500 * time.Nanosecond,
+	50 * time.Microsecond,
+	150 * time.Microsecond,
+	300 * time.Microsecond,
+}
+
+// Fig13Row is one NF's CCDF.
+type Fig13Row struct {
+	NF   NFKind
+	CCDF []moongen.CCDFPoint
+}
+
+// Fig13Config parameterizes the CCDF experiment.
+type Fig13Config struct {
+	BackgroundFlows int // paper: 60,000 (92% occupancy)
+	Scale           Scale
+}
+
+// Fig13 measures the probe-latency CCDF for the three DPDK NFs at high
+// flow-table occupancy.
+func Fig13(cfg Fig13Config) ([]Fig13Row, error) {
+	if cfg.BackgroundFlows == 0 {
+		cfg.BackgroundFlows = 60000
+	}
+	rows := make([]Fig13Row, 0, len(DPDKNFs))
+	for _, kind := range DPDKNFs {
+		mb, err := BuildMiddlebox(kind, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		lcfg := testbed.DefaultLatencyConfig(cfg.BackgroundFlows)
+		lcfg.Duration = cfg.Scale.apply(20 * time.Second) // more samples for the tail
+		lcfg.Warmup = cfg.Scale.apply(lcfg.Warmup)
+		rec, err := testbed.MeasureLatency(mb, lcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %v: %w", kind, err)
+		}
+		rows = append(rows, Fig13Row{NF: kind, CCDF: rec.CCDF(Fig13Thresholds)})
+	}
+	return rows, nil
+}
+
+// FormatFig13 renders the CCDFs as a table: thresholds down, NFs across.
+func FormatFig13(rows []Fig13Row) string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "%-12s", "latency")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%18s", r.NF)
+	}
+	fmt.Fprintln(b)
+	for i, x := range Fig13Thresholds {
+		fmt.Fprintf(b, "%-12s", x)
+		for _, r := range rows {
+			fmt.Fprintf(b, "%18.5f", r.CCDF[i].Fraction)
+		}
+		fmt.Fprintln(b)
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig12Shape asserts the paper's qualitative result on a scaled-down
+// run: latency ordering No-op < Unverified < Verified ≪ Linux at every
+// occupancy, with the three DPDK NFs within a microsecond band of the
+// baseline and Linux several times higher.
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(Fig12Config{Timeout: 2 * time.Second, FlowCounts: []int{1000, 60000}, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		noop := r.Latency[NFNoop]
+		unv := r.Latency[NFUnverified]
+		ver := r.Latency[NFVerified]
+		lin := r.Latency[NFLinux]
+		t.Logf("bg=%d: noop=%v unverified=%v verified=%v linux=%v",
+			r.BackgroundFlows, noop, unv, ver, lin)
+		if !(noop < unv) {
+			t.Errorf("bg=%d: no-op (%v) not faster than unverified (%v)", r.BackgroundFlows, noop, unv)
+		}
+		if !(unv < ver) {
+			t.Errorf("bg=%d: unverified (%v) not faster than verified (%v)", r.BackgroundFlows, unv, ver)
+		}
+		if !(lin > 3*noop) {
+			t.Errorf("bg=%d: Linux (%v) not ≫ DPDK baseline (%v)", r.BackgroundFlows, lin, noop)
+		}
+		// The verified NAT stays in the same ballpark as the unverified
+		// one — the paper's headline claim. Allow generous slack for a
+		// scaled-down noisy run; the full run tracks much closer.
+		if ver > 2*unv {
+			t.Errorf("bg=%d: verified (%v) more than 2x unverified (%v)", r.BackgroundFlows, ver, unv)
+		}
+	}
+}
+
+// TestFig14Shape asserts the throughput ordering and the paper's rough
+// factors: Linux far below the DPDK NATs, verified within a reasonable
+// factor of unverified (paper: 10% penalty).
+func TestFig14Shape(t *testing.T) {
+	rows, err := Fig14(Fig14Config{FlowCounts: []int{10000}, Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	noop := r.Throughput[NFNoop]
+	unv := r.Throughput[NFUnverified]
+	ver := r.Throughput[NFVerified]
+	lin := r.Throughput[NFLinux]
+	t.Logf("flows=%d: noop=%.2f unverified=%.2f verified=%.2f linux=%.2f Mpps",
+		r.Flows, noop/1e6, unv/1e6, ver/1e6, lin/1e6)
+	if !(noop > unv && unv > ver && ver > lin) {
+		t.Fatalf("throughput ordering broken")
+	}
+	if ver < 0.55*unv {
+		t.Errorf("verified (%.2f) below 55%% of unverified (%.2f)", ver/1e6, unv/1e6)
+	}
+	if lin > 0.5*ver {
+		t.Errorf("Linux (%.2f) not ≪ verified (%.2f)", lin/1e6, ver/1e6)
+	}
+}
+
+// TestFig13Shape: in the far tail (≥50µs) all DPDK NFs coincide (the
+// injected DPDK outliers dominate), and near the band the verified NAT
+// keeps at least as much tail mass as the no-op baseline.
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13(Fig13Config{BackgroundFlows: 60000, Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNF := map[NFKind]Fig13Row{}
+	for _, r := range rows {
+		byNF[r.NF] = r
+	}
+	for i, th := range Fig13Thresholds {
+		if th < 50*time.Microsecond {
+			continue
+		}
+		a := byNF[NFNoop].CCDF[i].Fraction
+		b := byNF[NFUnverified].CCDF[i].Fraction
+		c := byNF[NFVerified].CCDF[i].Fraction
+		if a != b || b != c {
+			t.Errorf("far tail at %v differs: %f %f %f", th, a, b, c)
+		}
+	}
+	idx := 5 // 5750ns in Fig13Thresholds
+	if byNF[NFVerified].CCDF[idx].Fraction < byNF[NFNoop].CCDF[idx].Fraction {
+		t.Errorf("verified tail lighter than no-op at %v", Fig13Thresholds[idx])
+	}
+}
+
+// TestTableV1PipelineHealthy runs the verification-statistics experiment
+// once and checks the proof completes with the expected path count.
+func TestTableV1PipelineHealthy(t *testing.T) {
+	tv, err := RunTableV1(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tv.ProofComplete {
+		t.Fatal("pipeline proof incomplete")
+	}
+	if tv.Paths != 11 || tv.Tasks != 109 {
+		t.Fatalf("paths=%d tasks=%d", tv.Paths, tv.Tasks)
+	}
+	t.Log("\n" + tv.Format())
+}
+
+// TestAblationRuns checks the ablation harness produces sane rows.
+func TestAblationRuns(t *testing.T) {
+	rows, err := RunAblation([]float64{0.25, 0.92}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		if r.VerifiedHit <= 0 || r.ChainHit <= 0 {
+			t.Fatalf("degenerate timing row %+v", r)
+		}
+	}
+	t.Log("\n" + FormatAblation(rows))
+}
+
+func TestBuildMiddleboxUnknown(t *testing.T) {
+	if _, err := BuildMiddlebox(NFKind(99), time.Second); err == nil {
+		t.Fatal("unknown NF accepted")
+	}
+}

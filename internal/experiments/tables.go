@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/unverified"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/validator"
+)
+
+// TableV1 holds the verification statistics the paper reports in-text
+// (§5.2.1–§5.2.2): path and trace counts from exhaustive symbolic
+// execution, and validation wall time at 1 and N workers (the paper:
+// 108 paths, 431 traces, 38 min on one core, 11 min on four).
+type TableV1 struct {
+	Paths          int
+	Tasks          int
+	Pruned         int
+	ESETime        time.Duration
+	Validate1      time.Duration
+	ValidateN      time.Duration
+	WorkersN       int
+	ProofComplete  bool
+	P2Violations   int
+	ValidationRuns int // repetitions used to stabilize timing
+}
+
+// RunTableV1 executes the full verification pipeline and times it.
+// repeat > 1 repeats validation to de-noise the (fast) Go timings.
+func RunTableV1(workers, repeat int) (*TableV1, error) {
+	if repeat <= 0 {
+		repeat = 1
+	}
+	cfg := symbex.NATEnvConfig{Policy: symbex.ModelExact, PortBase: PortBase, PortCount: Capacity}
+	start := time.Now()
+	res, err := symbex.RunNAT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eseTime := time.Since(start)
+
+	time1 := time.Duration(0)
+	timeN := time.Duration(0)
+	var rep *validator.Report
+	for i := 0; i < repeat; i++ {
+		r1 := validator.Validate(res, validator.Config{Workers: 1})
+		time1 += r1.Elapsed
+		rep = validator.Validate(res, validator.Config{Workers: workers})
+		timeN += rep.Elapsed
+	}
+	return &TableV1{
+		Paths:          len(res.Paths),
+		Tasks:          res.TraceCount(),
+		Pruned:         res.Pruned,
+		ESETime:        eseTime,
+		Validate1:      time1 / time.Duration(repeat),
+		ValidateN:      timeN / time.Duration(repeat),
+		WorkersN:       rep.Workers,
+		ProofComplete:  rep.OK(),
+		P2Violations:   len(rep.P2Violations),
+		ValidationRuns: repeat,
+	}, nil
+}
+
+// Format renders the verification statistics table.
+func (t *TableV1) Format() string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "verification statistics (paper: 108 paths, 431 tasks, <1 min ESE, 38/11 min validate)\n")
+	fmt.Fprintf(b, "  feasible paths:          %d\n", t.Paths)
+	fmt.Fprintf(b, "  verification tasks:      %d (paths + prefixes)\n", t.Tasks)
+	fmt.Fprintf(b, "  infeasible pruned:       %d\n", t.Pruned)
+	fmt.Fprintf(b, "  exhaustive symb. exec.:  %s\n", t.ESETime.Round(time.Microsecond))
+	fmt.Fprintf(b, "  validation x1 worker:    %s\n", t.Validate1.Round(time.Microsecond))
+	fmt.Fprintf(b, "  validation x%d workers:   %s\n", t.WorkersN, t.ValidateN.Round(time.Microsecond))
+	fmt.Fprintf(b, "  proof complete:          %v (P2 violations: %d)\n", t.ProofComplete, t.P2Violations)
+	return b.String()
+}
+
+// AblationRow compares the verified flow table (libVig double map, open
+// addressing) against the unverified one (separate chaining) at one
+// occupancy level — the paper's in-text explanation of the Fig. 12/14
+// deltas ("the difference is greatest for lookups that find no match").
+type AblationRow struct {
+	Occupancy    float64
+	VerifiedHit  time.Duration
+	VerifiedMiss time.Duration
+	ChainHit     time.Duration
+	ChainMiss    time.Duration
+}
+
+// RunAblation measures per-op lookup times at the given occupancies.
+func RunAblation(occupancies []float64, opsPerPoint int) ([]AblationRow, error) {
+	if opsPerPoint <= 0 {
+		opsPerPoint = 200_000
+	}
+	rows := make([]AblationRow, 0, len(occupancies))
+	for _, occ := range occupancies {
+		nflows := int(occ * Capacity)
+		if nflows < 1 {
+			nflows = 1
+		}
+		row := AblationRow{Occupancy: occ}
+
+		// Verified table: libVig dmap + dchain composition.
+		vt, err := newPopulatedFlowTable(nflows)
+		if err != nil {
+			return nil, err
+		}
+		hitKeys, missKeys := ablationKeys(nflows)
+		row.VerifiedHit = timePerOp(opsPerPoint, func(i int) {
+			vt.LookupInt(hitKeys[i%len(hitKeys)])
+		})
+		row.VerifiedMiss = timePerOp(opsPerPoint, func(i int) {
+			vt.LookupInt(missKeys[i%len(missKeys)])
+		})
+
+		// Chaining table.
+		ct, err := newPopulatedChainTable(nflows)
+		if err != nil {
+			return nil, err
+		}
+		row.ChainHit = timePerOp(opsPerPoint, func(i int) {
+			ct.LookupInt(hitKeys[i%len(hitKeys)])
+		})
+		row.ChainMiss = timePerOp(opsPerPoint, func(i int) {
+			ct.LookupInt(missKeys[i%len(missKeys)])
+		})
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the flow-table ablation rows.
+func FormatAblation(rows []AblationRow) string {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "%-12s%16s%16s%16s%16s\n", "occupancy",
+		"verified hit", "verified miss", "chaining hit", "chaining miss")
+	for _, r := range rows {
+		fmt.Fprintf(b, "%-12.2f%16s%16s%16s%16s\n", r.Occupancy,
+			r.VerifiedHit, r.VerifiedMiss, r.ChainHit, r.ChainMiss)
+	}
+	return b.String()
+}
+
+func ablationKey(i int, miss bool) flow.ID {
+	dst := moongenServer()
+	src := flow.MakeAddr(10, 0, 0, 0) + flow.Addr(1+i/1024)
+	port := uint16(10000 + i%1024)
+	if miss {
+		src = flow.MakeAddr(172, 16, 0, 0) + flow.Addr(1+i/1024)
+	}
+	return flow.ID{SrcIP: src, SrcPort: port, DstIP: dst, DstPort: 80, Proto: flow.UDP}
+}
+
+func ablationKeys(n int) (hits, misses []flow.ID) {
+	k := n
+	if k > 4096 {
+		k = 4096
+	}
+	hits = make([]flow.ID, k)
+	misses = make([]flow.ID, k)
+	for i := 0; i < k; i++ {
+		hits[i] = ablationKey(i*(n/k), false)
+		misses[i] = ablationKey(i, true)
+	}
+	return hits, misses
+}
+
+func moongenServer() flow.Addr { return flow.MakeAddr(198, 18, 0, 1) }
+
+func newPopulatedFlowTable(n int) (*nat.FlowTable, error) {
+	t, err := nat.NewFlowTable(Capacity, ExtIP, PortBase)
+	if err != nil {
+		return nil, err
+	}
+	now := libvig.Time(0)
+	for i := 0; i < n; i++ {
+		if _, ok := t.Add(ablationKey(i, false), now); !ok {
+			return nil, fmt.Errorf("experiments: flow table filled early at %d", i)
+		}
+	}
+	return t, nil
+}
+
+func newPopulatedChainTable(n int) (*unverified.ChainTable, error) {
+	t, err := unverified.NewChainTable(Capacity, ExtIP, PortBase)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if t.Add(ablationKey(i, false), 0) == nil {
+			return nil, fmt.Errorf("experiments: chain table filled early at %d", i)
+		}
+	}
+	return t, nil
+}
+
+func timePerOp(ops int, f func(i int)) time.Duration {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		f(i)
+	}
+	return time.Since(start) / time.Duration(ops)
+}

@@ -1,0 +1,238 @@
+// Package firewall is the §7 generalization exercise: a second stateful
+// NF built from the same parts as VigNAT, demonstrating the
+// amortization the paper argues for — the libVig structures, their
+// contracts, and the verification pipeline are reused wholesale; only
+// the stateless logic and its specification are new.
+//
+// The NF is a stateful egress firewall (the classic companion to a
+// NAT): packets from the internal network may always leave and
+// establish sessions; packets from the external network are forwarded
+// only if they belong to a session an internal host initiated. Unlike
+// the NAT it rewrites nothing — the flow table answers pure
+// membership questions. Sessions expire after Texp of inactivity,
+// with the same expirator semantics as Fig. 6.
+package firewall
+
+import (
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+)
+
+// SessionHandle is the firewall's opaque session reference, with the
+// same capability discipline as the NAT's FlowHandle.
+type SessionHandle int
+
+// Verdict is the externally visible outcome for one packet.
+type Verdict uint8
+
+// Verdicts.
+const (
+	VerdictDrop       Verdict = iota
+	VerdictForwardOut         // internal → external, unmodified
+	VerdictForwardIn          // external → internal, unmodified
+)
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDrop:
+		return "drop"
+	case VerdictForwardOut:
+		return "fwd-out"
+	case VerdictForwardIn:
+		return "fwd-in"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Env is the firewall's window onto the world — the same pattern as
+// stateless NAT Env, so the symbolic engine drives it identically.
+type Env interface {
+	// Packet predicates (fork points; same guard ordering rules).
+	FrameIntact() bool
+	EtherIsIPv4() bool
+	IPv4HeaderValid() bool
+	NotFragment() bool
+	L4Supported() bool
+	L4HeaderIntact() bool
+	PacketFromInternal() bool
+
+	// Session-table operations (libVig dmap+dchain, no port allocator).
+	ExpireSessions()
+	LookupOutbound() (SessionHandle, bool) // by the packet's tuple
+	LookupInbound() (SessionHandle, bool)  // by the reversed tuple index
+	CreateSession() (SessionHandle, bool)  // false when the table is full
+	Rejuvenate(h SessionHandle)
+
+	// Outputs.
+	ForwardOut()
+	ForwardIn()
+	Drop()
+}
+
+// ProcessPacket is the firewall's stateless logic, written once like
+// the NAT's (Fig. 6 analogue):
+//
+//	expire → classify → (internal: rejuvenate-or-create, forward;
+//	                     external: forward iff session live, else drop)
+//
+// A conservative policy drops internal packets when the session table
+// is full: letting them through untracked would make their replies
+// unprovably-droppable, breaking the semantic property.
+func ProcessPacket(env Env) {
+	env.ExpireSessions()
+	if !env.FrameIntact() || !env.EtherIsIPv4() || !env.IPv4HeaderValid() ||
+		!env.NotFragment() || !env.L4Supported() || !env.L4HeaderIntact() {
+		env.Drop()
+		return
+	}
+	if env.PacketFromInternal() {
+		h, ok := env.LookupOutbound()
+		if ok {
+			env.Rejuvenate(h)
+		} else {
+			h, ok = env.CreateSession()
+		}
+		if ok {
+			env.ForwardOut()
+		} else {
+			env.Drop()
+		}
+		return
+	}
+	h, ok := env.LookupInbound()
+	if ok {
+		env.Rejuvenate(h)
+		env.ForwardIn()
+	} else {
+		env.Drop()
+	}
+}
+
+// session is the table record: the outbound tuple and its reverse —
+// stored in the same DoubleMap shape as the NAT's flow, which is what
+// lets the libVig contracts carry over unchanged.
+type session struct {
+	Out flow.ID // as seen leaving (src = internal host)
+	In  flow.ID // the reply direction (reverse tuple)
+}
+
+// Firewall is the production binding: the verified stateless logic over
+// a libVig dmap+dchain composition.
+type Firewall struct {
+	dmap    *libvig.DoubleMap[flow.ID, flow.ID, session]
+	chain   *libvig.DChain
+	erasers []libvig.IndexEraser
+	clock   libvig.Clock
+	texp    libvig.Time
+	env     prodEnv
+
+	processed, dropped uint64
+}
+
+// New builds a firewall tracking up to capacity sessions with the given
+// inactivity timeout.
+func New(capacity int, timeout time.Duration, clock libvig.Clock) (*Firewall, error) {
+	dm, err := libvig.NewDoubleMap[flow.ID, flow.ID, session](capacity,
+		func(s *session) flow.ID { return s.Out },
+		func(s *session) flow.ID { return s.In })
+	if err != nil {
+		return nil, err
+	}
+	ch, err := libvig.NewDChain(capacity)
+	if err != nil {
+		return nil, err
+	}
+	fw := &Firewall{dmap: dm, chain: ch, clock: clock, texp: timeout.Nanoseconds()}
+	fw.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(fw.dmap.Erase)}
+	fw.env.fw = fw
+	return fw, nil
+}
+
+// Sessions returns the number of live sessions.
+func (fw *Firewall) Sessions() int { return fw.dmap.Size() }
+
+// Stats returns (processed, dropped).
+func (fw *Firewall) Stats() (processed, dropped uint64) { return fw.processed, fw.dropped }
+
+// Process runs one frame through the firewall. Frames are never
+// modified.
+func (fw *Firewall) Process(frame []byte, fromInternal bool) Verdict {
+	e := &fw.env
+	e.reset(frame, fromInternal, fw.clock.Now())
+	ProcessPacket(e)
+	fw.processed++
+	if e.verdict == VerdictDrop {
+		fw.dropped++
+	}
+	return e.verdict
+}
+
+// prodEnv binds Env to the real table; the same structure as the NAT's
+// prodEnv.
+type prodEnv struct {
+	fw           *Firewall
+	pkt          netstack.Packet
+	fromInternal bool
+	now          libvig.Time
+	verdict      Verdict
+}
+
+var _ Env = (*prodEnv)(nil)
+
+func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
+	_ = e.pkt.Parse(frame)
+	e.fromInternal = fromInternal
+	e.now = now
+	e.verdict = VerdictDrop
+}
+
+func (e *prodEnv) FrameIntact() bool     { return len(e.pkt.Data) >= netstack.EthHeaderLen }
+func (e *prodEnv) EtherIsIPv4() bool     { return e.pkt.EtherType == netstack.EtherTypeIPv4 }
+func (e *prodEnv) IPv4HeaderValid() bool { return e.pkt.L3Valid }
+func (e *prodEnv) NotFragment() bool     { return !e.pkt.Fragment }
+func (e *prodEnv) L4Supported() bool {
+	return e.pkt.Proto == flow.TCP || e.pkt.Proto == flow.UDP
+}
+func (e *prodEnv) L4HeaderIntact() bool     { return e.pkt.L4Valid }
+func (e *prodEnv) PacketFromInternal() bool { return e.fromInternal }
+
+func (e *prodEnv) ExpireSessions() {
+	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
+	_, _ = libvig.ExpireItems(e.fw.chain, e.now-e.fw.texp+1, e.fw.erasers...)
+}
+
+func (e *prodEnv) LookupOutbound() (SessionHandle, bool) {
+	i, ok := e.fw.dmap.GetByFst(e.pkt.FlowID())
+	return SessionHandle(i), ok
+}
+
+func (e *prodEnv) LookupInbound() (SessionHandle, bool) {
+	i, ok := e.fw.dmap.GetBySnd(e.pkt.FlowID())
+	return SessionHandle(i), ok
+}
+
+func (e *prodEnv) CreateSession() (SessionHandle, bool) {
+	idx, err := e.fw.chain.Allocate(e.now)
+	if err != nil {
+		return 0, false
+	}
+	out := e.pkt.FlowID()
+	if err := e.fw.dmap.Put(idx, session{Out: out, In: out.Reverse()}); err != nil {
+		_ = e.fw.chain.Free(idx)
+		return 0, false
+	}
+	return SessionHandle(idx), true
+}
+
+func (e *prodEnv) Rejuvenate(h SessionHandle) {
+	_ = e.fw.chain.Rejuvenate(int(h), e.now)
+}
+
+func (e *prodEnv) ForwardOut() { e.verdict = VerdictForwardOut }
+func (e *prodEnv) ForwardIn()  { e.verdict = VerdictForwardIn }
+func (e *prodEnv) Drop()       { e.verdict = VerdictDrop }

@@ -1,0 +1,189 @@
+package firewall
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+)
+
+func fwFrame(t *testing.T, id flow.ID) []byte {
+	t.Helper()
+	spec := &netstack.FrameSpec{ID: id, PayloadLen: 8}
+	buf := make([]byte, netstack.FrameLen(spec))
+	return netstack.Craft(buf, spec)
+}
+
+func outKey(i int) flow.ID {
+	return flow.ID{
+		SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i)),
+		SrcPort: uint16(50000 + i),
+		DstIP:   flow.MakeAddr(1, 1, 1, 1),
+		DstPort: 443,
+		Proto:   flow.TCP,
+	}
+}
+
+func TestFirewallOutboundAlwaysForwards(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, err := New(16, time.Second, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fwFrame(t, outKey(0))
+	orig := append([]byte(nil), f...)
+	if v := fw.Process(f, true); v != VerdictForwardOut {
+		t.Fatalf("outbound %v", v)
+	}
+	for i := range f {
+		if f[i] != orig[i] {
+			t.Fatal("firewall modified the packet")
+		}
+	}
+	if fw.Sessions() != 1 {
+		t.Fatalf("sessions %d", fw.Sessions())
+	}
+}
+
+func TestFirewallReplyAllowedUnsolicitedDropped(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, _ := New(16, time.Second, clock)
+	fw.Process(fwFrame(t, outKey(0)), true)
+	// Reply to the established session.
+	if v := fw.Process(fwFrame(t, outKey(0).Reverse()), false); v != VerdictForwardIn {
+		t.Fatalf("reply %v", v)
+	}
+	// Unsolicited inbound.
+	if v := fw.Process(fwFrame(t, outKey(5).Reverse()), false); v != VerdictDrop {
+		t.Fatalf("unsolicited %v", v)
+	}
+	if fw.Sessions() != 1 {
+		t.Fatal("external packet created state")
+	}
+}
+
+func TestFirewallExpiry(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, _ := New(16, time.Second, clock)
+	fw.Process(fwFrame(t, outKey(0)), true)
+	clock.Advance(2 * time.Second.Nanoseconds())
+	if v := fw.Process(fwFrame(t, outKey(0).Reverse()), false); v != VerdictDrop {
+		t.Fatalf("reply after expiry %v", v)
+	}
+	if fw.Sessions() != 0 {
+		t.Fatal("session survived expiry")
+	}
+	// Rejuvenation path: keep alive with traffic under the timeout.
+	fw.Process(fwFrame(t, outKey(1)), true)
+	for i := 0; i < 5; i++ {
+		clock.Advance(600 * time.Millisecond.Nanoseconds())
+		if v := fw.Process(fwFrame(t, outKey(1)), true); v != VerdictForwardOut {
+			t.Fatalf("keepalive %d: %v", i, v)
+		}
+	}
+	if fw.Sessions() != 1 {
+		t.Fatal("keepalive session lost")
+	}
+}
+
+func TestFirewallTableFullConservative(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, _ := New(2, time.Hour, clock)
+	fw.Process(fwFrame(t, outKey(0)), true)
+	fw.Process(fwFrame(t, outKey(1)), true)
+	if v := fw.Process(fwFrame(t, outKey(2)), true); v != VerdictDrop {
+		t.Fatalf("over-capacity outbound %v (conservative policy requires drop)", v)
+	}
+	// Existing sessions still pass.
+	if v := fw.Process(fwFrame(t, outKey(0)), true); v != VerdictForwardOut {
+		t.Fatalf("existing at capacity %v", v)
+	}
+}
+
+func TestFirewallNonNATableDropped(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, _ := New(16, time.Second, clock)
+	id := outKey(0)
+	id.Proto = flow.ICMP
+	if v := fw.Process(fwFrame(t, id), true); v != VerdictDrop {
+		t.Fatalf("icmp %v", v)
+	}
+	if v := fw.Process(nil, true); v != VerdictDrop {
+		t.Fatalf("empty frame %v", v)
+	}
+}
+
+func TestFirewallProcessNoAllocs(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	fw, _ := New(1024, time.Second, clock)
+	fresh := fwFrame(t, outKey(0))
+	work := make([]byte, len(fresh))
+	copy(work, fresh)
+	fw.Process(work, true)
+	allocs := testing.AllocsPerRun(200, func() {
+		copy(work, fresh)
+		clock.Advance(10)
+		fw.Process(work, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast path allocates %.1f times per packet", allocs)
+	}
+}
+
+// TestFirewallVerified runs the full pipeline on the firewall's
+// stateless logic: the §7 amortization claim made concrete — a second
+// NF proven with the same engine, solver, and discipline checks.
+func TestFirewallVerified(t *testing.T) {
+	rep, err := Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("proof failed: %s\nP1=%v\nP2=%v\nP4=%v",
+			rep.Summary(), rep.P1Failures, rep.P2Violations, rep.P4Violations)
+	}
+	if rep.Paths != 11 {
+		t.Fatalf("paths %d, want 11 (same decision structure as the NAT)", rep.Paths)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestFirewallBuggyVariantCaught: omitting the inbound-session check
+// (forward everything inbound) must fail the semantic property.
+func TestFirewallBuggyVariantCaught(t *testing.T) {
+	buggy := func(env Env) {
+		env.ExpireSessions()
+		if !env.FrameIntact() || !env.EtherIsIPv4() || !env.IPv4HeaderValid() ||
+			!env.NotFragment() || !env.L4Supported() || !env.L4HeaderIntact() {
+			env.Drop()
+			return
+		}
+		if env.PacketFromInternal() {
+			h, ok := env.LookupOutbound()
+			if ok {
+				env.Rejuvenate(h)
+			} else {
+				h, ok = env.CreateSession()
+			}
+			if ok {
+				env.ForwardOut()
+			} else {
+				env.Drop()
+			}
+			return
+		}
+		env.ForwardIn() // BUG: no session check — an open firewall
+	}
+	rep, err := verifyLogic(buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("open-firewall bug not caught")
+	}
+	if len(rep.P1Failures) == 0 {
+		t.Fatalf("expected P1 failures, got %s", rep.Summary())
+	}
+}

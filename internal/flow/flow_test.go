@@ -1,0 +1,158 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	a := MakeAddr(192, 168, 1, 254)
+	if a.String() != "192.168.1.254" {
+		t.Fatalf("addr string %q", a.String())
+	}
+	if MakeAddr(0, 0, 0, 0) != 0 {
+		t.Fatal("zero addr")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{TCP: "tcp", UDP: "udp", ICMP: "icmp", 99: "proto(99)"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d: %q want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	f := func(s, d uint32, sp, dp uint16, pr uint8) bool {
+		id := ID{SrcIP: Addr(s), DstIP: Addr(d), SrcPort: sp, DstPort: dp, Proto: Protocol(pr)}
+		return id.Reverse().Reverse() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseSwaps(t *testing.T) {
+	id := ID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: TCP}
+	r := id.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 4 || r.DstPort != 3 || r.Proto != TCP {
+		t.Fatalf("reverse wrong: %+v", r)
+	}
+}
+
+func TestHashEqualIDsEqualHashes(t *testing.T) {
+	f := func(s, d uint32, sp, dp uint16, pr uint8) bool {
+		a := ID{SrcIP: Addr(s), DstIP: Addr(d), SrcPort: sp, DstPort: dp, Proto: Protocol(pr)}
+		b := a
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashAvalanche checks that single-field changes move the hash: the
+// flow table's flat latency under load (Fig. 12) depends on good
+// dispersion ("the two NATs use good hash functions", §6).
+func TestHashAvalanche(t *testing.T) {
+	base := ID{SrcIP: MakeAddr(10, 0, 0, 1), DstIP: MakeAddr(198, 18, 0, 1), SrcPort: 10000, DstPort: 80, Proto: UDP}
+	h0 := base.Hash()
+	variants := []ID{base, base, base, base, base}
+	variants[0].SrcIP++
+	variants[1].DstIP++
+	variants[2].SrcPort++
+	variants[3].DstPort++
+	variants[4].Proto = TCP
+	for i, v := range variants {
+		if v.Hash() == h0 {
+			t.Fatalf("variant %d: hash unchanged", i)
+		}
+	}
+}
+
+// TestHashBucketDispersion fills 64k sequential flows (the benchmark
+// workload) and checks bucket occupancy is near-uniform in a 2^17 table.
+func TestHashBucketDispersion(t *testing.T) {
+	const n = 65536
+	const buckets = 1 << 17
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		id := ID{
+			SrcIP:   MakeAddr(10, 0, 0, 0) + Addr(1+i/1024),
+			SrcPort: uint16(10000 + i%1024),
+			DstIP:   MakeAddr(198, 18, 0, 1),
+			DstPort: 80,
+			Proto:   UDP,
+		}
+		counts[id.Hash()%buckets]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// With good dispersion the longest chain for 64k keys in 128k
+	// buckets stays tiny (expected max ~6-8 for a random function).
+	if maxC > 16 {
+		t.Fatalf("worst bucket has %d sequential-workload keys", maxC)
+	}
+}
+
+func TestMakeFlowConsistent(t *testing.T) {
+	ext := MakeAddr(198, 18, 1, 1)
+	intKey := ID{SrcIP: MakeAddr(10, 0, 0, 7), SrcPort: 5555, DstIP: MakeAddr(8, 8, 8, 8), DstPort: 53, Proto: UDP}
+	f := MakeFlow(intKey, ext, 61000)
+	if !f.Consistent(ext) {
+		t.Fatalf("MakeFlow produced inconsistent flow: %v", &f)
+	}
+	if f.IntIP() != intKey.SrcIP || f.IntPort() != 5555 {
+		t.Fatal("internal endpoint accessors wrong")
+	}
+	if f.ExtPort() != 61000 {
+		t.Fatal("external port accessor wrong")
+	}
+	if f.RemoteIP() != intKey.DstIP || f.RemotePort() != 53 {
+		t.Fatal("remote endpoint accessors wrong")
+	}
+	if f.Proto() != UDP {
+		t.Fatal("proto accessor wrong")
+	}
+}
+
+func TestMakeFlowConsistentProperty(t *testing.T) {
+	f := func(s, d uint32, sp, dp, extPort uint16, ext uint32) bool {
+		intKey := ID{SrcIP: Addr(s), DstIP: Addr(d), SrcPort: sp, DstPort: dp, Proto: TCP}
+		fl := MakeFlow(intKey, Addr(ext), extPort)
+		return fl.Consistent(Addr(ext))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInconsistentFlowDetected(t *testing.T) {
+	ext := MakeAddr(198, 18, 1, 1)
+	f := MakeFlow(ID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: TCP}, ext, 100)
+	f.ExtKey.SrcIP = 99 // corrupt: remote mismatch
+	if f.Consistent(ext) {
+		t.Fatal("corrupted flow passed consistency")
+	}
+	g := MakeFlow(ID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: TCP}, ext, 100)
+	if g.Consistent(MakeAddr(9, 9, 9, 9)) {
+		t.Fatal("flow consistent with the wrong external IP")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	id := ID{SrcIP: MakeAddr(10, 0, 0, 1), SrcPort: 1234, DstIP: MakeAddr(8, 8, 8, 8), DstPort: 53, Proto: UDP}
+	if id.String() != "udp 10.0.0.1:1234>8.8.8.8:53" {
+		t.Fatalf("ID string %q", id.String())
+	}
+	f := MakeFlow(id, MakeAddr(1, 1, 1, 1), 999)
+	if f.String() == "" {
+		t.Fatal("empty flow string")
+	}
+}

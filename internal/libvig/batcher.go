@@ -1,0 +1,63 @@
+package libvig
+
+import "errors"
+
+// Batcher groups homogeneous items and flushes them in bursts (§5.1.1).
+// The dpdk substrate uses it to assemble TX bursts; VigNAT uses it to
+// amortize per-packet transmit cost exactly as the C implementation
+// batches DPDK tx_burst calls.
+//
+// Contract sketch:
+//
+//	batcherp(b, S, cap) ≡ b buffers the sequence S, |S| ≤ cap.
+//	Push:  requires |S| < cap    ensures S' = S ++ [v]
+//	Flush: ensures the flush func received exactly S, then S' = [].
+type Batcher[T any] struct {
+	buf   []T
+	size  int
+	flush func([]T) error
+}
+
+// NewBatcher returns a batcher with the given burst capacity that delivers
+// full or explicitly flushed batches to flushFn.
+func NewBatcher[T any](capacity int, flushFn func([]T) error) (*Batcher[T], error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	if flushFn == nil {
+		return nil, errors.New("libvig: nil flush function")
+	}
+	return &Batcher[T]{buf: make([]T, capacity), flush: flushFn}, nil
+}
+
+// Capacity returns the burst size.
+func (b *Batcher[T]) Capacity() int { return len(b.buf) }
+
+// Len returns the number of buffered items.
+func (b *Batcher[T]) Len() int { return b.size }
+
+// Push adds v to the batch, flushing automatically when the batch fills.
+func (b *Batcher[T]) Push(v T) error {
+	b.buf[b.size] = v
+	b.size++
+	if b.size == len(b.buf) {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush delivers any buffered items to the flush function and empties the
+// batch. Flushing an empty batch is a no-op.
+func (b *Batcher[T]) Flush() error {
+	if b.size == 0 {
+		return nil
+	}
+	n := b.size
+	b.size = 0
+	err := b.flush(b.buf[:n])
+	var zero T
+	for i := 0; i < n; i++ {
+		b.buf[i] = zero
+	}
+	return err
+}

@@ -1,0 +1,67 @@
+package contracts
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDoubleMapRefinement(t *testing.T) {
+	type dop struct {
+		Code uint8
+		Idx  uint8
+		KA   qKey
+		KB   qKey
+		Val  uint8
+	}
+	f := func(ops []dop) bool {
+		c, err := NewCheckedDoubleMap[qKey, qKey](9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range ops {
+			idx := int(op.Idx) % 11 // includes out-of-range probes
+			switch op.Code % 4 {
+			case 0:
+				if err := c.Put(idx, op.KA, op.KB, int(op.Val)); err != nil {
+					t.Log(err)
+					return false
+				}
+			case 1:
+				if err := c.Erase(idx); err != nil {
+					t.Log(err)
+					return false
+				}
+			case 2:
+				if err := c.GetByFst(op.KA); err != nil {
+					t.Log(err)
+					return false
+				}
+			case 3:
+				if err := c.GetBySnd(op.KB); err != nil {
+					t.Log(err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckedDoubleMapDetectsViolation: the meta-test that the checker
+// is not vacuous.
+func TestCheckedDoubleMapDetectsViolation(t *testing.T) {
+	c, err := NewCheckedDoubleMap[qKey, qKey](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(0, qKey{V: 1}, qKey{V: 2}, 7); err != nil {
+		t.Fatal(err)
+	}
+	c.Model[0] = dmapEntry[qKey, qKey]{V: 99, K1: qKey{V: 1}, K2: qKey{V: 2}}
+	if err := c.Put(1, qKey{V: 3}, qKey{V: 4}, 8); err == nil {
+		t.Fatal("divergence not detected")
+	}
+}

@@ -1,0 +1,170 @@
+package libvig
+
+import "errors"
+
+// DoubleMap errors.
+var (
+	ErrDMapIndexBusy = errors.New("libvig: index already occupied")
+	ErrDMapIndexFree = errors.New("libvig: index not occupied")
+)
+
+// DoubleMap is libVig's flow table substrate (§5.1.1, Fig. 8): a
+// fixed-capacity store of values addressable by *two* independent keys.
+// VigNAT stores each flow once, reachable both by its internal-side flow
+// ID (key A) and by its external-side flow ID (key B).
+//
+// Indices are provided by the caller (in VigNAT, by a DChain), so that the
+// same index identifies a flow in the DoubleMap, the DChain, and the port
+// allocator — this is the composition the paper's flow table uses.
+//
+// Contract sketch (cf. Fig. 8's dmappingp):
+//
+//	dmapp(m, M, cap) ≡ M : index ⇀ V with |dom M| ≤ cap, and the two key
+//	  maps are exactly { fk1(v) ↦ i } and { fk2(v) ↦ i } for (i,v) ∈ M.
+//	Put(i,v):   requires i ∉ dom M ∧ fk1(v), fk2(v) fresh
+//	            ensures  M' = M[i↦v]
+//	Erase(i):   requires i ∈ dom M    ensures M' = M \ {i}
+//	GetByFst(k): ensures result = (i, true) iff ∃(i,v)∈M. fk1(v)=k
+//	GetBySnd(k): symmetric for fk2. M never changes on gets.
+type DoubleMap[K1 Key, K2 Key, V any] struct {
+	byFst *Map[K1]
+	bySnd *Map[K2]
+	vals  []V
+	busy  []bool
+	fk1   func(*V) K1
+	fk2   func(*V) K2
+	size  int
+}
+
+// NewDoubleMap returns a double-keyed map of the given capacity. fk1 and
+// fk2 extract the two keys from a stored value; they must be pure.
+func NewDoubleMap[K1 Key, K2 Key, V any](capacity int, fk1 func(*V) K1, fk2 func(*V) K2) (*DoubleMap[K1, K2, V], error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	if fk1 == nil || fk2 == nil {
+		return nil, errors.New("libvig: nil key extractor")
+	}
+	a, err := NewMap[K1](capacity)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewMap[K2](capacity)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]V, capacity)
+	busy := make([]bool, capacity)
+	prefault(vals)
+	prefault(busy)
+	return &DoubleMap[K1, K2, V]{
+		byFst: a,
+		bySnd: b,
+		vals:  vals,
+		busy:  busy,
+		fk1:   fk1,
+		fk2:   fk2,
+	}, nil
+}
+
+// Capacity returns the fixed capacity.
+func (m *DoubleMap[K1, K2, V]) Capacity() int { return len(m.vals) }
+
+// Size returns the number of stored values.
+func (m *DoubleMap[K1, K2, V]) Size() int { return m.size }
+
+// GetByFst returns the index of the value whose first key equals k.
+// This is the paper's dmap_get_by_first_key (Fig. 8).
+func (m *DoubleMap[K1, K2, V]) GetByFst(k K1) (int, bool) {
+	return m.byFst.Get(k)
+}
+
+// GetBySnd returns the index of the value whose second key equals k.
+func (m *DoubleMap[K1, K2, V]) GetBySnd(k K2) (int, bool) {
+	return m.bySnd.Get(k)
+}
+
+// Value returns a pointer to the value stored at index i. The pointee is
+// owned by the DoubleMap; per the libVig pointer discipline (§5.1.2) the
+// caller may read and write the value but must not retain the pointer
+// across an Erase of i.
+// Requires i occupied (checked; returns nil otherwise).
+func (m *DoubleMap[K1, K2, V]) Value(i int) *V {
+	if i < 0 || i >= len(m.vals) || !m.busy[i] {
+		return nil
+	}
+	return &m.vals[i]
+}
+
+// Put stores v at index i and indexes it under both keys.
+// Requires: i in range and free, both keys absent. All checked; on error
+// the map is unchanged.
+func (m *DoubleMap[K1, K2, V]) Put(i int, v V) error {
+	if i < 0 || i >= len(m.vals) {
+		return ErrChainRange
+	}
+	if m.busy[i] {
+		return ErrDMapIndexBusy
+	}
+	// Stage the value in its (preallocated) cell before indexing, so the
+	// key extractors see the stored copy — keeps the packet path free of
+	// heap allocation (passing &v to a function pointer would force v to
+	// escape).
+	m.vals[i] = v
+	k1, k2 := m.fk1(&m.vals[i]), m.fk2(&m.vals[i])
+	if err := m.byFst.Put(k1, i); err != nil {
+		var zero V
+		m.vals[i] = zero
+		return err
+	}
+	if err := m.bySnd.Put(k2, i); err != nil {
+		// Roll back so a duplicate second key cannot corrupt the map.
+		_ = m.byFst.Erase(k1)
+		var zero V
+		m.vals[i] = zero
+		return err
+	}
+	m.busy[i] = true
+	m.size++
+	return nil
+}
+
+// Erase removes the value at index i from the store and from both key
+// maps. Requires i occupied (checked).
+func (m *DoubleMap[K1, K2, V]) Erase(i int) error {
+	if i < 0 || i >= len(m.vals) {
+		return ErrChainRange
+	}
+	if !m.busy[i] {
+		return ErrDMapIndexFree
+	}
+	v := &m.vals[i]
+	if err := m.byFst.Erase(m.fk1(v)); err != nil {
+		return err
+	}
+	if err := m.bySnd.Erase(m.fk2(v)); err != nil {
+		return err
+	}
+	var zero V
+	m.vals[i] = zero
+	m.busy[i] = false
+	m.size--
+	return nil
+}
+
+// Occupied reports whether index i holds a value.
+func (m *DoubleMap[K1, K2, V]) Occupied(i int) bool {
+	return i >= 0 && i < len(m.vals) && m.busy[i]
+}
+
+// ForEach calls fn for every (index, value) pair until fn returns false.
+// For contract checking and tests.
+func (m *DoubleMap[K1, K2, V]) ForEach(fn func(i int, v *V) bool) {
+	for i := range m.vals {
+		if m.busy[i] {
+			if !fn(i, &m.vals[i]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+)
+
+// pairVal is a two-key test value.
+type pairVal struct {
+	a, b tKey
+	data int
+}
+
+func newTestDMap(t *testing.T, cap int) *DoubleMap[tKey, tKey, pairVal] {
+	t.Helper()
+	m, err := NewDoubleMap[tKey, tKey, pairVal](cap,
+		func(v *pairVal) tKey { return v.a },
+		func(v *pairVal) tKey { return v.b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDMapPutGetBothKeys(t *testing.T) {
+	m := newTestDMap(t, 4)
+	v := pairVal{a: tKey{v: 1}, b: tKey{v: 100}, data: 7}
+	if err := m.Put(2, v); err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := m.GetByFst(tKey{v: 1}); !ok || i != 2 {
+		t.Fatalf("GetByFst: %d %v", i, ok)
+	}
+	if i, ok := m.GetBySnd(tKey{v: 100}); !ok || i != 2 {
+		t.Fatalf("GetBySnd: %d %v", i, ok)
+	}
+	if got := m.Value(2); got == nil || got.data != 7 {
+		t.Fatalf("Value: %+v", got)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size %d", m.Size())
+	}
+}
+
+func TestDMapEraseRemovesBothKeys(t *testing.T) {
+	m := newTestDMap(t, 4)
+	_ = m.Put(0, pairVal{a: tKey{v: 1}, b: tKey{v: 100}})
+	if err := m.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.GetByFst(tKey{v: 1}); ok {
+		t.Fatal("first key survived erase")
+	}
+	if _, ok := m.GetBySnd(tKey{v: 100}); ok {
+		t.Fatal("second key survived erase")
+	}
+	if m.Value(0) != nil {
+		t.Fatal("value survived erase")
+	}
+	if err := m.Erase(0); !errors.Is(err, ErrDMapIndexFree) {
+		t.Fatalf("double erase: %v", err)
+	}
+}
+
+func TestDMapBusyIndexRejected(t *testing.T) {
+	m := newTestDMap(t, 4)
+	_ = m.Put(1, pairVal{a: tKey{v: 1}, b: tKey{v: 2}})
+	err := m.Put(1, pairVal{a: tKey{v: 3}, b: tKey{v: 4}})
+	if !errors.Is(err, ErrDMapIndexBusy) {
+		t.Fatalf("want ErrDMapIndexBusy, got %v", err)
+	}
+}
+
+// TestDMapDuplicateSecondKeyRollsBack is the atomicity check: a Put that
+// fails on the second key must leave no trace under the first key.
+func TestDMapDuplicateSecondKeyRollsBack(t *testing.T) {
+	m := newTestDMap(t, 4)
+	_ = m.Put(0, pairVal{a: tKey{v: 1}, b: tKey{v: 100}})
+	err := m.Put(1, pairVal{a: tKey{v: 2}, b: tKey{v: 100}}) // second key dup
+	if err == nil {
+		t.Fatal("duplicate second key accepted")
+	}
+	if _, ok := m.GetByFst(tKey{v: 2}); ok {
+		t.Fatal("rolled-back Put left first key indexed")
+	}
+	if m.Size() != 1 {
+		t.Fatalf("size %d after rollback", m.Size())
+	}
+	// Index 1 must remain usable.
+	if err := m.Put(1, pairVal{a: tKey{v: 2}, b: tKey{v: 200}}); err != nil {
+		t.Fatalf("index unusable after rollback: %v", err)
+	}
+}
+
+func TestDMapRangeChecks(t *testing.T) {
+	m := newTestDMap(t, 2)
+	if err := m.Put(-1, pairVal{}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := m.Put(2, pairVal{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if m.Value(-1) != nil || m.Value(2) != nil {
+		t.Fatal("out-of-range Value returned non-nil")
+	}
+	if m.Occupied(-1) || m.Occupied(2) {
+		t.Fatal("out-of-range Occupied")
+	}
+}
+
+func TestDMapForEach(t *testing.T) {
+	m := newTestDMap(t, 8)
+	for i := 0; i < 5; i++ {
+		_ = m.Put(i, pairVal{a: tKey{v: uint64(i)}, b: tKey{v: uint64(100 + i)}, data: i})
+	}
+	_ = m.Erase(2)
+	seen := map[int]bool{}
+	m.ForEach(func(i int, v *pairVal) bool {
+		seen[i] = true
+		if v.data != i {
+			t.Fatalf("value mismatch at %d", i)
+		}
+		return true
+	})
+	if len(seen) != 4 || seen[2] {
+		t.Fatalf("ForEach visited %v", seen)
+	}
+}
+
+// TestDMapChurn runs a model-checked random workload across both key
+// spaces.
+func TestDMapChurn(t *testing.T) {
+	const cap = 16
+	m := newTestDMap(t, cap)
+	type entry struct{ a, b uint64 }
+	model := map[int]entry{}
+	nextKey := uint64(0)
+	rng := uint64(99)
+	rand := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 20000; step++ {
+		switch rand(4) {
+		case 0: // put at a free index
+			idx := rand(cap)
+			if _, busy := model[idx]; busy {
+				continue
+			}
+			nextKey++
+			e := entry{a: nextKey, b: nextKey + 1_000_000}
+			if err := m.Put(idx, pairVal{a: tKey{v: e.a}, b: tKey{v: e.b}, data: idx}); err != nil {
+				t.Fatalf("step %d: put: %v", step, err)
+			}
+			model[idx] = e
+		case 1: // erase a live index
+			idx := rand(cap)
+			_, busy := model[idx]
+			err := m.Erase(idx)
+			if busy && err != nil {
+				t.Fatalf("step %d: erase live: %v", step, err)
+			}
+			if !busy && err == nil {
+				t.Fatalf("step %d: erased free index", step)
+			}
+			delete(model, idx)
+		case 2: // lookup by first key
+			idx := rand(cap)
+			e, busy := model[idx]
+			if !busy {
+				continue
+			}
+			got, ok := m.GetByFst(tKey{v: e.a})
+			if !ok || got != idx {
+				t.Fatalf("step %d: GetByFst %d %v want %d", step, got, ok, idx)
+			}
+		case 3: // lookup by second key
+			idx := rand(cap)
+			e, busy := model[idx]
+			if !busy {
+				continue
+			}
+			got, ok := m.GetBySnd(tKey{v: e.b})
+			if !ok || got != idx {
+				t.Fatalf("step %d: GetBySnd %d %v want %d", step, got, ok, idx)
+			}
+		}
+		if m.Size() != len(model) {
+			t.Fatalf("step %d: size %d model %d", step, m.Size(), len(model))
+		}
+	}
+}

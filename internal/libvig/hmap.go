@@ -1,0 +1,203 @@
+package libvig
+
+import "errors"
+
+// Key is the constraint for hash-map keys: comparable (Go equality is the
+// key-equality predicate, as in the paper's eq_a/eq_b function pointers)
+// plus a hash method (the paper's map_key_hash).
+type Key interface {
+	comparable
+	// Hash returns a well-mixed 64-bit hash of the key. Two equal keys
+	// must return equal hashes.
+	Hash() uint64
+}
+
+// Map errors.
+var (
+	ErrMapFull     = errors.New("libvig: map full")
+	ErrMapDupKey   = errors.New("libvig: key already present")
+	ErrMapNoKey    = errors.New("libvig: key not present")
+	ErrBadCapacity = errors.New("libvig: capacity must be positive")
+)
+
+// Map is libVig's "classic hash table" (§5.1.1): a fixed-capacity
+// open-addressing map from K to a small integer value (in VigNAT the value
+// is always an index into a Vector/DoubleMap). It reproduces the Vigor
+// map_impl algorithm: linear probing with per-slot traversal counters
+// ("chains") so that deletion needs neither tombstone rehashing nor
+// backward shifting — this is the "auxiliary metadata that speeds up
+// lookup" §6 mentions. The slot array holds at least twice the capacity
+// (rounded to a power of two), so even a full flow table keeps probe
+// sequences short — the paper's verified NAT shows only a mild latency
+// up-tick when its table fills.
+//
+// Invariant (the heart of the paper's map contract):
+//
+//	chains[i] = number of stored keys whose probe path passes over slot i
+//	            without residing there.
+//
+// A lookup can stop at the first slot whose chain counter is zero and
+// does not hold the key: no stored key's probe sequence continues past
+// it.
+//
+// Contract sketch:
+//
+//	mapp(m, M, cap) ≡ m represents the partial function M, |M| ≤ cap.
+//	Put:   requires k ∉ dom(M) ∧ |M| < cap   ensures M' = M[k↦v]
+//	Erase: requires k ∈ dom(M)               ensures M' = M \ {k}
+//	Get:   ensures  result = (M(k), k ∈ dom(M)); M unchanged
+type Map[K Key] struct {
+	slots    []slot[K]
+	mask     uint64
+	capacity int
+	size     int
+}
+
+// slot packs one probe target into a single cache line's worth of data:
+// open addressing touches exactly one slot per probe step, which is what
+// keeps the verified table's latency close to the chaining baseline.
+type slot[K Key] struct {
+	hash  uint64
+	val   int32
+	chain int32
+	key   K
+	busy  bool
+}
+
+// NewMap returns a map that can store up to capacity keys.
+func NewMap[K Key](capacity int) (*Map[K], error) {
+	if capacity <= 0 {
+		return nil, ErrBadCapacity
+	}
+	if capacity > 1<<31-1 {
+		return nil, ErrBadCapacity
+	}
+	nb := 1
+	for nb < 2*capacity {
+		nb <<= 1
+	}
+	slots := make([]slot[K], nb)
+	prefault(slots)
+	return &Map[K]{
+		slots:    slots,
+		mask:     uint64(nb - 1),
+		capacity: capacity,
+	}, nil
+}
+
+// Capacity returns the maximum number of storable keys.
+func (m *Map[K]) Capacity() int { return m.capacity }
+
+// Size returns the number of stored keys.
+func (m *Map[K]) Size() int { return m.size }
+
+// Get returns the value stored for k.
+func (m *Map[K]) Get(k K) (int, bool) {
+	h := k.Hash()
+	idx := h & m.mask
+	for i := 0; i < len(m.slots); i++ {
+		s := &m.slots[idx]
+		if s.busy && s.hash == h && s.key == k {
+			return int(s.val), true
+		}
+		if s.chain == 0 {
+			// No stored key probes past this slot.
+			return 0, false
+		}
+		idx = (idx + 1) & m.mask
+	}
+	return 0, false
+}
+
+// Has reports whether k is present.
+func (m *Map[K]) Has(k K) bool {
+	_, ok := m.Get(k)
+	return ok
+}
+
+// Put stores v for key k.
+// Requires k not present and the map not full (checked; violations return
+// ErrMapDupKey / ErrMapFull and leave the map unchanged).
+func (m *Map[K]) Put(k K, v int) error {
+	if m.size == m.capacity {
+		return ErrMapFull
+	}
+	h := k.Hash()
+	idx := h & m.mask
+	firstFree := -1
+	travel := 0 // probes past occupied-or-chained slots before firstFree
+	for i := 0; i < len(m.slots); i++ {
+		s := &m.slots[idx]
+		if s.busy {
+			if s.hash == h && s.key == k {
+				return ErrMapDupKey
+			}
+		} else {
+			if firstFree < 0 {
+				firstFree = int(idx)
+				travel = i
+			}
+			if s.chain == 0 {
+				// No stored key (hence no duplicate) lies beyond.
+				break
+			}
+		}
+		idx = (idx + 1) & m.mask
+	}
+	if firstFree < 0 {
+		return ErrMapFull // unreachable: load factor is bounded by 1/2
+	}
+	dst := &m.slots[firstFree]
+	dst.busy = true
+	dst.key = k
+	dst.hash = h
+	dst.val = int32(v)
+	m.size++
+	// Every slot probed before the resting place now has one more key
+	// whose path crosses it.
+	idx = h & m.mask
+	for j := 0; j < travel; j++ {
+		m.slots[idx].chain++
+		idx = (idx + 1) & m.mask
+	}
+	return nil
+}
+
+// Erase removes key k.
+// Requires k present (checked; returns ErrMapNoKey otherwise).
+func (m *Map[K]) Erase(k K) error {
+	h := k.Hash()
+	idx := h & m.mask
+	for i := 0; i < len(m.slots); i++ {
+		s := &m.slots[idx]
+		if s.busy && s.hash == h && s.key == k {
+			var zero K
+			s.busy = false
+			s.key = zero
+			m.size--
+			j := h & m.mask
+			for n := 0; n < i; n++ {
+				m.slots[j].chain--
+				j = (j + 1) & m.mask
+			}
+			return nil
+		}
+		if s.chain == 0 {
+			return ErrMapNoKey
+		}
+		idx = (idx + 1) & m.mask
+	}
+	return ErrMapNoKey
+}
+
+// ForEach calls fn for every stored (key, value) pair, in unspecified
+// order, until fn returns false. Intended for contract checking and tests.
+func (m *Map[K]) ForEach(fn func(k K, v int) bool) {
+	for i := range m.slots {
+		if m.slots[i].busy {
+			if !fn(m.slots[i].key, int(m.slots[i].val)) {
+				return
+			}
+		}
+	}
+}

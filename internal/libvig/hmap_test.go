@@ -1,0 +1,158 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+)
+
+// tKey is a test key with a deliberately weak hash option to force
+// collisions and long probe chains.
+type tKey struct {
+	v    uint64
+	weak bool
+}
+
+func (k tKey) Hash() uint64 {
+	if k.weak {
+		return k.v % 3 // heavy collisions
+	}
+	x := k.v
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+func TestMapPutGetErase(t *testing.T) {
+	m, err := NewMap[tKey](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := m.Put(tKey{v: uint64(i)}, i*10); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if m.Size() != 8 {
+		t.Fatalf("size %d", m.Size())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := m.Get(tKey{v: uint64(i)})
+		if !ok || v != i*10 {
+			t.Fatalf("get %d: %d %v", i, v, ok)
+		}
+	}
+	if err := m.Erase(tKey{v: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(tKey{v: 3}); ok {
+		t.Fatal("erased key still present")
+	}
+	if m.Size() != 7 {
+		t.Fatalf("size %d after erase", m.Size())
+	}
+}
+
+func TestMapFullRejects(t *testing.T) {
+	m, _ := NewMap[tKey](2)
+	_ = m.Put(tKey{v: 1}, 1)
+	_ = m.Put(tKey{v: 2}, 2)
+	if err := m.Put(tKey{v: 3}, 3); !errors.Is(err, ErrMapFull) {
+		t.Fatalf("want ErrMapFull, got %v", err)
+	}
+}
+
+func TestMapDuplicateRejects(t *testing.T) {
+	m, _ := NewMap[tKey](4)
+	_ = m.Put(tKey{v: 1}, 1)
+	if err := m.Put(tKey{v: 1}, 2); !errors.Is(err, ErrMapDupKey) {
+		t.Fatalf("want ErrMapDupKey, got %v", err)
+	}
+	if v, _ := m.Get(tKey{v: 1}); v != 1 {
+		t.Fatalf("duplicate put altered value: %d", v)
+	}
+}
+
+func TestMapEraseAbsentRejects(t *testing.T) {
+	m, _ := NewMap[tKey](4)
+	if err := m.Erase(tKey{v: 9}); !errors.Is(err, ErrMapNoKey) {
+		t.Fatalf("want ErrMapNoKey, got %v", err)
+	}
+}
+
+// TestMapCollisionChains drives the weak-hash keys so every operation
+// probes through long collision clusters, exercising the chain-counter
+// deletion algorithm.
+func TestMapCollisionChains(t *testing.T) {
+	const n = 48
+	m, _ := NewMap[tKey](n)
+	for i := 0; i < n; i++ {
+		if err := m.Put(tKey{v: uint64(i), weak: true}, i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Delete every third key, then verify all lookups.
+	for i := 0; i < n; i += 3 {
+		if err := m.Erase(tKey{v: uint64(i), weak: true}); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(tKey{v: uint64(i), weak: true})
+		if i%3 == 0 {
+			if ok {
+				t.Fatalf("key %d should be gone", i)
+			}
+		} else if !ok || v != i {
+			t.Fatalf("key %d lost after deletions: %d %v", i, v, ok)
+		}
+	}
+	// Reinsert into the holes; chains must still terminate lookups.
+	for i := 0; i < n; i += 3 {
+		if err := m.Put(tKey{v: uint64(i + 1000), weak: true}, i); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i += 3 {
+		if _, ok := m.Get(tKey{v: uint64(i + 1000), weak: true}); !ok {
+			t.Fatalf("reinserted key %d missing", i)
+		}
+	}
+}
+
+func TestMapForEach(t *testing.T) {
+	m, _ := NewMap[tKey](8)
+	want := map[uint64]int{}
+	for i := 0; i < 5; i++ {
+		_ = m.Put(tKey{v: uint64(i)}, i)
+		want[uint64(i)] = i
+	}
+	got := map[uint64]int{}
+	m.ForEach(func(k tKey, v int) bool {
+		got[k.v] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ForEach mismatch at %d", k)
+		}
+	}
+	// Early termination.
+	n := 0
+	m.ForEach(func(tKey, int) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("ForEach ignored early stop: %d visits", n)
+	}
+}
+
+func TestMapBadCapacity(t *testing.T) {
+	if _, err := NewMap[tKey](0); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewMap[tKey](-5); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("negative capacity accepted")
+	}
+}

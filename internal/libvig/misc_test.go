@@ -1,0 +1,219 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// --- Vector ---
+
+func TestVectorBorrowReturn(t *testing.T) {
+	v, err := NewVector[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.Borrow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	*p = 42
+	if v.BorrowedCount() != 1 {
+		t.Fatalf("borrowed count %d", v.BorrowedCount())
+	}
+	if _, err := v.Borrow(2); err == nil {
+		t.Fatal("double borrow accepted")
+	}
+	if err := v.Return(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Return(2); err == nil {
+		t.Fatal("double return accepted")
+	}
+	got, err := v.Get(2)
+	if err != nil || got != 42 {
+		t.Fatalf("Get: %d %v", got, err)
+	}
+}
+
+func TestVectorSetWhileBorrowed(t *testing.T) {
+	v, _ := NewVector[int](2)
+	_, _ = v.Borrow(0)
+	if err := v.Set(0, 1); err == nil {
+		t.Fatal("Set on borrowed cell accepted")
+	}
+	_ = v.Return(0)
+	if err := v.Set(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorRange(t *testing.T) {
+	v, _ := NewVector[int](2)
+	if _, err := v.Borrow(-1); !errors.Is(err, ErrVectorRange) {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := v.Get(2); !errors.Is(err, ErrVectorRange) {
+		t.Fatal("out-of-range Get accepted")
+	}
+	if err := v.Return(5); !errors.Is(err, ErrVectorRange) {
+		t.Fatal("out-of-range Return accepted")
+	}
+}
+
+func TestVectorInit(t *testing.T) {
+	v, _ := NewVectorInit(4, func(i int) int { return i * i })
+	for i := 0; i < 4; i++ {
+		got, _ := v.Get(i)
+		if got != i*i {
+			t.Fatalf("cell %d = %d", i, got)
+		}
+	}
+}
+
+// --- Batcher ---
+
+func TestBatcherAutoFlush(t *testing.T) {
+	var batches [][]int
+	b, err := NewBatcher[int](3, func(items []int) error {
+		cp := append([]int(nil), items...)
+		batches = append(batches, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 7; i++ {
+		if err := b.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(batches) != 2 {
+		t.Fatalf("auto-flushes: %d", len(batches))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 || len(batches[2]) != 1 || batches[2][0] != 7 {
+		t.Fatalf("final flush wrong: %v", batches)
+	}
+	// Flushing empty is a no-op.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 3 {
+		t.Fatal("empty flush produced a batch")
+	}
+}
+
+func TestBatcherOrderPreserved(t *testing.T) {
+	var got []int
+	b, _ := NewBatcher[int](4, func(items []int) error {
+		got = append(got, items...)
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		_ = b.Push(i)
+	}
+	_ = b.Flush()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	if _, err := NewBatcher[int](0, func([]int) error { return nil }); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewBatcher[int](1, nil); err == nil {
+		t.Fatal("nil flush accepted")
+	}
+}
+
+// --- Expirator ---
+
+func TestExpireItems(t *testing.T) {
+	c, _ := NewDChain(8)
+	erased := []int{}
+	eraser := IndexEraserFunc(func(i int) error {
+		erased = append(erased, i)
+		return nil
+	})
+	a, _ := c.Allocate(10)
+	b, _ := c.Allocate(20)
+	d, _ := c.Allocate(30)
+	n, err := ExpireItems(c, 25, eraser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("expired %d, want 2", n)
+	}
+	if len(erased) != 2 || erased[0] != a || erased[1] != b {
+		t.Fatalf("erased %v, want [%d %d] in age order", erased, a, b)
+	}
+	if !c.IsAllocated(d) {
+		t.Fatal("fresh index expired")
+	}
+}
+
+func TestExpireItemsMultipleErasers(t *testing.T) {
+	c, _ := NewDChain(4)
+	_, _ = c.Allocate(1)
+	calls := [2]int{}
+	e0 := IndexEraserFunc(func(int) error { calls[0]++; return nil })
+	e1 := IndexEraserFunc(func(int) error { calls[1]++; return nil })
+	if _, err := ExpireItems(c, 100, e0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if calls[0] != 1 || calls[1] != 1 {
+		t.Fatalf("eraser calls %v", calls)
+	}
+}
+
+func TestExpireItemsEraserError(t *testing.T) {
+	c, _ := NewDChain(4)
+	_, _ = c.Allocate(1)
+	boom := errors.New("boom")
+	_, err := ExpireItems(c, 100, IndexEraserFunc(func(int) error { return boom }))
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+// --- Clocks ---
+
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(100)
+	if c.Now() != 100 {
+		t.Fatal("start time wrong")
+	}
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Fatal("advance wrong")
+	}
+	c.Advance(-10) // ignored
+	if c.Now() != 150 {
+		t.Fatal("negative advance moved time")
+	}
+	c.Set(120) // backwards jump ignored
+	if c.Now() != 150 {
+		t.Fatal("Set moved time backwards")
+	}
+	c.Set(200)
+	if c.Now() != 200 {
+		t.Fatal("Set forward failed")
+	}
+}
+
+func TestSystemClockMonotonic(t *testing.T) {
+	c := NewSystemClock()
+	a := c.Now()
+	time.Sleep(time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("system clock not monotonic: %d then %d", a, b)
+	}
+}

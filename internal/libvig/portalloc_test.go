@@ -1,0 +1,133 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPortAllocatorBasics(t *testing.T) {
+	p, err := NewPortAllocator(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base() != 1000 || p.Count() != 4 || p.FreeCount() != 4 {
+		t.Fatal("fresh allocator state wrong")
+	}
+	seen := map[uint16]bool{}
+	for i := 0; i < 4; i++ {
+		q, err := p.Allocate()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if q < 1000 || q >= 1004 || seen[q] {
+			t.Fatalf("bad port %d", q)
+		}
+		seen[q] = true
+		if !p.IsAllocated(q) {
+			t.Fatalf("port %d not marked allocated", q)
+		}
+	}
+	if _, err := p.Allocate(); !errors.Is(err, ErrNoFreePort) {
+		t.Fatalf("want ErrNoFreePort, got %v", err)
+	}
+}
+
+func TestPortAllocatorReleaseReuse(t *testing.T) {
+	p, _ := NewPortAllocator(1, 3)
+	a, _ := p.Allocate()
+	if err := p.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if p.IsAllocated(a) {
+		t.Fatal("released port still allocated")
+	}
+	if err := p.Release(a); !errors.Is(err, ErrPortNotAlloc) {
+		t.Fatalf("double release: %v", err)
+	}
+	// LIFO: the released port comes back first.
+	b, _ := p.Allocate()
+	if b != a {
+		t.Fatalf("expected LIFO reuse of %d, got %d", a, b)
+	}
+}
+
+func TestPortAllocatorSpecific(t *testing.T) {
+	p, _ := NewPortAllocator(100, 8)
+	if err := p.AllocateSpecific(105); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AllocateSpecific(105); !errors.Is(err, ErrPortBusy) {
+		t.Fatalf("want ErrPortBusy, got %v", err)
+	}
+	if err := p.AllocateSpecific(99); !errors.Is(err, ErrPortRange) {
+		t.Fatalf("below range: %v", err)
+	}
+	if err := p.AllocateSpecific(108); !errors.Is(err, ErrPortRange) {
+		t.Fatalf("above range: %v", err)
+	}
+	// The remaining 7 ports must all still be allocatable, skipping 105.
+	for i := 0; i < 7; i++ {
+		q, err := p.Allocate()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if q == 105 {
+			t.Fatal("port 105 handed out twice")
+		}
+	}
+	if _, err := p.Allocate(); !errors.Is(err, ErrNoFreePort) {
+		t.Fatal("pool should be exhausted")
+	}
+}
+
+func TestPortAllocatorRangeValidation(t *testing.T) {
+	if _, err := NewPortAllocator(0, 0); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := NewPortAllocator(65000, 1000); !errors.Is(err, ErrPortRange) {
+		t.Fatalf("overflowing range accepted: %v", err)
+	}
+	// Exactly fitting range is fine (1..65535).
+	if _, err := NewPortAllocator(1, 65535); err != nil {
+		t.Fatalf("full port space rejected: %v", err)
+	}
+}
+
+func TestPortAllocatorInterleaved(t *testing.T) {
+	p, _ := NewPortAllocator(1, 16)
+	live := map[uint16]bool{}
+	rng := uint64(7)
+	rand := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+	for step := 0; step < 10000; step++ {
+		if rand(2) == 0 && len(live) < 16 {
+			q, err := p.Allocate()
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if live[q] {
+				t.Fatalf("step %d: double allocation of %d", step, q)
+			}
+			live[q] = true
+		} else if len(live) > 0 {
+			var pick uint16
+			k := rand(len(live))
+			for q := range live {
+				if k == 0 {
+					pick = q
+					break
+				}
+				k--
+			}
+			if err := p.Release(pick); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			delete(live, pick)
+		}
+		if p.FreeCount() != 16-len(live) {
+			t.Fatalf("step %d: free count %d, model %d", step, p.FreeCount(), 16-len(live))
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package libvig
+
+// prefault touches every element of a freshly made slice so the OS
+// backs it with real pages at construction time. DPDK does the same by
+// locking hugepages at startup: without it, the first packet to hit a
+// cold region of a preallocated table pays a page fault — a multi-
+// microsecond spike that would show up as NF jitter. Writing the zero
+// value is not elided by the compiler and forces copy-on-write pages to
+// materialize.
+func prefault[T any](s []T) {
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+}

@@ -1,0 +1,106 @@
+package libvig
+
+import "errors"
+
+// Ring errors. Callers that honour the contracts (check Full/Empty before
+// Push/Pop) never observe them; they exist so misuse is loud, not corrupting.
+var (
+	ErrRingFull  = errors.New("libvig: ring full")
+	ErrRingEmpty = errors.New("libvig: ring empty")
+)
+
+// Ring is the bounded FIFO of §3 (Fig. 1): the discard NF uses it to absorb
+// bursts, and the dpdk substrate uses it for port RX/TX queues.
+//
+// Contract sketch (the executable analogue of Fig. 3's separation-logic
+// contract):
+//
+//	ringp(r, lst, cap) ≡ r holds exactly the sequence lst, len(lst) ≤ cap.
+//
+//	PushBack:  requires len(lst) < cap        ensures lst' = lst ++ [v]
+//	PopFront:  requires lst ≠ nil             ensures lst' = tail(lst),
+//	                                          returned v = head(lst)
+//
+// The ring never alters stored elements, which is the property the discard
+// proof relies on ("the ring never alters the stored packets", §3).
+type Ring[T any] struct {
+	buf   []T
+	begin int // index of the oldest element
+	size  int // number of stored elements
+}
+
+// NewRing returns a ring with the given capacity. Capacity must be > 0.
+func NewRing[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 {
+		return nil, errors.New("libvig: ring capacity must be positive")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}, nil
+}
+
+// Capacity returns the fixed capacity of the ring.
+func (r *Ring[T]) Capacity() int { return len(r.buf) }
+
+// Len returns the number of stored elements.
+func (r *Ring[T]) Len() int { return r.size }
+
+// Full reports whether the ring holds Capacity() elements.
+func (r *Ring[T]) Full() bool { return r.size == len(r.buf) }
+
+// Empty reports whether the ring holds no elements.
+func (r *Ring[T]) Empty() bool { return r.size == 0 }
+
+// PushBack appends v to the back of the ring.
+// Requires !Full(); returns ErrRingFull otherwise, leaving the ring intact.
+func (r *Ring[T]) PushBack(v T) error {
+	if r.Full() {
+		return ErrRingFull
+	}
+	idx := r.begin + r.size
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	r.buf[idx] = v
+	r.size++
+	return nil
+}
+
+// PopFront removes and returns the element at the front of the ring.
+// Requires !Empty(); returns ErrRingEmpty otherwise.
+func (r *Ring[T]) PopFront() (T, error) {
+	var zero T
+	if r.Empty() {
+		return zero, ErrRingEmpty
+	}
+	v := r.buf[r.begin]
+	r.buf[r.begin] = zero // release any references for GC
+	r.begin++
+	if r.begin >= len(r.buf) {
+		r.begin = 0
+	}
+	r.size--
+	return v, nil
+}
+
+// Front returns the element at the front without removing it.
+// Requires !Empty(); returns ErrRingEmpty otherwise.
+func (r *Ring[T]) Front() (T, error) {
+	var zero T
+	if r.Empty() {
+		return zero, ErrRingEmpty
+	}
+	return r.buf[r.begin], nil
+}
+
+// Snapshot appends the ring's contents, front to back, to dst and returns
+// the extended slice. It is intended for tests and contract checking, not
+// for the packet path.
+func (r *Ring[T]) Snapshot(dst []T) []T {
+	for i := 0; i < r.size; i++ {
+		idx := r.begin + i
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		dst = append(dst, r.buf[idx])
+	}
+	return dst
+}

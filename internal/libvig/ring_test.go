@@ -1,0 +1,143 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRingBasicFIFO(t *testing.T) {
+	r, err := NewRing[int](4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Empty() || r.Full() || r.Len() != 0 || r.Capacity() != 4 {
+		t.Fatal("fresh ring state wrong")
+	}
+	for i := 1; i <= 4; i++ {
+		if err := r.PushBack(i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if !r.Full() {
+		t.Fatal("ring should be full")
+	}
+	for i := 1; i <= 4; i++ {
+		v, err := r.PopFront()
+		if err != nil {
+			t.Fatalf("pop %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("FIFO order broken: got %d want %d", v, i)
+		}
+	}
+	if !r.Empty() {
+		t.Fatal("ring should be empty")
+	}
+}
+
+func TestRingPushFullFails(t *testing.T) {
+	r, _ := NewRing[int](1)
+	if err := r.PushBack(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PushBack(2); !errors.Is(err, ErrRingFull) {
+		t.Fatalf("want ErrRingFull, got %v", err)
+	}
+	// The failed push must not have corrupted the ring.
+	if v, _ := r.PopFront(); v != 1 {
+		t.Fatalf("ring corrupted by rejected push: got %d", v)
+	}
+}
+
+func TestRingPopEmptyFails(t *testing.T) {
+	r, _ := NewRing[int](1)
+	if _, err := r.PopFront(); !errors.Is(err, ErrRingEmpty) {
+		t.Fatalf("want ErrRingEmpty, got %v", err)
+	}
+	if _, err := r.Front(); !errors.Is(err, ErrRingEmpty) {
+		t.Fatalf("Front on empty: want ErrRingEmpty, got %v", err)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, _ := NewRing[int](3)
+	// Drive begin around the buffer several times.
+	next := 0
+	popped := 0
+	for cycle := 0; cycle < 10; cycle++ {
+		for !r.Full() {
+			if err := r.PushBack(next); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for !r.Empty() {
+			v, err := r.PopFront()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != popped {
+				t.Fatalf("wraparound order broken: got %d want %d", v, popped)
+			}
+			popped++
+		}
+	}
+}
+
+func TestRingFront(t *testing.T) {
+	r, _ := NewRing[string](2)
+	_ = r.PushBack("a")
+	_ = r.PushBack("b")
+	v, err := r.Front()
+	if err != nil || v != "a" {
+		t.Fatalf("Front: %q, %v", v, err)
+	}
+	if r.Len() != 2 {
+		t.Fatal("Front must not consume")
+	}
+}
+
+func TestRingBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		if _, err := NewRing[int](c); err == nil {
+			t.Fatalf("capacity %d accepted", c)
+		}
+	}
+}
+
+func TestRingSnapshot(t *testing.T) {
+	r, _ := NewRing[int](4)
+	_ = r.PushBack(1)
+	_ = r.PushBack(2)
+	_, _ = r.PopFront()
+	_ = r.PushBack(3)
+	got := r.Snapshot(nil)
+	want := []int{2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot %v want %v", got, want)
+		}
+	}
+}
+
+// TestRingDoesNotAlterElements is the property the §3 discard proof
+// relies on: the ring returns elements exactly as stored.
+func TestRingDoesNotAlterElements(t *testing.T) {
+	type pkt struct{ port uint16 }
+	r, _ := NewRing[pkt](64)
+	for i := 0; i < 64; i++ {
+		_ = r.PushBack(pkt{port: uint16(i * 7)})
+	}
+	for i := 0; i < 64; i++ {
+		p, err := r.PopFront()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.port != uint16(i*7) {
+			t.Fatalf("element altered: got %d want %d", p.port, i*7)
+		}
+	}
+}

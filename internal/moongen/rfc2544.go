@@ -1,0 +1,37 @@
+package moongen
+
+import "errors"
+
+// RFC 2544 throughput methodology (§26.1 of the RFC, used by the paper's
+// Fig. 14): find the highest offered rate at which the device's loss
+// ratio stays within the threshold, by binary search over rates.
+
+// LossFunc runs one trial at the given offered rate (packets/second) and
+// returns the observed loss ratio in [0,1]. The testbed provides this by
+// simulating its queue/server model at that rate.
+type LossFunc func(ratePPS float64) float64
+
+// ThroughputSearch binary-searches for the maximum rate whose loss ratio
+// is ≤ maxLoss. lo and hi bracket the search in pps; tolPPS stops the
+// search. It returns the highest passing rate found.
+func ThroughputSearch(trial LossFunc, lo, hi, tolPPS, maxLoss float64) (float64, error) {
+	if lo <= 0 || hi <= lo || tolPPS <= 0 {
+		return 0, errors.New("moongen: bad throughput search bracket")
+	}
+	// Ensure the bracket actually brackets: lo must pass; push hi up if
+	// it passes too.
+	if trial(lo) > maxLoss {
+		return 0, errors.New("moongen: device fails at the lower bracket")
+	}
+	best := lo
+	for hi-lo > tolPPS {
+		mid := (lo + hi) / 2
+		if trial(mid) <= maxLoss {
+			best = mid
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,149 @@
+package nat
+
+import (
+	"fmt"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+)
+
+// FlowTable is the paper's flow table: the composition of a double-keyed
+// map (which flow lives where), a double chain (which index is live and
+// how stale), and a port allocator (which external port each flow owns).
+// The same index identifies a flow in all three structures; that shared
+// index is the composition invariant the contracts package checks.
+type FlowTable struct {
+	dmap  *libvig.DoubleMap[flow.ID, flow.ID, flow.Flow]
+	chain *libvig.DChain
+	ports *libvig.PortAllocator
+	extIP flow.Addr
+	// erasers is built once so the per-packet expiry path is
+	// allocation-free.
+	erasers []libvig.IndexEraser
+}
+
+// NewFlowTable builds a flow table for capacity flows behind extIP,
+// allocating external ports from portBase upward (one port per possible
+// flow, as in VigNAT where the port space bounds the flow space).
+func NewFlowTable(capacity int, extIP flow.Addr, portBase uint16) (*FlowTable, error) {
+	dm, err := libvig.NewDoubleMap[flow.ID, flow.ID, flow.Flow](
+		capacity,
+		func(f *flow.Flow) flow.ID { return f.IntKey },
+		func(f *flow.Flow) flow.ID { return f.ExtKey },
+	)
+	if err != nil {
+		return nil, fmt.Errorf("nat: flow table dmap: %w", err)
+	}
+	ch, err := libvig.NewDChain(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("nat: flow table chain: %w", err)
+	}
+	pa, err := libvig.NewPortAllocator(portBase, capacity)
+	if err != nil {
+		return nil, fmt.Errorf("nat: flow table ports: %w", err)
+	}
+	t := &FlowTable{dmap: dm, chain: ch, ports: pa, extIP: extIP}
+	t.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(t.eraseIndex)}
+	return t, nil
+}
+
+// eraseIndex tears down all state of flow i: its external port and its
+// table entry. It is the eraser the expirator invokes.
+func (t *FlowTable) eraseIndex(i int) error {
+	f := t.dmap.Value(i)
+	if f == nil {
+		return libvig.ErrDMapIndexFree
+	}
+	if err := t.ports.Release(f.ExtPort()); err != nil {
+		return err
+	}
+	return t.dmap.Erase(i)
+}
+
+// Capacity returns CAP.
+func (t *FlowTable) Capacity() int { return t.dmap.Capacity() }
+
+// Size returns the number of live flows.
+func (t *FlowTable) Size() int { return t.dmap.Size() }
+
+// ExternalIP returns EXT_IP.
+func (t *FlowTable) ExternalIP() flow.Addr { return t.extIP }
+
+// Expire removes every flow whose last activity is strictly older than
+// deadline, releasing its table slot and external port. It returns the
+// number of expired flows. This is Fig. 6's expire_flows.
+func (t *FlowTable) Expire(deadline libvig.Time) int {
+	n, _ := libvig.ExpireItems(t.chain, deadline, t.erasers...)
+	return n
+}
+
+// LookupInt finds the flow whose internal-side key matches id.
+func (t *FlowTable) LookupInt(id flow.ID) (int, bool) { return t.dmap.GetByFst(id) }
+
+// LookupExt finds the flow whose external-side key matches id.
+func (t *FlowTable) LookupExt(id flow.ID) (int, bool) { return t.dmap.GetBySnd(id) }
+
+// Flow returns the flow stored at index i (nil if free). The pointee is
+// owned by the table; callers must not retain it across Expire/Remove.
+func (t *FlowTable) Flow(i int) *flow.Flow { return t.dmap.Value(i) }
+
+// Rejuvenate refreshes flow i's activity timestamp (Fig. 6 ll.11-12).
+func (t *FlowTable) Rejuvenate(i int, now libvig.Time) error {
+	return t.chain.Rejuvenate(i, now)
+}
+
+// LastActivity returns flow i's last-touch time.
+func (t *FlowTable) LastActivity(i int) (libvig.Time, error) {
+	return t.chain.Timestamp(i)
+}
+
+// Add creates a flow for internal-side key intKey at time now, allocating
+// an index and an external port. ok is false when the table is full (no
+// index or no port — with equal capacities they exhaust together).
+// This is Fig. 6 ll.14-17.
+func (t *FlowTable) Add(intKey flow.ID, now libvig.Time) (idx int, ok bool) {
+	idx, err := t.chain.Allocate(now)
+	if err != nil {
+		return 0, false
+	}
+	port, err := t.ports.Allocate()
+	if err != nil {
+		_ = t.chain.Free(idx)
+		return 0, false
+	}
+	f := flow.MakeFlow(intKey, t.extIP, port)
+	if err := t.dmap.Put(idx, f); err != nil {
+		// Key collision: e.g. a retransmitted first packet racing an
+		// existing flow is impossible (lookup precedes add), but an
+		// internal key equal to an existing one must not corrupt the
+		// table. Roll back.
+		_ = t.ports.Release(port)
+		_ = t.chain.Free(idx)
+		return 0, false
+	}
+	return idx, true
+}
+
+// Remove deletes flow i regardless of age (administrative removal; also
+// used by extensions like TCP RST/FIN tracking).
+func (t *FlowTable) Remove(i int) error {
+	f := t.dmap.Value(i)
+	if f == nil {
+		return libvig.ErrDMapIndexFree
+	}
+	if err := t.ports.Release(f.ExtPort()); err != nil {
+		return err
+	}
+	if err := t.dmap.Erase(i); err != nil {
+		return err
+	}
+	return t.chain.Free(i)
+}
+
+// ForEach visits every live flow with its index and last activity.
+func (t *FlowTable) ForEach(fn func(i int, f *flow.Flow, last libvig.Time) bool) {
+	t.dmap.ForEach(func(i int, f *flow.Flow) bool {
+		ts, _ := t.chain.Timestamp(i)
+		return fn(i, f, ts)
+	})
+}

@@ -1,0 +1,178 @@
+package nat
+
+import (
+	"testing"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+)
+
+var tExtIP = flow.MakeAddr(198, 18, 1, 1)
+
+func intKey(i int) flow.ID {
+	return flow.ID{
+		SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i%200)),
+		SrcPort: uint16(10000 + i),
+		DstIP:   flow.MakeAddr(8, 8, 8, 8),
+		DstPort: 53,
+		Proto:   flow.UDP,
+	}
+}
+
+func TestFlowTableAddLookup(t *testing.T) {
+	ft, err := NewFlowTable(8, tExtIP, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := ft.Add(intKey(1), 100)
+	if !ok {
+		t.Fatal("add failed")
+	}
+	if got, ok := ft.LookupInt(intKey(1)); !ok || got != idx {
+		t.Fatalf("LookupInt: %d %v", got, ok)
+	}
+	f := ft.Flow(idx)
+	if f == nil {
+		t.Fatal("Flow nil")
+	}
+	if got, ok := ft.LookupExt(f.ExtKey); !ok || got != idx {
+		t.Fatalf("LookupExt: %d %v", got, ok)
+	}
+	if !f.Consistent(tExtIP) {
+		t.Fatalf("inconsistent stored flow: %v", f)
+	}
+	if ts, _ := ft.LastActivity(idx); ts != 100 {
+		t.Fatalf("last activity %d", ts)
+	}
+}
+
+func TestFlowTableCapacity(t *testing.T) {
+	ft, _ := NewFlowTable(3, tExtIP, 1000)
+	for i := 0; i < 3; i++ {
+		if _, ok := ft.Add(intKey(i), 1); !ok {
+			t.Fatalf("add %d failed", i)
+		}
+	}
+	if _, ok := ft.Add(intKey(9), 1); ok {
+		t.Fatal("add beyond capacity succeeded")
+	}
+	if ft.Size() != 3 {
+		t.Fatalf("size %d", ft.Size())
+	}
+}
+
+func TestFlowTableExpireReleasesEverything(t *testing.T) {
+	ft, _ := NewFlowTable(4, tExtIP, 1000)
+	idx, _ := ft.Add(intKey(0), 10)
+	extKey := ft.Flow(idx).ExtKey
+	port := ft.Flow(idx).ExtPort()
+	n := ft.Expire(11)
+	if n != 1 {
+		t.Fatalf("expired %d", n)
+	}
+	if ft.Size() != 0 {
+		t.Fatal("flow survived expiry")
+	}
+	if _, ok := ft.LookupInt(intKey(0)); ok {
+		t.Fatal("internal key survived expiry")
+	}
+	if _, ok := ft.LookupExt(extKey); ok {
+		t.Fatal("external key survived expiry")
+	}
+	// The port must be free again: the table can host a new flow that
+	// may receive the same port.
+	idx2, ok := ft.Add(intKey(1), 20)
+	if !ok {
+		t.Fatal("add after expiry failed")
+	}
+	if ft.Flow(idx2).ExtPort() != port {
+		// LIFO reuse should hand the same port back immediately.
+		t.Fatalf("expected port %d reuse, got %d", port, ft.Flow(idx2).ExtPort())
+	}
+}
+
+func TestFlowTableRejuvenatePreventsExpiry(t *testing.T) {
+	ft, _ := NewFlowTable(4, tExtIP, 1000)
+	idx, _ := ft.Add(intKey(0), 10)
+	if err := ft.Rejuvenate(idx, 50); err != nil {
+		t.Fatal(err)
+	}
+	if n := ft.Expire(30); n != 0 {
+		t.Fatal("rejuvenated flow expired")
+	}
+	if n := ft.Expire(51); n != 1 {
+		t.Fatal("flow not expired after rejuvenated timestamp passed")
+	}
+}
+
+func TestFlowTableRemove(t *testing.T) {
+	ft, _ := NewFlowTable(4, tExtIP, 1000)
+	idx, _ := ft.Add(intKey(0), 10)
+	if err := ft.Remove(idx); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Size() != 0 {
+		t.Fatal("remove failed")
+	}
+	if err := ft.Remove(idx); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestFlowTableDuplicateAddFails(t *testing.T) {
+	ft, _ := NewFlowTable(4, tExtIP, 1000)
+	if _, ok := ft.Add(intKey(0), 10); !ok {
+		t.Fatal("first add failed")
+	}
+	// Adding the same internal key again must fail cleanly (the
+	// stateless code always looks up first, but the table must defend
+	// its own invariant) and must not leak its allocations.
+	if _, ok := ft.Add(intKey(0), 11); ok {
+		t.Fatal("duplicate internal key accepted")
+	}
+	if ft.Size() != 1 {
+		t.Fatalf("size %d after duplicate add", ft.Size())
+	}
+	// Capacity must not be consumed by the failed add: fill the rest.
+	for i := 1; i < 4; i++ {
+		if _, ok := ft.Add(intKey(i), 12); !ok {
+			t.Fatalf("add %d failed: leaked index or port", i)
+		}
+	}
+}
+
+// TestFlowTableInvariant is the implementation-side check of the P5
+// contract invariant: every stored flow is consistent, behind EXT_IP,
+// with an in-range, unique external port.
+func TestFlowTableInvariant(t *testing.T) {
+	const cap = 128
+	ft, _ := NewFlowTable(cap, tExtIP, 1000)
+	now := libvig.Time(0)
+	for i := 0; i < cap; i++ {
+		now++
+		if _, ok := ft.Add(intKey(i), now); !ok {
+			t.Fatalf("add %d", i)
+		}
+	}
+	// Expire half, add some more, rejuvenate a few.
+	ft.Expire(now - int64(cap)/2)
+	for i := cap; i < cap+30; i++ {
+		now++
+		ft.Add(intKey(i), now)
+	}
+	ports := map[uint16]bool{}
+	ft.ForEach(func(i int, f *flow.Flow, last libvig.Time) bool {
+		if !f.Consistent(tExtIP) {
+			t.Errorf("flow %d inconsistent: %v", i, f)
+		}
+		p := f.ExtPort()
+		if int(p) < 1000 || int(p) >= 1000+cap {
+			t.Errorf("flow %d port %d out of range", i, p)
+		}
+		if ports[p] {
+			t.Errorf("port %d assigned twice", p)
+		}
+		ports[p] = true
+		return true
+	})
+}

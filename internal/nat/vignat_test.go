@@ -1,0 +1,347 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/netstack"
+)
+
+func testNAT(t *testing.T, cap int, timeout time.Duration, clock libvig.Clock) *NAT {
+	t.Helper()
+	n, err := New(Config{
+		Capacity:     cap,
+		Timeout:      timeout,
+		ExternalIP:   tExtIP,
+		PortBase:     1,
+		InternalPort: 0,
+		ExternalPort: 1,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func frameFor(t *testing.T, id flow.ID) []byte {
+	t.Helper()
+	spec := &netstack.FrameSpec{ID: id, PayloadLen: 4}
+	buf := make([]byte, netstack.FrameLen(spec))
+	return netstack.Craft(buf, spec)
+}
+
+func parseTuple(t *testing.T, frame []byte) flow.ID {
+	t.Helper()
+	var p netstack.Packet
+	if err := p.Parse(frame); err != nil {
+		t.Fatal(err)
+	}
+	return p.FlowID()
+}
+
+func TestNATOutboundCreatesAndRewrites(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	id := intKey(0)
+	f := frameFor(t, id)
+	v := n.Process(f, true)
+	if v != stateless.VerdictToExternal {
+		t.Fatalf("verdict %v", v)
+	}
+	got := parseTuple(t, f)
+	if got.SrcIP != tExtIP {
+		t.Fatalf("src not rewritten to EXT_IP: %v", got)
+	}
+	if got.DstIP != id.DstIP || got.DstPort != id.DstPort || got.Proto != id.Proto {
+		t.Fatalf("destination altered: %v", got)
+	}
+	s := n.Stats()
+	if s.FlowsCreated != 1 || s.ForwardedOut != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Checksums must be valid after rewriting.
+	var p netstack.Packet
+	_ = p.Parse(f)
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("NAT rewrite broke checksums")
+	}
+}
+
+func TestNATHairpinRoundTrip(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	id := intKey(3)
+	out := frameFor(t, id)
+	n.Process(out, true)
+	ext := parseTuple(t, out)
+
+	// Build the reply: remote peer answers the translated tuple.
+	reply := frameFor(t, ext.Reverse())
+	v := n.Process(reply, false)
+	if v != stateless.VerdictToInternal {
+		t.Fatalf("reply verdict %v", v)
+	}
+	back := parseTuple(t, reply)
+	if back.DstIP != id.SrcIP || back.DstPort != id.SrcPort {
+		t.Fatalf("reply not de-NATed to internal host: %v", back)
+	}
+	if back.SrcIP != id.DstIP || back.SrcPort != id.DstPort {
+		t.Fatalf("reply source altered: %v", back)
+	}
+}
+
+func TestNATUnsolicitedExternalDropped(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	stranger := flow.ID{SrcIP: flow.MakeAddr(9, 9, 9, 9), SrcPort: 9999, DstIP: tExtIP, DstPort: 100, Proto: flow.TCP}
+	f := frameFor(t, stranger)
+	if v := n.Process(f, false); v != stateless.VerdictDrop {
+		t.Fatalf("unsolicited external packet: %v", v)
+	}
+}
+
+func TestNATExternalNeverCreatesState(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	stranger := flow.ID{SrcIP: flow.MakeAddr(9, 9, 9, 9), SrcPort: 9999, DstIP: tExtIP, DstPort: 100, Proto: flow.TCP}
+	for i := 0; i < 10; i++ {
+		clock.Advance(1000)
+		f := frameFor(t, stranger)
+		n.Process(f, false)
+	}
+	if n.Table().Size() != 0 {
+		t.Fatal("external packets created flow state")
+	}
+}
+
+func TestNATExpiryEndsSession(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	id := intKey(1)
+	out := frameFor(t, id)
+	n.Process(out, true)
+	ext := parseTuple(t, out)
+
+	clock.Advance(2 * time.Second.Nanoseconds())
+	reply := frameFor(t, ext.Reverse())
+	if v := n.Process(reply, false); v != stateless.VerdictDrop {
+		t.Fatalf("reply on expired session: %v", v)
+	}
+	if n.Stats().FlowsExpired != 1 {
+		t.Fatalf("expired %d", n.Stats().FlowsExpired)
+	}
+}
+
+func TestNATRejuvenationKeepsSessionAlive(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	id := intKey(1)
+	var ext flow.ID
+	// Send a packet every 0.6s for 5s: each refreshes the flow, so it
+	// must survive though its total age far exceeds 1s.
+	for i := 0; i < 9; i++ {
+		out := frameFor(t, id)
+		if v := n.Process(out, true); v != stateless.VerdictToExternal {
+			t.Fatalf("packet %d: %v", i, v)
+		}
+		ext = parseTuple(t, out)
+		clock.Advance(600 * time.Millisecond.Nanoseconds())
+	}
+	if n.Stats().FlowsCreated != 1 {
+		t.Fatalf("flow recreated: %d creations", n.Stats().FlowsCreated)
+	}
+	// Reply path also rejuvenates (Fig. 6 updates timestamps for any
+	// matching packet).
+	reply := frameFor(t, ext.Reverse())
+	if v := n.Process(reply, false); v != stateless.VerdictToInternal {
+		t.Fatalf("reply: %v", v)
+	}
+}
+
+func TestNATTableFullDropsNewFlows(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 4, time.Hour, clock)
+	for i := 0; i < 4; i++ {
+		f := frameFor(t, intKey(i))
+		if v := n.Process(f, true); v != stateless.VerdictToExternal {
+			t.Fatalf("flow %d: %v", i, v)
+		}
+	}
+	f := frameFor(t, intKey(99))
+	if v := n.Process(f, true); v != stateless.VerdictDrop {
+		t.Fatalf("over-capacity flow: %v", v)
+	}
+	// Existing flows keep working at capacity.
+	f = frameFor(t, intKey(2))
+	if v := n.Process(f, true); v != stateless.VerdictToExternal {
+		t.Fatalf("existing flow at capacity: %v", v)
+	}
+}
+
+func TestNATStablePortPerSession(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Hour, clock)
+	id := intKey(5)
+	out1 := frameFor(t, id)
+	n.Process(out1, true)
+	p1 := parseTuple(t, out1).SrcPort
+	out2 := frameFor(t, id)
+	n.Process(out2, true)
+	p2 := parseTuple(t, out2).SrcPort
+	if p1 != p2 {
+		t.Fatalf("session port changed: %d then %d", p1, p2)
+	}
+}
+
+func TestNATDistinctFlowsDistinctPorts(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 64, time.Hour, clock)
+	seen := map[uint16]bool{}
+	for i := 0; i < 64; i++ {
+		f := frameFor(t, intKey(i))
+		n.Process(f, true)
+		p := parseTuple(t, f).SrcPort
+		if seen[p] {
+			t.Fatalf("port %d reused across live flows", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNATNonNATableDropped(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	cases := map[string][]byte{
+		"empty":     {},
+		"runt":      make([]byte, 10),
+		"arp":       func() []byte { f := frameFor(t, intKey(0)); f[12], f[13] = 0x08, 0x06; return f }(),
+		"icmp":      func() []byte { id := intKey(0); id.Proto = flow.ICMP; return frameFor(t, id) }(),
+		"fragment":  fragmentFrame(t),
+		"truncated": frameFor(t, intKey(0))[:netstack.EthHeaderLen+8],
+	}
+	for name, f := range cases {
+		if v := n.Process(f, true); v != stateless.VerdictDrop {
+			t.Errorf("%s: verdict %v, want drop", name, v)
+		}
+	}
+	if n.Table().Size() != 0 {
+		t.Fatal("non-NATable packet created state")
+	}
+}
+
+func fragmentFrame(t *testing.T) []byte {
+	f := frameFor(t, intKey(0))
+	ip := f[netstack.EthHeaderLen:]
+	ip[6], ip[7] = 0x20, 0x00 // MF
+	ip[10], ip[11] = 0, 0
+	c := netstack.Checksum(ip[:netstack.IPv4MinLen], 0)
+	ip[10], ip[11] = byte(c>>8), byte(c)
+	return f
+}
+
+// TestNATProcessNoAllocs pins the preallocation claim: the per-packet
+// fast path performs zero heap allocations, like the C original.
+func TestNATProcessNoAllocs(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 1024, time.Second, clock)
+	id := intKey(1)
+	f := frameFor(t, id)
+	n.Process(f, true) // establish
+
+	fresh := frameFor(t, id)
+	work := make([]byte, len(fresh))
+	allocs := testing.AllocsPerRun(200, func() {
+		copy(work, fresh)
+		clock.Advance(10)
+		n.Process(work, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast path allocates %.1f times per packet", allocs)
+	}
+}
+
+// TestNATProbePathNoAllocs pins the harder case: the probe-flow worst
+// case (expire own flow + miss + allocate + rewrite) is allocation-free
+// too.
+func TestNATProbePathNoAllocs(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 1024, time.Millisecond, clock)
+	id := intKey(1)
+	fresh := frameFor(t, id)
+	work := make([]byte, len(fresh))
+	allocs := testing.AllocsPerRun(200, func() {
+		copy(work, fresh)
+		clock.Advance(2 * time.Millisecond.Nanoseconds())
+		if v := n.Process(work, true); v != stateless.VerdictToExternal {
+			t.Fatalf("probe path verdict %v", v)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("probe worst case allocates %.1f times per packet", allocs)
+	}
+}
+
+// TestNATPollPortsConservesMbufs is the leak property the paper's
+// checker caught a real bug with: after any poll pattern, every mbuf is
+// accounted for (in a ring or back in the pool).
+func TestNATPollPortsConservesMbufs(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	n := testNAT(t, 16, time.Second, clock)
+	pool, _ := dpdk.NewMempool(256)
+	intPort, _ := dpdk.NewPort(0, 64, 4, pool) // tiny TX queue forces TX drops
+	extPort, _ := dpdk.NewPort(1, 64, 4, pool)
+
+	// Mixed traffic: forwardable, droppable, and enough to overflow TX.
+	for i := 0; i < 32; i++ {
+		var f []byte
+		if i%3 == 0 {
+			id := intKey(0)
+			id.Proto = flow.ICMP // dropped by the NAT
+			f = frameFor(t, id)
+		} else {
+			f = frameFor(t, intKey(i))
+		}
+		intPort.DeliverRx(f, clock.Now())
+	}
+	scratch := make([]*dpdk.Mbuf, BurstSize)
+	for i := 0; i < 4; i++ {
+		n.PollPorts(intPort, extPort, scratch)
+	}
+	// Account for every mbuf: pool + rx queues + tx queues.
+	buffered := intPort.RxQueueLen() + extPort.RxQueueLen() +
+		intPort.TxQueueLen() + extPort.TxQueueLen()
+	if pool.InUse() != buffered {
+		t.Fatalf("mbuf leak: %d in use, %d buffered", pool.InUse(), buffered)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clock := libvig.NewVirtualClock(0)
+	if _, err := New(Config{ExternalIP: 0}, clock); err == nil {
+		t.Fatal("missing external IP accepted")
+	}
+	if _, err := New(Config{ExternalIP: tExtIP, Capacity: -1}, clock); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := New(Config{ExternalIP: tExtIP, Timeout: -time.Second}, clock); err == nil {
+		t.Fatal("negative timeout accepted")
+	}
+	if _, err := New(Config{ExternalIP: tExtIP, Capacity: 70000, PortBase: 1000}, clock); err == nil {
+		t.Fatal("port-range overflow accepted")
+	}
+	if _, err := New(Config{ExternalIP: tExtIP, InternalPort: 2, ExternalPort: 2}, clock); err == nil {
+		t.Fatal("same internal/external port accepted")
+	}
+	// Defaults fill in.
+	cfg := Config{ExternalIP: tExtIP, ExternalPort: 1}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != DefaultCapacity || cfg.Timeout != DefaultTimeout || cfg.PortBase != DefaultPortBase {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}

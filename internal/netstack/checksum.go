@@ -1,0 +1,53 @@
+// Package netstack implements a zero-allocation codec for the packet
+// formats VigNAT handles: Ethernet II, IPv4, TCP, UDP, and ICMP. The
+// design follows gopacket's DecodingLayer idea — decode into preallocated
+// views, never allocate on the packet path — but mutates headers in place
+// because a NAT's job is header rewriting. Checksum maintenance uses
+// RFC 1624 incremental updates so rewriting costs O(1), not O(len).
+package netstack
+
+// Checksum computes the Internet checksum (RFC 1071) over data, folding
+// the initial value in. Pass 0 as initial for a standalone sum.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// checksumUpdate16 folds the replacement of 16-bit field old by new into
+// checksum c, per RFC 1624 (eqn. 3: HC' = ~(~HC + ~m + m')).
+func checksumUpdate16(c, old, new uint16) uint16 {
+	sum := uint32(^c) + uint32(^old) + uint32(new)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// checksumUpdate32 folds the replacement of a 32-bit field (e.g. an IPv4
+// address) into checksum c.
+func checksumUpdate32(c uint16, old, new uint32) uint16 {
+	c = checksumUpdate16(c, uint16(old>>16), uint16(new>>16))
+	return checksumUpdate16(c, uint16(old), uint16(new))
+}
+
+// pseudoHeaderSum computes the TCP/UDP pseudo-header partial sum (not
+// folded, not complemented) for the given addresses, protocol and L4
+// length.
+func pseudoHeaderSum(srcIP, dstIP uint32, proto uint8, l4len uint16) uint32 {
+	sum := uint32(srcIP>>16) + uint32(srcIP&0xffff)
+	sum += uint32(dstIP>>16) + uint32(dstIP&0xffff)
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

@@ -1,0 +1,112 @@
+package netstack
+
+import (
+	"encoding/binary"
+
+	"vignat/internal/flow"
+)
+
+// FrameSpec describes a frame to synthesize. The traffic generator and
+// the tests build frames exclusively through Craft so that every packet
+// in the system has correct lengths and checksums.
+type FrameSpec struct {
+	SrcMAC, DstMAC MAC
+	ID             flow.ID // 5-tuple; Proto selects TCP/UDP/ICMP
+	PayloadLen     int     // L7 payload bytes
+	TTL            uint8   // 0 means 64
+	UDPZeroCsum    bool    // emit UDP with checksum disabled
+	Payload        []byte  // optional payload contents (padded/truncated)
+}
+
+// l4HeaderLen returns the header length Craft uses for the protocol.
+func l4HeaderLen(p flow.Protocol) int {
+	switch p {
+	case flow.TCP:
+		return TCPMinLen
+	case flow.UDP:
+		return UDPHeaderLen
+	case flow.ICMP:
+		return ICMPHeaderLen
+	default:
+		return 0
+	}
+}
+
+// FrameLen returns the total frame length Craft will produce for spec.
+func FrameLen(spec *FrameSpec) int {
+	n := EthHeaderLen + IPv4MinLen + l4HeaderLen(spec.ID.Proto) + spec.PayloadLen
+	if n < MinFrameLen {
+		n = MinFrameLen
+	}
+	return n
+}
+
+// Craft synthesizes the frame described by spec into buf, returning the
+// frame slice. buf must have capacity ≥ FrameLen(spec); Craft never
+// allocates, so the generator can emit millions of packets per second.
+func Craft(buf []byte, spec *FrameSpec) []byte {
+	hlen := l4HeaderLen(spec.ID.Proto)
+	ipLen := IPv4MinLen + hlen + spec.PayloadLen
+	frameLen := EthHeaderLen + ipLen
+	if frameLen < MinFrameLen {
+		frameLen = MinFrameLen // Ethernet pad; IP totalLen stays exact
+	}
+	f := buf[:frameLen]
+	for i := range f {
+		f[i] = 0
+	}
+	// Ethernet.
+	copy(f[0:6], spec.DstMAC[:])
+	copy(f[6:12], spec.SrcMAC[:])
+	binary.BigEndian.PutUint16(f[12:14], EtherTypeIPv4)
+	// IPv4.
+	ip := f[EthHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	ip[8] = ttl
+	ip[9] = byte(spec.ID.Proto)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(spec.ID.SrcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(spec.ID.DstIP))
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4MinLen], 0))
+	// L4.
+	l4 := ip[IPv4MinLen : IPv4MinLen+hlen+spec.PayloadLen]
+	payload := l4[hlen:]
+	if spec.Payload != nil {
+		copy(payload, spec.Payload)
+	}
+	switch spec.ID.Proto {
+	case flow.TCP:
+		binary.BigEndian.PutUint16(l4[0:2], spec.ID.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], spec.ID.DstPort)
+		l4[12] = (TCPMinLen / 4) << 4 // data offset
+		l4[13] = 0x10                 // ACK
+		binary.BigEndian.PutUint16(l4[14:16], 0xffff)
+		binary.BigEndian.PutUint16(l4[16:18], 0)
+		pseudo := pseudoHeaderSum(uint32(spec.ID.SrcIP), uint32(spec.ID.DstIP), uint8(flow.TCP), uint16(len(l4)))
+		binary.BigEndian.PutUint16(l4[16:18], Checksum(l4, pseudo))
+	case flow.UDP:
+		binary.BigEndian.PutUint16(l4[0:2], spec.ID.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], spec.ID.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+		if !spec.UDPZeroCsum {
+			binary.BigEndian.PutUint16(l4[6:8], 0)
+			pseudo := pseudoHeaderSum(uint32(spec.ID.SrcIP), uint32(spec.ID.DstIP), uint8(flow.UDP), uint16(len(l4)))
+			c := Checksum(l4, pseudo)
+			if c == 0 {
+				c = 0xffff
+			}
+			binary.BigEndian.PutUint16(l4[6:8], c)
+		}
+	case flow.ICMP:
+		l4[0] = 8                                            // echo request
+		binary.BigEndian.PutUint16(l4[4:6], spec.ID.SrcPort) // identifier
+		binary.BigEndian.PutUint16(l4[2:4], 0)
+		binary.BigEndian.PutUint16(l4[2:4], Checksum(l4, 0))
+	}
+	return f
+}

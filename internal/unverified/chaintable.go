@@ -1,0 +1,202 @@
+// Package unverified implements the paper's comparison baseline: a NAT
+// with the same RFC 3022 semantics as VigNAT, "written by an experienced
+// software developer with little verification expertise" (§6). Its flow
+// table resolves hash conflicts through separate chaining — the approach
+// of the DPDK hash table the paper's baseline uses, which the authors
+// explicitly did not adopt for VigNAT because chaining "is hard to
+// specify in a formal contract".
+//
+// The table preallocates a slab of sessions and keeps two chaining hash
+// indexes (internal-side and external-side 5-tuple), plus an intrusive
+// LRU list for expiry. Compared with libVig's open-addressing DoubleMap
+// it does fewer probes at high occupancy — the source of the paper's
+// ~2% latency / ~10% throughput edge for the unverified NAT.
+package unverified
+
+import (
+	"errors"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+)
+
+// session is one NAT session: a preallocated slab cell threaded onto two
+// hash chains and the LRU list.
+type session struct {
+	f    flow.Flow
+	last libvig.Time
+
+	nextInt, nextExt *session // hash chain links
+	lruPrev, lruNext *session
+	freeNext         *session
+	slot             int // slab index; also determines the external port
+	live             bool
+}
+
+// ChainTable is the chaining flow table.
+type ChainTable struct {
+	intBuckets []*session
+	extBuckets []*session
+	mask       uint64
+	slab       []session
+	freeHead   *session
+	lru        session // sentinel: lruNext = oldest, lruPrev = youngest
+	size       int
+	extIP      flow.Addr
+	portBase   uint16
+}
+
+// NewChainTable builds a table for capacity sessions behind extIP. The
+// bucket count is the next power of two ≥ 2×capacity, mirroring DPDK's
+// low default load factor.
+func NewChainTable(capacity int, extIP flow.Addr, portBase uint16) (*ChainTable, error) {
+	if capacity <= 0 {
+		return nil, errors.New("unverified: capacity must be positive")
+	}
+	if int(portBase)+capacity > 1<<16 {
+		return nil, errors.New("unverified: port range overflow")
+	}
+	nb := 1
+	for nb < 2*capacity {
+		nb <<= 1
+	}
+	t := &ChainTable{
+		intBuckets: make([]*session, nb),
+		extBuckets: make([]*session, nb),
+		mask:       uint64(nb - 1),
+		slab:       make([]session, capacity),
+		extIP:      extIP,
+		portBase:   portBase,
+	}
+	t.lru.lruNext = &t.lru
+	t.lru.lruPrev = &t.lru
+	for i := capacity - 1; i >= 0; i-- {
+		s := &t.slab[i]
+		s.slot = i
+		s.freeNext = t.freeHead
+		t.freeHead = s
+	}
+	return t, nil
+}
+
+// Size returns the number of live sessions.
+func (t *ChainTable) Size() int { return t.size }
+
+// Capacity returns the session slab size.
+func (t *ChainTable) Capacity() int { return len(t.slab) }
+
+func (t *ChainTable) lruAppend(s *session) {
+	tail := t.lru.lruPrev
+	tail.lruNext = s
+	s.lruPrev = tail
+	s.lruNext = &t.lru
+	t.lru.lruPrev = s
+}
+
+func (t *ChainTable) lruRemove(s *session) {
+	s.lruPrev.lruNext = s.lruNext
+	s.lruNext.lruPrev = s.lruPrev
+}
+
+// LookupInt finds the session whose internal-side key is id.
+func (t *ChainTable) LookupInt(id flow.ID) *session {
+	for s := t.intBuckets[id.Hash()&t.mask]; s != nil; s = s.nextInt {
+		if s.f.IntKey == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// LookupExt finds the session whose external-side key is id.
+func (t *ChainTable) LookupExt(id flow.ID) *session {
+	for s := t.extBuckets[id.Hash()&t.mask]; s != nil; s = s.nextExt {
+		if s.f.ExtKey == id {
+			return s
+		}
+	}
+	return nil
+}
+
+// Add creates a session for internal key intKey. The external port is
+// portBase+slot, so port management is implicit in slab allocation (the
+// shortcut a non-verified implementation takes).
+func (t *ChainTable) Add(intKey flow.ID, now libvig.Time) *session {
+	s := t.freeHead
+	if s == nil {
+		return nil
+	}
+	t.freeHead = s.freeNext
+	s.f = flow.MakeFlow(intKey, t.extIP, t.portBase+uint16(s.slot))
+	s.last = now
+	s.live = true
+	ib := s.f.IntKey.Hash() & t.mask
+	s.nextInt = t.intBuckets[ib]
+	t.intBuckets[ib] = s
+	eb := s.f.ExtKey.Hash() & t.mask
+	s.nextExt = t.extBuckets[eb]
+	t.extBuckets[eb] = s
+	t.lruAppend(s)
+	t.size++
+	return s
+}
+
+// Rejuvenate refreshes s's activity time and moves it to the young end.
+func (t *ChainTable) Rejuvenate(s *session, now libvig.Time) {
+	s.last = now
+	t.lruRemove(s)
+	t.lruAppend(s)
+}
+
+func (t *ChainTable) unchain(s *session) {
+	ib := s.f.IntKey.Hash() & t.mask
+	for pp := &t.intBuckets[ib]; *pp != nil; pp = &(*pp).nextInt {
+		if *pp == s {
+			*pp = s.nextInt
+			break
+		}
+	}
+	eb := s.f.ExtKey.Hash() & t.mask
+	for pp := &t.extBuckets[eb]; *pp != nil; pp = &(*pp).nextExt {
+		if *pp == s {
+			*pp = s.nextExt
+			break
+		}
+	}
+}
+
+// ExpireBefore removes every session older than deadline, returning the
+// count.
+func (t *ChainTable) ExpireBefore(deadline libvig.Time) int {
+	n := 0
+	for s := t.lru.lruNext; s != &t.lru && s.last < deadline; s = t.lru.lruNext {
+		t.remove(s)
+		n++
+	}
+	return n
+}
+
+func (t *ChainTable) remove(s *session) {
+	t.unchain(s)
+	t.lruRemove(s)
+	s.live = false
+	s.freeNext = t.freeHead
+	t.freeHead = s
+	t.size--
+}
+
+// Remove deletes an arbitrary live session.
+func (t *ChainTable) Remove(s *session) {
+	if s.live {
+		t.remove(s)
+	}
+}
+
+// ForEach visits every live session.
+func (t *ChainTable) ForEach(fn func(f *flow.Flow, last libvig.Time) bool) {
+	for s := t.lru.lruNext; s != &t.lru; s = s.lruNext {
+		if !fn(&s.f, s.last) {
+			return
+		}
+	}
+}

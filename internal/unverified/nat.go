@@ -1,0 +1,85 @@
+package unverified
+
+import (
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/netstack"
+)
+
+// NAT is the unverified baseline NAT. Its observable behaviour matches
+// RFC 3022 like VigNAT's (same Fig. 6 semantics, same capacity), but it
+// is written as one straight-line imperative function — no stateless/Env
+// split, no contracts, no ownership discipline — the way a performance-
+// focused developer writes a DPDK NF. It reuses stateless.Verdict so the
+// testbed and the spec-conformance tests can treat all NATs uniformly.
+type NAT struct {
+	table   *ChainTable
+	clock   libvig.Clock
+	timeout libvig.Time
+	pkt     netstack.Packet
+
+	processed uint64
+	dropped   uint64
+}
+
+// New builds an unverified NAT with capacity flows behind extIP.
+func New(capacity int, extIP flow.Addr, portBase uint16, timeout time.Duration, clock libvig.Clock) (*NAT, error) {
+	t, err := NewChainTable(capacity, extIP, portBase)
+	if err != nil {
+		return nil, err
+	}
+	return &NAT{table: t, clock: clock, timeout: timeout.Nanoseconds()}, nil
+}
+
+// Table exposes the flow table for tests.
+func (n *NAT) Table() *ChainTable { return n.table }
+
+// Processed returns the number of packets handled.
+func (n *NAT) Processed() uint64 { return n.processed }
+
+// Dropped returns the number of packets dropped.
+func (n *NAT) Dropped() uint64 { return n.dropped }
+
+// Process runs one frame through the NAT, rewriting it in place when
+// forwarding. It implements the same externally visible semantics as
+// VigNAT's verified pipeline.
+func (n *NAT) Process(frame []byte, fromInternal bool) stateless.Verdict {
+	n.processed++
+	now := n.clock.Now()
+	// Expire when last+Texp <= now (Fig. 6), i.e. last < now-Texp+1.
+	n.table.ExpireBefore(now - n.timeout + 1)
+
+	p := &n.pkt
+	if err := p.Parse(frame); err != nil || !p.NATable() {
+		n.dropped++
+		return stateless.VerdictDrop
+	}
+	id := p.FlowID()
+	if fromInternal {
+		s := n.table.LookupInt(id)
+		if s == nil {
+			s = n.table.Add(id, now)
+			if s == nil {
+				n.dropped++
+				return stateless.VerdictDrop
+			}
+		} else {
+			n.table.Rejuvenate(s, now)
+		}
+		p.SetSrcIP(s.f.ExtKey.DstIP)
+		p.SetSrcPort(s.f.ExtPort())
+		return stateless.VerdictToExternal
+	}
+	s := n.table.LookupExt(id)
+	if s == nil {
+		n.dropped++
+		return stateless.VerdictDrop
+	}
+	n.table.Rejuvenate(s, now)
+	p.SetDstIP(s.f.IntIP())
+	p.SetDstPort(s.f.IntPort())
+	return stateless.VerdictToInternal
+}

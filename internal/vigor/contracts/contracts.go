@@ -1,0 +1,126 @@
+// Package contracts holds the libVig interface contracts in the form the
+// Validator consumes: for every state-accessing call, the set of
+// constraint atoms the contract's post-condition guarantees about the
+// call's outputs, instantiated over the trace's own symbolic variables.
+//
+// This is the role the paper's separation-logic contracts (Fig. 8) play
+// in Step 3a (§3): the P5 check asks, per call and per trace, whether
+// everything the symbolic model claimed about its output is *entailed*
+// by what the contract guarantees — i.e. whether the model
+// over-approximates the implementation. The implementation side of the
+// same contracts (that libVig actually meets them, P3) is established by
+// the checked wrappers and refinement property tests in
+// internal/libvig/contracts.
+package contracts
+
+import (
+	"fmt"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// FlowTableInvariant returns the representation invariant of the NAT
+// flow table, instantiated for flow-record variables f: every stored
+// flow is internally consistent, sits behind EXT_IP, and owns an
+// external port from the allocator's range. It is the value-property
+// predicate of the dmap contract (the vk/rp parameters of Fig. 8's
+// dmappingp), and the implementation-side contract tests check the same
+// invariant on the real FlowTable.
+func FlowTableInvariant(v symbex.Vocab, f symbex.FlowVars) []sym.Atom {
+	return []sym.Atom{
+		sym.EqVV(f.ExtSrcIP, f.IntDstIP),
+		sym.EqVV(f.ExtSrcPort, f.IntDstPort),
+		sym.EqVV(f.ExtDstIP, v.ExtIP),
+		sym.GeVC(f.ExtDstPort, v.PortBase),
+		sym.LeVC(f.ExtDstPort, v.PortBase+v.PortCount-1),
+	}
+}
+
+// Allowed returns the contract post-condition atoms for one traced call:
+// the strongest claims about the call's outputs that the libVig
+// contracts justify. Calls without contract-relevant outputs (expiry,
+// rejuvenation, the NF's own emits) return nil.
+func Allowed(c *trace.Call, v symbex.Vocab) ([]sym.Atom, error) {
+	switch c.Kind {
+	case trace.CallLookupInternal:
+		if !c.Ret {
+			return nil, nil // miss: contract promises nothing about outputs
+		}
+		f, ok := v.Flows[c.Handle]
+		if !ok {
+			return nil, fmt.Errorf("contracts: lookup returned unknown handle %d", c.Handle)
+		}
+		// dmap_get_by_first_key post-condition (Fig. 8): on success the
+		// returned index holds a value whose first key equals the query
+		// key — here, the packet's 5-tuple — plus the table invariant.
+		atoms := []sym.Atom{
+			sym.EqVV(f.IntSrcIP, v.PktSrcIP),
+			sym.EqVV(f.IntSrcPort, v.PktSrcPort),
+			sym.EqVV(f.IntDstIP, v.PktDstIP),
+			sym.EqVV(f.IntDstPort, v.PktDstPort),
+			sym.EqVV(f.Proto, v.PktProto),
+		}
+		return append(atoms, FlowTableInvariant(v, f)...), nil
+
+	case trace.CallLookupExternal:
+		if !c.Ret {
+			return nil, nil
+		}
+		f, ok := v.Flows[c.Handle]
+		if !ok {
+			return nil, fmt.Errorf("contracts: lookup returned unknown handle %d", c.Handle)
+		}
+		// dmap_get_by_second_key post-condition: the value's second key
+		// equals the query key.
+		atoms := []sym.Atom{
+			sym.EqVV(f.ExtSrcIP, v.PktSrcIP),
+			sym.EqVV(f.ExtSrcPort, v.PktSrcPort),
+			sym.EqVV(f.ExtDstIP, v.PktDstIP),
+			sym.EqVV(f.ExtDstPort, v.PktDstPort),
+			sym.EqVV(f.Proto, v.PktProto),
+		}
+		return append(atoms, FlowTableInvariant(v, f)...), nil
+
+	case trace.CallAllocateFlow:
+		if !c.Ret {
+			return nil, nil
+		}
+		f, ok := v.Flows[c.Handle]
+		if !ok {
+			return nil, fmt.Errorf("contracts: alloc returned unknown handle %d", c.Handle)
+		}
+		// Flow-creation post-condition: the new record's internal key is
+		// the packet's 5-tuple, and the record satisfies the table
+		// invariant (consistent, behind EXT_IP, port from the range —
+		// but *which* port is the allocator's choice, so the contract
+		// pins nothing tighter than the range).
+		atoms := []sym.Atom{
+			sym.EqVV(f.IntSrcIP, v.PktSrcIP),
+			sym.EqVV(f.IntSrcPort, v.PktSrcPort),
+			sym.EqVV(f.IntDstIP, v.PktDstIP),
+			sym.EqVV(f.IntDstPort, v.PktDstPort),
+			sym.EqVV(f.Proto, v.PktProto),
+		}
+		return append(atoms, FlowTableInvariant(v, f)...), nil
+
+	case trace.CallExpireFlows, trace.CallRejuvenate,
+		trace.CallEmitExternal, trace.CallEmitInternal, trace.CallDrop,
+		trace.CallLoopBegin, trace.CallLoopEnd:
+		return nil, nil
+
+	default:
+		return nil, nil
+	}
+}
+
+// StateCalls lists the call kinds subject to the P5 model-validity
+// check: the calls whose models stand in for libVig implementations.
+var StateCalls = map[trace.CallKind]bool{
+	trace.CallLookupInternal: true,
+	trace.CallLookupExternal: true,
+	trace.CallAllocateFlow:   true,
+	trace.CallExpireFlows:    true,
+	trace.CallRejuvenate:     true,
+}

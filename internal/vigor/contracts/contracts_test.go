@@ -1,0 +1,116 @@
+package contracts
+
+import (
+	"testing"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+func vocabWithFlow(t *testing.T) (symbex.Vocab, symbex.FlowVars) {
+	t.Helper()
+	var p sym.Pool
+	f := symbex.FlowVars{
+		IntSrcIP: p.Fresh("f_int_src_ip"), IntSrcPort: p.Fresh("f_int_src_port"),
+		IntDstIP: p.Fresh("f_int_dst_ip"), IntDstPort: p.Fresh("f_int_dst_port"),
+		ExtSrcIP: p.Fresh("f_ext_src_ip"), ExtSrcPort: p.Fresh("f_ext_src_port"),
+		ExtDstIP: p.Fresh("f_ext_dst_ip"), ExtDstPort: p.Fresh("f_ext_dst_port"),
+		Proto: p.Fresh("f_proto"),
+	}
+	v := symbex.Vocab{
+		PktSrcIP: p.Fresh("pkt_src_ip"), PktSrcPort: p.Fresh("pkt_src_port"),
+		PktDstIP: p.Fresh("pkt_dst_ip"), PktDstPort: p.Fresh("pkt_dst_port"),
+		PktProto: p.Fresh("pkt_proto"),
+		OutSrcIP: p.Fresh("out_src_ip"), OutSrcPort: p.Fresh("out_src_port"),
+		OutDstIP: p.Fresh("out_dst_ip"), OutDstPort: p.Fresh("out_dst_port"),
+		OutProto: p.Fresh("out_proto"),
+		ExtIP:    p.Fresh("cfg_ext_ip"),
+		Flows:    map[int]symbex.FlowVars{0: f},
+		PortBase: 1, PortCount: 65535,
+	}
+	return v, f
+}
+
+func TestFlowTableInvariantAtoms(t *testing.T) {
+	v, f := vocabWithFlow(t)
+	inv := FlowTableInvariant(v, f)
+	if len(inv) != 5 {
+		t.Fatalf("invariant has %d atoms", len(inv))
+	}
+	var solver sym.Solver
+	// The invariant must entail the port range.
+	if !solver.Entails(inv, sym.GeVC(f.ExtDstPort, 1)) {
+		t.Fatal("invariant does not bound the port from below")
+	}
+	if !solver.Entails(inv, sym.LeVC(f.ExtDstPort, 65535)) {
+		t.Fatal("invariant does not bound the port from above")
+	}
+	if !solver.Entails(inv, sym.EqVV(f.ExtDstIP, v.ExtIP)) {
+		t.Fatal("invariant does not pin the external IP")
+	}
+}
+
+func TestAllowedLookupHit(t *testing.T) {
+	v, f := vocabWithFlow(t)
+	c := &trace.Call{Kind: trace.CallLookupInternal, Ret: true, HasRet: true, Handle: 0}
+	atoms, err := Allowed(c, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solver sym.Solver
+	// The contract must tie the flow's internal key to the packet.
+	if !solver.Entails(atoms, sym.EqVV(f.IntSrcIP, v.PktSrcIP)) {
+		t.Fatal("contract misses key equality")
+	}
+	// And must NOT pin the external port to a constant (that would
+	// justify the under-approximate model).
+	if solver.Entails(atoms, sym.EqVC(f.ExtDstPort, v.PortBase)) {
+		t.Fatal("contract over-commits on the allocated port")
+	}
+}
+
+func TestAllowedLookupMissPromisesNothing(t *testing.T) {
+	v, _ := vocabWithFlow(t)
+	c := &trace.Call{Kind: trace.CallLookupInternal, Ret: false, HasRet: true, Handle: -1}
+	atoms, err := Allowed(c, v)
+	if err != nil || atoms != nil {
+		t.Fatalf("miss contract: %v %v", atoms, err)
+	}
+}
+
+func TestAllowedUnknownHandle(t *testing.T) {
+	v, _ := vocabWithFlow(t)
+	c := &trace.Call{Kind: trace.CallAllocateFlow, Ret: true, HasRet: true, Handle: 42}
+	if _, err := Allowed(c, v); err == nil {
+		t.Fatal("unknown handle accepted")
+	}
+}
+
+func TestAllowedNonStateCalls(t *testing.T) {
+	v, _ := vocabWithFlow(t)
+	for _, k := range []trace.CallKind{
+		trace.CallExpireFlows, trace.CallRejuvenate, trace.CallDrop,
+		trace.CallEmitExternal, trace.CallLoopBegin,
+	} {
+		c := &trace.Call{Kind: k, Handle: 0}
+		atoms, err := Allowed(c, v)
+		if err != nil || atoms != nil {
+			t.Fatalf("%v: contract atoms %v err %v", k, atoms, err)
+		}
+	}
+}
+
+func TestStateCallsSet(t *testing.T) {
+	for _, k := range []trace.CallKind{
+		trace.CallLookupInternal, trace.CallLookupExternal,
+		trace.CallAllocateFlow, trace.CallExpireFlows, trace.CallRejuvenate,
+	} {
+		if !StateCalls[k] {
+			t.Errorf("%v missing from StateCalls", k)
+		}
+	}
+	if StateCalls[trace.CallDrop] || StateCalls[trace.CallFrameIntact] {
+		t.Error("non-state calls in StateCalls")
+	}
+}

@@ -1,0 +1,134 @@
+// Package proofcheck implements the ownership / pointer-discipline side
+// of the Vigor proof (§5.2.4): flow handles are opaque capabilities that
+// only lookups and allocation mint, every packet buffer received must be
+// emitted or dropped exactly once per loop iteration (the leak check
+// that caught a real DPDK mbuf leak in the paper), and no state is
+// touched after the iteration's output action.
+package proofcheck
+
+import (
+	"fmt"
+
+	"vignat/internal/vigor/trace"
+)
+
+// CheckTrace runs the ownership and usage-discipline checks over one
+// symbolic trace, returning every violation found (empty = clean).
+// These are the P4 obligations that are about *how* libVig is used
+// rather than about data values.
+func CheckTrace(t *trace.Trace) []string {
+	var violations []string
+	report := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	live := map[int]bool{} // handles minted this iteration
+	outputs := 0
+	outputSeen := false
+	expireSeen := false
+	lookupSeen := false
+	l4Validated := false
+	fromInternal := false
+	ifaceKnown := false
+	intLookupMissed := false
+
+	for i := range t.Seq {
+		c := &t.Seq[i]
+		if outputSeen {
+			switch c.Kind {
+			case trace.CallLoopEnd:
+			default:
+				report("state or predicate call %s after the output action", c.Kind)
+			}
+		}
+		switch c.Kind {
+		case trace.CallLoopBegin, trace.CallLoopEnd:
+			// markers
+
+		case trace.CallL4HeaderIntact:
+			if c.Ret {
+				l4Validated = true
+			}
+
+		case trace.CallFromInternal:
+			fromInternal = c.Ret
+			ifaceKnown = true
+
+		case trace.CallExpireFlows:
+			if lookupSeen {
+				report("expire_flows after a flow-table lookup (RFC order: expire first)")
+			}
+			expireSeen = true
+
+		case trace.CallLookupInternal:
+			lookupSeen = true
+			if !expireSeen {
+				report("flow-table lookup before expire_flows")
+			}
+			if !l4Validated {
+				report("lookup key read from unvalidated L4 header")
+			}
+			if !ifaceKnown || !fromInternal {
+				report("internal-key lookup for a packet not known to be internal")
+			}
+			if c.Ret {
+				live[c.Handle] = true
+			} else {
+				intLookupMissed = true
+			}
+
+		case trace.CallLookupExternal:
+			lookupSeen = true
+			if !expireSeen {
+				report("flow-table lookup before expire_flows")
+			}
+			if !l4Validated {
+				report("lookup key read from unvalidated L4 header")
+			}
+			if !ifaceKnown || fromInternal {
+				report("external-key lookup for a packet not known to be external")
+			}
+			if c.Ret {
+				live[c.Handle] = true
+			}
+
+		case trace.CallAllocateFlow:
+			if !intLookupMissed {
+				report("flow allocation without a preceding internal-lookup miss (dmap no-duplicate pre-condition)")
+			}
+			if !ifaceKnown || !fromInternal {
+				report("flow allocation for a non-internal packet")
+			}
+			if c.Ret {
+				live[c.Handle] = true
+			}
+
+		case trace.CallRejuvenate:
+			if !live[c.Handle] {
+				report("rejuvenate on handle %d not minted this iteration", c.Handle)
+			}
+
+		case trace.CallEmitExternal, trace.CallEmitInternal:
+			if !live[c.Handle] {
+				report("%s on handle %d not minted this iteration", c.Kind, c.Handle)
+			}
+			outputs++
+			outputSeen = true
+
+		case trace.CallDrop:
+			outputs++
+			outputSeen = true
+		}
+	}
+
+	// The packet-buffer leak check: exactly one output action per
+	// iteration (emit transfers the mbuf to DPDK, drop frees it; zero
+	// means a leaked mbuf, two means a double free / double send).
+	if outputs == 0 {
+		report("packet buffer leaked: no output action before loop end")
+	}
+	if outputs > 1 {
+		report("packet buffer consumed %d times (double emit/drop)", outputs)
+	}
+	return violations
+}

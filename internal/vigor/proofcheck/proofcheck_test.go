@@ -1,0 +1,149 @@
+package proofcheck
+
+import (
+	"strings"
+	"testing"
+
+	"vignat/internal/vigor/trace"
+)
+
+// build assembles a trace from terse call specs.
+type callSpec struct {
+	kind   trace.CallKind
+	ret    bool
+	hasRet bool
+	handle int
+}
+
+func build(specs ...callSpec) *trace.Trace {
+	t := &trace.Trace{}
+	t.Seq = append(t.Seq, trace.Call{Kind: trace.CallLoopBegin, Handle: -1})
+	for _, s := range specs {
+		t.Seq = append(t.Seq, trace.Call{Kind: s.kind, Ret: s.ret, HasRet: s.hasRet, Handle: s.handle})
+	}
+	t.Seq = append(t.Seq, trace.Call{Kind: trace.CallLoopEnd, Handle: -1})
+	return t
+}
+
+// parseOK is the predicate prefix of a healthy internal-packet path.
+func parseOK(fromInternal bool) []callSpec {
+	return []callSpec{
+		{trace.CallExpireFlows, false, false, -1},
+		{trace.CallFrameIntact, true, true, -1},
+		{trace.CallEtherIsIPv4, true, true, -1},
+		{trace.CallIPv4HeaderValid, true, true, -1},
+		{trace.CallNotFragment, true, true, -1},
+		{trace.CallL4Supported, true, true, -1},
+		{trace.CallL4HeaderIntact, true, true, -1},
+		{trace.CallFromInternal, fromInternal, true, -1},
+	}
+}
+
+func TestCleanInternalHitPath(t *testing.T) {
+	specs := append(parseOK(true),
+		callSpec{trace.CallLookupInternal, true, true, 0},
+		callSpec{trace.CallRejuvenate, false, false, 0},
+		callSpec{trace.CallEmitExternal, false, false, 0},
+	)
+	if v := CheckTrace(build(specs...)); len(v) != 0 {
+		t.Fatalf("clean path flagged: %v", v)
+	}
+}
+
+func TestCleanDropPath(t *testing.T) {
+	tr := build(
+		callSpec{trace.CallExpireFlows, false, false, -1},
+		callSpec{trace.CallFrameIntact, false, true, -1},
+		callSpec{trace.CallDrop, false, false, -1},
+	)
+	if v := CheckTrace(tr); len(v) != 0 {
+		t.Fatalf("clean drop path flagged: %v", v)
+	}
+}
+
+func expectViolation(t *testing.T, tr *trace.Trace, fragment string) {
+	t.Helper()
+	vs := CheckTrace(tr)
+	for _, v := range vs {
+		if strings.Contains(v, fragment) {
+			return
+		}
+	}
+	t.Fatalf("expected violation containing %q, got %v", fragment, vs)
+}
+
+func TestLookupBeforeExpireFlagged(t *testing.T) {
+	specs := []callSpec{
+		{trace.CallFrameIntact, true, true, -1},
+		{trace.CallEtherIsIPv4, true, true, -1},
+		{trace.CallIPv4HeaderValid, true, true, -1},
+		{trace.CallNotFragment, true, true, -1},
+		{trace.CallL4Supported, true, true, -1},
+		{trace.CallL4HeaderIntact, true, true, -1},
+		{trace.CallFromInternal, true, true, -1},
+		{trace.CallLookupInternal, true, true, 0},
+		{trace.CallExpireFlows, false, false, -1}, // too late
+		{trace.CallEmitExternal, false, false, 0},
+	}
+	expectViolation(t, build(specs...), "before expire_flows")
+	expectViolation(t, build(specs...), "expire_flows after")
+}
+
+func TestUnvalidatedLookupFlagged(t *testing.T) {
+	specs := []callSpec{
+		{trace.CallExpireFlows, false, false, -1},
+		{trace.CallFrameIntact, true, true, -1},
+		{trace.CallFromInternal, true, true, -1},
+		{trace.CallLookupInternal, false, true, -1},
+		{trace.CallDrop, false, false, -1},
+	}
+	expectViolation(t, build(specs...), "unvalidated L4")
+}
+
+func TestWrongDirectionLookupFlagged(t *testing.T) {
+	specs := append(parseOK(false), // external packet
+		callSpec{trace.CallLookupInternal, true, true, 0}, // wrong key map
+		callSpec{trace.CallEmitExternal, false, false, 0},
+	)
+	expectViolation(t, build(specs...), "not known to be internal")
+}
+
+func TestAllocWithoutMissFlagged(t *testing.T) {
+	specs := append(parseOK(true),
+		callSpec{trace.CallAllocateFlow, true, true, 0},
+		callSpec{trace.CallEmitExternal, false, false, 0},
+	)
+	expectViolation(t, build(specs...), "no-duplicate pre-condition")
+}
+
+func TestRejuvenateDeadHandleFlagged(t *testing.T) {
+	specs := append(parseOK(true),
+		callSpec{trace.CallLookupInternal, false, true, -1}, // miss
+		callSpec{trace.CallRejuvenate, false, false, 3},     // fabricated handle
+		callSpec{trace.CallDrop, false, false, -1},
+	)
+	expectViolation(t, build(specs...), "not minted this iteration")
+}
+
+func TestPacketBufferLeakFlagged(t *testing.T) {
+	specs := parseOK(true) // no output at all
+	expectViolation(t, build(specs...), "leaked")
+}
+
+func TestDoubleOutputFlagged(t *testing.T) {
+	specs := append(parseOK(true),
+		callSpec{trace.CallLookupInternal, true, true, 0},
+		callSpec{trace.CallEmitExternal, false, false, 0},
+		callSpec{trace.CallDrop, false, false, -1},
+	)
+	expectViolation(t, build(specs...), "consumed 2 times")
+}
+
+func TestStateCallAfterOutputFlagged(t *testing.T) {
+	specs := append(parseOK(true),
+		callSpec{trace.CallLookupInternal, true, true, 0},
+		callSpec{trace.CallEmitExternal, false, false, 0},
+		callSpec{trace.CallRejuvenate, false, false, 0}, // after output
+	)
+	expectViolation(t, build(specs...), "after the output action")
+}

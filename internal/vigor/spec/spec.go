@@ -1,0 +1,176 @@
+// Package spec is the executable formal specification of NAT semantics —
+// the analogue of the paper's 300-line separation-logic formalization of
+// RFC 3022 (§4.1, Fig. 6). It exists in two forms that share one
+// decision tree:
+//
+//   - Required: the trace-level form the Validator weaves into symbolic
+//     traces to prove P1 (every feasible path satisfies the RFC).
+//   - Oracle (oracle.go): an abstract interpreter over spec-level NAT
+//     state, used as a differential-testing oracle against the real NAT
+//     implementations.
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// Action is the externally visible action the specification requires.
+type Action uint8
+
+// Actions.
+const (
+	ActionDrop Action = iota
+	ActionForwardExternal
+	ActionForwardInternal
+)
+
+// String returns the action mnemonic.
+func (a Action) String() string {
+	switch a {
+	case ActionDrop:
+		return "drop"
+	case ActionForwardExternal:
+		return "forward-external"
+	case ActionForwardInternal:
+		return "forward-internal"
+	default:
+		return "action(?)"
+	}
+}
+
+// Requirement is what the specification demands of one execution path:
+// the action, and constraint atoms that must hold over the path's
+// symbolic variables (empty for drops — RFC 3022 constrains only what
+// leaves the NAT).
+type Requirement struct {
+	Action Action
+	Atoms  []sym.Atom
+	// Reason names the Fig. 6 branch that produced the requirement,
+	// for report readability.
+	Reason string
+}
+
+// Required computes the specification's demand for one symbolic trace.
+// It consults only the fork decisions (the pre-conditions of Fig. 6's
+// decision tree) and the vocabulary — never the model's output atoms,
+// which are what is being verified.
+func Required(t *trace.Trace) (Requirement, error) {
+	v, ok := t.Meta.(symbex.Vocab)
+	if !ok {
+		return Requirement{}, errors.New("spec: trace carries no NAT vocabulary")
+	}
+
+	// Parsing chain: any failed or unevaluated predicate → drop.
+	parsePreds := []trace.CallKind{
+		trace.CallFrameIntact, trace.CallEtherIsIPv4, trace.CallIPv4HeaderValid,
+		trace.CallNotFragment, trace.CallL4Supported, trace.CallL4HeaderIntact,
+	}
+	for _, k := range parsePreds {
+		val, evaluated := t.PredicateValue(k)
+		if !evaluated {
+			return Requirement{Action: ActionDrop, Reason: "not parseable: " + k.String() + " unevaluated"}, nil
+		}
+		if !val {
+			return Requirement{Action: ActionDrop, Reason: "not NATable: " + k.String() + " = false"}, nil
+		}
+	}
+
+	fromInternal, evaluated := t.PredicateValue(trace.CallFromInternal)
+	if !evaluated {
+		return Requirement{}, errors.New("spec: NATable path never asked for the interface")
+	}
+
+	if fromInternal {
+		// Fig. 6 ll.10-28: rejuvenate-or-insert, then rewrite source to
+		// EXT_IP and the flow's external port.
+		var h int
+		if c := t.Find(trace.CallLookupInternal); c != nil && c.Ret {
+			h = c.Handle
+		} else if c := t.Find(trace.CallAllocateFlow); c != nil && c.Ret {
+			h = c.Handle
+		} else {
+			// Miss and no insertion (table full): drop (Fig. 6 l.39
+			// via l.15's capacity guard).
+			return Requirement{Action: ActionDrop, Reason: "internal miss, table full"}, nil
+		}
+		f, ok := v.Flows[h]
+		if !ok {
+			return Requirement{}, fmt.Errorf("spec: path forwards via unknown handle %d", h)
+		}
+		return Requirement{
+			Action: ActionForwardExternal,
+			Reason: "internal packet with (new or live) session",
+			Atoms: []sym.Atom{
+				// S.src_ip = EXT_IP; S.src_port = F(P).ext_port
+				sym.EqVV(v.OutSrcIP, v.ExtIP),
+				sym.EqVV(v.OutSrcPort, f.ExtDstPort),
+				// S.dst preserved (Fig. 6 ll.24-25).
+				sym.EqVV(v.OutDstIP, v.PktDstIP),
+				sym.EqVV(v.OutDstPort, v.PktDstPort),
+				sym.EqVV(v.OutProto, v.PktProto),
+				// The session used must be the packet's: F(P) = G.
+				sym.EqVV(f.IntSrcIP, v.PktSrcIP),
+				sym.EqVV(f.IntSrcPort, v.PktSrcPort),
+				sym.EqVV(f.IntDstIP, v.PktDstIP),
+				sym.EqVV(f.IntDstPort, v.PktDstPort),
+				sym.EqVV(f.Proto, v.PktProto),
+			},
+		}, nil
+	}
+
+	// External packet: forwarded only to an existing session (Fig. 6
+	// ll.29-37), never creates state.
+	if c := t.Find(trace.CallAllocateFlow); c != nil {
+		return Requirement{}, errors.New("spec: external packet attempted flow creation")
+	}
+	c := t.Find(trace.CallLookupExternal)
+	if c == nil || !c.Ret {
+		return Requirement{Action: ActionDrop, Reason: "external packet, no session"}, nil
+	}
+	f, okf := v.Flows[c.Handle]
+	if !okf {
+		return Requirement{}, fmt.Errorf("spec: path forwards via unknown handle %d", c.Handle)
+	}
+	return Requirement{
+		Action: ActionForwardInternal,
+		Reason: "external packet with live session",
+		Atoms: []sym.Atom{
+			// S.dst = the session's internal endpoint (ll.32-33).
+			sym.EqVV(v.OutDstIP, f.IntSrcIP),
+			sym.EqVV(v.OutDstPort, f.IntSrcPort),
+			// S.src preserved (ll.34-35).
+			sym.EqVV(v.OutSrcIP, v.PktSrcIP),
+			sym.EqVV(v.OutSrcPort, v.PktSrcPort),
+			sym.EqVV(v.OutProto, v.PktProto),
+			// The session matched is the packet's: its external key
+			// equals the packet 5-tuple.
+			sym.EqVV(f.ExtSrcIP, v.PktSrcIP),
+			sym.EqVV(f.ExtSrcPort, v.PktSrcPort),
+			sym.EqVV(f.ExtDstIP, v.PktDstIP),
+			sym.EqVV(f.ExtDstPort, v.PktDstPort),
+			sym.EqVV(f.Proto, v.PktProto),
+		},
+	}, nil
+}
+
+// ActionOfOutput maps a trace output call to the spec's Action domain.
+func ActionOfOutput(c *trace.Call) (Action, error) {
+	if c == nil {
+		return ActionDrop, errors.New("spec: path produced no output action")
+	}
+	switch c.Kind {
+	case trace.CallDrop:
+		return ActionDrop, nil
+	case trace.CallEmitExternal:
+		return ActionForwardExternal, nil
+	case trace.CallEmitInternal:
+		return ActionForwardInternal, nil
+	default:
+		return ActionDrop, fmt.Errorf("spec: %s is not an output action", c.Kind)
+	}
+}

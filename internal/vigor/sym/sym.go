@@ -1,0 +1,149 @@
+// Package sym provides the symbolic-value layer of the Vigor toolchain
+// analogue: symbolic variables, a small constraint language, and a
+// decision procedure for it.
+//
+// The constraint fragment is deliberately the one NF path constraints
+// live in (§5.2.1): equalities and disequalities between variables and
+// constants, and constant bounds — packet fields compared to each other,
+// to configuration constants (EXT_IP, port 9), and to ranges (allocated
+// external ports). For this fragment the procedure below is a decision
+// procedure, with one documented exception: pigeonhole-style conflicts
+// among pure disequalities over tiny value domains are not detected
+// (NF constraints never shrink a 32/16-bit domain to fewer values than
+// variables, which the property tests confirm for every trace the engine
+// produces).
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a symbolic 64-bit variable, identified by a small integer. Vars
+// are created per execution path by a Pool; names exist for diagnostics
+// and for the Fig. 9-style trace rendering.
+type Var struct {
+	ID   int
+	Name string
+}
+
+// String renders the variable like the paper's traces (":name:").
+func (v Var) String() string { return ":" + v.Name + ":" }
+
+// Pool allocates variables for one execution path.
+type Pool struct {
+	vars []Var
+}
+
+// Fresh returns a new variable named name.
+func (p *Pool) Fresh(name string) Var {
+	v := Var{ID: len(p.vars), Name: name}
+	p.vars = append(p.vars, v)
+	return v
+}
+
+// Count returns how many variables were allocated.
+func (p *Pool) Count() int { return len(p.vars) }
+
+// Op is a constraint operator.
+type Op uint8
+
+// Constraint operators.
+const (
+	OpEq    Op = iota // L == R
+	OpNe              // L != R
+	OpLe              // L <= R (R must be a constant)
+	OpGe              // L >= R (R must be a constant)
+	OpFalse           // the unsatisfiable atom (negation of a tautology)
+)
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLe:
+		return "<="
+	case OpGe:
+		return ">="
+	case OpFalse:
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Atom is a single constraint: Var Op (Var | Const). RIsVar selects the
+// right-hand side.
+type Atom struct {
+	Op     Op
+	L      Var
+	R      Var
+	C      uint64
+	RIsVar bool
+}
+
+// EqVV builds l == r.
+func EqVV(l, r Var) Atom { return Atom{Op: OpEq, L: l, R: r, RIsVar: true} }
+
+// EqVC builds v == c.
+func EqVC(v Var, c uint64) Atom { return Atom{Op: OpEq, L: v, C: c} }
+
+// NeVV builds l != r.
+func NeVV(l, r Var) Atom { return Atom{Op: OpNe, L: l, R: r, RIsVar: true} }
+
+// NeVC builds v != c.
+func NeVC(v Var, c uint64) Atom { return Atom{Op: OpNe, L: v, C: c} }
+
+// LeVC builds v <= c.
+func LeVC(v Var, c uint64) Atom { return Atom{Op: OpLe, L: v, C: c} }
+
+// GeVC builds v >= c.
+func GeVC(v Var, c uint64) Atom { return Atom{Op: OpGe, L: v, C: c} }
+
+// Negate returns the logical negation of a.
+func (a Atom) Negate() Atom {
+	switch a.Op {
+	case OpEq:
+		return Atom{Op: OpNe, L: a.L, R: a.R, C: a.C, RIsVar: a.RIsVar}
+	case OpNe:
+		return Atom{Op: OpEq, L: a.L, R: a.R, C: a.C, RIsVar: a.RIsVar}
+	case OpLe:
+		if a.C == ^uint64(0) {
+			return Atom{Op: OpFalse} // ¬(v <= max) is unsatisfiable
+		}
+		return Atom{Op: OpGe, L: a.L, C: a.C + 1}
+	case OpGe:
+		if a.C == 0 {
+			return Atom{Op: OpFalse} // ¬(v >= 0) is unsatisfiable
+		}
+		return Atom{Op: OpLe, L: a.L, C: a.C - 1}
+	case OpFalse:
+		// ¬false is true; represent as the tautology v >= 0 on L.
+		return Atom{Op: OpGe, L: a.L, C: 0}
+	default:
+		panic("sym: negate of unknown op")
+	}
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	if a.RIsVar {
+		return fmt.Sprintf("%s %s %s", a.L, a.Op, a.R)
+	}
+	return fmt.Sprintf("%s %s %d", a.L, a.Op, a.C)
+}
+
+// FormatAtoms renders a constraint set like the paper's Fig. 9
+// "--- constraints ---" section.
+func FormatAtoms(atoms []Atom) string {
+	ss := make([]string, len(atoms))
+	for i, a := range atoms {
+		ss[i] = a.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "\n")
+}

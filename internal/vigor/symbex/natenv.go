@@ -1,0 +1,416 @@
+package symbex
+
+import (
+	"vignat/internal/nat/stateless"
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/trace"
+)
+
+// ModelPolicy selects which symbolic model of the flow table to use —
+// the three models of the paper's Fig. 4. The exact model is the one
+// VigNAT verification uses; the other two exist so the toolchain's
+// regression tests can demonstrate the failure modes the paper describes
+// (an over-approximate model fails the semantic proof, an
+// under-approximate one fails model validation).
+type ModelPolicy uint8
+
+// Model policies.
+const (
+	// ModelExact constrains model outputs exactly as the libVig
+	// contracts allow (Fig. 4 model (a)).
+	ModelExact ModelPolicy = iota
+	// ModelOverApprox leaves lookup/alloc outputs unconstrained
+	// (Fig. 4 model (b)): symbolic execution succeeds but the semantic
+	// property P1 becomes unprovable.
+	ModelOverApprox
+	// ModelUnderApprox pins the allocated external port to the base
+	// port (Fig. 4 model (c)): P5 model validation fails because the
+	// contract permits a wider output range.
+	ModelUnderApprox
+)
+
+// FlowVars are the symbolic variables of one flow record handle.
+type FlowVars struct {
+	IntSrcIP, IntSrcPort, IntDstIP, IntDstPort sym.Var
+	ExtSrcIP, ExtSrcPort, ExtDstIP, ExtDstPort sym.Var
+	Proto                                      sym.Var
+}
+
+// Vocab is the symbolic vocabulary of one NAT path: the validator weaves
+// the RFC 3022 properties (P1) and the libVig contracts (P4, P5) over
+// these variables.
+type Vocab struct {
+	PktSrcIP, PktSrcPort, PktDstIP, PktDstPort, PktProto sym.Var
+	OutSrcIP, OutSrcPort, OutDstIP, OutDstPort, OutProto sym.Var
+	ExtIP                                                sym.Var
+	Flows                                                map[int]FlowVars
+	// PortBase/PortCount mirror the NAT config's external port range.
+	PortBase  uint64
+	PortCount uint64
+}
+
+// NATEnvConfig parameterizes the symbolic NAT environment.
+type NATEnvConfig struct {
+	Policy    ModelPolicy
+	PortBase  uint64
+	PortCount uint64
+}
+
+// NATEnv is the symbolic binding of stateless.Env: every method either
+// forks (predicates) or applies a symbolic model of the corresponding
+// libVig operation, recording calls and constraints on the machine.
+// It also performs the per-call P2/P4-style dynamic checks that KLEE's
+// sanitizers and Vigor's pointer-discipline instrumentation perform:
+// calling into the packet's L4 fields before validating them, using a
+// dead or fabricated handle, or emitting twice is reported as a
+// violation, not silently accepted.
+type NATEnv struct {
+	m   *Machine
+	cfg NATEnvConfig
+	v   Vocab
+
+	// Per-path model state for the usage checks.
+	parsedOK      [7]bool // which predicates returned true, by level
+	lookupMissed  bool    // LookupInternal returned false on this path
+	validHandles  map[int]bool
+	nextHandle    int
+	expireCalled  bool
+	outputEmitted int
+}
+
+var _ stateless.Env = (*NATEnv)(nil)
+
+// NewNATEnv builds the symbolic environment for one path on machine m.
+func NewNATEnv(m *Machine, cfg NATEnvConfig) *NATEnv {
+	e := &NATEnv{m: m, cfg: cfg, validHandles: make(map[int]bool)}
+	e.v = Vocab{
+		PktSrcIP:   m.Fresh("pkt_src_ip"),
+		PktSrcPort: m.Fresh("pkt_src_port"),
+		PktDstIP:   m.Fresh("pkt_dst_ip"),
+		PktDstPort: m.Fresh("pkt_dst_port"),
+		PktProto:   m.Fresh("pkt_proto"),
+		OutSrcIP:   m.Fresh("out_src_ip"),
+		OutSrcPort: m.Fresh("out_src_port"),
+		OutDstIP:   m.Fresh("out_dst_ip"),
+		OutDstPort: m.Fresh("out_dst_port"),
+		OutProto:   m.Fresh("out_proto"),
+		ExtIP:      m.Fresh("cfg_ext_ip"),
+		Flows:      make(map[int]FlowVars),
+		PortBase:   cfg.PortBase,
+		PortCount:  cfg.PortCount,
+	}
+	return e
+}
+
+// Vocab returns the path's symbolic vocabulary (attached to the trace as
+// Meta by RunNAT).
+func (e *NATEnv) Vocab() Vocab { return e.v }
+
+// --- packet predicates: pure fork points ---
+
+// predicate levels for the ordering check.
+const (
+	lvlFrame = iota
+	lvlEther
+	lvlIPv4
+	lvlFrag
+	lvlL4Sup
+	lvlL4Hdr
+	lvlIface
+)
+
+func (e *NATEnv) predicate(kind trace.CallKind, lvl int, requires int) bool {
+	if requires >= 0 && !e.parsedOK[requires] {
+		// Reading deeper headers without validating the shallower ones
+		// is exactly the out-of-bounds access class P2 forbids.
+		e.m.Violate("P2: %s evaluated before its guard predicate", kind)
+	}
+	d := e.m.Decide(kind, "", nil, nil)
+	e.parsedOK[lvl] = d
+	return d
+}
+
+// FrameIntact implements stateless.Env.
+func (e *NATEnv) FrameIntact() bool {
+	return e.predicate(trace.CallFrameIntact, lvlFrame, -1)
+}
+
+// EtherIsIPv4 implements stateless.Env.
+func (e *NATEnv) EtherIsIPv4() bool {
+	return e.predicate(trace.CallEtherIsIPv4, lvlEther, lvlFrame)
+}
+
+// IPv4HeaderValid implements stateless.Env.
+func (e *NATEnv) IPv4HeaderValid() bool {
+	return e.predicate(trace.CallIPv4HeaderValid, lvlIPv4, lvlEther)
+}
+
+// NotFragment implements stateless.Env.
+func (e *NATEnv) NotFragment() bool {
+	return e.predicate(trace.CallNotFragment, lvlFrag, lvlIPv4)
+}
+
+// L4Supported implements stateless.Env.
+func (e *NATEnv) L4Supported() bool {
+	return e.predicate(trace.CallL4Supported, lvlL4Sup, lvlFrag)
+}
+
+// L4HeaderIntact implements stateless.Env.
+func (e *NATEnv) L4HeaderIntact() bool {
+	return e.predicate(trace.CallL4HeaderIntact, lvlL4Hdr, lvlL4Sup)
+}
+
+// PacketFromInternal implements stateless.Env. Interface identity is
+// metadata, so it needs no guard.
+func (e *NATEnv) PacketFromInternal() bool {
+	d := e.m.Decide(trace.CallFromInternal, "", nil, nil)
+	e.parsedOK[lvlIface] = true
+	_ = d
+	return d
+}
+
+// --- symbolic models of the flow-table operations ---
+
+// ExpireFlows models the expirator: an abstract state update with no
+// data-flow into the stateless code. The model's only obligation is
+// ordering: the RFC requires expiry before lookup, which the validator
+// checks from the trace.
+func (e *NATEnv) ExpireFlows() {
+	e.expireCalled = true
+	e.m.Record(trace.Call{Kind: trace.CallExpireFlows, Handle: -1})
+}
+
+// freshFlow mints the symbolic flow record for handle h, constrained per
+// the flow-table invariant: stored flows are internally consistent and
+// sit behind EXT_IP with an in-range external port. These constraints
+// are the ones the P5 check must re-derive from the contracts.
+func (e *NATEnv) freshFlow(h int) (FlowVars, []sym.Atom) {
+	f := FlowVars{
+		IntSrcIP:   e.m.Fresh("flow_int_src_ip"),
+		IntSrcPort: e.m.Fresh("flow_int_src_port"),
+		IntDstIP:   e.m.Fresh("flow_int_dst_ip"),
+		IntDstPort: e.m.Fresh("flow_int_dst_port"),
+		ExtSrcIP:   e.m.Fresh("flow_ext_src_ip"),
+		ExtSrcPort: e.m.Fresh("flow_ext_src_port"),
+		ExtDstIP:   e.m.Fresh("flow_ext_dst_ip"),
+		ExtDstPort: e.m.Fresh("flow_ext_dst_port"),
+		Proto:      e.m.Fresh("flow_proto"),
+	}
+	e.v.Flows[h] = f
+	inv := []sym.Atom{
+		// Consistency: the external-side remote endpoint is the
+		// internal-side destination.
+		sym.EqVV(f.ExtSrcIP, f.IntDstIP),
+		sym.EqVV(f.ExtSrcPort, f.IntDstPort),
+		// The flow sits behind the NAT's external address.
+		sym.EqVV(f.ExtDstIP, e.v.ExtIP),
+		// The external port comes from the allocator's range.
+		sym.GeVC(f.ExtDstPort, e.cfg.PortBase),
+		sym.LeVC(f.ExtDstPort, e.cfg.PortBase+e.cfg.PortCount-1),
+	}
+	return f, inv
+}
+
+func (e *NATEnv) requireL4() {
+	if !e.parsedOK[lvlL4Hdr] {
+		e.m.Violate("P2: flow-table key built from unvalidated L4 header")
+	}
+}
+
+// LookupInternal implements stateless.Env: the symbolic model of
+// dmap_get_by_first_key specialized to the flow table (Fig. 8's
+// contract). On a hit it returns a fresh handle whose internal key is
+// constrained to equal the packet 5-tuple — unless the policy is
+// over-approximate, in which case the flow is unconstrained (model (b)).
+func (e *NATEnv) LookupInternal() (stateless.FlowHandle, bool) {
+	e.requireL4()
+	found := e.m.Decide(trace.CallLookupInternal, "", nil, nil)
+	if !found {
+		e.lookupMissed = true
+		e.recordLookup(trace.CallLookupInternal, -1, false, nil)
+		return 0, false
+	}
+	h := e.newHandle()
+	f, inv := e.freshFlow(h)
+	var out []sym.Atom
+	if e.cfg.Policy != ModelOverApprox {
+		out = append(out,
+			sym.EqVV(f.IntSrcIP, e.v.PktSrcIP),
+			sym.EqVV(f.IntSrcPort, e.v.PktSrcPort),
+			sym.EqVV(f.IntDstIP, e.v.PktDstIP),
+			sym.EqVV(f.IntDstPort, e.v.PktDstPort),
+			sym.EqVV(f.Proto, e.v.PktProto),
+		)
+		out = append(out, inv...)
+	}
+	e.recordLookup(trace.CallLookupInternal, h, true, out)
+	return stateless.FlowHandle(h), true
+}
+
+// LookupExternal implements stateless.Env: on a hit, the flow's external
+// key equals the packet 5-tuple (remote peer → EXT_IP:extPort).
+func (e *NATEnv) LookupExternal() (stateless.FlowHandle, bool) {
+	e.requireL4()
+	found := e.m.Decide(trace.CallLookupExternal, "", nil, nil)
+	if !found {
+		e.recordLookup(trace.CallLookupExternal, -1, false, nil)
+		return 0, false
+	}
+	h := e.newHandle()
+	f, inv := e.freshFlow(h)
+	var out []sym.Atom
+	if e.cfg.Policy != ModelOverApprox {
+		out = append(out,
+			sym.EqVV(f.ExtSrcIP, e.v.PktSrcIP),
+			sym.EqVV(f.ExtSrcPort, e.v.PktSrcPort),
+			sym.EqVV(f.ExtDstIP, e.v.PktDstIP),
+			sym.EqVV(f.ExtDstPort, e.v.PktDstPort),
+			sym.EqVV(f.Proto, e.v.PktProto),
+		)
+		out = append(out, inv...)
+	}
+	e.recordLookup(trace.CallLookupExternal, h, true, out)
+	return stateless.FlowHandle(h), true
+}
+
+// AllocateFlow implements stateless.Env: the model of flow creation
+// (dchain allocate + port allocate + dmap put). Its contract requires a
+// preceding internal-lookup miss on the same iteration (the dmap's
+// no-duplicate-keys pre-condition).
+func (e *NATEnv) AllocateFlow() (stateless.FlowHandle, bool) {
+	if !e.lookupMissed {
+		e.m.Violate("P4: AllocateFlow without a preceding LookupInternal miss")
+	}
+	ok := e.m.Decide(trace.CallAllocateFlow, "", nil, nil)
+	if !ok {
+		e.recordLookup(trace.CallAllocateFlow, -1, false, nil)
+		return 0, false
+	}
+	h := e.newHandle()
+	f, inv := e.freshFlow(h)
+	var out []sym.Atom
+	switch e.cfg.Policy {
+	case ModelOverApprox:
+		// No constraints at all: too abstract for the semantic proof.
+	case ModelUnderApprox:
+		// Fig. 4 model (c): pins the port, narrower than the contract.
+		out = append(out,
+			sym.EqVV(f.IntSrcIP, e.v.PktSrcIP),
+			sym.EqVV(f.IntSrcPort, e.v.PktSrcPort),
+			sym.EqVV(f.IntDstIP, e.v.PktDstIP),
+			sym.EqVV(f.IntDstPort, e.v.PktDstPort),
+			sym.EqVV(f.Proto, e.v.PktProto),
+			sym.EqVC(f.ExtDstPort, e.cfg.PortBase),
+		)
+		out = append(out, inv...)
+	default:
+		out = append(out,
+			sym.EqVV(f.IntSrcIP, e.v.PktSrcIP),
+			sym.EqVV(f.IntSrcPort, e.v.PktSrcPort),
+			sym.EqVV(f.IntDstIP, e.v.PktDstIP),
+			sym.EqVV(f.IntDstPort, e.v.PktDstPort),
+			sym.EqVV(f.Proto, e.v.PktProto),
+		)
+		out = append(out, inv...)
+	}
+	e.recordLookup(trace.CallAllocateFlow, h, true, out)
+	return stateless.FlowHandle(h), true
+}
+
+// Rejuvenate implements stateless.Env. Its contract requires a live
+// handle from this iteration.
+func (e *NATEnv) Rejuvenate(h stateless.FlowHandle) {
+	e.checkHandle(int(h), "Rejuvenate")
+	e.m.Record(trace.Call{Kind: trace.CallRejuvenate, Handle: int(h)})
+}
+
+// --- outputs ---
+
+// EmitExternal implements stateless.Env: the packet leaves the external
+// interface with source rewritten to EXT_IP and the flow's external
+// port, destination preserved.
+func (e *NATEnv) EmitExternal(h stateless.FlowHandle) {
+	e.checkHandle(int(h), "EmitExternal")
+	e.countOutput()
+	f, ok := e.v.Flows[int(h)]
+	var out []sym.Atom
+	if ok {
+		out = []sym.Atom{
+			sym.EqVV(e.v.OutSrcIP, f.ExtDstIP),
+			sym.EqVV(e.v.OutSrcPort, f.ExtDstPort),
+			sym.EqVV(e.v.OutDstIP, e.v.PktDstIP),
+			sym.EqVV(e.v.OutDstPort, e.v.PktDstPort),
+			sym.EqVV(e.v.OutProto, e.v.PktProto),
+		}
+	}
+	e.m.Record(trace.Call{Kind: trace.CallEmitExternal, Handle: int(h), Out: out})
+}
+
+// EmitInternal implements stateless.Env: the packet leaves the internal
+// interface with destination rewritten to the flow's internal endpoint,
+// source preserved.
+func (e *NATEnv) EmitInternal(h stateless.FlowHandle) {
+	e.checkHandle(int(h), "EmitInternal")
+	e.countOutput()
+	f, ok := e.v.Flows[int(h)]
+	var out []sym.Atom
+	if ok {
+		out = []sym.Atom{
+			sym.EqVV(e.v.OutDstIP, f.IntSrcIP),
+			sym.EqVV(e.v.OutDstPort, f.IntSrcPort),
+			sym.EqVV(e.v.OutSrcIP, e.v.PktSrcIP),
+			sym.EqVV(e.v.OutSrcPort, e.v.PktSrcPort),
+			sym.EqVV(e.v.OutProto, e.v.PktProto),
+		}
+	}
+	e.m.Record(trace.Call{Kind: trace.CallEmitInternal, Handle: int(h), Out: out})
+}
+
+// Drop implements stateless.Env.
+func (e *NATEnv) Drop() {
+	e.countOutput()
+	e.m.Record(trace.Call{Kind: trace.CallDrop, Handle: -1})
+}
+
+// --- model bookkeeping ---
+
+func (e *NATEnv) newHandle() int {
+	h := e.nextHandle
+	e.nextHandle++
+	e.validHandles[h] = true
+	return h
+}
+
+func (e *NATEnv) checkHandle(h int, op string) {
+	if !e.validHandles[h] {
+		e.m.Violate("P2: %s on invalid flow handle %d", op, h)
+	}
+}
+
+func (e *NATEnv) countOutput() {
+	e.outputEmitted++
+	if e.outputEmitted > 1 {
+		e.m.Violate("P4: more than one output action in an iteration")
+	}
+}
+
+func (e *NATEnv) recordLookup(kind trace.CallKind, h int, ret bool, out []sym.Atom) {
+	// The Decide already recorded the fork; replace that record's
+	// payload with the handle and model-output atoms so the trace shows
+	// the call the way Fig. 9 does.
+	last := &e.m.tr.Seq[len(e.m.tr.Seq)-1]
+	last.Handle = h
+	last.Out = append(last.Out, out...)
+	e.m.tr.Constraints = append(e.m.tr.Constraints, out...)
+}
+
+// RunNAT performs exhaustive symbolic execution of the stateless NAT
+// logic under the given model policy, returning one trace per feasible
+// path with the Vocab attached as Meta.
+func RunNAT(cfg NATEnvConfig) (*Result, error) {
+	return Explore(func(m *Machine) {
+		env := NewNATEnv(m, cfg)
+		stateless.ProcessPacket(env)
+		m.tr.Meta = env.Vocab()
+	})
+}

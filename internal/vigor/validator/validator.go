@@ -1,0 +1,219 @@
+// Package validator implements Vigor's lazy-proof Validator (§5.2.2):
+// it takes the symbolic traces produced by exhaustive symbolic execution
+// and turns each into verification tasks for
+//
+//   - P1: the trace satisfies the RFC 3022 specification,
+//   - P4: the stateless code used libVig per its interface contracts
+//     (call-order, key-direction, handle and buffer ownership),
+//   - P5: the symbolic models were valid for this trace — every claim a
+//     model made about its outputs is entailed by the corresponding
+//     libVig contract (the Step-3a superset check of §3).
+//
+// P2 (low-level properties) is established during symbolic execution
+// itself; the Validator surfaces any violations the engine recorded.
+// Trace verification is embarrassingly parallel, as the paper notes
+// (38 min on one core, 11 min on four); Validate accepts a worker count.
+package validator
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vignat/internal/vigor/contracts"
+	"vignat/internal/vigor/proofcheck"
+	"vignat/internal/vigor/spec"
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// Config parameterizes validation.
+type Config struct {
+	// Workers is the number of parallel verification workers;
+	// 0 means GOMAXPROCS.
+	Workers int
+}
+
+// PathVerdict is the outcome for one execution path.
+type PathVerdict struct {
+	Path int
+	// P1Err, P4Errs, P5Errs are nil/empty on success.
+	P1Err  error
+	P4Errs []string
+	P5Errs []string
+	// Tasks is the number of verification tasks this path contributed
+	// (the trace plus its prefixes, as the paper counts them).
+	Tasks int
+}
+
+// OK reports whether the path passed all properties.
+func (v *PathVerdict) OK() bool {
+	return v.P1Err == nil && len(v.P4Errs) == 0 && len(v.P5Errs) == 0
+}
+
+// Report is the outcome of validating an exhaustive-execution result.
+type Report struct {
+	Paths    int
+	Tasks    int
+	Workers  int
+	Elapsed  time.Duration
+	Verdicts []PathVerdict
+	// P2Violations come from the engine (assertion failures in models).
+	P2Violations []string
+}
+
+// OK reports whether every property held on every path (and there was
+// at least one path — an empty proof proves nothing).
+func (r *Report) OK() bool {
+	if len(r.P2Violations) > 0 || len(r.Verdicts) == 0 {
+		return false
+	}
+	for i := range r.Verdicts {
+		if !r.Verdicts[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a short human-readable report (the cmd/vigor output).
+func (r *Report) Summary() string {
+	p1, p4, p5 := 0, 0, 0
+	for i := range r.Verdicts {
+		if r.Verdicts[i].P1Err != nil {
+			p1++
+		}
+		p4 += len(r.Verdicts[i].P4Errs)
+		p5 += len(r.Verdicts[i].P5Errs)
+	}
+	status := "PROOF COMPLETE"
+	if !r.OK() {
+		status = "PROOF FAILED"
+	}
+	return fmt.Sprintf(
+		"%s: %d paths, %d verification tasks, %d workers, %s\n"+
+			"  P1 (RFC 3022 semantics): %d failing paths\n"+
+			"  P2 (low-level safety):   %d violations\n"+
+			"  P4 (libVig usage):       %d violations\n"+
+			"  P5 (model validity):     %d violations",
+		status, r.Paths, r.Tasks, r.Workers, r.Elapsed.Round(time.Microsecond),
+		p1, len(r.P2Violations), p4, p5)
+}
+
+// Validate runs the lazy-proof pipeline over an ESE result.
+func Validate(res *symbex.Result, cfg Config) *Report {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	rep := &Report{
+		Paths:        len(res.Paths),
+		Tasks:        res.TraceCount(),
+		Workers:      workers,
+		Verdicts:     make([]PathVerdict, len(res.Paths)),
+		P2Violations: append([]string(nil), res.Violations...),
+	}
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				rep.Verdicts[i] = validatePath(i, res.Paths[i])
+			}
+		}()
+	}
+	for i := range res.Paths {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// validatePath builds and checks the verification tasks for one path.
+func validatePath(idx int, t *trace.Trace) PathVerdict {
+	v := PathVerdict{Path: idx, Tasks: t.Prefixes()}
+	v.P4Errs = checkP4(t)
+	v.P5Errs = checkP5(t)
+	v.P1Err = checkP1(t)
+	return v
+}
+
+// checkP1 weaves the RFC 3022 spec into the trace (the paper's Fig. 10
+// ll.24-26) and checks it: the output action must match the spec's
+// demanded action, and each demanded output atom must be entailed by the
+// path constraints.
+func checkP1(t *trace.Trace) error {
+	req, err := spec.Required(t)
+	if err != nil {
+		return err
+	}
+	out, n := t.Output()
+	if n != 1 {
+		return fmt.Errorf("P1: path has %d output actions, want exactly 1", n)
+	}
+	act, err := spec.ActionOfOutput(out)
+	if err != nil {
+		return err
+	}
+	if act != req.Action {
+		return fmt.Errorf("P1: spec demands %v (%s), path does %v", req.Action, req.Reason, act)
+	}
+	var solver sym.Solver
+	if ok, failing := solver.EntailsAll(t.Constraints, req.Atoms); !ok {
+		return fmt.Errorf("P1: required property %v not entailed by path constraints (%s)", failing, req.Reason)
+	}
+	return nil
+}
+
+// checkP4 verifies libVig usage discipline via the proof checker.
+func checkP4(t *trace.Trace) []string {
+	return proofcheck.CheckTrace(t)
+}
+
+// checkP5 performs lazy model validation (§5.2.3): for every
+// state-accessing call, every atom the model emitted about its outputs
+// must be entailed by the contract's post-condition. A model that claims
+// more than the contract justifies (under-approximation, Fig. 4 model
+// (c)) fails here; one that claims less (over-approximation, model (b))
+// passes here and fails P1 instead — exactly the paper's Step 3a/3b
+// split.
+func checkP5(t *trace.Trace) []string {
+	voc, ok := t.Meta.(symbex.Vocab)
+	if !ok {
+		return []string{"P5: trace carries no NAT vocabulary"}
+	}
+	var solver sym.Solver
+	var errs []string
+	// The contract post-conditions available so far on this path: calls
+	// earlier in the trace contribute their contracts, so later claims
+	// may rely on them (as the proof checker assumes callee posts).
+	var gamma []sym.Atom
+	for i := range t.Seq {
+		c := &t.Seq[i]
+		if !contracts.StateCalls[c.Kind] {
+			continue
+		}
+		allowed, err := contracts.Allowed(c, voc)
+		if err != nil {
+			errs = append(errs, "P5: "+err.Error())
+			continue
+		}
+		gamma = append(gamma, allowed...)
+		for _, claim := range c.Out {
+			if !solver.Entails(gamma, claim) {
+				errs = append(errs, fmt.Sprintf(
+					"P5: model of %s claims %v, not justified by the libVig contract",
+					c.Kind, claim))
+			}
+		}
+	}
+	return errs
+}

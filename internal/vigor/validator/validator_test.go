@@ -1,0 +1,92 @@
+package validator
+
+import (
+	"strings"
+	"testing"
+
+	"vignat/internal/vigor/symbex"
+)
+
+func natCfg(policy symbex.ModelPolicy) symbex.NATEnvConfig {
+	return symbex.NATEnvConfig{Policy: policy, PortBase: 1024, PortCount: 65535 - 1024}
+}
+
+// TestExactModelProofComplete is the headline result: with the correct
+// symbolic model (Fig. 4 model (a)), exhaustive symbolic execution plus
+// lazy validation proves P1, P2, P4 and P5 on every feasible path.
+func TestExactModelProofComplete(t *testing.T) {
+	res, err := symbex.RunNAT(natCfg(symbex.ModelExact))
+	if err != nil {
+		t.Fatalf("ESE failed: %v", err)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("no paths explored")
+	}
+	t.Logf("ESE: %d feasible paths, %d tasks, %d pruned", len(res.Paths), res.TraceCount(), res.Pruned)
+	rep := Validate(res, Config{Workers: 2})
+	if !rep.OK() {
+		for _, v := range rep.Verdicts {
+			if !v.OK() {
+				t.Errorf("path %d: P1=%v P4=%v P5=%v", v.Path, v.P1Err, v.P4Errs, v.P5Errs)
+			}
+		}
+		t.Fatalf("proof failed:\n%s", rep.Summary())
+	}
+	if !strings.Contains(rep.Summary(), "PROOF COMPLETE") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+// TestOverApproxModelFailsP1 reproduces the paper's model-(b) failure
+// mode: a too-abstract model lets ESE succeed but makes the semantic
+// property unprovable (Step 3b fails).
+func TestOverApproxModelFailsP1(t *testing.T) {
+	res, err := symbex.RunNAT(natCfg(symbex.ModelOverApprox))
+	if err != nil {
+		t.Fatalf("ESE failed: %v", err)
+	}
+	rep := Validate(res, Config{})
+	if rep.OK() {
+		t.Fatal("over-approximate model must not yield a complete proof")
+	}
+	sawP1 := false
+	for _, v := range rep.Verdicts {
+		if v.P1Err != nil {
+			sawP1 = true
+		}
+		if len(v.P5Errs) > 0 {
+			t.Errorf("over-approximate model must pass P5, got %v", v.P5Errs)
+		}
+	}
+	if !sawP1 {
+		t.Fatal("expected P1 failures from the over-approximate model")
+	}
+}
+
+// TestUnderApproxModelFailsP5 reproduces the paper's model-(c) failure
+// mode: a model narrower than the contract fails lazy model validation
+// (Step 3a).
+func TestUnderApproxModelFailsP5(t *testing.T) {
+	res, err := symbex.RunNAT(natCfg(symbex.ModelUnderApprox))
+	if err != nil {
+		t.Fatalf("ESE failed: %v", err)
+	}
+	rep := Validate(res, Config{})
+	if rep.OK() {
+		t.Fatal("under-approximate model must not yield a complete proof")
+	}
+	sawP5 := false
+	for _, v := range rep.Verdicts {
+		if len(v.P5Errs) > 0 {
+			sawP5 = true
+			for _, e := range v.P5Errs {
+				if !strings.Contains(e, "not justified") {
+					t.Errorf("unexpected P5 error text: %s", e)
+				}
+			}
+		}
+	}
+	if !sawP5 {
+		t.Fatal("expected P5 failures from the under-approximate model")
+	}
+}
