@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vigbench [-fig 12|12x|13|14|v1|ablation|all] [-scale F]
+//	vigbench [-fig 12|12x|13|14|v1|pipeline|ablation|all] [-scale F]
 //
 // -scale shrinks experiment durations (1.0 = full paper-shaped run,
 // 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
 	flag.Parse()
 
@@ -85,6 +85,16 @@ func main() {
 			return err
 		}
 		fmt.Print(tv.Format())
+		return nil
+	})
+
+	run("pipeline", func() error {
+		fmt.Println("=== NF pipeline: per-packet vs batched, shard scaling (makespan model) ===")
+		rows, err := experiments.PipelineScaling(experiments.PipelineConfig{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPipeline(rows))
 		return nil
 	})
 

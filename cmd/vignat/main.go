@@ -1,12 +1,18 @@
 // Command vignat runs the verified NAT on the simulated DPDK substrate:
-// two ports, a poll loop, and a built-in traffic source standing in for
-// the wire. It prints periodic statistics, demonstrating the full
-// production composition (netstack ⊕ libVig flow table ⊕ dpdk ports ⊕
-// verified stateless logic).
+// two ports, the shared nf.Pipeline engine, and a built-in traffic
+// source standing in for the wire. It prints periodic statistics,
+// demonstrating the full production composition (netstack ⊕ libVig flow
+// table ⊕ dpdk ports ⊕ verified stateless logic ⊕ nf engine).
 //
 // Usage:
 //
-//	vignat [-flows N] [-packets N] [-timeout D] [-capacity N] [-verify]
+//	vignat [-flows N] [-packets N] [-timeout D] [-capacity N]
+//	       [-shards N] [-burst N] [-verify]
+//
+// -shards > 1 partitions the NAT RSS-style: each shard owns a disjoint
+// slice of the flow table and of the external port range, so steering
+// by flow hash (outbound) and by port range (inbound) always lands a
+// session on the same shard with no locks.
 //
 // With -verify the binary first runs the verification pipeline and
 // refuses to start on a failed proof — the deployment story the paper
@@ -24,6 +30,7 @@ import (
 	"vignat/internal/libvig"
 	"vignat/internal/moongen"
 	"vignat/internal/nat"
+	"vignat/internal/nf"
 )
 
 func main() {
@@ -31,6 +38,8 @@ func main() {
 	packets := flag.Int("packets", 200000, "packets to push through the NAT")
 	timeout := flag.Duration("timeout", 2*time.Second, "flow expiry (Texp)")
 	capacity := flag.Int("capacity", nat.DefaultCapacity, "flow table capacity (CAP)")
+	shards := flag.Int("shards", 1, "NAT shards (disjoint flow tables over partitioned port ranges)")
+	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	verify := flag.Bool("verify", true, "run the verification pipeline before starting")
 	flag.Parse()
 
@@ -50,7 +59,7 @@ func main() {
 	}
 
 	clock := libvig.NewVirtualClock(0)
-	n, err := nat.New(cfg, clock)
+	n, err := nat.NewSharded(cfg, clock, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,28 +78,39 @@ func main() {
 		fatal(err)
 	}
 
+	pipe, err := nf.NewPipeline(n, nf.Config{
+		Internal: intPort,
+		External: extPort,
+		Burst:    *burst,
+		Clock:    clock,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
 	specs, err := moongen.MakeFlows(0, *flows, 0, 17)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d flows, %d packets\n",
-		cfg.Capacity, cfg.Timeout, cfg.ExternalIP, *flows, *packets)
+	fmt.Printf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d shards, burst %d, %d flows, %d packets\n",
+		n.Capacity(), cfg.Timeout, cfg.ExternalIP, n.Shards(), *burst, *flows, *packets)
 
-	scratch := make([]*dpdk.Mbuf, nat.BurstSize)
-	drain := make([]*dpdk.Mbuf, nat.BurstSize)
+	drain := make([]*dpdk.Mbuf, *burst)
 	start := time.Now()
 	sent := 0
 	for sent < *packets {
 		// Wire side: deliver a burst of frames to the internal port.
-		for b := 0; b < nat.BurstSize && sent < *packets; b++ {
+		for b := 0; b < *burst && sent < *packets; b++ {
 			f := &specs[sent%len(specs)]
 			clock.Advance(1000) // 1 µs between arrivals
 			intPort.DeliverRx(f.Frame(), clock.Now())
 			sent++
 		}
-		// NF side: one poll-loop iteration.
-		n.PollPorts(intPort, extPort, scratch)
+		// NF side: one engine iteration.
+		if _, err := pipe.Poll(); err != nil {
+			fatal(err)
+		}
 		// Wire side: drain transmitted frames back into the pool.
 		for {
 			k := extPort.DrainTx(drain)
@@ -107,13 +127,16 @@ func main() {
 	elapsed := time.Since(start)
 
 	st := n.Stats()
+	ps := pipe.Stats()
 	is, es := intPort.Stats(), extPort.Stats()
 	fmt.Printf("processed %d packets in %v (%.2f Mpps offered)\n",
 		st.Processed, elapsed.Round(time.Millisecond),
 		float64(st.Processed)/elapsed.Seconds()/1e6)
 	fmt.Printf("  forwarded out: %-10d dropped: %d\n", st.ForwardedOut, st.Dropped)
 	fmt.Printf("  flows created: %-10d expired: %d  live: %d\n",
-		st.FlowsCreated, st.FlowsExpired, n.Table().Size())
+		st.FlowsCreated, st.FlowsExpired, n.Flows())
+	fmt.Printf("  engine: polls=%d rx=%d tx=%d tx_freed=%d\n",
+		ps.Polls, ps.RxPackets, ps.TxPackets, ps.TxFreed)
 	fmt.Printf("  int port: rx=%d rx_dropped=%d | ext port: tx=%d tx_dropped=%d\n",
 		is.RxPackets, is.RxDropped, es.TxPackets, es.TxDropped)
 	if pool.InUse() != intPort.RxQueueLen()+extPort.TxQueueLen() {

@@ -1,6 +1,6 @@
 // The paper's §3 running example: the discard-protocol NF (drop port 9,
-// forward everything else, buffer bursts in a libVig ring), run in
-// production form and then verified with all three ring models of
+// forward everything else), run in production form on the shared
+// nf.Pipeline engine and then verified with all three ring models of
 // Fig. 4 — demonstrating the exact failure modes the paper describes.
 package main
 
@@ -9,41 +9,83 @@ import (
 	"log"
 
 	"vignat/internal/discard"
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
 )
 
 func main() {
-	// --- Production run: a burst of packets, some to port 9. ---
-	inbound := []discard.Packet{
-		{Port: 80}, {Port: 9}, {Port: 443}, {Port: 9}, {Port: 22}, {Port: 8080},
-	}
-	var delivered []uint16
-	i := 0
-	nf, err := discard.New(
-		func() (discard.Packet, bool) {
-			if i < len(inbound) {
-				p := inbound[i]
-				i++
-				return p, true
-			}
-			return discard.Packet{}, false
-		},
-		func(p discard.Packet) bool {
-			delivered = append(delivered, p.Port)
-			return true
-		},
-	)
+	// --- Production run: the frame-level discard NF on the engine. ---
+	pool, err := dpdk.NewMempool(64)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for iter := 0; iter < len(inbound)+discard.RingCapacity; iter++ {
-		nf.RunOnce()
+	inside, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		log.Fatal(err)
 	}
-	rx, dropped, sent := nf.Stats()
-	fmt.Printf("received %d, discarded %d (port 9), sent %d: %v\n", rx, dropped, sent, delivered)
+	outside, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clock := libvig.NewVirtualClock(0)
+	pipe, err := nf.NewPipeline(discard.NewFrameNF(), nf.Config{
+		Internal: inside,
+		External: outside,
+		Clock:    clock,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ports := []uint16{80, 9, 443, 9, 22, 8080}
+	buf := make([]byte, 2048)
+	for i, dst := range ports {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(192, 168, 1, 2),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			SrcPort: uint16(40000 + i),
+			DstPort: dst,
+			Proto:   flow.UDP,
+		}}
+		clock.Advance(1000)
+		inside.DeliverRx(netstack.Craft(buf[:netstack.FrameLen(spec)], spec), clock.Now())
+	}
+	if _, err := pipe.Poll(); err != nil {
+		log.Fatal(err)
+	}
+
+	var delivered []uint16
+	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+	for {
+		k := outside.DrainTx(drain)
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			var p netstack.Packet
+			if err := p.Parse(drain[i].Data); err != nil {
+				log.Fatal(err)
+			}
+			delivered = append(delivered, p.DstPort)
+			if err := pool.Free(drain[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	st := pipe.NF().NFStats()
+	fmt.Printf("received %d, discarded %d (port 9), sent %d: %v\n",
+		st.Processed, st.Dropped, st.Forwarded, delivered)
 	for _, p := range delivered {
 		if p == 9 {
 			log.Fatal("BUG: a port-9 packet escaped!")
 		}
+	}
+	if pool.InUse() != 0 {
+		log.Fatalf("BUG: %d mbufs leaked", pool.InUse())
 	}
 
 	// --- Verification: the §3 pipeline with each Fig. 4 model. ---

@@ -1,0 +1,3 @@
+module vignat
+
+go 1.22

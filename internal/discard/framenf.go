@@ -1,0 +1,54 @@
+package discard
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// FrameNF is the discard protocol as a pipeline network function: drop
+// frames addressed to port 9, forward everything else unmodified. It is
+// the frame-level face of the §3 running example — the ring-buffered NF
+// above demonstrates the verification pipeline; this binding is what
+// runs on the shared engine, whose TX batcher plays the role Fig. 1's
+// ring plays for the callback-driven form.
+//
+// The NF is stateless, so Expire never frees anything and any shard
+// could own any frame.
+type FrameNF struct {
+	stats nf.Stats
+}
+
+var _ nf.NF = (*FrameNF)(nil)
+
+// NewFrameNF builds the frame-level discard NF.
+func NewFrameNF() *FrameNF { return &FrameNF{} }
+
+// Name identifies the NF.
+func (d *FrameNF) Name() string { return "discard" }
+
+// Process drops frames whose destination port is 9 (RFC 863) and
+// forwards the rest. Frames that do not parse carry port 0 and are
+// forwarded, matching FromFrame's convention.
+func (d *FrameNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	d.stats.Processed++
+	if FromFrame(frame).Port == 9 {
+		d.stats.Dropped++
+		return nf.Drop
+	}
+	d.stats.Forwarded++
+	return nf.Forward
+}
+
+// ProcessBatch processes a burst; the NF is stateless and clockless, so
+// this is exactly the per-packet path.
+func (d *FrameNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	for i := range pkts {
+		verdicts[i] = d.Process(pkts[i].Frame, pkts[i].FromInternal)
+	}
+}
+
+// Expire is a no-op: the discard NF holds no expirable state.
+func (d *FrameNF) Expire(now libvig.Time) int { return 0 }
+
+// NFStats snapshots the counters.
+func (d *FrameNF) NFStats() nf.Stats { return d.stats }

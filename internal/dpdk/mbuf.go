@@ -49,6 +49,11 @@ func (m *Mbuf) SetFrame(frame []byte) error {
 // Room exposes the raw data room so crafting can build frames in place.
 func (m *Mbuf) Room() []byte { return m.room[:] }
 
+// Pool returns the mempool that owns this mbuf (rte_mbuf keeps the same
+// back pointer), so any holder can return it without knowing which port
+// allocated it.
+func (m *Mbuf) Pool() *Mempool { return m.pool }
+
 // SetLen points Data at the first n bytes of the room (after in-place
 // crafting).
 func (m *Mbuf) SetLen(n int) { m.Data = m.room[:n] }

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/libvig"
+	"vignat/internal/moongen"
+	"vignat/internal/nat"
+	"vignat/internal/nf"
+)
+
+// PipelineConfig parameterizes the nf.Pipeline scaling experiment.
+type PipelineConfig struct {
+	// Workers lists the shard counts to sweep (default 1, 2, 4, 8).
+	Workers []int
+	// Flows is the number of distinct flows offered (default 4096).
+	Flows int
+	// Packets is the total packets per data point (default 200k,
+	// scaled).
+	Packets int
+	// Scale shrinks Packets for quick runs.
+	Scale Scale
+}
+
+// PipelineRow is one shard-count data point of the scaling experiment.
+//
+// PerPacket and Batched are measured single-core throughputs of the
+// same pre-steered workload driven through NAT.Process (one clock read
+// and one call per packet) and NF.ProcessBatch (32-packet bursts, one
+// clock read per burst). Modeled is the run-to-completion makespan
+// model on this single-core host: every shard's work is timed in
+// isolation and the slowest shard bounds the wall clock a W-core
+// deployment would see — the same methodology the testbed package uses
+// to model the paper's hardware (see EXPERIMENTS.md).
+type PipelineRow struct {
+	Workers       int
+	PerPacketMpps float64
+	BatchedMpps   float64
+	ModeledMpps   float64
+	// Speedup is ModeledMpps over the sweep's baseline: the first
+	// row's single-core batched throughput (the first row is 1 worker
+	// in the default sweep).
+	Speedup float64
+}
+
+// PipelineScaling measures per-packet vs batched processing and shard
+// scaling of the sharded NAT under the nf engine's burst size.
+func PipelineScaling(cfg PipelineConfig) ([]PipelineRow, error) {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	flows := cfg.Flows
+	if flows == 0 {
+		flows = 4096
+	}
+	packets := cfg.Packets
+	if packets == 0 {
+		packets = 200000
+	}
+	packets = cfg.Scale.applyInt(packets)
+
+	specs, err := moongen.MakeFlows(0, flows, 0, 17)
+	if err != nil {
+		return nil, err
+	}
+
+	burst := nf.DefaultBurst
+	scratch := make([][]byte, burst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, burst)
+	verd := make([]nf.Verdict, burst)
+	one := make([]byte, dpdk.DataRoomSize)
+
+	rows := make([]PipelineRow, 0, len(workers))
+	var baseline float64
+	for _, w := range workers {
+		// The system clock makes the per-packet vs batched comparison
+		// honest: per-packet reads it every call, batches once per
+		// burst, exactly the TSC amortization DPDK NFs rely on.
+		sh, err := nat.NewSharded(nat.Config{
+			Capacity:     Capacity,
+			Timeout:      time.Hour,
+			ExternalIP:   ExtIP,
+			PortBase:     PortBase,
+			InternalPort: 0,
+			ExternalPort: 1,
+		}, libvig.NewSystemClock(), w)
+		if err != nil {
+			return nil, err
+		}
+
+		// Pre-steer the packet sequence so each measurement drives one
+		// shard's disjoint state, and warm every flow in (all later
+		// packets take the lookup-hit path).
+		buckets := make([][]int, w)
+		flowShard := make([]int, flows)
+		for f := range specs {
+			frame := specs[f].Frame()
+			flowShard[f] = sh.ShardOf(frame, true)
+			n := copy(one, frame)
+			if sh.Process(one[:n], true) != nf.Forward {
+				return nil, fmt.Errorf("experiments: warmup drop for flow %d at %d workers", f, w)
+			}
+		}
+		for i := 0; i < packets; i++ {
+			f := i % flows
+			buckets[flowShard[f]] = append(buckets[flowShard[f]], f)
+		}
+
+		// Per-packet pass: one Process call (and one clock read) per
+		// packet.
+		var perPacketTime time.Duration
+		for s := 0; s < w; s++ {
+			shardNAT := sh.ShardNAT(s)
+			start := time.Now()
+			for _, f := range buckets[s] {
+				n := copy(one, specs[f].Frame())
+				shardNAT.Process(one[:n], true)
+			}
+			perPacketTime += time.Since(start)
+		}
+
+		// Batched pass: 32-packet bursts through ProcessBatch; also
+		// record each shard's isolated time for the makespan model.
+		var batchedTime, makespan time.Duration
+		for s := 0; s < w; s++ {
+			snf := sh.Shard(s)
+			list := buckets[s]
+			start := time.Now()
+			for off := 0; off < len(list); off += burst {
+				c := burst
+				if off+c > len(list) {
+					c = len(list) - off
+				}
+				for j := 0; j < c; j++ {
+					n := copy(scratch[j], specs[list[off+j]].Frame())
+					pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: true}
+				}
+				snf.ProcessBatch(pkts[:c], verd)
+			}
+			elapsed := time.Since(start)
+			batchedTime += elapsed
+			if elapsed > makespan {
+				makespan = elapsed
+			}
+		}
+
+		row := PipelineRow{
+			Workers:       w,
+			PerPacketMpps: mpps(packets, perPacketTime),
+			BatchedMpps:   mpps(packets, batchedTime),
+			ModeledMpps:   mpps(packets, makespan),
+		}
+		if baseline == 0 {
+			baseline = row.BatchedMpps
+		}
+		if baseline > 0 {
+			row.Speedup = row.ModeledMpps / baseline
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func mpps(packets int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(packets) / d.Seconds() / 1e6
+}
+
+// FormatPipeline renders the scaling rows as a paper-style table.
+func FormatPipeline(rows []PipelineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %9s\n",
+		"workers", "per-pkt Mpps", "batched Mpps", "modeled Mpps", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %14.2f %14.2f %14.2f %8.2fx\n",
+			r.Workers, r.PerPacketMpps, r.BatchedMpps, r.ModeledMpps, r.Speedup)
+	}
+	return b.String()
+}

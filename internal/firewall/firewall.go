@@ -131,7 +131,7 @@ type Firewall struct {
 	texp    libvig.Time
 	env     prodEnv
 
-	processed, dropped uint64
+	processed, dropped, expired uint64
 }
 
 // New builds a firewall tracking up to capacity sessions with the given
@@ -162,14 +162,29 @@ func (fw *Firewall) Stats() (processed, dropped uint64) { return fw.processed, f
 // Process runs one frame through the firewall. Frames are never
 // modified.
 func (fw *Firewall) Process(frame []byte, fromInternal bool) Verdict {
+	return fw.ProcessAt(frame, fromInternal, fw.clock.Now())
+}
+
+// ProcessAt is Process at an explicit time, for batched callers that
+// read the clock once per burst.
+func (fw *Firewall) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) Verdict {
 	e := &fw.env
-	e.reset(frame, fromInternal, fw.clock.Now())
+	e.reset(frame, fromInternal, now)
 	ProcessPacket(e)
 	fw.processed++
 	if e.verdict == VerdictDrop {
 		fw.dropped++
 	}
 	return e.verdict
+}
+
+// ExpireAt removes every session idle since before now−Texp without
+// processing a packet (the pipeline's idle-poll hook), returning the
+// number of sessions freed.
+func (fw *Firewall) ExpireAt(now libvig.Time) int {
+	freed, _ := libvig.ExpireItems(fw.chain, now-fw.texp+1, fw.erasers...)
+	fw.expired += uint64(freed)
+	return freed
 }
 
 // prodEnv binds Env to the real table; the same structure as the NAT's
@@ -203,7 +218,7 @@ func (e *prodEnv) PacketFromInternal() bool { return e.fromInternal }
 
 func (e *prodEnv) ExpireSessions() {
 	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
-	_, _ = libvig.ExpireItems(e.fw.chain, e.now-e.fw.texp+1, e.fw.erasers...)
+	_ = e.fw.ExpireAt(e.now)
 }
 
 func (e *prodEnv) LookupOutbound() (SessionHandle, bool) {

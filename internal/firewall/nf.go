@@ -1,0 +1,48 @@
+package firewall
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// fwNF adapts a Firewall to the unified nf.NF interface: the directional
+// forward verdicts collapse onto nf.Forward (out the opposite
+// interface), and batches read the clock once.
+type fwNF struct{ fw *Firewall }
+
+var _ nf.NF = fwNF{}
+
+// AsNF exposes a firewall as a pipeline network function.
+func AsNF(fw *Firewall) nf.NF { return fwNF{fw} }
+
+func (a fwNF) Name() string { return "firewall" }
+
+func (a fwNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	if a.fw.Process(frame, fromInternal) == VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+func (a fwNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := a.fw.clock.Now()
+	for i := range pkts {
+		if a.fw.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now) == VerdictDrop {
+			verdicts[i] = nf.Drop
+		} else {
+			verdicts[i] = nf.Forward
+		}
+	}
+}
+
+func (a fwNF) Expire(now libvig.Time) int { return a.fw.ExpireAt(now) }
+
+func (a fwNF) NFStats() nf.Stats {
+	processed, dropped := a.fw.Stats()
+	return nf.Stats{
+		Processed: processed,
+		Forwarded: processed - dropped,
+		Dropped:   dropped,
+		Expired:   a.fw.expired,
+	}
+}

@@ -1,0 +1,101 @@
+package libvig
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests document the Batcher's error contract, which the nf
+// pipeline's TX path depends on:
+//
+//   - a flush error (from Push auto-flush or explicit Flush) propagates
+//     to the caller;
+//   - a failed flush still CONSUMES the batch — the items were handed
+//     to the flush function exactly once, and retrying delivery is the
+//     flush function's business (the TX flush, for instance, frees
+//     rejected mbufs itself rather than asking for a replay);
+//   - after an error the batcher is empty and immediately reusable.
+
+var errTX = errors.New("tx ring wedged")
+
+func TestBatcherPushAutoFlushErrorPropagates(t *testing.T) {
+	fail := true
+	var got [][]int
+	b, err := NewBatcher[int](2, func(items []int) error {
+		cp := append([]int(nil), items...)
+		got = append(got, cp)
+		if fail {
+			return errTX
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.Push(1); err != nil {
+		t.Fatalf("push below capacity flushed: %v", err)
+	}
+	if err := b.Push(2); !errors.Is(err, errTX) {
+		t.Fatalf("filling push returned %v, want the flush error", err)
+	}
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("flush function saw %v, want exactly one batch [1 2]", got)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("failed flush left %d items buffered, want 0 (batch is consumed)", b.Len())
+	}
+}
+
+func TestBatcherExplicitFlushErrorPropagates(t *testing.T) {
+	b, _ := NewBatcher[int](8, func([]int) error { return errTX })
+	if err := b.Push(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); !errors.Is(err, errTX) {
+		t.Fatalf("Flush returned %v, want the flush error", err)
+	}
+	// Flushing the now-empty batcher is a no-op and must not re-invoke
+	// the failing flush function.
+	if err := b.Flush(); err != nil {
+		t.Fatalf("empty flush after error returned %v, want nil", err)
+	}
+}
+
+func TestBatcherReuseAfterError(t *testing.T) {
+	fail := true
+	var delivered []int
+	b, _ := NewBatcher[int](2, func(items []int) error {
+		if fail {
+			return errTX
+		}
+		delivered = append(delivered, items...)
+		return nil
+	})
+
+	b.Push(1)
+	if err := b.Push(2); !errors.Is(err, errTX) {
+		t.Fatalf("expected flush error, got %v", err)
+	}
+
+	// The batcher recovers: the same instance keeps batching once the
+	// flush function heals, with no residue from the failed batch.
+	fail = false
+	for i := 10; i < 13; i++ {
+		if err := b.Push(i); err != nil {
+			t.Fatalf("push after recovery: %v", err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	want := []int{10, 11, 12}
+	if len(delivered) != len(want) {
+		t.Fatalf("delivered %v after recovery, want %v", delivered, want)
+	}
+	for i := range want {
+		if delivered[i] != want[i] {
+			t.Fatalf("delivered %v after recovery, want %v", delivered, want)
+		}
+	}
+}

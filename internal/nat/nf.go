@@ -1,0 +1,51 @@
+package nat
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/nf"
+)
+
+// verdictOf collapses the NAT's directional verdict onto the pipeline
+// pair: both forward directions mean "out the opposite interface".
+func verdictOf(v stateless.Verdict) nf.Verdict {
+	if v == stateless.VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+// natNF adapts one NAT to the unified nf.NF interface. The adapter adds
+// nothing to the per-packet path beyond the verdict mapping; batches
+// read the clock once.
+type natNF struct{ n *NAT }
+
+var _ nf.NF = natNF{}
+
+// AsNF exposes a NAT as a pipeline network function.
+func AsNF(n *NAT) nf.NF { return natNF{n} }
+
+func (a natNF) Name() string { return "vignat" }
+
+func (a natNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return verdictOf(a.n.Process(frame, fromInternal))
+}
+
+func (a natNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := a.n.clock.Now()
+	for i := range pkts {
+		verdicts[i] = verdictOf(a.n.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+}
+
+func (a natNF) Expire(now libvig.Time) int { return a.n.ExpireAt(now) }
+
+func (a natNF) NFStats() nf.Stats {
+	s := a.n.Stats()
+	return nf.Stats{
+		Processed: s.Processed,
+		Forwarded: s.ForwardedOut + s.ForwardedIn,
+		Dropped:   s.Dropped,
+		Expired:   s.FlowsExpired,
+	}
+}

@@ -1,0 +1,178 @@
+package nat
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// Sharded is a NAT partitioned into independent shards, each a complete
+// verified NAT owning a disjoint slice of the flow-table capacity and —
+// crucially — a disjoint slice of the external port range. Partitioned
+// ports are what make RSS-style steering consistent without locks:
+//
+//   - outbound packets steer by flow hash, so a flow's packets always
+//     hit the same shard's state;
+//   - that shard allocates the flow's external port from its own range;
+//   - inbound replies arrive addressed to EXT_IP:extPort, and the port
+//     alone names the owning shard — no shared lookup structure exists.
+//
+// Every packet therefore touches exactly one shard, shards share no
+// mutable state, and the pipeline may run them on distinct workers with
+// no synchronization on the fast path. This is the same per-core
+// partitioning a multi-queue DPDK NAT gets from NIC RSS plus split port
+// pools, applied to the paper's single-core artifact.
+type Sharded struct {
+	nats     []*NAT
+	shardNFs []nf.NF
+	clock    libvig.Clock
+	portBase uint16
+	perShard int // flows (and ports) per shard
+
+	// scratch is the steering parse buffer; ShardOf is called by the
+	// single dispatcher thread, never concurrently.
+	scratch netstack.Packet
+}
+
+var (
+	_ nf.NF      = (*Sharded)(nil)
+	_ nf.Sharder = (*Sharded)(nil)
+)
+
+// NewSharded builds a NAT of nShards shards from cfg, splitting
+// capacity and port range evenly. cfg.Capacity that does not divide
+// evenly is rounded down per shard (the paper's 65535-flow table over 4
+// shards yields 4×16383 flows). With nShards == 1 this is exactly one
+// NAT behind the nf.NF interface.
+func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
+	if nShards < 1 {
+		return nil, errors.New("nat: shard count must be at least 1")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	perShard := cfg.Capacity / nShards
+	if perShard == 0 {
+		return nil, fmt.Errorf("nat: capacity %d cannot fill %d shards", cfg.Capacity, nShards)
+	}
+	s := &Sharded{
+		nats:     make([]*NAT, nShards),
+		shardNFs: make([]nf.NF, nShards),
+		clock:    clock,
+		portBase: cfg.PortBase,
+		perShard: perShard,
+	}
+	for i := 0; i < nShards; i++ {
+		shardCfg := cfg
+		shardCfg.Capacity = perShard
+		shardCfg.PortBase = cfg.PortBase + uint16(i*perShard)
+		n, err := New(shardCfg, clock)
+		if err != nil {
+			return nil, fmt.Errorf("nat: shard %d: %w", i, err)
+		}
+		s.nats[i] = n
+		s.shardNFs[i] = AsNF(n)
+	}
+	return s, nil
+}
+
+// Name identifies the sharded NAT.
+func (s *Sharded) Name() string {
+	if len(s.nats) == 1 {
+		return "vignat"
+	}
+	return fmt.Sprintf("vignat×%d", len(s.nats))
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.nats) }
+
+// Shard returns shard i as a standalone NF.
+func (s *Sharded) Shard(i int) nf.NF { return s.shardNFs[i] }
+
+// ShardNAT returns shard i's underlying NAT (tests, stats drill-down).
+func (s *Sharded) ShardNAT(i int) *NAT { return s.nats[i] }
+
+// Capacity returns the total flow capacity across shards.
+func (s *Sharded) Capacity() int { return s.perShard * len(s.nats) }
+
+// Flows returns the number of live flows across shards.
+func (s *Sharded) Flows() int {
+	total := 0
+	for _, n := range s.nats {
+		total += n.Table().Size()
+	}
+	return total
+}
+
+// ShardOf steers a frame to the shard owning its flow: outbound by flow
+// hash, inbound by the external port's owning range. Frames that do not
+// parse as NATable steer to shard 0, which will drop them like any
+// other shard would.
+func (s *Sharded) ShardOf(frame []byte, fromInternal bool) int {
+	if len(s.nats) == 1 {
+		return 0
+	}
+	if err := s.scratch.Parse(frame); err != nil || !s.scratch.NATable() {
+		return 0
+	}
+	if fromInternal {
+		return int(s.scratch.FlowID().Hash() % uint64(len(s.nats)))
+	}
+	off := int(s.scratch.DstPort) - int(s.portBase)
+	if off < 0 || off >= s.perShard*len(s.nats) {
+		return 0
+	}
+	return off / s.perShard
+}
+
+// Process steers one frame to its shard and runs it there.
+func (s *Sharded) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return s.shardNFs[s.ShardOf(frame, fromInternal)].Process(frame, fromInternal)
+}
+
+// ProcessBatch steers and processes a burst, reading the clock once.
+func (s *Sharded) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := s.clock.Now()
+	for i := range pkts {
+		shard := s.nats[s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)]
+		verdicts[i] = verdictOf(shard.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+}
+
+// Expire advances expiry on every shard.
+func (s *Sharded) Expire(now libvig.Time) int {
+	total := 0
+	for _, n := range s.nats {
+		total += n.ExpireAt(now)
+	}
+	return total
+}
+
+// NFStats aggregates the shards' counters.
+func (s *Sharded) NFStats() nf.Stats {
+	var agg nf.Stats
+	for _, shard := range s.shardNFs {
+		agg.Add(shard.NFStats())
+	}
+	return agg
+}
+
+// Stats aggregates the shards' NAT-level counters.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	for _, n := range s.nats {
+		st := n.Stats()
+		agg.Processed += st.Processed
+		agg.Dropped += st.Dropped
+		agg.ForwardedOut += st.ForwardedOut
+		agg.ForwardedIn += st.ForwardedIn
+		agg.FlowsCreated += st.FlowsCreated
+		agg.FlowsExpired += st.FlowsExpired
+		agg.ParseFailures += st.ParseFailures
+	}
+	return agg
+}

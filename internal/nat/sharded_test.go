@@ -1,0 +1,196 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+func shardedForTest(t *testing.T, shards int) *Sharded {
+	t.Helper()
+	s, err := NewSharded(Config{
+		Capacity:   4096,
+		Timeout:    time.Hour,
+		ExternalIP: flow.MakeAddr(198, 18, 1, 1),
+		PortBase:   1000,
+		// InternalPort 0 / ExternalPort 1 as in the paper's setup.
+		ExternalPort: 1,
+	}, libvig.NewVirtualClock(0), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func craftUDP(t *testing.T, buf []byte, id flow.ID) []byte {
+	t.Helper()
+	id.Proto = flow.UDP
+	spec := &netstack.FrameSpec{ID: id}
+	return netstack.Craft(buf[:netstack.FrameLen(spec)], spec)
+}
+
+func testFlowID(i int) flow.ID {
+	return flow.ID{
+		SrcIP:   flow.MakeAddr(10, 0, byte(i>>8), byte(i)),
+		DstIP:   flow.MakeAddr(198, 51, 100, 1),
+		SrcPort: uint16(10000 + i),
+		DstPort: 80,
+		Proto:   flow.UDP,
+	}
+}
+
+// TestShardedPortRangesDisjoint: each shard allocates external ports
+// only from its own slice of the range — the invariant that makes
+// inbound steering by port correct.
+func TestShardedPortRangesDisjoint(t *testing.T) {
+	s := shardedForTest(t, 4)
+	per := s.Capacity() / 4
+	buf := make([]byte, 2048)
+	for i := 0; i < 256; i++ {
+		frame := craftUDP(t, buf, testFlowID(i))
+		shard := s.ShardOf(frame, true)
+		if v := s.Process(frame, true); v != nf.Forward {
+			t.Fatalf("flow %d dropped", i)
+		}
+		var p netstack.Packet
+		if err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+		port := int(p.SrcPort) // translated source = allocated external port
+		lo := 1000 + shard*per
+		if port < lo || port >= lo+per {
+			t.Fatalf("shard %d allocated port %d outside its range [%d,%d)",
+				shard, port, lo, lo+per)
+		}
+	}
+}
+
+// TestShardedReturnAffinity: the translated reply tuple steers (by
+// port) to the same shard the outbound packet steered to (by hash), so
+// the session's state is always on the owning shard — no locks needed.
+func TestShardedReturnAffinity(t *testing.T) {
+	s := shardedForTest(t, 4)
+	buf := make([]byte, 2048)
+	reply := make([]byte, 2048)
+	for i := 0; i < 256; i++ {
+		frame := craftUDP(t, buf, testFlowID(i))
+		outShard := s.ShardOf(frame, true)
+		if v := s.Process(frame, true); v != nf.Forward {
+			t.Fatalf("flow %d dropped", i)
+		}
+		var p netstack.Packet
+		if err := p.Parse(frame); err != nil {
+			t.Fatal(err)
+		}
+		replyFrame := craftUDP(t, reply, p.FlowID().Reverse())
+		inShard := s.ShardOf(replyFrame, false)
+		if inShard != outShard {
+			t.Fatalf("flow %d: outbound steered to shard %d, reply to %d", i, outShard, inShard)
+		}
+		if v := s.Process(replyFrame, false); v != nf.Forward {
+			t.Fatalf("reply %d dropped: session not on the owning shard", i)
+		}
+	}
+	if got := s.Flows(); got != 256 {
+		t.Fatalf("%d live flows, want 256", got)
+	}
+}
+
+// TestShardedSpreads: the flow hash spreads distinct flows across all
+// shards (a degenerate steering function would serialize the NF).
+func TestShardedSpreads(t *testing.T) {
+	s := shardedForTest(t, 4)
+	buf := make([]byte, 2048)
+	var perShard [4]int
+	for i := 0; i < 1024; i++ {
+		perShard[s.ShardOf(craftUDP(t, buf, testFlowID(i)), true)]++
+	}
+	for i, n := range perShard {
+		if n < 1024/8 {
+			t.Fatalf("shard %d got %d of 1024 flows; steering badly skewed %v", i, n, perShard)
+		}
+	}
+}
+
+// TestShardedOneShardMatchesPlainNAT: with one shard the sharded NAT is
+// behaviorally the plain verified NAT.
+func TestShardedOneShardMatchesPlainNAT(t *testing.T) {
+	cfg := Config{
+		Capacity: 128, Timeout: time.Hour,
+		ExternalIP: flow.MakeAddr(198, 18, 1, 1), PortBase: 2000, ExternalPort: 1,
+	}
+	clock := libvig.NewVirtualClock(0)
+	plain, err := New(cfg, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharded(cfg, libvig.NewVirtualClock(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufA := make([]byte, 2048)
+	bufB := make([]byte, 2048)
+	for i := 0; i < 64; i++ {
+		id := testFlowID(i % 8) // revisit flows: exercise hit and miss paths
+		a := craftUDP(t, bufA, id)
+		b := craftUDP(t, bufB, id)
+		va := verdictOf(plain.Process(a, true))
+		vb := s.Process(b, true)
+		if va != vb {
+			t.Fatalf("packet %d: plain %v, sharded %v", i, va, vb)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("packet %d: rewrites diverge at byte %d", i, j)
+			}
+		}
+	}
+}
+
+// TestShardedExpiry: Expire drains every shard.
+func TestShardedExpiry(t *testing.T) {
+	cfg := Config{
+		Capacity: 4096, Timeout: time.Second,
+		ExternalIP: flow.MakeAddr(198, 18, 1, 1), PortBase: 1000, ExternalPort: 1,
+	}
+	clock := libvig.NewVirtualClock(0)
+	s, err := NewSharded(cfg, clock, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	for i := 0; i < 64; i++ {
+		if v := s.Process(craftUDP(t, buf, testFlowID(i)), true); v != nf.Forward {
+			t.Fatalf("flow %d dropped", i)
+		}
+	}
+	if s.Flows() != 64 {
+		t.Fatalf("%d flows, want 64", s.Flows())
+	}
+	clock.Advance(2 * time.Second.Nanoseconds())
+	if n := s.Expire(clock.Now()); n != 64 {
+		t.Fatalf("expired %d flows, want 64", n)
+	}
+	if s.Flows() != 0 {
+		t.Fatalf("%d flows left after expiry", s.Flows())
+	}
+	if st := s.Stats(); st.FlowsExpired != 64 {
+		t.Fatalf("stats count %d expired, want 64", st.FlowsExpired)
+	}
+}
+
+// TestShardedValidation rejects impossible shapes.
+func TestShardedValidation(t *testing.T) {
+	cfg := Config{Capacity: 4, Timeout: time.Second,
+		ExternalIP: flow.MakeAddr(1, 2, 3, 4), PortBase: 1, ExternalPort: 1}
+	if _, err := NewSharded(cfg, libvig.NewVirtualClock(0), 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewSharded(cfg, libvig.NewVirtualClock(0), 8); err == nil {
+		t.Fatal("more shards than capacity accepted")
+	}
+}

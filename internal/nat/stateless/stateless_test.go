@@ -1,0 +1,269 @@
+package stateless
+
+import (
+	"strings"
+	"testing"
+)
+
+// scriptEnv is a scripted Env: predicates and state operations answer
+// from fixed booleans, and every call is recorded in order, so tests
+// can assert both the verdict and the usage discipline (which
+// operations ran, and that guarded predicates were never consulted
+// after an earlier guard failed).
+type scriptEnv struct {
+	frameIntact  bool
+	etherIPv4    bool
+	ipValid      bool
+	notFragment  bool
+	l4Supported  bool
+	l4Intact     bool
+	fromInternal bool
+
+	lookupIntHit bool
+	lookupExtHit bool
+	allocOK      bool
+
+	calls   []string
+	verdict Verdict
+	emitted FlowHandle
+}
+
+// parseableUDP returns an env whose packet passes the whole parsing
+// chain.
+func parseableUDP() *scriptEnv {
+	return &scriptEnv{
+		frameIntact: true, etherIPv4: true, ipValid: true,
+		notFragment: true, l4Supported: true, l4Intact: true,
+	}
+}
+
+func (e *scriptEnv) record(name string) { e.calls = append(e.calls, name) }
+
+func (e *scriptEnv) FrameIntact() bool     { e.record("FrameIntact"); return e.frameIntact }
+func (e *scriptEnv) EtherIsIPv4() bool     { e.record("EtherIsIPv4"); return e.etherIPv4 }
+func (e *scriptEnv) IPv4HeaderValid() bool { e.record("IPv4HeaderValid"); return e.ipValid }
+func (e *scriptEnv) NotFragment() bool     { e.record("NotFragment"); return e.notFragment }
+func (e *scriptEnv) L4Supported() bool     { e.record("L4Supported"); return e.l4Supported }
+func (e *scriptEnv) L4HeaderIntact() bool  { e.record("L4HeaderIntact"); return e.l4Intact }
+func (e *scriptEnv) PacketFromInternal() bool {
+	e.record("PacketFromInternal")
+	return e.fromInternal
+}
+
+func (e *scriptEnv) ExpireFlows() { e.record("ExpireFlows") }
+
+func (e *scriptEnv) LookupInternal() (FlowHandle, bool) {
+	e.record("LookupInternal")
+	return FlowHandle(11), e.lookupIntHit
+}
+
+func (e *scriptEnv) LookupExternal() (FlowHandle, bool) {
+	e.record("LookupExternal")
+	return FlowHandle(22), e.lookupExtHit
+}
+
+func (e *scriptEnv) AllocateFlow() (FlowHandle, bool) {
+	e.record("AllocateFlow")
+	return FlowHandle(33), e.allocOK
+}
+
+func (e *scriptEnv) Rejuvenate(h FlowHandle) { e.record("Rejuvenate") }
+
+func (e *scriptEnv) EmitExternal(h FlowHandle) {
+	e.record("EmitExternal")
+	e.verdict = VerdictToExternal
+	e.emitted = h
+}
+
+func (e *scriptEnv) EmitInternal(h FlowHandle) {
+	e.record("EmitInternal")
+	e.verdict = VerdictToInternal
+	e.emitted = h
+}
+
+func (e *scriptEnv) Drop() { e.record("Drop"); e.verdict = VerdictDrop }
+
+func (e *scriptEnv) called(name string) bool {
+	for _, c := range e.calls {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestExpireAlwaysRunsFirst checks Fig. 6 l.2: expiry precedes every
+// other operation, even for garbage frames.
+func TestExpireAlwaysRunsFirst(t *testing.T) {
+	for _, env := range []*scriptEnv{{}, parseableUDP()} {
+		ProcessPacket(env)
+		if len(env.calls) == 0 || env.calls[0] != "ExpireFlows" {
+			t.Fatalf("ExpireFlows must be the first operation, got %v", env.calls)
+		}
+	}
+}
+
+// TestParseFailureDrops drops the packet at each stage of the parsing
+// chain and checks two things: the verdict is Drop, and no lookup,
+// allocation, or emit ever runs on an unparsed packet — the usage
+// discipline the symbolic models enforce (state operations require the
+// full parse chain to have passed).
+func TestParseFailureDrops(t *testing.T) {
+	stages := []struct {
+		name  string
+		wreck func(*scriptEnv)
+	}{
+		{"truncated-frame", func(e *scriptEnv) { e.frameIntact = false }},
+		{"non-ipv4", func(e *scriptEnv) { e.etherIPv4 = false }},
+		{"bad-ip-header", func(e *scriptEnv) { e.ipValid = false }},
+		{"fragment", func(e *scriptEnv) { e.notFragment = false }},
+		{"non-tcp-udp", func(e *scriptEnv) { e.l4Supported = false }},
+		{"truncated-l4", func(e *scriptEnv) { e.l4Intact = false }},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			env := parseableUDP()
+			st.wreck(env)
+			ProcessPacket(env)
+			if env.verdict != VerdictDrop {
+				t.Fatalf("verdict = %v, want drop", env.verdict)
+			}
+			for _, forbidden := range []string{
+				"LookupInternal", "LookupExternal", "AllocateFlow",
+				"Rejuvenate", "EmitExternal", "EmitInternal",
+			} {
+				if env.called(forbidden) {
+					t.Fatalf("%s called on an unparseable packet (calls: %v)",
+						forbidden, env.calls)
+				}
+			}
+			if !env.called("Drop") {
+				t.Fatal("Drop action never invoked")
+			}
+		})
+	}
+}
+
+// TestGuardOrderShortCircuits checks the guard ordering contract: once
+// a predicate fails, later predicates in the chain are never consulted
+// (calling them without their requires-clause would be a P4 violation).
+func TestGuardOrderShortCircuits(t *testing.T) {
+	env := parseableUDP()
+	env.etherIPv4 = false
+	ProcessPacket(env)
+	for _, later := range []string{"IPv4HeaderValid", "NotFragment", "L4Supported", "L4HeaderIntact"} {
+		if env.called(later) {
+			t.Fatalf("%s consulted after EtherIsIPv4 failed (calls: %v)", later, env.calls)
+		}
+	}
+}
+
+// TestInternalHitRejuvenatesAndRewrites is Fig. 6 ll.10-12 + 21-28.
+func TestInternalHitRejuvenatesAndRewrites(t *testing.T) {
+	env := parseableUDP()
+	env.fromInternal = true
+	env.lookupIntHit = true
+	ProcessPacket(env)
+	if env.verdict != VerdictToExternal {
+		t.Fatalf("verdict = %v, want fwd-external", env.verdict)
+	}
+	if !env.called("Rejuvenate") {
+		t.Fatal("live flow not rejuvenated")
+	}
+	if env.called("AllocateFlow") {
+		t.Fatal("hit path must not allocate")
+	}
+	if env.emitted != FlowHandle(11) {
+		t.Fatalf("emitted handle %d, want the looked-up 11", env.emitted)
+	}
+}
+
+// TestInternalMissAllocates is Fig. 6 ll.14-17: first packet of a flow
+// allocates and is forwarded with the new handle.
+func TestInternalMissAllocates(t *testing.T) {
+	env := parseableUDP()
+	env.fromInternal = true
+	env.allocOK = true
+	ProcessPacket(env)
+	if env.verdict != VerdictToExternal {
+		t.Fatalf("verdict = %v, want fwd-external", env.verdict)
+	}
+	if env.called("Rejuvenate") {
+		t.Fatal("fresh flow must not be rejuvenated")
+	}
+	if env.emitted != FlowHandle(33) {
+		t.Fatalf("emitted handle %d, want the allocated 33", env.emitted)
+	}
+}
+
+// TestInternalMissTableFullDrops is Fig. 6 l.15's capacity check.
+func TestInternalMissTableFullDrops(t *testing.T) {
+	env := parseableUDP()
+	env.fromInternal = true
+	ProcessPacket(env)
+	if env.verdict != VerdictDrop {
+		t.Fatalf("verdict = %v, want drop when the table is full", env.verdict)
+	}
+	if env.called("EmitExternal") || env.called("EmitInternal") {
+		t.Fatal("nothing may be emitted when allocation fails")
+	}
+}
+
+// TestExternalHitForwardsIn is Fig. 6 ll.29-37.
+func TestExternalHitForwardsIn(t *testing.T) {
+	env := parseableUDP()
+	env.lookupExtHit = true
+	ProcessPacket(env)
+	if env.verdict != VerdictToInternal {
+		t.Fatalf("verdict = %v, want fwd-internal", env.verdict)
+	}
+	if !env.called("Rejuvenate") {
+		t.Fatal("live session not rejuvenated by return traffic")
+	}
+	if env.emitted != FlowHandle(22) {
+		t.Fatalf("emitted handle %d, want the looked-up 22", env.emitted)
+	}
+}
+
+// TestExternalMissNeverCreatesState is the paper's semantic linchpin:
+// unsolicited external packets are dropped and allocate nothing
+// (Fig. 6 l.14 guards the insert with P.iface = internal).
+func TestExternalMissNeverCreatesState(t *testing.T) {
+	env := parseableUDP()
+	ProcessPacket(env)
+	if env.verdict != VerdictDrop {
+		t.Fatalf("verdict = %v, want drop", env.verdict)
+	}
+	if env.called("AllocateFlow") {
+		t.Fatal("external packet allocated state")
+	}
+	if env.called("LookupInternal") {
+		t.Fatal("external packet consulted the internal-key index")
+	}
+}
+
+// TestExactlyOneOutputAction: every path ends in exactly one of Drop /
+// EmitExternal / EmitInternal — the "exactly one verdict per packet"
+// property the spec relies on.
+func TestExactlyOneOutputAction(t *testing.T) {
+	envs := map[string]*scriptEnv{
+		"garbage":       {},
+		"internal-hit":  func() *scriptEnv { e := parseableUDP(); e.fromInternal = true; e.lookupIntHit = true; return e }(),
+		"internal-miss": func() *scriptEnv { e := parseableUDP(); e.fromInternal = true; e.allocOK = true; return e }(),
+		"internal-full": func() *scriptEnv { e := parseableUDP(); e.fromInternal = true; return e }(),
+		"external-hit":  func() *scriptEnv { e := parseableUDP(); e.lookupExtHit = true; return e }(),
+		"external-miss": parseableUDP(),
+	}
+	for name, env := range envs {
+		ProcessPacket(env)
+		outputs := 0
+		for _, c := range env.calls {
+			if c == "Drop" || strings.HasPrefix(c, "Emit") {
+				outputs++
+			}
+		}
+		if outputs != 1 {
+			t.Errorf("%s: %d output actions (calls: %v), want exactly 1", name, outputs, env.calls)
+		}
+	}
+}

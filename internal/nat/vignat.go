@@ -59,8 +59,15 @@ func (n *NAT) Stats() Stats { return n.stats }
 // interface the frame arrived on. This is the per-packet fast path: it
 // performs no allocation.
 func (n *NAT) Process(frame []byte, fromInternal bool) stateless.Verdict {
+	return n.ProcessAt(frame, fromInternal, n.clock.Now())
+}
+
+// ProcessAt is Process at an explicit time. Batched callers read the
+// clock once per burst and feed the same timestamp to every packet,
+// the way DPDK NFs sample the TSC once per rx_burst.
+func (n *NAT) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) stateless.Verdict {
 	e := &n.env
-	e.reset(frame, fromInternal, n.clock.Now())
+	e.reset(frame, fromInternal, now)
 	stateless.ProcessPacket(e)
 	n.stats.Processed++
 	switch e.verdict {
@@ -72,6 +79,15 @@ func (n *NAT) Process(frame []byte, fromInternal bool) stateless.Verdict {
 		n.stats.ForwardedIn++
 	}
 	return e.verdict
+}
+
+// ExpireAt removes every flow idle since before now−Texp, without
+// processing a packet — the pipeline's idle-poll expiration hook. It
+// returns the number of flows freed.
+func (n *NAT) ExpireAt(now libvig.Time) int {
+	freed := n.table.Expire(now - n.cfg.TimeoutNanos() + 1)
+	n.stats.FlowsExpired += uint64(freed)
+	return freed
 }
 
 // prodEnv is the production binding of stateless.Env: predicates answer
@@ -174,6 +190,10 @@ const BurstSize = 32
 // packets processed. Mbuf ownership is conserved: every received mbuf is
 // either transmitted or freed (the leak property Vigor's checker
 // enforces — the paper reports catching a real bug here).
+//
+// This is the paper's original single-NF per-packet loop, kept as the
+// baseline the benchmarks compare against; production composition now
+// goes through nf.Pipeline, which batches processing and TX assembly.
 func (n *NAT) PollPorts(intPort, extPort *dpdk.Port, scratch []*dpdk.Mbuf) int {
 	if len(scratch) < BurstSize {
 		scratch = make([]*dpdk.Mbuf, BurstSize) // misuse fallback; callers preallocate

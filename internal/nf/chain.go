@@ -1,0 +1,100 @@
+package nf
+
+import (
+	"errors"
+	"strings"
+
+	"vignat/internal/libvig"
+)
+
+// Chain composes NFs into a service chain on the internal→external
+// axis: elems[0] sits closest to the internal network, elems[len-1]
+// closest to the external one. A frame from the internal side traverses
+// the chain left to right; a frame from the external side traverses it
+// right to left — the standard middlebox ordering, and the one that
+// makes a firewall→NAT home gateway work (outbound packets are
+// firewalled pre-translation, inbound replies are translated back
+// before the firewall matches them against the session table).
+//
+// The first element to drop wins; later elements never see the packet.
+type Chain struct {
+	name  string
+	elems []NF
+
+	stats Stats
+}
+
+var _ NF = (*Chain)(nil)
+
+// NewChain builds a chain from elems, ordered internal→external.
+func NewChain(name string, elems ...NF) (*Chain, error) {
+	if len(elems) == 0 {
+		return nil, errors.New("nf: empty chain")
+	}
+	for _, e := range elems {
+		if e == nil {
+			return nil, errors.New("nf: nil chain element")
+		}
+	}
+	return &Chain{name: name, elems: elems}, nil
+}
+
+// Name returns the chain's name plus its element names.
+func (c *Chain) Name() string {
+	names := make([]string, len(c.elems))
+	for i, e := range c.elems {
+		names[i] = e.Name()
+	}
+	return c.name + "[" + strings.Join(names, "→") + "]"
+}
+
+// Elems returns the chain's elements, ordered internal→external.
+func (c *Chain) Elems() []NF { return c.elems }
+
+// Process runs the frame through the chain in direction order.
+func (c *Chain) Process(frame []byte, fromInternal bool) Verdict {
+	c.stats.Processed++
+	if fromInternal {
+		for _, e := range c.elems {
+			if e.Process(frame, fromInternal) == Drop {
+				c.stats.Dropped++
+				return Drop
+			}
+		}
+	} else {
+		for i := len(c.elems) - 1; i >= 0; i-- {
+			if c.elems[i].Process(frame, fromInternal) == Drop {
+				c.stats.Dropped++
+				return Drop
+			}
+		}
+	}
+	c.stats.Forwarded++
+	return Forward
+}
+
+// ProcessBatch runs each packet through the chain.
+func (c *Chain) ProcessBatch(pkts []Pkt, verdicts []Verdict) {
+	for i := range pkts {
+		verdicts[i] = c.Process(pkts[i].Frame, pkts[i].FromInternal)
+	}
+}
+
+// Expire advances expiry on every element.
+func (c *Chain) Expire(now libvig.Time) int {
+	n := 0
+	for _, e := range c.elems {
+		n += e.Expire(now)
+	}
+	return n
+}
+
+// NFStats returns the chain's own counters; Expired is aggregated from
+// the elements (a chain holds no state of its own).
+func (c *Chain) NFStats() Stats {
+	s := c.stats
+	for _, e := range c.elems {
+		s.Expired += e.NFStats().Expired
+	}
+	return s
+}

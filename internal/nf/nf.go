@@ -1,0 +1,126 @@
+// Package nf is the unified network-function layer: one interface every
+// NF in the repository implements (NAT, firewall, discard, and their
+// compositions) and one Pipeline engine that binds any of them to the
+// dpdk substrate with RX/TX bursting and flow-hash sharding.
+//
+// Before this package each NF carried its own copy of the poll-loop
+// harness (rx_burst → process → tx_burst, mbuf ownership bookkeeping,
+// drop accounting). The paper's artifact is one NAT pinned to one core;
+// the Vigor-style generalization the roadmap targets needs the opposite
+// factoring: NFs supply only packet semantics, and a shared
+// run-to-completion engine supplies I/O, batching, and scaling — the
+// same split ndn-dpdk's forwarder makes between its per-NF logic and
+// its input/fwd threads.
+package nf
+
+import "vignat/internal/libvig"
+
+// Verdict is the pipeline-level outcome for one packet. NFs in this
+// repository are two-interface middleboxes, so "forward" always means
+// "out the opposite interface"; NF-specific verdicts (the NAT's
+// directional ones, say) collapse onto this pair at the engine boundary.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// Drop discards the packet; the engine frees its mbuf.
+	Drop Verdict = iota
+	// Forward emits the (possibly rewritten) packet out the interface
+	// opposite the one it arrived on.
+	Forward
+)
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case Drop:
+		return "drop"
+	case Forward:
+		return "forward"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Pkt is one unit of pipeline work: a frame and the side it arrived on.
+// Frame aliases the owning mbuf's data room, so NFs that rewrite do so
+// in place, exactly like the C NFs over rte_mbuf.
+type Pkt struct {
+	Frame        []byte
+	FromInternal bool
+}
+
+// Stats are the engine-visible counters every NF exposes. NFs keep
+// richer internal statistics (the NAT splits forwards by direction, for
+// instance); these are the common denominators the pipeline aggregates.
+type Stats struct {
+	Processed uint64
+	Forwarded uint64
+	Dropped   uint64
+	Expired   uint64
+}
+
+// Add accumulates other into s (shard and chain aggregation).
+func (s *Stats) Add(other Stats) {
+	s.Processed += other.Processed
+	s.Forwarded += other.Forwarded
+	s.Dropped += other.Dropped
+	s.Expired += other.Expired
+}
+
+// NF is a network function the pipeline can drive. Implementations live
+// with their packet logic (internal/nat, internal/firewall,
+// internal/discard); the engine knows nothing about what a verdict
+// means beyond drop-or-forward.
+//
+// Implementations are single-threaded per instance: the pipeline
+// guarantees that at most one goroutine is inside a given NF value at a
+// time (sharded NFs get that guarantee per shard).
+type NF interface {
+	// Name identifies the NF in stats and logs.
+	Name() string
+
+	// Process runs one frame at the NF's current time, rewriting it in
+	// place when the NF translates. fromInternal says which interface
+	// the frame arrived on.
+	Process(frame []byte, fromInternal bool) Verdict
+
+	// ProcessBatch processes pkts[i] into verdicts[i] for every i. It
+	// must be allocation-free and must behave exactly like len(pkts)
+	// calls to Process, except that implementations may read their
+	// clock once for the whole batch — the amortization DPDK NFs get
+	// from reading TSC once per burst. len(verdicts) must be at least
+	// len(pkts).
+	ProcessBatch(pkts []Pkt, verdicts []Verdict)
+
+	// Expire advances the NF's state expiry to now without processing a
+	// packet, returning the number of entries freed. The pipeline calls
+	// it on idle polls so state drains even when no traffic arrives —
+	// per-packet NFs expire on their own during Process.
+	Expire(now libvig.Time) int
+
+	// NFStats snapshots the engine-visible counters.
+	NFStats() Stats
+}
+
+// Sharder is implemented by NFs whose state is partitioned into
+// independent shards (RSS-style). The pipeline steers each frame to the
+// shard that owns its flow and may run shards on distinct workers; a
+// flow must always map to the same shard in both directions, which is
+// what makes the shards lock-free.
+type Sharder interface {
+	NF
+
+	// Shards returns the number of state partitions.
+	Shards() int
+
+	// ShardOf returns the shard owning the frame's flow. It must be
+	// consistent: every packet of a session (both directions) yields
+	// the same shard. Unparseable frames may map anywhere (they will be
+	// dropped regardless of owner).
+	ShardOf(frame []byte, fromInternal bool) int
+
+	// Shard returns shard i as a standalone NF. Distinct shards share
+	// no mutable state, so the pipeline may process them concurrently.
+	Shard(i int) NF
+}

@@ -1,0 +1,329 @@
+package nf_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vignat/internal/discard"
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// --- test fixtures ---
+
+// recordNF is a scripted NF that logs every Process call and answers
+// with a fixed verdict.
+type recordNF struct {
+	name    string
+	verdict nf.Verdict
+	log     *[]string
+	stats   nf.Stats
+}
+
+func (r *recordNF) Name() string { return r.name }
+
+func (r *recordNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	*r.log = append(*r.log, fmt.Sprintf("%s/%v", r.name, fromInternal))
+	r.stats.Processed++
+	if r.verdict == nf.Forward {
+		r.stats.Forwarded++
+	} else {
+		r.stats.Dropped++
+	}
+	return r.verdict
+}
+
+func (r *recordNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	for i := range pkts {
+		verdicts[i] = r.Process(pkts[i].Frame, pkts[i].FromInternal)
+	}
+}
+
+func (r *recordNF) Expire(now libvig.Time) int { return 0 }
+func (r *recordNF) NFStats() nf.Stats          { return r.stats }
+
+func udpFrame(t *testing.T, buf []byte, id flow.ID) []byte {
+	t.Helper()
+	id.Proto = flow.UDP
+	spec := &netstack.FrameSpec{ID: id}
+	return netstack.Craft(buf[:netstack.FrameLen(spec)], spec)
+}
+
+func twoPorts(t *testing.T, nMbufs int) (*dpdk.Mempool, *dpdk.Port, *dpdk.Port) {
+	t.Helper()
+	pool, err := dpdk.NewMempool(nMbufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, intPort, extPort
+}
+
+func drainAll(t *testing.T, port *dpdk.Port, pool *dpdk.Mempool) []flow.ID {
+	t.Helper()
+	var ids []flow.ID
+	bufs := make([]*dpdk.Mbuf, 8)
+	for {
+		k := port.DrainTx(bufs)
+		if k == 0 {
+			return ids
+		}
+		for i := 0; i < k; i++ {
+			var p netstack.Packet
+			if err := p.Parse(bufs[i].Data); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, p.FlowID())
+			if err := pool.Free(bufs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Chain ---
+
+// TestChainDirectionOrder checks the service-chain ordering contract:
+// internal→external traffic traverses elements left to right, return
+// traffic right to left.
+func TestChainDirectionOrder(t *testing.T) {
+	var log []string
+	a := &recordNF{name: "a", verdict: nf.Forward, log: &log}
+	b := &recordNF{name: "b", verdict: nf.Forward, log: &log}
+	c, err := nf.NewChain("t", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v := c.Process(nil, true); v != nf.Forward {
+		t.Fatalf("outbound verdict %v", v)
+	}
+	if v := c.Process(nil, false); v != nf.Forward {
+		t.Fatalf("inbound verdict %v", v)
+	}
+	want := []string{"a/true", "b/true", "b/false", "a/false"}
+	if len(log) != len(want) {
+		t.Fatalf("call log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("call log %v, want %v", log, want)
+		}
+	}
+}
+
+// TestChainDropShortCircuits: the first element to drop wins and later
+// elements never see the packet.
+func TestChainDropShortCircuits(t *testing.T) {
+	var log []string
+	a := &recordNF{name: "a", verdict: nf.Drop, log: &log}
+	b := &recordNF{name: "b", verdict: nf.Forward, log: &log}
+	c, err := nf.NewChain("t", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := c.Process(nil, true); v != nf.Drop {
+		t.Fatalf("verdict %v, want drop", v)
+	}
+	if len(log) != 1 || log[0] != "a/true" {
+		t.Fatalf("call log %v: element after the dropper ran", log)
+	}
+	// Inbound traverses in reverse, so b (closest to external) drops
+	// nothing and a drops; both run only until the drop.
+	log = log[:0]
+	if v := c.Process(nil, false); v != nf.Drop {
+		t.Fatalf("verdict %v, want drop", v)
+	}
+	want := []string{"b/false", "a/false"}
+	if len(log) != len(want) || log[0] != want[0] || log[1] != want[1] {
+		t.Fatalf("call log %v, want %v", log, want)
+	}
+}
+
+// --- Pipeline ---
+
+// TestPipelineForwardsAndDrops runs the frame-level discard NF on the
+// engine: port-9 frames are dropped and freed, the rest are forwarded
+// out the opposite port, and every mbuf is accounted for.
+func TestPipelineForwardsAndDrops(t *testing.T) {
+	pool, intPort, extPort := twoPorts(t, 32)
+	pipe, err := nf.NewPipeline(discard.NewFrameNF(), nf.Config{Internal: intPort, External: extPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 2048)
+	host := flow.MakeAddr(10, 0, 0, 1)
+	server := flow.MakeAddr(198, 51, 100, 1)
+	for i, dst := range []uint16{80, 9, 443} {
+		id := flow.ID{SrcIP: host, DstIP: server, SrcPort: uint16(4000 + i), DstPort: dst}
+		if !intPort.DeliverRx(udpFrame(t, buf, id), 0) {
+			t.Fatal("rx rejected")
+		}
+	}
+	// And one inbound frame, to check direction handling.
+	inbound := flow.ID{SrcIP: server, DstIP: host, SrcPort: 80, DstPort: 4000, Proto: flow.UDP}
+	if !extPort.DeliverRx(udpFrame(t, buf, inbound), 0) {
+		t.Fatal("rx rejected")
+	}
+
+	n, err := pipe.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("polled %d packets, want 4", n)
+	}
+
+	out := drainAll(t, extPort, pool)
+	if len(out) != 2 {
+		t.Fatalf("%d frames on the external wire, want 2 (port 9 dropped)", len(out))
+	}
+	for _, id := range out {
+		if id.DstPort == 9 {
+			t.Fatal("a port-9 frame escaped")
+		}
+	}
+	in := drainAll(t, intPort, pool)
+	if len(in) != 1 || in[0] != inbound {
+		t.Fatalf("inbound frame mangled: %v", in)
+	}
+
+	st := pipe.Stats()
+	if st.RxPackets != 4 || st.TxPackets != 3 || st.Dropped != 1 {
+		t.Fatalf("engine stats %+v, want rx=4 tx=3 dropped=1", st)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d mbufs leaked", pool.InUse())
+	}
+}
+
+// TestPipelineNATRoundTrip drives the verified NAT through the engine:
+// outbound packets are translated and emerge on the external port,
+// replies to the translated tuple come back translated on the internal
+// port, unsolicited outside packets die.
+func TestPipelineNATRoundTrip(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	sharded, err := nat.NewSharded(nat.Config{
+		Capacity: 1024, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1,
+	}, clock, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, intPort, extPort := twoPorts(t, 64)
+	pipe, err := nf.NewPipeline(sharded, nf.Config{
+		Internal: intPort, External: extPort, Workers: 4, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 2048)
+	nFlows := 16
+	for i := 0; i < nFlows; i++ {
+		id := flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 7),
+			SrcPort: uint16(5000 + i),
+			DstPort: 80,
+		}
+		if !intPort.DeliverRx(udpFrame(t, buf, id), clock.Now()) {
+			t.Fatal("rx rejected")
+		}
+	}
+	if _, err := pipe.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	outbound := drainAll(t, extPort, pool)
+	if len(outbound) != nFlows {
+		t.Fatalf("%d translated frames, want %d", len(outbound), nFlows)
+	}
+
+	// Replies to every translated tuple return through the NAT.
+	for _, id := range outbound {
+		if id.SrcIP != extIP {
+			t.Fatalf("outbound frame not translated: %v", id)
+		}
+		if !extPort.DeliverRx(udpFrame(t, buf, id.Reverse()), clock.Now()) {
+			t.Fatal("rx rejected")
+		}
+	}
+	// One unsolicited packet to a port no flow owns.
+	bogus := flow.ID{SrcIP: flow.MakeAddr(203, 0, 113, 9), DstIP: extIP, SrcPort: 443, DstPort: 65535}
+	if !extPort.DeliverRx(udpFrame(t, buf, bogus), clock.Now()) {
+		t.Fatal("rx rejected")
+	}
+
+	if _, err := pipe.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	replies := drainAll(t, intPort, pool)
+	if len(replies) != nFlows {
+		t.Fatalf("%d replies delivered inside, want %d (bogus packet dropped)", len(replies), nFlows)
+	}
+	for _, id := range replies {
+		if id.DstIP == extIP {
+			t.Fatalf("reply not translated back: %v", id)
+		}
+	}
+	if sharded.Flows() != nFlows {
+		t.Fatalf("%d live flows, want %d", sharded.Flows(), nFlows)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d mbufs leaked", pool.InUse())
+	}
+}
+
+// TestPipelineIdleExpiry: idle polls advance NF expiry when a clock is
+// configured, so state drains without traffic.
+func TestPipelineIdleExpiry(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	texp := time.Second
+	sharded, err := nat.NewSharded(nat.Config{
+		Capacity: 64, Timeout: texp, ExternalIP: extIP, ExternalPort: 1,
+	}, clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, intPort, extPort := twoPorts(t, 8)
+	pipe, err := nf.NewPipeline(sharded, nf.Config{Internal: intPort, External: extPort, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 2048)
+	id := flow.ID{SrcIP: flow.MakeAddr(10, 0, 0, 1), DstIP: flow.MakeAddr(1, 1, 1, 1), SrcPort: 1234, DstPort: 53}
+	intPort.DeliverRx(udpFrame(t, buf, id), clock.Now())
+	if _, err := pipe.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, extPort, pool)
+	if sharded.Flows() != 1 {
+		t.Fatalf("%d flows after packet, want 1", sharded.Flows())
+	}
+
+	clock.Advance(2 * texp.Nanoseconds())
+	if n, err := pipe.Poll(); err != nil || n != 0 {
+		t.Fatalf("idle poll returned (%d, %v)", n, err)
+	}
+	if sharded.Flows() != 0 {
+		t.Fatalf("%d flows after idle poll past Texp, want 0", sharded.Flows())
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("%d mbufs leaked", pool.InUse())
+	}
+}

@@ -1,0 +1,273 @@
+package nf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/libvig"
+)
+
+// DefaultBurst is the RX/TX burst size, matching the C NFs' 32-packet
+// DPDK bursts.
+const DefaultBurst = 32
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// Internal and External are the two dpdk ports the NF bridges.
+	Internal, External *dpdk.Port
+	// Burst is the RX/TX burst size (default DefaultBurst).
+	Burst int
+	// Workers is the number of processing workers (default 1). With
+	// more than one worker each Poll fork-joins shard processing across
+	// goroutines; shards share no state, so no locks are taken on the
+	// packet path. Workers beyond the shard count are idle.
+	Workers int
+	// Clock, when set, lets idle polls advance NF expiry so state
+	// drains without traffic.
+	Clock libvig.Clock
+}
+
+// PipelineStats counts engine-level events.
+type PipelineStats struct {
+	Polls     uint64
+	RxPackets uint64
+	TxPackets uint64
+	TxFreed   uint64 // forwarded but rejected by the TX queue
+	Dropped   uint64 // NF verdict was Drop
+}
+
+// Pipeline is the shared run-to-completion engine: it pulls RX bursts
+// from both ports, steers each frame to the shard owning its flow,
+// runs batched NF processing (optionally across workers), and
+// assembles TX bursts with libvig.Batcher — the rx_burst → steer →
+// process → tx_burst loop every NF previously hand-rolled.
+//
+// Mbuf ownership is conserved: every mbuf received in a Poll is either
+// handed to a TX queue or freed to its pool before Poll returns, the
+// leak discipline Vigor's checker enforces.
+type Pipeline struct {
+	nf      NF
+	sharder Sharder
+	intPort *dpdk.Port
+	extPort *dpdk.Port
+	burst   int
+	workers int
+	clock   libvig.Clock
+
+	// Preallocated per-poll scratch: the packet path allocates nothing.
+	rxBufs     []*dpdk.Mbuf
+	shardPkts  [][]Pkt
+	shardBufs  [][]*dpdk.Mbuf
+	shardVerd  [][]Verdict
+	shardNFs   []NF
+	toInternal *libvig.Batcher[*dpdk.Mbuf]
+	toExternal *libvig.Batcher[*dpdk.Mbuf]
+
+	stats PipelineStats
+}
+
+// singleShard adapts an unsharded NF to the Sharder interface: one
+// shard owning everything.
+type singleShard struct{ NF }
+
+func (s singleShard) Shards() int              { return 1 }
+func (s singleShard) ShardOf([]byte, bool) int { return 0 }
+func (s singleShard) Shard(int) NF             { return s.NF }
+
+// NewPipeline binds n to the ports in cfg.
+func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
+	if n == nil {
+		return nil, errors.New("nf: nil NF")
+	}
+	if cfg.Internal == nil || cfg.External == nil {
+		return nil, errors.New("nf: pipeline needs both ports")
+	}
+	burst := cfg.Burst
+	if burst == 0 {
+		burst = DefaultBurst
+	}
+	if burst < 0 {
+		return nil, errors.New("nf: negative burst")
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 {
+		return nil, errors.New("nf: negative worker count")
+	}
+	sharder, ok := n.(Sharder)
+	if !ok {
+		sharder = singleShard{n}
+	}
+	nShards := sharder.Shards()
+	if nShards < 1 {
+		return nil, fmt.Errorf("nf: %s reports %d shards", n.Name(), nShards)
+	}
+	p := &Pipeline{
+		nf:      n,
+		sharder: sharder,
+		intPort: cfg.Internal,
+		extPort: cfg.External,
+		burst:   burst,
+		workers: workers,
+		clock:   cfg.Clock,
+		rxBufs:  make([]*dpdk.Mbuf, burst),
+	}
+	// Worst case both ports' bursts land in one shard.
+	perShard := 2 * burst
+	p.shardPkts = make([][]Pkt, nShards)
+	p.shardBufs = make([][]*dpdk.Mbuf, nShards)
+	p.shardVerd = make([][]Verdict, nShards)
+	p.shardNFs = make([]NF, nShards)
+	for s := 0; s < nShards; s++ {
+		p.shardPkts[s] = make([]Pkt, 0, perShard)
+		p.shardBufs[s] = make([]*dpdk.Mbuf, 0, perShard)
+		p.shardVerd[s] = make([]Verdict, perShard)
+		p.shardNFs[s] = sharder.Shard(s)
+	}
+	var err error
+	p.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, p.txFlush(cfg.Internal))
+	if err != nil {
+		return nil, err
+	}
+	p.toExternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, p.txFlush(cfg.External))
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// txFlush builds the Batcher flush function for one output port: burst
+// the batch out, free whatever the TX queue rejects (DPDK semantics —
+// the mbuf must go back to its pool either way).
+func (p *Pipeline) txFlush(port *dpdk.Port) func([]*dpdk.Mbuf) error {
+	return func(bufs []*dpdk.Mbuf) error {
+		sent := port.TxBurst(bufs)
+		p.stats.TxPackets += uint64(sent)
+		for _, m := range bufs[sent:] {
+			p.stats.TxFreed++
+			if err := m.Pool().Free(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// NF returns the pipeline's network function.
+func (p *Pipeline) NF() NF { return p.nf }
+
+// Stats returns a snapshot of the engine counters.
+func (p *Pipeline) Stats() PipelineStats { return p.stats }
+
+// Poll runs one engine iteration: RX from both ports, steer, process,
+// TX. It returns the number of packets pulled from the RX queues. On an
+// idle poll (zero packets) it advances NF expiry if a clock was
+// configured.
+func (p *Pipeline) Poll() (int, error) {
+	p.stats.Polls++
+	for s := range p.shardPkts {
+		p.shardPkts[s] = p.shardPkts[s][:0]
+		p.shardBufs[s] = p.shardBufs[s][:0]
+	}
+	n := p.rxSteer(p.intPort, true)
+	n += p.rxSteer(p.extPort, false)
+	if n == 0 {
+		if p.clock != nil {
+			p.nf.Expire(p.clock.Now())
+		}
+		return 0, nil
+	}
+	p.stats.RxPackets += uint64(n)
+
+	if p.workers > 1 && len(p.shardNFs) > 1 {
+		p.processParallel()
+	} else {
+		for s, pkts := range p.shardPkts {
+			if len(pkts) > 0 {
+				p.shardNFs[s].ProcessBatch(pkts, p.shardVerd[s])
+			}
+		}
+	}
+
+	if err := p.emit(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// rxSteer pulls one burst from port and distributes the mbufs to the
+// shards owning their flows.
+func (p *Pipeline) rxSteer(port *dpdk.Port, fromInternal bool) int {
+	cnt := port.RxBurst(p.rxBufs)
+	for i := 0; i < cnt; i++ {
+		m := p.rxBufs[i]
+		s := p.sharder.ShardOf(m.Data, fromInternal)
+		if s < 0 || s >= len(p.shardPkts) {
+			s = 0
+		}
+		p.shardPkts[s] = append(p.shardPkts[s], Pkt{Frame: m.Data, FromInternal: fromInternal})
+		p.shardBufs[s] = append(p.shardBufs[s], m)
+	}
+	return cnt
+}
+
+// processParallel fork-joins shard batches across the configured
+// workers. Worker w owns shards w, w+workers, w+2·workers, …; shard
+// state and verdict slices are disjoint, so the workers synchronize
+// only at the join.
+func (p *Pipeline) processParallel() {
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(p.shardNFs) {
+		workers = len(p.shardNFs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < len(p.shardNFs); s += workers {
+				if len(p.shardPkts[s]) > 0 {
+					p.shardNFs[s].ProcessBatch(p.shardPkts[s], p.shardVerd[s])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// emit walks the verdicts, freeing drops and batching forwards onto the
+// opposite port, then flushes both TX batchers.
+func (p *Pipeline) emit() error {
+	for s := range p.shardPkts {
+		pkts := p.shardPkts[s]
+		bufs := p.shardBufs[s]
+		verd := p.shardVerd[s]
+		for i := range pkts {
+			m := bufs[i]
+			if verd[i] != Forward {
+				p.stats.Dropped++
+				if err := m.Pool().Free(m); err != nil {
+					return err
+				}
+				continue
+			}
+			var b *libvig.Batcher[*dpdk.Mbuf]
+			if pkts[i].FromInternal {
+				b = p.toExternal
+			} else {
+				b = p.toInternal
+			}
+			if err := b.Push(m); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.toInternal.Flush(); err != nil {
+		return err
+	}
+	return p.toExternal.Flush()
+}

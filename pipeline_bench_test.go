@@ -1,0 +1,256 @@
+// Benchmarks for the unified NF pipeline (internal/nf): the per-packet
+// vs batched processing comparison and the shard-scaling sweep. See
+// EXPERIMENTS.md ("NF pipeline") for what the numbers mean — in
+// particular, shard scaling on this single-core harness is reported
+// through the makespan model: each shard's work is timed in isolation
+// and the slowest shard bounds the wall clock a multi-core deployment
+// would see.
+//
+//	go test -bench=Pipeline -benchmem
+//	go test -bench=NFProcess -benchmem
+package vignat_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/experiments"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+const benchNFFlows = 256
+
+// setupBenchNF builds a 1-shard NAT behind the nf.NF interface on the
+// system clock (the clock cost is what batching amortizes) and returns
+// it with pristine frames for benchNFFlows warm flows.
+func setupBenchNF(b *testing.B) (*nat.Sharded, [][]byte) {
+	b.Helper()
+	sh, err := nat.NewSharded(nat.Config{
+		Capacity:   experiments.Capacity,
+		Timeout:    time.Hour,
+		ExternalIP: experiments.ExtIP,
+		PortBase:   experiments.PortBase,
+		// InternalPort 0 / ExternalPort 1, as everywhere.
+		ExternalPort: 1,
+	}, libvig.NewSystemClock(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([][]byte, benchNFFlows)
+	work := make([]byte, dpdk.DataRoomSize)
+	for i := range frames {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(i>>8), byte(i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			SrcPort: uint16(10000 + i),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}}
+		frames[i] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+		n := copy(work, frames[i])
+		if sh.Process(work[:n], true) != nf.Forward {
+			b.Fatal("warmup drop")
+		}
+	}
+	return sh, frames
+}
+
+// BenchmarkNFProcessPerPacket is the baseline the pipeline replaced:
+// one Process call — and one clock read — per packet.
+func BenchmarkNFProcessPerPacket(b *testing.B) {
+	sh, frames := setupBenchNF(b)
+	work := make([]byte, dpdk.DataRoomSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := copy(work, frames[i%benchNFFlows])
+		if sh.Process(work[:n], true) != nf.Forward {
+			b.Fatal("drop")
+		}
+	}
+}
+
+// BenchmarkNFProcessBatched is the engine's path: 32-packet bursts
+// through ProcessBatch, one clock read per burst. Throughput must be at
+// least the per-packet path's.
+func BenchmarkNFProcessBatched(b *testing.B) {
+	sh, frames := setupBenchNF(b)
+	scratch := make([][]byte, nf.DefaultBurst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, nf.DefaultBurst)
+	verd := make([]nf.Verdict, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			n := copy(scratch[j], frames[(done+j)%benchNFFlows])
+			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: true}
+		}
+		sh.ProcessBatch(pkts[:c], verd)
+		done += c
+	}
+}
+
+// BenchmarkPipelinePoll measures the full engine iteration — RX burst,
+// steer, batched NAT, TX batch assembly, wire drain — per packet.
+func BenchmarkPipelinePoll(b *testing.B) {
+	sh, frames := setupBenchNF(b)
+	pool, err := dpdk.NewMempool(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := nf.NewPipeline(sh, nf.Config{Internal: intPort, External: extPort})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			intPort.DeliverRx(frames[(done+j)%benchNFFlows], 0)
+		}
+		if _, err := pipe.Poll(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			k := extPort.DrainTx(drain)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				if err := pool.Free(drain[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		done += c
+	}
+	b.StopTimer()
+	if pool.InUse() != 0 {
+		b.Fatalf("%d mbufs leaked", pool.InUse())
+	}
+}
+
+// BenchmarkPipelineShardScaling sweeps shard counts over a fixed
+// workload. ns/op is the sequential sweep (flat in the shard count);
+// the modeled-Mpps metric is the makespan-model throughput, which must
+// increase monotonically 1→4 workers — that is the acceptance claim,
+// and the number a W-core deployment's wall clock would track.
+func BenchmarkPipelineShardScaling(b *testing.B) {
+	const packets = 8192
+	const nFlows = 2048
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			sh, err := nat.NewSharded(nat.Config{
+				Capacity:     experiments.Capacity,
+				Timeout:      time.Hour,
+				ExternalIP:   experiments.ExtIP,
+				PortBase:     experiments.PortBase,
+				ExternalPort: 1,
+			}, libvig.NewSystemClock(), w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Craft, steer, and warm the flows once.
+			frames := make([][]byte, nFlows)
+			buckets := make([][]int, w)
+			work := make([]byte, dpdk.DataRoomSize)
+			for f := 0; f < nFlows; f++ {
+				spec := &netstack.FrameSpec{ID: flow.ID{
+					SrcIP:   flow.MakeAddr(10, 1, byte(f>>8), byte(f)),
+					DstIP:   flow.MakeAddr(198, 51, 100, 1),
+					SrcPort: uint16(2000 + f),
+					DstPort: 80,
+					Proto:   flow.UDP,
+				}}
+				frames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+				s := sh.ShardOf(frames[f], true)
+				buckets[s] = append(buckets[s], f)
+				n := copy(work, frames[f])
+				if sh.Process(work[:n], true) != nf.Forward {
+					b.Fatal("warmup drop")
+				}
+			}
+			// Per-shard packet lists for `packets` packets round-robin
+			// over the flows.
+			lists := make([][]int, w)
+			for i := 0; i < packets; i++ {
+				f := i % nFlows
+				s := sh.ShardOf(frames[f], true)
+				lists[s] = append(lists[s], f)
+			}
+			scratch := make([][]byte, nf.DefaultBurst)
+			for j := range scratch {
+				scratch[j] = make([]byte, dpdk.DataRoomSize)
+			}
+			pkts := make([]nf.Pkt, nf.DefaultBurst)
+			verd := make([]nf.Verdict, nf.DefaultBurst)
+
+			var makespanTotal time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var makespan time.Duration
+				for s := 0; s < w; s++ {
+					snf := sh.Shard(s)
+					list := lists[s]
+					start := time.Now()
+					for off := 0; off < len(list); off += nf.DefaultBurst {
+						c := nf.DefaultBurst
+						if off+c > len(list) {
+							c = len(list) - off
+						}
+						for j := 0; j < c; j++ {
+							n := copy(scratch[j], frames[list[off+j]])
+							pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: true}
+						}
+						snf.ProcessBatch(pkts[:c], verd)
+					}
+					if el := time.Since(start); el > makespan {
+						makespan = el
+					}
+				}
+				makespanTotal += makespan
+			}
+			b.StopTimer()
+			if makespanTotal > 0 {
+				b.ReportMetric(float64(packets)*float64(b.N)/makespanTotal.Seconds()/1e6,
+					"modeled-Mpps")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineScalingTable prints the full experiments table
+// (per-packet vs batched vs modeled multi-worker throughput), the same
+// one `vigbench -fig pipeline` renders.
+func BenchmarkPipelineScalingTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PipelineScaling(experiments.PipelineConfig{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + experiments.FormatPipeline(rows))
+	}
+}
