@@ -23,6 +23,8 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
+	benchOut := flag.String("bench-out", "BENCH_pipeline.json",
+		"where the pipeline experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
@@ -89,12 +91,18 @@ func main() {
 	})
 
 	run("pipeline", func() error {
-		fmt.Println("=== NF pipeline: per-packet vs batched, shard scaling (makespan model) ===")
+		fmt.Println("=== NF pipeline: per-packet vs batched, measured multi-queue worker scaling ===")
 		rows, err := experiments.PipelineScaling(experiments.PipelineConfig{Scale: s})
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.FormatPipeline(rows))
+		if *benchOut != "" {
+			if err := experiments.WritePipelineJSON(*benchOut, rows); err != nil {
+				return err
+			}
+			fmt.Printf("(results written to %s)\n", *benchOut)
+		}
 		return nil
 	})
 

@@ -1,18 +1,24 @@
 // Command vignat runs the verified NAT on the simulated DPDK substrate:
-// two ports, the shared nf.Pipeline engine, and a built-in traffic
-// source standing in for the wire. It prints periodic statistics,
-// demonstrating the full production composition (netstack ⊕ libVig flow
-// table ⊕ dpdk ports ⊕ verified stateless logic ⊕ nf engine).
+// two multi-queue ports, the shared nf.Pipeline engine, and a built-in
+// traffic source standing in for the wire. It prints periodic
+// statistics, demonstrating the full production composition (netstack ⊕
+// libVig flow table ⊕ dpdk ports ⊕ verified stateless logic ⊕ nf
+// engine).
 //
 // Usage:
 //
 //	vignat [-flows N] [-packets N] [-timeout D] [-capacity N]
-//	       [-shards N] [-burst N] [-verify]
+//	       [-shards N] [-workers N] [-burst N] [-verify]
 //
 // -shards > 1 partitions the NAT RSS-style: each shard owns a disjoint
 // slice of the flow table and of the external port range, so steering
 // by flow hash (outbound) and by port range (inbound) always lands a
 // session on the same shard with no locks.
+//
+// -workers > 1 (default: one per shard) gives each worker its own RX/TX
+// queue pair on both ports, its own per-queue mempools, and its own
+// goroutine running the run-to-completion loop — deliver, poll, drain —
+// with no synchronization anywhere on the packet path.
 //
 // With -verify the binary first runs the verification pipeline and
 // refuses to start on a failed proof — the deployment story the paper
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"vignat/internal/core"
@@ -39,6 +46,7 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Second, "flow expiry (Texp)")
 	capacity := flag.Int("capacity", nat.DefaultCapacity, "flow table capacity (CAP)")
 	shards := flag.Int("shards", 1, "NAT shards (disjoint flow tables over partitioned port ranges)")
+	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
 	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	verify := flag.Bool("verify", true, "run the verification pipeline before starting")
 	flag.Parse()
@@ -63,25 +71,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	nWorkers := *workers
+	if nWorkers == 0 {
+		nWorkers = *shards
+	}
+	if nWorkers < 1 || nWorkers > *shards {
+		fatal(fmt.Errorf("workers must be in [1,%d] (one queue pair per worker, shards spread across workers)", *shards))
+	}
 
-	// Two ports on a shared mempool, as VigNAT configures DPDK.
-	pool, err := dpdk.NewMempool(4096)
-	if err != nil {
-		fatal(err)
+	// Two multi-queue ports, one queue pair and one mempool per worker:
+	// concurrent workers never share an allocator, as DPDK's per-queue
+	// rx mempools arrange.
+	newPort := func(id uint16) (*dpdk.Port, []*dpdk.Mempool) {
+		pools := make([]*dpdk.Mempool, nWorkers)
+		for q := range pools {
+			p, err := dpdk.NewMempool(4096 / nWorkers)
+			if err != nil {
+				fatal(err)
+			}
+			pools[q] = p
+		}
+		port, err := dpdk.NewMultiQueuePort(id, nWorkers, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pools)
+		if err != nil {
+			fatal(err)
+		}
+		return port, pools
 	}
-	intPort, err := dpdk.NewPort(cfg.InternalPort, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
-	if err != nil {
-		fatal(err)
-	}
-	extPort, err := dpdk.NewPort(cfg.ExternalPort, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
-	if err != nil {
-		fatal(err)
-	}
+	intPort, intPools := newPort(cfg.InternalPort)
+	extPort, extPools := newPort(cfg.ExternalPort)
 
 	pipe, err := nf.NewPipeline(n, nf.Config{
 		Internal: intPort,
 		External: extPort,
 		Burst:    *burst,
+		Workers:  nWorkers,
 		Clock:    clock,
 	})
 	if err != nil {
@@ -93,38 +116,70 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d shards, burst %d, %d flows, %d packets\n",
-		n.Capacity(), cfg.Timeout, cfg.ExternalIP, n.Shards(), *burst, *flows, *packets)
+	fmt.Printf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d shards, %d workers, burst %d, %d flows, %d packets\n",
+		n.Capacity(), cfg.Timeout, cfg.ExternalIP, n.Shards(), nWorkers, *burst, *flows, *packets)
 
-	drain := make([]*dpdk.Mbuf, *burst)
+	// Pre-steer the packet sequence per worker, so each worker's wire
+	// driver delivers only frames RSS places on its own queue.
+	workerOf := make([]int, len(specs))
+	for f := range specs {
+		workerOf[f] = n.ShardOf(specs[f].Frame(), true) % nWorkers
+	}
+	lists := make([][]int, nWorkers)
+	for i := 0; i < *packets; i++ {
+		f := i % len(specs)
+		lists[workerOf[f]] = append(lists[workerOf[f]], f)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nWorkers)
 	start := time.Now()
-	sent := 0
-	for sent < *packets {
-		// Wire side: deliver a burst of frames to the internal port.
-		for b := 0; b < *burst && sent < *packets; b++ {
-			f := &specs[sent%len(specs)]
-			clock.Advance(1000) // 1 µs between arrivals
-			intPort.DeliverRx(f.Frame(), clock.Now())
-			sent++
-		}
-		// NF side: one engine iteration.
-		if _, err := pipe.Poll(); err != nil {
-			fatal(err)
-		}
-		// Wire side: drain transmitted frames back into the pool.
-		for {
-			k := extPort.DrainTx(drain)
-			if k == 0 {
-				break
-			}
-			for i := 0; i < k; i++ {
-				if err := pool.Free(drain[i]); err != nil {
-					fatal(err)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			drain := make([]*dpdk.Mbuf, *burst)
+			list := lists[w]
+			for off := 0; off < len(list); off += *burst {
+				c := *burst
+				if off+c > len(list) {
+					c = len(list) - off
+				}
+				// Wire side: deliver a burst straight onto this worker's
+				// queue (the list is pre-steered; a NIC's RSS hash is
+				// hardware, not a per-packet software cost).
+				for j := 0; j < c; j++ {
+					clock.Advance(1000) // 1 µs between arrivals
+					intPort.DeliverRxQueue(w, specs[list[off+j]].Frame(), clock.Now())
+				}
+				// NF side: one run-to-completion iteration.
+				if _, err := pipe.PollWorker(w); err != nil {
+					errs[w] = err
+					return
+				}
+				// Wire side: drain transmitted frames back into their pools.
+				for {
+					k := extPort.DrainTxQueue(w, drain)
+					if k == 0 {
+						break
+					}
+					for i := 0; i < k; i++ {
+						if err := drain[i].Pool().Free(drain[i]); err != nil {
+							errs[w] = err
+							return
+						}
+					}
 				}
 			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
 		}
 	}
-	elapsed := time.Since(start)
 
 	st := n.Stats()
 	ps := pipe.Stats()
@@ -139,8 +194,14 @@ func main() {
 		ps.Polls, ps.RxPackets, ps.TxPackets, ps.TxFreed)
 	fmt.Printf("  int port: rx=%d rx_dropped=%d | ext port: tx=%d tx_dropped=%d\n",
 		is.RxPackets, is.RxDropped, es.TxPackets, es.TxDropped)
-	if pool.InUse() != intPort.RxQueueLen()+extPort.TxQueueLen() {
-		fatal(fmt.Errorf("mbuf leak detected: %d in use", pool.InUse()))
+	inUse := 0
+	for _, pools := range [][]*dpdk.Mempool{intPools, extPools} {
+		for _, p := range pools {
+			inUse += p.InUse()
+		}
+	}
+	if inUse != intPort.RxQueueLen()+extPort.TxQueueLen() {
+		fatal(fmt.Errorf("mbuf leak detected: %d in use", inUse))
 	}
 	fmt.Println("mbuf accounting clean (no leaks)")
 }

@@ -2,6 +2,10 @@
 // forward everything else), run in production form on the shared
 // nf.Pipeline engine and then verified with all three ring models of
 // Fig. 4 — demonstrating the exact failure modes the paper describes.
+//
+// The frame NF is unsharded, so the pipeline runs it as one
+// run-to-completion worker on single-queue ports; sharded NFs spread
+// across queue pairs and workers instead (see cmd/vignat -workers).
 package main
 
 import (

@@ -9,6 +9,12 @@
 // then matched against the firewall's session table). Every observable
 // NAT action is cross-checked against the executable RFC 3022
 // specification, exactly as before the chain existed.
+//
+// The chain runs as a single run-to-completion worker driven lock-step
+// (Pipeline.Poll) so the oracle can observe one packet at a time; the
+// chain still gets element-pass batching inside each burst. Parallel
+// multi-queue operation is cmd/vignat -workers' territory — the oracle
+// needs a deterministic packet order.
 package main
 
 import (

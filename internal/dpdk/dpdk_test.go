@@ -148,6 +148,112 @@ func TestPortMempoolExhaustionDrops(t *testing.T) {
 	}
 }
 
+func TestMultiQueuePortRSSSteering(t *testing.T) {
+	pools := []*Mempool{}
+	for i := 0; i < 4; i++ {
+		p, _ := NewMempool(8)
+		pools = append(pools, p)
+	}
+	port, err := NewMultiQueuePort(0, 4, 8, 8, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Queues() != 4 {
+		t.Fatalf("queues %d want 4", port.Queues())
+	}
+	// Steer by the first frame byte, like an RSS hash over the flow key.
+	port.SetRSS(func(frame []byte) int { return int(frame[0]) })
+	frame := make([]byte, 60)
+	for i := 0; i < 8; i++ {
+		frame[0] = byte(i % 4)
+		if !port.DeliverRx(frame, 0) {
+			t.Fatalf("deliver %d rejected", i)
+		}
+	}
+	bufs := make([]*Mbuf, 8)
+	for q := 0; q < 4; q++ {
+		n := port.RxBurstQueue(q, bufs)
+		if n != 2 {
+			t.Fatalf("queue %d got %d frames, want 2", q, n)
+		}
+		for i := 0; i < n; i++ {
+			if bufs[i].Data[0] != byte(q) {
+				t.Fatalf("queue %d holds a frame steered to %d", q, bufs[i].Data[0])
+			}
+			if bufs[i].Pool() != pools[q] {
+				t.Fatalf("queue %d frame allocated from a foreign pool", q)
+			}
+			_ = bufs[i].Pool().Free(bufs[i])
+		}
+		if qs := port.QueueStats(q); qs.RxPackets != 2 {
+			t.Fatalf("queue %d stats %+v", q, qs)
+		}
+	}
+	if s := port.Stats(); s.RxPackets != 8 {
+		t.Fatalf("aggregate stats %+v", s)
+	}
+}
+
+func TestMultiQueuePortPerQueueIsolation(t *testing.T) {
+	// An overflow or pool exhaustion on one queue must not affect
+	// another queue's traffic.
+	p0, _ := NewMempool(1)
+	p1, _ := NewMempool(8)
+	port, err := NewMultiQueuePort(0, 2, 2, 2, []*Mempool{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 60)
+	if !port.DeliverRxQueue(0, frame, 0) {
+		t.Fatal("first frame on queue 0 rejected")
+	}
+	if port.DeliverRxQueue(0, frame, 0) {
+		t.Fatal("queue 0 accepted a frame with its pool exhausted")
+	}
+	if !port.DeliverRxQueue(1, frame, 0) {
+		t.Fatal("queue 1 rejected a frame while queue 0 was exhausted")
+	}
+	if port.QueueStats(0).RxDropped != 1 || port.QueueStats(1).RxDropped != 0 {
+		t.Fatalf("per-queue drop accounting wrong: %+v %+v",
+			port.QueueStats(0), port.QueueStats(1))
+	}
+}
+
+func TestMultiQueuePortDrainSweepsQueues(t *testing.T) {
+	pool, _ := NewMempool(8)
+	port, err := NewMultiQueuePort(0, 2, 4, 4, []*Mempool{pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, m1 := pool.Alloc(), pool.Alloc()
+	if port.TxBurstQueue(1, []*Mbuf{m0}) != 1 || port.TxBurstQueue(0, []*Mbuf{m1}) != 1 {
+		t.Fatal("tx rejected")
+	}
+	out := make([]*Mbuf, 4)
+	// DrainTx sweeps queue 0 first, then queue 1.
+	if n := port.DrainTx(out); n != 2 || out[0] != m1 || out[1] != m0 {
+		t.Fatalf("drain swept %d frames in wrong order", n)
+	}
+	_ = pool.Free(m0)
+	_ = pool.Free(m1)
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked mbufs: %d", pool.InUse())
+	}
+}
+
+func TestMultiQueuePortValidation(t *testing.T) {
+	pool, _ := NewMempool(1)
+	if _, err := NewMultiQueuePort(0, 0, 4, 4, []*Mempool{pool}); err == nil {
+		t.Fatal("0 queues accepted")
+	}
+	if _, err := NewMultiQueuePort(0, 3, 4, 4, []*Mempool{pool, pool}); err == nil {
+		t.Fatal("2 pools for 3 queues accepted")
+	}
+	if _, err := NewMultiQueuePort(0, 2, 4, 4, []*Mempool{pool, nil}); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+}
+
 func TestPortTxBurstAndDrain(t *testing.T) {
 	pool, _ := NewMempool(16)
 	port, _ := NewPort(0, 4, 2, pool)

@@ -22,113 +22,245 @@ type PortStats struct {
 	TxDropped uint64 // TX queue full
 }
 
-// Port is a polled network port: an RX ring the wire side fills and a TX
-// ring the wire side drains. The NF side uses RxBurst/TxBurst; the
-// testbed side uses DeliverRx/DrainTx.
-type Port struct {
-	ID    uint16
+// add accumulates other into s (per-queue → per-port aggregation).
+func (s *PortStats) add(other PortStats) {
+	s.RxPackets += other.RxPackets
+	s.TxPackets += other.TxPackets
+	s.RxDropped += other.RxDropped
+	s.TxDropped += other.TxDropped
+}
+
+// queue is one RX/TX pair: the unit a run-to-completion worker owns.
+// Each queue draws RX mbufs from its own mempool (DPDK's
+// rte_eth_rx_queue_setup takes a mempool per queue for the same
+// reason), so two workers polling distinct queues never touch a shared
+// allocator — no lock sits anywhere on the packet path.
+type queue struct {
 	rx    *libvig.Ring[*Mbuf]
 	tx    *libvig.Ring[*Mbuf]
 	pool  *Mempool
 	stats PortStats
 }
 
-// NewPort creates a port with the given queue depths, drawing RX mbufs
-// from pool.
+// Port is a polled network port with one or more RX/TX queue pairs,
+// RSS-style. The NF side uses RxBurst/TxBurst (queue 0) or the
+// queue-indexed variants; the testbed side uses DeliverRx (steered by
+// the configured RSS function, like a NIC's receive-side scaling) and
+// DrainTx.
+//
+// Concurrency contract: distinct queues may be used by distinct
+// goroutines concurrently — a queue's rings, mempool, and counters are
+// touched only through that queue's methods. A single queue is
+// single-producer single-consumer per ring, exactly like an rte_ring
+// in its default mode: one goroutine on the wire side, one on the NF
+// side, and in the lock-step harnesses those are the same goroutine.
+// Stats() aggregates across queues and must not race with live
+// traffic; call it from the wire/NF goroutine or after a join.
+type Port struct {
+	ID     uint16
+	queues []queue
+	rss    func(frame []byte) int
+}
+
+// NewPort creates a single-queue port with the given queue depths,
+// drawing RX mbufs from pool — the shape the paper's single-core NAT
+// uses.
 func NewPort(id uint16, rxDepth, txDepth int, pool *Mempool) (*Port, error) {
 	if pool == nil {
 		return nil, errors.New("dpdk: port needs a mempool")
 	}
-	rx, err := libvig.NewRing[*Mbuf](rxDepth)
-	if err != nil {
-		return nil, fmt.Errorf("dpdk: rx ring: %w", err)
-	}
-	tx, err := libvig.NewRing[*Mbuf](txDepth)
-	if err != nil {
-		return nil, fmt.Errorf("dpdk: tx ring: %w", err)
-	}
-	return &Port{ID: id, rx: rx, tx: tx, pool: pool}, nil
+	return NewMultiQueuePort(id, 1, rxDepth, txDepth, []*Mempool{pool})
 }
 
-// Pool returns the mempool backing this port's RX path.
-func (p *Port) Pool() *Mempool { return p.pool }
+// NewMultiQueuePort creates a port with nQueues RX/TX queue pairs.
+// pools supplies the per-queue RX mempools: either one pool per queue
+// (len nQueues — required for concurrent per-queue use) or a single
+// shared pool (len 1 — fine for lock-step single-threaded harnesses).
+func NewMultiQueuePort(id uint16, nQueues, rxDepth, txDepth int, pools []*Mempool) (*Port, error) {
+	if nQueues < 1 {
+		return nil, errors.New("dpdk: port needs at least one queue")
+	}
+	if len(pools) != 1 && len(pools) != nQueues {
+		return nil, fmt.Errorf("dpdk: %d pools for %d queues (want 1 shared or one per queue)", len(pools), nQueues)
+	}
+	p := &Port{ID: id, queues: make([]queue, nQueues)}
+	for q := 0; q < nQueues; q++ {
+		pool := pools[0]
+		if len(pools) == nQueues {
+			pool = pools[q]
+		}
+		if pool == nil {
+			return nil, errors.New("dpdk: port needs a mempool")
+		}
+		rx, err := libvig.NewRing[*Mbuf](rxDepth)
+		if err != nil {
+			return nil, fmt.Errorf("dpdk: rx ring: %w", err)
+		}
+		tx, err := libvig.NewRing[*Mbuf](txDepth)
+		if err != nil {
+			return nil, fmt.Errorf("dpdk: tx ring: %w", err)
+		}
+		p.queues[q] = queue{rx: rx, tx: tx, pool: pool}
+	}
+	return p, nil
+}
 
-// Stats returns a snapshot of the port counters.
-func (p *Port) Stats() PortStats { return p.stats }
+// Queues returns the number of RX/TX queue pairs.
+func (p *Port) Queues() int { return len(p.queues) }
+
+// Pool returns the mempool backing queue 0's RX path.
+func (p *Port) Pool() *Mempool { return p.queues[0].pool }
+
+// QueuePool returns the mempool backing queue q's RX path.
+func (p *Port) QueuePool(q int) *Mempool { return p.queues[q].pool }
+
+// SetRSS installs the wire-side steering function: DeliverRx places
+// each frame on queue fn(frame) mod Queues(). A nil fn restores the
+// default (everything on queue 0). This is the software analogue of
+// programming the NIC's RSS hash/indirection table; nf.Pipeline
+// installs the sharded NF's own steering function here so the wire and
+// the workers agree on flow placement.
+func (p *Port) SetRSS(fn func(frame []byte) int) { p.rss = fn }
+
+// Stats returns the port counters aggregated across queues.
+func (p *Port) Stats() PortStats {
+	var s PortStats
+	for q := range p.queues {
+		s.add(p.queues[q].stats)
+	}
+	return s
+}
+
+// QueueStats returns queue q's counters.
+func (p *Port) QueueStats(q int) PortStats { return p.queues[q].stats }
 
 // --- NF side (the DPDK API surface VigNAT uses) ---
 
-// RxBurst receives up to len(bufs) packets into bufs, returning the
-// count. Ownership of returned mbufs transfers to the caller, which must
-// either TxBurst them or Free them — the leak check depends on it.
-func (p *Port) RxBurst(bufs []*Mbuf) int {
+// RxBurst receives up to len(bufs) packets from queue 0 into bufs,
+// returning the count. Ownership of returned mbufs transfers to the
+// caller, which must either TxBurst them or Free them — the leak check
+// depends on it.
+func (p *Port) RxBurst(bufs []*Mbuf) int { return p.RxBurstQueue(0, bufs) }
+
+// RxBurstQueue receives up to len(bufs) packets from queue q.
+func (p *Port) RxBurstQueue(q int, bufs []*Mbuf) int {
+	rx := p.queues[q].rx
 	n := 0
-	for n < len(bufs) && !p.rx.Empty() {
-		m, _ := p.rx.PopFront()
+	for n < len(bufs) && !rx.Empty() {
+		m, _ := rx.PopFront()
 		bufs[n] = m
 		n++
 	}
 	return n
 }
 
-// TxBurst enqueues up to len(bufs) packets for transmission, returning
-// how many were accepted. Ownership of accepted mbufs transfers to the
-// port; rejected ones remain with the caller (DPDK semantics: the caller
-// must free them or retry).
-func (p *Port) TxBurst(bufs []*Mbuf) int {
+// TxBurst enqueues up to len(bufs) packets on queue 0 for
+// transmission, returning how many were accepted. Ownership of
+// accepted mbufs transfers to the port; rejected ones remain with the
+// caller (DPDK semantics: the caller must free them or retry).
+func (p *Port) TxBurst(bufs []*Mbuf) int { return p.TxBurstQueue(0, bufs) }
+
+// TxBurstQueue enqueues up to len(bufs) packets on queue q.
+func (p *Port) TxBurstQueue(q int, bufs []*Mbuf) int {
+	qu := &p.queues[q]
 	n := 0
-	for n < len(bufs) && !p.tx.Full() {
-		_ = p.tx.PushBack(bufs[n])
+	for n < len(bufs) && !qu.tx.Full() {
+		_ = qu.tx.PushBack(bufs[n])
 		n++
 	}
-	p.stats.TxPackets += uint64(n)
-	p.stats.TxDropped += uint64(len(bufs) - n)
+	qu.stats.TxPackets += uint64(n)
+	qu.stats.TxDropped += uint64(len(bufs) - n)
 	return n
 }
 
 // --- wire side (used by the testbed) ---
 
-// DeliverRx places a frame arriving from the wire at time now into the RX
-// queue, allocating an mbuf from the port's pool. It reports whether the
-// frame was accepted; drops are counted like a NIC's imissed.
+// DeliverRx places a frame arriving from the wire at time now into the
+// RX queue the RSS function steers it to (queue 0 when none is
+// configured), allocating an mbuf from that queue's pool. It reports
+// whether the frame was accepted; drops are counted like a NIC's
+// imissed.
 func (p *Port) DeliverRx(frame []byte, now libvig.Time) bool {
-	if p.rx.Full() {
-		p.stats.RxDropped++
+	q := 0
+	if p.rss != nil && len(p.queues) > 1 {
+		q = p.rss(frame) % len(p.queues)
+		if q < 0 {
+			q = 0
+		}
+	}
+	return p.DeliverRxQueue(q, frame, now)
+}
+
+// DeliverRxQueue places a frame directly on queue q, bypassing RSS
+// (tests and per-worker wire drivers that pre-steer their traffic).
+func (p *Port) DeliverRxQueue(q int, frame []byte, now libvig.Time) bool {
+	qu := &p.queues[q]
+	if qu.rx.Full() {
+		qu.stats.RxDropped++
 		return false
 	}
-	m := p.pool.Alloc()
+	m := qu.pool.Alloc()
 	if m == nil {
-		p.stats.RxDropped++
+		qu.stats.RxDropped++
 		return false
 	}
 	if err := m.SetFrame(frame); err != nil {
-		_ = p.pool.Free(m)
-		p.stats.RxDropped++
+		_ = qu.pool.Free(m)
+		qu.stats.RxDropped++
 		return false
 	}
 	m.Port = p.ID
 	m.RxTime = now
-	_ = p.rx.PushBack(m)
-	p.stats.RxPackets++
+	_ = qu.rx.PushBack(m)
+	qu.stats.RxPackets++
 	return true
 }
 
-// DrainTx removes up to len(bufs) transmitted frames from the TX queue
-// for the wire to carry. Ownership transfers to the caller (the testbed
-// frees them after copying the frame onto the wire).
+// DrainTx removes up to len(bufs) transmitted frames from the TX
+// queues (sweeping queue 0 upward) for the wire to carry. Ownership
+// transfers to the caller (the testbed frees them after copying the
+// frame onto the wire). Lock-step harnesses use this to observe all of
+// a port's output regardless of which queue it left on; concurrent
+// per-worker drivers use DrainTxQueue instead.
 func (p *Port) DrainTx(bufs []*Mbuf) int {
 	n := 0
-	for n < len(bufs) && !p.tx.Empty() {
-		m, _ := p.tx.PopFront()
+	for q := range p.queues {
+		if n == len(bufs) {
+			break
+		}
+		n += p.DrainTxQueue(q, bufs[n:])
+	}
+	return n
+}
+
+// DrainTxQueue removes up to len(bufs) transmitted frames from queue
+// q's TX ring.
+func (p *Port) DrainTxQueue(q int, bufs []*Mbuf) int {
+	tx := p.queues[q].tx
+	n := 0
+	for n < len(bufs) && !tx.Empty() {
+		m, _ := tx.PopFront()
 		bufs[n] = m
 		n++
 	}
 	return n
 }
 
-// RxQueueLen returns the RX ring occupancy (tests and backpressure
-// modelling).
-func (p *Port) RxQueueLen() int { return p.rx.Len() }
+// RxQueueLen returns the total RX ring occupancy across queues (tests
+// and backpressure modelling).
+func (p *Port) RxQueueLen() int {
+	n := 0
+	for q := range p.queues {
+		n += p.queues[q].rx.Len()
+	}
+	return n
+}
 
-// TxQueueLen returns the TX ring occupancy.
-func (p *Port) TxQueueLen() int { return p.tx.Len() }
+// TxQueueLen returns the total TX ring occupancy across queues.
+func (p *Port) TxQueueLen() int {
+	n := 0
+	for q := range p.queues {
+		n += p.queues[q].tx.Len()
+	}
+	return n
+}

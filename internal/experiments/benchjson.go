@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// PipelineBench is the machine-readable record of one pipeline-scaling
+// run, written as BENCH_pipeline.json so CI can track the perf
+// trajectory across commits. GOMAXPROCS/NumCPU are recorded because
+// the measured column is wall-clock goroutine parallelism: on a
+// single-core runner it flattens at 1× while the modeled column keeps
+// the per-shard scaling shape.
+type PipelineBench struct {
+	Experiment  string        `json:"experiment"`
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	NumCPU      int           `json:"num_cpu"`
+	Rows        []PipelineRow `json:"rows"`
+}
+
+// WritePipelineJSON writes rows (plus host metadata) to path as
+// indented JSON.
+func WritePipelineJSON(path string, rows []PipelineRow) error {
+	rec := PipelineBench{
+		Experiment:  "pipeline-scaling",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

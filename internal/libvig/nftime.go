@@ -10,7 +10,10 @@
 // models and checked wrappers used for the P3 refinement proofs.
 package libvig
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Time is a timestamp in nanoseconds, the unit used throughout the NF.
 // The paper's nf_time abstraction returns seconds; nanoseconds let the
@@ -41,30 +44,40 @@ func (c *SystemClock) Now() Time {
 }
 
 // VirtualClock is a manually advanced clock for deterministic tests and
-// for the virtual-time testbed.
+// for the virtual-time testbed. Reads and advances are atomic, so
+// run-to-completion workers may read it while the wire side advances it
+// (the analogue of every core reading the same TSC).
 type VirtualClock struct {
-	now Time
+	now atomic.Int64
 }
 
 // NewVirtualClock returns a VirtualClock starting at start.
 func NewVirtualClock(start Time) *VirtualClock {
-	return &VirtualClock{now: start}
+	c := &VirtualClock{}
+	c.now.Store(start)
+	return c
 }
 
 // Now implements Clock.
-func (c *VirtualClock) Now() Time { return c.now }
+func (c *VirtualClock) Now() Time { return c.now.Load() }
 
 // Advance moves the clock forward by d nanoseconds. d must be >= 0;
 // negative advances are ignored so time never goes backwards.
 func (c *VirtualClock) Advance(d Time) {
 	if d > 0 {
-		c.now += d
+		c.now.Add(d)
 	}
 }
 
 // Set jumps the clock to t if t is later than the current time.
 func (c *VirtualClock) Set(t Time) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if t <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, t) {
+			return
+		}
 	}
 }

@@ -31,10 +31,6 @@ type Sharded struct {
 	clock    libvig.Clock
 	portBase uint16
 	perShard int // flows (and ports) per shard
-
-	// scratch is the steering parse buffer; ShardOf is called by the
-	// single dispatcher thread, never concurrently.
-	scratch netstack.Packet
 }
 
 var (
@@ -112,17 +108,22 @@ func (s *Sharded) Flows() int {
 // hash, inbound by the external port's owning range. Frames that do not
 // parse as NATable steer to shard 0, which will drop them like any
 // other shard would.
+//
+// ShardOf is allocation-free and safe for concurrent use: it parses
+// into a caller-local stack buffer, so the wire side (per-queue RSS)
+// and every run-to-completion worker may steer simultaneously.
 func (s *Sharded) ShardOf(frame []byte, fromInternal bool) int {
 	if len(s.nats) == 1 {
 		return 0
 	}
-	if err := s.scratch.Parse(frame); err != nil || !s.scratch.NATable() {
+	var scratch netstack.Packet
+	if err := scratch.Parse(frame); err != nil || !scratch.NATable() {
 		return 0
 	}
 	if fromInternal {
-		return int(s.scratch.FlowID().Hash() % uint64(len(s.nats)))
+		return int(scratch.FlowID().Hash() % uint64(len(s.nats)))
 	}
-	off := int(s.scratch.DstPort) - int(s.portBase)
+	off := int(scratch.DstPort) - int(s.portBase)
 	if off < 0 || off >= s.perShard*len(s.nats) {
 		return 0
 	}

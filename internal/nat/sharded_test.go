@@ -1,6 +1,8 @@
 package nat
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -180,6 +182,62 @@ func TestShardedExpiry(t *testing.T) {
 	}
 	if st := s.Stats(); st.FlowsExpired != 64 {
 		t.Fatalf("stats count %d expired, want 64", st.FlowsExpired)
+	}
+}
+
+// TestShardOfConcurrent hammers ShardOf from many goroutines over the
+// same Sharded instance — the per-worker steering pattern the pipeline
+// uses (wire-side RSS plus every worker re-steering its burst). Run
+// under -race this pins the "allocation-free and caller-local" fix:
+// the old implementation parsed into a shared scratch field.
+func TestShardOfConcurrent(t *testing.T) {
+	s := shardedForTest(t, 4)
+	const nGoroutines = 8
+	const nFrames = 64
+	frames := make([][]byte, nFrames)
+	want := make([]int, nFrames)
+	buf := make([]byte, 2048)
+	for i := range frames {
+		frames[i] = append([]byte(nil), craftUDP(t, buf, testFlowID(i))...)
+		want[i] = s.ShardOf(frames[i], true)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, nGoroutines)
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 500; iter++ {
+				i := (g + iter) % nFrames
+				if got := s.ShardOf(frames[i], true); got != want[i] {
+					errs[g] = fmt.Errorf("frame %d steered to %d, want %d", i, got, want[i])
+					return
+				}
+				// Inbound steering shares the same parse path.
+				s.ShardOf(frames[i], false)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardOfAllocationFree: steering must not allocate — it runs for
+// every frame on the wire side and again on the worker side.
+func TestShardOfAllocationFree(t *testing.T) {
+	s := shardedForTest(t, 4)
+	buf := make([]byte, 2048)
+	frame := craftUDP(t, buf, testFlowID(1))
+	allocs := testing.AllocsPerRun(200, func() {
+		s.ShardOf(frame, true)
+		s.ShardOf(frame, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("ShardOf allocates %.1f times per call pair", allocs)
 	}
 }
 

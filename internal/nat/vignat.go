@@ -210,13 +210,17 @@ func (n *NAT) pollOne(rx, tx *dpdk.Port, fromInternal bool, bufs []*dpdk.Mbuf) i
 		m := bufs[i]
 		v := n.Process(m.Data, fromInternal)
 		if v == stateless.VerdictDrop {
-			_ = rx.Pool().Free(m)
+			// Free to the mbuf's own pool, not the RX port's: with
+			// per-queue mempools (or any forwarding topology where the
+			// mbuf did not originate from this port) rx.Pool() is the
+			// wrong allocator and the free would be rejected — a leak.
+			_ = m.Pool().Free(m)
 			continue
 		}
 		if tx.TxBurst(bufs[i:i+1]) == 0 {
 			// TX queue full: the packet is lost, but the mbuf must
 			// still return to its pool.
-			_ = rx.Pool().Free(m)
+			_ = m.Pool().Free(m)
 		}
 	}
 	return cnt

@@ -21,6 +21,15 @@ type Chain struct {
 	name  string
 	elems []NF
 
+	// Batch scratch (grown on demand, stable afterwards): ProcessBatch
+	// runs each element once over the whole surviving burst, so the
+	// element's code and state stay hot in cache for the burst instead
+	// of being evicted per packet — the i-cache batching DPDK service
+	// chains rely on.
+	batchPkts []Pkt
+	batchVerd []Verdict
+	batchIdx  []int
+
 	stats Stats
 }
 
@@ -73,10 +82,67 @@ func (c *Chain) Process(frame []byte, fromInternal bool) Verdict {
 	return Forward
 }
 
-// ProcessBatch runs each packet through the chain.
+// ProcessBatch runs the burst through the chain one *element pass* at
+// a time: every element processes the whole surviving sub-burst before
+// the next element runs, instead of each packet traversing the full
+// chain alone. Packets that share a direction keep their relative
+// order, and — matching the engine's RX order — the internal-side
+// group is processed before the external-side group. Per-packet
+// observable behavior (verdicts, rewrites, stats) is identical to
+// len(pkts) Process calls.
 func (c *Chain) ProcessBatch(pkts []Pkt, verdicts []Verdict) {
+	c.stats.Processed += uint64(len(pkts))
+	if cap(c.batchPkts) < len(pkts) {
+		c.batchPkts = make([]Pkt, 0, len(pkts))
+		c.batchVerd = make([]Verdict, len(pkts))
+		c.batchIdx = make([]int, 0, len(pkts))
+	}
 	for i := range pkts {
-		verdicts[i] = c.Process(pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = Forward // provisional; direction passes mark drops
+	}
+	c.directionPass(pkts, verdicts, true)
+	c.directionPass(pkts, verdicts, false)
+	for i := range pkts {
+		if verdicts[i] == Forward {
+			c.stats.Forwarded++
+		} else {
+			c.stats.Dropped++
+		}
+	}
+}
+
+// directionPass runs the sub-burst travelling in one direction through
+// the chain in that direction's element order, compacting the survivor
+// set after each element so dropped packets never reach later elements.
+func (c *Chain) directionPass(pkts []Pkt, verdicts []Verdict, fromInternal bool) {
+	live := c.batchIdx[:0]
+	for i := range pkts {
+		if pkts[i].FromInternal == fromInternal {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	for step := 0; step < len(c.elems) && len(live) > 0; step++ {
+		e := c.elems[step]
+		if !fromInternal {
+			e = c.elems[len(c.elems)-1-step]
+		}
+		sub := c.batchPkts[:0]
+		for _, i := range live {
+			sub = append(sub, pkts[i])
+		}
+		e.ProcessBatch(sub, c.batchVerd)
+		kept := live[:0]
+		for j, i := range live {
+			if c.batchVerd[j] == Forward {
+				kept = append(kept, i)
+			} else {
+				verdicts[i] = Drop
+			}
+		}
+		live = kept
 	}
 }
 

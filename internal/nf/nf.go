@@ -86,11 +86,14 @@ type NF interface {
 	Process(frame []byte, fromInternal bool) Verdict
 
 	// ProcessBatch processes pkts[i] into verdicts[i] for every i. It
-	// must be allocation-free and must behave exactly like len(pkts)
-	// calls to Process, except that implementations may read their
-	// clock once for the whole batch — the amortization DPDK NFs get
-	// from reading TSC once per burst. len(verdicts) must be at least
-	// len(pkts).
+	// must be allocation-free on the steady state and must behave
+	// per-packet like len(pkts) calls to Process, with two sanctioned
+	// deviations: implementations may read their clock once for the
+	// whole batch (the amortization DPDK NFs get from reading TSC once
+	// per burst), and compositions may regroup the burst by direction
+	// — internal-side packets before external-side ones, relative
+	// order preserved within each group, matching the engine's RX
+	// order. len(verdicts) must be at least len(pkts).
 	ProcessBatch(pkts []Pkt, verdicts []Verdict)
 
 	// Expire advances the NF's state expiry to now without processing a
@@ -117,7 +120,9 @@ type Sharder interface {
 	// ShardOf returns the shard owning the frame's flow. It must be
 	// consistent: every packet of a session (both directions) yields
 	// the same shard. Unparseable frames may map anywhere (they will be
-	// dropped regardless of owner).
+	// dropped regardless of owner). It must be allocation-free and safe
+	// for concurrent use: the wire side calls it as the RSS function
+	// while every run-to-completion worker re-steers its own bursts.
 	ShardOf(frame []byte, fromInternal bool) int
 
 	// Shard returns shard i as a standalone NF. Distinct shards share

@@ -2,6 +2,7 @@ package nf_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -69,6 +70,65 @@ func twoPorts(t *testing.T, nMbufs int) (*dpdk.Mempool, *dpdk.Port, *dpdk.Port) 
 		t.Fatal(err)
 	}
 	return pool, intPort, extPort
+}
+
+// multiQueuePorts builds two ports with nQueues queue pairs each and a
+// dedicated mempool per queue (the configuration concurrent per-worker
+// polling requires). It returns all pools for leak accounting.
+func multiQueuePorts(t *testing.T, nQueues, mbufsPerQueue int) ([]*dpdk.Mempool, *dpdk.Port, *dpdk.Port) {
+	t.Helper()
+	var pools []*dpdk.Mempool
+	newPools := func() []*dpdk.Mempool {
+		ps := make([]*dpdk.Mempool, nQueues)
+		for i := range ps {
+			p, err := dpdk.NewMempool(mbufsPerQueue)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[i] = p
+			pools = append(pools, p)
+		}
+		return ps
+	}
+	intPort, err := dpdk.NewMultiQueuePort(0, nQueues, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, newPools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	extPort, err := dpdk.NewMultiQueuePort(1, nQueues, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, newPools())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pools, intPort, extPort
+}
+
+func inUseTotal(pools []*dpdk.Mempool) int {
+	n := 0
+	for _, p := range pools {
+		n += p.InUse()
+	}
+	return n
+}
+
+func drainAllPools(t *testing.T, port *dpdk.Port) []flow.ID {
+	t.Helper()
+	var ids []flow.ID
+	bufs := make([]*dpdk.Mbuf, 8)
+	for {
+		k := port.DrainTx(bufs)
+		if k == 0 {
+			return ids
+		}
+		for i := 0; i < k; i++ {
+			var p netstack.Packet
+			if err := p.Parse(bufs[i].Data); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, p.FlowID())
+			if err := bufs[i].Pool().Free(bufs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 }
 
 func drainAll(t *testing.T, port *dpdk.Port, pool *dpdk.Mempool) []flow.ID {
@@ -152,6 +212,136 @@ func TestChainDropShortCircuits(t *testing.T) {
 	}
 }
 
+// parityNF drops frames whose first byte is odd — a deterministic
+// stateless dropper for batch-vs-per-packet equivalence checks.
+type parityNF struct{ stats nf.Stats }
+
+func (p *parityNF) Name() string { return "parity" }
+func (p *parityNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	p.stats.Processed++
+	if len(frame) > 0 && frame[0]%2 == 1 {
+		p.stats.Dropped++
+		return nf.Drop
+	}
+	p.stats.Forwarded++
+	return nf.Forward
+}
+func (p *parityNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	for i := range pkts {
+		verdicts[i] = p.Process(pkts[i].Frame, pkts[i].FromInternal)
+	}
+}
+func (p *parityNF) Expire(now libvig.Time) int { return 0 }
+func (p *parityNF) NFStats() nf.Stats          { return p.stats }
+
+// TestChainBatchedElementPasses: ProcessBatch runs each element once
+// over the whole surviving direction group (the i-cache win), with the
+// internal-side group first and reverse element order for the
+// external-side group.
+func TestChainBatchedElementPasses(t *testing.T) {
+	var log []string
+	a := &recordNF{name: "a", verdict: nf.Forward, log: &log}
+	b := &recordNF{name: "b", verdict: nf.Forward, log: &log}
+	c, err := nf.NewChain("t", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []nf.Pkt{{FromInternal: true}, {FromInternal: false}, {FromInternal: true}}
+	verd := make([]nf.Verdict, len(pkts))
+	c.ProcessBatch(pkts, verd)
+	// Two outbound packets take one a-pass then one b-pass; the inbound
+	// packet then takes b and a in reverse order.
+	want := []string{"a/true", "a/true", "b/true", "b/true", "b/false", "a/false"}
+	if len(log) != len(want) {
+		t.Fatalf("call log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("call log %v, want %v", log, want)
+		}
+	}
+	for i, v := range verd {
+		if v != nf.Forward {
+			t.Fatalf("packet %d verdict %v", i, v)
+		}
+	}
+}
+
+// TestChainBatchedDropShortCircuits: a packet dropped by an element
+// never reaches later elements in batched mode either.
+func TestChainBatchedDropShortCircuits(t *testing.T) {
+	var log []string
+	a := &recordNF{name: "a", verdict: nf.Drop, log: &log}
+	b := &recordNF{name: "b", verdict: nf.Forward, log: &log}
+	c, err := nf.NewChain("t", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []nf.Pkt{{FromInternal: true}, {FromInternal: true}}
+	verd := make([]nf.Verdict, len(pkts))
+	c.ProcessBatch(pkts, verd)
+	if verd[0] != nf.Drop || verd[1] != nf.Drop {
+		t.Fatalf("verdicts %v, want drops", verd)
+	}
+	for _, entry := range log {
+		if entry[0] == 'b' {
+			t.Fatalf("call log %v: element after the dropper ran", log)
+		}
+	}
+	if st := c.NFStats(); st.Processed != 2 || st.Dropped != 2 || st.Forwarded != 0 {
+		t.Fatalf("chain stats %+v", st)
+	}
+}
+
+// TestChainBatchMatchesPerPacket: batched and per-packet chain
+// processing agree on every verdict and on the aggregate stats, for a
+// mixed-direction burst with drops at both chain ends.
+func TestChainBatchMatchesPerPacket(t *testing.T) {
+	mkChain := func() *nf.Chain {
+		c, err := nf.NewChain("t", &parityNF{}, discard.NewFrameNF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	batched, perPkt := mkChain(), mkChain()
+
+	var pkts []nf.Pkt
+	buf := make([]byte, 2048)
+	for i := 0; i < 64; i++ {
+		dst := uint16(80)
+		if i%5 == 0 {
+			dst = 9 // dropped by the discard element
+		}
+		id := flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			SrcPort: uint16(3000 + i),
+			DstPort: dst,
+		}
+		frame := append([]byte(nil), udpFrame(t, buf, id)...)
+		if i%3 == 0 {
+			frame[0] = 1 // dropped by the parity element
+		} else {
+			frame[0] = 0
+		}
+		pkts = append(pkts, nf.Pkt{Frame: frame, FromInternal: i%2 == 0})
+	}
+
+	got := make([]nf.Verdict, len(pkts))
+	batched.ProcessBatch(pkts, got)
+	for i := range pkts {
+		want := perPkt.Process(pkts[i].Frame, pkts[i].FromInternal)
+		if got[i] != want {
+			t.Fatalf("packet %d: batched %v, per-packet %v", i, got[i], want)
+		}
+	}
+	bs, ps := batched.NFStats(), perPkt.NFStats()
+	if bs != ps {
+		t.Fatalf("stats diverge: batched %+v, per-packet %+v", bs, ps)
+	}
+}
+
 // --- Pipeline ---
 
 // TestPipelineForwardsAndDrops runs the frame-level discard NF on the
@@ -223,7 +413,7 @@ func TestPipelineNATRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool, intPort, extPort := twoPorts(t, 64)
+	pools, intPort, extPort := multiQueuePorts(t, 4, 64)
 	pipe, err := nf.NewPipeline(sharded, nf.Config{
 		Internal: intPort, External: extPort, Workers: 4, Clock: clock,
 	})
@@ -247,7 +437,7 @@ func TestPipelineNATRoundTrip(t *testing.T) {
 	if _, err := pipe.Poll(); err != nil {
 		t.Fatal(err)
 	}
-	outbound := drainAll(t, extPort, pool)
+	outbound := drainAllPools(t, extPort)
 	if len(outbound) != nFlows {
 		t.Fatalf("%d translated frames, want %d", len(outbound), nFlows)
 	}
@@ -270,7 +460,7 @@ func TestPipelineNATRoundTrip(t *testing.T) {
 	if _, err := pipe.Poll(); err != nil {
 		t.Fatal(err)
 	}
-	replies := drainAll(t, intPort, pool)
+	replies := drainAllPools(t, intPort)
 	if len(replies) != nFlows {
 		t.Fatalf("%d replies delivered inside, want %d (bogus packet dropped)", len(replies), nFlows)
 	}
@@ -282,8 +472,152 @@ func TestPipelineNATRoundTrip(t *testing.T) {
 	if sharded.Flows() != nFlows {
 		t.Fatalf("%d live flows, want %d", sharded.Flows(), nFlows)
 	}
-	if pool.InUse() != 0 {
-		t.Fatalf("%d mbufs leaked", pool.InUse())
+	if inUseTotal(pools) != 0 {
+		t.Fatalf("%d mbufs leaked", inUseTotal(pools))
+	}
+}
+
+// TestPipelineParallelWorkers runs four run-to-completion workers on
+// their own goroutines, each owning a queue pair and a shard set
+// end-to-end: deliver outbound bursts, PollWorker, drain its TX queue,
+// feed the replies back, with zero synchronization between workers.
+// Run under -race this is the proof that no shared mutable state sits
+// on the packet path.
+func TestPipelineParallelWorkers(t *testing.T) {
+	const nWorkers = 4
+	const flowsPerWorker = 24
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	sharded, err := nat.NewSharded(nat.Config{
+		Capacity: 1024, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1,
+	}, clock, nWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, intPort, extPort := multiQueuePorts(t, nWorkers, 256)
+	pipe, err := nf.NewPipeline(sharded, nf.Config{
+		Internal: intPort, External: extPort, Workers: nWorkers, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-steer flows so each worker's wire driver delivers only frames
+	// that RSS places on its own queue — the single-producer contract a
+	// real NIC gives each queue.
+	perWorker := make([][][]byte, nWorkers)
+	buf := make([]byte, 2048)
+	total := 0
+	for i := 0; total < nWorkers*flowsPerWorker; i++ {
+		id := flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(i>>8), byte(i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 7),
+			SrcPort: uint16(5000 + i),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}
+		frame := udpFrame(t, buf, id)
+		w := sharded.ShardOf(frame, true) % nWorkers
+		if len(perWorker[w]) >= flowsPerWorker {
+			continue
+		}
+		perWorker[w] = append(perWorker[w], append([]byte(nil), frame...))
+		total++
+	}
+
+	type result struct {
+		replies int
+		err     error
+	}
+	results := make([]result, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+			reply := make([]byte, 2048)
+			for _, frame := range perWorker[w] {
+				// Outbound: wire → internal port (RSS steers to queue w).
+				if !intPort.DeliverRx(frame, clock.Now()) {
+					results[w].err = fmt.Errorf("worker %d: rx rejected", w)
+					return
+				}
+				if _, err := pipe.PollWorker(w); err != nil {
+					results[w].err = err
+					return
+				}
+				// Drain the translated frame from this worker's TX queue
+				// and send the server's reply back through the NAT.
+				k := extPort.DrainTxQueue(w, drain)
+				if k != 1 {
+					results[w].err = fmt.Errorf("worker %d: %d frames on the wire, want 1", w, k)
+					return
+				}
+				var p netstack.Packet
+				if err := p.Parse(drain[0].Data); err != nil {
+					results[w].err = err
+					return
+				}
+				replyFrame := udpFrame(t, reply, p.FlowID().Reverse())
+				if err := drain[0].Pool().Free(drain[0]); err != nil {
+					results[w].err = err
+					return
+				}
+				if !extPort.DeliverRx(replyFrame, clock.Now()) {
+					results[w].err = fmt.Errorf("worker %d: reply rx rejected", w)
+					return
+				}
+				if _, err := pipe.PollWorker(w); err != nil {
+					results[w].err = err
+					return
+				}
+				k = intPort.DrainTxQueue(w, drain)
+				if k != 1 {
+					results[w].err = fmt.Errorf("worker %d: %d replies inside, want 1", w, k)
+					return
+				}
+				if err := drain[0].Pool().Free(drain[0]); err != nil {
+					results[w].err = err
+					return
+				}
+				results[w].replies++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.replies != flowsPerWorker {
+			t.Fatalf("worker %d completed %d round trips, want %d", w, r.replies, flowsPerWorker)
+		}
+		if ws := pipe.WorkerStats(w); ws.RxPackets != 2*flowsPerWorker {
+			t.Fatalf("worker %d stats %+v, want rx=%d", w, ws, 2*flowsPerWorker)
+		}
+	}
+	if st := pipe.Stats(); st.RxPackets != 2*nWorkers*flowsPerWorker {
+		t.Fatalf("engine stats %+v", st)
+	}
+	if sharded.Flows() != nWorkers*flowsPerWorker {
+		t.Fatalf("%d live flows, want %d", sharded.Flows(), nWorkers*flowsPerWorker)
+	}
+	if inUseTotal(pools) != 0 {
+		t.Fatalf("%d mbufs leaked", inUseTotal(pools))
+	}
+}
+
+// TestPipelineRejectsUnderQueuedPorts: more workers than queue pairs is
+// a configuration error, not a silent serialization.
+func TestPipelineRejectsUnderQueuedPorts(t *testing.T) {
+	_, intPort, extPort := twoPorts(t, 8)
+	_, err := nf.NewPipeline(discard.NewFrameNF(), nf.Config{
+		Internal: intPort, External: extPort, Workers: 2,
+	})
+	if err == nil {
+		t.Fatal("pipeline accepted 2 workers on single-queue ports")
 	}
 }
 

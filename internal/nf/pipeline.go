@@ -3,7 +3,6 @@ package nf
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"vignat/internal/dpdk"
 	"vignat/internal/libvig"
@@ -16,16 +15,24 @@ const DefaultBurst = 32
 // Config parameterizes a Pipeline.
 type Config struct {
 	// Internal and External are the two dpdk ports the NF bridges.
+	// Both must expose at least Workers RX/TX queue pairs; the
+	// pipeline installs the NF's steering function as each port's RSS
+	// function, so the wire places every frame on the queue of the
+	// worker owning its flow.
 	Internal, External *dpdk.Port
 	// Burst is the RX/TX burst size (default DefaultBurst).
 	Burst int
-	// Workers is the number of processing workers (default 1). With
-	// more than one worker each Poll fork-joins shard processing across
-	// goroutines; shards share no state, so no locks are taken on the
-	// packet path. Workers beyond the shard count are idle.
+	// Workers is the number of run-to-completion workers (default 1).
+	// Worker w owns queue pair w on both ports and shards
+	// {s : s mod Workers == w} end-to-end: rx_burst → steer →
+	// ProcessBatch → tx batching, all on per-worker state, so no lock
+	// or shared cache line sits on the packet path. Each worker may be
+	// driven from its own goroutine via PollWorker; workers beyond the
+	// shard count receive no traffic.
 	Workers int
 	// Clock, when set, lets idle polls advance NF expiry so state
-	// drains without traffic.
+	// drains without traffic. Workers expire only the shards they own,
+	// preserving the one-goroutine-per-shard guarantee.
 	Clock libvig.Clock
 }
 
@@ -38,30 +45,55 @@ type PipelineStats struct {
 	Dropped   uint64 // NF verdict was Drop
 }
 
-// Pipeline is the shared run-to-completion engine: it pulls RX bursts
-// from both ports, steers each frame to the shard owning its flow,
-// runs batched NF processing (optionally across workers), and
-// assembles TX bursts with libvig.Batcher — the rx_burst → steer →
-// process → tx_burst loop every NF previously hand-rolled.
-//
-// Mbuf ownership is conserved: every mbuf received in a Poll is either
-// handed to a TX queue or freed to its pool before Poll returns, the
-// leak discipline Vigor's checker enforces.
-type Pipeline struct {
-	nf      NF
-	sharder Sharder
-	intPort *dpdk.Port
-	extPort *dpdk.Port
-	burst   int
-	workers int
-	clock   libvig.Clock
+// add accumulates other into s (per-worker → engine aggregation).
+func (s *PipelineStats) add(other PipelineStats) {
+	s.Polls += other.Polls
+	s.RxPackets += other.RxPackets
+	s.TxPackets += other.TxPackets
+	s.TxFreed += other.TxFreed
+	s.Dropped += other.Dropped
+}
 
-	// Preallocated per-poll scratch: the packet path allocates nothing.
+// Pipeline is the shared run-to-completion engine: each worker pulls RX
+// bursts from its own queue pair on both ports, steers each frame to
+// the shard owning its flow, runs batched NF processing, and assembles
+// TX bursts with libvig.Batcher — the rx_burst → steer → process →
+// tx_burst loop every NF previously hand-rolled, replicated per core
+// the way a multi-queue DPDK deployment replicates its lcore loop.
+//
+// Mbuf ownership is conserved: every mbuf received in a poll is either
+// handed to a TX queue or freed to its pool before the poll returns —
+// including on error paths — the leak discipline Vigor's checker
+// enforces.
+type Pipeline struct {
+	nf       NF
+	sharder  Sharder
+	intPort  *dpdk.Port
+	extPort  *dpdk.Port
+	burst    int
+	clock    libvig.Clock
+	shardNFs []NF
+	// ownerLocal[s] is the owning worker's local slot for shard s
+	// (read-only after construction, shared by all workers).
+	ownerLocal []int
+	workers    []*worker
+}
+
+// worker is one run-to-completion execution context: a queue pair
+// index, the shards it owns, and all the scratch the packet path
+// needs. Nothing in here is ever touched by another goroutine.
+type worker struct {
+	p  *Pipeline
+	id int
+
+	shards []int // global shard ids owned: {s : s mod W == id}
+
+	// Preallocated per-poll scratch, indexed by local shard slot: the
+	// packet path allocates nothing.
 	rxBufs     []*dpdk.Mbuf
-	shardPkts  [][]Pkt
-	shardBufs  [][]*dpdk.Mbuf
-	shardVerd  [][]Verdict
-	shardNFs   []NF
+	pkts       [][]Pkt
+	bufs       [][]*dpdk.Mbuf
+	verd       [][]Verdict
 	toInternal *libvig.Batcher[*dpdk.Mbuf]
 	toExternal *libvig.Batcher[*dpdk.Mbuf]
 
@@ -76,7 +108,8 @@ func (s singleShard) Shards() int              { return 1 }
 func (s singleShard) ShardOf([]byte, bool) int { return 0 }
 func (s singleShard) Shard(int) NF             { return s.NF }
 
-// NewPipeline binds n to the ports in cfg.
+// NewPipeline binds n to the ports in cfg and installs the NF's
+// steering function as both ports' RSS function.
 func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	if n == nil {
 		return nil, errors.New("nf: nil NF")
@@ -91,12 +124,16 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	if burst < 0 {
 		return nil, errors.New("nf: negative burst")
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = 1
+	nWorkers := cfg.Workers
+	if nWorkers == 0 {
+		nWorkers = 1
 	}
-	if workers < 0 {
+	if nWorkers < 0 {
 		return nil, errors.New("nf: negative worker count")
+	}
+	if cfg.Internal.Queues() < nWorkers || cfg.External.Queues() < nWorkers {
+		return nil, fmt.Errorf("nf: %d workers need %d queue pairs per port (internal has %d, external %d)",
+			nWorkers, nWorkers, cfg.Internal.Queues(), cfg.External.Queues())
 	}
 	sharder, ok := n.(Sharder)
 	if !ok {
@@ -107,167 +144,236 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("nf: %s reports %d shards", n.Name(), nShards)
 	}
 	p := &Pipeline{
-		nf:      n,
-		sharder: sharder,
-		intPort: cfg.Internal,
-		extPort: cfg.External,
-		burst:   burst,
-		workers: workers,
-		clock:   cfg.Clock,
-		rxBufs:  make([]*dpdk.Mbuf, burst),
+		nf:         n,
+		sharder:    sharder,
+		intPort:    cfg.Internal,
+		extPort:    cfg.External,
+		burst:      burst,
+		clock:      cfg.Clock,
+		shardNFs:   make([]NF, nShards),
+		ownerLocal: make([]int, nShards),
+		workers:    make([]*worker, nWorkers),
 	}
-	// Worst case both ports' bursts land in one shard.
-	perShard := 2 * burst
-	p.shardPkts = make([][]Pkt, nShards)
-	p.shardBufs = make([][]*dpdk.Mbuf, nShards)
-	p.shardVerd = make([][]Verdict, nShards)
-	p.shardNFs = make([]NF, nShards)
 	for s := 0; s < nShards; s++ {
-		p.shardPkts[s] = make([]Pkt, 0, perShard)
-		p.shardBufs[s] = make([]*dpdk.Mbuf, 0, perShard)
-		p.shardVerd[s] = make([]Verdict, perShard)
 		p.shardNFs[s] = sharder.Shard(s)
+		p.ownerLocal[s] = s / nWorkers // local slot within the owning worker
 	}
-	var err error
-	p.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, p.txFlush(cfg.Internal))
-	if err != nil {
-		return nil, err
+	for w := 0; w < nWorkers; w++ {
+		wk := &worker{
+			p:      p,
+			id:     w,
+			rxBufs: make([]*dpdk.Mbuf, burst),
+		}
+		for s := w; s < nShards; s += nWorkers {
+			wk.shards = append(wk.shards, s)
+		}
+		// Worst case both ports' bursts land in one shard.
+		perShard := 2 * burst
+		wk.pkts = make([][]Pkt, len(wk.shards))
+		wk.bufs = make([][]*dpdk.Mbuf, len(wk.shards))
+		wk.verd = make([][]Verdict, len(wk.shards))
+		for li := range wk.shards {
+			wk.pkts[li] = make([]Pkt, 0, perShard)
+			wk.bufs[li] = make([]*dpdk.Mbuf, 0, perShard)
+			wk.verd[li] = make([]Verdict, perShard)
+		}
+		var err error
+		wk.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(cfg.Internal, w))
+		if err != nil {
+			return nil, err
+		}
+		wk.toExternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(cfg.External, w))
+		if err != nil {
+			return nil, err
+		}
+		p.workers[w] = wk
 	}
-	p.toExternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, p.txFlush(cfg.External))
-	if err != nil {
-		return nil, err
-	}
+	// Wire-side RSS: a frame's queue is its owning worker's index, so
+	// worker w's queue pair carries exactly its shards' traffic.
+	cfg.Internal.SetRSS(func(frame []byte) int {
+		return p.clampShard(sharder.ShardOf(frame, true)) % nWorkers
+	})
+	cfg.External.SetRSS(func(frame []byte) int {
+		return p.clampShard(sharder.ShardOf(frame, false)) % nWorkers
+	})
 	return p, nil
 }
 
-// txFlush builds the Batcher flush function for one output port: burst
-// the batch out, free whatever the TX queue rejects (DPDK semantics —
-// the mbuf must go back to its pool either way).
-func (p *Pipeline) txFlush(port *dpdk.Port) func([]*dpdk.Mbuf) error {
+// clampShard maps out-of-range steering results onto shard 0 (the
+// frame will be dropped by whichever shard sees it; the clamp only
+// keeps misbehaving steering functions memory-safe).
+func (p *Pipeline) clampShard(s int) int {
+	if s < 0 || s >= len(p.shardNFs) {
+		return 0
+	}
+	return s
+}
+
+// txFlush builds the Batcher flush function for worker w's queue on
+// one output port: burst the batch out, free whatever the TX queue
+// rejects (DPDK semantics — the mbuf must go back to its pool either
+// way). A failed free does not abandon the rest of the batch: every
+// still-owned mbuf is freed before the first error is reported, so
+// ownership is conserved even on the error path.
+func (wk *worker) txFlush(port *dpdk.Port, q int) func([]*dpdk.Mbuf) error {
 	return func(bufs []*dpdk.Mbuf) error {
-		sent := port.TxBurst(bufs)
-		p.stats.TxPackets += uint64(sent)
+		sent := port.TxBurstQueue(q, bufs)
+		wk.stats.TxPackets += uint64(sent)
+		var firstErr error
 		for _, m := range bufs[sent:] {
-			p.stats.TxFreed++
-			if err := m.Pool().Free(m); err != nil {
-				return err
+			wk.stats.TxFreed++
+			if err := m.Pool().Free(m); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
-		return nil
+		return firstErr
 	}
 }
 
 // NF returns the pipeline's network function.
 func (p *Pipeline) NF() NF { return p.nf }
 
-// Stats returns a snapshot of the engine counters.
-func (p *Pipeline) Stats() PipelineStats { return p.stats }
+// Workers returns the number of run-to-completion workers.
+func (p *Pipeline) Workers() int { return len(p.workers) }
 
-// Poll runs one engine iteration: RX from both ports, steer, process,
-// TX. It returns the number of packets pulled from the RX queues. On an
-// idle poll (zero packets) it advances NF expiry if a clock was
-// configured.
-func (p *Pipeline) Poll() (int, error) {
-	p.stats.Polls++
-	for s := range p.shardPkts {
-		p.shardPkts[s] = p.shardPkts[s][:0]
-		p.shardBufs[s] = p.shardBufs[s][:0]
+// Stats returns a snapshot of the engine counters, aggregated across
+// workers. It must not be called concurrently with active PollWorker
+// calls (poll from the same goroutines, or call after a join).
+func (p *Pipeline) Stats() PipelineStats {
+	var s PipelineStats
+	for _, wk := range p.workers {
+		s.add(wk.stats)
 	}
-	n := p.rxSteer(p.intPort, true)
-	n += p.rxSteer(p.extPort, false)
+	return s
+}
+
+// WorkerStats returns worker w's own counters.
+func (p *Pipeline) WorkerStats(w int) PipelineStats { return p.workers[w].stats }
+
+// Poll runs one engine iteration on every worker in turn, returning
+// the total number of packets pulled from the RX queues. It is the
+// lock-step single-goroutine harness (examples, oracle checks); a
+// parallel deployment gives each worker its own goroutine calling
+// PollWorker. All workers poll even when one fails — conservation
+// first — and the first error is returned.
+func (p *Pipeline) Poll() (int, error) {
+	total := 0
+	var firstErr error
+	for w := range p.workers {
+		n, err := p.PollWorker(w)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// PollWorker runs one run-to-completion iteration of worker w: RX a
+// burst from its queue on each port, steer to its shards, process, TX
+// through its own batchers. It returns the number of packets pulled
+// from the RX queues. On an idle poll (zero packets) it advances
+// expiry on the worker's own shards if a clock was configured.
+//
+// Distinct workers may be polled from distinct goroutines
+// concurrently; a single worker must not.
+func (p *Pipeline) PollWorker(w int) (int, error) {
+	wk := p.workers[w]
+	wk.stats.Polls++
+	for li := range wk.pkts {
+		wk.pkts[li] = wk.pkts[li][:0]
+		wk.bufs[li] = wk.bufs[li][:0]
+	}
+	n := wk.rxSteer(p.intPort, true)
+	n += wk.rxSteer(p.extPort, false)
 	if n == 0 {
-		if p.clock != nil {
-			p.nf.Expire(p.clock.Now())
+		if p.clock != nil && len(wk.shards) > 0 {
+			now := p.clock.Now()
+			for _, s := range wk.shards {
+				p.shardNFs[s].Expire(now)
+			}
 		}
 		return 0, nil
 	}
-	p.stats.RxPackets += uint64(n)
+	wk.stats.RxPackets += uint64(n)
 
-	if p.workers > 1 && len(p.shardNFs) > 1 {
-		p.processParallel()
-	} else {
-		for s, pkts := range p.shardPkts {
-			if len(pkts) > 0 {
-				p.shardNFs[s].ProcessBatch(pkts, p.shardVerd[s])
-			}
+	for li, s := range wk.shards {
+		if len(wk.pkts[li]) > 0 {
+			p.shardNFs[s].ProcessBatch(wk.pkts[li], wk.verd[li])
 		}
 	}
-
-	if err := p.emit(); err != nil {
-		return n, err
-	}
-	return n, nil
+	return n, wk.emit()
 }
 
-// rxSteer pulls one burst from port and distributes the mbufs to the
-// shards owning their flows.
-func (p *Pipeline) rxSteer(port *dpdk.Port, fromInternal bool) int {
-	cnt := port.RxBurst(p.rxBufs)
+// rxSteer pulls one burst from the worker's queue on port and
+// distributes the mbufs to the worker's shards. Frames whose flow the
+// worker does not own (possible only when the wire bypasses RSS) are
+// processed on the worker's first shard rather than touching another
+// worker's state: safety never depends on correct steering, only flow
+// affinity does.
+func (wk *worker) rxSteer(port *dpdk.Port, fromInternal bool) int {
+	p := wk.p
+	cnt := port.RxBurstQueue(wk.id, wk.rxBufs)
 	for i := 0; i < cnt; i++ {
-		m := p.rxBufs[i]
-		s := p.sharder.ShardOf(m.Data, fromInternal)
-		if s < 0 || s >= len(p.shardPkts) {
-			s = 0
+		m := wk.rxBufs[i]
+		if len(wk.shards) == 0 {
+			// A shardless worker can process nothing; conserve the mbuf.
+			wk.stats.Dropped++
+			_ = m.Pool().Free(m)
+			continue
 		}
-		p.shardPkts[s] = append(p.shardPkts[s], Pkt{Frame: m.Data, FromInternal: fromInternal})
-		p.shardBufs[s] = append(p.shardBufs[s], m)
+		li := 0
+		if len(wk.shards) > 1 {
+			// With one owned shard every frame lands in slot 0; only
+			// multi-shard workers pay the steering parse again.
+			s := p.clampShard(p.sharder.ShardOf(m.Data, fromInternal))
+			if s%len(p.workers) == wk.id {
+				li = p.ownerLocal[s]
+			}
+		}
+		wk.pkts[li] = append(wk.pkts[li], Pkt{Frame: m.Data, FromInternal: fromInternal})
+		wk.bufs[li] = append(wk.bufs[li], m)
 	}
 	return cnt
 }
 
-// processParallel fork-joins shard batches across the configured
-// workers. Worker w owns shards w, w+workers, w+2·workers, …; shard
-// state and verdict slices are disjoint, so the workers synchronize
-// only at the join.
-func (p *Pipeline) processParallel() {
-	var wg sync.WaitGroup
-	workers := p.workers
-	if workers > len(p.shardNFs) {
-		workers = len(p.shardNFs)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for s := w; s < len(p.shardNFs); s += workers {
-				if len(p.shardPkts[s]) > 0 {
-					p.shardNFs[s].ProcessBatch(p.shardPkts[s], p.shardVerd[s])
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-}
-
-// emit walks the verdicts, freeing drops and batching forwards onto the
-// opposite port, then flushes both TX batchers.
-func (p *Pipeline) emit() error {
-	for s := range p.shardPkts {
-		pkts := p.shardPkts[s]
-		bufs := p.shardBufs[s]
-		verd := p.shardVerd[s]
+// emit walks the verdicts, freeing drops and batching forwards onto
+// the opposite port's queue for this worker, then flushes both TX
+// batchers. Errors do not abort the walk: every mbuf of the poll is
+// still freed or handed to a TX queue (a Push error means the batch
+// already flushed, and txFlush conserves its whole batch), and the
+// first error is reported after conservation is complete.
+func (wk *worker) emit() error {
+	var firstErr error
+	for li := range wk.shards {
+		pkts := wk.pkts[li]
+		bufs := wk.bufs[li]
+		verd := wk.verd[li]
 		for i := range pkts {
 			m := bufs[i]
 			if verd[i] != Forward {
-				p.stats.Dropped++
-				if err := m.Pool().Free(m); err != nil {
-					return err
+				wk.stats.Dropped++
+				if err := m.Pool().Free(m); err != nil && firstErr == nil {
+					firstErr = err
 				}
 				continue
 			}
 			var b *libvig.Batcher[*dpdk.Mbuf]
 			if pkts[i].FromInternal {
-				b = p.toExternal
+				b = wk.toExternal
 			} else {
-				b = p.toInternal
+				b = wk.toInternal
 			}
-			if err := b.Push(m); err != nil {
-				return err
+			if err := b.Push(m); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
 	}
-	if err := p.toInternal.Flush(); err != nil {
-		return err
+	if err := wk.toInternal.Flush(); err != nil && firstErr == nil {
+		firstErr = err
 	}
-	return p.toExternal.Flush()
+	if err := wk.toExternal.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -1,13 +1,15 @@
 // Benchmarks for the unified NF pipeline (internal/nf): the per-packet
-// vs batched processing comparison and the shard-scaling sweep. See
-// EXPERIMENTS.md ("NF pipeline") for what the numbers mean — in
-// particular, shard scaling on this single-core harness is reported
-// through the makespan model: each shard's work is timed in isolation
-// and the slowest shard bounds the wall clock a multi-core deployment
-// would see.
+// vs batched processing comparison, the chain element-pass batching
+// win, and the worker-scaling sweep. See EXPERIMENTS.md ("NF
+// pipeline") for what the numbers mean — on a single-core host the
+// measured goroutine-parallel column flattens at GOMAXPROCS, and the
+// makespan model (each shard's work timed in isolation, the slowest
+// shard bounding a W-core deployment's wall clock) is reported
+// alongside it.
 //
 //	go test -bench=Pipeline -benchmem
 //	go test -bench=NFProcess -benchmem
+//	go test -bench=Chain -benchmem
 package vignat_test
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"vignat/internal/dpdk"
 	"vignat/internal/experiments"
+	"vignat/internal/firewall"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/nat"
@@ -97,6 +100,93 @@ func BenchmarkNFProcessBatched(b *testing.B) {
 			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: true}
 		}
 		sh.ProcessBatch(pkts[:c], verd)
+		done += c
+	}
+}
+
+// setupBenchChain builds the home-gateway service chain
+// (firewall→NAT) on the system clock and warms benchNFFlows sessions
+// through it.
+func setupBenchChain(b *testing.B) (*nf.Chain, [][]byte) {
+	b.Helper()
+	clock := libvig.NewSystemClock()
+	natInst, err := nat.New(nat.Config{
+		Capacity:     experiments.Capacity,
+		Timeout:      time.Hour,
+		ExternalIP:   experiments.ExtIP,
+		PortBase:     experiments.PortBase,
+		ExternalPort: 1,
+	}, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw, err := firewall.New(experiments.Capacity, time.Hour, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain, err := nf.NewChain("homegw", firewall.AsNF(fw), nat.AsNF(natInst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([][]byte, benchNFFlows)
+	work := make([]byte, dpdk.DataRoomSize)
+	for i := range frames {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 2, byte(i>>8), byte(i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			SrcPort: uint16(20000 + i),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}}
+		frames[i] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+		n := copy(work, frames[i])
+		if chain.Process(work[:n], true) != nf.Forward {
+			b.Fatal("warmup drop")
+		}
+	}
+	return chain, frames
+}
+
+// BenchmarkChainPerPacket drives the firewall→NAT home gateway one
+// Process call per packet: every packet traverses both elements before
+// the next packet starts, evicting each element's code and state
+// between packets.
+func BenchmarkChainPerPacket(b *testing.B) {
+	chain, frames := setupBenchChain(b)
+	work := make([]byte, dpdk.DataRoomSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := copy(work, frames[i%benchNFFlows])
+		if chain.Process(work[:n], true) != nf.Forward {
+			b.Fatal("drop")
+		}
+	}
+}
+
+// BenchmarkChainBatched drives the same gateway through
+// Chain.ProcessBatch: each element runs once over the whole surviving
+// burst (the ROADMAP "chain batching" item), so element code stays in
+// the i-cache for 32 packets and each element's clock read amortizes
+// over the burst. Throughput must beat the per-packet loop.
+func BenchmarkChainBatched(b *testing.B) {
+	chain, frames := setupBenchChain(b)
+	scratch := make([][]byte, nf.DefaultBurst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, nf.DefaultBurst)
+	verd := make([]nf.Verdict, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			n := copy(scratch[j], frames[(done+j)%benchNFFlows])
+			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: true}
+		}
+		chain.ProcessBatch(pkts[:c], verd)
 		done += c
 	}
 }
