@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vigbench [-fig 12|12x|13|14|v1|pipeline|ablation|all] [-scale F]
+//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|ablation|all] [-scale F]
 //
 // -scale shrinks experiment durations (1.0 = full paper-shaped run,
 // 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
@@ -21,10 +21,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json",
 		"where the pipeline experiment writes its machine-readable results (empty disables)")
+	lbOut := flag.String("lb-out", "BENCH_lb.json",
+		"where the lb experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
@@ -102,6 +104,28 @@ func main() {
 				return err
 			}
 			fmt.Printf("(results written to %s)\n", *benchOut)
+		}
+		return nil
+	})
+
+	run("lb", func() error {
+		fmt.Println("=== Maglev-style LB: batched cost vs the sharded NAT, CHT disruption ===")
+		rows, err := experiments.LBScaling(experiments.LBConfig{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatLB(rows))
+		disruption, err := experiments.CHTDisruption(nil, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatCHTDisruption(disruption))
+		if *lbOut != "" {
+			if err := experiments.WriteLBJSON(*lbOut, rows, disruption); err != nil {
+				return err
+			}
+			fmt.Printf("(results written to %s)\n", *lbOut)
 		}
 		return nil
 	})

@@ -3,12 +3,18 @@
 // (streaming), short UDP exchanges (DNS), idle flows that must expire,
 // and unsolicited outside traffic, all behind one external IP.
 //
-// The gateway is a service chain on the shared nf.Pipeline engine:
-// an egress firewall composed with the verified NAT (outbound packets
-// are firewalled, then translated; inbound packets are translated back,
-// then matched against the firewall's session table). Every observable
-// NAT action is cross-checked against the executable RFC 3022
-// specification, exactly as before the chain existed.
+// The gateway is a service chain on the shared nf.Pipeline engine. By
+// default it is firewall → LB → NAT: the Maglev-style balancer fronts
+// a resolver VIP for the home network (clients internal, upstream
+// resolvers external, passthrough for everything else), so DNS queries
+// to the VIP are firewalled, steered to a resolver, then translated —
+// and the resolver's answers are translated back, restored to the VIP,
+// and matched against the firewall's session table. Every observable
+// NAT action is still cross-checked against the executable RFC 3022
+// specification (for VIP flows, against the balancer-resolved tuple),
+// and the balancer's own contract — stickiness, removal remaps only
+// the removed resolver's flows, replies restored to the VIP — is
+// asserted inline. -lb=false runs the original firewall → NAT chain.
 //
 // The chain runs as a single run-to-completion worker driven lock-step
 // (Pipeline.Poll) so the oracle can observe one packet at a time; the
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -26,6 +33,7 @@ import (
 	"vignat/internal/dpdk"
 	"vignat/internal/firewall"
 	"vignat/internal/flow"
+	"vignat/internal/lb"
 	"vignat/internal/nat"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
@@ -36,9 +44,15 @@ const (
 	nHosts  = 8
 	texp    = 2 * time.Second
 	simTime = 30 * time.Second
+	dnsPort = 53
 )
 
+var resolverVIP = flow.MakeAddr(10, 53, 53, 53)
+
 func main() {
+	useLB := flag.Bool("lb", true, "front a resolver VIP with the Maglev-style balancer (firewall→LB→NAT chain)")
+	flag.Parse()
+
 	extIP := core.IPv4(203, 0, 113, 77)
 	cfg := core.DefaultConfig(extIP)
 	cfg.Timeout = texp
@@ -53,7 +67,41 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	chain, err := nf.NewChain("homegw", firewall.AsNF(fw), nat.AsNF(gwNAT))
+
+	// The upstream resolver pool the VIP fronts.
+	resolvers := []flow.Addr{
+		core.IPv4(9, 9, 9, 9),
+		core.IPv4(9, 9, 9, 10),
+		core.IPv4(9, 9, 9, 11),
+		core.IPv4(9, 9, 9, 12),
+	}
+	var gwLB *lb.Balancer
+	resolverIdx := map[flow.Addr]int{}
+	elems := []nf.NF{firewall.AsNF(fw)}
+	if *useLB {
+		gwLB, err = lb.New(lb.Config{
+			VIP:             resolverVIP,
+			VIPPort:         dnsPort,
+			Capacity:        cfg.Capacity,
+			Timeout:         texp,
+			MaxBackends:     len(resolvers),
+			ClientsInternal: true, // home hosts are the clients
+			Passthrough:     true, // the rest of the gateway's traffic is not ours
+		}, clock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ip := range resolvers {
+			idx, err := gwLB.AddBackend(ip, clock.Now())
+			if err != nil {
+				log.Fatal(err)
+			}
+			resolverIdx[ip] = idx
+		}
+		elems = append(elems, lb.AsNF(gwLB))
+	}
+	elems = append(elems, nat.AsNF(gwNAT))
+	chain, err := nf.NewChain("homegw", elems...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +125,10 @@ func main() {
 
 	oracle := spec.NewOracle(cfg.Capacity, texp.Nanoseconds(), extIP, cfg.PortBase, cfg.Capacity)
 
-	dns := flow.ID{DstIP: core.IPv4(9, 9, 9, 9), DstPort: 53, Proto: flow.UDP}
+	dns := flow.ID{DstIP: core.IPv4(9, 9, 9, 9), DstPort: dnsPort, Proto: flow.UDP}
+	if *useLB {
+		dns.DstIP = resolverVIP // hosts query the VIP, not a resolver
+	}
 	video := flow.ID{DstIP: core.IPv4(151, 101, 1, 1), DstPort: 443, Proto: flow.TCP}
 
 	type counters struct{ sent, dropped int }
@@ -85,10 +136,20 @@ func main() {
 	scratch := make([]byte, 2048)
 	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
 
+	isResolver := func(a flow.Addr) bool {
+		_, ok := resolverIdx[a]
+		return ok
+	}
+
 	// process pushes one packet through the gateway chain via the
 	// engine, watches which port it leaves on, checks the observation
 	// against the RFC 3022 oracle, and returns the translated tuple
-	// (zero on drop).
+	// (zero on drop). VIP-bound flows are resolved by the balancer
+	// before the NAT sees them, so the oracle is fed the post-LB tuple
+	// (learned from the output, after checking it names a live
+	// resolver); resolver replies have their source restored to the
+	// VIP by the balancer *after* the NAT, so the oracle sees the
+	// un-restored source while the restoration itself is asserted here.
 	process := func(id flow.ID, fromInternal bool) flow.ID {
 		s := &netstack.FrameSpec{ID: id, PayloadLen: 64}
 		frame := netstack.Craft(scratch[:netstack.FrameLen(s)], s)
@@ -126,7 +187,34 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		if err := oracle.Step(id, fromInternal, true, clock.Now(), obs); err != nil {
+
+		oracleID := id
+		if *useLB && fromInternal && id.DstIP == resolverVIP {
+			// A VIP query must come out aimed at a live resolver; feed
+			// the oracle the balancer-resolved tuple.
+			if obs.Verdict != core.VerdictToExternal {
+				log.Fatalf("VIP query %v not forwarded (verdict %v)", id, obs.Verdict)
+			}
+			if !isResolver(obs.Tuple.DstIP) {
+				log.Fatalf("VIP query %v steered to %v, not a resolver", id, obs.Tuple.DstIP)
+			}
+			if _, live := gwLB.Backend(resolverIdx[obs.Tuple.DstIP]); !live {
+				log.Fatalf("VIP query %v steered to removed resolver %v", id, obs.Tuple.DstIP)
+			}
+			oracleID.DstIP = obs.Tuple.DstIP
+		}
+		if *useLB && !fromInternal && isResolver(id.SrcIP) && id.SrcPort == dnsPort &&
+			obs.Verdict == core.VerdictToInternal {
+			// The balancer restored the resolver's source to the VIP
+			// after the NAT's rewrite; assert that, then un-restore for
+			// the RFC 3022 check of the NAT's own action.
+			if obs.Tuple.SrcIP != resolverVIP {
+				log.Fatalf("resolver reply reached the host as %v, want VIP %v",
+					obs.Tuple.SrcIP, resolverVIP)
+			}
+			obs.Tuple.SrcIP = id.SrcIP
+		}
+		if err := oracle.Step(oracleID, fromInternal, true, clock.Now(), obs); err != nil {
 			log.Fatalf("RFC 3022 violation: %v", err)
 		}
 		if obs.Verdict == core.VerdictDrop {
@@ -138,14 +226,29 @@ func main() {
 	}
 
 	// Each host keeps one video session alive (packet every 500 ms, the
-	// server answering each one) and fires a DNS query every 5 s; DNS
-	// flows (one packet) expire between queries, so each query
-	// allocates and each expiry releases a port. Every 7 s an outsider
-	// probes the gateway and must be dropped.
+	// server answering each one) and queries the resolver VIP — hosts
+	// 0–3 every second (their sticky entries stay live, pinning
+	// stickiness), hosts 4–7 every 5 s (their entries expire between
+	// queries, exercising expiry and re-selection). Halfway through,
+	// one resolver is drained: exactly its flows must remap. Every 7 s
+	// an outsider probes the gateway and must be dropped.
+	assigned := make(map[int]flow.Addr) // host → resolver of the last query
+	var removed flow.Addr
+	remapped := 0
 	step := 100 * time.Millisecond
 	for tick := 0; time.Duration(tick)*step < simTime; tick++ {
 		clock.Advance(step.Nanoseconds())
 		now := time.Duration(tick) * step
+
+		if *useLB && now == simTime/2 {
+			// Drain one resolver mid-run. Sticky flows pinned to it are
+			// erased (and must re-select); everyone else's stay put.
+			removed = resolvers[0]
+			if err := gwLB.RemoveBackend(resolverIdx[removed]); err != nil {
+				log.Fatal(err)
+			}
+		}
+
 		for h := 0; h < nHosts; h++ {
 			host := core.IPv4(192, 168, 1, byte(10+h))
 			if now%(500*time.Millisecond) == 0 {
@@ -159,10 +262,36 @@ func main() {
 					}
 				}
 			}
-			if now%(5*time.Second) == time.Duration(h)*step {
+			interval := 5 * time.Second
+			if h < 4 {
+				interval = time.Second
+			}
+			if now%interval == time.Duration(h)*step {
 				id := dns
 				id.SrcIP, id.SrcPort = host, uint16(40000+h)
-				process(id, true)
+				out := process(id, true)
+				if out == (flow.ID{}) {
+					log.Fatal("DNS query dropped")
+				}
+				if *useLB {
+					resolver := out.DstIP
+					if prev, ok := assigned[h]; ok && resolver != prev {
+						// A flow may move only if its resolver was just
+						// drained (sticky hosts) or its sticky entry
+						// expired and the membership changed (5s hosts).
+						if prev != removed && h < 4 {
+							log.Fatalf("host %d moved %v→%v though its resolver is live and its flow sticky",
+								h, prev, resolver)
+						}
+						remapped++
+					}
+					assigned[h] = resolver
+				}
+				// The resolver answers; the reply must come back from
+				// the VIP (asserted inside process).
+				if process(out.Reverse(), false) == (flow.ID{}) {
+					log.Fatal("DNS reply dropped")
+				}
 			}
 		}
 		if now%(7*time.Second) == 0 {
@@ -181,6 +310,22 @@ func main() {
 	fmt.Printf("  flows created: %d, expired: %d, live now: %d\n",
 		st.FlowsCreated, st.FlowsExpired, gwNAT.Table().Size())
 	fmt.Printf("  firewall sessions live: %d\n", fw.Sessions())
+	if *useLB {
+		lst := gwLB.Stats()
+		fmt.Printf("  balancer: %d queries steered, %d replies restored to VIP, %d passthrough, %d sticky expiries\n",
+			lst.ToBackend, lst.ToClient, lst.Passthrough, lst.FlowsExpired)
+		fmt.Printf("  resolver %v drained mid-run: %d host(s) remapped, %d live resolvers remain\n",
+			removed, remapped, gwLB.LiveBackends())
+		if gwLB.LiveBackends() != len(resolvers)-1 {
+			log.Fatal("resolver pool size wrong after drain")
+		}
+		if lst.ToBackend == 0 || lst.ToClient == 0 || lst.Passthrough == 0 {
+			log.Fatal("balancer saw no traffic of some class it must see")
+		}
+		if remapped == 0 {
+			log.Fatal("draining a resolver remapped no flow; the churn proved nothing")
+		}
+	}
 	fmt.Printf("  spec-level state agrees: oracle tracks %d live sessions\n", oracle.Size())
 	if int(st.FlowsCreated-st.FlowsExpired) != gwNAT.Table().Size() {
 		log.Fatal("accounting mismatch")

@@ -279,3 +279,175 @@ func TestPortTxBurstAndDrain(t *testing.T) {
 		t.Fatalf("leaked mbufs: %d", pool.InUse())
 	}
 }
+
+func TestDeliverRxQueueOutOfRange(t *testing.T) {
+	p0, _ := NewMempool(8)
+	p1, _ := NewMempool(8)
+	port, err := NewMultiQueuePort(0, 2, 4, 4, []*Mempool{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 60)
+	for _, q := range []int{-1, 2, 100} {
+		if port.DeliverRxQueue(q, frame, 0) {
+			t.Fatalf("queue %d accepted a frame (port has 2 queues)", q)
+		}
+	}
+	// The rejection must not have touched any real queue's state.
+	s := port.Stats()
+	if s.RxPackets != 0 || s.RxDropped != 0 {
+		t.Fatalf("out-of-range delivery perturbed stats: %+v", s)
+	}
+	if p0.InUse() != 0 || p1.InUse() != 0 {
+		t.Fatal("out-of-range delivery leaked an mbuf")
+	}
+	// In-range delivery still works afterwards.
+	if !port.DeliverRxQueue(1, frame, 0) {
+		t.Fatal("valid queue rejected after out-of-range attempts")
+	}
+	bufs := make([]*Mbuf, 4)
+	if n := port.RxBurstQueue(1, bufs); n != 1 {
+		t.Fatalf("rx burst %d want 1", n)
+	}
+	_ = bufs[0].Pool().Free(bufs[0])
+}
+
+// TestSetRSSReprogramming re-steers live traffic: frames delivered
+// after SetRSS land per the *new* function (the analogue of rewriting a
+// NIC's indirection table), and SetRSS(nil) restores everything to
+// queue 0.
+func TestSetRSSReprogramming(t *testing.T) {
+	pools := make([]*Mempool, 4)
+	for i := range pools {
+		pools[i], _ = NewMempool(16)
+	}
+	port, err := NewMultiQueuePort(0, 4, 16, 16, pools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 60)
+	deliver := func(tag byte) {
+		t.Helper()
+		frame[0] = tag
+		if !port.DeliverRx(frame, 0) {
+			t.Fatal("deliver rejected")
+		}
+	}
+	countQueue := func(q int) int {
+		bufs := make([]*Mbuf, 16)
+		n := port.RxBurstQueue(q, bufs)
+		for i := 0; i < n; i++ {
+			_ = bufs[i].Pool().Free(bufs[i])
+		}
+		return n
+	}
+
+	// First program: steer by the tag directly.
+	port.SetRSS(func(f []byte) int { return int(f[0]) })
+	deliver(1)
+	deliver(3)
+	if countQueue(1) != 1 || countQueue(3) != 1 {
+		t.Fatal("initial RSS steering wrong")
+	}
+
+	// Reprogram: shift every flow by one queue. The same tags must now
+	// land on the new queues — no stale steering state anywhere.
+	port.SetRSS(func(f []byte) int { return (int(f[0]) + 1) % 4 })
+	deliver(1)
+	deliver(3)
+	if countQueue(2) != 1 || countQueue(0) != 1 {
+		t.Fatal("re-steering after SetRSS reprogram wrong")
+	}
+	if countQueue(1) != 0 || countQueue(3) != 0 {
+		t.Fatal("old steering still active after reprogram")
+	}
+
+	// A function returning junk clamps to a valid queue (negative → 0,
+	// large → mod).
+	port.SetRSS(func(f []byte) int { return -7 })
+	deliver(9)
+	if countQueue(0) != 1 {
+		t.Fatal("negative RSS result not clamped to queue 0")
+	}
+	port.SetRSS(func(f []byte) int { return 6 })
+	deliver(9)
+	if countQueue(2) != 1 {
+		t.Fatal("out-of-range RSS result not wrapped")
+	}
+
+	// nil restores the default: everything on queue 0.
+	port.SetRSS(nil)
+	deliver(3)
+	if countQueue(0) != 1 || countQueue(3) != 0 {
+		t.Fatal("SetRSS(nil) did not restore queue-0 default")
+	}
+}
+
+// TestTxQueueStatsConservation: under mixed-queue TX bursts with some
+// queues overflowing, every offered mbuf is either counted as
+// transmitted on exactly its queue or as dropped there — the aggregate
+// conserves the offered count, and drained frames match per-queue
+// TxPackets.
+func TestTxQueueStatsConservation(t *testing.T) {
+	pool, _ := NewMempool(64)
+	// Queue depth 4: a 6-frame burst on one queue overflows by 2.
+	port, err := NewMultiQueuePort(0, 3, 8, 4, []*Mempool{pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered, accepted := 0, 0
+	var kept []*Mbuf
+	for _, load := range []struct{ q, n int }{
+		{0, 6}, // overflows: 4 accepted, 2 rejected
+		{1, 3}, // fits
+		{0, 2}, // queue 0 already full: all rejected
+		{2, 4}, // fills exactly
+		{2, 1}, // rejected
+	} {
+		bufs := make([]*Mbuf, load.n)
+		for i := range bufs {
+			bufs[i] = pool.Alloc()
+			if bufs[i] == nil {
+				t.Fatal("pool exhausted")
+			}
+		}
+		offered += load.n
+		n := port.TxBurstQueue(load.q, bufs)
+		accepted += n
+		// Rejected mbufs stay with the caller (DPDK semantics).
+		for _, m := range bufs[n:] {
+			kept = append(kept, m)
+		}
+	}
+
+	var agg PortStats
+	drained := 0
+	drain := make([]*Mbuf, 16)
+	for q := 0; q < 3; q++ {
+		qs := port.QueueStats(q)
+		agg.add(qs)
+		n := port.DrainTxQueue(q, drain)
+		if uint64(n) != qs.TxPackets {
+			t.Fatalf("queue %d drained %d frames but counted %d transmitted", q, n, qs.TxPackets)
+		}
+		drained += n
+		for i := 0; i < n; i++ {
+			_ = drain[i].Pool().Free(drain[i])
+		}
+	}
+	if agg.TxPackets+agg.TxDropped != uint64(offered) {
+		t.Fatalf("offered %d, counted tx=%d dropped=%d", offered, agg.TxPackets, agg.TxDropped)
+	}
+	if int(agg.TxPackets) != accepted || drained != accepted {
+		t.Fatalf("accepted %d, counted %d, drained %d", accepted, agg.TxPackets, drained)
+	}
+	if s := port.Stats(); s != agg {
+		t.Fatalf("aggregate stats %+v != per-queue sum %+v", s, agg)
+	}
+	for _, m := range kept {
+		_ = pool.Free(m)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("leaked mbufs: %d", pool.InUse())
+	}
+}

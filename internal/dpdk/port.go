@@ -192,8 +192,15 @@ func (p *Port) DeliverRx(frame []byte, now libvig.Time) bool {
 }
 
 // DeliverRxQueue places a frame directly on queue q, bypassing RSS
-// (tests and per-worker wire drivers that pre-steer their traffic).
+// (tests and per-worker wire drivers that pre-steer their traffic). A
+// frame aimed at a queue the port does not have is rejected rather
+// than crashing the wire: a NIC cannot be handed a descriptor for a
+// ring that was never set up, and a misconfigured software driver must
+// not take the port down with it.
 func (p *Port) DeliverRxQueue(q int, frame []byte, now libvig.Time) bool {
+	if q < 0 || q >= len(p.queues) {
+		return false
+	}
 	qu := &p.queues[q]
 	if qu.rx.Full() {
 		qu.stats.RxDropped++

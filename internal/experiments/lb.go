@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/lb"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// LBVIP is the virtual IP the load-balancer experiments front.
+var LBVIP = flow.MakeAddr(198, 18, 10, 10)
+
+// LBVIPPort is the VIP service port.
+const LBVIPPort = 443
+
+// LBConfig parameterizes the load-balancer experiment.
+type LBConfig struct {
+	// Workers lists the shard/worker counts to sweep (default 1, 2, 4,
+	// 8).
+	Workers []int
+	// Flows is the number of distinct client flows offered (default
+	// 4096).
+	Flows int
+	// Packets is the total packets per data point (default 200k,
+	// scaled).
+	Packets int
+	// Backends is the live backend count (default 8).
+	Backends int
+	// Scale shrinks Packets for quick runs.
+	Scale Scale
+}
+
+// LBRow is one worker-count data point: the sharded balancer's batched
+// throughput side by side with the sharded NAT's on an equally sized
+// workload. CostRatio is LB cost over NAT cost per packet — the
+// acceptance bound for the LB tentpole is ≤2×.
+type LBRow struct {
+	Workers        int     `json:"workers"`
+	LBBatchedMpps  float64 `json:"lb_batched_mpps"`
+	NATBatchedMpps float64 `json:"nat_batched_mpps"`
+	CostRatio      float64 `json:"cost_ratio"`
+}
+
+// CHTDisruptionRow measures Maglev's minimal-disruption property: with
+// N backends over an M-bucket table, removing one backend must remap
+// (close to) only the removed backend's share of the buckets.
+// VictimShare is that share (what a perfect consistent hash remaps);
+// MovedFrac is the observed fraction of *surviving* backends' buckets
+// that changed owner — Maglev's imperfection, near zero at M ≥ 100N.
+type CHTDisruptionRow struct {
+	Backends    int     `json:"backends"`
+	TableSize   int     `json:"table_size"`
+	VictimShare float64 `json:"victim_share"`
+	MovedFrac   float64 `json:"moved_frac"`
+}
+
+// LBScaling measures the sharded balancer's batched processing cost
+// against the sharded NAT's, per worker count, on same-sized warmed
+// workloads — the "second stateful NF on the same engine" claim made
+// quantitative.
+func LBScaling(cfg LBConfig) ([]LBRow, error) {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	flows := cfg.Flows
+	if flows == 0 {
+		flows = 4096
+	}
+	packets := cfg.Packets
+	if packets == 0 {
+		packets = 200000
+	}
+	packets = cfg.Scale.applyInt(packets)
+	backends := cfg.Backends
+	if backends == 0 {
+		backends = 8
+	}
+
+	// Client frames: distinct sources, all addressed to the VIP.
+	clientFrames := make([][]byte, flows)
+	for f := 0; f < flows; f++ {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(203, byte(f>>16), byte(f>>8), byte(f)),
+			SrcPort: 20000,
+			DstIP:   LBVIP,
+			DstPort: LBVIPPort,
+			Proto:   flow.UDP,
+		}}
+		clientFrames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	}
+	// NAT frames: the standard internal→external workload.
+	natFrames := make([][]byte, flows)
+	for f := 0; f < flows; f++ {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(f>>8), byte(f)),
+			SrcPort: uint16(10000 + f%50000),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}}
+		natFrames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	}
+
+	burst := nf.DefaultBurst
+	scratch := make([][]byte, burst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, burst)
+	verd := make([]nf.Verdict, burst)
+	one := make([]byte, dpdk.DataRoomSize)
+
+	// batchedPass pre-steers the packet sequence, warms every flow, and
+	// times a sequential per-shard batched sweep (the same measurement
+	// shape as the pipeline experiment's batched column).
+	batchedPass := func(s nf.Sharder, frames [][]byte, fromInternal bool, w int) (time.Duration, error) {
+		buckets := make([][]int, w)
+		flowShard := make([]int, len(frames))
+		for f := range frames {
+			flowShard[f] = s.ShardOf(frames[f], fromInternal)
+			n := copy(one, frames[f])
+			if s.Process(one[:n], fromInternal) != nf.Forward {
+				return 0, fmt.Errorf("experiments: warmup drop for flow %d at %d workers (%s)", f, w, s.Name())
+			}
+		}
+		for i := 0; i < packets; i++ {
+			f := i % flows
+			buckets[flowShard[f]] = append(buckets[flowShard[f]], f)
+		}
+		var total time.Duration
+		for shID := 0; shID < w; shID++ {
+			snf := s.Shard(shID)
+			list := buckets[shID]
+			start := time.Now()
+			for off := 0; off < len(list); off += burst {
+				c := burst
+				if off+c > len(list) {
+					c = len(list) - off
+				}
+				for j := 0; j < c; j++ {
+					n := copy(scratch[j], frames[list[off+j]])
+					pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: fromInternal}
+				}
+				snf.ProcessBatch(pkts[:c], verd)
+			}
+			total += time.Since(start)
+		}
+		return total, nil
+	}
+
+	rows := make([]LBRow, 0, len(workers))
+	for _, w := range workers {
+		lbSh, err := lb.NewSharded(lb.Config{
+			VIP:         LBVIP,
+			VIPPort:     LBVIPPort,
+			Capacity:    Capacity,
+			Timeout:     time.Hour,
+			MaxBackends: 16,
+		}, libvig.NewSystemClock(), w)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < backends; i++ {
+			if _, err := lbSh.AddBackend(flow.MakeAddr(10, 1, 0, byte(10+i)), 0); err != nil {
+				return nil, err
+			}
+		}
+		lbTime, err := batchedPass(lbSh, clientFrames, false, w)
+		if err != nil {
+			return nil, err
+		}
+
+		natSh, err := nat.NewSharded(nat.Config{
+			Capacity:     Capacity,
+			Timeout:      time.Hour,
+			ExternalIP:   ExtIP,
+			PortBase:     PortBase,
+			InternalPort: 0,
+			ExternalPort: 1,
+		}, libvig.NewSystemClock(), w)
+		if err != nil {
+			return nil, err
+		}
+		natTime, err := batchedPass(natSh, natFrames, true, w)
+		if err != nil {
+			return nil, err
+		}
+
+		row := LBRow{
+			Workers:        w,
+			LBBatchedMpps:  mpps(packets, lbTime),
+			NATBatchedMpps: mpps(packets, natTime),
+		}
+		if natTime > 0 {
+			row.CostRatio = lbTime.Seconds() / natTime.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CHTDisruption measures the fraction of lookup buckets that change
+// owner when one backend is removed, per backend count.
+func CHTDisruption(backendCounts []int, tableSize int) ([]CHTDisruptionRow, error) {
+	if len(backendCounts) == 0 {
+		backendCounts = []int{2, 4, 8, 16}
+	}
+	if tableSize == 0 {
+		tableSize = lb.DefaultCHTSize
+	}
+	rows := make([]CHTDisruptionRow, 0, len(backendCounts))
+	for _, n := range backendCounts {
+		cht, err := libvig.NewCHT(n, tableSize)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := cht.AddBackend(i, uint64(flow.MakeAddr(10, 1, byte(i>>8), byte(i)))); err != nil {
+				return nil, err
+			}
+		}
+		before := cht.Snapshot(nil)
+		if err := cht.RemoveBackend(0); err != nil {
+			return nil, err
+		}
+		after := cht.Snapshot(nil)
+		victim, moved := 0, 0
+		for j := range before {
+			switch {
+			case before[j] == 0:
+				victim++
+			case after[j] != before[j]:
+				moved++
+			}
+		}
+		row := CHTDisruptionRow{
+			Backends:    n,
+			TableSize:   tableSize,
+			VictimShare: float64(victim) / float64(tableSize),
+		}
+		if surviving := tableSize - victim; surviving > 0 {
+			row.MovedFrac = float64(moved) / float64(surviving)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatLB renders the balancer-vs-NAT rows as a paper-style table.
+func FormatLB(rows []LBRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(batched = per-shard 32-packet bursts, sequential sweep; ratio = LB cost / NAT cost per packet, acceptance ≤2×)\n")
+	fmt.Fprintf(&b, "%-8s %16s %17s %12s\n", "workers", "LB batched Mpps", "NAT batched Mpps", "cost ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %16.2f %17.2f %11.2fx\n",
+			r.Workers, r.LBBatchedMpps, r.NATBatchedMpps, r.CostRatio)
+	}
+	return b.String()
+}
+
+// FormatCHTDisruption renders the disruption rows.
+func FormatCHTDisruption(rows []CHTDisruptionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(one backend removed; victim share = buckets a perfect consistent hash remaps, moved = surviving backends' buckets that changed owner anyway)\n")
+	fmt.Fprintf(&b, "%-10s %-8s %14s %12s\n", "backends", "M", "victim share", "moved frac")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-8d %13.2f%% %11.2f%%\n",
+			r.Backends, r.TableSize, r.VictimShare*100, r.MovedFrac*100)
+	}
+	return b.String()
+}
+
+// LBBench is the machine-readable record of one LB experiment run,
+// written as BENCH_lb.json so CI can track the balancer's cost ratio
+// and the CHT's disruption across commits.
+type LBBench struct {
+	Experiment  string             `json:"experiment"`
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	NumCPU      int                `json:"num_cpu"`
+	Rows        []LBRow            `json:"rows"`
+	Disruption  []CHTDisruptionRow `json:"disruption"`
+}
+
+// WriteLBJSON writes rows and disruption (plus host metadata) to path
+// as indented JSON.
+func WriteLBJSON(path string, rows []LBRow, disruption []CHTDisruptionRow) error {
+	rec := LBBench{
+		Experiment:  "lb-scaling",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Rows:        rows,
+		Disruption:  disruption,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

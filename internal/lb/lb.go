@@ -1,0 +1,619 @@
+// Package lb is a Maglev-style L4 load balancer built from the same
+// parts as the NAT and the firewall — the §7 amortization argument,
+// third iteration: the libVig structures and their contracts are reused
+// wholesale (a new CHT joins the library), only the stateless logic and
+// its specification are new.
+//
+// The balancer fronts one virtual IP (VIP). Packets from the client
+// side addressed to the VIP are steered to a live backend: a sticky
+// flow table (DoubleMap + DChain, exactly the firewall's session-table
+// shape) pins every flow to the backend it first hit, and flows without
+// sticky state select through the Maglev consistent-hash table, so even
+// a freshly restarted balancer sends most flows where its peers would.
+// The destination IP is rewritten in place (ports untouched — backends
+// listen on the VIP port) with RFC 1624 incremental checksum updates,
+// the same path the NAT's rewrites take. Backend replies are matched by
+// the reverse tuple, their source rewritten back to the VIP, and the
+// sticky entry rejuvenated. Sticky entries expire after Timeout of
+// inactivity with Fig. 6 expirator semantics; backends are themselves
+// expirable state, kept alive by heartbeats on a second DChain, so a
+// silent backend drains out of the CHT and its flows re-select.
+package lb
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+)
+
+// Verdict is the externally visible outcome for one packet.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictDrop discards the packet.
+	VerdictDrop Verdict = iota
+	// VerdictToBackend forwards a client packet toward the backend
+	// side, destination rewritten to the selected backend.
+	VerdictToBackend
+	// VerdictToClient forwards a backend reply toward the client side,
+	// source rewritten back to the VIP.
+	VerdictToClient
+	// VerdictPassthrough forwards a packet the balancer does not own
+	// (not VIP traffic) unmodified — service-chain mode only.
+	VerdictPassthrough
+)
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDrop:
+		return "drop"
+	case VerdictToBackend:
+		return "to-backend"
+	case VerdictToClient:
+		return "to-client"
+	case VerdictPassthrough:
+		return "passthrough"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// DefaultCHTSize is the default Maglev lookup-table size: prime, and
+// ≥100× the default backend capacity so the ±1 bucket imbalance stays
+// under 1%.
+const DefaultCHTSize = 1021
+
+// Config parameterizes a Balancer.
+type Config struct {
+	// VIP is the virtual IP the balancer fronts.
+	VIP flow.Addr
+	// VIPPort is the VIP's service port; 0 accepts any destination
+	// port on the VIP.
+	VIPPort uint16
+	// Capacity is the sticky flow-table capacity.
+	Capacity int
+	// Timeout is the sticky-entry inactivity expiry (Texp).
+	Timeout time.Duration
+	// MaxBackends bounds the backend pool.
+	MaxBackends int
+	// BackendTimeout is the backend liveness expiry: a backend whose
+	// last heartbeat is older drains out of the CHT. Zero disables
+	// liveness expiry (backends leave only via RemoveBackend).
+	BackendTimeout time.Duration
+	// CHTSize is the Maglev lookup-table size (prime; default
+	// DefaultCHTSize).
+	CHTSize int
+	// ClientsInternal flips the balancer's orientation: by default
+	// clients face the external port and backends the internal one
+	// (the datacenter posture); with ClientsInternal the VIP fronts an
+	// upstream service for internal hosts (the home-gateway posture).
+	ClientsInternal bool
+	// Passthrough, when true, forwards non-VIP traffic unmodified
+	// instead of dropping it — required when the balancer sits in a
+	// service chain where other elements own the rest of the traffic.
+	Passthrough bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.VIP == 0 {
+		return errors.New("lb: VIP must be set")
+	}
+	if c.Capacity <= 0 {
+		return errors.New("lb: capacity must be positive")
+	}
+	if c.Timeout <= 0 {
+		return errors.New("lb: timeout must be positive")
+	}
+	if c.MaxBackends <= 0 {
+		return errors.New("lb: backend capacity must be positive")
+	}
+	if c.BackendTimeout < 0 {
+		return errors.New("lb: backend timeout must be non-negative")
+	}
+	return nil
+}
+
+// FlowHandle is the balancer's opaque sticky-entry reference, with the
+// same capability discipline as the NAT's FlowHandle.
+type FlowHandle int
+
+// BackendHandle references a backend slot.
+type BackendHandle int
+
+// Stats counts the balancer's externally visible actions. The sticky
+// table's accounting invariant is
+//
+//	FlowsCreated − FlowsExpired − FlowsUnpinned == live flows:
+//
+// entries leave either by inactivity (FlowsExpired) or because their
+// backend left and they must re-select (FlowsUnpinned).
+type Stats struct {
+	Processed       uint64
+	Dropped         uint64
+	ToBackend       uint64 // client → backend, dst rewritten
+	ToClient        uint64 // backend → client, src restored to VIP
+	Passthrough     uint64 // non-VIP traffic forwarded unmodified
+	FlowsCreated    uint64
+	FlowsExpired    uint64
+	FlowsUnpinned   uint64 // sticky entries erased because their backend left
+	BackendsExpired uint64
+}
+
+// Env is the balancer's window onto the world — the same pattern as the
+// NAT's and firewall's stateless Env, so the logic is written once and
+// both the production binding and future symbolic drivers execute it.
+type Env interface {
+	// Packet predicates (fork points; same guard ordering rules).
+	FrameIntact() bool
+	EtherIsIPv4() bool
+	IPv4HeaderValid() bool
+	NotFragment() bool
+	L4Supported() bool
+	L4HeaderIntact() bool
+	// PacketFromClient reports whether the frame arrived on the
+	// client-facing side (which physical side that is depends on the
+	// balancer's orientation).
+	PacketFromClient() bool
+	// DstIsVIP reports whether the frame addresses the VIP (and its
+	// service port, when one is configured).
+	DstIsVIP() bool
+
+	// libVig operations.
+	ExpireState()
+	LookupSticky() (FlowHandle, bool) // by the client tuple
+	LookupReply() (FlowHandle, bool)  // by the backend-side reverse tuple
+	SelectBackend() (BackendHandle, bool)
+	CreateSticky(b BackendHandle) (FlowHandle, bool)
+	Rejuvenate(h FlowHandle)
+
+	// Output actions.
+	ForwardToBackend(h FlowHandle)
+	ForwardToClient(h FlowHandle)
+	Passthrough()
+	Drop()
+}
+
+// ProcessPacket is the balancer's stateless per-packet logic, the Fig. 6
+// analogue:
+//
+//	expire → classify → (client side, dst=VIP: sticky-or-CHT-select,
+//	                     rewrite dst, forward to backend;
+//	                     backend side: reply of a live sticky flow →
+//	                     restore src to VIP, forward to client;
+//	                     anything else: passthrough or drop)
+//
+// A conservative policy drops VIP packets when the sticky table is
+// full: forwarding them untracked would let a later packet of the same
+// flow land on a different backend, breaking the stickiness property
+// the oracle enforces.
+func ProcessPacket(env Env) {
+	env.ExpireState()
+	if !env.FrameIntact() || !env.EtherIsIPv4() || !env.IPv4HeaderValid() ||
+		!env.NotFragment() || !env.L4Supported() || !env.L4HeaderIntact() {
+		env.Drop()
+		return
+	}
+	if env.PacketFromClient() {
+		if !env.DstIsVIP() {
+			env.Passthrough()
+			return
+		}
+		if h, ok := env.LookupSticky(); ok {
+			env.Rejuvenate(h)
+			env.ForwardToBackend(h)
+			return
+		}
+		b, ok := env.SelectBackend()
+		if !ok {
+			env.Drop() // no live backend
+			return
+		}
+		h, ok := env.CreateSticky(b)
+		if !ok {
+			env.Drop() // sticky table full
+			return
+		}
+		env.ForwardToBackend(h)
+		return
+	}
+	if h, ok := env.LookupReply(); ok {
+		env.Rejuvenate(h)
+		env.ForwardToClient(h)
+		return
+	}
+	env.Passthrough()
+}
+
+// sticky is the flow-table record: the client-side tuple and the
+// backend-side reply tuple it maps to, stored in the same DoubleMap
+// shape as the NAT's flow and the firewall's session — which is what
+// lets the libVig contracts carry over unchanged.
+type sticky struct {
+	Client  flow.ID // as the client sends it (dst = VIP)
+	Reply   flow.ID // as the backend answers it (src = backend)
+	Backend int32
+}
+
+// backend is one backend slot's identity.
+type backend struct {
+	IP flow.Addr
+}
+
+// Balancer is the production binding: the stateless logic over a CHT,
+// a backend-liveness DChain, and a DoubleMap+DChain sticky table.
+type Balancer struct {
+	cfg  Config
+	texp libvig.Time
+	btxp libvig.Time
+
+	cht          *libvig.CHT
+	backends     *libvig.Vector[backend]
+	backendChain *libvig.DChain
+
+	flows       *libvig.DoubleMap[flow.ID, flow.ID, sticky]
+	flowChain   *libvig.DChain
+	flowErasers []libvig.IndexEraser
+	flowScratch []int // backend-removal sweep scratch, preallocated
+	clock       libvig.Clock
+	stats       Stats
+	env         prodEnv
+}
+
+// New builds a balancer from cfg, drawing time from clock.
+func New(cfg Config, clock libvig.Clock) (*Balancer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	chtSize := cfg.CHTSize
+	if chtSize == 0 {
+		chtSize = DefaultCHTSize
+	}
+	cht, err := libvig.NewCHT(cfg.MaxBackends, chtSize)
+	if err != nil {
+		return nil, err
+	}
+	backends, err := libvig.NewVector[backend](cfg.MaxBackends)
+	if err != nil {
+		return nil, err
+	}
+	backendChain, err := libvig.NewDChain(cfg.MaxBackends)
+	if err != nil {
+		return nil, err
+	}
+	flows, err := libvig.NewDoubleMap[flow.ID, flow.ID, sticky](cfg.Capacity,
+		func(s *sticky) flow.ID { return s.Client },
+		func(s *sticky) flow.ID { return s.Reply })
+	if err != nil {
+		return nil, err
+	}
+	flowChain, err := libvig.NewDChain(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	b := &Balancer{
+		cfg:          cfg,
+		texp:         cfg.Timeout.Nanoseconds(),
+		btxp:         cfg.BackendTimeout.Nanoseconds(),
+		cht:          cht,
+		backends:     backends,
+		backendChain: backendChain,
+		flows:        flows,
+		flowChain:    flowChain,
+		flowScratch:  make([]int, 0, cfg.Capacity),
+		clock:        clock,
+	}
+	b.flowErasers = []libvig.IndexEraser{libvig.IndexEraserFunc(b.flows.Erase)}
+	b.env.lb = b
+	return b, nil
+}
+
+// Config returns the balancer's configuration.
+func (b *Balancer) Config() Config { return b.cfg }
+
+// Stats returns a snapshot of the counters.
+func (b *Balancer) Stats() Stats { return b.stats }
+
+// Flows returns the number of live sticky entries.
+func (b *Balancer) Flows() int { return b.flows.Size() }
+
+// LiveBackends returns the number of live backends.
+func (b *Balancer) LiveBackends() int { return b.cht.Live() }
+
+// Backend returns backend i's address, if i is live.
+func (b *Balancer) Backend(i int) (flow.Addr, bool) {
+	if !b.cht.IsLive(i) {
+		return 0, false
+	}
+	be, err := b.backends.Get(i)
+	if err != nil {
+		return 0, false
+	}
+	return be.IP, true
+}
+
+// AddBackend registers a backend by address, stamps its liveness at
+// now, and returns its slot index. The CHT permutation derives from the
+// address, so the same backend re-added later reclaims its buckets.
+// Duplicate addresses are rejected — the reply tuple would be
+// ambiguous.
+func (b *Balancer) AddBackend(ip flow.Addr, now libvig.Time) (int, error) {
+	if ip == 0 || ip == b.cfg.VIP {
+		return 0, errors.New("lb: backend address must be set and differ from the VIP")
+	}
+	for i := 0; i < b.cht.Capacity(); i++ {
+		if addr, ok := b.Backend(i); ok && addr == ip {
+			return 0, fmt.Errorf("lb: backend %v already registered", ip)
+		}
+	}
+	idx, err := b.backendChain.Allocate(now)
+	if err != nil {
+		return 0, fmt.Errorf("lb: backend pool full: %w", err)
+	}
+	if err := b.backends.Set(idx, backend{IP: ip}); err != nil {
+		_ = b.backendChain.Free(idx)
+		return 0, err
+	}
+	if err := b.cht.AddBackend(idx, uint64(ip)); err != nil {
+		_ = b.backendChain.Free(idx)
+		return 0, err
+	}
+	return idx, nil
+}
+
+// RemoveBackend drains backend i: it leaves the CHT (survivor buckets
+// barely move — the Maglev property) and every sticky flow pinned to it
+// is erased, so exactly those flows re-select on their next packet.
+// Flows on other backends are untouched.
+func (b *Balancer) RemoveBackend(i int) error {
+	if !b.cht.IsLive(i) {
+		return errors.New("lb: backend not live")
+	}
+	_, err := b.removeBackend(i)
+	return err
+}
+
+// Heartbeat refreshes backend i's liveness at now.
+func (b *Balancer) Heartbeat(i int, now libvig.Time) error {
+	if !b.cht.IsLive(i) {
+		return errors.New("lb: backend not live")
+	}
+	return b.backendChain.Rejuvenate(i, now)
+}
+
+// removeBackend is the shared teardown for explicit removal and
+// liveness expiry: liveness chain, CHT, and the backend's sticky
+// flows, counted as unpinned. The liveness chain is released first so
+// that even if a later step errored, the expiry loop's Oldest() has
+// moved past this backend and liveness expiry cannot wedge on it.
+func (b *Balancer) removeBackend(i int) (int, error) {
+	if b.backendChain.IsAllocated(i) {
+		if err := b.backendChain.Free(i); err != nil {
+			return 0, err
+		}
+	}
+	if err := b.cht.RemoveBackend(i); err != nil {
+		return 0, err
+	}
+	// Erase the sticky flows pinned to the dead backend. The sweep is
+	// O(live flows) on the control path; the packet path never runs it.
+	unpinned := 0
+	b.flowScratch = b.flowChain.AllocatedAsc(b.flowScratch[:0])
+	for _, fi := range b.flowScratch {
+		s := b.flows.Value(fi)
+		if s == nil || int(s.Backend) != i {
+			continue
+		}
+		if err := b.flowChain.Free(fi); err != nil {
+			return unpinned, err
+		}
+		if err := b.flows.Erase(fi); err != nil {
+			return unpinned, err
+		}
+		unpinned++
+	}
+	b.stats.FlowsUnpinned += uint64(unpinned)
+	return unpinned, nil
+}
+
+// ExpireAt removes every sticky entry idle since before now−Texp and
+// every backend silent since before now−BackendTimeout, without
+// processing a packet (the pipeline's idle-poll hook). It returns the
+// number of sticky entries freed.
+func (b *Balancer) ExpireAt(now libvig.Time) int {
+	freed, _ := libvig.ExpireItems(b.flowChain, now-b.texp+1, b.flowErasers...)
+	b.stats.FlowsExpired += uint64(freed)
+	if b.btxp > 0 {
+		for {
+			i, ts, ok := b.backendChain.Oldest()
+			if !ok || ts >= now-b.btxp+1 {
+				break
+			}
+			// removeBackend frees the liveness slot first, so even on
+			// an (invariant-breach) error Oldest() has advanced and
+			// the loop cannot wedge on the same backend.
+			if _, err := b.removeBackend(i); err != nil {
+				break
+			}
+			b.stats.BackendsExpired++
+		}
+	}
+	return freed
+}
+
+// Process runs one frame through the balancer at the clock's current
+// time. The frame is rewritten in place when forwarded to a backend or
+// back to a client. fromInternal says which interface the frame arrived
+// on. This is the per-packet fast path: it performs no allocation.
+func (b *Balancer) Process(frame []byte, fromInternal bool) Verdict {
+	return b.ProcessAt(frame, fromInternal, b.clock.Now())
+}
+
+// ProcessAt is Process at an explicit time, for batched callers that
+// read the clock once per burst.
+func (b *Balancer) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) Verdict {
+	e := &b.env
+	e.reset(frame, fromInternal, now)
+	ProcessPacket(e)
+	b.stats.Processed++
+	switch e.verdict {
+	case VerdictDrop:
+		b.stats.Dropped++
+	case VerdictToBackend:
+		b.stats.ToBackend++
+	case VerdictToClient:
+		b.stats.ToClient++
+	case VerdictPassthrough:
+		b.stats.Passthrough++
+	}
+	return e.verdict
+}
+
+// replyKey derives the backend-side reply tuple for a client tuple
+// bound to backendIP: the reverse of the rewritten packet. Ports are
+// never rewritten, so the reply's source port is the client's
+// destination port and vice versa.
+func replyKey(client flow.ID, backendIP flow.Addr) flow.ID {
+	return flow.ID{
+		SrcIP:   backendIP,
+		SrcPort: client.DstPort,
+		DstIP:   client.SrcIP,
+		DstPort: client.SrcPort,
+		Proto:   client.Proto,
+	}
+}
+
+// clientKeyOfReply reconstructs the client tuple a backend reply
+// answers: the VIP is configuration, everything else is in the reply.
+// Both directions of a session therefore hash identically, which is
+// what lets the sharded balancer (and the wire's RSS) steer them to the
+// same shard with no shared state.
+func clientKeyOfReply(reply flow.ID, vip flow.Addr) flow.ID {
+	return flow.ID{
+		SrcIP:   reply.DstIP,
+		SrcPort: reply.DstPort,
+		DstIP:   vip,
+		DstPort: reply.SrcPort,
+		Proto:   reply.Proto,
+	}
+}
+
+// prodEnv binds Env to the real structures; the same shape as the NAT's
+// and firewall's prodEnv. It is embedded in Balancer and reset per
+// packet, so the fast path allocates nothing.
+type prodEnv struct {
+	lb           *Balancer
+	pkt          netstack.Packet
+	fromInternal bool
+	now          libvig.Time
+	verdict      Verdict
+}
+
+var _ Env = (*prodEnv)(nil)
+
+func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
+	_ = e.pkt.Parse(frame)
+	e.fromInternal = fromInternal
+	e.now = now
+	e.verdict = VerdictDrop
+}
+
+// --- packet predicates ---
+
+func (e *prodEnv) FrameIntact() bool     { return len(e.pkt.Data) >= netstack.EthHeaderLen }
+func (e *prodEnv) EtherIsIPv4() bool     { return e.pkt.EtherType == netstack.EtherTypeIPv4 }
+func (e *prodEnv) IPv4HeaderValid() bool { return e.pkt.L3Valid }
+func (e *prodEnv) NotFragment() bool     { return !e.pkt.Fragment }
+func (e *prodEnv) L4Supported() bool {
+	return e.pkt.Proto == flow.TCP || e.pkt.Proto == flow.UDP
+}
+func (e *prodEnv) L4HeaderIntact() bool { return e.pkt.L4Valid }
+
+func (e *prodEnv) PacketFromClient() bool {
+	return e.fromInternal == e.lb.cfg.ClientsInternal
+}
+
+func (e *prodEnv) DstIsVIP() bool {
+	return e.pkt.DstIP == e.lb.cfg.VIP &&
+		(e.lb.cfg.VIPPort == 0 || e.pkt.DstPort == e.lb.cfg.VIPPort)
+}
+
+// --- libVig operations ---
+
+func (e *prodEnv) ExpireState() {
+	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
+	_ = e.lb.ExpireAt(e.now)
+}
+
+func (e *prodEnv) LookupSticky() (FlowHandle, bool) {
+	i, ok := e.lb.flows.GetByFst(e.pkt.FlowID())
+	return FlowHandle(i), ok
+}
+
+func (e *prodEnv) LookupReply() (FlowHandle, bool) {
+	i, ok := e.lb.flows.GetBySnd(e.pkt.FlowID())
+	return FlowHandle(i), ok
+}
+
+func (e *prodEnv) SelectBackend() (BackendHandle, bool) {
+	i, ok := e.lb.cht.Lookup(e.pkt.FlowID().Hash())
+	return BackendHandle(i), ok
+}
+
+func (e *prodEnv) CreateSticky(bh BackendHandle) (FlowHandle, bool) {
+	lb := e.lb
+	be, err := lb.backends.Get(int(bh))
+	if err != nil {
+		return 0, false
+	}
+	idx, err := lb.flowChain.Allocate(e.now)
+	if err != nil {
+		return 0, false
+	}
+	client := e.pkt.FlowID()
+	s := sticky{Client: client, Reply: replyKey(client, be.IP), Backend: int32(bh)}
+	if err := lb.flows.Put(idx, s); err != nil {
+		_ = lb.flowChain.Free(idx)
+		return 0, false
+	}
+	lb.stats.FlowsCreated++
+	return FlowHandle(idx), true
+}
+
+func (e *prodEnv) Rejuvenate(h FlowHandle) {
+	_ = e.lb.flowChain.Rejuvenate(int(h), e.now)
+}
+
+// --- output actions ---
+
+func (e *prodEnv) ForwardToBackend(h FlowHandle) {
+	s := e.lb.flows.Value(int(h))
+	if s == nil {
+		e.verdict = VerdictDrop
+		return
+	}
+	e.pkt.SetDstIP(s.Reply.SrcIP) // the backend's address
+	e.verdict = VerdictToBackend
+}
+
+func (e *prodEnv) ForwardToClient(h FlowHandle) {
+	e.pkt.SetSrcIP(e.lb.cfg.VIP)
+	e.verdict = VerdictToClient
+	_ = h
+}
+
+func (e *prodEnv) Passthrough() {
+	if e.lb.cfg.Passthrough {
+		e.verdict = VerdictPassthrough
+	} else {
+		e.verdict = VerdictDrop
+	}
+}
+
+func (e *prodEnv) Drop() { e.verdict = VerdictDrop }

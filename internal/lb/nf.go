@@ -1,0 +1,51 @@
+package lb
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// verdictOf collapses the balancer's verdict onto the pipeline pair:
+// every forwarding verdict means "out the opposite interface" — a
+// client packet entering on the client side leaves on the backend side
+// and vice versa, and passthrough traffic simply crosses the box.
+func verdictOf(v Verdict) nf.Verdict {
+	if v == VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+// lbNF adapts one Balancer to the unified nf.NF interface; batches read
+// the clock once, like every NF in the repository.
+type lbNF struct{ b *Balancer }
+
+var _ nf.NF = lbNF{}
+
+// AsNF exposes a balancer as a pipeline network function.
+func AsNF(b *Balancer) nf.NF { return lbNF{b} }
+
+func (a lbNF) Name() string { return "viglb" }
+
+func (a lbNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return verdictOf(a.b.Process(frame, fromInternal))
+}
+
+func (a lbNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := a.b.clock.Now()
+	for i := range pkts {
+		verdicts[i] = verdictOf(a.b.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+}
+
+func (a lbNF) Expire(now libvig.Time) int { return a.b.ExpireAt(now) }
+
+func (a lbNF) NFStats() nf.Stats {
+	s := a.b.Stats()
+	return nf.Stats{
+		Processed: s.Processed,
+		Forwarded: s.ToBackend + s.ToClient + s.Passthrough,
+		Dropped:   s.Dropped,
+		Expired:   s.FlowsExpired,
+	}
+}

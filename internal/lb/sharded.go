@@ -1,0 +1,204 @@
+package lb
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// Sharded is a balancer partitioned into independent shards, each a
+// complete Balancer owning a disjoint slice of the sticky-table
+// capacity. Unlike the NAT — which needed a partitioned port range so
+// that inbound packets name their shard — the balancer's two directions
+// already hash identically: a backend reply carries the client's
+// address and port and the VIP port, so the client tuple (and hence the
+// flow hash nat.Sharded-style steering uses) reconstructs exactly from
+// either direction. Every session therefore lives on exactly one
+// shard, shards share no mutable state, and the balancer drops onto the
+// multi-queue RSS pipeline unchanged.
+//
+// The CHT is replicated per shard: population is deterministic in the
+// backend set and seeds, so every shard's table is bucket-for-bucket
+// identical, and replication is what keeps the packet path free of
+// shared cache lines. Control-plane operations (AddBackend,
+// RemoveBackend, Heartbeat) broadcast to all shards and must not run
+// concurrently with packet processing — the same discipline as every
+// other control-path mutation in the repository.
+type Sharded struct {
+	*nf.CountedShards // Shard/Expire/NFStats/StatsSnapshot plumbing
+
+	lbs   []*Balancer
+	cfg   Config
+	clock libvig.Clock
+}
+
+var (
+	_ nf.NF      = (*Sharded)(nil)
+	_ nf.Sharder = (*Sharded)(nil)
+)
+
+// NewSharded builds a balancer of nShards shards from cfg, splitting
+// the sticky capacity evenly (rounded down per shard). With nShards ==
+// 1 this is exactly one Balancer behind the nf.NF interface.
+func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
+	if nShards < 1 {
+		return nil, errors.New("lb: shard count must be at least 1")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	perShard := cfg.Capacity / nShards
+	if perShard == 0 {
+		return nil, fmt.Errorf("lb: capacity %d cannot fill %d shards", cfg.Capacity, nShards)
+	}
+	s := &Sharded{
+		lbs:   make([]*Balancer, nShards),
+		cfg:   cfg,
+		clock: clock,
+	}
+	shardNFs := make([]nf.NF, nShards)
+	for i := 0; i < nShards; i++ {
+		shardCfg := cfg
+		shardCfg.Capacity = perShard
+		b, err := New(shardCfg, clock)
+		if err != nil {
+			return nil, fmt.Errorf("lb: shard %d: %w", i, err)
+		}
+		s.lbs[i] = b
+		shardNFs[i] = AsNF(b)
+	}
+	var err error
+	if s.CountedShards, err = nf.NewCountedShards(shardNFs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name identifies the sharded balancer.
+func (s *Sharded) Name() string {
+	if len(s.lbs) == 1 {
+		return "viglb"
+	}
+	return fmt.Sprintf("viglb×%d", len(s.lbs))
+}
+
+// ShardBalancer returns shard i's underlying Balancer (tests, stats
+// drill-down).
+func (s *Sharded) ShardBalancer(i int) *Balancer { return s.lbs[i] }
+
+// Flows returns the number of live sticky entries across shards.
+func (s *Sharded) Flows() int {
+	total := 0
+	for _, b := range s.lbs {
+		total += b.Flows()
+	}
+	return total
+}
+
+// LiveBackends returns the number of live backends (identical on every
+// shard).
+func (s *Sharded) LiveBackends() int { return s.lbs[0].LiveBackends() }
+
+// Backend returns backend i's address, if live.
+func (s *Sharded) Backend(i int) (flow.Addr, bool) { return s.lbs[0].Backend(i) }
+
+// AddBackend registers a backend on every shard, returning its slot
+// index. The per-shard DChain allocations are deterministic in the
+// operation sequence, so every shard assigns the same index (checked).
+func (s *Sharded) AddBackend(ip flow.Addr, now libvig.Time) (int, error) {
+	idx := -1
+	for si, b := range s.lbs {
+		i, err := b.AddBackend(ip, now)
+		if err != nil {
+			return 0, err
+		}
+		if idx == -1 {
+			idx = i
+		} else if i != idx {
+			return 0, fmt.Errorf("lb: shard %d allocated backend slot %d, shard 0 slot %d", si, i, idx)
+		}
+	}
+	return idx, nil
+}
+
+// RemoveBackend drains backend i on every shard.
+func (s *Sharded) RemoveBackend(i int) error {
+	for _, b := range s.lbs {
+		if err := b.RemoveBackend(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Heartbeat refreshes backend i's liveness on every shard.
+func (s *Sharded) Heartbeat(i int, now libvig.Time) error {
+	for _, b := range s.lbs {
+		if err := b.Heartbeat(i, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardOf steers a frame to the shard owning its session: the client
+// tuple's hash, reconstructed from either direction (the VIP is
+// configuration; a reply carries everything else). Frames the balancer
+// cannot parse steer to shard 0, which handles them like any other
+// shard would (drop or passthrough — both stateless).
+//
+// ShardOf is allocation-free and safe for concurrent use: it parses
+// into a caller-local stack buffer, so the wire side (per-queue RSS)
+// and every run-to-completion worker may steer simultaneously.
+func (s *Sharded) ShardOf(frame []byte, fromInternal bool) int {
+	if len(s.lbs) == 1 {
+		return 0
+	}
+	var scratch netstack.Packet
+	if err := scratch.Parse(frame); err != nil || !scratch.NATable() {
+		return 0
+	}
+	id := scratch.FlowID()
+	if fromInternal != s.cfg.ClientsInternal {
+		// Backend side: reconstruct the client tuple the reply answers.
+		id = clientKeyOfReply(id, s.cfg.VIP)
+	}
+	return int(id.Hash() % uint64(len(s.lbs)))
+}
+
+// Process steers one frame to its shard and runs it there.
+func (s *Sharded) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return s.CountedShard(s.ShardOf(frame, fromInternal)).Process(frame, fromInternal)
+}
+
+// ProcessBatch steers and processes a burst, reading the clock once.
+func (s *Sharded) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := s.clock.Now()
+	for i := range pkts {
+		shard := s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = verdictOf(s.lbs[shard].ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+	s.SyncAll()
+}
+
+// Stats aggregates the shards' balancer-level counters.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	for _, b := range s.lbs {
+		st := b.Stats()
+		agg.Processed += st.Processed
+		agg.Dropped += st.Dropped
+		agg.ToBackend += st.ToBackend
+		agg.ToClient += st.ToClient
+		agg.Passthrough += st.Passthrough
+		agg.FlowsCreated += st.FlowsCreated
+		agg.FlowsExpired += st.FlowsExpired
+		agg.FlowsUnpinned += st.FlowsUnpinned
+		agg.BackendsExpired += st.BackendsExpired
+	}
+	return agg
+}

@@ -26,8 +26,9 @@ import (
 // partitioning a multi-queue DPDK NAT gets from NIC RSS plus split port
 // pools, applied to the paper's single-core artifact.
 type Sharded struct {
+	*nf.CountedShards // Shard/Expire/NFStats/StatsSnapshot plumbing
+
 	nats     []*NAT
-	shardNFs []nf.NF
 	clock    libvig.Clock
 	portBase uint16
 	perShard int // flows (and ports) per shard
@@ -56,11 +57,11 @@ func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
 	}
 	s := &Sharded{
 		nats:     make([]*NAT, nShards),
-		shardNFs: make([]nf.NF, nShards),
 		clock:    clock,
 		portBase: cfg.PortBase,
 		perShard: perShard,
 	}
+	shardNFs := make([]nf.NF, nShards)
 	for i := 0; i < nShards; i++ {
 		shardCfg := cfg
 		shardCfg.Capacity = perShard
@@ -70,7 +71,11 @@ func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
 			return nil, fmt.Errorf("nat: shard %d: %w", i, err)
 		}
 		s.nats[i] = n
-		s.shardNFs[i] = AsNF(n)
+		shardNFs[i] = AsNF(n)
+	}
+	var err error
+	if s.CountedShards, err = nf.NewCountedShards(shardNFs); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -82,12 +87,6 @@ func (s *Sharded) Name() string {
 	}
 	return fmt.Sprintf("vignat×%d", len(s.nats))
 }
-
-// Shards returns the shard count.
-func (s *Sharded) Shards() int { return len(s.nats) }
-
-// Shard returns shard i as a standalone NF.
-func (s *Sharded) Shard(i int) nf.NF { return s.shardNFs[i] }
 
 // ShardNAT returns shard i's underlying NAT (tests, stats drill-down).
 func (s *Sharded) ShardNAT(i int) *NAT { return s.nats[i] }
@@ -132,34 +131,17 @@ func (s *Sharded) ShardOf(frame []byte, fromInternal bool) int {
 
 // Process steers one frame to its shard and runs it there.
 func (s *Sharded) Process(frame []byte, fromInternal bool) nf.Verdict {
-	return s.shardNFs[s.ShardOf(frame, fromInternal)].Process(frame, fromInternal)
+	return s.CountedShard(s.ShardOf(frame, fromInternal)).Process(frame, fromInternal)
 }
 
 // ProcessBatch steers and processes a burst, reading the clock once.
 func (s *Sharded) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
 	now := s.clock.Now()
 	for i := range pkts {
-		shard := s.nats[s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)]
-		verdicts[i] = verdictOf(shard.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+		shard := s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = verdictOf(s.nats[shard].ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
 	}
-}
-
-// Expire advances expiry on every shard.
-func (s *Sharded) Expire(now libvig.Time) int {
-	total := 0
-	for _, n := range s.nats {
-		total += n.ExpireAt(now)
-	}
-	return total
-}
-
-// NFStats aggregates the shards' counters.
-func (s *Sharded) NFStats() nf.Stats {
-	var agg nf.Stats
-	for _, shard := range s.shardNFs {
-		agg.Add(shard.NFStats())
-	}
-	return agg
+	s.SyncAll()
 }
 
 // Stats aggregates the shards' NAT-level counters.

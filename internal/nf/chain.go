@@ -114,6 +114,14 @@ func (c *Chain) ProcessBatch(pkts []Pkt, verdicts []Verdict) {
 // directionPass runs the sub-burst travelling in one direction through
 // the chain in that direction's element order, compacting the survivor
 // set after each element so dropped packets never reach later elements.
+//
+// The first element's pass is fused with the engine's steer pass
+// whenever it can be: the pipeline's rxSteer emits each shard's burst
+// direction-grouped (the internal port's frames before the external
+// port's), so a direction's packets arrive as one contiguous run and
+// the first element can process that run in place — no scratch copy.
+// Later elements (and non-contiguous callers) still compact survivors
+// through the scratch burst.
 func (c *Chain) directionPass(pkts []Pkt, verdicts []Verdict, fromInternal bool) {
 	live := c.batchIdx[:0]
 	for i := range pkts {
@@ -124,7 +132,27 @@ func (c *Chain) directionPass(pkts []Pkt, verdicts []Verdict, fromInternal bool)
 	if len(live) == 0 {
 		return
 	}
-	for step := 0; step < len(c.elems) && len(live) > 0; step++ {
+	step := 0
+	if lo := live[0]; live[len(live)-1]-lo == len(live)-1 {
+		// Contiguous run: the steer pass already built this element's
+		// input, so the first element reads pkts directly.
+		e := c.elems[0]
+		if !fromInternal {
+			e = c.elems[len(c.elems)-1]
+		}
+		e.ProcessBatch(pkts[lo:lo+len(live)], c.batchVerd)
+		kept := live[:0]
+		for j, i := range live {
+			if c.batchVerd[j] == Forward {
+				kept = append(kept, i)
+			} else {
+				verdicts[i] = Drop
+			}
+		}
+		live = kept
+		step = 1
+	}
+	for ; step < len(c.elems) && len(live) > 0; step++ {
 		e := c.elems[step]
 		if !fromInternal {
 			e = c.elems[len(c.elems)-1-step]

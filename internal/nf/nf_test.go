@@ -342,6 +342,75 @@ func TestChainBatchMatchesPerPacket(t *testing.T) {
 	}
 }
 
+// TestChainBatchGroupedMatchesPerPacket drives a direction-grouped
+// burst — the exact shape the engine's steer pass emits (the internal
+// port's frames first, then the external port's) — through the fused
+// first-element pass, and checks verdict-for-verdict agreement with
+// per-packet processing. Together with TestChainBatchMatchesPerPacket
+// (interleaved directions, the copying fallback) this pins that the
+// steer/first-element fusion is observably invisible.
+func TestChainBatchGroupedMatchesPerPacket(t *testing.T) {
+	mkChain := func() *nf.Chain {
+		c, err := nf.NewChain("t", &parityNF{}, discard.NewFrameNF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	batched, perPkt := mkChain(), mkChain()
+
+	var pkts []nf.Pkt
+	buf := make([]byte, 2048)
+	mk := func(i int, fromInternal bool) {
+		dst := uint16(80)
+		if i%5 == 0 {
+			dst = 9 // dropped by the discard element
+		}
+		id := flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			SrcPort: uint16(3000 + i),
+			DstPort: dst,
+		}
+		frame := append([]byte(nil), udpFrame(t, buf, id)...)
+		frame[0] = byte(i % 3 % 2) // some dropped by the parity element
+		pkts = append(pkts, nf.Pkt{Frame: frame, FromInternal: fromInternal})
+	}
+	// Internal group first, external group second — two contiguous
+	// runs, both eligible for the fused pass.
+	for i := 0; i < 20; i++ {
+		mk(i, true)
+	}
+	for i := 20; i < 32; i++ {
+		mk(i, false)
+	}
+
+	got := make([]nf.Verdict, len(pkts))
+	batched.ProcessBatch(pkts, got)
+	for i := range pkts {
+		want := perPkt.Process(pkts[i].Frame, pkts[i].FromInternal)
+		if got[i] != want {
+			t.Fatalf("packet %d: batched %v, per-packet %v", i, got[i], want)
+		}
+	}
+	if bs, ps := batched.NFStats(), perPkt.NFStats(); bs != ps {
+		t.Fatalf("stats diverge: batched %+v, per-packet %+v", bs, ps)
+	}
+
+	// A single-direction burst starting mid-slice is still contiguous:
+	// the fused pass must respect the offset.
+	single := mkChain()
+	sub := pkts[3:17]
+	verd := make([]nf.Verdict, len(sub))
+	single.ProcessBatch(sub, verd)
+	ref := mkChain()
+	for i := range sub {
+		if want := ref.Process(sub[i].Frame, sub[i].FromInternal); verd[i] != want {
+			t.Fatalf("offset packet %d: batched %v, per-packet %v", i, verd[i], want)
+		}
+	}
+}
+
 // --- Pipeline ---
 
 // TestPipelineForwardsAndDrops runs the frame-level discard NF on the

@@ -1,0 +1,225 @@
+package nf
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"vignat/internal/libvig"
+)
+
+// ShardStats is the cheap per-shard stats surface sharded NFs expose
+// (ROADMAP "per-shard stats aggregation"): one cache-line-padded
+// counter cell per shard, written with atomic adds by the shard's
+// owning worker and read with atomic loads by anyone. Before this
+// existed, Sharded.NFStats walked every shard's private counters on
+// each call — an O(shards) sweep over cache lines the workers own,
+// racy to call with traffic in flight. A snapshot now costs a handful
+// of uncontended atomic loads and may run concurrently with the packet
+// path (the metrics-endpoint scrape pattern), while the padding keeps
+// two shards' counters from ever sharing a cache line.
+type ShardStats struct {
+	cells []statCell
+}
+
+// statCell is one shard's engine-visible counters, padded so adjacent
+// shards (owned by different workers) never false-share.
+type statCell struct {
+	processed atomic.Uint64
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	expired   atomic.Uint64
+	_         [4]uint64 // pad the cell to 64 bytes
+}
+
+// NewShardStats returns a stats block with one padded cell per shard.
+func NewShardStats(shards int) (*ShardStats, error) {
+	if shards < 1 {
+		return nil, errors.New("nf: shard stats need at least one shard")
+	}
+	return &ShardStats{cells: make([]statCell, shards)}, nil
+}
+
+// Shards returns the number of cells.
+func (s *ShardStats) Shards() int { return len(s.cells) }
+
+// add folds a delta into shard i's cell. Zero deltas skip the atomic
+// entirely — on the steady state most batches touch one or two
+// counters.
+func (s *ShardStats) add(i int, d Stats) {
+	c := &s.cells[i]
+	if d.Processed != 0 {
+		c.processed.Add(d.Processed)
+	}
+	if d.Forwarded != 0 {
+		c.forwarded.Add(d.Forwarded)
+	}
+	if d.Dropped != 0 {
+		c.dropped.Add(d.Dropped)
+	}
+	if d.Expired != 0 {
+		c.expired.Add(d.Expired)
+	}
+}
+
+// ShardSnapshot returns shard i's counters. Safe to call from any
+// goroutine at any time.
+func (s *ShardStats) ShardSnapshot(i int) Stats {
+	c := &s.cells[i]
+	return Stats{
+		Processed: c.processed.Load(),
+		Forwarded: c.forwarded.Load(),
+		Dropped:   c.dropped.Load(),
+		Expired:   c.expired.Load(),
+	}
+}
+
+// Snapshot returns the counters aggregated across shards. Safe to call
+// from any goroutine at any time; each cell is read atomically, so the
+// aggregate reflects every batch a shard has completed (a batch still
+// in flight on another worker lands in the next snapshot).
+func (s *ShardStats) Snapshot() Stats {
+	var agg Stats
+	for i := range s.cells {
+		agg.Add(s.ShardSnapshot(i))
+	}
+	return agg
+}
+
+// CountedNF wraps one shard of a sharded NF so that its activity is
+// mirrored into a ShardStats cell: after every batch (or single call)
+// the wrapper diffs the inner NF's own counters against the last
+// published value and folds the delta into the cell with atomic adds.
+// The inner NF keeps its plain single-writer counters on the hot path
+// — per-packet accounting stays free — and pays a few atomics per
+// burst for a stats surface that is safe to scrape concurrently.
+//
+// The delta discipline also makes the cell robust to processing that
+// bypasses the wrapper (a harness calling the inner NF directly): the
+// next wrapped call, or an explicit Sync, catches the cell up.
+type CountedNF struct {
+	inner NF
+	block *ShardStats
+	shard int
+	last  Stats // last published totals; owner-goroutine only
+}
+
+var _ NF = (*CountedNF)(nil)
+
+// Counted wraps inner so its counters mirror into block's cell for
+// shard. Like the NF itself, the wrapper is single-threaded per
+// instance: only the owning worker calls its methods (snapshots go
+// through the block).
+func Counted(inner NF, block *ShardStats, shard int) *CountedNF {
+	return &CountedNF{inner: inner, block: block, shard: shard}
+}
+
+// Name identifies the wrapped NF.
+func (c *CountedNF) Name() string { return c.inner.Name() }
+
+// Sync publishes any inner-counter movement since the last publication
+// into the shard's cell.
+func (c *CountedNF) Sync() {
+	cur := c.inner.NFStats()
+	c.block.add(c.shard, Stats{
+		Processed: cur.Processed - c.last.Processed,
+		Forwarded: cur.Forwarded - c.last.Forwarded,
+		Dropped:   cur.Dropped - c.last.Dropped,
+		Expired:   cur.Expired - c.last.Expired,
+	})
+	c.last = cur
+}
+
+// Process runs one frame through the inner NF and publishes the delta.
+func (c *CountedNF) Process(frame []byte, fromInternal bool) Verdict {
+	v := c.inner.Process(frame, fromInternal)
+	c.Sync()
+	return v
+}
+
+// ProcessBatch runs the burst through the inner NF and publishes the
+// delta once for the whole burst.
+func (c *CountedNF) ProcessBatch(pkts []Pkt, verdicts []Verdict) {
+	c.inner.ProcessBatch(pkts, verdicts)
+	c.Sync()
+}
+
+// Expire advances the inner NF's expiry and publishes the delta.
+func (c *CountedNF) Expire(now libvig.Time) int {
+	n := c.inner.Expire(now)
+	c.Sync()
+	return n
+}
+
+// NFStats returns the shard's published counters (atomic loads).
+func (c *CountedNF) NFStats() Stats { return c.block.ShardSnapshot(c.shard) }
+
+// CountedShards is the shared plumbing every sharded NF needs around
+// its per-shard counted wrappers: construction, the Shard accessor the
+// Sharder interface requires, whole-NF expiry, and the cheap snapshot
+// surface. Sharded NFs (nat.Sharded, lb.Sharded) embed it and supply
+// only what actually differs — steering and the per-packet paths.
+type CountedShards struct {
+	counted []*CountedNF
+	stats   *ShardStats
+}
+
+// NewCountedShards wraps each shard NF in a CountedNF sharing one
+// padded stats block.
+func NewCountedShards(shards []NF) (*CountedShards, error) {
+	block, err := NewShardStats(len(shards))
+	if err != nil {
+		return nil, err
+	}
+	c := &CountedShards{
+		counted: make([]*CountedNF, len(shards)),
+		stats:   block,
+	}
+	for i, s := range shards {
+		c.counted[i] = Counted(s, block, i)
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *CountedShards) Shards() int { return len(c.counted) }
+
+// Shard returns shard i as a standalone NF. The returned NF mirrors
+// its counters into the sharded stats block, so anything it processes
+// is visible to StatsSnapshot.
+func (c *CountedShards) Shard(i int) NF { return c.counted[i] }
+
+// CountedShard returns shard i's counted wrapper (per-packet paths
+// that bypass the wrapper call its Sync).
+func (c *CountedShards) CountedShard(i int) *CountedNF { return c.counted[i] }
+
+// SyncAll publishes every shard's pending counter deltas — the hook
+// for batch paths that drive the inner NFs directly.
+func (c *CountedShards) SyncAll() {
+	for i := range c.counted {
+		c.counted[i].Sync()
+	}
+}
+
+// Expire advances expiry on every shard.
+func (c *CountedShards) Expire(now libvig.Time) int {
+	total := 0
+	for _, shard := range c.counted {
+		total += shard.Expire(now)
+	}
+	return total
+}
+
+// NFStats returns StatsSnapshot: the aggregate of the per-shard padded
+// counter cells, read atomically — no walk over shard-owned state.
+func (c *CountedShards) NFStats() Stats { return c.StatsSnapshot() }
+
+// StatsSnapshot returns the engine-visible counters aggregated across
+// shards, from the per-shard padded cells (a few atomic loads per
+// shard). It is safe to call concurrently with workers processing
+// traffic — the metrics-scrape path — and reflects every batch the
+// shards have completed.
+func (c *CountedShards) StatsSnapshot() Stats { return c.stats.Snapshot() }
+
+// ShardStatsSnapshot returns shard i's engine-visible counters, with
+// the same concurrency guarantee as StatsSnapshot.
+func (c *CountedShards) ShardStatsSnapshot(i int) Stats { return c.stats.ShardSnapshot(i) }

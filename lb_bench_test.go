@@ -1,0 +1,212 @@
+// Benchmarks for the Maglev-style load balancer (internal/lb): the
+// batched per-packet cost of the sticky-hit fast path next to the
+// sharded NAT's (the acceptance bound for the LB tentpole is ≤2× — see
+// BenchmarkNFProcessBatched in pipeline_bench_test.go for the NAT
+// numbers and EXPERIMENTS.md "LB scenario" for methodology), the CHT
+// lookup and repopulation costs, and the full engine iteration.
+//
+//	go test -bench=LB -benchmem
+package vignat_test
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/experiments"
+	"vignat/internal/flow"
+	"vignat/internal/lb"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// setupBenchLB builds a 1-shard balancer with 8 backends on the system
+// clock and returns it with pristine frames for benchNFFlows warm
+// client flows.
+func setupBenchLB(b *testing.B) (*lb.Sharded, [][]byte) {
+	b.Helper()
+	sh, err := lb.NewSharded(lb.Config{
+		VIP:         experiments.LBVIP,
+		VIPPort:     experiments.LBVIPPort,
+		Capacity:    experiments.Capacity,
+		Timeout:     time.Hour,
+		MaxBackends: 16,
+	}, libvig.NewSystemClock(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := sh.AddBackend(flow.MakeAddr(10, 1, 0, byte(10+i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	frames := make([][]byte, benchNFFlows)
+	work := make([]byte, dpdk.DataRoomSize)
+	for i := range frames {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(203, 0, byte(i>>8), byte(i)),
+			DstIP:   experiments.LBVIP,
+			SrcPort: uint16(10000 + i),
+			DstPort: experiments.LBVIPPort,
+			Proto:   flow.UDP,
+		}}
+		frames[i] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+		n := copy(work, frames[i])
+		if sh.Process(work[:n], false) != nf.Forward {
+			b.Fatal("warmup drop")
+		}
+	}
+	return sh, frames
+}
+
+// BenchmarkLBProcessPerPacket is the balancer's per-packet baseline:
+// one Process call — and one clock read — per packet, sticky-hit path.
+func BenchmarkLBProcessPerPacket(b *testing.B) {
+	sh, frames := setupBenchLB(b)
+	work := make([]byte, dpdk.DataRoomSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := copy(work, frames[i%benchNFFlows])
+		if sh.Process(work[:n], false) != nf.Forward {
+			b.Fatal("drop")
+		}
+	}
+}
+
+// BenchmarkLBProcessBatched is the engine's path: 32-packet bursts
+// through ProcessBatch, one clock read per burst. The acceptance
+// criterion compares this against BenchmarkNFProcessBatched (the
+// sharded NAT): the LB must stay within 2× of the NAT's batched
+// per-packet cost.
+func BenchmarkLBProcessBatched(b *testing.B) {
+	sh, frames := setupBenchLB(b)
+	scratch := make([][]byte, nf.DefaultBurst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, nf.DefaultBurst)
+	verd := make([]nf.Verdict, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			n := copy(scratch[j], frames[(done+j)%benchNFFlows])
+			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: false}
+		}
+		sh.ProcessBatch(pkts[:c], verd)
+		done += c
+	}
+}
+
+// BenchmarkLBPipelinePoll measures the full engine iteration — RX
+// burst, steer, batched balancing, TX batch assembly, wire drain — per
+// packet, the LB analogue of BenchmarkPipelinePoll.
+func BenchmarkLBPipelinePoll(b *testing.B) {
+	sh, frames := setupBenchLB(b)
+	pool, err := dpdk.NewMempool(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := nf.NewPipeline(sh, nf.Config{Internal: intPort, External: extPort})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			extPort.DeliverRx(frames[(done+j)%benchNFFlows], 0)
+		}
+		if _, err := pipe.Poll(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			k := intPort.DrainTx(drain)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				if err := pool.Free(drain[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		done += c
+	}
+	b.StopTimer()
+	if pool.InUse() != 0 {
+		b.Fatalf("%d mbufs leaked", pool.InUse())
+	}
+}
+
+// BenchmarkLBCHTLookup is the consistent-hash fast path: one modulo and
+// one array read per selection.
+func BenchmarkLBCHTLookup(b *testing.B) {
+	cht, err := libvig.NewCHT(16, lb.DefaultCHTSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := cht.AddBackend(i, uint64(i)*0x9e3779b9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cht.Lookup(uint64(i) * 0x9e3779b97f4a7c15); !ok {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkLBCHTRepopulate is the control-path cost of one membership
+// change (remove + re-add): two full Maglev permutation walks.
+func BenchmarkLBCHTRepopulate(b *testing.B) {
+	cht, err := libvig.NewCHT(16, lb.DefaultCHTSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := cht.AddBackend(i, uint64(i)*0x9e3779b9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cht.RemoveBackend(i % 16); err != nil {
+			b.Fatal(err)
+		}
+		if err := cht.AddBackend(i%16, uint64(i%16)*0x9e3779b9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLBScalingTable prints the full experiments table (LB vs NAT
+// batched cost per worker count plus CHT disruption), the same one
+// `vigbench -fig lb` renders.
+func BenchmarkLBScalingTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.LBScaling(experiments.LBConfig{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + experiments.FormatLB(rows))
+	}
+}

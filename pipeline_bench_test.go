@@ -191,6 +191,57 @@ func BenchmarkChainBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkChainBatchedInterleaved drives the same gateway with a
+// direction-interleaved burst (alternating internal/external packets,
+// both directions warmed). Interleaving defeats the steer/first-element
+// fusion — no contiguous direction run exists, so every element pass
+// pays the scratch copy — pinning the fallback path's performance on a
+// mixed-direction workload. (The fusion's own before/after on the
+// grouped workload is recorded in EXPERIMENTS.md: same benchmark, the
+// contiguity check toggled.)
+func BenchmarkChainBatchedInterleaved(b *testing.B) {
+	chain, frames := setupBenchChain(b)
+	// Warm the reverse direction too, so external-side packets take the
+	// session-hit path rather than being dropped by the firewall.
+	returns := make([][]byte, len(frames))
+	work := make([]byte, dpdk.DataRoomSize)
+	for i := range frames {
+		n := copy(work, frames[i])
+		if chain.Process(work[:n], true) != nf.Forward {
+			b.Fatal("warmup drop")
+		}
+		var p netstack.Packet
+		if err := p.Parse(work[:n]); err != nil {
+			b.Fatal(err)
+		}
+		spec := &netstack.FrameSpec{ID: p.FlowID().Reverse()}
+		returns[i] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	}
+	scratch := make([][]byte, nf.DefaultBurst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, nf.DefaultBurst)
+	verd := make([]nf.Verdict, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			src := frames[(done+j)%benchNFFlows]
+			if j%2 == 1 {
+				src = returns[(done+j)%benchNFFlows]
+			}
+			n := copy(scratch[j], src)
+			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: j%2 == 0}
+		}
+		chain.ProcessBatch(pkts[:c], verd)
+		done += c
+	}
+}
+
 // BenchmarkPipelinePoll measures the full engine iteration — RX burst,
 // steer, batched NAT, TX batch assembly, wire drain — per packet.
 func BenchmarkPipelinePoll(b *testing.B) {
