@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|ablation|all] [-scale F]
+//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|policer|ablation|all] [-scale F]
 //
 // -scale shrinks experiment durations (1.0 = full paper-shaped run,
 // 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
@@ -21,12 +21,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, policer, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json",
 		"where the pipeline experiment writes its machine-readable results (empty disables)")
 	lbOut := flag.String("lb-out", "BENCH_lb.json",
 		"where the lb experiment writes its machine-readable results (empty disables)")
+	policerOut := flag.String("policer-out", "BENCH_policer.json",
+		"where the policer experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
@@ -126,6 +128,22 @@ func main() {
 				return err
 			}
 			fmt.Printf("(results written to %s)\n", *lbOut)
+		}
+		return nil
+	})
+
+	run("policer", func() error {
+		fmt.Println("=== Traffic policer: batched vs per-packet, cost vs the sharded NAT ===")
+		rows, err := experiments.PolicerScaling(experiments.PolicerConfig{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPolicer(rows))
+		if *policerOut != "" {
+			if err := experiments.WritePolicerJSON(*policerOut, rows); err != nil {
+				return err
+			}
+			fmt.Printf("(results written to %s)\n", *policerOut)
 		}
 		return nil
 	})

@@ -50,6 +50,7 @@ func main() {
 	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
 	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	churn := flag.Bool("churn", true, "remove one backend halfway through the run")
+	metricsAddr := flag.String("metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
 	flag.Parse()
 
 	clock := libvig.NewVirtualClock(0)
@@ -78,23 +79,14 @@ func main() {
 		fatal(fmt.Errorf("workers must be in [1,%d]", *shards))
 	}
 
-	newPort := func(id uint16) (*dpdk.Port, []*dpdk.Mempool) {
-		pools := make([]*dpdk.Mempool, nWorkers)
-		for q := range pools {
-			p, err := dpdk.NewMempool(4096 / nWorkers)
-			if err != nil {
-				fatal(err)
-			}
-			pools[q] = p
-		}
-		port, err := dpdk.NewMultiQueuePort(id, nWorkers, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pools)
-		if err != nil {
-			fatal(err)
-		}
-		return port, pools
+	intPort, intPools, err := nf.NewWorkerPorts(0, nWorkers, 4096/nWorkers) // backend side
+	if err != nil {
+		fatal(err)
 	}
-	intPort, intPools := newPort(0) // backend side
-	extPort, extPools := newPort(1) // client side
+	extPort, extPools, err := nf.NewWorkerPorts(1, nWorkers, 4096/nWorkers) // client side
+	if err != nil {
+		fatal(err)
+	}
 
 	pipe, err := nf.NewPipeline(balancer, nf.Config{
 		Internal: intPort,
@@ -105,6 +97,16 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		m, err := nf.ServeMetrics(*metricsAddr,
+			nf.MetricSource{Name: "viglb", Snapshot: balancer.StatsSnapshot})
+		if err != nil {
+			fatal(err)
+		}
+		defer m.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
 	}
 
 	// Client flows, all addressed to the VIP.
@@ -217,17 +219,11 @@ func main() {
 		fatal(fmt.Errorf("sticky accounting mismatch: created %d − expired %d − unpinned %d ≠ live %d",
 			st.FlowsCreated, st.FlowsExpired, st.FlowsUnpinned, balancer.Flows()))
 	}
-	fmt.Printf("  engine: polls=%d rx=%d tx=%d tx_freed=%d | snapshot: fwd=%d drop=%d\n",
-		ps.Polls, ps.RxPackets, ps.TxPackets, ps.TxFreed, snap.Forwarded, snap.Dropped)
+	nf.FprintEngineReport(os.Stdout, ps, snap)
 	fmt.Printf("  client port: rx=%d rx_dropped=%d\n", es.RxPackets, es.RxDropped)
-	inUse := 0
-	for _, pools := range [][]*dpdk.Mempool{intPools, extPools} {
-		for _, p := range pools {
-			inUse += p.InUse()
-		}
-	}
-	if inUse != extPort.RxQueueLen()+intPort.TxQueueLen() {
-		fatal(fmt.Errorf("mbuf leak detected: %d in use", inUse))
+	if err := nf.MbufAccounting(extPort.RxQueueLen()+intPort.TxQueueLen(),
+		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
+		fatal(err)
 	}
 	fmt.Println("mbuf accounting clean (no leaks)")
 }

@@ -49,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
 	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	verify := flag.Bool("verify", true, "run the verification pipeline before starting")
+	metricsAddr := flag.String("metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig(core.IPv4(198, 18, 1, 1))
@@ -79,26 +80,15 @@ func main() {
 		fatal(fmt.Errorf("workers must be in [1,%d] (one queue pair per worker, shards spread across workers)", *shards))
 	}
 
-	// Two multi-queue ports, one queue pair and one mempool per worker:
-	// concurrent workers never share an allocator, as DPDK's per-queue
-	// rx mempools arrange.
-	newPort := func(id uint16) (*dpdk.Port, []*dpdk.Mempool) {
-		pools := make([]*dpdk.Mempool, nWorkers)
-		for q := range pools {
-			p, err := dpdk.NewMempool(4096 / nWorkers)
-			if err != nil {
-				fatal(err)
-			}
-			pools[q] = p
-		}
-		port, err := dpdk.NewMultiQueuePort(id, nWorkers, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pools)
-		if err != nil {
-			fatal(err)
-		}
-		return port, pools
+	// Two multi-queue ports, one queue pair and one mempool per worker.
+	intPort, intPools, err := nf.NewWorkerPorts(cfg.InternalPort, nWorkers, 4096/nWorkers)
+	if err != nil {
+		fatal(err)
 	}
-	intPort, intPools := newPort(cfg.InternalPort)
-	extPort, extPools := newPort(cfg.ExternalPort)
+	extPort, extPools, err := nf.NewWorkerPorts(cfg.ExternalPort, nWorkers, 4096/nWorkers)
+	if err != nil {
+		fatal(err)
+	}
 
 	pipe, err := nf.NewPipeline(n, nf.Config{
 		Internal: intPort,
@@ -109,6 +99,16 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		m, err := nf.ServeMetrics(*metricsAddr,
+			nf.MetricSource{Name: "vignat", Snapshot: n.StatsSnapshot})
+		if err != nil {
+			fatal(err)
+		}
+		defer m.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
 	}
 
 	specs, err := moongen.MakeFlows(0, *flows, 0, 17)
@@ -190,18 +190,12 @@ func main() {
 	fmt.Printf("  forwarded out: %-10d dropped: %d\n", st.ForwardedOut, st.Dropped)
 	fmt.Printf("  flows created: %-10d expired: %d  live: %d\n",
 		st.FlowsCreated, st.FlowsExpired, n.Flows())
-	fmt.Printf("  engine: polls=%d rx=%d tx=%d tx_freed=%d\n",
-		ps.Polls, ps.RxPackets, ps.TxPackets, ps.TxFreed)
+	nf.FprintEngineReport(os.Stdout, ps, n.StatsSnapshot())
 	fmt.Printf("  int port: rx=%d rx_dropped=%d | ext port: tx=%d tx_dropped=%d\n",
 		is.RxPackets, is.RxDropped, es.TxPackets, es.TxDropped)
-	inUse := 0
-	for _, pools := range [][]*dpdk.Mempool{intPools, extPools} {
-		for _, p := range pools {
-			inUse += p.InUse()
-		}
-	}
-	if inUse != intPort.RxQueueLen()+extPort.TxQueueLen() {
-		fatal(fmt.Errorf("mbuf leak detected: %d in use", inUse))
+	if err := nf.MbufAccounting(intPort.RxQueueLen()+extPort.TxQueueLen(),
+		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
+		fatal(err)
 	}
 	fmt.Println("mbuf accounting clean (no leaks)")
 }

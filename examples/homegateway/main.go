@@ -4,17 +4,22 @@
 // and unsolicited outside traffic, all behind one external IP.
 //
 // The gateway is a service chain on the shared nf.Pipeline engine. By
-// default it is firewall → LB → NAT: the Maglev-style balancer fronts
-// a resolver VIP for the home network (clients internal, upstream
-// resolvers external, passthrough for everything else), so DNS queries
-// to the VIP are firewalled, steered to a resolver, then translated —
-// and the resolver's answers are translated back, restored to the VIP,
-// and matched against the firewall's session table. Every observable
-// NAT action is still cross-checked against the executable RFC 3022
-// specification (for VIP flows, against the balancer-resolved tuple),
-// and the balancer's own contract — stickiness, removal remaps only
-// the removed resolver's flows, replies restored to the VIP — is
-// asserted inline. -lb=false runs the original firewall → NAT chain.
+// default it is firewall → policer → LB → NAT: the Maglev-style
+// balancer fronts a resolver VIP for the home network (clients
+// internal, upstream resolvers external, passthrough for everything
+// else), and the policer enforces a per-host download budget on the
+// translated return traffic — on the internal→external axis it sits
+// just behind the firewall, so inbound packets reach it after the NAT
+// has translated them back and the balancer has restored the VIP,
+// which is exactly when the destination names the subscriber to
+// charge. Every observable NAT action is still cross-checked against
+// the executable RFC 3022 specification (for VIP flows, against the
+// balancer-resolved tuple), the balancer's contract is asserted
+// inline, and the policer is mirrored by its own spec oracle: a
+// mid-run download surge must be clipped on exactly the packets the
+// budget law names, while everything else stays conforming — so the
+// chain remains RFC 3022-oracle-clean end to end. -lb=false and
+// -police=false strip the respective stages.
 //
 // The chain runs as a single run-to-completion worker driven lock-step
 // (Pipeline.Poll) so the oracle can observe one packet at a time; the
@@ -37,6 +42,7 @@ import (
 	"vignat/internal/nat"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
+	"vignat/internal/policer"
 	"vignat/internal/vigor/spec"
 )
 
@@ -45,12 +51,18 @@ const (
 	texp    = 2 * time.Second
 	simTime = 30 * time.Second
 	dnsPort = 53
+
+	// Per-host download budget: generous against the scripted workload
+	// (~400 B/s per host), tight against the surge.
+	polRate  = 2000 // bytes/second
+	polBurst = 4000 // bytes
 )
 
 var resolverVIP = flow.MakeAddr(10, 53, 53, 53)
 
 func main() {
-	useLB := flag.Bool("lb", true, "front a resolver VIP with the Maglev-style balancer (firewall→LB→NAT chain)")
+	useLB := flag.Bool("lb", true, "front a resolver VIP with the Maglev-style balancer")
+	usePol := flag.Bool("police", true, "police per-host download rate with the token-bucket policer")
 	flag.Parse()
 
 	extIP := core.IPv4(203, 0, 113, 77)
@@ -78,6 +90,19 @@ func main() {
 	var gwLB *lb.Balancer
 	resolverIdx := map[flow.Addr]int{}
 	elems := []nf.NF{firewall.AsNF(fw)}
+
+	var gwPol *policer.Policer
+	var polOracle *spec.PolicerOracle
+	if *usePol {
+		gwPol, err = policer.New(policer.Config{
+			Rate: polRate, Burst: polBurst, Capacity: cfg.Capacity, Timeout: texp,
+		}, clock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		polOracle = spec.NewPolicerOracle(polRate, polBurst, 0, texp.Nanoseconds())
+		elems = append(elems, policer.AsNF(gwPol))
+	}
 	if *useLB {
 		gwLB, err = lb.New(lb.Config{
 			VIP:             resolverVIP,
@@ -131,7 +156,7 @@ func main() {
 	}
 	video := flow.ID{DstIP: core.IPv4(151, 101, 1, 1), DstPort: 443, Proto: flow.TCP}
 
-	type counters struct{ sent, dropped int }
+	type counters struct{ sent, dropped, policed int }
 	var c counters
 	scratch := make([]byte, 2048)
 	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
@@ -150,9 +175,20 @@ func main() {
 	// resolver); resolver replies have their source restored to the
 	// VIP by the balancer *after* the NAT, so the oracle sees the
 	// un-restored source while the restoration itself is asserted here.
-	process := func(id flow.ID, fromInternal bool) flow.ID {
-		s := &netstack.FrameSpec{ID: id, PayloadLen: 64}
+	//
+	// inward, when non-zero, is the post-NAT tuple an external packet
+	// must be translated to (the harness knows it from the session it
+	// crafted the reply against). Such a packet reaches the policer —
+	// last before the firewall on the inbound axis — and the policer
+	// oracle adjudicates it: a conforming packet must come through, an
+	// over-budget one must be clipped. A clipped packet is still a NAT
+	// forward (the drop happens downstream), so the RFC 3022 oracle is
+	// stepped with the reconstructed NAT output, and the clip is
+	// charged to the policer's books, which are audited at the end.
+	process := func(id flow.ID, fromInternal bool, payload int, inward flow.ID) flow.ID {
+		s := &netstack.FrameSpec{ID: id, PayloadLen: payload}
 		frame := netstack.Craft(scratch[:netstack.FrameLen(s)], s)
+		wire := len(frame)
 		rxPort := intPort
 		if !fromInternal {
 			rxPort = extPort
@@ -185,6 +221,33 @@ func main() {
 			}
 			if err := pool.Free(drain[0]); err != nil {
 				log.Fatal(err)
+			}
+		}
+
+		expectedInward := !fromInternal && inward != (flow.ID{})
+		if *usePol && expectedInward {
+			// The policer oracle adjudicates every packet that reaches
+			// the policer stage: the budget decides, and the chain's
+			// observable outcome must match it.
+			got := policer.VerdictConform
+			if obs.Verdict == core.VerdictDrop {
+				got = policer.VerdictDrop
+			}
+			if err := polOracle.Step(inward.DstIP, wire, true, true, clock.Now(), got); err != nil {
+				log.Fatalf("policer spec violation: %v", err)
+			}
+			if got == policer.VerdictDrop {
+				// The NAT forwarded; the policer clipped downstream.
+				// Feed the RFC 3022 oracle the reconstructed NAT output
+				// so its session state (the rejuvenation that did
+				// happen) stays exact.
+				obs.Verdict = core.VerdictToInternal
+				obs.Tuple = inward
+				if err := oracle.Step(id, fromInternal, true, clock.Now(), obs); err != nil {
+					log.Fatalf("RFC 3022 violation (clipped reply): %v", err)
+				}
+				c.policed++
+				return flow.ID{}
 			}
 		}
 
@@ -229,13 +292,17 @@ func main() {
 	// server answering each one) and queries the resolver VIP — hosts
 	// 0–3 every second (their sticky entries stay live, pinning
 	// stickiness), hosts 4–7 every 5 s (their entries expire between
-	// queries, exercising expiry and re-selection). Halfway through,
-	// one resolver is drained: exactly its flows must remap. Every 7 s
-	// an outsider probes the gateway and must be dropped.
+	// queries, exercising expiry and re-selection). A third of the way
+	// in, host 0's video server floods it with a back-to-back download
+	// surge: the policer must clip exactly the packets the budget law
+	// names. Halfway through, one resolver is drained: exactly its
+	// flows must remap. Every 7 s an outsider probes the gateway and
+	// must be dropped.
 	assigned := make(map[int]flow.Addr) // host → resolver of the last query
 	var removed flow.Addr
-	remapped := 0
+	remapped, surgeDropped := 0, 0
 	step := 100 * time.Millisecond
+	surgeAt := simTime / 3
 	for tick := 0; time.Duration(tick)*step < simTime; tick++ {
 		clock.Advance(step.Nanoseconds())
 		now := time.Duration(tick) * step
@@ -254,11 +321,26 @@ func main() {
 			if now%(500*time.Millisecond) == 0 {
 				id := video
 				id.SrcIP, id.SrcPort = host, uint16(52000+h)
-				if out := process(id, true); out != (flow.ID{}) {
+				if out := process(id, true, 64, flow.ID{}); out != (flow.ID{}) {
 					// The server acks through the chain: translated
 					// back by the NAT, admitted by the firewall.
-					if process(out.Reverse(), false) == (flow.ID{}) {
+					if process(out.Reverse(), false, 64, id.Reverse()) == (flow.ID{}) {
 						log.Fatal("video reply dropped")
+					}
+					if *usePol && h == 0 && now == surgeAt {
+						// The download surge: a back-to-back train of
+						// large segments into host 0, far past its
+						// burst budget. The policer oracle inside
+						// process decides each packet's fate; the
+						// budget must clip the tail of the train.
+						for k := 0; k < 12; k++ {
+							if process(out.Reverse(), false, 1200, id.Reverse()) == (flow.ID{}) {
+								surgeDropped++
+							}
+						}
+						if surgeDropped == 0 {
+							log.Fatal("download surge was never clipped; the policer policed nothing")
+						}
 					}
 				}
 			}
@@ -269,7 +351,7 @@ func main() {
 			if now%interval == time.Duration(h)*step {
 				id := dns
 				id.SrcIP, id.SrcPort = host, uint16(40000+h)
-				out := process(id, true)
+				out := process(id, true, 64, flow.ID{})
 				if out == (flow.ID{}) {
 					log.Fatal("DNS query dropped")
 				}
@@ -288,28 +370,48 @@ func main() {
 					assigned[h] = resolver
 				}
 				// The resolver answers; the reply must come back from
-				// the VIP (asserted inside process).
-				if process(out.Reverse(), false) == (flow.ID{}) {
+				// the VIP (asserted inside process). The un-restored
+				// inward tuple is the query's reverse with the
+				// balancer-resolved source.
+				inward := id.Reverse()
+				inward.SrcIP = out.DstIP
+				if process(out.Reverse(), false, 64, inward) == (flow.ID{}) {
 					log.Fatal("DNS reply dropped")
 				}
 			}
 		}
 		if now%(7*time.Second) == 0 {
-			// Unsolicited scan from outside: no session, must drop.
+			// Unsolicited scan from outside: no session, must drop — at
+			// the NAT, before the policer ever sees it.
 			probe := flow.ID{
 				SrcIP: core.IPv4(198, 51, 100, 99), SrcPort: 31337,
 				DstIP: extIP, DstPort: 17, Proto: flow.UDP,
 			}
-			process(probe, false)
+			process(probe, false, 64, flow.ID{})
 		}
 	}
 
 	st := gwNAT.Stats()
 	fmt.Printf("home gateway simulation (%v virtual) through %s:\n", simTime, chain.Name())
-	fmt.Printf("  packets forwarded: %d, dropped: %d\n", c.sent, c.dropped)
+	fmt.Printf("  packets forwarded: %d, dropped: %d, policed: %d\n", c.sent, c.dropped, c.policed)
 	fmt.Printf("  flows created: %d, expired: %d, live now: %d\n",
 		st.FlowsCreated, st.FlowsExpired, gwNAT.Table().Size())
 	fmt.Printf("  firewall sessions live: %d\n", fw.Sessions())
+	if *usePol {
+		pst := gwPol.Stats()
+		fmt.Printf("  policer: %d conformed, %d clipped (surge), %d hosts tracked\n",
+			pst.Conformed, pst.DroppedOverRate, gwPol.Subscribers())
+		if int(pst.DroppedOverRate) != surgeDropped || surgeDropped == 0 {
+			log.Fatalf("policer books disagree: %d clipped on the wire, %d in the stats",
+				surgeDropped, pst.DroppedOverRate)
+		}
+		if pst.DroppedTableFull != 0 || pst.DroppedMalformed != 0 {
+			log.Fatalf("unexpected policer drops: %+v", pst)
+		}
+		if gwPol.Subscribers() != polOracle.Size() {
+			log.Fatalf("policer tracks %d hosts, spec oracle %d", gwPol.Subscribers(), polOracle.Size())
+		}
+	}
 	if *useLB {
 		lst := gwLB.Stats()
 		fmt.Printf("  balancer: %d queries steered, %d replies restored to VIP, %d passthrough, %d sticky expiries\n",

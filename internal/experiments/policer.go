@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/policer"
+)
+
+// PolicerConfig parameterizes the traffic-policer experiment.
+type PolicerConfig struct {
+	// Workers lists the shard/worker counts to sweep (default 1, 2, 4,
+	// 8).
+	Workers []int
+	// Subscribers is the number of distinct client IPs offered (default
+	// 4096).
+	Subscribers int
+	// Packets is the total packets per data point (default 200k,
+	// scaled).
+	Packets int
+	// Scale shrinks Packets for quick runs.
+	Scale Scale
+}
+
+// PolicerRow is one worker-count data point: the sharded policer's
+// per-packet and batched throughput side by side with the sharded NAT's
+// batched numbers on an equally sized workload. CostRatio is policer
+// batched cost over NAT batched cost per packet — the acceptance bound
+// for the policer tentpole is ≤2×.
+type PolicerRow struct {
+	Workers          int     `json:"workers"`
+	PolPerPacketMpps float64 `json:"pol_per_packet_mpps"`
+	PolBatchedMpps   float64 `json:"pol_batched_mpps"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
+	NATBatchedMpps   float64 `json:"nat_batched_mpps"`
+	CostRatio        float64 `json:"cost_ratio"`
+}
+
+// PolicerScaling measures the sharded policer's per-packet and batched
+// processing cost against the sharded NAT's, per worker count, on
+// same-sized warmed workloads — the "fourth stateful NF on the same
+// engine" claim made quantitative. The budget is sized so the warmed
+// traffic always conforms: the measured path is lookup → rejuvenate →
+// lazy refill → charge, the policer's steady state.
+func PolicerScaling(cfg PolicerConfig) ([]PolicerRow, error) {
+	workers := cfg.Workers
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	subscribers := cfg.Subscribers
+	if subscribers == 0 {
+		subscribers = 4096
+	}
+	packets := cfg.Packets
+	if packets == 0 {
+		packets = 200000
+	}
+	packets = cfg.Scale.applyInt(packets)
+
+	// Ingress frames: one subscriber each, from one upstream source.
+	polFrames := make([][]byte, subscribers)
+	for f := 0; f < subscribers; f++ {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(198, 51, 100, 7),
+			SrcPort: 443,
+			DstIP:   flow.MakeAddr(10, byte(f>>16), byte(f>>8), byte(f)),
+			DstPort: 8080,
+			Proto:   flow.UDP,
+		}}
+		polFrames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	}
+	// NAT frames: the standard internal→external workload.
+	natFrames := make([][]byte, subscribers)
+	for f := 0; f < subscribers; f++ {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(f>>8), byte(f)),
+			SrcPort: uint16(10000 + f%50000),
+			DstIP:   flow.MakeAddr(198, 51, 100, 1),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}}
+		natFrames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+	}
+
+	burst := nf.DefaultBurst
+	scratch := make([][]byte, burst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, burst)
+	verd := make([]nf.Verdict, burst)
+	one := make([]byte, dpdk.DataRoomSize)
+
+	// warmAndBucket admits every flow and pre-steers the packet
+	// sequence by shard, shared by both measurement shapes.
+	warmAndBucket := func(s nf.Sharder, frames [][]byte, fromInternal bool, w int) ([][]int, error) {
+		buckets := make([][]int, w)
+		flowShard := make([]int, len(frames))
+		for f := range frames {
+			flowShard[f] = s.ShardOf(frames[f], fromInternal)
+			n := copy(one, frames[f])
+			if s.Process(one[:n], fromInternal) != nf.Forward {
+				return nil, fmt.Errorf("experiments: warmup drop for flow %d at %d workers (%s)", f, w, s.Name())
+			}
+		}
+		for i := 0; i < packets; i++ {
+			f := i % len(frames)
+			buckets[flowShard[f]] = append(buckets[flowShard[f]], f)
+		}
+		return buckets, nil
+	}
+
+	// batchedPass times a sequential per-shard batched sweep (the same
+	// measurement shape as the pipeline and LB experiments' batched
+	// columns).
+	batchedPass := func(s nf.Sharder, frames [][]byte, buckets [][]int, fromInternal bool, w int) time.Duration {
+		var total time.Duration
+		for shID := 0; shID < w; shID++ {
+			snf := s.Shard(shID)
+			list := buckets[shID]
+			start := time.Now()
+			for off := 0; off < len(list); off += burst {
+				c := burst
+				if off+c > len(list) {
+					c = len(list) - off
+				}
+				for j := 0; j < c; j++ {
+					n := copy(scratch[j], frames[list[off+j]])
+					pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: fromInternal}
+				}
+				snf.ProcessBatch(pkts[:c], verd)
+			}
+			total += time.Since(start)
+		}
+		return total
+	}
+
+	// perPacketPass times the unbatched baseline: one Process call — and
+	// one clock read — per packet, per shard.
+	perPacketPass := func(s nf.Sharder, frames [][]byte, buckets [][]int, fromInternal bool, w int) time.Duration {
+		var total time.Duration
+		for shID := 0; shID < w; shID++ {
+			snf := s.Shard(shID)
+			list := buckets[shID]
+			start := time.Now()
+			for _, f := range list {
+				n := copy(one, frames[f])
+				snf.Process(one[:n], fromInternal)
+			}
+			total += time.Since(start)
+		}
+		return total
+	}
+
+	newPolicer := func(w int) (*policer.Sharded, error) {
+		return policer.NewSharded(policer.Config{
+			Rate:     1 << 30, // ample: the measured path is the conform path
+			Burst:    1 << 30,
+			Capacity: Capacity,
+			Timeout:  time.Hour,
+		}, libvig.NewSystemClock(), w)
+	}
+
+	rows := make([]PolicerRow, 0, len(workers))
+	for _, w := range workers {
+		polB, err := newPolicer(w)
+		if err != nil {
+			return nil, err
+		}
+		buckets, err := warmAndBucket(polB, polFrames, false, w)
+		if err != nil {
+			return nil, err
+		}
+		polBatched := batchedPass(polB, polFrames, buckets, false, w)
+
+		polP, err := newPolicer(w)
+		if err != nil {
+			return nil, err
+		}
+		buckets, err = warmAndBucket(polP, polFrames, false, w)
+		if err != nil {
+			return nil, err
+		}
+		polPerPacket := perPacketPass(polP, polFrames, buckets, false, w)
+
+		natSh, err := nat.NewSharded(nat.Config{
+			Capacity:     Capacity,
+			Timeout:      time.Hour,
+			ExternalIP:   ExtIP,
+			PortBase:     PortBase,
+			InternalPort: 0,
+			ExternalPort: 1,
+		}, libvig.NewSystemClock(), w)
+		if err != nil {
+			return nil, err
+		}
+		buckets, err = warmAndBucket(natSh, natFrames, true, w)
+		if err != nil {
+			return nil, err
+		}
+		natBatched := batchedPass(natSh, natFrames, buckets, true, w)
+
+		row := PolicerRow{
+			Workers:          w,
+			PolPerPacketMpps: mpps(packets, polPerPacket),
+			PolBatchedMpps:   mpps(packets, polBatched),
+			NATBatchedMpps:   mpps(packets, natBatched),
+		}
+		if polBatched > 0 {
+			row.BatchSpeedup = polPerPacket.Seconds() / polBatched.Seconds()
+		}
+		if natBatched > 0 {
+			row.CostRatio = polBatched.Seconds() / natBatched.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPolicer renders the policer-vs-NAT rows as a paper-style table.
+func FormatPolicer(rows []PolicerRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(batched = per-shard 32-packet bursts, one clock read per burst; per-packet = one Process and one clock read each; ratio = policer batched cost / NAT batched cost per packet, acceptance ≤2×)\n")
+	fmt.Fprintf(&b, "%-8s %19s %17s %9s %17s %12s\n",
+		"workers", "pol per-pkt Mpps", "pol batched Mpps", "speedup", "NAT batched Mpps", "cost ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %19.2f %17.2f %8.2fx %17.2f %11.2fx\n",
+			r.Workers, r.PolPerPacketMpps, r.PolBatchedMpps, r.BatchSpeedup, r.NATBatchedMpps, r.CostRatio)
+	}
+	return b.String()
+}
+
+// PolicerBench is the machine-readable record of one policer experiment
+// run, written as BENCH_policer.json so CI can track the policer's
+// batching win and its cost ratio against the NAT across commits.
+type PolicerBench struct {
+	Experiment  string       `json:"experiment"`
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Rows        []PolicerRow `json:"rows"`
+}
+
+// WritePolicerJSON writes rows (plus host metadata) to path as indented
+// JSON.
+func WritePolicerJSON(path string, rows []PolicerRow) error {
+	rec := PolicerBench{
+		Experiment:  "policer-scaling",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -43,6 +43,14 @@ func (a Addr) String() string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 }
 
+// Hash returns a well-mixed 64-bit hash of the address, making Addr a
+// libVig map key in its own right — the policer keys its subscriber
+// table by bare client IP, where the 5-tuple ID would conflate one
+// subscriber's flows into separate rate budgets.
+func (a Addr) Hash() uint64 {
+	return mix64(uint64(a) ^ 0x9e3779b97f4a7c15)
+}
+
 // ID identifies one direction of a transport flow: the classic 5-tuple.
 // It is the F(P) of the paper's Fig. 6, and serves as the key type of the
 // double-keyed flow table.

@@ -101,6 +101,26 @@ func TestHashBucketDispersion(t *testing.T) {
 	}
 }
 
+func TestAddrHashDispersion(t *testing.T) {
+	// The policer shards by bare client-IP hash: sequential subscriber
+	// blocks (the pathological assignment pattern) must spread evenly.
+	const n = 4096
+	const shards = 8
+	counts := make([]int, shards)
+	for i := 0; i < n; i++ {
+		a := MakeAddr(10, 0, byte(i>>8), byte(i))
+		if a.Hash() != a.Hash() {
+			t.Fatal("Addr.Hash not deterministic")
+		}
+		counts[a.Hash()%shards]++
+	}
+	for s, c := range counts {
+		if c < n/shards*8/10 || c > n/shards*12/10 {
+			t.Fatalf("shard %d got %d of %d sequential addresses (want ~%d)", s, c, n, n/shards)
+		}
+	}
+}
+
 func TestMakeFlowConsistent(t *testing.T) {
 	ext := MakeAddr(198, 18, 1, 1)
 	intKey := ID{SrcIP: MakeAddr(10, 0, 0, 7), SrcPort: 5555, DstIP: MakeAddr(8, 8, 8, 8), DstPort: 53, Proto: UDP}

@@ -1,0 +1,127 @@
+package contracts
+
+import (
+	"fmt"
+	"math/big"
+
+	"vignat/internal/libvig"
+)
+
+// abstractBucket is one bucket of the token-bucket contract's abstract
+// state: the scaled level and the bucket clock. The model computes the
+// refill law — level' = min(burst, level + rate·Δt), Δt clamped at 0 —
+// over arbitrary-precision integers, so the implementation's overflow
+// clamping is checked against the unclamped mathematical definition
+// rather than against a second copy of the same trick.
+type abstractBucket struct {
+	Level *big.Int // in 1e-9-byte units, like the implementation
+	Last  libvig.Time
+	Bound bool // Fill has run at least once (unbound buckets are unspecified)
+}
+
+// CheckedTokenBucket runs a concrete token-bucket vector against the
+// big-integer model in lockstep.
+type CheckedTokenBucket struct {
+	Impl  *libvig.TokenBucket
+	Model []abstractBucket
+
+	rateU  *big.Int // level units per nanosecond == bytes/second
+	burstU *big.Int
+	unit   *big.Int // units per byte
+}
+
+// NewCheckedTokenBucket builds the pair.
+func NewCheckedTokenBucket(capacity int, rate, burst int64) (*CheckedTokenBucket, error) {
+	tb, err := libvig.NewTokenBucket(capacity, rate, burst)
+	if err != nil {
+		return nil, err
+	}
+	unit := big.NewInt(1_000_000_000)
+	return &CheckedTokenBucket{
+		Impl:   tb,
+		Model:  make([]abstractBucket, capacity),
+		rateU:  big.NewInt(rate),
+		burstU: new(big.Int).Mul(big.NewInt(burst), unit),
+		unit:   unit,
+	}, nil
+}
+
+// refill advances the model bucket to now by the unclamped law.
+func (c *CheckedTokenBucket) refill(m *abstractBucket, now libvig.Time) {
+	if dt := now - m.Last; dt > 0 {
+		add := new(big.Int).Mul(big.NewInt(dt), c.rateU)
+		m.Level.Add(m.Level, add)
+		if m.Level.Cmp(c.burstU) > 0 {
+			m.Level.Set(c.burstU)
+		}
+		m.Last = now
+	}
+}
+
+// Fill executes Fill on both sides and checks refinement.
+func (c *CheckedTokenBucket) Fill(i int, now libvig.Time) error {
+	err := c.Impl.Fill(i, now)
+	if i < 0 || i >= len(c.Model) {
+		if err == nil {
+			return &Violation{"Fill", fmt.Sprintf("accepted out-of-range index %d", i)}
+		}
+		return nil
+	}
+	if err != nil {
+		return &Violation{"Fill", "rejected in-range fill: " + err.Error()}
+	}
+	c.Model[i] = abstractBucket{Level: new(big.Int).Set(c.burstU), Last: now, Bound: true}
+	return c.check("Fill", i)
+}
+
+// Charge executes Charge on both sides and checks the conform/deny
+// decision and the resulting level against the model.
+func (c *CheckedTokenBucket) Charge(i int, bytes int, now libvig.Time) (bool, error) {
+	ok := c.Impl.Charge(i, bytes, now)
+	if i < 0 || i >= len(c.Model) || bytes < 0 || int64(bytes) > libvig.MaxBurstBytes {
+		// Invalid draws (including over-depth ones, which could never
+		// conform and whose scaling would overflow) are denied before
+		// the refill, leaving the bucket untouched on both sides.
+		if ok {
+			return false, &Violation{"Charge", fmt.Sprintf("accepted invalid charge (i=%d, bytes=%d)", i, bytes)}
+		}
+		return false, nil
+	}
+	m := &c.Model[i]
+	if !m.Bound {
+		return ok, nil // unbound bucket: behavior unspecified, nothing to check
+	}
+	c.refill(m, now)
+	cost := new(big.Int).Mul(big.NewInt(int64(bytes)), c.unit)
+	conforms := cost.Cmp(m.Level) <= 0
+	if ok != conforms {
+		return false, &Violation{"Charge", fmt.Sprintf(
+			"bucket %d: impl says conform=%v, model level %v vs cost %v", i, ok, m.Level, cost)}
+	}
+	if conforms {
+		m.Level.Sub(m.Level, cost)
+	}
+	return ok, c.check("Charge", i)
+}
+
+// check compares bucket i's concrete level and clock with the model.
+func (c *CheckedTokenBucket) check(op string, i int) error {
+	if !c.Model[i].Bound {
+		return nil
+	}
+	lvl, err := c.Impl.LevelUnits(i)
+	if err != nil {
+		return &Violation{op, err.Error()}
+	}
+	if big.NewInt(lvl).Cmp(c.Model[i].Level) != 0 {
+		return &Violation{op, fmt.Sprintf("bucket %d level %d, model %v", i, lvl, c.Model[i].Level)}
+	}
+	last, err := c.Impl.LastRefill(i)
+	if err != nil {
+		return &Violation{op, err.Error()}
+	}
+	if last != c.Model[i].Last {
+		return &Violation{op, fmt.Sprintf("bucket %d clock %d, model %d", i, last, c.Model[i].Last)}
+	}
+	return nil
+}

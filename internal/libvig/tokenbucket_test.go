@@ -1,0 +1,169 @@
+package libvig
+
+import (
+	"testing"
+	"time"
+)
+
+func newTB(t *testing.T, capacity int, rate, burst int64) *TokenBucket {
+	t.Helper()
+	tb, err := NewTokenBucket(capacity, rate, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTokenBucketConstructionChecks(t *testing.T) {
+	if _, err := NewTokenBucket(0, 1, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewTokenBucket(1, 0, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(1, MaxRateBytesPerSec+1, 1); err == nil {
+		t.Fatal("over-limit rate accepted (fill-time division would overflow)")
+	}
+	if _, err := NewTokenBucket(1, 1, 0); err == nil {
+		t.Fatal("zero burst accepted")
+	}
+	if _, err := NewTokenBucket(1, 1, MaxBurstBytes+1); err == nil {
+		t.Fatal("over-limit burst accepted (scaled level would overflow)")
+	}
+	if _, err := NewTokenBucket(1, 1, MaxBurstBytes); err != nil {
+		t.Fatalf("limit burst rejected: %v", err)
+	}
+}
+
+func TestTokenBucketFillAndDrain(t *testing.T) {
+	tb := newTB(t, 4, 1000, 100) // 1000 B/s, 100 B burst
+	if err := tb.Fill(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh bucket holds exactly its burst.
+	if lvl, _ := tb.Level(0, 0); lvl != 100 {
+		t.Fatalf("fresh level %d, want 100", lvl)
+	}
+	// Draw it dry in two charges; the third must fail and consume nothing.
+	if !tb.Charge(0, 60, 0) || !tb.Charge(0, 40, 0) {
+		t.Fatal("conforming charges rejected")
+	}
+	if tb.Charge(0, 1, 0) {
+		t.Fatal("charged an empty bucket")
+	}
+	if lvl, _ := tb.Level(0, 0); lvl != 0 {
+		t.Fatalf("level %d after drain, want 0", lvl)
+	}
+	// A rejected charge must not consume: level is a function of time.
+	lvlBefore, _ := tb.LevelUnits(0)
+	tb.Charge(0, 50, 0)
+	if lvlAfter, _ := tb.LevelUnits(0); lvlAfter != lvlBefore {
+		t.Fatal("failed charge consumed tokens")
+	}
+}
+
+func TestTokenBucketLazyRefillExact(t *testing.T) {
+	tb := newTB(t, 1, 1000, 1000) // 1000 B/s == 1 B/ms
+	tb.Fill(0, 0)
+	if !tb.Charge(0, 1000, 0) {
+		t.Fatal("burst draw rejected")
+	}
+	// 1 ms refills exactly 1 byte — and, critically, a sequence of many
+	// sub-byte accesses loses nothing: 10 × 100 µs = 1 byte exactly.
+	for i := 1; i <= 10; i++ {
+		tb.Charge(0, 2000, Time(i)*100_000) // hopeless charge, pure refill
+	}
+	if lvl, _ := tb.Level(0, 1_000_000); lvl != 1 {
+		t.Fatalf("10×100µs at 1B/ms refilled %d bytes, want exactly 1 (fractional drift)", lvl)
+	}
+	if !tb.Charge(0, 1, 1_000_000) {
+		t.Fatal("the accumulated byte is not spendable")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	tb := newTB(t, 1, 1_000_000, 500)
+	tb.Fill(0, 0)
+	// Idle for an hour: level caps at burst, not rate·Δt.
+	if lvl, _ := tb.Level(0, time.Hour.Nanoseconds()); lvl != 500 {
+		t.Fatalf("level %d after long idle, want burst 500", lvl)
+	}
+}
+
+// TestTokenBucketRefillOverflow pins the satellite edge case: a huge
+// elapsed time times a huge rate must clamp to burst, not wrap int64
+// into a negative level.
+func TestTokenBucketRefillOverflow(t *testing.T) {
+	tb := newTB(t, 1, 1<<40, MaxBurstBytes) // ~1 TB/s, 8 GiB burst
+	tb.Fill(0, 0)
+	if !tb.Charge(0, 1<<20, 0) {
+		t.Fatal("initial draw rejected")
+	}
+	// Δt·rate ≈ 2^63·2^40 — astronomically past int64. The clamp must
+	// kick in before the multiplication.
+	huge := Time(1) << 62
+	if lvl, _ := tb.Level(0, huge); lvl != MaxBurstBytes {
+		t.Fatalf("level %d after huge idle, want clamped burst %d", lvl, MaxBurstBytes)
+	}
+	if u, _ := tb.LevelUnits(0); u < 0 {
+		t.Fatal("scaled level overflowed negative")
+	}
+	// And the whole burst is chargeable in one maximal draw.
+	if !tb.Charge(0, int(MaxBurstBytes), huge) {
+		t.Fatal("full-burst charge rejected after clamp")
+	}
+}
+
+// TestTokenBucketClockRegression pins the other satellite edge case:
+// time running backwards must neither mint tokens nor move the bucket's
+// clock backwards (which would double-refill once time recovers).
+func TestTokenBucketClockRegression(t *testing.T) {
+	tb := newTB(t, 1, 1000, 100)
+	tb.Fill(0, 1_000_000_000)
+	if !tb.Charge(0, 100, 1_000_000_000) {
+		t.Fatal("burst draw rejected")
+	}
+	// Regressed accesses: no refill, clock pinned at its high-water mark.
+	if tb.Charge(0, 1, 500_000_000) {
+		t.Fatal("regressed clock minted tokens")
+	}
+	if last, _ := tb.LastRefill(0); last != 1_000_000_000 {
+		t.Fatalf("bucket clock moved backwards to %d", last)
+	}
+	// Time recovers: refill counts only from the high-water mark, so the
+	// regressed interval is not paid out twice.
+	if lvl, _ := tb.Level(0, 1_001_000_000); lvl != 1 { // 1 ms past the mark
+		t.Fatalf("level %d after recovery, want 1", lvl)
+	}
+}
+
+func TestTokenBucketRangeAndReuse(t *testing.T) {
+	tb := newTB(t, 2, 1000, 100)
+	if tb.Charge(-1, 1, 0) || tb.Charge(2, 1, 0) {
+		t.Fatal("out-of-range charge accepted")
+	}
+	if tb.Charge(0, -1, 0) {
+		t.Fatal("negative charge accepted")
+	}
+	// A draw past the maximum bucket depth can never conform; scaling
+	// it would wrap the fixed point and mint tokens, so it must be
+	// denied before the multiplication — with the level untouched.
+	tb.Fill(0, 0)
+	if tb.Charge(0, int(MaxBurstBytes)+1, 0) {
+		t.Fatal("over-depth charge accepted (fixed-point overflow would mint tokens)")
+	}
+	if lvl, _ := tb.Level(0, 0); lvl != 100 {
+		t.Fatalf("denied over-depth charge consumed tokens: level %d", lvl)
+	}
+	if err := tb.Fill(2, 0); err == nil {
+		t.Fatal("out-of-range fill accepted")
+	}
+	// Slot reuse: a drained bucket re-Filled for a new subscriber starts
+	// with a clean full burst regardless of its history.
+	tb.Fill(1, 0)
+	tb.Charge(1, 100, 0)
+	tb.Fill(1, 42)
+	if lvl, _ := tb.Level(1, 42); lvl != 100 {
+		t.Fatalf("reused slot level %d, want full burst", lvl)
+	}
+}

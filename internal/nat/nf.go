@@ -20,7 +20,10 @@ func verdictOf(v stateless.Verdict) nf.Verdict {
 // read the clock once.
 type natNF struct{ n *NAT }
 
-var _ nf.NF = natNF{}
+var (
+	_ nf.NF          = natNF{}
+	_ nf.ExpiryModer = natNF{}
+)
 
 // AsNF exposes a NAT as a pipeline network function.
 func AsNF(n *NAT) nf.NF { return natNF{n} }
@@ -39,6 +42,8 @@ func (a natNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
 }
 
 func (a natNF) Expire(now libvig.Time) int { return a.n.ExpireAt(now) }
+
+func (a natNF) SetPerPacketExpiry(on bool) bool { return a.n.SetPerPacketExpiry(on) }
 
 func (a natNF) NFStats() nf.Stats {
 	s := a.n.Stats()

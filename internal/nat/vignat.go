@@ -24,11 +24,12 @@ type Stats struct {
 // lives in preallocated libVig structures (27 MB peak RSS in the paper —
 // here, dominated by the 65535-entry table).
 type NAT struct {
-	cfg   Config
-	table *FlowTable
-	clock libvig.Clock
-	stats Stats
-	env   prodEnv
+	cfg             Config
+	table           *FlowTable
+	clock           libvig.Clock
+	perPacketExpiry bool
+	stats           Stats
+	env             prodEnv
 }
 
 // New builds a NAT from cfg, drawing time from clock.
@@ -40,9 +41,17 @@ func New(cfg Config, clock libvig.Clock) (*NAT, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &NAT{cfg: cfg, table: t, clock: clock}
+	n := &NAT{cfg: cfg, table: t, clock: clock, perPacketExpiry: true}
 	n.env.nat = n
 	return n, nil
+}
+
+// SetPerPacketExpiry switches the Fig. 6 in-line expiry on or off; off
+// defers all expiry to explicit ExpireAt calls (the engine's amortized
+// once-per-poll mode). It reports true: the NAT supports both modes.
+func (n *NAT) SetPerPacketExpiry(on bool) bool {
+	n.perPacketExpiry = on
+	return true
 }
 
 // Config returns the NAT's configuration.
@@ -134,7 +143,11 @@ func (e *prodEnv) PacketFromInternal() bool { return e.fromInternal }
 
 func (e *prodEnv) ExpireFlows() {
 	// Fig. 6 expires when timestamp+Texp <= now; Expire frees strictly
-	// below its deadline, hence the +1.
+	// below its deadline, hence the +1. In amortized mode the engine
+	// expires once per poll instead.
+	if !e.nat.perPacketExpiry {
+		return
+	}
 	n := e.nat.table.Expire(e.now - e.nat.cfg.TimeoutNanos() + 1)
 	e.nat.stats.FlowsExpired += uint64(n)
 }

@@ -1,0 +1,83 @@
+package nf
+
+import (
+	"testing"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/libvig"
+)
+
+// modalStubNF is a minimal NF whose per-packet expiry can be switched,
+// recording the current mode.
+type modalStubNF struct {
+	perPacket bool
+}
+
+func (m *modalStubNF) Name() string                 { return "modal-stub" }
+func (m *modalStubNF) Process([]byte, bool) Verdict { return Drop }
+func (m *modalStubNF) ProcessBatch(p []Pkt, v []Verdict) {
+	for i := range p {
+		v[i] = Drop
+	}
+}
+func (m *modalStubNF) Expire(libvig.Time) int          { return 0 }
+func (m *modalStubNF) NFStats() Stats                  { return Stats{} }
+func (m *modalStubNF) SetPerPacketExpiry(on bool) bool { m.perPacket = on; return true }
+
+// rigidStubNF supports no expiry-mode switch.
+type rigidStubNF struct{ modalStubNF }
+
+func (r *rigidStubNF) SetPerPacketExpiry(bool) bool { return false }
+
+func amortizedTestPorts(t *testing.T) (*dpdk.Port, *dpdk.Port) {
+	t.Helper()
+	pool, err := dpdk.NewMempool(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return intPort, extPort
+}
+
+// TestAmortizedExpiryRefusalRollsBack pins the half-switch hazard: when
+// a chain's amortized switch fails partway (one element refuses), the
+// elements that did switch must be switched back — otherwise a later
+// per-packet-mode pipeline over the same NF objects would silently
+// stop expiring under sustained traffic.
+func TestAmortizedExpiryRefusalRollsBack(t *testing.T) {
+	modal := &modalStubNF{perPacket: true}
+	rigid := &rigidStubNF{}
+	chain, err := NewChain("mixed", modal, rigid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intPort, extPort := amortizedTestPorts(t)
+	_, err = NewPipeline(chain, Config{
+		Internal: intPort, External: extPort,
+		Clock: libvig.NewVirtualClock(0), AmortizedExpiry: true,
+	})
+	if err == nil {
+		t.Fatal("pipeline accepted amortized expiry over a chain that cannot switch")
+	}
+	if !modal.perPacket {
+		t.Fatal("failed amortized setup left a chain element with per-packet expiry off")
+	}
+}
+
+// TestAmortizedExpiryNeedsClock pins the config precondition.
+func TestAmortizedExpiryNeedsClock(t *testing.T) {
+	intPort, extPort := amortizedTestPorts(t)
+	_, err := NewPipeline(&modalStubNF{perPacket: true}, Config{
+		Internal: intPort, External: extPort, AmortizedExpiry: true,
+	})
+	if err == nil {
+		t.Fatal("amortized expiry accepted without a clock")
+	}
+}

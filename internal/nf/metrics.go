@@ -1,0 +1,91 @@
+package nf
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricSource names one stats surface the metrics endpoint exposes.
+// Snapshot must be safe to call from any goroutine at any time —
+// CountedShards.StatsSnapshot (per-shard padded atomic cells) is the
+// intended producer; Pipeline.Stats, which walks worker-owned state, is
+// not.
+type MetricSource struct {
+	Name     string
+	Snapshot func() Stats
+}
+
+// Metrics is a running metrics endpoint: the ROADMAP's "actual metrics
+// endpoint" over the per-shard stats cells. It serves
+//
+//	/metrics     — JSON {source: {processed, forwarded, dropped, expired}}
+//	/debug/vars  — the standard Go expvar surface (same numbers, plus
+//	               the runtime's own variables)
+//
+// and publishes every source as an expvar.Func, so any expvar-speaking
+// collector scrapes the NFs without custom glue. Scrapes run
+// concurrently with traffic: the snapshot path is a handful of
+// uncontended atomic loads per shard and never touches worker-owned
+// state.
+type Metrics struct {
+	ln      net.Listener
+	srv     *http.Server
+	sources []MetricSource
+}
+
+// ServeMetrics listens on addr (e.g. ":9090", or "127.0.0.1:0" for an
+// ephemeral port) and serves the sources until Close. Source names must
+// be unique within the process: expvar's registry is global and
+// write-once.
+func ServeMetrics(addr string, sources ...MetricSource) (*Metrics, error) {
+	if len(sources) == 0 {
+		return nil, errors.New("nf: metrics endpoint needs at least one source")
+	}
+	for _, s := range sources {
+		if s.Name == "" || s.Snapshot == nil {
+			return nil, errors.New("nf: metric source needs a name and a snapshot function")
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nf: metrics listen: %w", err)
+	}
+	m := &Metrics{ln: ln, sources: sources}
+	for _, s := range sources {
+		s := s
+		name := "nf." + s.Name
+		if expvar.Get(name) == nil {
+			expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = m.srv.Serve(ln) }()
+	return m, nil
+}
+
+// handleMetrics renders every source's snapshot as one JSON object.
+func (m *Metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]Stats, len(m.sources))
+	for _, s := range m.sources {
+		out[s.Name] = s.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// Addr returns the endpoint's actual listen address (useful with an
+// ephemeral ":0" bind).
+func (m *Metrics) Addr() string { return m.ln.Addr().String() }
+
+// Close stops serving. Published expvar entries remain registered (the
+// registry is write-once) and keep reporting the last sources bound to
+// their names.
+func (m *Metrics) Close() error { return m.srv.Close() }

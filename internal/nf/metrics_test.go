@@ -1,0 +1,174 @@
+// Concurrency coverage for the stats-scrape surfaces: CountedShards'
+// padded atomic cells scraped while policer shards process traffic on
+// their own goroutines (the metrics-endpoint pattern, pinned under
+// -race by CI), and the HTTP/expvar endpoint itself serving mid-run.
+package nf_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/policer"
+)
+
+const scrapeShards = 4
+
+// buildScrapePolicer returns a sharded policer plus per-shard ingress
+// frames, pre-steered with ShardOf so each driving goroutine touches
+// only the shard it owns.
+func buildScrapePolicer(t testing.TB) (*policer.Sharded, [][][]byte) {
+	t.Helper()
+	s, err := policer.NewSharded(policer.Config{
+		Rate: 1 << 30, Burst: 1 << 30, Capacity: 1024, Timeout: time.Hour,
+	}, libvig.NewVirtualClock(0), scrapeShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][][]byte, scrapeShards)
+	for i := 0; i < 256; i++ {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP: flow.MakeAddr(198, 51, 100, 7), SrcPort: 443,
+			DstIP: flow.MakeAddr(10, 0, byte(i>>8), byte(i)), DstPort: 8080,
+			Proto: flow.UDP,
+		}, PayloadLen: 16}
+		frame := netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+		sh := s.ShardOf(frame, false)
+		frames[sh] = append(frames[sh], frame)
+	}
+	for sh := range frames {
+		if len(frames[sh]) == 0 {
+			t.Fatalf("shard %d got no subscribers", sh)
+		}
+	}
+	return s, frames
+}
+
+// TestCountedShardsConcurrentScrapeWithPolicer drives every policer
+// shard from its own goroutine — the run-to-completion arrangement —
+// while scraper goroutines hammer StatsSnapshot and per-shard
+// snapshots. Snapshots must be race-free and monotone.
+func TestCountedShardsConcurrentScrapeWithPolicer(t *testing.T) {
+	s, frames := buildScrapePolicer(t)
+	const perShard = 3000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var last uint64
+		for {
+			snap := s.StatsSnapshot()
+			if snap.Processed < last {
+				t.Error("aggregate snapshot went backwards")
+				return
+			}
+			last = snap.Processed
+			for i := 0; i < s.Shards(); i++ {
+				_ = s.ShardStatsSnapshot(i) // per-shard scrape races the owner too
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < scrapeShards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := s.Shard(w) // counted wrapper: every call syncs the cell
+			for i := 0; i < perShard; i++ {
+				f := frames[w][i%len(frames[w])]
+				if shard.Process(f, false) != nf.Forward {
+					t.Error("warmed ingress dropped")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	snap := s.StatsSnapshot()
+	if snap.Processed != scrapeShards*perShard || snap.Forwarded != scrapeShards*perShard {
+		t.Fatalf("final snapshot %+v, want %d processed", snap, scrapeShards*perShard)
+	}
+}
+
+// TestServeMetricsScrapesUnderTraffic runs the HTTP endpoint against a
+// policer being driven concurrently and checks both surfaces: the JSON
+// /metrics document and the expvar registry.
+func TestServeMetricsScrapesUnderTraffic(t *testing.T) {
+	s, frames := buildScrapePolicer(t)
+	m, err := nf.ServeMetrics("127.0.0.1:0",
+		nf.MetricSource{Name: "vigpol-test", Snapshot: s.StatsSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < scrapeShards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := s.Shard(w)
+			for i := 0; i < 2000; i++ {
+				shard.Process(frames[w][i%len(frames[w])], false)
+			}
+		}(w)
+	}
+	// Scrape while the workers run, then once after the join.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/metrics", m.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]nf.Stats
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if _, ok := doc["vigpol-test"]; !ok {
+			t.Fatalf("metrics document missing source: %v", doc)
+		}
+	}
+	wg.Wait()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", m.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]nf.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := doc["vigpol-test"].Processed; got != scrapeShards*2000 {
+		t.Fatalf("endpoint reports %d processed, want %d", got, scrapeShards*2000)
+	}
+	// The expvar surface carries the same source.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/vars", m.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := vars["nf.vigpol-test"]; !ok {
+		t.Fatal("expvar registry missing nf.vigpol-test")
+	}
+}

@@ -106,6 +106,18 @@ type NF interface {
 	NFStats() Stats
 }
 
+// ExpiryModer is implemented by NFs that can run with their Fig. 6
+// in-line (per-packet) expiry disabled, deferring all state expiry to
+// explicit Expire calls — the engine's amortized once-per-poll mode
+// (Config.AmortizedExpiry). SetPerPacketExpiry reports whether the NF
+// — and, for compositions, every component — actually switched; the
+// pipeline refuses amortized mode when it cannot guarantee the switch,
+// since a half-switched chain would expire twice with different
+// deadlines.
+type ExpiryModer interface {
+	SetPerPacketExpiry(on bool) bool
+}
+
 // Sharder is implemented by NFs whose state is partitioned into
 // independent shards (RSS-style). The pipeline steers each frame to the
 // shard that owns its flow and may run shards on distinct workers; a

@@ -34,6 +34,16 @@ type Config struct {
 	// drains without traffic. Workers expire only the shards they own,
 	// preserving the one-goroutine-per-shard guarantee.
 	Clock libvig.Clock
+	// AmortizedExpiry moves expiry from inside every packet (Fig. 6's
+	// expire-then-process) to once per poll at the engine level: each
+	// worker expires the shards it owns at the top of every poll, and
+	// the NF's own per-packet expiry is switched off (the NF must
+	// implement ExpiryModer and accept the switch). Observable behavior
+	// is identical whenever the clock does not advance mid-poll — the
+	// engine's deadline now−Texp equals the one every packet of the
+	// poll would have used — and with a live clock expiry lags by at
+	// most one poll, the standard Texp slack. Requires Clock.
+	AmortizedExpiry bool
 }
 
 // PipelineStats counts engine-level events.
@@ -66,13 +76,14 @@ func (s *PipelineStats) add(other PipelineStats) {
 // including on error paths — the leak discipline Vigor's checker
 // enforces.
 type Pipeline struct {
-	nf       NF
-	sharder  Sharder
-	intPort  *dpdk.Port
-	extPort  *dpdk.Port
-	burst    int
-	clock    libvig.Clock
-	shardNFs []NF
+	nf        NF
+	sharder   Sharder
+	intPort   *dpdk.Port
+	extPort   *dpdk.Port
+	burst     int
+	clock     libvig.Clock
+	amortized bool
+	shardNFs  []NF
 	// ownerLocal[s] is the owning worker's local slot for shard s
 	// (read-only after construction, shared by all workers).
 	ownerLocal []int
@@ -143,6 +154,23 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	if nShards < 1 {
 		return nil, fmt.Errorf("nf: %s reports %d shards", n.Name(), nShards)
 	}
+	if cfg.AmortizedExpiry {
+		if cfg.Clock == nil {
+			return nil, errors.New("nf: amortized expiry needs a clock")
+		}
+		em, ok := n.(ExpiryModer)
+		if !ok {
+			return nil, fmt.Errorf("nf: %s cannot switch off per-packet expiry", n.Name())
+		}
+		if !em.SetPerPacketExpiry(false) {
+			// A composition may have switched some components before one
+			// refused; restore them so the NF is never left half-switched
+			// (a later per-packet-mode pipeline over the same NF would
+			// otherwise silently stop expiring under sustained traffic).
+			em.SetPerPacketExpiry(true)
+			return nil, fmt.Errorf("nf: %s cannot switch off per-packet expiry", n.Name())
+		}
+	}
 	p := &Pipeline{
 		nf:         n,
 		sharder:    sharder,
@@ -150,6 +178,7 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		extPort:    cfg.External,
 		burst:      burst,
 		clock:      cfg.Clock,
+		amortized:  cfg.AmortizedExpiry,
 		shardNFs:   make([]NF, nShards),
 		ownerLocal: make([]int, nShards),
 		workers:    make([]*worker, nWorkers),
@@ -284,10 +313,18 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 		wk.pkts[li] = wk.pkts[li][:0]
 		wk.bufs[li] = wk.bufs[li][:0]
 	}
+	if p.amortized && len(wk.shards) > 0 {
+		// Amortized mode: one expiry sweep over the worker's shards per
+		// poll, in place of the sweep every packet would have run.
+		now := p.clock.Now()
+		for _, s := range wk.shards {
+			p.shardNFs[s].Expire(now)
+		}
+	}
 	n := wk.rxSteer(p.intPort, true)
 	n += wk.rxSteer(p.extPort, false)
 	if n == 0 {
-		if p.clock != nil && len(wk.shards) > 0 {
+		if !p.amortized && p.clock != nil && len(wk.shards) > 0 {
 			now := p.clock.Now()
 			for _, s := range wk.shards {
 				p.shardNFs[s].Expire(now)

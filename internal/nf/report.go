@@ -1,0 +1,51 @@
+package nf
+
+import (
+	"fmt"
+	"io"
+
+	"vignat/internal/dpdk"
+)
+
+// FprintEngineReport writes the end-of-run engine summary every demo
+// binary used to hand-roll: the pipeline's counters next to the NF's
+// concurrency-safe snapshot, in one line the binaries share.
+func FprintEngineReport(w io.Writer, ps PipelineStats, snap Stats) {
+	fmt.Fprintf(w, "  engine: polls=%d rx=%d tx=%d tx_freed=%d | NF snapshot: fwd=%d drop=%d expired=%d\n",
+		ps.Polls, ps.RxPackets, ps.TxPackets, ps.TxFreed, snap.Forwarded, snap.Dropped, snap.Expired)
+}
+
+// NewWorkerPorts builds the multi-queue port arrangement every demo
+// binary needs: one RX/TX queue pair per worker, each with its own
+// mempool of poolSize mbufs (concurrent workers never share an
+// allocator, as DPDK's per-queue rx mempools arrange). It returns the
+// port and its pools, the latter for end-of-run MbufAccounting.
+func NewWorkerPorts(id uint16, workers, poolSize int) (*dpdk.Port, []*dpdk.Mempool, error) {
+	pools := make([]*dpdk.Mempool, workers)
+	for q := range pools {
+		p, err := dpdk.NewMempool(poolSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		pools[q] = p
+	}
+	port, err := dpdk.NewMultiQueuePort(id, workers, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pools)
+	if err != nil {
+		return nil, nil, err
+	}
+	return port, pools, nil
+}
+
+// MbufAccounting checks the conservation invariant every run must end
+// with: the mbufs still checked out of the pools are exactly the ones
+// sitting in still-undrained queues (want), anything else is a leak.
+func MbufAccounting(want int, pools ...*dpdk.Mempool) error {
+	inUse := 0
+	for _, p := range pools {
+		inUse += p.InUse()
+	}
+	if inUse != want {
+		return fmt.Errorf("mbuf leak detected: %d in use, %d accounted for", inUse, want)
+	}
+	return nil
+}

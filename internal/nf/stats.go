@@ -153,6 +153,15 @@ func (c *CountedNF) Expire(now libvig.Time) int {
 // NFStats returns the shard's published counters (atomic loads).
 func (c *CountedNF) NFStats() Stats { return c.block.ShardSnapshot(c.shard) }
 
+// SetPerPacketExpiry forwards the expiry-mode switch to the inner NF,
+// reporting false when it does not support switching.
+func (c *CountedNF) SetPerPacketExpiry(on bool) bool {
+	if em, ok := c.inner.(ExpiryModer); ok {
+		return em.SetPerPacketExpiry(on)
+	}
+	return false
+}
+
 // CountedShards is the shared plumbing every sharded NF needs around
 // its per-shard counted wrappers: construction, the Shard accessor the
 // Sharder interface requires, whole-NF expiry, and the cheap snapshot
@@ -198,6 +207,16 @@ func (c *CountedShards) SyncAll() {
 	for i := range c.counted {
 		c.counted[i].Sync()
 	}
+}
+
+// SetPerPacketExpiry forwards the expiry-mode switch to every shard,
+// reporting true only when all of them switched.
+func (c *CountedShards) SetPerPacketExpiry(on bool) bool {
+	ok := true
+	for _, shard := range c.counted {
+		ok = shard.SetPerPacketExpiry(on) && ok
+	}
+	return ok
 }
 
 // Expire advances expiry on every shard.

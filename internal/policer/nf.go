@@ -1,0 +1,54 @@
+package policer
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// verdictOf collapses the policer's verdict onto the pipeline pair:
+// both forwarding verdicts mean "out the opposite interface".
+func verdictOf(v Verdict) nf.Verdict {
+	if v == VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+// polNF adapts one Policer to the unified nf.NF interface; batches read
+// the clock once, like every NF in the repository.
+type polNF struct{ p *Policer }
+
+var (
+	_ nf.NF          = polNF{}
+	_ nf.ExpiryModer = polNF{}
+)
+
+// AsNF exposes a policer as a pipeline network function.
+func AsNF(p *Policer) nf.NF { return polNF{p} }
+
+func (a polNF) Name() string { return "vigpol" }
+
+func (a polNF) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return verdictOf(a.p.Process(frame, fromInternal))
+}
+
+func (a polNF) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := a.p.clock.Now()
+	for i := range pkts {
+		verdicts[i] = verdictOf(a.p.ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+}
+
+func (a polNF) Expire(now libvig.Time) int { return a.p.ExpireAt(now) }
+
+func (a polNF) SetPerPacketExpiry(on bool) bool { return a.p.SetPerPacketExpiry(on) }
+
+func (a polNF) NFStats() nf.Stats {
+	s := a.p.Stats()
+	return nf.Stats{
+		Processed: s.Processed,
+		Forwarded: s.Conformed + s.Passthrough,
+		Dropped:   s.Dropped(),
+		Expired:   s.BucketsExpired,
+	}
+}

@@ -1,0 +1,411 @@
+// Package policer is the §7 amortization argument, fourth iteration: a
+// per-subscriber traffic policer built from the same parts as the NAT,
+// the firewall, and the balancer. The libVig structures and their
+// contracts are reused wholesale — a TokenBucket vector joins the
+// library — and only the stateless logic and its specification are new.
+//
+// The policer enforces a per-client-IP download budget, the Vigor
+// policer's job: every packet arriving on the external interface is
+// charged, at its wire length, against a token bucket keyed by its
+// destination address (the subscriber it is headed for). The bucket
+// refills lazily at Rate bytes/second up to a depth of Burst bytes —
+// tokens = min(burst, tokens + rate·Δt), integer arithmetic, no
+// per-tick timers — so conforming traffic always passes, sustained
+// overload is clipped to the configured rate, and a burst can never
+// exceed the configured depth. Upload traffic (from the internal
+// interface) is not policed and passes through untouched; the policer
+// rewrites nothing in either direction.
+//
+// Subscriber state is pinned by the standard HMap+DChain composition:
+// the map takes a client address to its bucket index, the chain orders
+// subscribers by last-seen time, and Fig. 6 expirator semantics forget
+// a subscriber idle for Texp — whose next packet then starts over with
+// a fresh full burst.
+package policer
+
+import (
+	"errors"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+)
+
+// BucketHandle is the policer's opaque subscriber reference, with the
+// same capability discipline as the NAT's FlowHandle.
+type BucketHandle int
+
+// Verdict is the externally visible outcome for one packet.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictDrop discards the packet (malformed, over-rate, or an
+	// untrackable new subscriber when the table is full).
+	VerdictDrop Verdict = iota
+	// VerdictConform forwards an ingress packet whose charge fit its
+	// subscriber's budget.
+	VerdictConform
+	// VerdictPassthrough forwards an egress packet, which the policer
+	// does not meter.
+	VerdictPassthrough
+)
+
+// String returns the verdict mnemonic.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDrop:
+		return "drop"
+	case VerdictConform:
+		return "conform"
+	case VerdictPassthrough:
+		return "passthrough"
+	default:
+		return "verdict(?)"
+	}
+}
+
+// Config parameterizes a Policer.
+type Config struct {
+	// Rate is the sustained per-subscriber budget in bytes/second.
+	Rate int64
+	// Burst is the per-subscriber bucket depth in bytes.
+	Burst int64
+	// Capacity bounds the number of concurrently tracked subscribers.
+	Capacity int
+	// Timeout is the subscriber inactivity expiry (Texp): an idle
+	// subscriber's state is forgotten, and their next packet re-admits
+	// them with a full burst.
+	Timeout time.Duration
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Rate <= 0 || c.Rate > libvig.MaxRateBytesPerSec {
+		return errors.New("policer: rate must be in (0, libvig.MaxRateBytesPerSec]")
+	}
+	if c.Burst <= 0 || c.Burst > libvig.MaxBurstBytes {
+		return errors.New("policer: burst must be in (0, libvig.MaxBurstBytes]")
+	}
+	if c.Capacity <= 0 {
+		return errors.New("policer: capacity must be positive")
+	}
+	if c.Timeout <= 0 {
+		return errors.New("policer: timeout must be positive")
+	}
+	return nil
+}
+
+// Stats counts the policer's externally visible actions. The subscriber
+// accounting invariant is BucketsCreated − BucketsExpired == tracked
+// subscribers.
+type Stats struct {
+	Processed        uint64
+	Passthrough      uint64 // egress, never metered
+	Conformed        uint64 // ingress within budget, forwarded
+	DroppedOverRate  uint64 // ingress beyond the subscriber's budget
+	DroppedTableFull uint64 // fresh subscriber with no free slot
+	DroppedMalformed uint64 // frames that do not parse as IPv4
+	BucketsCreated   uint64
+	BucketsExpired   uint64
+}
+
+// Dropped returns the total packets dropped, over all causes.
+func (s Stats) Dropped() uint64 {
+	return s.DroppedOverRate + s.DroppedTableFull + s.DroppedMalformed
+}
+
+// Env is the policer's window onto the world — the same pattern as the
+// NAT's, firewall's, and balancer's stateless Env, so the logic is
+// written once and both the production binding and the symbolic engine
+// execute it.
+type Env interface {
+	// Packet predicates (fork points; same guard ordering rules). The
+	// policer meters any IPv4 packet — fragments and non-TCP/UDP
+	// protocols consume budget like everything else, so no L4 guards.
+	FrameIntact() bool
+	EtherIsIPv4() bool
+	IPv4HeaderValid() bool
+	// PacketFromInternal reports the arrival side; only external-side
+	// (ingress) traffic is metered.
+	PacketFromInternal() bool
+
+	// libVig operations.
+	ExpireState()
+	LookupBucket() (BucketHandle, bool) // by the packet's destination IP
+	CreateBucket() (BucketHandle, bool) // false when the table is full
+	Rejuvenate(h BucketHandle)
+	// Charge draws the packet's wire length from the bucket, reporting
+	// whether it conformed. A non-conforming charge consumes nothing.
+	Charge(h BucketHandle) bool
+
+	// Output actions.
+	Forward()
+	Passthrough()
+	Drop()
+}
+
+// ProcessPacket is the policer's stateless per-packet logic, the Fig. 6
+// analogue:
+//
+//	expire → classify → (internal side: passthrough;
+//	                     external side: find-or-admit the subscriber,
+//	                     charge the wire length — conform forwards,
+//	                     an empty bucket drops)
+//
+// A conservative policy drops ingress packets for untracked subscribers
+// when the table is full: forwarding them unmetered would let a
+// targeted flood bypass policing exactly when the box is busiest.
+func ProcessPacket(env Env) {
+	env.ExpireState()
+	if !env.FrameIntact() || !env.EtherIsIPv4() || !env.IPv4HeaderValid() {
+		env.Drop()
+		return
+	}
+	if env.PacketFromInternal() {
+		env.Passthrough()
+		return
+	}
+	h, ok := env.LookupBucket()
+	if ok {
+		env.Rejuvenate(h)
+	} else {
+		h, ok = env.CreateBucket()
+		if !ok {
+			env.Drop() // subscriber table full
+			return
+		}
+	}
+	if env.Charge(h) {
+		env.Forward()
+	} else {
+		env.Drop() // over rate
+	}
+}
+
+// Policer is the production binding: the stateless logic over an
+// HMap+DChain subscriber table and a TokenBucket vector.
+type Policer struct {
+	cfg  Config
+	texp libvig.Time
+
+	subs    *libvig.Map[flow.Addr]    // client IP → bucket index
+	addrs   *libvig.Vector[flow.Addr] // bucket index → client IP (for erasure)
+	chain   *libvig.DChain
+	buckets *libvig.TokenBucket
+	erasers []libvig.IndexEraser
+
+	clock           libvig.Clock
+	perPacketExpiry bool
+	stats           Stats
+	env             prodEnv
+}
+
+// New builds a policer from cfg, drawing time from clock.
+func New(cfg Config, clock libvig.Clock) (*Policer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	subs, err := libvig.NewMap[flow.Addr](cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := libvig.NewVector[flow.Addr](cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := libvig.NewDChain(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	buckets, err := libvig.NewTokenBucket(cfg.Capacity, cfg.Rate, cfg.Burst)
+	if err != nil {
+		return nil, err
+	}
+	p := &Policer{
+		cfg:             cfg,
+		texp:            cfg.Timeout.Nanoseconds(),
+		subs:            subs,
+		addrs:           addrs,
+		chain:           chain,
+		buckets:         buckets,
+		clock:           clock,
+		perPacketExpiry: true,
+	}
+	p.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(p.eraseSubscriber)}
+	p.env.pol = p
+	return p, nil
+}
+
+// eraseSubscriber tears down the map entry of an expiring bucket index.
+// The bucket's level needs no reset here: (re-)admission always Fills.
+func (p *Policer) eraseSubscriber(i int) error {
+	addr, err := p.addrs.Get(i)
+	if err != nil {
+		return err
+	}
+	return p.subs.Erase(addr)
+}
+
+// Config returns the policer's configuration.
+func (p *Policer) Config() Config { return p.cfg }
+
+// Stats returns a snapshot of the counters.
+func (p *Policer) Stats() Stats { return p.stats }
+
+// Subscribers returns the number of currently tracked subscribers.
+func (p *Policer) Subscribers() int { return p.subs.Size() }
+
+// Budget returns subscriber addr's available bytes as of now, if
+// tracked (tests and stats drill-down; the access refills).
+func (p *Policer) Budget(addr flow.Addr, now libvig.Time) (int64, bool) {
+	i, ok := p.subs.Get(addr)
+	if !ok {
+		return 0, false
+	}
+	lvl, err := p.buckets.Level(i, now)
+	if err != nil {
+		return 0, false
+	}
+	return lvl, true
+}
+
+// SetPerPacketExpiry switches the Fig. 6 in-line expiry on or off; off
+// defers all expiry to explicit ExpireAt calls (the engine's amortized
+// once-per-poll mode). It reports true: the policer supports both modes.
+func (p *Policer) SetPerPacketExpiry(on bool) bool {
+	p.perPacketExpiry = on
+	return true
+}
+
+// ExpireAt removes every subscriber idle since before now−Texp without
+// processing a packet (the pipeline's idle-poll hook), returning the
+// number of subscribers freed.
+func (p *Policer) ExpireAt(now libvig.Time) int {
+	freed, _ := libvig.ExpireItems(p.chain, now-p.texp+1, p.erasers...)
+	p.stats.BucketsExpired += uint64(freed)
+	return freed
+}
+
+// Process runs one frame through the policer at the clock's current
+// time. Frames are never modified. This is the per-packet fast path: it
+// performs no allocation.
+func (p *Policer) Process(frame []byte, fromInternal bool) Verdict {
+	return p.ProcessAt(frame, fromInternal, p.clock.Now())
+}
+
+// ProcessAt is Process at an explicit time, for batched callers that
+// read the clock once per burst.
+func (p *Policer) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) Verdict {
+	e := &p.env
+	e.reset(frame, fromInternal, now)
+	ProcessPacket(e)
+	p.stats.Processed++
+	switch e.verdict {
+	case VerdictConform:
+		p.stats.Conformed++
+	case VerdictPassthrough:
+		p.stats.Passthrough++
+	default:
+		switch {
+		case e.overRate:
+			p.stats.DroppedOverRate++
+		case e.tableFull:
+			p.stats.DroppedTableFull++
+		default:
+			p.stats.DroppedMalformed++
+		}
+	}
+	return e.verdict
+}
+
+// prodEnv binds Env to the real structures; the same shape as every
+// other NF's prodEnv. It is embedded in Policer and reset per packet,
+// so the fast path allocates nothing.
+type prodEnv struct {
+	pol          *Policer
+	pkt          netstack.Packet
+	fromInternal bool
+	now          libvig.Time
+	verdict      Verdict
+	overRate     bool
+	tableFull    bool
+}
+
+var _ Env = (*prodEnv)(nil)
+
+func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
+	_ = e.pkt.Parse(frame)
+	e.fromInternal = fromInternal
+	e.now = now
+	e.verdict = VerdictDrop
+	e.overRate = false
+	e.tableFull = false
+}
+
+// --- packet predicates ---
+
+func (e *prodEnv) FrameIntact() bool     { return len(e.pkt.Data) >= netstack.EthHeaderLen }
+func (e *prodEnv) EtherIsIPv4() bool     { return e.pkt.EtherType == netstack.EtherTypeIPv4 }
+func (e *prodEnv) IPv4HeaderValid() bool { return e.pkt.L3Valid }
+
+func (e *prodEnv) PacketFromInternal() bool { return e.fromInternal }
+
+// --- libVig operations ---
+
+func (e *prodEnv) ExpireState() {
+	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
+	// In amortized mode the engine expires once per poll instead.
+	if e.pol.perPacketExpiry {
+		_ = e.pol.ExpireAt(e.now)
+	}
+}
+
+func (e *prodEnv) LookupBucket() (BucketHandle, bool) {
+	i, ok := e.pol.subs.Get(e.pkt.DstIP)
+	return BucketHandle(i), ok
+}
+
+func (e *prodEnv) CreateBucket() (BucketHandle, bool) {
+	pol := e.pol
+	idx, err := pol.chain.Allocate(e.now)
+	if err != nil {
+		e.tableFull = true
+		return 0, false
+	}
+	if err := pol.subs.Put(e.pkt.DstIP, idx); err != nil {
+		_ = pol.chain.Free(idx)
+		e.tableFull = true
+		return 0, false
+	}
+	if err := pol.addrs.Set(idx, e.pkt.DstIP); err != nil {
+		_ = pol.subs.Erase(e.pkt.DstIP)
+		_ = pol.chain.Free(idx)
+		e.tableFull = true
+		return 0, false
+	}
+	// A fresh (or re-admitted) subscriber starts with a full burst.
+	_ = pol.buckets.Fill(idx, e.now)
+	pol.stats.BucketsCreated++
+	return BucketHandle(idx), true
+}
+
+func (e *prodEnv) Rejuvenate(h BucketHandle) {
+	_ = e.pol.chain.Rejuvenate(int(h), e.now)
+}
+
+func (e *prodEnv) Charge(h BucketHandle) bool {
+	// The charge is the wire length: what the subscriber's link carries.
+	ok := e.pol.buckets.Charge(int(h), len(e.pkt.Data), e.now)
+	if !ok {
+		e.overRate = true
+	}
+	return ok
+}
+
+// --- output actions ---
+
+func (e *prodEnv) Forward()     { e.verdict = VerdictConform }
+func (e *prodEnv) Passthrough() { e.verdict = VerdictPassthrough }
+func (e *prodEnv) Drop()        { e.verdict = VerdictDrop }

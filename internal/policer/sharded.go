@@ -1,0 +1,160 @@
+package policer
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// Sharded is a policer partitioned into independent shards, each a
+// complete Policer owning a disjoint slice of the subscriber capacity.
+// Sharding a policer is the trivial case of the repository's RSS
+// recipe: the only state key is the client IP, policing is ingress-only
+// (egress traffic is stateless passthrough on any shard), and a
+// client's budget lives wherever its IP hashes — so steering by client
+// IP alone gives lock-free shards with no port-range trick (the NAT)
+// and no tuple reconstruction (the balancer). Ingress steers by
+// destination IP and egress by source IP, so both directions of a
+// subscriber's traffic land on the same shard anyway.
+type Sharded struct {
+	*nf.CountedShards // Shard/Expire/NFStats/StatsSnapshot plumbing
+
+	pols  []*Policer
+	cfg   Config
+	clock libvig.Clock
+}
+
+var (
+	_ nf.NF          = (*Sharded)(nil)
+	_ nf.Sharder     = (*Sharded)(nil)
+	_ nf.ExpiryModer = (*Sharded)(nil)
+)
+
+// NewSharded builds a policer of nShards shards from cfg, splitting the
+// subscriber capacity evenly (rounded down per shard); rate and burst
+// are per-subscriber, so every shard polices with the full configured
+// budget. With nShards == 1 this is exactly one Policer behind the
+// nf.NF interface.
+func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
+	if nShards < 1 {
+		return nil, errors.New("policer: shard count must be at least 1")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	perShard := cfg.Capacity / nShards
+	if perShard == 0 {
+		return nil, fmt.Errorf("policer: capacity %d cannot fill %d shards", cfg.Capacity, nShards)
+	}
+	s := &Sharded{
+		pols:  make([]*Policer, nShards),
+		cfg:   cfg,
+		clock: clock,
+	}
+	shardNFs := make([]nf.NF, nShards)
+	for i := 0; i < nShards; i++ {
+		shardCfg := cfg
+		shardCfg.Capacity = perShard
+		p, err := New(shardCfg, clock)
+		if err != nil {
+			return nil, fmt.Errorf("policer: shard %d: %w", i, err)
+		}
+		s.pols[i] = p
+		shardNFs[i] = AsNF(p)
+	}
+	var err error
+	if s.CountedShards, err = nf.NewCountedShards(shardNFs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name identifies the sharded policer.
+func (s *Sharded) Name() string {
+	if len(s.pols) == 1 {
+		return "vigpol"
+	}
+	return fmt.Sprintf("vigpol×%d", len(s.pols))
+}
+
+// ShardPolicer returns shard i's underlying Policer (tests, stats
+// drill-down).
+func (s *Sharded) ShardPolicer(i int) *Policer { return s.pols[i] }
+
+// Subscribers returns the number of tracked subscribers across shards.
+func (s *Sharded) Subscribers() int {
+	total := 0
+	for _, p := range s.pols {
+		total += p.Subscribers()
+	}
+	return total
+}
+
+// SetPerPacketExpiry switches every shard's expiry mode; the policer
+// supports both, so it always reports true.
+func (s *Sharded) SetPerPacketExpiry(on bool) bool {
+	ok := true
+	for _, p := range s.pols {
+		ok = p.SetPerPacketExpiry(on) && ok
+	}
+	return ok
+}
+
+// ShardOf steers a frame to the shard owning its subscriber: the
+// destination IP for ingress (the subscriber the packet is headed for),
+// the source IP for egress (the subscriber sending it) — the client-IP
+// RSS hash. Frames that do not parse as IPv4 steer to shard 0, which
+// drops them like any other shard would.
+//
+// ShardOf is allocation-free and safe for concurrent use: it parses
+// into a caller-local stack buffer, so the wire side (per-queue RSS)
+// and every run-to-completion worker may steer simultaneously.
+func (s *Sharded) ShardOf(frame []byte, fromInternal bool) int {
+	if len(s.pols) == 1 {
+		return 0
+	}
+	var scratch netstack.Packet
+	if err := scratch.Parse(frame); err != nil || !scratch.L3Valid {
+		return 0
+	}
+	addr := scratch.DstIP
+	if fromInternal {
+		addr = scratch.SrcIP
+	}
+	return int(addr.Hash() % uint64(len(s.pols)))
+}
+
+// Process steers one frame to its shard and runs it there.
+func (s *Sharded) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return s.CountedShard(s.ShardOf(frame, fromInternal)).Process(frame, fromInternal)
+}
+
+// ProcessBatch steers and processes a burst, reading the clock once.
+func (s *Sharded) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := s.clock.Now()
+	for i := range pkts {
+		shard := s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = verdictOf(s.pols[shard].ProcessAt(pkts[i].Frame, pkts[i].FromInternal, now))
+	}
+	s.SyncAll()
+}
+
+// Stats aggregates the shards' policer-level counters.
+func (s *Sharded) Stats() Stats {
+	var agg Stats
+	for _, p := range s.pols {
+		st := p.Stats()
+		agg.Processed += st.Processed
+		agg.Passthrough += st.Passthrough
+		agg.Conformed += st.Conformed
+		agg.DroppedOverRate += st.DroppedOverRate
+		agg.DroppedTableFull += st.DroppedTableFull
+		agg.DroppedMalformed += st.DroppedMalformed
+		agg.BucketsCreated += st.BucketsCreated
+		agg.BucketsExpired += st.BucketsExpired
+	}
+	return agg
+}

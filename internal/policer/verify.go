@@ -1,0 +1,317 @@
+package policer
+
+import (
+	"fmt"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// This file is the policer's verification binding: the symbolic env
+// (the subscriber-table and token-bucket models) and the lazy-proof
+// checks. The engine, solver, trace machinery, and discipline checks
+// are the same ones VigNAT and the firewall use — the §7 amortization,
+// fourth NF on the shared toolchain.
+
+// symVocab is the policer path's symbolic vocabulary.
+type symVocab struct {
+	PktDstIP, PktLen sym.Var
+	// Per-handle bucket bindings.
+	Buckets map[int]bucketVars
+}
+
+type bucketVars struct {
+	ClientIP sym.Var
+}
+
+// symEnv drives ProcessPacket under the engine.
+type symEnv struct {
+	m *symbex.Machine
+	v *symVocab
+
+	parsedL3   bool
+	ifaceKnown bool
+	ingress    bool
+	missed     bool
+	handles    map[int]bool
+	next       int
+	outputs    int
+	charged    bool
+}
+
+var _ Env = (*symEnv)(nil)
+
+func (e *symEnv) pred(name string) bool {
+	return e.m.Decide(trace.CallGeneric, name, nil, nil)
+}
+
+func (e *symEnv) FrameIntact() bool { return e.pred("frame_intact") }
+func (e *symEnv) EtherIsIPv4() bool { return e.pred("ether_is_ipv4") }
+func (e *symEnv) IPv4HeaderValid() bool {
+	d := e.pred("ipv4_header_valid")
+	e.parsedL3 = d
+	return d
+}
+
+func (e *symEnv) PacketFromInternal() bool {
+	d := e.pred("packet_from_internal")
+	e.ifaceKnown = true
+	e.ingress = !d
+	return d
+}
+
+func (e *symEnv) ExpireState() {
+	e.m.Record(trace.Call{Kind: trace.CallGeneric, Name: "expire_subscribers", Handle: -1})
+}
+
+func (e *symEnv) freshBucket(h int) bucketVars {
+	b := bucketVars{ClientIP: e.m.Fresh("bucket_client_ip")}
+	e.v.Buckets[h] = b
+	return b
+}
+
+func (e *symEnv) LookupBucket() (BucketHandle, bool) {
+	if !e.parsedL3 {
+		e.m.Violate("P2: subscriber key from unvalidated IPv4 header")
+	}
+	if !e.ifaceKnown || !e.ingress {
+		e.m.Violate("P4: bucket lookup for a non-ingress packet")
+	}
+	found := e.m.Decide(trace.CallGeneric, "map_get_by_client_ip", nil, nil)
+	if !found {
+		e.missed = true
+		return 0, false
+	}
+	h := e.mint()
+	b := e.freshBucket(h)
+	// Contract: the found bucket belongs to the packet's destination.
+	e.attach(h, []sym.Atom{sym.EqVV(b.ClientIP, e.v.PktDstIP)})
+	return BucketHandle(h), true
+}
+
+func (e *symEnv) CreateBucket() (BucketHandle, bool) {
+	if !e.missed {
+		e.m.Violate("P4: bucket creation without a preceding lookup miss")
+	}
+	ok := e.m.Decide(trace.CallGeneric, "bucket_create", nil, nil)
+	if !ok {
+		return 0, false
+	}
+	h := e.mint()
+	b := e.freshBucket(h)
+	e.attach(h, []sym.Atom{sym.EqVV(b.ClientIP, e.v.PktDstIP)})
+	return BucketHandle(h), true
+}
+
+func (e *symEnv) Rejuvenate(h BucketHandle) {
+	if !e.handles[int(h)] {
+		e.m.Violate("P2: rejuvenate on invalid bucket handle %d", h)
+	}
+	e.m.Record(trace.Call{Kind: trace.CallGeneric, Name: "dchain_rejuvenate", Handle: int(h)})
+}
+
+func (e *symEnv) Charge(h BucketHandle) bool {
+	if !e.handles[int(h)] {
+		e.m.Violate("P2: charge on invalid bucket handle %d", h)
+	}
+	if e.charged {
+		e.m.Violate("P4: a packet charged more than once")
+	}
+	e.charged = true
+	return e.m.Decide(trace.CallGeneric, "bucket_charge", nil, nil)
+}
+
+func (e *symEnv) Forward()     { e.output("conform_forward") }
+func (e *symEnv) Passthrough() { e.output("passthrough") }
+func (e *symEnv) Drop()        { e.output("drop") }
+
+func (e *symEnv) output(name string) {
+	e.outputs++
+	if e.outputs > 1 {
+		e.m.Violate("P4: more than one output action")
+	}
+	e.m.Record(trace.Call{Kind: trace.CallGeneric, Name: name, Handle: -1})
+}
+
+func (e *symEnv) mint() int {
+	h := e.next
+	e.next++
+	e.handles[h] = true
+	return h
+}
+
+// attach folds model-output atoms into the trace's last call record.
+func (e *symEnv) attach(h int, atoms []sym.Atom) {
+	e.m.AmendLastCall(h, atoms)
+}
+
+// Report summarizes policer verification.
+type Report struct {
+	Paths        int
+	Tasks        int
+	P1Failures   []string
+	P2Violations []string
+	P4Violations []string
+}
+
+// OK reports whether the proof is complete.
+func (r *Report) OK() bool {
+	return r.Paths > 0 && len(r.P1Failures) == 0 && len(r.P2Violations) == 0 && len(r.P4Violations) == 0
+}
+
+// Summary renders the report.
+func (r *Report) Summary() string {
+	status := "PROOF COMPLETE"
+	if !r.OK() {
+		status = "PROOF FAILED"
+	}
+	return fmt.Sprintf("%s: %d paths, %d tasks; P1: %d, P2: %d, P4: %d",
+		status, r.Paths, r.Tasks, len(r.P1Failures), len(r.P2Violations), len(r.P4Violations))
+}
+
+// Verify runs the pipeline on the policer's stateless logic and checks
+// its semantic specification on every path:
+//
+//   - a non-IPv4 packet is dropped;
+//   - an internal-side (egress) packet passes through, untouched by any
+//     bucket operation;
+//   - an ingress packet is forwarded iff its subscriber's bucket was
+//     found-or-created AND the charge conformed; dropped exactly when
+//     the table is full or the bucket is empty;
+//   - a forwarded ingress packet's bucket really is its destination's
+//     (entailment over the path constraints);
+//   - every packet charges at most one bucket, at most once.
+func Verify() (*Report, error) {
+	return verifyLogic(ProcessPacket)
+}
+
+// verifyLogic runs the pipeline over any policer-shaped stateless
+// logic; tests use it to demonstrate that buggy variants fail.
+func verifyLogic(logic func(Env)) (*Report, error) {
+	res, err := symbex.Explore(func(m *symbex.Machine) {
+		vocab := &symVocab{
+			PktDstIP: m.Fresh("pkt_dst_ip"),
+			PktLen:   m.Fresh("pkt_len"),
+			Buckets:  map[int]bucketVars{},
+		}
+		env := &symEnv{m: m, v: vocab, handles: map[int]bool{}}
+		logic(env)
+		m.AttachMeta(vocab)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Paths: len(res.Paths), Tasks: res.TraceCount()}
+	rep.P2Violations = res.Violations
+	var solver sym.Solver
+	for i, t := range res.Paths {
+		v := t.Meta.(*symVocab)
+		// Output discipline (P4): exactly one output action per path.
+		outs := 0
+		var outName string
+		for j := range t.Seq {
+			c := &t.Seq[j]
+			if c.Kind != trace.CallGeneric {
+				continue
+			}
+			switch c.Name {
+			case "conform_forward", "passthrough", "drop":
+				outs++
+				outName = c.Name
+			}
+		}
+		if outs != 1 {
+			rep.P4Violations = append(rep.P4Violations,
+				fmt.Sprintf("path %d: %d output actions", i, outs))
+			continue
+		}
+		// P1: the spec decision tree.
+		if err := checkSpec(t, v, outName, &solver); err != nil {
+			rep.P1Failures = append(rep.P1Failures, fmt.Sprintf("path %d: %v", i, err))
+		}
+	}
+	return rep, nil
+}
+
+// findGeneric returns the first generic call with the given name.
+func findGeneric(t *trace.Trace, name string) *trace.Call {
+	for i := range t.Seq {
+		if t.Seq[i].Kind == trace.CallGeneric && t.Seq[i].Name == name {
+			return &t.Seq[i]
+		}
+	}
+	return nil
+}
+
+// genericRet returns the recorded decision of a named predicate call.
+func genericRet(t *trace.Trace, name string) (bool, bool) {
+	c := findGeneric(t, name)
+	if c == nil || !c.HasRet {
+		return false, false
+	}
+	return c.Ret, true
+}
+
+// checkSpec is the policer's rate-enforcement specification, trace form.
+func checkSpec(t *trace.Trace, v *symVocab, out string, solver *sym.Solver) error {
+	// Non-IPv4 → drop.
+	for _, p := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid"} {
+		val, evaluated := genericRet(t, p)
+		if !evaluated || !val {
+			if out != "drop" {
+				return fmt.Errorf("non-IPv4 packet must drop, path does %s", out)
+			}
+			return nil
+		}
+	}
+	fromInternal, ok := genericRet(t, "packet_from_internal")
+	if !ok {
+		return fmt.Errorf("interface never determined")
+	}
+	if fromInternal {
+		if out != "passthrough" {
+			return fmt.Errorf("egress packet must pass through, does %s", out)
+		}
+		if findGeneric(t, "map_get_by_client_ip") != nil || findGeneric(t, "bucket_charge") != nil {
+			return fmt.Errorf("egress packet touched subscriber state")
+		}
+		return nil
+	}
+	hit, _ := genericRet(t, "map_get_by_client_ip")
+	created, createdAsked := genericRet(t, "bucket_create")
+	if !hit && !(createdAsked && created) {
+		if out != "drop" {
+			return fmt.Errorf("untracked subscriber at full table must drop, does %s", out)
+		}
+		return nil
+	}
+	conformed, chargedAsked := genericRet(t, "bucket_charge")
+	if !chargedAsked {
+		return fmt.Errorf("ingress packet with a bucket was never charged")
+	}
+	if !conformed {
+		if out != "drop" {
+			return fmt.Errorf("over-rate packet must drop, does %s", out)
+		}
+		return nil
+	}
+	if out != "conform_forward" {
+		return fmt.Errorf("conforming packet must forward, does %s", out)
+	}
+	// The charged bucket must really be the destination subscriber's
+	// (entailed by the model/contract atoms on the path).
+	bind := findGeneric(t, "map_get_by_client_ip")
+	if !hit {
+		bind = findGeneric(t, "bucket_create")
+	}
+	b, okb := v.Buckets[bind.Handle]
+	if !okb {
+		return fmt.Errorf("forwarding via unknown bucket handle %d", bind.Handle)
+	}
+	want := []sym.Atom{sym.EqVV(b.ClientIP, v.PktDstIP)}
+	if ok, failing := solver.EntailsAll(t.Constraints, want); !ok {
+		return fmt.Errorf("bucket binding not entailed: %v", failing)
+	}
+	return nil
+}

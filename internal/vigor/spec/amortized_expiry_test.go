@@ -1,0 +1,300 @@
+// Amortized-expiry equivalence: the engine-level once-per-poll expiry
+// mode (nf.Config.AmortizedExpiry) must be observably identical to the
+// Fig. 6 per-packet discipline. Two sharded NATs run the same randomized
+// conformance trace on two pipelines — one per mode — under lock-step
+// virtual clocks; every output (port and rewritten tuple) must match
+// bit-for-bit, both runs must satisfy the RFC 3022 oracle, and the
+// final state and counters must agree. The equivalence argument this
+// pins: within a poll the clock does not advance, so the engine's one
+// sweep at deadline now−Texp frees exactly the set every packet's
+// in-line sweep would have freed, and expiry is idempotent at fixed now.
+package spec_test
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/vigor/spec"
+)
+
+const (
+	amoShards  = 2
+	amoCap     = 64
+	amoTimeout = 300 * time.Millisecond
+)
+
+// amoRig is one mode's complete test stand.
+type amoRig struct {
+	clock   *libvig.VirtualClock
+	nat     *nat.Sharded
+	pipe    *nf.Pipeline
+	intPort *dpdk.Port
+	extPort *dpdk.Port
+	pools   []*dpdk.Mempool
+	oracle  *spec.Oracle
+}
+
+func buildAmoRig(t *testing.T, amortized bool) *amoRig {
+	t.Helper()
+	clock := libvig.NewVirtualClock(0)
+	n, err := nat.NewSharded(nat.Config{
+		Capacity: amoCap, Timeout: amoTimeout, ExternalIP: extIP,
+		PortBase: confPortBase, InternalPort: 0, ExternalPort: 1,
+	}, clock, amoShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &amoRig{clock: clock, nat: n}
+	mkPort := func(id uint16) *dpdk.Port {
+		ps := make([]*dpdk.Mempool, amoShards)
+		for q := range ps {
+			p, err := dpdk.NewMempool(256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps[q] = p
+			r.pools = append(r.pools, p)
+		}
+		port, err := dpdk.NewMultiQueuePort(id, amoShards, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return port
+	}
+	r.intPort, r.extPort = mkPort(0), mkPort(1)
+	r.pipe, err = nf.NewPipeline(n, nf.Config{
+		Internal:        r.intPort,
+		External:        r.extPort,
+		Workers:         amoShards,
+		Clock:           clock,
+		AmortizedExpiry: amortized,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.oracle = spec.NewOracle(amoCap, amoTimeout.Nanoseconds(), extIP, confPortBase, amoCap)
+	return r
+}
+
+type amoObserved struct {
+	toExternal bool
+	tuple      flow.ID
+}
+
+// pollAndDrain polls the rig once and indexes its outputs by sequence
+// tag.
+func (r *amoRig) pollAndDrain(t *testing.T, drain []*dpdk.Mbuf) map[uint32]amoObserved {
+	t.Helper()
+	if _, err := r.pipe.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	out := map[uint32]amoObserved{}
+	for _, port := range []*dpdk.Port{r.intPort, r.extPort} {
+		for {
+			k := port.DrainTx(drain)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				var p netstack.Packet
+				if err := p.Parse(drain[i].Data); err != nil {
+					t.Fatal(err)
+				}
+				out[lbReadSeq(t, drain[i].Data)] = amoObserved{
+					toExternal: port == r.extPort,
+					tuple:      p.FlowID(),
+				}
+				if err := drain[i].Pool().Free(drain[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestAmortizedExpiryOracleEquivalence(t *testing.T) {
+	perPacket := buildAmoRig(t, false)
+	amortized := buildAmoRig(t, true)
+	rigs := []*amoRig{perPacket, amortized}
+
+	intIDs := make([]flow.ID, 32)
+	for i := range intIDs {
+		proto := flow.UDP
+		if i%2 == 0 {
+			proto = flow.TCP
+		}
+		intIDs[i] = flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i)),
+			SrcPort: uint16(20000 + i),
+			DstIP:   flow.MakeAddr(93, 184, 216, byte(1+i%5)),
+			DstPort: uint16(80 + i%3),
+			Proto:   proto,
+		}
+	}
+	// lastExt[i] is flow i's translated tuple as last observed on the
+	// per-packet rig; both rigs must agree on it, so replies crafted
+	// against it are valid (or raced by expiry — also checked) on both.
+	lastExt := map[int]flow.ID{}
+
+	type delivery struct {
+		id           flow.ID
+		fromInternal bool
+		natable      bool
+		seq          uint32
+	}
+	rng := rand.New(rand.NewSource(97))
+	buf := make([]byte, 2048)
+	drain := make([]*dpdk.Mbuf, 64)
+	var seq uint32
+	var payload [4]byte
+	total := 0
+
+	for iter := 0; iter < 1500; iter++ {
+		if rng.Intn(31) == 0 {
+			// Expiry churn: a quiet spell past Texp ages everyone out.
+			for _, r := range rigs {
+				r.clock.Advance(libvig.Time(2 * amoTimeout.Nanoseconds()))
+			}
+		} else {
+			d := libvig.Time(rng.Intn(int(amoTimeout.Nanoseconds() / 6)))
+			for _, r := range rigs {
+				r.clock.Advance(d)
+			}
+		}
+		if perPacket.clock.Now() != amortized.clock.Now() {
+			t.Fatal("virtual clocks diverged")
+		}
+
+		// Build one burst of distinct flows (a flow appears at most once
+		// per poll, so per-flow ordering is unambiguous; everything else
+		// the oracle adopts).
+		var deliveries []delivery
+		used := map[int]bool{}
+		burst := 1 + rng.Intn(7)
+		if iter%97 == 96 {
+			burst = 0 // idle poll: only the expiry sweeps run
+		}
+		for p := 0; p < burst; p++ {
+			i := rng.Intn(len(intIDs))
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			seq++
+			d := delivery{seq: seq, natable: true}
+			switch rng.Intn(8) {
+			case 0, 1, 2, 3: // outbound
+				d.id, d.fromInternal = intIDs[i], true
+			case 4, 5: // reply against the last observed translation
+				ext, ok := lastExt[i]
+				if !ok {
+					d.id, d.fromInternal = intIDs[i], true
+					break
+				}
+				d.id = ext.Reverse()
+			case 6: // unsolicited external junk
+				d.id = flow.ID{
+					SrcIP:   flow.MakeAddr(203, 0, 113, byte(rng.Intn(250))),
+					SrcPort: uint16(1024 + rng.Intn(60000)),
+					DstIP:   extIP,
+					DstPort: uint16(confPortBase + rng.Intn(amoCap+10)),
+					Proto:   flow.UDP,
+				}
+			case 7: // non-NATable
+				d.id, d.fromInternal = intIDs[i], true
+				d.id.Proto = flow.ICMP
+				d.natable = false
+			}
+			binary.BigEndian.PutUint32(payload[:], d.seq)
+			s := &netstack.FrameSpec{ID: d.id, PayloadLen: 4, Payload: payload[:]}
+			frame := netstack.Craft(buf[:netstack.FrameLen(s)], s)
+			for _, r := range rigs {
+				port := r.intPort
+				if !d.fromInternal {
+					port = r.extPort
+				}
+				if !port.DeliverRx(frame, r.clock.Now()) {
+					t.Fatal("RX queue rejected a frame")
+				}
+			}
+			deliveries = append(deliveries, d)
+		}
+
+		outPP := perPacket.pollAndDrain(t, drain)
+		outAM := amortized.pollAndDrain(t, drain)
+
+		// The tentpole assertion: the two modes' observable behavior is
+		// identical, packet for packet.
+		if len(outPP) != len(outAM) {
+			t.Fatalf("iter %d: per-packet forwarded %d, amortized %d", iter, len(outPP), len(outAM))
+		}
+		for s, o := range outPP {
+			if outAM[s] != o {
+				t.Fatalf("iter %d seq %d: per-packet %+v, amortized %+v", iter, s, o, outAM[s])
+			}
+		}
+
+		// Both runs must also each satisfy RFC 3022.
+		for _, d := range deliveries {
+			for ri, r := range rigs {
+				obs := spec.Observed{Verdict: stateless.VerdictDrop}
+				outs := outPP
+				if ri == 1 {
+					outs = outAM
+				}
+				if o, ok := outs[d.seq]; ok {
+					obs.Tuple = o.tuple
+					if o.toExternal {
+						obs.Verdict = stateless.VerdictToExternal
+					} else {
+						obs.Verdict = stateless.VerdictToInternal
+					}
+				}
+				if err := r.oracle.Step(d.id, d.fromInternal, d.natable, r.clock.Now(), obs); err != nil {
+					t.Fatalf("iter %d seq %d rig %d: %v", iter, d.seq, ri, err)
+				}
+			}
+			if o, ok := outPP[d.seq]; ok && d.fromInternal && d.natable && o.toExternal {
+				for i := range intIDs {
+					if intIDs[i] == d.id {
+						lastExt[i] = o.tuple
+					}
+				}
+			}
+			total++
+		}
+	}
+
+	if total < 4000 {
+		t.Fatalf("only %d packets driven", total)
+	}
+	// Final state and counters agree across modes.
+	if a, b := perPacket.nat.Flows(), amortized.nat.Flows(); a != b {
+		t.Fatalf("live flows diverged: per-packet %d, amortized %d", a, b)
+	}
+	sa, sb := perPacket.nat.Stats(), amortized.nat.Stats()
+	if sa != sb {
+		t.Fatalf("NAT counters diverged:\nper-packet %+v\namortized  %+v", sa, sb)
+	}
+	if sa.FlowsExpired == 0 || sa.FlowsCreated == 0 {
+		t.Fatalf("churn too weak to mean anything: %+v", sa)
+	}
+	for _, r := range rigs {
+		for _, p := range r.pools {
+			if p.InUse() != 0 {
+				t.Fatalf("mbuf leak: %d in use", p.InUse())
+			}
+		}
+	}
+	t.Logf("equivalence: %d packets, stats %+v", total, sa)
+}

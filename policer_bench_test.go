@@ -1,0 +1,179 @@
+// Benchmarks for the traffic policer (internal/policer): the batched
+// per-packet cost of the warmed charge path next to the sharded NAT's
+// (the acceptance bound for the policer tentpole is ≤2× — see
+// BenchmarkNFProcessBatched in pipeline_bench_test.go for the NAT
+// numbers and EXPERIMENTS.md "Policer scenario" for methodology), the
+// raw token-bucket charge, and the amortized-expiry engine variant.
+//
+//	go test -bench=Policer -benchmem
+package vignat_test
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/policer"
+)
+
+// setupBenchPolicer builds a 1-shard policer on the system clock with
+// an ample budget and returns it with pristine ingress frames for
+// benchNFFlows warm subscribers.
+func setupBenchPolicer(b *testing.B) (*policer.Sharded, [][]byte) {
+	b.Helper()
+	sh, err := policer.NewSharded(policer.Config{
+		Rate: 1 << 30, Burst: 1 << 30, Capacity: 65535, Timeout: time.Hour,
+	}, libvig.NewSystemClock(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([][]byte, benchNFFlows)
+	work := make([]byte, dpdk.DataRoomSize)
+	for i := range frames {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP: flow.MakeAddr(198, 51, 100, 7), SrcPort: 443,
+			DstIP: flow.MakeAddr(10, 0, byte(i>>8), byte(i)), DstPort: 8080,
+			Proto: flow.UDP,
+		}}
+		frames[i] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+		n := copy(work, frames[i])
+		if sh.Process(work[:n], false) != nf.Forward {
+			b.Fatal("warmup drop")
+		}
+	}
+	return sh, frames
+}
+
+// BenchmarkPolicerProcessPerPacket is the policer's per-packet
+// baseline: one Process call — and one clock read — per packet, warmed
+// charge path.
+func BenchmarkPolicerProcessPerPacket(b *testing.B) {
+	sh, frames := setupBenchPolicer(b)
+	work := make([]byte, dpdk.DataRoomSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := copy(work, frames[i%benchNFFlows])
+		if sh.Process(work[:n], false) != nf.Forward {
+			b.Fatal("drop")
+		}
+	}
+}
+
+// BenchmarkPolicerProcessBatched is the engine's path: 32-packet bursts
+// through ProcessBatch, one clock read per burst. The acceptance
+// criterion compares this against BenchmarkNFProcessBatched (the
+// sharded NAT): the policer must stay within 2× of the NAT's batched
+// per-packet cost.
+func BenchmarkPolicerProcessBatched(b *testing.B) {
+	sh, frames := setupBenchPolicer(b)
+	scratch := make([][]byte, nf.DefaultBurst)
+	for j := range scratch {
+		scratch[j] = make([]byte, dpdk.DataRoomSize)
+	}
+	pkts := make([]nf.Pkt, nf.DefaultBurst)
+	verd := make([]nf.Verdict, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			n := copy(scratch[j], frames[(done+j)%benchNFFlows])
+			pkts[j] = nf.Pkt{Frame: scratch[j][:n], FromInternal: false}
+		}
+		sh.ProcessBatch(pkts[:c], verd)
+		done += c
+	}
+}
+
+// BenchmarkPolicerPipelinePoll measures the full engine iteration — RX
+// burst, steer, batched policing, TX batch assembly, wire drain — per
+// packet, with per-packet expiry (the Fig. 6 discipline).
+func BenchmarkPolicerPipelinePoll(b *testing.B) {
+	benchPolicerPipeline(b, false)
+}
+
+// BenchmarkPolicerPipelinePollAmortized is the same loop with the
+// engine's once-per-poll expiry; the delta against PipelinePoll is the
+// per-packet expiry sweep the amortized mode removes.
+func BenchmarkPolicerPipelinePollAmortized(b *testing.B) {
+	benchPolicerPipeline(b, true)
+}
+
+func benchPolicerPipeline(b *testing.B, amortized bool) {
+	b.Helper()
+	sh, frames := setupBenchPolicer(b)
+	pool, err := dpdk.NewMempool(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := nf.NewPipeline(sh, nf.Config{
+		Internal: intPort, External: extPort,
+		Clock: libvig.NewSystemClock(), AmortizedExpiry: amortized,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		c := nf.DefaultBurst
+		if done+c > b.N {
+			c = b.N - done
+		}
+		for j := 0; j < c; j++ {
+			if !extPort.DeliverRx(frames[(done+j)%benchNFFlows], 0) {
+				b.Fatal("rx queue full")
+			}
+		}
+		if _, err := pipe.Poll(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			k := intPort.DrainTx(drain)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				if err := pool.Free(drain[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		done += c
+	}
+}
+
+// BenchmarkTokenBucketCharge is the raw libVig cost: one lazy-refill
+// charge on a warmed bucket.
+func BenchmarkTokenBucketCharge(b *testing.B) {
+	tb, err := libvig.NewTokenBucket(1024, 1<<30, 1<<30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := libvig.NewSystemClock()
+	for i := 0; i < 1024; i++ {
+		if err := tb.Fill(i, clock.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tb.Charge(i%1024, 60, clock.Now()) {
+			b.Fatal("charge rejected")
+		}
+	}
+}
