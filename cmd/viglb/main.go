@@ -1,15 +1,14 @@
 // Command viglb runs the Maglev-style L4 load balancer on the simulated
 // DPDK substrate: two multi-queue ports, the shared nf.Pipeline engine,
-// and a built-in client traffic source standing in for the wire. It
-// demonstrates the repository's second stateful NF on the same
-// production composition as the NAT (netstack ⊕ libVig CHT + sticky
-// table ⊕ dpdk ports ⊕ nf engine), including a mid-run backend removal
-// whose disruption is reported at the end.
+// and a built-in client traffic source standing in for the wire (all
+// supplied by nfkit.Main), including a mid-run backend removal whose
+// disruption is reported at the end.
 //
 // Usage:
 //
 //	viglb [-backends N] [-flows N] [-packets N] [-timeout D]
-//	      [-capacity N] [-shards N] [-workers N] [-burst N] [-churn]
+//	      [-capacity N] [-shards N] [-workers N] [-burst N]
+//	      [-amortized] [-metrics addr] [-churn]
 //
 // -shards > 1 partitions the sticky table RSS-style. The balancer
 // needs no port-range trick to shard: a backend reply carries the
@@ -24,16 +23,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"sync"
+	"io"
 	"time"
 
-	"vignat/internal/dpdk"
 	"vignat/internal/flow"
 	"vignat/internal/lb"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
-	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
 )
 
 var vip = flow.MakeAddr(198, 18, 10, 10)
@@ -43,192 +40,88 @@ const vipPort = 443
 func main() {
 	backends := flag.Int("backends", 8, "live backend count")
 	flows := flag.Int("flows", 1000, "number of concurrent client flows to simulate")
-	packets := flag.Int("packets", 200000, "packets to push through the balancer")
-	timeout := flag.Duration("timeout", 2*time.Second, "sticky-entry expiry (Texp)")
-	capacity := flag.Int("capacity", 65535, "sticky flow-table capacity")
-	shards := flag.Int("shards", 1, "balancer shards (disjoint sticky tables, replicated CHT)")
-	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
-	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	churn := flag.Bool("churn", true, "remove one backend halfway through the run")
-	metricsAddr := flag.String("metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
-	flag.Parse()
 
-	clock := libvig.NewVirtualClock(0)
-	balancer, err := lb.NewSharded(lb.Config{
-		VIP:         vip,
-		VIPPort:     vipPort,
-		Capacity:    *capacity,
-		Timeout:     *timeout,
-		MaxBackends: *backends,
-	}, clock, *shards)
-	if err != nil {
-		fatal(err)
-	}
-	backendIPs := make([]flow.Addr, *backends)
-	for i := range backendIPs {
-		backendIPs[i] = flow.MakeAddr(10, 1, byte(i>>8), byte(10+i))
-		if _, err := balancer.AddBackend(backendIPs[i], clock.Now()); err != nil {
-			fatal(err)
-		}
-	}
-	nWorkers := *workers
-	if nWorkers == 0 {
-		nWorkers = *shards
-	}
-	if nWorkers < 1 || nWorkers > *shards {
-		fatal(fmt.Errorf("workers must be in [1,%d]", *shards))
-	}
-
-	intPort, intPools, err := nf.NewWorkerPorts(0, nWorkers, 4096/nWorkers) // backend side
-	if err != nil {
-		fatal(err)
-	}
-	extPort, extPools, err := nf.NewWorkerPorts(1, nWorkers, 4096/nWorkers) // client side
-	if err != nil {
-		fatal(err)
-	}
-
-	pipe, err := nf.NewPipeline(balancer, nf.Config{
-		Internal: intPort,
-		External: extPort,
-		Burst:    *burst,
-		Workers:  nWorkers,
-		Clock:    clock,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	if *metricsAddr != "" {
-		m, err := nf.ServeMetrics(*metricsAddr,
-			nf.MetricSource{Name: "viglb", Snapshot: balancer.StatsSnapshot})
-		if err != nil {
-			fatal(err)
-		}
-		defer m.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
-	}
-
-	// Client flows, all addressed to the VIP.
-	frames := make([][]byte, *flows)
-	for f := range frames {
-		spec := &netstack.FrameSpec{ID: flow.ID{
-			SrcIP:   flow.MakeAddr(203, byte(f>>16), byte(f>>8), byte(f)),
-			SrcPort: 20000,
-			DstIP:   vip,
-			DstPort: vipPort,
-			Proto:   flow.UDP,
-		}}
-		frames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
-	}
-
-	fmt.Printf("viglb: VIP=%v:%d, %d backends, CAP=%d Texp=%v, %d shards, %d workers, burst %d, %d flows, %d packets\n",
-		vip, vipPort, *backends, *capacity, *timeout, balancer.Shards(), nWorkers, *burst, *flows, *packets)
-
-	// Pre-steer the packet sequence per worker (clients face the
-	// external port, so steering uses the client side).
-	workerOf := make([]int, len(frames))
-	for f := range frames {
-		workerOf[f] = balancer.ShardOf(frames[f], false) % nWorkers
-	}
-	lists := make([][]int, nWorkers)
-	for i := 0; i < *packets; i++ {
-		f := i % len(frames)
-		lists[workerOf[f]] = append(lists[workerOf[f]], f)
-	}
-
-	// Drive each half of the run, with optional backend churn between.
-	runHalf := func(half int) {
-		var wg sync.WaitGroup
-		errs := make([]error, nWorkers)
-		for w := 0; w < nWorkers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				drain := make([]*dpdk.Mbuf, *burst)
-				list := lists[w]
-				lo, hi := half*len(list)/2, (half+1)*len(list)/2
-				for off := lo; off < hi; off += *burst {
-					c := *burst
-					if off+c > hi {
-						c = hi - off
-					}
-					for j := 0; j < c; j++ {
-						clock.Advance(1000) // 1 µs between arrivals
-						extPort.DeliverRxQueue(w, frames[list[off+j]], clock.Now())
-					}
-					if _, err := pipe.PollWorker(w); err != nil {
-						errs[w] = err
-						return
-					}
-					for {
-						k := intPort.DrainTxQueue(w, drain)
-						if k == 0 {
-							break
-						}
-						for i := 0; i < k; i++ {
-							if err := drain[i].Pool().Free(drain[i]); err != nil {
-								errs[w] = err
-								return
-							}
-						}
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
+	nfkit.Main(nfkit.App{
+		Name:            "viglb",
+		DefaultCapacity: 65535,
+		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+			balancer, err := lb.NewSharded(lb.Config{
+				VIP:         vip,
+				VIPPort:     vipPort,
+				Capacity:    o.Capacity,
+				Timeout:     o.Timeout,
+				MaxBackends: *backends,
+			}, clock, o.Shards)
 			if err != nil {
-				fatal(err)
+				return nil, err
 			}
-		}
-	}
+			backendIPs := make([]flow.Addr, *backends)
+			for i := range backendIPs {
+				backendIPs[i] = flow.MakeAddr(10, 1, byte(i>>8), byte(10+i))
+				if _, err := balancer.AddBackend(backendIPs[i], clock.Now()); err != nil {
+					return nil, err
+				}
+			}
 
-	start := time.Now()
-	runHalf(0)
-	flowsBefore := balancer.Flows()
-	if *churn && *backends > 1 {
-		if err := balancer.RemoveBackend(0); err != nil {
-			fatal(err)
-		}
-	}
-	flowsAfterRemoval := balancer.Flows()
-	runHalf(1)
-	elapsed := time.Since(start)
+			// Client flows, all addressed to the VIP.
+			frames := make([][]byte, *flows)
+			for f := range frames {
+				spec := &netstack.FrameSpec{ID: flow.ID{
+					SrcIP:   flow.MakeAddr(203, byte(f>>16), byte(f>>8), byte(f)),
+					SrcPort: 20000,
+					DstIP:   vip,
+					DstPort: vipPort,
+					Proto:   flow.UDP,
+				}}
+				frames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+			}
 
-	st := balancer.Stats()
-	snap := balancer.StatsSnapshot()
-	ps := pipe.Stats()
-	es := extPort.Stats()
-	fmt.Printf("processed %d packets in %v (%.2f Mpps offered)\n",
-		st.Processed, elapsed.Round(time.Millisecond),
-		float64(st.Processed)/elapsed.Seconds()/1e6)
-	fmt.Printf("  to backends: %-10d to clients: %-10d dropped: %d\n",
-		st.ToBackend, st.ToClient, st.Dropped)
-	fmt.Printf("  flows created: %-10d expired: %d  live: %d\n",
-		st.FlowsCreated, st.FlowsExpired, balancer.Flows())
-	if *churn && *backends > 1 {
-		if int(st.FlowsUnpinned) != flowsBefore-flowsAfterRemoval {
-			fatal(fmt.Errorf("unpinned accounting mismatch: counter %d, observed %d",
-				st.FlowsUnpinned, flowsBefore-flowsAfterRemoval))
-		}
-		fmt.Printf("  backend churn: removed %v mid-run, %d/%d sticky flows remapped (only its own)\n",
-			backendIPs[0], st.FlowsUnpinned, flowsBefore)
-	}
-	if int(st.FlowsCreated-st.FlowsExpired-st.FlowsUnpinned) != balancer.Flows() {
-		fatal(fmt.Errorf("sticky accounting mismatch: created %d − expired %d − unpinned %d ≠ live %d",
-			st.FlowsCreated, st.FlowsExpired, st.FlowsUnpinned, balancer.Flows()))
-	}
-	nf.FprintEngineReport(os.Stdout, ps, snap)
-	fmt.Printf("  client port: rx=%d rx_dropped=%d\n", es.RxPackets, es.RxDropped)
-	if err := nf.MbufAccounting(extPort.RxQueueLen()+intPort.TxQueueLen(),
-		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
-		fatal(err)
-	}
-	fmt.Println("mbuf accounting clean (no leaks)")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "viglb:", err)
-	os.Exit(1)
+			var flowsBefore, flowsAfterRemoval int
+			run := &nfkit.Run{
+				NF:             balancer,
+				ShardOf:        balancer.ShardOf,
+				Snapshot:       balancer.StatsSnapshot,
+				Frames:         frames,
+				FromInternal:   false, // clients face the external port
+				InternalPortID: 0,     // backend side
+				ExternalPortID: 1,     // client side
+				Banner: fmt.Sprintf("viglb: VIP=%v:%d, %d backends, CAP=%d Texp=%v, %d shards, %d workers, burst %d, %d flows, %d packets",
+					vip, vipPort, *backends, o.Capacity, o.Timeout, balancer.Shards(), o.Workers, o.Burst, *flows, o.Packets),
+				Report: func(w io.Writer, r *nfkit.RunReport) error {
+					st := balancer.Stats()
+					fmt.Fprintf(w, "processed %d packets in %v (%.2f Mpps offered)\n",
+						st.Processed, r.Elapsed.Round(time.Millisecond), r.Mpps(st.Processed))
+					fmt.Fprintf(w, "  to backends: %-10d to clients: %-10d dropped: %d\n",
+						st.ToBackend, st.ToClient, st.Dropped)
+					fmt.Fprintf(w, "  flows created: %-10d expired: %d  live: %d\n",
+						st.FlowsCreated, st.FlowsExpired, balancer.Flows())
+					if *churn && *backends > 1 {
+						if int(st.FlowsUnpinned) != flowsBefore-flowsAfterRemoval {
+							return fmt.Errorf("unpinned accounting mismatch: counter %d, observed %d",
+								st.FlowsUnpinned, flowsBefore-flowsAfterRemoval)
+						}
+						fmt.Fprintf(w, "  backend churn: removed %v mid-run, %d/%d sticky flows remapped (only its own)\n",
+							backendIPs[0], st.FlowsUnpinned, flowsBefore)
+					}
+					if int(st.FlowsCreated-st.FlowsExpired-st.FlowsUnpinned) != balancer.Flows() {
+						return fmt.Errorf("sticky accounting mismatch: created %d − expired %d − unpinned %d ≠ live %d",
+							st.FlowsCreated, st.FlowsExpired, st.FlowsUnpinned, balancer.Flows())
+					}
+					return nil
+				},
+			}
+			if *churn && *backends > 1 {
+				run.Mid = func() error {
+					flowsBefore = balancer.Flows()
+					if err := balancer.RemoveBackend(0); err != nil {
+						return err
+					}
+					flowsAfterRemoval = balancer.Flows()
+					return nil
+				}
+			}
+			return run, nil
+		},
+	})
 }

@@ -1,14 +1,15 @@
 // Command vignat runs the verified NAT on the simulated DPDK substrate:
 // two multi-queue ports, the shared nf.Pipeline engine, and a built-in
-// traffic source standing in for the wire. It prints periodic
-// statistics, demonstrating the full production composition (netstack ⊕
-// libVig flow table ⊕ dpdk ports ⊕ verified stateless logic ⊕ nf
-// engine).
+// traffic source standing in for the wire (all supplied by
+// nfkit.Main). It prints periodic statistics, demonstrating the full
+// production composition (netstack ⊕ libVig flow table ⊕ dpdk ports ⊕
+// verified stateless logic ⊕ nf engine).
 //
 // Usage:
 //
 //	vignat [-flows N] [-packets N] [-timeout D] [-capacity N]
-//	       [-shards N] [-workers N] [-burst N] [-verify]
+//	       [-shards N] [-workers N] [-burst N] [-amortized]
+//	       [-metrics addr] [-verify]
 //
 // -shards > 1 partitions the NAT RSS-style: each shard owns a disjoint
 // slice of the flow table and of the external port range, so steering
@@ -28,179 +29,72 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"sync"
+	"io"
 	"time"
 
 	"vignat/internal/core"
-	"vignat/internal/dpdk"
 	"vignat/internal/libvig"
 	"vignat/internal/moongen"
 	"vignat/internal/nat"
-	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
 )
 
 func main() {
 	flows := flag.Int("flows", 1000, "number of concurrent flows to simulate")
-	packets := flag.Int("packets", 200000, "packets to push through the NAT")
-	timeout := flag.Duration("timeout", 2*time.Second, "flow expiry (Texp)")
-	capacity := flag.Int("capacity", nat.DefaultCapacity, "flow table capacity (CAP)")
-	shards := flag.Int("shards", 1, "NAT shards (disjoint flow tables over partitioned port ranges)")
-	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
-	burst := flag.Int("burst", nf.DefaultBurst, "RX/TX burst size")
 	verify := flag.Bool("verify", true, "run the verification pipeline before starting")
-	metricsAddr := flag.String("metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
-	flag.Parse()
 
-	cfg := core.DefaultConfig(core.IPv4(198, 18, 1, 1))
-	cfg.Timeout = *timeout
-	cfg.Capacity = *capacity
+	nfkit.Main(nfkit.App{
+		Name:            "vignat",
+		DefaultCapacity: nat.DefaultCapacity,
+		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+			cfg := core.DefaultConfig(core.IPv4(198, 18, 1, 1))
+			cfg.Timeout = o.Timeout
+			cfg.Capacity = o.Capacity
 
-	if *verify {
-		rep, err := core.Verify(cfg, 0)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(rep.Summary())
-		if !rep.OK() {
-			fatal(fmt.Errorf("refusing to start an unproven NAT"))
-		}
-	}
-
-	clock := libvig.NewVirtualClock(0)
-	n, err := nat.NewSharded(cfg, clock, *shards)
-	if err != nil {
-		fatal(err)
-	}
-	nWorkers := *workers
-	if nWorkers == 0 {
-		nWorkers = *shards
-	}
-	if nWorkers < 1 || nWorkers > *shards {
-		fatal(fmt.Errorf("workers must be in [1,%d] (one queue pair per worker, shards spread across workers)", *shards))
-	}
-
-	// Two multi-queue ports, one queue pair and one mempool per worker.
-	intPort, intPools, err := nf.NewWorkerPorts(cfg.InternalPort, nWorkers, 4096/nWorkers)
-	if err != nil {
-		fatal(err)
-	}
-	extPort, extPools, err := nf.NewWorkerPorts(cfg.ExternalPort, nWorkers, 4096/nWorkers)
-	if err != nil {
-		fatal(err)
-	}
-
-	pipe, err := nf.NewPipeline(n, nf.Config{
-		Internal: intPort,
-		External: extPort,
-		Burst:    *burst,
-		Workers:  nWorkers,
-		Clock:    clock,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	if *metricsAddr != "" {
-		m, err := nf.ServeMetrics(*metricsAddr,
-			nf.MetricSource{Name: "vignat", Snapshot: n.StatsSnapshot})
-		if err != nil {
-			fatal(err)
-		}
-		defer m.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
-	}
-
-	specs, err := moongen.MakeFlows(0, *flows, 0, 17)
-	if err != nil {
-		fatal(err)
-	}
-
-	fmt.Printf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d shards, %d workers, burst %d, %d flows, %d packets\n",
-		n.Capacity(), cfg.Timeout, cfg.ExternalIP, n.Shards(), nWorkers, *burst, *flows, *packets)
-
-	// Pre-steer the packet sequence per worker, so each worker's wire
-	// driver delivers only frames RSS places on its own queue.
-	workerOf := make([]int, len(specs))
-	for f := range specs {
-		workerOf[f] = n.ShardOf(specs[f].Frame(), true) % nWorkers
-	}
-	lists := make([][]int, nWorkers)
-	for i := 0; i < *packets; i++ {
-		f := i % len(specs)
-		lists[workerOf[f]] = append(lists[workerOf[f]], f)
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, nWorkers)
-	start := time.Now()
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			drain := make([]*dpdk.Mbuf, *burst)
-			list := lists[w]
-			for off := 0; off < len(list); off += *burst {
-				c := *burst
-				if off+c > len(list) {
-					c = len(list) - off
+			if *verify {
+				rep, err := core.Verify(cfg, 0)
+				if err != nil {
+					return nil, err
 				}
-				// Wire side: deliver a burst straight onto this worker's
-				// queue (the list is pre-steered; a NIC's RSS hash is
-				// hardware, not a per-packet software cost).
-				for j := 0; j < c; j++ {
-					clock.Advance(1000) // 1 µs between arrivals
-					intPort.DeliverRxQueue(w, specs[list[off+j]].Frame(), clock.Now())
-				}
-				// NF side: one run-to-completion iteration.
-				if _, err := pipe.PollWorker(w); err != nil {
-					errs[w] = err
-					return
-				}
-				// Wire side: drain transmitted frames back into their pools.
-				for {
-					k := extPort.DrainTxQueue(w, drain)
-					if k == 0 {
-						break
-					}
-					for i := 0; i < k; i++ {
-						if err := drain[i].Pool().Free(drain[i]); err != nil {
-							errs[w] = err
-							return
-						}
-					}
+				fmt.Println(rep.Summary())
+				if !rep.OK() {
+					return nil, fmt.Errorf("refusing to start an unproven NAT")
 				}
 			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			fatal(err)
-		}
-	}
 
-	st := n.Stats()
-	ps := pipe.Stats()
-	is, es := intPort.Stats(), extPort.Stats()
-	fmt.Printf("processed %d packets in %v (%.2f Mpps offered)\n",
-		st.Processed, elapsed.Round(time.Millisecond),
-		float64(st.Processed)/elapsed.Seconds()/1e6)
-	fmt.Printf("  forwarded out: %-10d dropped: %d\n", st.ForwardedOut, st.Dropped)
-	fmt.Printf("  flows created: %-10d expired: %d  live: %d\n",
-		st.FlowsCreated, st.FlowsExpired, n.Flows())
-	nf.FprintEngineReport(os.Stdout, ps, n.StatsSnapshot())
-	fmt.Printf("  int port: rx=%d rx_dropped=%d | ext port: tx=%d tx_dropped=%d\n",
-		is.RxPackets, is.RxDropped, es.TxPackets, es.TxDropped)
-	if err := nf.MbufAccounting(intPort.RxQueueLen()+extPort.TxQueueLen(),
-		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
-		fatal(err)
-	}
-	fmt.Println("mbuf accounting clean (no leaks)")
-}
+			n, err := nat.NewSharded(cfg, clock, o.Shards)
+			if err != nil {
+				return nil, err
+			}
+			specs, err := moongen.MakeFlows(0, *flows, 0, 17)
+			if err != nil {
+				return nil, err
+			}
+			frames := make([][]byte, len(specs))
+			for f := range specs {
+				frames[f] = specs[f].Frame()
+			}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vignat:", err)
-	os.Exit(1)
+			return &nfkit.Run{
+				NF:             n,
+				ShardOf:        n.ShardOf,
+				Snapshot:       n.StatsSnapshot,
+				Frames:         frames,
+				FromInternal:   true,
+				InternalPortID: cfg.InternalPort,
+				ExternalPortID: cfg.ExternalPort,
+				Banner: fmt.Sprintf("vignat: CAP=%d Texp=%v EXT_IP=%v, %d shards, %d workers, burst %d, %d flows, %d packets",
+					n.Capacity(), cfg.Timeout, cfg.ExternalIP, n.Shards(), o.Workers, o.Burst, *flows, o.Packets),
+				Report: func(w io.Writer, r *nfkit.RunReport) error {
+					st := n.Stats()
+					fmt.Fprintf(w, "processed %d packets in %v (%.2f Mpps offered)\n",
+						st.Processed, r.Elapsed.Round(time.Millisecond), r.Mpps(st.Processed))
+					fmt.Fprintf(w, "  forwarded out: %-10d dropped: %d\n", st.ForwardedOut, st.Dropped)
+					fmt.Fprintf(w, "  flows created: %-10d expired: %d  live: %d\n",
+						st.FlowsCreated, st.FlowsExpired, n.Flows())
+					return nil
+				},
+			}, nil
+		},
+	})
 }

@@ -1,17 +1,19 @@
 // Command vigpol runs the per-subscriber traffic policer on the
 // simulated DPDK substrate: two multi-queue ports, the shared
 // nf.Pipeline engine, and a built-in downstream traffic source standing
-// in for the wire. It demonstrates the repository's fourth stateful NF
-// on the same production composition as the NAT (netstack ⊕ libVig
-// TokenBucket + subscriber table ⊕ dpdk ports ⊕ nf engine), with a
-// configurable share of subscribers flooded past their budget so the
-// policing itself is visible in the final report.
+// in for the wire (all supplied by nfkit.Main), with a configurable
+// share of subscribers flooded past their budget so the policing itself
+// is visible in the final report.
 //
 // Usage:
 //
-//	vigpol [-rate B/s] [-burst B] [-subscribers N] [-flood F]
+//	vigpol [-rate B/s] [-bucket B] [-subscribers N] [-flood F]
 //	       [-packets N] [-timeout D] [-capacity N] [-shards N]
-//	       [-workers N] [-rxburst N] [-amortized] [-metrics addr]
+//	       [-workers N] [-burst N] [-amortized] [-metrics addr]
+//
+// NOTE: -burst is the engine's RX/TX burst size (packets), shared with
+// every demo binary; the per-subscriber bucket depth — which older
+// versions called -burst — is now -bucket (bytes).
 //
 // -shards > 1 partitions the subscriber table RSS-style. The policer
 // needs no port-range trick and no tuple reconstruction to shard: the
@@ -30,204 +32,102 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"sync"
+	"io"
+	"sync/atomic"
 	"time"
 
-	"vignat/internal/dpdk"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
-	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
 	"vignat/internal/policer"
 )
 
 func main() {
 	rate := flag.Int64("rate", 1_000_000, "per-subscriber sustained budget (bytes/second)")
-	burstBytes := flag.Int64("burst", 16384, "per-subscriber bucket depth (bytes)")
+	bucket := flag.Int64("bucket", 16384, "per-subscriber bucket depth (bytes)")
 	subscribers := flag.Int("subscribers", 1000, "number of subscriber IPs receiving traffic")
 	flood := flag.Float64("flood", 0.25, "fraction of subscribers flooded past their budget")
-	packets := flag.Int("packets", 200000, "packets to push through the policer")
-	timeout := flag.Duration("timeout", 2*time.Second, "subscriber idle expiry (Texp)")
-	capacity := flag.Int("capacity", 65535, "subscriber table capacity")
-	shards := flag.Int("shards", 1, "policer shards (disjoint subscriber tables)")
-	workers := flag.Int("workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
-	rxburst := flag.Int("rxburst", nf.DefaultBurst, "RX/TX burst size")
-	amortized := flag.Bool("amortized", false, "engine-level once-per-poll expiry instead of per-packet")
-	metricsAddr := flag.String("metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
-	flag.Parse()
 
-	clock := libvig.NewVirtualClock(0)
-	pol, err := policer.NewSharded(policer.Config{
-		Rate:     *rate,
-		Burst:    *burstBytes,
-		Capacity: *capacity,
-		Timeout:  *timeout,
-	}, clock, *shards)
-	if err != nil {
-		fatal(err)
-	}
-	nWorkers := *workers
-	if nWorkers == 0 {
-		nWorkers = *shards
-	}
-	if nWorkers < 1 || nWorkers > *shards {
-		fatal(fmt.Errorf("workers must be in [1,%d]", *shards))
-	}
-
-	intPort, intPools, err := nf.NewWorkerPorts(0, nWorkers, 4096/nWorkers) // subscriber side
-	if err != nil {
-		fatal(err)
-	}
-	extPort, extPools, err := nf.NewWorkerPorts(1, nWorkers, 4096/nWorkers) // upstream side
-	if err != nil {
-		fatal(err)
-	}
-
-	pipe, err := nf.NewPipeline(pol, nf.Config{
-		Internal:        intPort,
-		External:        extPort,
-		Burst:           *rxburst,
-		Workers:         nWorkers,
-		Clock:           clock,
-		AmortizedExpiry: *amortized,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
-	if *metricsAddr != "" {
-		m, err := nf.ServeMetrics(*metricsAddr,
-			nf.MetricSource{Name: "vigpol", Snapshot: pol.StatsSnapshot})
-		if err != nil {
-			fatal(err)
-		}
-		defer m.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
-	}
-
-	// Downstream frames, one per subscriber: flooded subscribers receive
-	// large frames whose arrival rate exceeds their budget, the rest get
-	// small conforming traffic.
-	nFlooded := int(float64(*subscribers) * *flood)
-	frames := make([][]byte, *subscribers)
-	for f := range frames {
-		payload := 40
-		if f < nFlooded {
-			payload = 1400
-		}
-		spec := &netstack.FrameSpec{ID: flow.ID{
-			SrcIP:   flow.MakeAddr(198, 51, 100, 7),
-			SrcPort: 443,
-			DstIP:   flow.MakeAddr(10, byte(f>>16), byte(f>>8), byte(f)),
-			DstPort: 8080,
-			Proto:   flow.UDP,
-		}, PayloadLen: payload}
-		frames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
-	}
-
-	fmt.Printf("vigpol: rate=%d B/s burst=%d B Texp=%v CAP=%d, %d shards, %d workers, rx burst %d, %d subscribers (%d flooded), %d packets%s\n",
-		*rate, *burstBytes, *timeout, *capacity, pol.Shards(), nWorkers, *rxburst,
-		*subscribers, nFlooded, *packets, map[bool]string{true: ", amortized expiry"}[*amortized])
-
-	// Pre-steer the packet sequence per worker (ingress steers by the
-	// subscriber's address on the external side).
-	workerOf := make([]int, len(frames))
-	for f := range frames {
-		workerOf[f] = pol.ShardOf(frames[f], false) % nWorkers
-	}
-	lists := make([][]int, nWorkers)
-	for i := 0; i < *packets; i++ {
-		f := i % len(frames)
-		lists[workerOf[f]] = append(lists[workerOf[f]], f)
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, nWorkers)
-	conformedBytes := make([]int64, nWorkers)
-	start := time.Now()
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			drain := make([]*dpdk.Mbuf, *rxburst)
-			list := lists[w]
-			for off := 0; off < len(list); off += *rxburst {
-				c := *rxburst
-				if off+c > len(list) {
-					c = len(list) - off
-				}
-				for j := 0; j < c; j++ {
-					clock.Advance(1000) // 1 µs between arrivals
-					extPort.DeliverRxQueue(w, frames[list[off+j]], clock.Now())
-				}
-				if _, err := pipe.PollWorker(w); err != nil {
-					errs[w] = err
-					return
-				}
-				for {
-					k := intPort.DrainTxQueue(w, drain)
-					if k == 0 {
-						break
-					}
-					for i := 0; i < k; i++ {
-						conformedBytes[w] += int64(len(drain[i].Data))
-						if err := drain[i].Pool().Free(drain[i]); err != nil {
-							errs[w] = err
-							return
-						}
-					}
-				}
+	nfkit.Main(nfkit.App{
+		Name:            "vigpol",
+		DefaultCapacity: 65535,
+		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+			pol, err := policer.NewSharded(policer.Config{
+				Rate:     *rate,
+				Burst:    *bucket,
+				Capacity: o.Capacity,
+				Timeout:  o.Timeout,
+			}, clock, o.Shards)
+			if err != nil {
+				return nil, err
 			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			fatal(err)
-		}
-	}
 
-	st := pol.Stats()
-	ps := pipe.Stats()
-	es := extPort.Stats()
-	fmt.Printf("processed %d packets in %v (%.2f Mpps offered)\n",
-		st.Processed, elapsed.Round(time.Millisecond),
-		float64(st.Processed)/elapsed.Seconds()/1e6)
-	fmt.Printf("  conformed: %-10d over-rate drops: %-10d table-full drops: %d\n",
-		st.Conformed, st.DroppedOverRate, st.DroppedTableFull)
-	fmt.Printf("  subscribers admitted: %-10d expired: %d  tracked: %d\n",
-		st.BucketsCreated, st.BucketsExpired, pol.Subscribers())
-	if int(st.BucketsCreated-st.BucketsExpired) != pol.Subscribers() {
-		fatal(fmt.Errorf("subscriber accounting mismatch: created %d − expired %d ≠ tracked %d",
-			st.BucketsCreated, st.BucketsExpired, pol.Subscribers()))
-	}
-	if nFlooded > 0 && st.DroppedOverRate == 0 {
-		fatal(fmt.Errorf("flooded subscribers were never clipped; the policer policed nothing"))
-	}
-	// The budget law, checked on the wire: every delivered byte was paid
-	// from an admission burst or a refill.
-	var delivered int64
-	for _, b := range conformedBytes {
-		delivered += b
-	}
-	lawBudget := int64(st.BucketsCreated)*(*burstBytes) +
-		(clock.Now()/1_000_000_000+1)*(*rate)*int64(*subscribers)
-	if delivered > lawBudget {
-		fatal(fmt.Errorf("long-run budget law violated: %d delivered bytes > %d budget", delivered, lawBudget))
-	}
-	fmt.Printf("  delivered %d bytes ≤ budget-law bound %d ✓\n", delivered, lawBudget)
-	nf.FprintEngineReport(os.Stdout, ps, pol.StatsSnapshot())
-	fmt.Printf("  upstream port: rx=%d rx_dropped=%d\n", es.RxPackets, es.RxDropped)
-	if err := nf.MbufAccounting(extPort.RxQueueLen()+intPort.TxQueueLen(),
-		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
-		fatal(err)
-	}
-	fmt.Println("mbuf accounting clean (no leaks)")
-}
+			// Downstream frames, one per subscriber: flooded subscribers
+			// receive large frames whose arrival rate exceeds their
+			// budget, the rest get small conforming traffic.
+			nFlooded := int(float64(*subscribers) * *flood)
+			frames := make([][]byte, *subscribers)
+			for f := range frames {
+				payload := 40
+				if f < nFlooded {
+					payload = 1400
+				}
+				spec := &netstack.FrameSpec{ID: flow.ID{
+					SrcIP:   flow.MakeAddr(198, 51, 100, 7),
+					SrcPort: 443,
+					DstIP:   flow.MakeAddr(10, byte(f>>16), byte(f>>8), byte(f)),
+					DstPort: 8080,
+					Proto:   flow.UDP,
+				}, PayloadLen: payload}
+				frames[f] = netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+			}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vigpol:", err)
-	os.Exit(1)
+			amortizedNote := ""
+			if o.Amortize {
+				amortizedNote = ", amortized expiry"
+			}
+			var delivered atomic.Int64
+			return &nfkit.Run{
+				NF:             pol,
+				ShardOf:        pol.ShardOf,
+				Snapshot:       pol.StatsSnapshot,
+				Frames:         frames,
+				FromInternal:   false, // downstream traffic enters upstream-side
+				InternalPortID: 0,     // subscriber side
+				ExternalPortID: 1,     // upstream side
+				Banner: fmt.Sprintf("vigpol: rate=%d B/s burst=%d B Texp=%v CAP=%d, %d shards, %d workers, rx burst %d, %d subscribers (%d flooded), %d packets%s",
+					*rate, *bucket, o.Timeout, o.Capacity, pol.Shards(), o.Workers, o.Burst,
+					*subscribers, nFlooded, o.Packets, amortizedNote),
+				OnDelivered: func(_ int, frame []byte) {
+					delivered.Add(int64(len(frame)))
+				},
+				Report: func(w io.Writer, r *nfkit.RunReport) error {
+					st := pol.Stats()
+					fmt.Fprintf(w, "processed %d packets in %v (%.2f Mpps offered)\n",
+						st.Processed, r.Elapsed.Round(time.Millisecond), r.Mpps(st.Processed))
+					fmt.Fprintf(w, "  conformed: %-10d over-rate drops: %-10d table-full drops: %d\n",
+						st.Conformed, st.DroppedOverRate, st.DroppedTableFull)
+					fmt.Fprintf(w, "  subscribers admitted: %-10d expired: %d  tracked: %d\n",
+						st.BucketsCreated, st.BucketsExpired, pol.Subscribers())
+					if int(st.BucketsCreated-st.BucketsExpired) != pol.Subscribers() {
+						return fmt.Errorf("subscriber accounting mismatch: created %d − expired %d ≠ tracked %d",
+							st.BucketsCreated, st.BucketsExpired, pol.Subscribers())
+					}
+					if nFlooded > 0 && st.DroppedOverRate == 0 {
+						return fmt.Errorf("flooded subscribers were never clipped; the policer policed nothing")
+					}
+					// The budget law, checked on the wire: every delivered
+					// byte was paid from an admission burst or a refill.
+					lawBudget := int64(st.BucketsCreated)*(*bucket) +
+						(r.Now/1_000_000_000+1)*(*rate)*int64(*subscribers)
+					if d := delivered.Load(); d > lawBudget {
+						return fmt.Errorf("long-run budget law violated: %d delivered bytes > %d budget", d, lawBudget)
+					}
+					fmt.Fprintf(w, "  delivered %d bytes ≤ budget-law bound %d ✓\n", delivered.Load(), lawBudget)
+					return nil
+				},
+			}, nil
+		},
+	})
 }

@@ -1,0 +1,59 @@
+package discard
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
+)
+
+// This file is the discard protocol's nfkit declaration: the
+// frame-level face of the §3 running example on the shared engine
+// (the ring-buffered NF in prod.go demonstrates the verification
+// pipeline; this binding is what runs on the pipeline, whose TX
+// batcher plays the role Fig. 1's ring plays for the callback-driven
+// form). The NF is stateless and clockless — the smallest possible
+// declaration: a Process closure, a stats map, and a steering hash.
+
+// Frame is the stateless production core the kit binds: drop frames
+// addressed to port 9 (RFC 863), forward everything else unmodified.
+type Frame struct {
+	stats nf.Stats
+}
+
+// ProcessAt runs one frame; the NF is clockless, so now is unused.
+// Frames that do not parse carry port 0 and are forwarded, matching
+// FromFrame's convention.
+func (d *Frame) ProcessAt(frame []byte, _ bool, _ libvig.Time) nf.Verdict {
+	d.stats.Processed++
+	if FromFrame(frame).Port == 9 {
+		d.stats.Dropped++
+		return nf.Drop
+	}
+	d.stats.Forwarded++
+	return nf.Forward
+}
+
+// Kit returns the discard protocol's capability declaration. Any shard
+// could own any frame (there is no state), so steering hashes the flow
+// for cache affinity and maps junk to shard 0.
+func Kit() nfkit.Decl[*Frame] {
+	return nfkit.Decl[*Frame]{
+		Name: "discard",
+		New:  func(_, _, _ int) (*Frame, error) { return &Frame{}, nil },
+		Process: func(d *Frame, frame []byte, fromInternal bool, now libvig.Time) nf.Verdict {
+			return d.ProcessAt(frame, fromInternal, now)
+		},
+		Stats: func(d *Frame) nf.Stats { return d.stats },
+		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
+			var scratch netstack.Packet
+			if err := scratch.Parse(frame); err != nil || !scratch.NATable() {
+				return 0
+			}
+			return int(scratch.FlowID().Hash() % uint64(shards))
+		},
+	}
+}
+
+// NewFrameNF builds the frame-level discard NF on the pipeline.
+func NewFrameNF() nf.NF { return Kit().Adapt(&Frame{}) }

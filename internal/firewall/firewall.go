@@ -131,6 +131,7 @@ type Firewall struct {
 	texp    libvig.Time
 	env     prodEnv
 
+	perPacketExpiry             bool
 	processed, dropped, expired uint64
 }
 
@@ -147,7 +148,7 @@ func New(capacity int, timeout time.Duration, clock libvig.Clock) (*Firewall, er
 	if err != nil {
 		return nil, err
 	}
-	fw := &Firewall{dmap: dm, chain: ch, clock: clock, texp: timeout.Nanoseconds()}
+	fw := &Firewall{dmap: dm, chain: ch, clock: clock, texp: timeout.Nanoseconds(), perPacketExpiry: true}
 	fw.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(fw.dmap.Erase)}
 	fw.env.fw = fw
 	return fw, nil
@@ -156,8 +157,20 @@ func New(capacity int, timeout time.Duration, clock libvig.Clock) (*Firewall, er
 // Sessions returns the number of live sessions.
 func (fw *Firewall) Sessions() int { return fw.dmap.Size() }
 
+// SetPerPacketExpiry switches the Fig. 6 in-line expiry on or off; off
+// defers all expiry to explicit ExpireAt calls (the engine's amortized
+// once-per-poll mode). It reports true: the firewall supports both
+// modes, which is what lets a chained home gateway amortize end to end.
+func (fw *Firewall) SetPerPacketExpiry(on bool) bool {
+	fw.perPacketExpiry = on
+	return true
+}
+
 // Stats returns (processed, dropped).
 func (fw *Firewall) Stats() (processed, dropped uint64) { return fw.processed, fw.dropped }
+
+// Expired returns the total sessions freed by expiry.
+func (fw *Firewall) Expired() uint64 { return fw.expired }
 
 // Process runs one frame through the firewall. Frames are never
 // modified.
@@ -218,7 +231,10 @@ func (e *prodEnv) PacketFromInternal() bool { return e.fromInternal }
 
 func (e *prodEnv) ExpireSessions() {
 	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
-	_ = e.fw.ExpireAt(e.now)
+	// In amortized mode the engine expires once per poll instead.
+	if e.fw.perPacketExpiry {
+		_ = e.fw.ExpireAt(e.now)
+	}
 }
 
 func (e *prodEnv) LookupOutbound() (SessionHandle, bool) {

@@ -1,0 +1,194 @@
+package firewall
+
+import (
+	"fmt"
+
+	"vignat/internal/nf/nfkit"
+	"vignat/internal/vigor/sym"
+)
+
+// This file is the firewall's symbolic declaration for the kit's
+// derived verification: a thin Env glue translating each interface
+// method into SymDriver calls (the libVig session-table models with
+// their P2/P4 discipline preconditions), and the per-path semantic
+// specification. Path enumeration, the single-output rule, and solver
+// entailment all come from nfkit.VerifySym — the engine, solver, and
+// trace machinery are the same ones VigNAT uses, the amortization in
+// action.
+
+// fwSym drives ProcessPacket under the engine via the kit driver.
+type fwSym struct{ d *nfkit.SymDriver }
+
+var _ Env = fwSym{}
+
+func (e fwSym) FrameIntact() bool     { return e.d.Guard("frame_intact") }
+func (e fwSym) EtherIsIPv4() bool     { return e.d.Guard("ether_is_ipv4") }
+func (e fwSym) IPv4HeaderValid() bool { return e.d.Guard("ipv4_header_valid") }
+func (e fwSym) NotFragment() bool     { return e.d.Guard("not_fragment") }
+func (e fwSym) L4Supported() bool     { return e.d.Guard("l4_supported") }
+func (e fwSym) L4HeaderIntact() bool  { return e.d.GuardFlag("l4_header_intact", "l4") }
+
+func (e fwSym) PacketFromInternal() bool {
+	d := e.d.GuardFlag("packet_from_internal", "from_internal")
+	e.d.Set("iface_known", true)
+	return d
+}
+
+func (e fwSym) ExpireSessions() { e.d.Note("expire_sessions") }
+
+// sessionVarNames are the model variables every minted session handle
+// carries: the session's outbound tuple.
+var sessionVarNames = []string{
+	"sess_out_src_ip", "sess_out_src_port", "sess_out_dst_ip", "sess_out_dst_port", "sess_proto",
+}
+
+// mintSession mints a session handle whose outbound tuple is bound to
+// the packet tuple by the given correspondence (the contract atoms of
+// the dmap model).
+func (e fwSym) mintSession(srcIP, srcPort, dstIP, dstPort string) SessionHandle {
+	h := e.d.Mint(sessionVarNames...)
+	e.d.Bind(h,
+		sym.EqVV(e.d.HVar(h, "sess_out_src_ip"), e.d.Var(srcIP)),
+		sym.EqVV(e.d.HVar(h, "sess_out_src_port"), e.d.Var(srcPort)),
+		sym.EqVV(e.d.HVar(h, "sess_out_dst_ip"), e.d.Var(dstIP)),
+		sym.EqVV(e.d.HVar(h, "sess_out_dst_port"), e.d.Var(dstPort)),
+		sym.EqVV(e.d.HVar(h, "sess_proto"), e.d.Var("pkt_proto")),
+	)
+	return SessionHandle(h)
+}
+
+func (e fwSym) LookupOutbound() (SessionHandle, bool) {
+	e.d.Require(e.d.Flag("l4"), "P2: session key from unvalidated L4 header")
+	e.d.Require(e.d.Flag("iface_known") && e.d.Flag("from_internal"),
+		"P4: outbound lookup for a non-internal packet")
+	if !e.d.Decide("dmap_get_by_out_key") {
+		e.d.Set("missed_out", true)
+		return 0, false
+	}
+	// Contract: the found session's outbound key equals the packet.
+	return e.mintSession("pkt_src_ip", "pkt_src_port", "pkt_dst_ip", "pkt_dst_port"), true
+}
+
+func (e fwSym) LookupInbound() (SessionHandle, bool) {
+	e.d.Require(e.d.Flag("l4"), "P2: session key from unvalidated L4 header")
+	e.d.Require(e.d.Flag("iface_known") && !e.d.Flag("from_internal"),
+		"P4: inbound lookup for a non-external packet")
+	if !e.d.Decide("dmap_get_by_in_key") {
+		return 0, false
+	}
+	// Contract: the packet equals the session's reply tuple, i.e. the
+	// reverse of the outbound tuple.
+	return e.mintSession("pkt_dst_ip", "pkt_dst_port", "pkt_src_ip", "pkt_src_port"), true
+}
+
+func (e fwSym) CreateSession() (SessionHandle, bool) {
+	e.d.Require(e.d.Flag("missed_out"), "P4: session creation without a preceding outbound miss")
+	if !e.d.Decide("session_create") {
+		return 0, false
+	}
+	return e.mintSession("pkt_src_ip", "pkt_src_port", "pkt_dst_ip", "pkt_dst_port"), true
+}
+
+func (e fwSym) Rejuvenate(h SessionHandle) {
+	e.d.Require(e.d.Valid(int(h)), "P2: rejuvenate on invalid session handle %d", h)
+	e.d.NoteOn("dchain_rejuvenate", int(h))
+}
+
+func (e fwSym) ForwardOut() { e.d.Output("forward_out") }
+func (e fwSym) ForwardIn()  { e.d.Output("forward_in") }
+func (e fwSym) Drop()       { e.d.Output("drop") }
+
+// symSpec is the firewall's symbolic-verification declaration; Verify
+// and the Kit declaration both hang off it.
+func symSpec() *nfkit.SymSpec {
+	return symSpecFor(ProcessPacket)
+}
+
+func symSpecFor(logic func(Env)) *nfkit.SymSpec {
+	return &nfkit.SymSpec{
+		NF:      "firewall",
+		Outputs: []string{"forward_out", "forward_in", "drop"},
+		Drive:   func(d *nfkit.SymDriver) { logic(fwSym{d}) },
+		Spec:    checkSpec,
+	}
+}
+
+// Verify runs the derived pipeline on the firewall's stateless logic
+// and checks its semantic specification on every path:
+//
+//   - an external packet is forwarded iff a live session's reply tuple
+//     equals the packet tuple (entailment over the path constraints);
+//   - an internal packet is forwarded iff a session exists or was
+//     created; dropped exactly when the table is full;
+//   - nothing is ever rewritten (the firewall has no rewrite calls at
+//     all, so this holds structurally).
+func Verify() (*nfkit.Report, error) {
+	return verifyLogic(ProcessPacket)
+}
+
+// verifyLogic runs the pipeline over any firewall-shaped stateless
+// logic; tests use it to demonstrate that buggy variants fail.
+func verifyLogic(logic func(Env)) (*nfkit.Report, error) {
+	return nfkit.VerifySym(*symSpecFor(logic))
+}
+
+// checkSpec is the firewall's RFC-style specification, trace form.
+func checkSpec(p *nfkit.SymPath) error {
+	out := p.Output()
+	// Non-parseable → drop.
+	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid",
+		"not_fragment", "l4_supported", "l4_header_intact"} {
+		val, evaluated := p.Ret(g)
+		if !evaluated || !val {
+			if out != "drop" {
+				return fmt.Errorf("non-parseable packet must drop, path does %s", out)
+			}
+			return nil
+		}
+	}
+	fromInternal, ok := p.Ret("packet_from_internal")
+	if !ok {
+		return fmt.Errorf("interface never determined")
+	}
+	if fromInternal {
+		hit, _ := p.Ret("dmap_get_by_out_key")
+		created, createdAsked := p.Ret("session_create")
+		switch {
+		case hit || (createdAsked && created):
+			if out != "forward_out" {
+				return fmt.Errorf("internal packet with session must forward, does %s", out)
+			}
+		default:
+			if out != "drop" {
+				return fmt.Errorf("internal packet without session capacity must drop, does %s", out)
+			}
+		}
+		return nil
+	}
+	hit, _ := p.Ret("dmap_get_by_in_key")
+	if !hit {
+		if out != "drop" {
+			return fmt.Errorf("unsolicited external packet must drop, does %s", out)
+		}
+		return nil
+	}
+	if out != "forward_in" {
+		return fmt.Errorf("external packet of live session must forward, does %s", out)
+	}
+	// The matched session must really be the packet's: its outbound
+	// tuple must be the packet's reverse (entailed by the model/contract
+	// atoms on the path).
+	c := p.Find("dmap_get_by_in_key")
+	if !p.HasHandle(c.Handle) {
+		return fmt.Errorf("forwarding via unknown session handle %d", c.Handle)
+	}
+	want := []sym.Atom{
+		sym.EqVV(p.HVar(c.Handle, "sess_out_src_ip"), p.Var("pkt_dst_ip")),
+		sym.EqVV(p.HVar(c.Handle, "sess_out_dst_ip"), p.Var("pkt_src_ip")),
+		sym.EqVV(p.HVar(c.Handle, "sess_proto"), p.Var("pkt_proto")),
+	}
+	if ok, failing := p.EntailsAll(want...); !ok {
+		return fmt.Errorf("session match not entailed: %v", failing)
+	}
+	return nil
+}

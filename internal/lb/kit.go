@@ -1,0 +1,173 @@
+package lb
+
+import (
+	"fmt"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
+)
+
+// This file is the balancer's one nfkit declaration. Unlike the NAT —
+// which needed a partitioned port range so that inbound packets name
+// their shard — the balancer's two directions already hash
+// identically: a backend reply carries the client's address and port
+// and the VIP port, so the client tuple (and hence the flow hash the
+// steering uses) reconstructs exactly from either direction. Every
+// session therefore lives on exactly one shard, and the balancer drops
+// onto the multi-queue RSS pipeline unchanged.
+//
+// The CHT is replicated per shard: population is deterministic in the
+// backend set and seeds, so every shard's table is bucket-for-bucket
+// identical, and replication is what keeps the packet path free of
+// shared cache lines. Control-plane operations (AddBackend,
+// RemoveBackend, Heartbeat) broadcast to all shards and must not run
+// concurrently with packet processing — the same discipline as every
+// other control-path mutation in the repository.
+
+// verdictOf collapses the balancer's verdict onto the pipeline pair:
+// every forwarding verdict means "out the opposite interface" — a
+// client packet entering on the client side leaves on the backend side
+// and vice versa, and passthrough traffic simply crosses the box.
+func verdictOf(v Verdict) nf.Verdict {
+	if v == VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+// Kit returns the balancer's capability declaration for cfg: sticky
+// capacity split evenly across shards, the CHT replicated.
+func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
+	return nfkit.Decl[*Balancer]{
+		Name:     "viglb",
+		Clock:    clock,
+		Capacity: cfg.Capacity,
+		New: func(_, _, perShard int) (*Balancer, error) {
+			shardCfg := cfg
+			shardCfg.Capacity = perShard
+			return New(shardCfg, clock)
+		},
+		Process: func(b *Balancer, frame []byte, fromInternal bool, now libvig.Time) nf.Verdict {
+			return verdictOf(b.ProcessAt(frame, fromInternal, now))
+		},
+		Expire:             (*Balancer).ExpireAt,
+		SetPerPacketExpiry: (*Balancer).SetPerPacketExpiry,
+		Stats: func(b *Balancer) nf.Stats {
+			s := b.Stats()
+			return nf.Stats{
+				Processed: s.Processed,
+				Forwarded: s.ToBackend + s.ToClient + s.Passthrough,
+				Dropped:   s.Dropped,
+				Expired:   s.FlowsExpired,
+			}
+		},
+		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
+			var scratch netstack.Packet
+			if err := scratch.Parse(frame); err != nil || !scratch.NATable() {
+				return 0
+			}
+			id := scratch.FlowID()
+			if fromInternal != cfg.ClientsInternal {
+				// Backend side: reconstruct the client tuple the reply
+				// answers.
+				id = clientKeyOfReply(id, cfg.VIP)
+			}
+			return int(id.Hash() % uint64(shards))
+		},
+		Sym: symSpec(),
+	}
+}
+
+// AsNF exposes an existing balancer as a pipeline network function.
+func AsNF(b *Balancer) nf.NF { return Kit(b.cfg, b.clock).Adapt(b) }
+
+// Sharded is the balancer's derived sharded composition plus its
+// broadcast control plane.
+type Sharded struct {
+	*nfkit.Sharded[*Balancer]
+}
+
+// NewSharded builds a balancer of nShards shards from cfg, splitting
+// the sticky capacity evenly (rounded down per shard). With nShards ==
+// 1 this is exactly one Balancer behind the nf.NF interface.
+func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ks, err := nfkit.NewSharded(Kit(cfg, clock), nShards)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{Sharded: ks}, nil
+}
+
+// ShardBalancer returns shard i's underlying Balancer (tests, stats
+// drill-down).
+func (s *Sharded) ShardBalancer(i int) *Balancer { return s.Core(i) }
+
+// Flows returns the number of live sticky entries across shards.
+func (s *Sharded) Flows() int {
+	total := 0
+	for _, b := range s.Cores() {
+		total += b.Flows()
+	}
+	return total
+}
+
+// LiveBackends returns the number of live backends (identical on every
+// shard).
+func (s *Sharded) LiveBackends() int { return s.Core(0).LiveBackends() }
+
+// Backend returns backend i's address, if live.
+func (s *Sharded) Backend(i int) (flow.Addr, bool) { return s.Core(0).Backend(i) }
+
+// AddBackend registers a backend on every shard, returning its slot
+// index. The per-shard DChain allocations are deterministic in the
+// operation sequence, so every shard assigns the same index (checked).
+func (s *Sharded) AddBackend(ip flow.Addr, now libvig.Time) (int, error) {
+	idx := -1
+	err := s.Broadcast(func(si int, b *Balancer) error {
+		i, err := b.AddBackend(ip, now)
+		if err != nil {
+			return err
+		}
+		if idx == -1 {
+			idx = i
+		} else if i != idx {
+			return fmt.Errorf("lb: shard %d allocated backend slot %d, shard 0 slot %d", si, i, idx)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// RemoveBackend drains backend i on every shard.
+func (s *Sharded) RemoveBackend(i int) error {
+	return s.Broadcast(func(_ int, b *Balancer) error { return b.RemoveBackend(i) })
+}
+
+// Heartbeat refreshes backend i's liveness on every shard.
+func (s *Sharded) Heartbeat(i int, now libvig.Time) error {
+	return s.Broadcast(func(_ int, b *Balancer) error { return b.Heartbeat(i, now) })
+}
+
+// Stats aggregates the shards' balancer-level counters.
+func (s *Sharded) Stats() Stats {
+	return nfkit.AggregateStats(s.Sharded, (*Balancer).Stats, func(agg *Stats, st Stats) {
+		agg.Processed += st.Processed
+		agg.Dropped += st.Dropped
+		agg.ToBackend += st.ToBackend
+		agg.ToClient += st.ToClient
+		agg.Passthrough += st.Passthrough
+		agg.FlowsCreated += st.FlowsCreated
+		agg.FlowsExpired += st.FlowsExpired
+		agg.FlowsUnpinned += st.FlowsUnpinned
+		agg.BackendsExpired += st.BackendsExpired
+	})
+}

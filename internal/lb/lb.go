@@ -262,8 +262,10 @@ type Balancer struct {
 	flowErasers []libvig.IndexEraser
 	flowScratch []int // backend-removal sweep scratch, preallocated
 	clock       libvig.Clock
-	stats       Stats
-	env         prodEnv
+
+	perPacketExpiry bool
+	stats           Stats
+	env             prodEnv
 }
 
 // New builds a balancer from cfg, drawing time from clock.
@@ -308,6 +310,8 @@ func New(cfg Config, clock libvig.Clock) (*Balancer, error) {
 		flowChain:    flowChain,
 		flowScratch:  make([]int, 0, cfg.Capacity),
 		clock:        clock,
+
+		perPacketExpiry: true,
 	}
 	b.flowErasers = []libvig.IndexEraser{libvig.IndexEraserFunc(b.flows.Erase)}
 	b.env.lb = b
@@ -322,6 +326,16 @@ func (b *Balancer) Stats() Stats { return b.stats }
 
 // Flows returns the number of live sticky entries.
 func (b *Balancer) Flows() int { return b.flows.Size() }
+
+// SetPerPacketExpiry switches the Fig. 6 in-line expiry on or off; off
+// defers all expiry (sticky entries and backend liveness alike) to
+// explicit ExpireAt calls (the engine's amortized once-per-poll mode).
+// It reports true: the balancer supports both modes, which is what
+// lets a chained home gateway amortize end to end.
+func (b *Balancer) SetPerPacketExpiry(on bool) bool {
+	b.perPacketExpiry = on
+	return true
+}
 
 // LiveBackends returns the number of live backends.
 func (b *Balancer) LiveBackends() int { return b.cht.Live() }
@@ -548,7 +562,10 @@ func (e *prodEnv) DstIsVIP() bool {
 
 func (e *prodEnv) ExpireState() {
 	// Same Fig. 6 convention as the NAT: expire when last+Texp <= now.
-	_ = e.lb.ExpireAt(e.now)
+	// In amortized mode the engine expires once per poll instead.
+	if e.lb.perPacketExpiry {
+		_ = e.lb.ExpireAt(e.now)
+	}
 }
 
 func (e *prodEnv) LookupSticky() (FlowHandle, bool) {

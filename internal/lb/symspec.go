@@ -1,0 +1,301 @@
+package lb
+
+import (
+	"fmt"
+
+	"vignat/internal/nf/nfkit"
+	"vignat/internal/vigor/sym"
+)
+
+// This file is the balancer's symbolic declaration — the verification
+// binding the balancer never had (the roadmap's "verify the LB
+// composition" item), obtained through the kit's derived pipeline
+// rather than a bespoke engine integration. The models are the CHT
+// (consistent-hash lookup over the live backend set) and the sticky
+// table (the firewall's DoubleMap shape), each publishing its contract
+// atoms; the discipline checks enforce the balancer's own P4 rules:
+// backend selection only after a sticky miss (stickiness), sticky
+// creation only from a successfully selected — hence live — backend.
+
+// lbSym drives ProcessPacket under the engine via the kit driver.
+type lbSym struct{ d *nfkit.SymDriver }
+
+var _ Env = lbSym{}
+
+func (e lbSym) FrameIntact() bool     { return e.d.Guard("frame_intact") }
+func (e lbSym) EtherIsIPv4() bool     { return e.d.Guard("ether_is_ipv4") }
+func (e lbSym) IPv4HeaderValid() bool { return e.d.Guard("ipv4_header_valid") }
+func (e lbSym) NotFragment() bool     { return e.d.Guard("not_fragment") }
+func (e lbSym) L4Supported() bool     { return e.d.Guard("l4_supported") }
+func (e lbSym) L4HeaderIntact() bool  { return e.d.GuardFlag("l4_header_intact", "l4") }
+
+func (e lbSym) PacketFromClient() bool {
+	d := e.d.GuardFlag("packet_from_client", "from_client")
+	e.d.Set("iface_known", true)
+	return d
+}
+
+func (e lbSym) DstIsVIP() bool {
+	e.d.Require(e.d.Flag("l4"), "P2: VIP test on unvalidated headers")
+	return e.d.GuardFlag("dst_is_vip", "dst_vip")
+}
+
+func (e lbSym) ExpireState() { e.d.Note("expire_flows") }
+
+// stickyVarNames are the model variables every minted sticky handle
+// carries: the pinned client tuple and the backend it maps to.
+var stickyVarNames = []string{
+	"cl_src_ip", "cl_src_port", "cl_dst_ip", "cl_dst_port", "cl_proto", "sticky_backend_ip",
+}
+
+func (e lbSym) LookupSticky() (FlowHandle, bool) {
+	e.d.Require(e.d.Flag("l4"), "P2: sticky key from unvalidated L4 header")
+	e.d.Require(e.d.Flag("iface_known") && e.d.Flag("from_client") && e.d.Flag("dst_vip"),
+		"P4: sticky lookup for a non-VIP or non-client packet")
+	if !e.d.Decide("sticky_get_by_client") {
+		e.d.Set("sticky_missed", true)
+		return 0, false
+	}
+	// Contract: the found entry's client tuple equals the packet.
+	h := e.d.Mint(stickyVarNames...)
+	e.d.Bind(h,
+		sym.EqVV(e.d.HVar(h, "cl_src_ip"), e.d.Var("pkt_src_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_src_port"), e.d.Var("pkt_src_port")),
+		sym.EqVV(e.d.HVar(h, "cl_dst_ip"), e.d.Var("pkt_dst_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_dst_port"), e.d.Var("pkt_dst_port")),
+		sym.EqVV(e.d.HVar(h, "cl_proto"), e.d.Var("pkt_proto")),
+	)
+	return FlowHandle(h), true
+}
+
+func (e lbSym) LookupReply() (FlowHandle, bool) {
+	e.d.Require(e.d.Flag("l4"), "P2: reply key from unvalidated L4 header")
+	e.d.Require(e.d.Flag("iface_known") && !e.d.Flag("from_client"),
+		"P4: reply lookup for a non-backend packet")
+	if !e.d.Decide("sticky_get_by_reply") {
+		return 0, false
+	}
+	// Contract: the packet equals the entry's reply tuple — source is
+	// the pinned backend, destination the pinned client.
+	h := e.d.Mint(stickyVarNames...)
+	e.d.Bind(h,
+		sym.EqVV(e.d.HVar(h, "sticky_backend_ip"), e.d.Var("pkt_src_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_dst_port"), e.d.Var("pkt_src_port")),
+		sym.EqVV(e.d.HVar(h, "cl_src_ip"), e.d.Var("pkt_dst_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_src_port"), e.d.Var("pkt_dst_port")),
+		sym.EqVV(e.d.HVar(h, "cl_proto"), e.d.Var("pkt_proto")),
+	)
+	return FlowHandle(h), true
+}
+
+func (e lbSym) SelectBackend() (BackendHandle, bool) {
+	// Stickiness discipline: consulting the CHT before the sticky table
+	// has missed would let a live flow re-select mid-stream.
+	e.d.Require(e.d.Flag("sticky_missed"), "P4: backend selection without a preceding sticky miss")
+	if !e.d.Decide("cht_lookup") {
+		return 0, false
+	}
+	// Contract: the CHT only ever returns live backends.
+	h := e.d.Mint("backend_ip", "backend_live")
+	e.d.Bind(h, sym.EqVC(e.d.HVar(h, "backend_live"), 1))
+	return BackendHandle(h), true
+}
+
+func (e lbSym) CreateSticky(b BackendHandle) (FlowHandle, bool) {
+	e.d.Require(e.d.Flag("sticky_missed"), "P4: sticky creation without a preceding miss")
+	// Capability discipline: a sticky entry may only pin a backend the
+	// CHT actually returned — i.e. a live one. Steering to a dead (or
+	// never-selected) backend is exactly the bug this catches.
+	e.d.Require(e.d.Valid(int(b)), "P2: sticky creation from invalid backend handle %d", b)
+	if !e.d.Decide("sticky_create") {
+		return 0, false
+	}
+	h := e.d.Mint(stickyVarNames...)
+	atoms := []sym.Atom{
+		sym.EqVV(e.d.HVar(h, "cl_src_ip"), e.d.Var("pkt_src_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_src_port"), e.d.Var("pkt_src_port")),
+		sym.EqVV(e.d.HVar(h, "cl_dst_ip"), e.d.Var("pkt_dst_ip")),
+		sym.EqVV(e.d.HVar(h, "cl_dst_port"), e.d.Var("pkt_dst_port")),
+		sym.EqVV(e.d.HVar(h, "cl_proto"), e.d.Var("pkt_proto")),
+	}
+	if e.d.Valid(int(b)) {
+		atoms = append(atoms, sym.EqVV(e.d.HVar(h, "sticky_backend_ip"), e.d.HVar(int(b), "backend_ip")))
+	}
+	e.d.Bind(h, atoms...)
+	return FlowHandle(h), true
+}
+
+func (e lbSym) Rejuvenate(h FlowHandle) {
+	e.d.Require(e.d.Valid(int(h)), "P2: rejuvenate on invalid sticky handle %d", h)
+	e.d.NoteOn("dchain_rejuvenate", int(h))
+}
+
+func (e lbSym) ForwardToBackend(h FlowHandle) {
+	e.d.Require(e.d.Valid(int(h)), "P2: forward via invalid sticky handle %d", h)
+	e.d.Output("forward_to_backend")
+}
+
+func (e lbSym) ForwardToClient(h FlowHandle) {
+	e.d.Require(e.d.Valid(int(h)), "P2: forward via invalid sticky handle %d", h)
+	e.d.Output("forward_to_client")
+}
+
+func (e lbSym) Passthrough() { e.d.Output("passthrough") }
+func (e lbSym) Drop()        { e.d.Output("drop") }
+
+// symSpec is the balancer's symbolic-verification declaration.
+func symSpec() *nfkit.SymSpec {
+	return symSpecFor(ProcessPacket)
+}
+
+func symSpecFor(logic func(Env)) *nfkit.SymSpec {
+	return &nfkit.SymSpec{
+		NF:      "viglb",
+		Outputs: []string{"forward_to_backend", "forward_to_client", "passthrough", "drop"},
+		Drive:   func(d *nfkit.SymDriver) { logic(lbSym{d}) },
+		Spec:    checkSpec,
+	}
+}
+
+// Verify runs the derived pipeline on the balancer's stateless logic
+// and checks its semantic specification on every path:
+//
+//   - a non-parseable packet is dropped;
+//   - client traffic not addressed to the VIP, and backend traffic
+//     matching no live sticky entry, passes through untouched;
+//   - a VIP packet is forwarded to a backend iff a sticky entry was
+//     found or created from a successful CHT selection — so only ever
+//     to a live backend — and the entry really pins this client
+//     (entailment over the path constraints); dropped exactly when no
+//     backend is live or the sticky table is full;
+//   - a backend reply of a live sticky flow is forwarded to the client
+//     (the VIP-restoring path), and the matched entry really is the
+//     reply's (entailment).
+func Verify() (*nfkit.Report, error) {
+	return verifyLogic(ProcessPacket)
+}
+
+// verifyLogic runs the pipeline over any balancer-shaped stateless
+// logic; tests use it to demonstrate that buggy variants fail.
+func verifyLogic(logic func(Env)) (*nfkit.Report, error) {
+	return nfkit.VerifySym(*symSpecFor(logic))
+}
+
+// checkSpec is the balancer's steering specification, trace form.
+func checkSpec(p *nfkit.SymPath) error {
+	out := p.Output()
+	// Non-parseable → drop.
+	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid",
+		"not_fragment", "l4_supported", "l4_header_intact"} {
+		val, evaluated := p.Ret(g)
+		if !evaluated || !val {
+			if out != "drop" {
+				return fmt.Errorf("non-parseable packet must drop, path does %s", out)
+			}
+			return nil
+		}
+	}
+	fromClient, ok := p.Ret("packet_from_client")
+	if !ok {
+		return fmt.Errorf("side never determined")
+	}
+	if fromClient {
+		isVIP, vipAsked := p.Ret("dst_is_vip")
+		if !vipAsked {
+			return fmt.Errorf("client packet's VIP test never ran")
+		}
+		if !isVIP {
+			if out != "passthrough" {
+				return fmt.Errorf("non-VIP client packet must pass through, does %s", out)
+			}
+			return nil
+		}
+		hit, _ := p.Ret("sticky_get_by_client")
+		selected, selectAsked := p.Ret("cht_lookup")
+		created, createAsked := p.Ret("sticky_create")
+		switch {
+		case hit:
+			if out != "forward_to_backend" {
+				return fmt.Errorf("sticky VIP packet must forward to its backend, does %s", out)
+			}
+			return entailSticky(p, "sticky_get_by_client")
+		case selectAsked && !selected:
+			if out != "drop" {
+				return fmt.Errorf("VIP packet with no live backend must drop, does %s", out)
+			}
+			return nil
+		case createAsked && !created:
+			if out != "drop" {
+				return fmt.Errorf("VIP packet at full sticky table must drop, does %s", out)
+			}
+			return nil
+		case createAsked && created:
+			if out != "forward_to_backend" {
+				return fmt.Errorf("newly pinned VIP packet must forward to its backend, does %s", out)
+			}
+			if err := entailSticky(p, "sticky_create"); err != nil {
+				return err
+			}
+			// The new entry's backend must be the CHT's selection — a
+			// live one (the CHT contract).
+			sc := p.Find("sticky_create")
+			bc := p.Find("cht_lookup")
+			if bc == nil || !p.HasHandle(bc.Handle) {
+				return fmt.Errorf("sticky created without a backend selection")
+			}
+			want := []sym.Atom{
+				sym.EqVV(p.HVar(sc.Handle, "sticky_backend_ip"), p.HVar(bc.Handle, "backend_ip")),
+				sym.EqVC(p.HVar(bc.Handle, "backend_live"), 1),
+			}
+			if ok, failing := p.EntailsAll(want...); !ok {
+				return fmt.Errorf("live-backend pinning not entailed: %v", failing)
+			}
+			return nil
+		default:
+			return fmt.Errorf("VIP packet neither steered nor refused (out %s)", out)
+		}
+	}
+	hit, _ := p.Ret("sticky_get_by_reply")
+	if !hit {
+		if out != "passthrough" {
+			return fmt.Errorf("non-session backend packet must pass through, does %s", out)
+		}
+		return nil
+	}
+	if out != "forward_to_client" {
+		return fmt.Errorf("backend reply of a live session must forward to the client restoring the VIP, does %s", out)
+	}
+	// The matched entry must really be the reply's: the packet's source
+	// is its pinned backend and its destination the pinned client.
+	c := p.Find("sticky_get_by_reply")
+	if !p.HasHandle(c.Handle) {
+		return fmt.Errorf("forwarding via unknown sticky handle %d", c.Handle)
+	}
+	want := []sym.Atom{
+		sym.EqVV(p.HVar(c.Handle, "sticky_backend_ip"), p.Var("pkt_src_ip")),
+		sym.EqVV(p.HVar(c.Handle, "cl_src_ip"), p.Var("pkt_dst_ip")),
+		sym.EqVV(p.HVar(c.Handle, "cl_proto"), p.Var("pkt_proto")),
+	}
+	if ok, failing := p.EntailsAll(want...); !ok {
+		return fmt.Errorf("reply match not entailed: %v", failing)
+	}
+	return nil
+}
+
+// entailSticky checks that the sticky entry minted by the named call
+// really pins the packet's client tuple.
+func entailSticky(p *nfkit.SymPath, callName string) error {
+	c := p.Find(callName)
+	if c == nil || !p.HasHandle(c.Handle) {
+		return fmt.Errorf("forwarding via unknown sticky handle")
+	}
+	want := []sym.Atom{
+		sym.EqVV(p.HVar(c.Handle, "cl_src_ip"), p.Var("pkt_src_ip")),
+		sym.EqVV(p.HVar(c.Handle, "cl_src_port"), p.Var("pkt_src_port")),
+		sym.EqVV(p.HVar(c.Handle, "cl_proto"), p.Var("pkt_proto")),
+	}
+	if ok, failing := p.EntailsAll(want...); !ok {
+		return fmt.Errorf("client pinning not entailed: %v", failing)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package nfkit
+
+import (
+	"fmt"
+
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// Adapter is the derived production binding of one core onto the
+// unified nf.NF interface — what every NF package used to hand-roll in
+// its own nf.go. The adapter adds nothing to the per-packet path
+// beyond the declared verdict mapping; batches read the clock once,
+// like every NF in the repository.
+type Adapter[C any] struct {
+	d    Decl[C]
+	core C
+}
+
+var (
+	_ nf.NF          = (*Adapter[int])(nil)
+	_ nf.ExpiryModer = (*Adapter[int])(nil)
+)
+
+// Adapt exposes an existing core as a pipeline network function, the
+// derived form of the per-NF AsNF constructors. The declaration must
+// be complete (it is a programming error otherwise, so Adapt panics
+// rather than making every NF's AsNF fallible).
+func (d Decl[C]) Adapt(core C) *Adapter[C] {
+	if err := d.validate(false); err != nil {
+		panic(fmt.Sprintf("nfkit: Adapt on an invalid declaration: %v", err))
+	}
+	return &Adapter[C]{d: d, core: core}
+}
+
+// Core returns the adapted production core (tests, stats drill-down).
+func (a *Adapter[C]) Core() C { return a.core }
+
+// Name identifies the NF.
+func (a *Adapter[C]) Name() string { return a.d.Name }
+
+// Process runs one frame at the declared clock's current time.
+func (a *Adapter[C]) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return a.d.Process(a.core, frame, fromInternal, a.d.now())
+}
+
+// ProcessBatch processes a burst, reading the clock once for the whole
+// batch.
+func (a *Adapter[C]) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := a.d.now()
+	for i := range pkts {
+		verdicts[i] = a.d.Process(a.core, pkts[i].Frame, pkts[i].FromInternal, now)
+	}
+}
+
+// Expire advances the core's state expiry to now.
+func (a *Adapter[C]) Expire(now libvig.Time) int {
+	if a.d.Expire == nil {
+		return 0
+	}
+	return a.d.Expire(a.core, now)
+}
+
+// SetPerPacketExpiry forwards the expiry-mode switch to the core. An
+// NF that declares no switch reports true only when it is stateless
+// (there is nothing to switch), false otherwise — the pipeline then
+// refuses amortized mode rather than silently double-expiring.
+func (a *Adapter[C]) SetPerPacketExpiry(on bool) bool {
+	if a.d.SetPerPacketExpiry == nil {
+		return a.d.Expire == nil
+	}
+	return a.d.SetPerPacketExpiry(a.core, on)
+}
+
+// NFStats snapshots the core's engine-visible counters.
+func (a *Adapter[C]) NFStats() nf.Stats { return a.d.Stats(a.core) }

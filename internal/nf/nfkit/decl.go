@@ -1,0 +1,128 @@
+// Package nfkit is the declarative NF-authoring surface: one
+// registration per network function, from which everything the rest of
+// the repository used to hand-roll per NF is derived.
+//
+// The paper's thesis is that one amortized verification toolchain
+// should serve many NFs. The first four NFs here (NAT, firewall,
+// balancer, policer) each repeated the same five-part recipe in
+// near-identical adapter code: a per-NF `AsNF` adapter onto nf.NF, a
+// per-NF `Sharded` wrapper (three almost literal copies), a per-NF
+// batch loop reading the clock once, a per-NF stats mapping, and a
+// per-NF symbolic environment driving the same engine with the same
+// discipline checks. nfkit collapses the recipe into a single
+// capability declaration — Decl — naming the NF's processing entry
+// point, its state-expiry hooks, its shard-steering function, and (via
+// SymSpec in verify.go) its guard predicates, state-operation models,
+// and output actions. From that declaration the kit derives:
+//
+//   - the allocation-free production binding onto the engine
+//     (Adapter: clock-once batches, verdict mapping, expiry modes);
+//   - the counted, concurrently-scrapeable sharded composition
+//     (Sharded[C] over nf.CountedShards — one implementation instead
+//     of three copies);
+//   - the symbolic-verification run (VerifySym: path enumeration,
+//     P2/P4 discipline, single-output rule, solver entailment), so a
+//     new NF's proof costs a SymSpec, not an engine binding;
+//   - the demo-binary scaffolding (Main: flags, ports, pipeline,
+//     steering, drive loop, accounting).
+//
+// A new NF — the roadmap's DNS cache or NAT64 — therefore costs its
+// stateless logic, its libVig state, and one Decl.
+package nfkit
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// Decl is one network function's capability declaration: the closures
+// that bind its production core C (the type holding its libVig state)
+// to everything the kit derives. The per-NF packages build it in a
+// single constructor (their `Kit` function) and the rest of the
+// repository consumes only the derived artifacts.
+type Decl[C any] struct {
+	// Name identifies the NF in stats, logs, and reports.
+	Name string
+
+	// Clock supplies time to the derived batch paths (read once per
+	// burst, the TSC-per-rx_burst amortization every NF here uses). A
+	// clockless NF (the stateless discard) may leave it nil; batches
+	// then run at time zero.
+	Clock libvig.Clock
+
+	// Capacity is the NF's total state capacity, split evenly across
+	// shards by New. NewSharded rejects shard counts the capacity
+	// cannot fill. Zero means the NF declares no divisible capacity
+	// (stateless NFs).
+	Capacity int
+
+	// New builds shard `shard` of `shards` — a complete core owning
+	// perShard state entries (the kit's even split of the declared
+	// Capacity; 0 when no capacity is declared). Required by
+	// NewSharded; Adapt does not use it.
+	New func(shard, shards, perShard int) (C, error)
+
+	// Process runs one frame through the core at an explicit time,
+	// returning the engine-level verdict (the NF's own richer verdict
+	// collapses here). It must be allocation-free on the steady state.
+	Process func(core C, frame []byte, fromInternal bool, now libvig.Time) nf.Verdict
+
+	// Expire advances state expiry to now without processing a packet,
+	// returning the number of entries freed. Nil declares a stateless
+	// NF (nothing ever expires).
+	Expire func(core C, now libvig.Time) int
+
+	// Stats snapshots the core's engine-visible counters. The kit
+	// never counts on the core's behalf: counters stay single-writer
+	// inside the core (where tests and oracles already read them) and
+	// the declaration only maps them out.
+	Stats func(core C) nf.Stats
+
+	// SetPerPacketExpiry switches the core's Fig. 6 in-line expiry on
+	// or off, reporting whether the switch happened — the engine's
+	// amortized once-per-poll mode. Nil means: vacuously switchable
+	// when the NF is stateless (Expire nil), unsupported otherwise.
+	SetPerPacketExpiry func(core C, on bool) bool
+
+	// ShardOf steers a frame to the shard owning its flow, for the
+	// given shard count. It must be consistent (both directions of a
+	// session yield the same shard), allocation-free, and safe for
+	// concurrent use: the wire side runs it as the RSS function while
+	// every run-to-completion worker re-steers its own bursts.
+	// Unparseable frames may map anywhere. Nil restricts the NF to a
+	// single shard.
+	ShardOf func(frame []byte, fromInternal bool, shards int) int
+
+	// Sym, when set, is the NF's symbolic-verification declaration;
+	// Verify() derives the full proof run from it. See verify.go.
+	Sym *SymSpec
+}
+
+// validate checks the fields every derived artifact needs; forSharding
+// additionally demands the sharded-composition fields.
+func (d *Decl[C]) validate(forSharding bool) error {
+	if d.Name == "" {
+		return errors.New("nfkit: declaration needs a name")
+	}
+	if d.Process == nil {
+		return fmt.Errorf("nfkit: %s declares no Process", d.Name)
+	}
+	if d.Stats == nil {
+		return fmt.Errorf("nfkit: %s declares no Stats", d.Name)
+	}
+	if forSharding && d.New == nil {
+		return fmt.Errorf("nfkit: %s declares no shard constructor", d.Name)
+	}
+	return nil
+}
+
+// now reads the declared clock, or 0 for clockless NFs.
+func (d *Decl[C]) now() libvig.Time {
+	if d.Clock == nil {
+		return 0
+	}
+	return d.Clock.Now()
+}

@@ -1,0 +1,286 @@
+package nfkit
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/libvig"
+	"vignat/internal/nf"
+)
+
+// This file is the derived demo-binary scaffolding: the flags, port
+// arrangement, pipeline wiring, wire-side drive loop, and end-of-run
+// accounting that cmd/vignat, cmd/viglb, and cmd/vigpol each used to
+// hand-roll (~150 duplicated lines per binary). A binary now declares
+// its NF construction, its traffic, and its NF-specific report; the
+// kit runs the engine.
+
+// Options are the shared engine flags every demo binary exposes:
+// -packets, -timeout, -capacity, -shards, -workers, -burst, -metrics,
+// -amortized. Workers is resolved (0 → one per shard) and validated
+// before Build runs.
+type Options struct {
+	Packets  int
+	Timeout  time.Duration
+	Capacity int
+	Shards   int
+	Workers  int
+	Burst    int
+	Metrics  string
+	Amortize bool
+}
+
+// App is one demo binary's declaration. Register NF-specific flags
+// with the standard flag package before calling Main; parsing happens
+// inside.
+type App struct {
+	// Name is the binary name (errors, metrics source).
+	Name string
+	// DefaultCapacity seeds the shared -capacity flag.
+	DefaultCapacity int
+	// Build constructs the NF and its traffic once flags are parsed.
+	Build func(o *Options, clock *libvig.VirtualClock) (*Run, error)
+}
+
+// Run is what an App's Build hands the kit to drive.
+type Run struct {
+	// NF is the (usually sharded) network function.
+	NF nf.NF
+	// ShardOf pre-steers the traffic per worker, standing in for the
+	// NIC's hardware RSS hash on the wire side.
+	ShardOf func(frame []byte, fromInternal bool) int
+	// Snapshot is the concurrency-safe stats surface (metrics, report).
+	Snapshot func() nf.Stats
+	// Frames is the traffic, delivered round-robin, one clock
+	// microsecond apart.
+	Frames [][]byte
+	// FromInternal says which side the traffic source feeds.
+	FromInternal bool
+	// InternalPortID and ExternalPortID name the two ports.
+	InternalPortID, ExternalPortID uint16
+	// Banner is printed before the run.
+	Banner string
+	// OnDelivered, when set, observes every frame the far side drains
+	// (called from worker w's drive goroutine — index per-worker state
+	// only).
+	OnDelivered func(worker int, frame []byte)
+	// Mid, when set, splits the run in two halves and runs between
+	// them with no traffic in flight (backend churn and the like).
+	Mid func() error
+	// Report writes the NF-specific end-of-run summary and checks its
+	// invariants; returning an error fails the binary.
+	Report func(w io.Writer, r *RunReport) error
+}
+
+// RunReport is what the kit measured, handed to the App's Report.
+type RunReport struct {
+	Elapsed  time.Duration
+	Now      libvig.Time
+	Pipe     nf.PipelineStats
+	Snapshot nf.Stats
+}
+
+// Mpps renders packets-per-second in millions for n packets over the
+// run — the throughput line every report prints.
+func (r *RunReport) Mpps(n uint64) float64 {
+	return float64(n) / r.Elapsed.Seconds() / 1e6
+}
+
+// Main parses flags, builds the App's NF, and drives it on the shared
+// engine: per-worker RSS queue pairs, run-to-completion polling from
+// one goroutine per worker, TX drain back into the pools, and the
+// engine/mbuf accounting every run must end with.
+func Main(app App) {
+	o := &Options{}
+	flag.IntVar(&o.Packets, "packets", 200000, "packets to push through the NF")
+	flag.DurationVar(&o.Timeout, "timeout", 2*time.Second, "state inactivity expiry (Texp)")
+	flag.IntVar(&o.Capacity, "capacity", app.DefaultCapacity, "state capacity (CAP)")
+	flag.IntVar(&o.Shards, "shards", 1, "NF shards (disjoint state partitions)")
+	flag.IntVar(&o.Workers, "workers", 0, "run-to-completion workers / RSS queue pairs (0 = one per shard)")
+	flag.IntVar(&o.Burst, "burst", nf.DefaultBurst, "RX/TX burst size")
+	flag.StringVar(&o.Metrics, "metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
+	flag.BoolVar(&o.Amortize, "amortized", false, "engine-level once-per-poll expiry instead of per-packet")
+	flag.Parse()
+	if err := run(app, o); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", app.Name, err)
+		os.Exit(1)
+	}
+}
+
+func run(app App, o *Options) error {
+	if o.Shards < 1 {
+		return fmt.Errorf("shard count must be at least 1")
+	}
+	if o.Burst == 0 {
+		o.Burst = nf.DefaultBurst // same convention as nf.NewPipeline,
+		// which also rejects negative bursts before the drive loop runs
+	}
+	if o.Workers == 0 {
+		o.Workers = o.Shards
+	}
+	if o.Workers < 1 || o.Workers > o.Shards {
+		return fmt.Errorf("workers must be in [1,%d] (one queue pair per worker, shards spread across workers)", o.Shards)
+	}
+
+	clock := libvig.NewVirtualClock(0)
+	b, err := app.Build(o, clock)
+	if err != nil {
+		return err
+	}
+	switch {
+	case b.NF == nil:
+		return fmt.Errorf("app declares no NF")
+	case b.ShardOf == nil:
+		return fmt.Errorf("app declares no steering")
+	case b.Snapshot == nil:
+		return fmt.Errorf("app declares no stats snapshot")
+	case b.Report == nil:
+		return fmt.Errorf("app declares no report")
+	case len(b.Frames) == 0:
+		return fmt.Errorf("no traffic frames declared")
+	}
+
+	// Two multi-queue ports, one queue pair and one mempool per worker.
+	intPort, intPools, err := nf.NewWorkerPorts(b.InternalPortID, o.Workers, 4096/o.Workers)
+	if err != nil {
+		return err
+	}
+	extPort, extPools, err := nf.NewWorkerPorts(b.ExternalPortID, o.Workers, 4096/o.Workers)
+	if err != nil {
+		return err
+	}
+	pipe, err := nf.NewPipeline(b.NF, nf.Config{
+		Internal:        intPort,
+		External:        extPort,
+		Burst:           o.Burst,
+		Workers:         o.Workers,
+		Clock:           clock,
+		AmortizedExpiry: o.Amortize,
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.Metrics != "" {
+		m, err := nf.ServeMetrics(o.Metrics, nf.MetricSource{Name: app.Name, Snapshot: b.Snapshot})
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
+	}
+
+	if b.Banner != "" {
+		fmt.Println(b.Banner)
+	}
+
+	// The source and sink sides of the box.
+	rxPort, txPort := extPort, intPort
+	if b.FromInternal {
+		rxPort, txPort = intPort, extPort
+	}
+
+	// Pre-steer the packet sequence per worker, so each worker's wire
+	// driver delivers only frames RSS places on its own queue (the
+	// NIC's RSS hash is hardware, not a per-packet software cost).
+	workerOf := make([]int, len(b.Frames))
+	for f := range b.Frames {
+		workerOf[f] = b.ShardOf(b.Frames[f], b.FromInternal) % o.Workers
+	}
+	lists := make([][]int, o.Workers)
+	for i := 0; i < o.Packets; i++ {
+		f := i % len(b.Frames)
+		lists[workerOf[f]] = append(lists[workerOf[f]], f)
+	}
+
+	// driveHalf runs [half, half+1)/halves of each worker's list, one
+	// goroutine per worker: deliver a burst onto the worker's queue,
+	// one run-to-completion poll, drain transmitted frames back into
+	// their pools.
+	halves := 1
+	if b.Mid != nil {
+		halves = 2
+	}
+	driveHalf := func(half int) error {
+		var wg sync.WaitGroup
+		errs := make([]error, o.Workers)
+		for w := 0; w < o.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				drain := make([]*dpdk.Mbuf, o.Burst)
+				list := lists[w]
+				lo, hi := half*len(list)/halves, (half+1)*len(list)/halves
+				for off := lo; off < hi; off += o.Burst {
+					c := o.Burst
+					if off+c > hi {
+						c = hi - off
+					}
+					for j := 0; j < c; j++ {
+						clock.Advance(1000) // 1 µs between arrivals
+						rxPort.DeliverRxQueue(w, b.Frames[list[off+j]], clock.Now())
+					}
+					if _, err := pipe.PollWorker(w); err != nil {
+						errs[w] = err
+						return
+					}
+					for {
+						k := txPort.DrainTxQueue(w, drain)
+						if k == 0 {
+							break
+						}
+						for i := 0; i < k; i++ {
+							if b.OnDelivered != nil {
+								b.OnDelivered(w, drain[i].Data)
+							}
+							if err := drain[i].Pool().Free(drain[i]); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	start := time.Now()
+	for half := 0; half < halves; half++ {
+		if half == 1 {
+			if err := b.Mid(); err != nil {
+				return err
+			}
+		}
+		if err := driveHalf(half); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	rep := &RunReport{Elapsed: elapsed, Now: clock.Now(), Pipe: pipe.Stats(), Snapshot: b.Snapshot()}
+	if err := b.Report(os.Stdout, rep); err != nil {
+		return err
+	}
+	nf.FprintEngineReport(os.Stdout, rep.Pipe, rep.Snapshot)
+	rs, ts := rxPort.Stats(), txPort.Stats()
+	fmt.Printf("  rx port: rx=%d rx_dropped=%d | tx port: tx=%d tx_dropped=%d\n",
+		rs.RxPackets, rs.RxDropped, ts.TxPackets, ts.TxDropped)
+	if err := nf.MbufAccounting(rxPort.RxQueueLen()+txPort.TxQueueLen(),
+		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
+		return err
+	}
+	fmt.Println("mbuf accounting clean (no leaks)")
+	return nil
+}

@@ -1,0 +1,140 @@
+package nfkit
+
+import (
+	"fmt"
+
+	"vignat/internal/nf"
+)
+
+// Sharded is the derived RSS-style sharded composition: nShards
+// independent cores, each built by the declaration's shard
+// constructor, steered by the declared ShardOf, counted through one
+// nf.CountedShards stats block. It replaces the three near-identical
+// per-NF Sharded implementations (NAT, balancer, policer) with one.
+//
+// Every packet touches exactly one shard, shards share no mutable
+// state, and the pipeline may run them on distinct workers with no
+// synchronization on the fast path — the per-core partitioning a
+// multi-queue DPDK NF gets from NIC RSS, exactly as before the kit;
+// what changed is that the composition is now written once.
+type Sharded[C any] struct {
+	*nf.CountedShards // Shard/Expire/NFStats/StatsSnapshot plumbing
+
+	decl  Decl[C]
+	cores []C
+}
+
+var (
+	_ nf.NF          = (*Sharded[int])(nil)
+	_ nf.Sharder     = (*Sharded[int])(nil)
+	_ nf.ExpiryModer = (*Sharded[int])(nil)
+)
+
+// NewSharded builds the declared NF's nShards-shard composition. With
+// nShards == 1 this is exactly one core behind the nf.NF interface;
+// declarations without a steering function are restricted to that
+// case.
+func NewSharded[C any](d Decl[C], nShards int) (*Sharded[C], error) {
+	if err := d.validate(true); err != nil {
+		return nil, err
+	}
+	if nShards < 1 {
+		return nil, fmt.Errorf("nfkit: %s shard count must be at least 1", d.Name)
+	}
+	if nShards > 1 && d.ShardOf == nil {
+		return nil, fmt.Errorf("nfkit: %s declares no shard steering", d.Name)
+	}
+	if d.Capacity > 0 && d.Capacity/nShards == 0 {
+		return nil, fmt.Errorf("nfkit: %s capacity %d cannot fill %d shards", d.Name, d.Capacity, nShards)
+	}
+	perShard := 0
+	if d.Capacity > 0 {
+		perShard = d.Capacity / nShards
+	}
+	s := &Sharded[C]{decl: d, cores: make([]C, nShards)}
+	shardNFs := make([]nf.NF, nShards)
+	for i := 0; i < nShards; i++ {
+		core, err := d.New(i, nShards, perShard)
+		if err != nil {
+			return nil, fmt.Errorf("nfkit: %s shard %d: %w", d.Name, i, err)
+		}
+		s.cores[i] = core
+		shardNFs[i] = d.Adapt(core)
+	}
+	var err error
+	if s.CountedShards, err = nf.NewCountedShards(shardNFs); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name identifies the sharded NF.
+func (s *Sharded[C]) Name() string {
+	if len(s.cores) == 1 {
+		return s.decl.Name
+	}
+	return fmt.Sprintf("%s×%d", s.decl.Name, len(s.cores))
+}
+
+// Core returns shard i's production core (tests, stats drill-down).
+func (s *Sharded[C]) Core(i int) C { return s.cores[i] }
+
+// Cores returns every shard's core, in shard order. The slice is the
+// composition's own; callers must not mutate it.
+func (s *Sharded[C]) Cores() []C { return s.cores }
+
+// ShardOf steers a frame to the shard owning its flow via the declared
+// steering function, clamping misdeclared results onto shard 0 (the
+// frame will be handled there like on any other shard; the clamp only
+// keeps a misbehaving declaration memory-safe). It is allocation-free
+// and safe for concurrent use whenever the declared function is, which
+// the declaration contract requires.
+func (s *Sharded[C]) ShardOf(frame []byte, fromInternal bool) int {
+	if len(s.cores) == 1 {
+		return 0
+	}
+	shard := s.decl.ShardOf(frame, fromInternal, len(s.cores))
+	if shard < 0 || shard >= len(s.cores) {
+		return 0
+	}
+	return shard
+}
+
+// Process steers one frame to its shard and runs it there.
+func (s *Sharded[C]) Process(frame []byte, fromInternal bool) nf.Verdict {
+	return s.CountedShard(s.ShardOf(frame, fromInternal)).Process(frame, fromInternal)
+}
+
+// ProcessBatch steers and processes a burst, reading the clock once.
+func (s *Sharded[C]) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	now := s.decl.now()
+	for i := range pkts {
+		shard := s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = s.decl.Process(s.cores[shard], pkts[i].Frame, pkts[i].FromInternal, now)
+	}
+	s.SyncAll()
+}
+
+// AggregateStats folds an NF-specific per-core stats snapshot across
+// shards: the helper the per-NF Stats() aggregators share.
+func AggregateStats[C, S any](s *Sharded[C], snap func(C) S, add func(agg *S, one S)) S {
+	var agg S
+	for _, core := range s.cores {
+		add(&agg, snap(core))
+	}
+	return agg
+}
+
+// Broadcast runs a control-plane operation on every shard in shard
+// order, stopping at the first error — the pattern every replicated
+// control operation (backend add/remove, heartbeat) uses. Like all
+// control-path mutations in the repository it must not run
+// concurrently with packet processing.
+func (s *Sharded[C]) Broadcast(op func(shard int, core C) error) error {
+	for i, core := range s.cores {
+		if err := op(i, core); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package nfkit
+
+import (
+	"errors"
+	"fmt"
+
+	"vignat/internal/vigor/sym"
+	"vignat/internal/vigor/symbex"
+	"vignat/internal/vigor/trace"
+)
+
+// SymSpec is an NF's symbolic-verification declaration: the output
+// vocabulary, a Drive function running the NF's stateless logic once
+// against a SymDriver-backed Env, and the per-path semantic check.
+// VerifySym derives the whole proof run from it — exhaustive path
+// enumeration, the single-output (P4) rule over the declared outputs,
+// the P2 discipline violations the driver collected, and the Spec's P1
+// judgment with solver entailment — so a new NF's verification binding
+// is this value, not an engine integration.
+type SymSpec struct {
+	// NF names the proof in reports.
+	NF string
+	// Outputs are the NF's declared output actions; every feasible
+	// path must emit exactly one.
+	Outputs []string
+	// Drive builds the NF's symbolic Env over d and invokes the
+	// stateless logic exactly once.
+	Drive func(d *SymDriver)
+	// Spec checks one feasible path against the NF's semantic
+	// specification (P1), returning an error describing the violation.
+	Spec func(p *SymPath) error
+}
+
+// Report summarizes one NF's verification, in the shape every per-NF
+// report already had.
+type Report struct {
+	NF           string
+	Paths        int
+	Tasks        int
+	P1Failures   []string
+	P2Violations []string
+	P4Violations []string
+}
+
+// OK reports whether the proof is complete.
+func (r *Report) OK() bool {
+	return r.Paths > 0 && len(r.P1Failures) == 0 && len(r.P2Violations) == 0 && len(r.P4Violations) == 0
+}
+
+// Summary renders the report.
+func (r *Report) Summary() string {
+	status := "PROOF COMPLETE"
+	if !r.OK() {
+		status = "PROOF FAILED"
+	}
+	return fmt.Sprintf("%s (%s): %d paths, %d tasks; P1: %d, P2: %d, P4: %d",
+		status, r.NF, r.Paths, r.Tasks, len(r.P1Failures), len(r.P2Violations), len(r.P4Violations))
+}
+
+// SymPath is one feasible execution path as the Spec sees it: the
+// trace, the path's vocabulary (via the driver that produced it), and
+// entailment over the path constraints.
+type SymPath struct {
+	t      *trace.Trace
+	d      *SymDriver
+	out    string
+	solver *sym.Solver
+}
+
+// Output returns the path's single output action.
+func (p *SymPath) Output() string { return p.out }
+
+// Find returns the path's first recorded call with the given name, or
+// nil.
+func (p *SymPath) Find(name string) *trace.Call {
+	for i := range p.t.Seq {
+		if p.t.Seq[i].Kind == trace.CallGeneric && p.t.Seq[i].Name == name {
+			return &p.t.Seq[i]
+		}
+	}
+	return nil
+}
+
+// Ret returns the recorded decision of a named fork point, and whether
+// the path evaluated it at all.
+func (p *SymPath) Ret(name string) (val, evaluated bool) {
+	c := p.Find(name)
+	if c == nil || !c.HasRet {
+		return false, false
+	}
+	return c.Ret, true
+}
+
+// Var returns the path's packet variable with the given name (as named
+// by the Drive function).
+func (p *SymPath) Var(name string) sym.Var { return p.d.vars[name] }
+
+// HVar returns handle h's model variable with the given name.
+func (p *SymPath) HVar(h int, name string) sym.Var { return p.d.handles[h][name] }
+
+// HasHandle reports whether h was minted on this path.
+func (p *SymPath) HasHandle(h int) bool {
+	_, ok := p.d.handles[h]
+	return ok
+}
+
+// EntailsAll reports whether the path constraints entail every wanted
+// atom, returning the first failing atom otherwise.
+func (p *SymPath) EntailsAll(want ...sym.Atom) (bool, sym.Atom) {
+	ok, failing := p.solver.EntailsAll(p.t.Constraints, want)
+	return ok, failing
+}
+
+// VerifySym runs the declared NF logic through the shared symbolic
+// pipeline: exhaustive symbolic execution of Drive, then the lazy
+// checks — single output action per path over the declared vocabulary
+// (P4), the discipline violations the models raised (P2), and the
+// declared per-path semantic specification (P1).
+func VerifySym(s SymSpec) (*Report, error) {
+	if s.Drive == nil || s.Spec == nil {
+		return nil, errors.New("nfkit: symbolic spec needs Drive and Spec")
+	}
+	if len(s.Outputs) == 0 {
+		return nil, errors.New("nfkit: symbolic spec declares no output actions")
+	}
+	res, err := symbex.Explore(func(m *symbex.Machine) {
+		d := newSymDriver(m, s.Outputs)
+		s.Drive(d)
+		m.AttachMeta(d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{NF: s.NF, Paths: len(res.Paths), Tasks: res.TraceCount()}
+	rep.P2Violations = res.Violations
+	outSet := make(map[string]bool, len(s.Outputs))
+	for _, o := range s.Outputs {
+		outSet[o] = true
+	}
+	var solver sym.Solver
+	for i, t := range res.Paths {
+		d, ok := t.Meta.(*SymDriver)
+		if !ok {
+			return nil, fmt.Errorf("nfkit: path %d carries no driver vocabulary", i)
+		}
+		// Output discipline (P4): exactly one declared output action.
+		outs := 0
+		var outName string
+		for j := range t.Seq {
+			c := &t.Seq[j]
+			if c.Kind == trace.CallGeneric && outSet[c.Name] {
+				outs++
+				outName = c.Name
+			}
+		}
+		if outs != 1 {
+			rep.P4Violations = append(rep.P4Violations,
+				fmt.Sprintf("path %d: %d output actions", i, outs))
+			continue
+		}
+		// P1: the NF's semantic decision tree.
+		if err := s.Spec(&SymPath{t: t, d: d, out: outName, solver: &solver}); err != nil {
+			rep.P1Failures = append(rep.P1Failures, fmt.Sprintf("path %d: %v", i, err))
+		}
+	}
+	return rep, nil
+}

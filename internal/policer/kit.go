@@ -1,0 +1,119 @@
+package policer
+
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
+)
+
+// This file is the policer's one nfkit declaration. Sharding a policer
+// is the trivial case of the repository's RSS recipe: the only state
+// key is the client IP, policing is ingress-only (egress traffic is
+// stateless passthrough on any shard), and a client's budget lives
+// wherever its IP hashes — so steering by client IP alone gives
+// lock-free shards with no port-range trick (the NAT) and no tuple
+// reconstruction (the balancer). Ingress steers by destination IP and
+// egress by source IP, so both directions of a subscriber's traffic
+// land on the same shard anyway.
+
+// verdictOf collapses the policer's verdict onto the pipeline pair:
+// both forwarding verdicts mean "out the opposite interface".
+func verdictOf(v Verdict) nf.Verdict {
+	if v == VerdictDrop {
+		return nf.Drop
+	}
+	return nf.Forward
+}
+
+// Kit returns the policer's capability declaration for cfg: capacity
+// subscribers split evenly across shards; rate and burst are
+// per-subscriber, so every shard polices with the full configured
+// budget.
+func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Policer] {
+	return nfkit.Decl[*Policer]{
+		Name:     "vigpol",
+		Clock:    clock,
+		Capacity: cfg.Capacity,
+		New: func(_, _, perShard int) (*Policer, error) {
+			shardCfg := cfg
+			shardCfg.Capacity = perShard
+			return New(shardCfg, clock)
+		},
+		Process: func(p *Policer, frame []byte, fromInternal bool, now libvig.Time) nf.Verdict {
+			return verdictOf(p.ProcessAt(frame, fromInternal, now))
+		},
+		Expire:             (*Policer).ExpireAt,
+		SetPerPacketExpiry: (*Policer).SetPerPacketExpiry,
+		Stats: func(p *Policer) nf.Stats {
+			s := p.Stats()
+			return nf.Stats{
+				Processed: s.Processed,
+				Forwarded: s.Conformed + s.Passthrough,
+				Dropped:   s.Dropped(),
+				Expired:   s.BucketsExpired,
+			}
+		},
+		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
+			var scratch netstack.Packet
+			if err := scratch.Parse(frame); err != nil || !scratch.L3Valid {
+				return 0
+			}
+			addr := scratch.DstIP
+			if fromInternal {
+				addr = scratch.SrcIP
+			}
+			return int(addr.Hash() % uint64(shards))
+		},
+		Sym: symSpec(),
+	}
+}
+
+// AsNF exposes an existing policer as a pipeline network function.
+func AsNF(p *Policer) nf.NF { return Kit(p.cfg, p.clock).Adapt(p) }
+
+// Sharded is the policer's derived sharded composition.
+type Sharded struct {
+	*nfkit.Sharded[*Policer]
+}
+
+// NewSharded builds a policer of nShards shards from cfg, splitting the
+// subscriber capacity evenly (rounded down per shard). With nShards ==
+// 1 this is exactly one Policer behind the nf.NF interface.
+func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ks, err := nfkit.NewSharded(Kit(cfg, clock), nShards)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{Sharded: ks}, nil
+}
+
+// ShardPolicer returns shard i's underlying Policer (tests, stats
+// drill-down).
+func (s *Sharded) ShardPolicer(i int) *Policer { return s.Core(i) }
+
+// Subscribers returns the number of tracked subscribers across shards.
+func (s *Sharded) Subscribers() int {
+	total := 0
+	for _, p := range s.Cores() {
+		total += p.Subscribers()
+	}
+	return total
+}
+
+// Stats aggregates the shards' policer-level counters.
+func (s *Sharded) Stats() Stats {
+	return nfkit.AggregateStats(s.Sharded, (*Policer).Stats, func(agg *Stats, st Stats) {
+		agg.Processed += st.Processed
+		agg.Passthrough += st.Passthrough
+		agg.Conformed += st.Conformed
+		agg.DroppedOverRate += st.DroppedOverRate
+		agg.DroppedTableFull += st.DroppedTableFull
+		agg.DroppedMalformed += st.DroppedMalformed
+		agg.BucketsCreated += st.BucketsCreated
+		agg.BucketsExpired += st.BucketsExpired
+	})
+}

@@ -1,0 +1,177 @@
+package policer
+
+import (
+	"fmt"
+
+	"vignat/internal/nf/nfkit"
+	"vignat/internal/vigor/sym"
+)
+
+// This file is the policer's symbolic declaration for the kit's
+// derived verification — the §7 amortization, fourth NF on the shared
+// toolchain, now with the engine binding itself amortized: the Env
+// glue below names the subscriber-table and token-bucket models and
+// their P2/P4 preconditions; enumeration, discipline, and entailment
+// come from nfkit.VerifySym.
+
+// polSym drives ProcessPacket under the engine via the kit driver.
+type polSym struct{ d *nfkit.SymDriver }
+
+var _ Env = polSym{}
+
+func (e polSym) FrameIntact() bool { return e.d.Guard("frame_intact") }
+func (e polSym) EtherIsIPv4() bool { return e.d.Guard("ether_is_ipv4") }
+func (e polSym) IPv4HeaderValid() bool {
+	return e.d.GuardFlag("ipv4_header_valid", "l3")
+}
+
+func (e polSym) PacketFromInternal() bool {
+	d := e.d.GuardFlag("packet_from_internal", "from_internal")
+	e.d.Set("iface_known", true)
+	e.d.Set("ingress", !d)
+	return d
+}
+
+func (e polSym) ExpireState() { e.d.Note("expire_subscribers") }
+
+// mintBucket mints a bucket handle bound to the packet's destination —
+// the subscriber the packet is headed for (the map/bucket contract).
+func (e polSym) mintBucket() BucketHandle {
+	h := e.d.Mint("bucket_client_ip")
+	e.d.Bind(h, sym.EqVV(e.d.HVar(h, "bucket_client_ip"), e.d.Var("pkt_dst_ip")))
+	return BucketHandle(h)
+}
+
+func (e polSym) LookupBucket() (BucketHandle, bool) {
+	e.d.Require(e.d.Flag("l3"), "P2: subscriber key from unvalidated IPv4 header")
+	e.d.Require(e.d.Flag("iface_known") && e.d.Flag("ingress"),
+		"P4: bucket lookup for a non-ingress packet")
+	if !e.d.Decide("map_get_by_client_ip") {
+		e.d.Set("missed", true)
+		return 0, false
+	}
+	return e.mintBucket(), true
+}
+
+func (e polSym) CreateBucket() (BucketHandle, bool) {
+	e.d.Require(e.d.Flag("missed"), "P4: bucket creation without a preceding lookup miss")
+	if !e.d.Decide("bucket_create") {
+		return 0, false
+	}
+	return e.mintBucket(), true
+}
+
+func (e polSym) Rejuvenate(h BucketHandle) {
+	e.d.Require(e.d.Valid(int(h)), "P2: rejuvenate on invalid bucket handle %d", h)
+	e.d.NoteOn("dchain_rejuvenate", int(h))
+}
+
+func (e polSym) Charge(h BucketHandle) bool {
+	e.d.Require(e.d.Valid(int(h)), "P2: charge on invalid bucket handle %d", h)
+	e.d.Require(!e.d.Flag("charged"), "P4: a packet charged more than once")
+	e.d.Set("charged", true)
+	return e.d.Decide("bucket_charge")
+}
+
+func (e polSym) Forward()     { e.d.Output("conform_forward") }
+func (e polSym) Passthrough() { e.d.Output("passthrough") }
+func (e polSym) Drop()        { e.d.Output("drop") }
+
+// symSpec is the policer's symbolic-verification declaration.
+func symSpec() *nfkit.SymSpec {
+	return symSpecFor(ProcessPacket)
+}
+
+func symSpecFor(logic func(Env)) *nfkit.SymSpec {
+	return &nfkit.SymSpec{
+		NF:      "vigpol",
+		Outputs: []string{"conform_forward", "passthrough", "drop"},
+		Drive:   func(d *nfkit.SymDriver) { logic(polSym{d}) },
+		Spec:    checkSpec,
+	}
+}
+
+// Verify runs the derived pipeline on the policer's stateless logic
+// and checks its semantic specification on every path:
+//
+//   - a non-IPv4 packet is dropped;
+//   - an internal-side (egress) packet passes through, untouched by any
+//     bucket operation;
+//   - an ingress packet is forwarded iff its subscriber's bucket was
+//     found-or-created AND the charge conformed; dropped exactly when
+//     the table is full or the bucket is empty;
+//   - a forwarded ingress packet's bucket really is its destination's
+//     (entailment over the path constraints);
+//   - every packet charges at most one bucket, at most once.
+func Verify() (*nfkit.Report, error) {
+	return verifyLogic(ProcessPacket)
+}
+
+// verifyLogic runs the pipeline over any policer-shaped stateless
+// logic; tests use it to demonstrate that buggy variants fail.
+func verifyLogic(logic func(Env)) (*nfkit.Report, error) {
+	return nfkit.VerifySym(*symSpecFor(logic))
+}
+
+// checkSpec is the policer's rate-enforcement specification, trace form.
+func checkSpec(p *nfkit.SymPath) error {
+	out := p.Output()
+	// Non-IPv4 → drop.
+	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid"} {
+		val, evaluated := p.Ret(g)
+		if !evaluated || !val {
+			if out != "drop" {
+				return fmt.Errorf("non-IPv4 packet must drop, path does %s", out)
+			}
+			return nil
+		}
+	}
+	fromInternal, ok := p.Ret("packet_from_internal")
+	if !ok {
+		return fmt.Errorf("interface never determined")
+	}
+	if fromInternal {
+		if out != "passthrough" {
+			return fmt.Errorf("egress packet must pass through, does %s", out)
+		}
+		if p.Find("map_get_by_client_ip") != nil || p.Find("bucket_charge") != nil {
+			return fmt.Errorf("egress packet touched subscriber state")
+		}
+		return nil
+	}
+	hit, _ := p.Ret("map_get_by_client_ip")
+	created, createdAsked := p.Ret("bucket_create")
+	if !hit && !(createdAsked && created) {
+		if out != "drop" {
+			return fmt.Errorf("untracked subscriber at full table must drop, does %s", out)
+		}
+		return nil
+	}
+	conformed, chargedAsked := p.Ret("bucket_charge")
+	if !chargedAsked {
+		return fmt.Errorf("ingress packet with a bucket was never charged")
+	}
+	if !conformed {
+		if out != "drop" {
+			return fmt.Errorf("over-rate packet must drop, does %s", out)
+		}
+		return nil
+	}
+	if out != "conform_forward" {
+		return fmt.Errorf("conforming packet must forward, does %s", out)
+	}
+	// The charged bucket must really be the destination subscriber's
+	// (entailed by the model/contract atoms on the path).
+	bind := p.Find("map_get_by_client_ip")
+	if !hit {
+		bind = p.Find("bucket_create")
+	}
+	if !p.HasHandle(bind.Handle) {
+		return fmt.Errorf("forwarding via unknown bucket handle %d", bind.Handle)
+	}
+	want := sym.EqVV(p.HVar(bind.Handle, "bucket_client_ip"), p.Var("pkt_dst_ip"))
+	if ok, failing := p.EntailsAll(want); !ok {
+		return fmt.Errorf("bucket binding not entailed: %v", failing)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+// Chain-wide amortized-expiry equivalence: with the firewall and the
+// balancer now switchable through the kit's uniform ExpiryModer, the
+// full firewall→policer→LB→NAT home-gateway chain can amortize end to
+// end — the engine expires the whole chain once per poll and every
+// element's Fig. 6 in-line sweep is off. This test pins the roadmap's
+// "extend the switch" item the way the NAT-only test pins the single
+// NF: the same randomized gateway trace through a per-packet-mode and
+// an amortized-mode chain under lock-step virtual clocks must produce
+// bit-identical outputs (port and full frame bytes, so every NAT and
+// VIP rewrite is compared too), identical final state in all four
+// NFs, and identical counters.
+package spec_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/firewall"
+	"vignat/internal/flow"
+	"vignat/internal/lb"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/policer"
+)
+
+const (
+	chainCap     = 64
+	chainTimeout = 300 * time.Millisecond
+	chainDNSPort = 53
+	// Tight per-host budget: the scripted replies overrun it, so the
+	// over-rate clips are part of the compared behavior.
+	chainPolRate  = 2000 // bytes/second
+	chainPolBurst = 1600 // bytes
+)
+
+var chainVIP = flow.MakeAddr(10, 53, 53, 53)
+
+// chainRig is one expiry mode's complete gateway stand.
+type chainRig struct {
+	clock   *libvig.VirtualClock
+	fw      *firewall.Firewall
+	pol     *policer.Policer
+	lb      *lb.Balancer
+	nat     *nat.NAT
+	pipe    *nf.Pipeline
+	intPort *dpdk.Port
+	extPort *dpdk.Port
+	pool    *dpdk.Mempool
+}
+
+func buildChainRig(t *testing.T, amortized bool) *chainRig {
+	t.Helper()
+	clock := libvig.NewVirtualClock(0)
+	natCfg := nat.Config{
+		Capacity: chainCap, Timeout: chainTimeout, ExternalIP: extIP,
+		PortBase: confPortBase, InternalPort: 0, ExternalPort: 1,
+	}
+	gwNAT, err := nat.New(natCfg, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := firewall.New(chainCap, chainTimeout, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := policer.New(policer.Config{
+		Rate: chainPolRate, Burst: chainPolBurst, Capacity: chainCap, Timeout: chainTimeout,
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLB, err := lb.New(lb.Config{
+		VIP:             chainVIP,
+		VIPPort:         chainDNSPort,
+		Capacity:        chainCap,
+		Timeout:         chainTimeout,
+		MaxBackends:     4,
+		ClientsInternal: true, // home hosts are the clients
+		Passthrough:     true, // the rest of the gateway's traffic is not ours
+	}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := gwLB.AddBackend(flow.MakeAddr(9, 9, 9, byte(9+i)), clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain, err := nf.NewChain("homegw",
+		firewall.AsNF(fw), policer.AsNF(pol), lb.AsNF(gwLB), nat.AsNF(gwNAT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := dpdk.NewMempool(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := nf.NewPipeline(chain, nf.Config{
+		Internal:        intPort,
+		External:        extPort,
+		Clock:           clock,
+		AmortizedExpiry: amortized,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &chainRig{
+		clock: clock, fw: fw, pol: pol, lb: gwLB, nat: gwNAT,
+		pipe: pipe, intPort: intPort, extPort: extPort, pool: pool,
+	}
+}
+
+// chainObserved is one output, keyed by its sequence tag: which side it
+// left on and its exact bytes (every rewrite included).
+type chainObserved struct {
+	toExternal bool
+	frame      string
+}
+
+func (r *chainRig) pollAndDrain(t *testing.T, drain []*dpdk.Mbuf) map[uint32]chainObserved {
+	t.Helper()
+	if _, err := r.pipe.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	out := map[uint32]chainObserved{}
+	for _, port := range []*dpdk.Port{r.intPort, r.extPort} {
+		for {
+			k := port.DrainTx(drain)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				out[lbReadSeq(t, drain[i].Data)] = chainObserved{
+					toExternal: port == r.extPort,
+					frame:      string(drain[i].Data),
+				}
+				if err := drain[i].Pool().Free(drain[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestAmortizedExpiryOracleEquivalenceChain(t *testing.T) {
+	perPacket := buildChainRig(t, false)
+	amortized := buildChainRig(t, true)
+	rigs := []*chainRig{perPacket, amortized}
+
+	const nHosts = 8
+	type flowKey struct {
+		host int
+		dns  bool
+	}
+	// lastExt[k] is flow k's translated tuple as last observed leaving
+	// the per-packet rig (the rigs must agree on it — checked every
+	// poll — so replies crafted against it are valid on both).
+	lastExt := map[flowKey]flow.ID{}
+
+	outboundID := func(h int, dns bool) flow.ID {
+		if dns {
+			return flow.ID{
+				SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+h)),
+				SrcPort: uint16(30000 + h),
+				DstIP:   chainVIP,
+				DstPort: chainDNSPort,
+				Proto:   flow.UDP,
+			}
+		}
+		proto := flow.UDP
+		if h%2 == 0 {
+			proto = flow.TCP
+		}
+		return flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+h)),
+			SrcPort: uint16(20000 + h),
+			DstIP:   flow.MakeAddr(93, 184, 216, byte(1+h%3)),
+			DstPort: 80,
+			Proto:   proto,
+		}
+	}
+
+	rng := rand.New(rand.NewSource(131))
+	buf := make([]byte, 2048)
+	drain := make([]*dpdk.Mbuf, 64)
+	var seq uint32
+	var payload [4]byte
+	total := 0
+
+	for iter := 0; iter < 1200; iter++ {
+		if rng.Intn(29) == 0 {
+			// Expiry churn: a quiet spell past Texp ages every NF's
+			// state out — flows, sessions, sticky entries, buckets.
+			for _, r := range rigs {
+				r.clock.Advance(libvig.Time(2 * chainTimeout.Nanoseconds()))
+			}
+		} else {
+			d := libvig.Time(rng.Intn(int(chainTimeout.Nanoseconds() / 6)))
+			for _, r := range rigs {
+				r.clock.Advance(d)
+			}
+		}
+		if perPacket.clock.Now() != amortized.clock.Now() {
+			t.Fatal("virtual clocks diverged")
+		}
+
+		type delivery struct {
+			key          flowKey
+			outbound     bool
+			fromInternal bool
+			seq          uint32
+		}
+		var deliveries []delivery
+		usedHost := map[int]bool{}
+		burst := 1 + rng.Intn(6)
+		if iter%89 == 88 {
+			burst = 0 // idle poll: only the expiry sweeps run
+		}
+		for p := 0; p < burst; p++ {
+			h := rng.Intn(nHosts)
+			if usedHost[h] {
+				continue
+			}
+			usedHost[h] = true
+			seq++
+			k := flowKey{host: h, dns: rng.Intn(3) == 0}
+			d := delivery{key: k, seq: seq}
+			var id flow.ID
+			payloadLen := 4
+			switch rng.Intn(8) {
+			case 0, 1, 2: // outbound
+				id, d.outbound, d.fromInternal = outboundID(h, k.dns), true, true
+			case 3, 4, 5: // download reply against the last observed translation
+				ext, ok := lastExt[k]
+				if !ok {
+					id, d.outbound, d.fromInternal = outboundID(h, k.dns), true, true
+					break
+				}
+				id = ext.Reverse()
+				// Fat replies make the policer's budget bite: the
+				// over-rate clips must land identically in both modes.
+				payloadLen = 4 + rng.Intn(1400)
+			case 6: // unsolicited external junk (dropped by the NAT)
+				id = flow.ID{
+					SrcIP:   flow.MakeAddr(203, 0, 113, byte(rng.Intn(250))),
+					SrcPort: uint16(1024 + rng.Intn(60000)),
+					DstIP:   extIP,
+					DstPort: uint16(confPortBase + rng.Intn(chainCap+10)),
+					Proto:   flow.UDP,
+				}
+			case 7: // non-NATable outbound (dropped by the firewall)
+				id, d.fromInternal = outboundID(h, false), true
+				id.Proto = flow.ICMP
+			}
+			binary.BigEndian.PutUint32(payload[:], d.seq)
+			s := &netstack.FrameSpec{ID: id, PayloadLen: payloadLen, Payload: payload[:]}
+			frame := netstack.Craft(buf[:netstack.FrameLen(s)], s)
+			for _, r := range rigs {
+				port := r.intPort
+				if !d.fromInternal {
+					port = r.extPort
+				}
+				if !port.DeliverRx(frame, r.clock.Now()) {
+					t.Fatal("RX queue rejected a frame")
+				}
+			}
+			deliveries = append(deliveries, d)
+			total++
+		}
+
+		outPP := perPacket.pollAndDrain(t, drain)
+		outAM := amortized.pollAndDrain(t, drain)
+
+		// The tentpole assertion: the two modes' observable behavior is
+		// identical, packet for packet, byte for byte.
+		if len(outPP) != len(outAM) {
+			t.Fatalf("iter %d: per-packet forwarded %d, amortized %d", iter, len(outPP), len(outAM))
+		}
+		for s, o := range outPP {
+			oam, ok := outAM[s]
+			if !ok {
+				t.Fatalf("iter %d seq %d: forwarded per-packet, dropped amortized", iter, s)
+			}
+			if o.toExternal != oam.toExternal || !bytes.Equal([]byte(o.frame), []byte(oam.frame)) {
+				t.Fatalf("iter %d seq %d: outputs diverged\nper-packet ext=%v % x\namortized  ext=%v % x",
+					iter, s, o.toExternal, o.frame, oam.toExternal, oam.frame)
+			}
+		}
+
+		// Track translations for crafting replies.
+		for _, d := range deliveries {
+			if !d.outbound {
+				continue
+			}
+			if o, ok := outPP[d.seq]; ok && o.toExternal {
+				var p netstack.Packet
+				if err := p.Parse([]byte(o.frame)); err != nil {
+					t.Fatal(err)
+				}
+				lastExt[d.key] = p.FlowID()
+			}
+		}
+	}
+
+	if total < 3000 {
+		t.Fatalf("only %d packets driven", total)
+	}
+	// Final state and counters agree across modes, NF by NF.
+	if a, b := perPacket.nat.Table().Size(), amortized.nat.Table().Size(); a != b {
+		t.Fatalf("live NAT flows diverged: %d vs %d", a, b)
+	}
+	if a, b := perPacket.fw.Sessions(), amortized.fw.Sessions(); a != b {
+		t.Fatalf("live firewall sessions diverged: %d vs %d", a, b)
+	}
+	if a, b := perPacket.lb.Flows(), amortized.lb.Flows(); a != b {
+		t.Fatalf("live sticky entries diverged: %d vs %d", a, b)
+	}
+	if a, b := perPacket.pol.Subscribers(), amortized.pol.Subscribers(); a != b {
+		t.Fatalf("tracked subscribers diverged: %d vs %d", a, b)
+	}
+	if a, b := perPacket.nat.Stats(), amortized.nat.Stats(); a != b {
+		t.Fatalf("NAT counters diverged:\nper-packet %+v\namortized  %+v", a, b)
+	}
+	if a, b := perPacket.pol.Stats(), amortized.pol.Stats(); a != b {
+		t.Fatalf("policer counters diverged:\nper-packet %+v\namortized  %+v", a, b)
+	}
+	if a, b := perPacket.lb.Stats(), amortized.lb.Stats(); a != b {
+		t.Fatalf("LB counters diverged:\nper-packet %+v\namortized  %+v", a, b)
+	}
+	ppProc, ppDrop := perPacket.fw.Stats()
+	amProc, amDrop := amortized.fw.Stats()
+	if ppProc != amProc || ppDrop != amDrop {
+		t.Fatalf("firewall counters diverged: %d/%d vs %d/%d", ppProc, ppDrop, amProc, amDrop)
+	}
+	if a, b := perPacket.fw.Expired(), amortized.fw.Expired(); a != b {
+		t.Fatalf("firewall expiry diverged: %d vs %d", a, b)
+	}
+	// The churn must actually have exercised every NF's expiry —
+	// including the firewall's, whose amortized switch is the new part.
+	natStats, polStats, lbStats := perPacket.nat.Stats(), perPacket.pol.Stats(), perPacket.lb.Stats()
+	if natStats.FlowsExpired == 0 || polStats.BucketsExpired == 0 || lbStats.FlowsExpired == 0 ||
+		perPacket.fw.Expired() == 0 {
+		t.Fatalf("churn too weak: nat expired %d, pol expired %d, lb expired %d, fw expired %d",
+			natStats.FlowsExpired, polStats.BucketsExpired, lbStats.FlowsExpired, perPacket.fw.Expired())
+	}
+	if polStats.DroppedOverRate == 0 {
+		t.Fatalf("policer never clipped; fatten the replies")
+	}
+	for _, r := range rigs {
+		if r.pool.InUse() != 0 {
+			t.Fatalf("mbuf leak: %d in use", r.pool.InUse())
+		}
+	}
+	t.Logf("chain equivalence: %d packets; nat %+v; pol %+v", total, natStats, polStats)
+}
