@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|policer|ablation|all] [-scale F]
+//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|policer|fastpath|ablation|all] [-scale F]
 //
 // -scale shrinks experiment durations (1.0 = full paper-shaped run,
 // 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, policer, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json",
 		"where the pipeline experiment writes its machine-readable results (empty disables)")
@@ -29,13 +29,17 @@ func main() {
 		"where the lb experiment writes its machine-readable results (empty disables)")
 	policerOut := flag.String("policer-out", "BENCH_policer.json",
 		"where the policer experiment writes its machine-readable results (empty disables)")
+	fastpathOut := flag.String("fastpath-out", "BENCH_fastpath.json",
+		"where the fastpath experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
+	ran := 0
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
 			return
 		}
+		ran++
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "vigbench %s: %v\n", name, err)
@@ -148,6 +152,22 @@ func main() {
 		return nil
 	})
 
+	run("fastpath", func() error {
+		fmt.Println("=== Established-flow fast path: ns/pkt vs established-traffic share ===")
+		rows, err := experiments.FastPathSweep(experiments.FastPathConfig{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFastpath(rows))
+		if *fastpathOut != "" {
+			if err := experiments.WriteFastpathJSON(*fastpathOut, rows); err != nil {
+				return err
+			}
+			fmt.Printf("(results written to %s)\n", *fastpathOut)
+		}
+		return nil
+	})
+
 	run("ablation", func() error {
 		fmt.Println("=== Flow-table ablation: open addressing (verified) vs chaining (unverified) ===")
 		rows, err := experiments.RunAblation([]float64{0.25, 0.5, 0.75, 0.92, 0.99}, 0)
@@ -157,4 +177,12 @@ func main() {
 		fmt.Print(experiments.FormatAblation(rows))
 		return nil
 	})
+
+	// A -fig value that matched no experiment is a user error, not a
+	// silent no-op: name the figure and list the valid ones.
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "vigbench: unknown figure %q (valid: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, ablation, all)\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
 }

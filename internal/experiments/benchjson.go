@@ -25,14 +25,18 @@ type PipelineBench struct {
 // WritePipelineJSON writes rows (plus host metadata) to path as
 // indented JSON.
 func WritePipelineJSON(path string, rows []PipelineRow) error {
-	rec := PipelineBench{
+	return writeBenchJSON(path, PipelineBench{
 		Experiment:  "pipeline-scaling",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
 		Rows:        rows,
-	}
+	})
+}
+
+// writeBenchJSON marshals one bench record to path as indented JSON.
+func writeBenchJSON(path string, rec any) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,357 @@
+// Package fastpath is the established-flow pre-classification cache:
+// a per-worker, fixed-size, open-addressed exact-match table keyed by
+// the 5-tuple plus arrival side, whose entries carry a pre-resolved
+// outcome — the NF-opaque state handle to touch and a header-rewrite
+// template with RFC 1624 incremental-checksum deltas — so steady-state
+// packets of established flows skip parse dispatch, the NF's
+// ProcessPacket walk, and the libVig map lookups entirely. It is the
+// software analogue of an rte_flow/flow-director exact-match stage in
+// front of the NF (the ROADMAP's "flow-table fast path" item).
+//
+// Correctness rests on three properties, each pinned by tests:
+//
+//   - Extract accepts exactly the frames netstack.Packet.Parse reports
+//     NATable (well-formed unfragmented IPv4 carrying TCP/UDP); every
+//     other frame misses and takes the slow path, so the cache never
+//     widens the set of packets an NF acts on.
+//   - A Template applied to a frame produces bit-identical bytes to
+//     the netstack setter sequence the NF's emit would have run,
+//     including the per-setter UDP zero-checksum skip (deltas are
+//     value-based: the matched key IS the set of old field values).
+//   - Entries are invalidated in O(1) by generation Guards: every
+//     state erasure bumps the slot's generation, a stale entry fails
+//     its liveness check at hit time, and the packet falls back to the
+//     slow path — safety never depends on eager cache teardown.
+package fastpath
+
+import (
+	"encoding/binary"
+
+	"vignat/internal/flow"
+)
+
+// Key identifies one cache entry: the 5-tuple and the side the packet
+// arrives on. Direction is part of the key because NF verdicts are
+// directional (the same tuple spoofed onto the other port must not hit
+// an entry installed for the legitimate direction).
+type Key struct {
+	ID           flow.ID
+	FromInternal bool
+}
+
+// pack flattens the key into two words: the whole 5-tuple plus the
+// direction bit, injectively (14 significant bytes into 16). The
+// packed form is what Entry stores — equality is two register
+// compares instead of a 20-byte struct walk — and what Hash mixes.
+func (k Key) pack() (lo, hi uint64) {
+	lo = uint64(k.ID.SrcIP)<<32 | uint64(k.ID.DstIP)
+	hi = uint64(k.ID.SrcPort)<<24 | uint64(k.ID.DstPort)<<8 | uint64(k.ID.Proto)
+	if k.FromInternal {
+		hi |= dirBit
+	}
+	return lo, hi
+}
+
+// dirBit is where the arrival side lives in the packed key's high
+// word — above the 40 bits the tuple fields occupy.
+const dirBit = 1 << 40
+
+// HashWords mixes a packed key (Key.pack / Meta.Words) into a 64-bit
+// hash. This runs once per packet on the hot path, so it is two
+// multiply rounds, not splitmix64's four: every consumer bit range —
+// the table index at the bottom, the doorkeeper slots at 20 and 36,
+// the tags at 48 and 56 — sits behind at least one multiply and one
+// fold, which is plenty for a cache whose misses are merely slow-path
+// packets (the observed-hit-rate column of the fastpath sweep keeps
+// this honest end to end).
+func HashWords(lo, hi uint64) uint64 {
+	x := lo ^ hi*0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	x ^= x >> 29
+	return x
+}
+
+// Hash returns a well-mixed 64-bit hash of the key. Equal keys hash
+// equal; the two directions of one tuple hash independently.
+func (k Key) Hash() uint64 {
+	lo, hi := k.pack()
+	return HashWords(lo, hi)
+}
+
+// Meta is the result of Extract: the frame's 5-tuple — held in the
+// cache's packed two-word form, built straight from the wire bytes so
+// the hot path never materializes (and re-flattens) a flow.ID struct —
+// and the L4 header offset (templates need it — IHL varies per packet,
+// so port and checksum offsets come from the packet, never from the
+// entry). H memoizes the packet's Key hash once a consumer computes it
+// (0 = not yet computed; a true zero hash is merely recomputed), so
+// the lookup and the post-processing offer share one hashing pass.
+type Meta struct {
+	K0, K1 uint64 // packed tuple, direction bit unset (Key.pack without direction)
+	L4Off  int
+	OK     bool
+	H      uint64
+}
+
+// Words returns the packed-key words for a packet of this tuple
+// arriving on the given side — what FindWords and HashWords consume.
+func (m Meta) Words(fromInternal bool) (lo, hi uint64) {
+	lo, hi = m.K0, m.K1
+	if fromInternal {
+		hi |= dirBit
+	}
+	return lo, hi
+}
+
+// FlowID unflattens the tuple for the cold paths that want fields —
+// the install-time offer and template construction.
+func (m Meta) FlowID() flow.ID {
+	return flow.ID{
+		SrcIP:   flow.Addr(m.K0 >> 32),
+		DstIP:   flow.Addr(m.K0),
+		SrcPort: uint16(m.K1 >> 24),
+		DstPort: uint16(m.K1 >> 8),
+		Proto:   flow.Protocol(m.K1),
+	}
+}
+
+// Frame offsets shared with netstack (Ethernet + fixed IPv4 fields).
+const (
+	offEtherType = 12
+	offIP        = 14
+	offIPCsum    = 14 + 10
+	offSrcIP     = 14 + 12
+	offDstIP     = 14 + 16
+)
+
+// Extract decodes the frame just far enough to key the cache. It
+// accepts exactly the frames netstack.Packet.Parse reports NATable —
+// well-formed, unfragmented IPv4 carrying a complete TCP or UDP header
+// — and reports !OK for everything else (those packets always take the
+// slow path, which is always safe). The validity checks mirror Parse
+// line for line; TestExtractMatchesParse pins the equivalence.
+func Extract(frame []byte) Meta {
+	if len(frame) < offIP+20 {
+		return Meta{}
+	}
+	if binary.BigEndian.Uint16(frame[offEtherType:offEtherType+2]) != 0x0800 {
+		return Meta{}
+	}
+	ip := frame[offIP:]
+	if ip[0]>>4 != 4 {
+		return Meta{}
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < 20 {
+		return Meta{}
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < ihl || totalLen > len(ip) {
+		return Meta{}
+	}
+	if binary.BigEndian.Uint16(ip[6:8])&0x3fff != 0 { // MF bit + offset
+		return Meta{}
+	}
+	proto := flow.Protocol(ip[9])
+	l4off := offIP + ihl
+	l4 := frame[l4off:]
+	switch proto {
+	case flow.TCP:
+		if len(l4) < 20 {
+			return Meta{}
+		}
+	case flow.UDP:
+		if len(l4) < 8 {
+			return Meta{}
+		}
+	default:
+		return Meta{}
+	}
+	return Meta{
+		K0: uint64(binary.BigEndian.Uint32(ip[12:16]))<<32 |
+			uint64(binary.BigEndian.Uint32(ip[16:20])),
+		K1: uint64(binary.BigEndian.Uint16(l4[0:2]))<<24 |
+			uint64(binary.BigEndian.Uint16(l4[2:4]))<<8 |
+			uint64(proto),
+		L4Off: l4off,
+		OK:    true,
+	}
+}
+
+// delta16 returns the RFC 1624 one's-complement delta for replacing
+// 16-bit field old by new: the ~m + m' terms, unfolded.
+func delta16(old, new uint16) uint32 {
+	return uint32(^old) + uint32(new)
+}
+
+// delta32 returns the delta for replacing a 32-bit field (both 16-bit
+// halves contribute, matching netstack's checksumUpdate32).
+func delta32(old, new uint32) uint32 {
+	return delta16(uint16(old>>16), uint16(new>>16)) + delta16(uint16(old), uint16(new))
+}
+
+// fold reduces a delta to 16 bits. One's-complement addition is
+// associative under folding — fold(a + fold(b)) == fold(a + b) — so a
+// pre-folded delta applied by ApplyDelta gives bit-identical checksums
+// to the unfolded uint32 it came from, and Template can store deltas
+// in half the space.
+func fold(d uint32) uint16 {
+	for d > 0xffff {
+		d = (d >> 16) + (d & 0xffff)
+	}
+	return uint16(d)
+}
+
+// ApplyDelta folds delta d into checksum c: ~fold(~c + d). Because
+// fold(fold(a)+b) == fold(a+b), applying one merged delta equals
+// applying its components sequentially through checksumUpdate16 — as
+// long as no skip condition is evaluated between the components, which
+// is why Template keeps one delta per netstack setter call rather than
+// one for the whole rewrite.
+func ApplyDelta(c uint16, d uint32) uint16 {
+	sum := uint32(^c) + d
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// Template field bits, in the canonical apply order. Every emit path
+// in the repository calls the netstack setters in this relative order
+// (IPs before ports; the NAT rewrites src-side fields outbound and
+// dst-side fields inbound, the balancer rewrites one IP), so replaying
+// active steps in canonical order reproduces the slow path's exact
+// checksum evolution.
+const (
+	fSrcIP = 1 << iota
+	fDstIP
+	fSrcPort
+	fDstPort
+
+	// fUDP marks the L4 checksum as UDP's (zero-sentinel semantics);
+	// it lives in the same byte as the field bits to keep the template
+	// — and with it the whole cache entry — inside one cache line.
+	fUDP = 1 << 7
+
+	fieldMask = fSrcIP | fDstIP | fSrcPort | fDstPort
+)
+
+// Template is a pre-resolved header rewrite: the new field values and
+// the incremental checksum deltas of the corresponding netstack setter
+// calls. Deltas are value-based — they depend only on the old and new
+// field values, and a cache hit guarantees the old values (they are
+// the key) — so one template serves every packet of the flow,
+// whatever its length, TTL, or payload.
+//
+// The L4 checksum keeps one delta per setter step rather than a single
+// merged delta: netstack's setters re-check the UDP zero-checksum
+// ("no checksum") sentinel before each update, and an intermediate
+// result can itself be 0x0000, so merging across steps could diverge
+// from the slow path on one frame in 2^16. The IP header checksum has
+// no skip sentinel, so its steps merge into one delta.
+// The layout is deliberately compact — 24 bytes, deltas pre-folded to
+// 16 bits (see fold) and the UDP flag packed into the field byte — so
+// the owning Entry fits one 64-byte cache line and a hit touches one
+// entry line, not two.
+type Template struct {
+	srcIP   uint32
+	dstIP   uint32
+	srcPort uint16
+	dstPort uint16
+	ipDelta uint16
+	l4Delta [4]uint16 // indexed by canonical step: srcIP, dstIP, srcPort, dstPort
+	fields  uint8
+}
+
+// Identity reports whether the template rewrites nothing (passthrough
+// NFs and coincidentally equal fields — netstack setters skip those
+// too).
+func (t *Template) Identity() bool { return t.fields&fieldMask == 0 }
+
+// MakeTemplate diffs the pre-processing tuple in m against the
+// post-processing (possibly rewritten) frame and returns the template
+// that replays the rewrite. The NF must have rewritten only 5-tuple
+// fields via the netstack setters (the repository's emit discipline).
+func MakeTemplate(m Meta, post []byte) Template {
+	id := m.FlowID()
+	var t Template
+	if id.Proto == flow.UDP {
+		t.fields = fUDP
+	}
+	t.srcIP = binary.BigEndian.Uint32(post[offSrcIP : offSrcIP+4])
+	t.dstIP = binary.BigEndian.Uint32(post[offDstIP : offDstIP+4])
+	t.srcPort = binary.BigEndian.Uint16(post[m.L4Off : m.L4Off+2])
+	t.dstPort = binary.BigEndian.Uint16(post[m.L4Off+2 : m.L4Off+4])
+	var ipDelta uint32
+	if old := uint32(id.SrcIP); old != t.srcIP {
+		t.fields |= fSrcIP
+		ipDelta += delta32(old, t.srcIP)
+		t.l4Delta[0] = fold(delta32(old, t.srcIP))
+	}
+	if old := uint32(id.DstIP); old != t.dstIP {
+		t.fields |= fDstIP
+		ipDelta += delta32(old, t.dstIP)
+		t.l4Delta[1] = fold(delta32(old, t.dstIP))
+	}
+	if old := id.SrcPort; old != t.srcPort {
+		t.fields |= fSrcPort
+		t.l4Delta[2] = fold(delta16(old, t.srcPort))
+	}
+	if old := id.DstPort; old != t.dstPort {
+		t.fields |= fDstPort
+		t.l4Delta[3] = fold(delta16(old, t.dstPort))
+	}
+	t.ipDelta = fold(ipDelta)
+	return t
+}
+
+// Apply replays the rewrite on a frame whose pre-state matches the
+// entry's key (guaranteed by the cache hit); m supplies the frame's
+// own L4 offset. The result is bit-identical to the slow path's
+// netstack setter sequence.
+func (t *Template) Apply(frame []byte, m Meta) {
+	fields := t.fields & fieldMask
+	if fields == 0 {
+		return
+	}
+	if fields&fSrcIP != 0 {
+		binary.BigEndian.PutUint32(frame[offSrcIP:offSrcIP+4], t.srcIP)
+	}
+	if fields&fDstIP != 0 {
+		binary.BigEndian.PutUint32(frame[offDstIP:offDstIP+4], t.dstIP)
+	}
+	if fields&fSrcPort != 0 {
+		binary.BigEndian.PutUint16(frame[m.L4Off:m.L4Off+2], t.srcPort)
+	}
+	if fields&fDstPort != 0 {
+		binary.BigEndian.PutUint16(frame[m.L4Off+2:m.L4Off+4], t.dstPort)
+	}
+	if fields&(fSrcIP|fDstIP) != 0 {
+		c := binary.BigEndian.Uint16(frame[offIPCsum : offIPCsum+2])
+		binary.BigEndian.PutUint16(frame[offIPCsum:offIPCsum+2], ApplyDelta(c, uint32(t.ipDelta)))
+	}
+	udp := t.fields&fUDP != 0
+	csumOff := m.L4Off + 16 // TCP
+	if udp {
+		csumOff = m.L4Off + 6
+	}
+	// The checksum evolves in a register across the active steps — one
+	// frame load and one store instead of a read-modify-write per step —
+	// which is bit-identical to the stepwise stores: each step's input
+	// is exactly the value the previous step would have stored.
+	c := binary.BigEndian.Uint16(frame[csumOff : csumOff+2])
+	for step := 0; step < 4; step++ {
+		if fields&(1<<step) == 0 {
+			continue
+		}
+		if udp && c == 0 {
+			// "No checksum" sentinel: every remaining setter would skip
+			// too (the field write already happened above, like the
+			// setter's field write precedes its checksum update).
+			break
+		}
+		c = ApplyDelta(c, uint32(t.l4Delta[step]))
+	}
+	binary.BigEndian.PutUint16(frame[csumOff:csumOff+2], c)
+}

@@ -1,0 +1,415 @@
+package fastpath_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"vignat/internal/fastpath"
+	"vignat/internal/flow"
+	"vignat/internal/netstack"
+)
+
+func craft(t *testing.T, spec *netstack.FrameSpec) []byte {
+	t.Helper()
+	buf := make([]byte, netstack.FrameLen(spec))
+	return netstack.Craft(buf, spec)
+}
+
+func tupleOf(r *rand.Rand, proto flow.Protocol) flow.ID {
+	return flow.ID{
+		SrcIP:   flow.Addr(r.Uint32()),
+		DstIP:   flow.Addr(r.Uint32()),
+		SrcPort: uint16(r.Uint32()),
+		DstPort: uint16(r.Uint32()),
+		Proto:   proto,
+	}
+}
+
+// TestExtractMatchesParse pins the first correctness property: Extract
+// accepts exactly the frames netstack.Packet.Parse reports NATable,
+// and agrees with it on the tuple and L4 offset when it does.
+func TestExtractMatchesParse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := func(proto flow.Protocol) []byte {
+		return craft(t, &netstack.FrameSpec{ID: tupleOf(r, proto), PayloadLen: 16})
+	}
+	frames := map[string][]byte{
+		"tcp":      base(flow.TCP),
+		"udp":      base(flow.UDP),
+		"udp-zero": craft(t, &netstack.FrameSpec{ID: tupleOf(r, flow.UDP), UDPZeroCsum: true}),
+		"icmp":     base(flow.ICMP),
+	}
+	// Mutations that must make both Parse-NATable and Extract reject.
+	mutate := func(name string, f func(b []byte)) {
+		b := append([]byte(nil), frames["tcp"]...)
+		f(b)
+		frames[name] = b
+	}
+	mutate("arp", func(b []byte) { b[12], b[13] = 0x08, 0x06 })
+	mutate("bad-version", func(b []byte) { b[14] = 0x65 })
+	mutate("bad-ihl", func(b []byte) { b[14] = 0x41 })
+	mutate("bad-totallen", func(b []byte) { b[16], b[17] = 0xff, 0xff })
+	mutate("fragment", func(b []byte) { b[20] = 0x20 }) // MF bit
+	mutate("frag-offset", func(b []byte) { b[21] = 0x04 })
+	mutate("bad-proto", func(b []byte) { b[23] = 47 }) // GRE
+	frames["short-tcp"] = frames["tcp"][:14+20+12]
+	frames["short-udp"] = append([]byte(nil), frames["udp"][:14+20+4]...)
+	frames["truncated-eth"] = frames["tcp"][:10]
+	frames["truncated-ip"] = frames["tcp"][:14+12]
+	// Fix up short-udp's IP total length so only the L4 check trips.
+	frames["short-udp"][16], frames["short-udp"][17] = 0, 24
+
+	for name, frame := range frames {
+		m := fastpath.Extract(frame)
+		var pkt netstack.Packet
+		err := pkt.Parse(frame)
+		natable := err == nil && pkt.NATable() && !pkt.Fragment
+		if m.OK != natable {
+			t.Fatalf("%s: Extract OK=%v, Parse NATable=%v (err=%v)", name, m.OK, natable, err)
+		}
+		if !m.OK {
+			continue
+		}
+		if m.FlowID() != pkt.FlowID() {
+			t.Fatalf("%s: Extract ID %+v != FlowID %+v", name, m.FlowID(), pkt.FlowID())
+		}
+		if want := 14 + 20; m.L4Off != want {
+			t.Fatalf("%s: L4Off %d, want %d", name, m.L4Off, want)
+		}
+	}
+
+	// Random sweep: random bytes must never widen acceptance.
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, r.Intn(80))
+		r.Read(b)
+		m := fastpath.Extract(b)
+		var pkt netstack.Packet
+		err := pkt.Parse(b)
+		natable := err == nil && pkt.NATable() && !pkt.Fragment
+		if m.OK != natable {
+			t.Fatalf("random frame %d: Extract OK=%v, Parse NATable=%v", i, m.OK, natable)
+		}
+	}
+}
+
+// rewriteCase is one slow-path emit shape: which tuple fields the NF
+// rewrites. The repository's emitters cover NAT-out (src side), NAT-in
+// (dst side), and the balancer's single-IP rewrites.
+type rewriteCase struct {
+	name string
+	post func(id flow.ID, r *rand.Rand) (srcIP, dstIP flow.Addr, srcPort, dstPort uint16)
+}
+
+var rewriteCases = []rewriteCase{
+	{"nat-out", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return flow.Addr(r.Uint32()), id.DstIP, uint16(r.Uint32()), id.DstPort
+	}},
+	{"nat-in", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return id.SrcIP, flow.Addr(r.Uint32()), id.SrcPort, uint16(r.Uint32())
+	}},
+	{"lb-dst", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return id.SrcIP, flow.Addr(r.Uint32()), id.SrcPort, id.DstPort
+	}},
+	{"lb-src", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return flow.Addr(r.Uint32()), id.DstIP, id.SrcPort, id.DstPort
+	}},
+	{"all", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return flow.Addr(r.Uint32()), flow.Addr(r.Uint32()), uint16(r.Uint32()), uint16(r.Uint32())
+	}},
+	{"identity", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		return id.SrcIP, id.DstIP, id.SrcPort, id.DstPort
+	}},
+	{"equal-noop", func(id flow.ID, r *rand.Rand) (flow.Addr, flow.Addr, uint16, uint16) {
+		// Setter called with the already-present value: netstack skips,
+		// the template sees no diff — both must leave the frame alone.
+		return id.SrcIP, id.DstIP, id.SrcPort, id.SrcPort
+	}},
+}
+
+// applySetters replays a rewrite through the real netstack setters in
+// the canonical srcIP→dstIP→srcPort→dstPort order every emitter uses.
+func applySetters(t *testing.T, frame []byte, srcIP, dstIP flow.Addr, srcPort, dstPort uint16) {
+	t.Helper()
+	var pkt netstack.Packet
+	if err := pkt.Parse(frame); err != nil || !pkt.NATable() {
+		t.Fatalf("reference frame does not parse: %v", err)
+	}
+	pkt.SetSrcIP(srcIP)
+	pkt.SetDstIP(dstIP)
+	pkt.SetSrcPort(srcPort)
+	pkt.SetDstPort(dstPort)
+}
+
+// TestTemplateMatchesSetters pins the second correctness property: a
+// template built from a slow-path rewrite, applied to a fresh packet of
+// the same flow, produces bit-identical bytes to the netstack setter
+// sequence — across protocols, rewrite shapes, payload lengths, and
+// the UDP zero-checksum sentinel.
+func TestTemplateMatchesSetters(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	protos := []struct {
+		name    string
+		proto   flow.Protocol
+		zeroCs  bool
+		payload int
+	}{
+		{"tcp", flow.TCP, false, 0},
+		{"tcp-payload", flow.TCP, false, 700},
+		{"udp", flow.UDP, false, 0},
+		{"udp-payload", flow.UDP, false, 256},
+		{"udp-zerocsum", flow.UDP, true, 32},
+	}
+	for _, pc := range protos {
+		for _, rc := range rewriteCases {
+			t.Run(pc.name+"/"+rc.name, func(t *testing.T) {
+				for iter := 0; iter < 300; iter++ {
+					id := tupleOf(r, pc.proto)
+					spec := &netstack.FrameSpec{ID: id, PayloadLen: pc.payload, UDPZeroCsum: pc.zeroCs}
+					orig := craft(t, spec)
+					srcIP, dstIP, srcPort, dstPort := rc.post(id, r)
+
+					// Slow path: the real setters, on the first packet.
+					slow := append([]byte(nil), orig...)
+					applySetters(t, slow, srcIP, dstIP, srcPort, dstPort)
+
+					// Template built from pre-tuple vs rewritten frame.
+					m := fastpath.Extract(orig)
+					if !m.OK {
+						t.Fatalf("crafted frame not extractable")
+					}
+					tmpl := fastpath.MakeTemplate(m, slow)
+
+					// Fast path: a second packet of the same flow (vary
+					// payload contents and TTL — the template must not
+					// care), rewritten by the template.
+					pay := make([]byte, pc.payload)
+					r.Read(pay)
+					spec2 := *spec
+					spec2.Payload = pay
+					spec2.TTL = uint8(1 + r.Intn(255))
+					second := craft(t, &spec2)
+					ref := append([]byte(nil), second...)
+					applySetters(t, ref, srcIP, dstIP, srcPort, dstPort)
+
+					m2 := fastpath.Extract(second)
+					tmpl.Apply(second, m2)
+
+					if !bytes.Equal(second, ref) {
+						t.Fatalf("iter %d: template bytes diverge from setters\n tmpl: %x\n ref:  %x", iter, second, ref)
+					}
+					// The reference itself must carry correct checksums
+					// (except the deliberate zero-checksum sentinel).
+					var chk netstack.Packet
+					if err := chk.Parse(ref); err != nil {
+						t.Fatalf("rewritten reference unparseable: %v", err)
+					}
+					if !chk.VerifyIPChecksum() || !chk.VerifyL4Checksum() {
+						t.Fatalf("iter %d: reference checksums invalid after setters", iter)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTemplateMidChainZero forces the one-in-2^16 case the per-step
+// deltas exist for: a stored UDP checksum that the FIRST rewrite step
+// turns into exactly 0x0000. The netstack setters then skip the second
+// step (zero means "no checksum"), and the template must reproduce
+// that skip rather than applying a merged delta.
+func TestTemplateMidChainZero(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	found := false
+	for attempt := 0; attempt < 200 && !found; attempt++ {
+		id := tupleOf(r, flow.UDP)
+		newSrc := flow.Addr(r.Uint32())
+		newPort := uint16(r.Uint32())
+		if newSrc == id.SrcIP || newPort == id.SrcPort {
+			continue
+		}
+		orig := craft(t, &netstack.FrameSpec{ID: id, PayloadLen: 8})
+
+		// Build the template from an honest slow-path rewrite.
+		slow := append([]byte(nil), orig...)
+		applySetters(t, slow, newSrc, id.DstIP, newPort, id.DstPort)
+		m := fastpath.Extract(orig)
+		tmpl := fastpath.MakeTemplate(m, slow)
+
+		// Search the checksum space for a stored value that the srcIP
+		// step maps to zero; plant it in a fresh copy of the packet.
+		csumOff := m.L4Off + 6
+		for c := 1; c < 0x10000; c++ {
+			probe := append([]byte(nil), orig...)
+			probe[csumOff] = byte(c >> 8)
+			probe[csumOff+1] = byte(c)
+			ref := append([]byte(nil), probe...)
+			applySetters(t, ref, newSrc, id.DstIP, newPort, id.DstPort)
+			if ref[csumOff] != 0 || ref[csumOff+1] != 0 {
+				continue // setters did not land on the sentinel
+			}
+			tmpl.Apply(probe, fastpath.Extract(probe))
+			if !bytes.Equal(probe, ref) {
+				t.Fatalf("mid-chain zero diverges: stored=%#04x\n tmpl: %x\n ref:  %x", c, probe, ref)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("could not construct a mid-chain zero checksum case")
+	}
+}
+
+// TestApplyDeltaFold pins the fold lemma ApplyDelta relies on: folding
+// one merged delta equals folding its components sequentially.
+func TestApplyDeltaFold(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		c := uint16(r.Uint32())
+		d1 := r.Uint32() % (1 << 18)
+		d2 := r.Uint32() % (1 << 18)
+		seq := fastpath.ApplyDelta(fastpath.ApplyDelta(c, d1), d2)
+		merged := fastpath.ApplyDelta(c, d1+d2)
+		if seq != merged {
+			t.Fatalf("fold lemma violated: c=%#04x d1=%d d2=%d seq=%#04x merged=%#04x", c, d1, d2, seq, merged)
+		}
+	}
+}
+
+func mkKey(n uint32) fastpath.Key {
+	return fastpath.Key{ID: flow.ID{SrcIP: flow.Addr(n), DstIP: 1, SrcPort: 2, DstPort: 3, Proto: flow.TCP}}
+}
+
+// TestKeyHashDirection pins that the two directions of one tuple hash
+// (and therefore cache) independently.
+func TestKeyHashDirection(t *testing.T) {
+	k := mkKey(9)
+	rev := k
+	rev.FromInternal = true
+	if k.Hash() == rev.Hash() {
+		t.Fatal("direction bit does not affect the hash")
+	}
+	if k.Hash() != mkKey(9).Hash() {
+		t.Fatal("equal keys hash unequal")
+	}
+}
+
+// TestTableInstallFind exercises the slot-selection ladder with
+// synthetic hashes (Find/Install take the hash explicitly, so the test
+// can colocate keys in one probe window deterministically).
+func TestTableInstallFind(t *testing.T) {
+	tb := fastpath.NewTable(0)
+	if tb.Entries() != fastpath.MinEntries {
+		t.Fatalf("Entries=%d, want MinEntries=%d", tb.Entries(), fastpath.MinEntries)
+	}
+	gens := fastpath.NewGenTable(16)
+
+	const h = 0 // every key below shares probe window [0,8)
+	// Fill the window with 8 live guarded entries.
+	for i := 0; i < 8; i++ {
+		if evicted := tb.Install(mkKey(uint32(i)), h, 0, uint64(i), gens.Guard(i), fastpath.Template{}); evicted {
+			t.Fatalf("install %d into free window reported eviction", i)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		e := tb.Find(mkKey(uint32(i)), h)
+		if e == nil || e.Aux() != uint64(i) || !tb.Live(e) || e.Shard() != 0 {
+			t.Fatalf("entry %d not found intact", i)
+		}
+	}
+	if tb.Find(mkKey(100), h) != nil {
+		t.Fatal("found a key never installed")
+	}
+
+	// Same-key refresh replaces in place, reports no eviction.
+	if evicted := tb.Install(mkKey(3), h, 2, 33, gens.Guard(3), fastpath.Template{}); evicted {
+		t.Fatal("refresh reported eviction")
+	}
+	if e := tb.Find(mkKey(3), h); e == nil || e.Aux() != 33 || e.Shard() != 2 {
+		t.Fatal("refresh did not update the entry")
+	}
+
+	// Window full of live entries: install displaces the home slot.
+	if evicted := tb.Install(mkKey(200), h, 0, 200, gens.Guard(9), fastpath.Template{}); !evicted {
+		t.Fatal("displacement install did not report eviction")
+	}
+	if tb.Find(mkKey(0), h) != nil {
+		t.Fatal("displaced home entry still findable")
+	}
+
+	// A dead slot (bumped guard) is preferred over displacement.
+	gens.Bump(5)
+	if e := tb.Find(mkKey(5), h); e == nil || tb.Live(e) {
+		t.Fatal("bumped entry should be findable but dead")
+	}
+	if evicted := tb.Install(mkKey(300), h, 0, 300, gens.Guard(10), fastpath.Template{}); evicted {
+		t.Fatal("install into dead slot reported eviction")
+	}
+	if tb.Find(mkKey(5), h) != nil {
+		t.Fatal("dead entry survived reuse of its slot")
+	}
+	if e := tb.Find(mkKey(300), h); e == nil || e.Aux() != 300 {
+		t.Fatal("entry installed over dead slot not found")
+	}
+
+	// Release reclaims at hit time; the probe chain must not break for
+	// keys stored past the released slot (lazy reclamation).
+	e := tb.Find(mkKey(1), h)
+	tb.Release(e)
+	if tb.Find(mkKey(1), h) != nil {
+		t.Fatal("released entry still findable")
+	}
+	if tb.Find(mkKey(300), h) == nil {
+		t.Fatal("probe chain broke at a released slot")
+	}
+}
+
+// TestDoorkeeper pins the admission filter: install only on the second
+// sighting, tags persisting after admission.
+func TestDoorkeeper(t *testing.T) {
+	tb := fastpath.NewTable(64)
+	h1 := uint64(0x1234567890abcdef)
+	if tb.Admit(h1) {
+		t.Fatal("first sighting admitted")
+	}
+	if !tb.Admit(h1) {
+		t.Fatal("second sighting rejected")
+	}
+	if !tb.Admit(h1) {
+		t.Fatal("tag did not persist after admission")
+	}
+	// A different flow in the same doorkeeper bucket replaces the tag.
+	h2 := h1 ^ (0xff << 56)
+	if tb.Admit(h2) {
+		t.Fatal("first sighting of a colliding flow admitted")
+	}
+	if tb.Admit(h1) {
+		t.Fatal("evicted tag still admitted the old flow")
+	}
+}
+
+// TestGenTable pins guard semantics: live until bumped, zero guard
+// always live, nil/out-of-range bumps safe.
+func TestGenTable(t *testing.T) {
+	g := fastpath.NewGenTable(4)
+	gd := g.Guard(2)
+	if !gd.Live() {
+		t.Fatal("fresh guard dead")
+	}
+	g.Bump(2)
+	if gd.Live() {
+		t.Fatal("bumped guard still live")
+	}
+	if !g.Guard(2).Live() {
+		t.Fatal("re-captured guard dead")
+	}
+	g.Bump(-1)
+	g.Bump(99) // out of range: no-op, no panic
+	var zero fastpath.Guard
+	if !zero.Live() {
+		t.Fatal("zero guard must be always live")
+	}
+	var nilTable *fastpath.GenTable
+	nilTable.Bump(0) // nil-safe
+}

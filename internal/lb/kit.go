@@ -3,11 +3,20 @@ package lb
 import (
 	"fmt"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+)
+
+// Fast-path aux encodings: sticky index << 2 | kind. Passthrough
+// entries carry no index (the classification is pure configuration).
+const (
+	fpToBackend   = 0 // client → backend, rejuvenates the sticky entry
+	fpToClient    = 1 // backend → client, rejuvenates the sticky entry
+	fpPassthrough = 2 // client-side non-VIP traffic, stateless
 )
 
 // This file is the balancer's one nfkit declaration. Unlike the NAT —
@@ -63,6 +72,47 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 				Dropped:   s.Dropped,
 				Expired:   s.FlowsExpired,
 			}
+		},
+		// The fast path caches VIP flows by their sticky entry, and
+		// client-side non-VIP passthrough by configuration alone.
+		// Backend-side traffic that is NOT a live reply is never cached:
+		// it passes through today, but a sticky entry created later
+		// could turn the very same tuple into a rewrite — a mutable
+		// outcome the offer contract requires declining.
+		FastPath: &nfkit.FastPathHooks[*Balancer]{
+			Offer: func(b *Balancer, key fastpath.Key) (uint64, fastpath.Guard, bool) {
+				if key.FromInternal == cfg.ClientsInternal {
+					// Client side.
+					if key.ID.DstIP != cfg.VIP ||
+						(cfg.VIPPort != 0 && key.ID.DstPort != cfg.VIPPort) {
+						return fpPassthrough, fastpath.Guard{}, true
+					}
+					idx, ok := b.flows.GetByFst(key.ID)
+					if !ok {
+						return 0, fastpath.Guard{}, false
+					}
+					return uint64(idx)<<2 | fpToBackend, b.fpGens.Guard(idx), true
+				}
+				idx, ok := b.flows.GetBySnd(key.ID)
+				if !ok {
+					return 0, fastpath.Guard{}, false
+				}
+				return uint64(idx)<<2 | fpToClient, b.fpGens.Guard(idx), true
+			},
+			Hit: func(b *Balancer, aux uint64, _ int, now libvig.Time) nf.Verdict {
+				b.stats.Processed++
+				switch aux & 3 {
+				case fpToBackend:
+					_ = b.flowChain.Rejuvenate(int(aux>>2), now)
+					b.stats.ToBackend++
+				case fpToClient:
+					_ = b.flowChain.Rejuvenate(int(aux>>2), now)
+					b.stats.ToClient++
+				default:
+					b.stats.Passthrough++
+				}
+				return nf.Forward
+			},
 		},
 		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
 			var scratch netstack.Packet

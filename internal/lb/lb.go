@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
@@ -266,6 +267,10 @@ type Balancer struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// fpGens invalidates engine flow-cache entries: one generation per
+	// sticky index, bumped whenever a sticky entry is erased — by
+	// inactivity expiry or because its backend drained.
+	fpGens *fastpath.GenTable
 }
 
 // New builds a balancer from cfg, drawing time from clock.
@@ -313,9 +318,21 @@ func New(cfg Config, clock libvig.Clock) (*Balancer, error) {
 
 		perPacketExpiry: true,
 	}
-	b.flowErasers = []libvig.IndexEraser{libvig.IndexEraserFunc(b.flows.Erase)}
+	b.fpGens = fastpath.NewGenTable(cfg.Capacity)
+	b.flowErasers = []libvig.IndexEraser{libvig.IndexEraserFunc(b.eraseFlow)}
 	b.env.lb = b
 	return b, nil
+}
+
+// eraseFlow tears down sticky entry i and invalidates any engine
+// flow-cache entries guarding it. It is the eraser the expirator
+// invokes; the backend-drain sweep erases directly and bumps itself.
+func (b *Balancer) eraseFlow(i int) error {
+	if err := b.flows.Erase(i); err != nil {
+		return err
+	}
+	b.fpGens.Bump(i)
+	return nil
 }
 
 // Config returns the balancer's configuration.
@@ -430,6 +447,7 @@ func (b *Balancer) removeBackend(i int) (int, error) {
 		if err := b.flows.Erase(fi); err != nil {
 			return unpinned, err
 		}
+		b.fpGens.Bump(fi)
 		unpinned++
 	}
 	b.stats.FlowsUnpinned += uint64(unpinned)

@@ -20,6 +20,10 @@ type FlowTable struct {
 	// erasers is built once so the per-packet expiry path is
 	// allocation-free.
 	erasers []libvig.IndexEraser
+	// eraseHook, when set, observes every successful flow erasure
+	// (expiry and administrative removal alike) — the NAT wires the
+	// engine flow-cache invalidation here.
+	eraseHook func(i int)
 }
 
 // NewFlowTable builds a flow table for capacity flows behind extIP,
@@ -57,8 +61,18 @@ func (t *FlowTable) eraseIndex(i int) error {
 	if err := t.ports.Release(f.ExtPort()); err != nil {
 		return err
 	}
-	return t.dmap.Erase(i)
+	if err := t.dmap.Erase(i); err != nil {
+		return err
+	}
+	if t.eraseHook != nil {
+		t.eraseHook(i)
+	}
+	return nil
 }
+
+// SetEraseHook registers fn to run after every successful flow erasure
+// with the freed index. At most one hook; nil clears it.
+func (t *FlowTable) SetEraseHook(fn func(i int)) { t.eraseHook = fn }
 
 // Capacity returns CAP.
 func (t *FlowTable) Capacity() int { return t.dmap.Capacity() }
@@ -136,6 +150,9 @@ func (t *FlowTable) Remove(i int) error {
 	}
 	if err := t.dmap.Erase(i); err != nil {
 		return err
+	}
+	if t.eraseHook != nil {
+		t.eraseHook(i)
 	}
 	return t.chain.Free(i)
 }

@@ -1,6 +1,7 @@
 package nat
 
 import (
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/nat/stateless"
 	"vignat/internal/netstack"
@@ -56,6 +57,41 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
 				Dropped:   s.Dropped,
 				Expired:   s.FlowsExpired,
 			}
+		},
+		// The fast path caches established flows: Offer resolves the
+		// direction-appropriate lookup (Fig. 6's get_dmap — the only
+		// state read the established branch performs), Hit replays that
+		// branch's mutations (rejuvenate + counters; the engine replays
+		// the rewrite from its template). Erasures bump fpGens through
+		// the table hook, so a dead flow's cached entry misses.
+		FastPath: &nfkit.FastPathHooks[*NAT]{
+			Offer: func(n *NAT, key fastpath.Key) (uint64, fastpath.Guard, bool) {
+				var idx int
+				var ok bool
+				if key.FromInternal {
+					idx, ok = n.table.LookupInt(key.ID)
+				} else {
+					idx, ok = n.table.LookupExt(key.ID)
+				}
+				if !ok {
+					return 0, fastpath.Guard{}, false
+				}
+				aux := uint64(idx) << 1
+				if key.FromInternal {
+					aux |= 1
+				}
+				return aux, n.fpGens.Guard(idx), true
+			},
+			Hit: func(n *NAT, aux uint64, _ int, now libvig.Time) nf.Verdict {
+				_ = n.table.Rejuvenate(int(aux>>1), now)
+				n.stats.Processed++
+				if aux&1 != 0 {
+					n.stats.ForwardedOut++
+				} else {
+					n.stats.ForwardedIn++
+				}
+				return nf.Forward
+			},
 		},
 		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
 			var scratch netstack.Packet

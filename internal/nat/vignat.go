@@ -2,6 +2,7 @@ package nat
 
 import (
 	"vignat/internal/dpdk"
+	"vignat/internal/fastpath"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/nat/stateless"
@@ -30,6 +31,9 @@ type NAT struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// fpGens invalidates engine flow-cache entries: one generation per
+	// flow index, bumped by the table's erase hook whenever a flow dies.
+	fpGens *fastpath.GenTable
 }
 
 // New builds a NAT from cfg, drawing time from clock.
@@ -43,6 +47,8 @@ func New(cfg Config, clock libvig.Clock) (*NAT, error) {
 	}
 	n := &NAT{cfg: cfg, table: t, clock: clock, perPacketExpiry: true}
 	n.env.nat = n
+	n.fpGens = fastpath.NewGenTable(cfg.Capacity)
+	t.SetEraseHook(n.fpGens.Bump)
 	return n, nil
 }
 

@@ -1,0 +1,708 @@
+// Engine-level coverage for the established-flow fast path: twin-rig
+// agreement (cache on vs off, byte-identical outputs), invalidation on
+// expiry (both modes) and on balancer backend drain, churn-flood
+// overhead bounds, metrics exposure, and configuration resolution.
+package nf_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"vignat/internal/discard"
+	"vignat/internal/dpdk"
+	"vignat/internal/flow"
+	"vignat/internal/lb"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+)
+
+// natRig is one complete NAT-on-pipeline harness with its own ports.
+type natRig struct {
+	pipe    *nf.Pipeline
+	nat     *nat.Sharded
+	pool    *dpdk.Mempool
+	intPort *dpdk.Port
+	extPort *dpdk.Port
+}
+
+func newNATRig(t *testing.T, clock libvig.Clock, natCfg nat.Config, fastPath int, amortized bool) *natRig {
+	t.Helper()
+	sharded, err := nat.NewSharded(natCfg, clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, intPort, extPort := twoPorts(t, 256)
+	pipe, err := nf.NewPipeline(sharded, nf.Config{
+		Internal: intPort, External: extPort, Clock: clock,
+		FastPath: fastPath, AmortizedExpiry: amortized,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &natRig{pipe: pipe, nat: sharded, pool: pool, intPort: intPort, extPort: extPort}
+}
+
+// drainFrames empties a port's TX queue into byte copies, freeing every
+// mbuf.
+func drainFrames(t *testing.T, port *dpdk.Port) [][]byte {
+	t.Helper()
+	var out [][]byte
+	bufs := make([]*dpdk.Mbuf, 8)
+	for {
+		k := port.DrainTx(bufs)
+		if k == 0 {
+			return out
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, append([]byte(nil), bufs[i].Data...))
+			if err := bufs[i].Pool().Free(bufs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func compareFrameSets(t *testing.T, what string, on, off [][]byte) {
+	t.Helper()
+	if len(on) != len(off) {
+		t.Fatalf("%s: fast rig emitted %d frames, slow rig %d", what, len(on), len(off))
+	}
+	for i := range on {
+		if !bytes.Equal(on[i], off[i]) {
+			t.Fatalf("%s: frame %d diverges\n fast: %x\n slow: %x", what, i, on[i], off[i])
+		}
+	}
+}
+
+// stepBoth delivers the same frames to both rigs, polls both, and
+// demands byte-identical output on both ports.
+func stepBoth(t *testing.T, on, off *natRig, clock *libvig.VirtualClock, frames []struct {
+	b        []byte
+	internal bool
+}) {
+	t.Helper()
+	for _, rig := range []*natRig{on, off} {
+		for _, f := range frames {
+			port := rig.intPort
+			if !f.internal {
+				port = rig.extPort
+			}
+			if !port.DeliverRx(f.b, clock.Now()) {
+				t.Fatal("rx rejected")
+			}
+		}
+		if _, err := rig.pipe.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compareFrameSets(t, "external", drainFrames(t, on.extPort), drainFrames(t, off.extPort))
+	compareFrameSets(t, "internal", drainFrames(t, on.intPort), drainFrames(t, off.intPort))
+}
+
+// TestFastPathNATMatchesSlowPath runs identical traffic — flow setup,
+// steady-state repeats, replies, interleaved fresh flows, a bogus
+// unsolicited packet — through a cached and an uncached NAT pipeline
+// and demands byte-identical emissions plus identical NAT-core
+// counters, with the cached rig actually hitting.
+func TestFastPathNATMatchesSlowPath(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	natCfg := nat.Config{Capacity: 256, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1}
+	on := newNATRig(t, clock, natCfg, 1024, false)
+	off := newNATRig(t, clock, natCfg, nf.FastPathDisabled, false)
+	if on.pipe.FastPathEntries() == 0 {
+		t.Fatal("fast rig resolved to no cache")
+	}
+	if off.pipe.FastPathEntries() != 0 {
+		t.Fatal("slow rig resolved to a cache")
+	}
+
+	buf := make([]byte, 2048)
+	mkFlow := func(i int) flow.ID {
+		return flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i)),
+			DstIP:   flow.MakeAddr(198, 51, 100, 7),
+			SrcPort: uint16(5000 + i), DstPort: 80, Proto: flow.UDP,
+		}
+	}
+	type fr = struct {
+		b        []byte
+		internal bool
+	}
+	frame := func(id flow.ID, internal bool) fr {
+		return fr{b: append([]byte(nil), udpFrame(t, buf, id)...), internal: internal}
+	}
+
+	// Rounds of traffic: establish flows, then repeat them (the second
+	// sighting admits, the third hits), mix in replies and fresh flows.
+	nEstablished := 8
+	for round := 0; round < 6; round++ {
+		var frames []fr
+		for i := 0; i < nEstablished; i++ {
+			frames = append(frames, frame(mkFlow(i), true))
+		}
+		if round >= 2 {
+			// Replies to the translated tuples (deterministic ports: the
+			// allocator hands them out in order, same on both rigs).
+			for i := 0; i < nEstablished; i++ {
+				reply := flow.ID{
+					SrcIP: flow.MakeAddr(198, 51, 100, 7), DstIP: extIP,
+					SrcPort: 80, DstPort: uint16(int(nat.DefaultPortBase) + i), Proto: flow.UDP,
+				}
+				frames = append(frames, frame(reply, false))
+			}
+			// A fresh flow every round, and one unsolicited bogus packet.
+			frames = append(frames, frame(mkFlow(100+round), true))
+			bogus := flow.ID{SrcIP: flow.MakeAddr(203, 0, 113, 9), DstIP: extIP, SrcPort: 443, DstPort: 65000, Proto: flow.UDP}
+			frames = append(frames, frame(bogus, false))
+		}
+		stepBoth(t, on, off, clock, frames)
+		clock.Advance(int64(time.Millisecond))
+	}
+
+	if onStats, offStats := on.nat.Stats(), off.nat.Stats(); onStats != offStats {
+		t.Fatalf("NAT core stats diverge\n fast: %+v\n slow: %+v", onStats, offStats)
+	}
+	ps := on.pipe.Stats()
+	if ps.FastPathHits == 0 {
+		t.Fatal("cached rig recorded no fast-path hits")
+	}
+	if off.pipe.Stats().FastPathHits != 0 {
+		t.Fatal("uncached rig recorded fast-path hits")
+	}
+	// The hits surfaced through the sharded stats block too.
+	if snap := on.nat.StatsSnapshot(); snap.FastPathHits != ps.FastPathHits {
+		t.Fatalf("ShardStats hits %d != pipeline hits %d", snap.FastPathHits, ps.FastPathHits)
+	}
+	if on.pool.InUse() != 0 || off.pool.InUse() != 0 {
+		t.Fatal("mbufs leaked")
+	}
+}
+
+// TestFastPathExpiryInvalidation pins invalidation through state
+// expiry, in both expiry modes: a cached flow whose state expires must
+// not be served from the cache — the packet takes the slow path,
+// re-resolves (a fresh flow, possibly a different port), and the
+// cached rig stays byte-identical with the uncached one throughout.
+func TestFastPathExpiryInvalidation(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		amortized bool
+	}{{"per-packet", false}, {"amortized", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			extIP := flow.MakeAddr(198, 18, 1, 1)
+			clock := libvig.NewVirtualClock(0)
+			timeout := 100 * time.Millisecond
+			natCfg := nat.Config{Capacity: 64, Timeout: timeout, ExternalIP: extIP, ExternalPort: 1}
+			on := newNATRig(t, clock, natCfg, 512, mode.amortized)
+			off := newNATRig(t, clock, natCfg, nf.FastPathDisabled, mode.amortized)
+
+			buf := make([]byte, 2048)
+			id := flow.ID{
+				SrcIP: flow.MakeAddr(10, 0, 0, 1), DstIP: flow.MakeAddr(198, 51, 100, 7),
+				SrcPort: 5000, DstPort: 80, Proto: flow.UDP,
+			}
+			type fr = struct {
+				b        []byte
+				internal bool
+			}
+			one := []fr{{b: udpFrame(t, buf, id), internal: true}}
+
+			// Establish (install on second sighting), then hit.
+			stepBoth(t, on, off, clock, one)
+			stepBoth(t, on, off, clock, one)
+			stepBoth(t, on, off, clock, one)
+			hitsBefore := on.pipe.Stats().FastPathHits
+			if hitsBefore == 0 {
+				t.Fatal("flow never hit the cache")
+			}
+
+			// Let the flow expire, then send a stale packet. The cached
+			// entry's guard must be dead: slow path re-resolves.
+			clock.Advance(timeout.Nanoseconds() + 1)
+			stepBoth(t, on, off, clock, one)
+
+			st := on.nat.Stats()
+			if st.FlowsExpired == 0 {
+				t.Fatal("flow never expired")
+			}
+			if st.FlowsCreated != 2 {
+				t.Fatalf("stale packet did not re-resolve: %d flows created, want 2", st.FlowsCreated)
+			}
+			ps := on.pipe.Stats()
+			if ps.FastPathHits != hitsBefore {
+				t.Fatal("stale packet was served from the cache")
+			}
+			if ps.FastPathEvictions == 0 {
+				t.Fatal("dead entry was not reclaimed")
+			}
+			if onStats, offStats := on.nat.Stats(), off.nat.Stats(); onStats != offStats {
+				t.Fatalf("NAT core stats diverge after expiry\n fast: %+v\n slow: %+v", onStats, offStats)
+			}
+
+			// The re-resolved flow is cacheable again.
+			stepBoth(t, on, off, clock, one)
+			stepBoth(t, on, off, clock, one)
+			if on.pipe.Stats().FastPathHits == hitsBefore {
+				t.Fatal("re-resolved flow never re-entered the cache")
+			}
+		})
+	}
+}
+
+// TestFastPathBackendDrainInvalidation pins invalidation through the
+// balancer control plane: draining a backend erases its sticky flows,
+// and the very next packet of a cached flow must take the slow path
+// and re-select a surviving backend — byte-identical with an uncached
+// rig throughout.
+func TestFastPathBackendDrainInvalidation(t *testing.T) {
+	vip := flow.MakeAddr(203, 0, 113, 1)
+	clock := libvig.NewVirtualClock(0)
+	lbCfg := lb.Config{VIP: vip, Capacity: 64, Timeout: time.Hour, MaxBackends: 4}
+
+	type lbRig struct {
+		pipe    *nf.Pipeline
+		lb      *lb.Sharded
+		intPort *dpdk.Port
+		extPort *dpdk.Port
+	}
+	mk := func(fastPath int) *lbRig {
+		sharded, err := lb.NewSharded(lbCfg, clock, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, intPort, extPort := twoPorts(t, 256)
+		pipe, err := nf.NewPipeline(sharded, nf.Config{
+			Internal: intPort, External: extPort, Clock: clock, FastPath: fastPath,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &lbRig{pipe: pipe, lb: sharded, intPort: intPort, extPort: extPort}
+	}
+	on, off := mk(512), mk(nf.FastPathDisabled)
+	backends := []flow.Addr{flow.MakeAddr(192, 0, 2, 1), flow.MakeAddr(192, 0, 2, 2)}
+	for _, rig := range []*lbRig{on, off} {
+		for _, be := range backends {
+			if _, err := rig.lb.AddBackend(be, clock.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	buf := make([]byte, 2048)
+	client := flow.ID{
+		SrcIP: flow.MakeAddr(10, 9, 9, 9), DstIP: vip,
+		SrcPort: 7777, DstPort: 80, Proto: flow.UDP,
+	}
+	// Clients face the external side in the default posture.
+	step := func() (onOut, offOut [][]byte) {
+		for _, rig := range []*lbRig{on, off} {
+			if !rig.extPort.DeliverRx(udpFrame(t, buf, client), clock.Now()) {
+				t.Fatal("rx rejected")
+			}
+			if _, err := rig.pipe.Poll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		onOut, offOut = drainFrames(t, on.intPort), drainFrames(t, off.intPort)
+		compareFrameSets(t, "to-backend", onOut, offOut)
+		return onOut, offOut
+	}
+
+	// Establish, admit, hit.
+	first, _ := step()
+	step()
+	step()
+	if on.pipe.Stats().FastPathHits == 0 {
+		t.Fatal("sticky flow never hit the cache")
+	}
+	var pkt netstack.Packet
+	if err := pkt.Parse(first[0]); err != nil {
+		t.Fatal(err)
+	}
+	pinned := pkt.DstIP
+
+	// Drain the pinned backend on both rigs. The sticky entry is erased
+	// — its cached template (rewrite to the dead backend) must die too.
+	var pinnedIdx = -1
+	for i := range backends {
+		if addr, ok := on.lb.Backend(i); ok && addr == pinned {
+			pinnedIdx = i
+		}
+	}
+	if pinnedIdx < 0 {
+		t.Fatalf("pinned backend %v not found", pinned)
+	}
+	for _, rig := range []*lbRig{on, off} {
+		if err := rig.lb.RemoveBackend(pinnedIdx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	hitsAtDrain := on.pipe.Stats().FastPathHits
+	after, _ := step()
+	if err := pkt.Parse(after[0]); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.DstIP == pinned {
+		t.Fatalf("packet still forwarded to the drained backend %v", pinned)
+	}
+	if on.pipe.Stats().FastPathHits != hitsAtDrain {
+		t.Fatal("post-drain packet was served from the cache")
+	}
+	if on.pipe.Stats().FastPathEvictions == 0 {
+		t.Fatal("drained entry was not reclaimed")
+	}
+	if st := on.lb.Stats(); st.FlowsUnpinned != 1 {
+		t.Fatalf("FlowsUnpinned=%d, want 1", st.FlowsUnpinned)
+	}
+}
+
+// TestFastPathChurnBoundedOverhead pins the adversarial floor: under a
+// pure churn flood (every packet a never-repeating flow — the SYN-scan
+// shape), the cache never hits, and the doorkeeper keeps installs so
+// rare that total time stays within a generous constant factor of the
+// uncached pipeline. Min-of-rounds damps scheduler noise.
+func TestFastPathChurnBoundedOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	natCfg := nat.Config{Capacity: 1 << 15, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1}
+
+	const rounds = 5
+	const burstsPerRound = 400 // × DefaultBurst packets
+	churnTime := func(fastPath int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		buf := make([]byte, 2048)
+		bufs := make([]*dpdk.Mbuf, 64)
+		for r := 0; r < rounds; r++ {
+			clock := libvig.NewVirtualClock(0)
+			rig := newNATRig(t, clock, natCfg, fastPath, false)
+			seq := uint32(0)
+			start := time.Now()
+			for b := 0; b < burstsPerRound; b++ {
+				for i := 0; i < nf.DefaultBurst; i++ {
+					seq++
+					id := flow.ID{
+						SrcIP:   flow.MakeAddr(10, byte(seq>>16), byte(seq>>8), byte(seq)),
+						DstIP:   flow.MakeAddr(198, 51, 100, 7),
+						SrcPort: uint16(seq), DstPort: 80, Proto: flow.UDP,
+					}
+					if !rig.intPort.DeliverRx(udpFrame(t, buf, id), 0) {
+						t.Fatal("rx rejected")
+					}
+				}
+				if _, err := rig.pipe.Poll(); err != nil {
+					t.Fatal(err)
+				}
+				for {
+					k := rig.extPort.DrainTx(bufs)
+					if k == 0 {
+						break
+					}
+					for j := 0; j < k; j++ {
+						if err := bufs[j].Pool().Free(bufs[j]); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+			if fastPath > 0 {
+				if ps := rig.pipe.Stats(); ps.FastPathHits != 0 {
+					t.Fatalf("churn traffic hit the cache: %+v", ps)
+				}
+			}
+		}
+		return best
+	}
+
+	slow := churnTime(nf.FastPathDisabled)
+	fast := churnTime(4096)
+	ratio := float64(fast) / float64(slow)
+	t.Logf("churn: cached %v, uncached %v, ratio %.3f", fast, slow, ratio)
+	if ratio > 1.5 {
+		t.Fatalf("churn overhead ratio %.3f exceeds 1.5 (cached %v, uncached %v)", ratio, fast, slow)
+	}
+}
+
+// TestFastPathAdaptiveBypass pins the classifier's cold mode: a
+// sustained all-miss flood idles it (packets bypass unexamined, the
+// FastPathBypassed counter moves), a sampled hit of returning
+// established traffic re-warms it, and the burst after re-warming is
+// served entirely from the cache — byte-identical with an uncached rig
+// through every phase.
+func TestFastPathAdaptiveBypass(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	natCfg := nat.Config{Capacity: 512, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1}
+	on := newNATRig(t, clock, natCfg, 1024, false)
+	off := newNATRig(t, clock, natCfg, nf.FastPathDisabled, false)
+
+	buf := make([]byte, 2048)
+	type fr = struct {
+		b        []byte
+		internal bool
+	}
+	frame := func(id flow.ID) fr {
+		return fr{b: append([]byte(nil), udpFrame(t, buf, id)...), internal: true}
+	}
+	estID := flow.ID{
+		SrcIP: flow.MakeAddr(10, 0, 0, 1), DstIP: flow.MakeAddr(198, 51, 100, 7),
+		SrcPort: 5000, DstPort: 80, Proto: flow.UDP,
+	}
+
+	// Establish: second sighting installs, third hits.
+	for i := 0; i < 3; i++ {
+		stepBoth(t, on, off, clock, []fr{frame(estID)})
+	}
+	if on.pipe.Stats().FastPathHits == 0 {
+		t.Fatal("flow never hit the cache")
+	}
+
+	// Churn floods: bursts of never-repeating flows. Enough all-miss
+	// bursts idle the classifier, after which most churn packets bypass
+	// it unexamined.
+	churnSeq := 0
+	churnBurst := func() []fr {
+		frames := make([]fr, 16)
+		for i := range frames {
+			churnSeq++
+			frames[i] = frame(flow.ID{
+				SrcIP:   flow.MakeAddr(10, 7, byte(churnSeq>>8), byte(churnSeq)),
+				DstIP:   flow.MakeAddr(198, 51, 100, 7),
+				SrcPort: uint16(6000 + churnSeq), DstPort: 80, Proto: flow.UDP,
+			})
+		}
+		return frames
+	}
+	for b := 0; b < 12; b++ {
+		stepBoth(t, on, off, clock, churnBurst())
+	}
+	ps := on.pipe.Stats()
+	if ps.FastPathBypassed == 0 {
+		t.Fatalf("churn flood never idled the classifier: %+v", ps)
+	}
+	if ps.FastPathHits != 3-2 { // only the third establishment packet hit
+		t.Fatalf("churn traffic hit the cache: %+v", ps)
+	}
+
+	// Established traffic returns. The first burst is still sampled —
+	// one packet in it probes, hits the still-live entry, and re-warms
+	// the classifier; the next burst is served entirely from the cache.
+	repeat := make([]fr, 16)
+	for i := range repeat {
+		repeat[i] = frame(estID)
+	}
+	stepBoth(t, on, off, clock, repeat)
+	warm := on.pipe.Stats()
+	if warm.FastPathHits == ps.FastPathHits {
+		t.Fatal("sampled established packet did not hit")
+	}
+	stepBoth(t, on, off, clock, repeat)
+	after := on.pipe.Stats()
+	if got := after.FastPathHits - warm.FastPathHits; got != 16 {
+		t.Fatalf("burst after re-warming: %d hits, want 16", got)
+	}
+	if after.FastPathBypassed != warm.FastPathBypassed {
+		t.Fatal("classifier still bypassing after re-warming")
+	}
+	if on.pool.InUse() != 0 || off.pool.InUse() != 0 {
+		t.Fatal("mbufs leaked")
+	}
+}
+
+// TestFastPathMetricsExposure pins the observability satellite: the
+// flow-cache counters travel the whole stats plumbing — engine →
+// ShardStats padded cells → /metrics JSON and the expvar registry.
+func TestFastPathMetricsExposure(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	clock := libvig.NewVirtualClock(0)
+	natCfg := nat.Config{Capacity: 64, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1}
+	rig := newNATRig(t, clock, natCfg, 256, false)
+
+	buf := make([]byte, 2048)
+	id := flow.ID{
+		SrcIP: flow.MakeAddr(10, 0, 0, 1), DstIP: flow.MakeAddr(198, 51, 100, 7),
+		SrcPort: 5000, DstPort: 80, Proto: flow.UDP,
+	}
+	for i := 0; i < 5; i++ {
+		if !rig.intPort.DeliverRx(udpFrame(t, buf, id), clock.Now()) {
+			t.Fatal("rx rejected")
+		}
+		if _, err := rig.pipe.Poll(); err != nil {
+			t.Fatal(err)
+		}
+		drainFrames(t, rig.extPort)
+	}
+	snap := rig.nat.StatsSnapshot()
+	if snap.FastPathHits == 0 || snap.FastPathMisses == 0 {
+		t.Fatalf("shard stats missing fast-path counters: %+v", snap)
+	}
+
+	m, err := nf.ServeMetrics("127.0.0.1:0",
+		nf.MetricSource{Name: "vignat-fast", Snapshot: rig.nat.StatsSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", m.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]nf.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := doc["vignat-fast"]
+	if got.FastPathHits != snap.FastPathHits || got.FastPathMisses != snap.FastPathMisses {
+		t.Fatalf("/metrics fast-path counters %+v do not match snapshot %+v", got, snap)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/vars", m.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var ev nf.Stats
+	if err := json.Unmarshal(vars["nf.vignat-fast"], &ev); err != nil {
+		t.Fatalf("expvar nf.vignat-fast: %v", err)
+	}
+	if ev.FastPathHits == 0 {
+		t.Fatal("expvar surface missing fast-path hits")
+	}
+}
+
+// TestShardStatsAddFastPath pins the dedicated counter entry point.
+func TestShardStatsAddFastPath(t *testing.T) {
+	block, err := nf.NewShardStats(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block.AddFastPath(1, 10, 3, 1)
+	block.AddFastPath(1, 5, 0, 0)
+	got := block.ShardSnapshot(1)
+	if got.FastPathHits != 15 || got.FastPathMisses != 3 || got.FastPathEvictions != 1 {
+		t.Fatalf("shard snapshot %+v", got)
+	}
+	if other := block.ShardSnapshot(0); other.FastPathHits != 0 {
+		t.Fatalf("counters leaked across cells: %+v", other)
+	}
+	agg := block.Snapshot()
+	if agg.FastPathHits != 15 || agg.FastPathMisses != 3 || agg.FastPathEvictions != 1 {
+		t.Fatalf("aggregate %+v", agg)
+	}
+}
+
+// TestFastPathConfigResolution pins the Config.FastPath / environment
+// contract.
+func TestFastPathConfigResolution(t *testing.T) {
+	extIP := flow.MakeAddr(198, 18, 1, 1)
+	natCfg := nat.Config{Capacity: 64, Timeout: time.Hour, ExternalIP: extIP, ExternalPort: 1}
+	build := func(t *testing.T, withClock bool, fastPath int) (*nf.Pipeline, error) {
+		t.Helper()
+		var clock libvig.Clock
+		if withClock {
+			clock = libvig.NewVirtualClock(0)
+		}
+		sharded, err := nat.NewSharded(natCfg, libvig.NewVirtualClock(0), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, intPort, extPort := twoPorts(t, 8)
+		return nf.NewPipeline(sharded, nf.Config{
+			Internal: intPort, External: extPort, Clock: clock, FastPath: fastPath,
+		})
+	}
+
+	t.Run("explicit-needs-clock", func(t *testing.T) {
+		if _, err := build(t, false, 512); err == nil {
+			t.Fatal("explicit fast path without a clock must be rejected")
+		}
+	})
+	t.Run("disabled-overrides-env", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "1")
+		p, err := build(t, true, nf.FastPathDisabled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != 0 {
+			t.Fatal("FastPathDisabled did not override the environment")
+		}
+	})
+	t.Run("env-on", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "1")
+		p, err := build(t, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != nf.DefaultFastPathEntries {
+			t.Fatalf("env-enabled cache resolved to %d entries", p.FastPathEntries())
+		}
+	})
+	t.Run("env-size", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "4096")
+		p, err := build(t, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != 4096 {
+			t.Fatalf("env size resolved to %d entries", p.FastPathEntries())
+		}
+	})
+	t.Run("env-garbage", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "many")
+		if _, err := build(t, true, 0); err == nil {
+			t.Fatal("garbage env value must be rejected")
+		}
+	})
+	t.Run("env-off", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "off")
+		p, err := build(t, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != 0 {
+			t.Fatal("env off did not disable")
+		}
+	})
+	t.Run("env-on-clockless-stays-off", func(t *testing.T) {
+		t.Setenv(nf.FastPathEnv, "1")
+		p, err := build(t, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != 0 {
+			t.Fatal("clockless rig must silently stay uncached")
+		}
+	})
+	t.Run("non-fastpather-nf", func(t *testing.T) {
+		_, intPort, extPort := twoPorts(t, 8)
+		p, err := nf.NewPipeline(discard.NewFrameNF(), nf.Config{
+			Internal: intPort, External: extPort,
+			Clock: libvig.NewVirtualClock(0), FastPath: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FastPathEntries() != 0 {
+			t.Fatal("non-participating NF must resolve to no cache")
+		}
+	})
+}

@@ -53,11 +53,19 @@ type Pkt struct {
 // Stats are the engine-visible counters every NF exposes. NFs keep
 // richer internal statistics (the NAT splits forwards by direction, for
 // instance); these are the common denominators the pipeline aggregates.
+// The FastPath counters are written by the engine, not the NF: they
+// split Processed by how the verdict was reached (pre-classification
+// cache hit vs the full slow path) and count cache displacements; they
+// stay zero for NFs the engine runs without a flow cache.
 type Stats struct {
 	Processed uint64
 	Forwarded uint64
 	Dropped   uint64
 	Expired   uint64
+
+	FastPathHits      uint64
+	FastPathMisses    uint64
+	FastPathEvictions uint64
 }
 
 // Add accumulates other into s (shard and chain aggregation).
@@ -66,6 +74,9 @@ func (s *Stats) Add(other Stats) {
 	s.Forwarded += other.Forwarded
 	s.Dropped += other.Dropped
 	s.Expired += other.Expired
+	s.FastPathHits += other.FastPathHits
+	s.FastPathMisses += other.FastPathMisses
+	s.FastPathEvictions += other.FastPathEvictions
 }
 
 // NF is a network function the pipeline can drive. Implementations live

@@ -3,6 +3,7 @@ package nfkit
 import (
 	"fmt"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/nf"
 )
@@ -20,6 +21,7 @@ type Adapter[C any] struct {
 var (
 	_ nf.NF          = (*Adapter[int])(nil)
 	_ nf.ExpiryModer = (*Adapter[int])(nil)
+	_ nf.FastPather  = (*Adapter[int])(nil)
 )
 
 // Adapt exposes an existing core as a pipeline network function, the
@@ -47,7 +49,13 @@ func (a *Adapter[C]) Process(frame []byte, fromInternal bool) nf.Verdict {
 // ProcessBatch processes a burst, reading the clock once for the whole
 // batch.
 func (a *Adapter[C]) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
-	now := a.d.now()
+	a.ProcessBatchAt(pkts, verdicts, a.d.now())
+}
+
+// ProcessBatchAt processes a burst at a caller-supplied timestamp
+// (nf.BatchAtter). The engine's fast path uses it so the many small
+// slow runs of a mixed burst share the engine's one clock read.
+func (a *Adapter[C]) ProcessBatchAt(pkts []nf.Pkt, verdicts []nf.Verdict, now libvig.Time) {
 	for i := range pkts {
 		verdicts[i] = a.d.Process(a.core, pkts[i].Frame, pkts[i].FromInternal, now)
 	}
@@ -74,3 +82,34 @@ func (a *Adapter[C]) SetPerPacketExpiry(on bool) bool {
 
 // NFStats snapshots the core's engine-visible counters.
 func (a *Adapter[C]) NFStats() nf.Stats { return a.d.Stats(a.core) }
+
+// FastPathEnabled reports whether the declaration opts into the
+// engine's established-flow cache.
+func (a *Adapter[C]) FastPathEnabled() bool { return a.d.FastPath != nil }
+
+// FastOffer resolves a cache-install offer through the declared hook.
+func (a *Adapter[C]) FastOffer(key fastpath.Key) (uint64, fastpath.Guard, bool) {
+	if a.d.FastPath == nil {
+		return 0, fastpath.Guard{}, false
+	}
+	return a.d.FastPath.Offer(a.core, key)
+}
+
+// FastHit replays the established branch for one cached packet through
+// the declared hook.
+func (a *Adapter[C]) FastHit(aux uint64, pktLen int, now libvig.Time) nf.Verdict {
+	return a.d.FastPath.Hit(a.core, aux, pktLen, now)
+}
+
+// FastHitFunc returns the hit hook pre-bound to the core: one closure
+// call per cache hit instead of the adapter's interface dispatch (the
+// engine resolves this once at pipeline construction — nf.FastHitFunc).
+func (a *Adapter[C]) FastHitFunc() nf.FastHitFunc {
+	if a.d.FastPath == nil {
+		return nil
+	}
+	core, hit := a.core, a.d.FastPath.Hit
+	return func(aux uint64, pktLen int, now libvig.Time) nf.Verdict {
+		return hit(core, aux, pktLen, now)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/nf"
 )
@@ -96,9 +97,36 @@ type Decl[C any] struct {
 	// single shard.
 	ShardOf func(frame []byte, fromInternal bool, shards int) int
 
+	// FastPath, when set, opts the NF into the engine's
+	// established-flow cache (nf.Config.FastPath): the derived adapter
+	// implements nf.FastPather from these two hooks. See that
+	// interface for the contract; the short form is that Offer is a
+	// read-only lookup returning the state handle a hit touches plus
+	// its invalidation guard, and Hit replays exactly the established
+	// branch's state mutations and counters. Nil keeps the NF on the
+	// slow path unconditionally.
+	FastPath *FastPathHooks[C]
+
 	// Sym, when set, is the NF's symbolic-verification declaration;
 	// Verify() derives the full proof run from it. See verify.go.
 	Sym *SymSpec
+}
+
+// FastPathHooks is the declarative form of nf.FastPather: the two
+// per-NF closures from which the adapter derives its fast-path
+// binding.
+type FastPathHooks[C any] struct {
+	// Offer resolves a forwarded packet's pre-processing key to the
+	// NF-opaque handle a future hit should touch and the guard that
+	// invalidates the entry when the underlying state is erased.
+	// ok=false declines (outcomes that could change while the state
+	// lives must decline).
+	Offer func(core C, key fastpath.Key) (aux uint64, guard fastpath.Guard, ok bool)
+	// Hit replays the established branch for one packet: the same
+	// state mutations (rejuvenate, charge, ...) and counter movements
+	// as the slow path, returning the same verdict. The engine replays
+	// the header rewrite from the cached template.
+	Hit func(core C, aux uint64, pktLen int, now libvig.Time) nf.Verdict
 }
 
 // validate checks the fields every derived artifact needs; forSharding
@@ -115,6 +143,9 @@ func (d *Decl[C]) validate(forSharding bool) error {
 	}
 	if forSharding && d.New == nil {
 		return fmt.Errorf("nfkit: %s declares no shard constructor", d.Name)
+	}
+	if d.FastPath != nil && (d.FastPath.Offer == nil || d.FastPath.Hit == nil) {
+		return fmt.Errorf("nfkit: %s declares a partial fast path (needs both Offer and Hit)", d.Name)
 	}
 	return nil
 }

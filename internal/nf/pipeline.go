@@ -3,14 +3,33 @@ package nf
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 
 	"vignat/internal/dpdk"
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 )
 
 // DefaultBurst is the RX/TX burst size, matching the C NFs' 32-packet
 // DPDK bursts.
 const DefaultBurst = 32
+
+// DefaultFastPathEntries is the per-worker flow-cache size used when
+// the fast path is enabled without an explicit size.
+const DefaultFastPathEntries = 8192
+
+// FastPathDisabled forces the flow cache off regardless of the
+// environment (Config.FastPath).
+const FastPathDisabled = -1
+
+// FastPathEnv is the environment variable consulted when
+// Config.FastPath is zero: unset, empty, "0", "off", or "false" leave
+// the cache disabled; "1", "on", or "true" enable it at
+// DefaultFastPathEntries; a positive integer enables it at that
+// per-worker size. CI uses it to force the whole conformance suite
+// through the fast path.
+const FastPathEnv = "VIGNAT_FASTPATH"
 
 // Config parameterizes a Pipeline.
 type Config struct {
@@ -44,6 +63,51 @@ type Config struct {
 	// poll would have used — and with a live clock expiry lags by at
 	// most one poll, the standard Texp slack. Requires Clock.
 	AmortizedExpiry bool
+	// FastPath sizes the per-worker established-flow cache (entries
+	// per worker): packets of flows the NF has already resolved skip
+	// parse dispatch, ProcessPacket, and the libVig lookups, taking a
+	// pre-resolved verdict plus rewrite template instead, with outputs
+	// bit-identical to the slow path (hits replay the same state
+	// mutations in the same order). A positive value enables the cache
+	// at that size and requires Clock — hits rejuvenate state on the
+	// NF's timeline, exactly like AmortizedExpiry's engine-driven
+	// sweeps. Zero defers to the FastPathEnv environment variable
+	// (still requiring Clock; without one the cache silently stays
+	// off). FastPathDisabled forces it off. NFs that do not implement
+	// FastPather (or decline it) are unaffected either way.
+	FastPath int
+}
+
+// resolveFastPath turns Config.FastPath plus the environment into a
+// per-worker entry count (0 = disabled).
+func resolveFastPath(cfg int, haveClock bool) (int, error) {
+	switch {
+	case cfg < 0:
+		return 0, nil
+	case cfg > 0:
+		if !haveClock {
+			return 0, errors.New("nf: the fast path needs a clock")
+		}
+		return cfg, nil
+	}
+	switch v := os.Getenv(FastPathEnv); v {
+	case "", "0", "off", "false":
+		return 0, nil
+	case "1", "on", "true":
+		if !haveClock {
+			return 0, nil // clockless rigs cannot rejuvenate; stay off
+		}
+		return DefaultFastPathEntries, nil
+	default:
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("nf: bad %s value %q", FastPathEnv, v)
+		}
+		if !haveClock {
+			return 0, nil
+		}
+		return n, nil
+	}
 }
 
 // PipelineStats counts engine-level events.
@@ -53,6 +117,11 @@ type PipelineStats struct {
 	TxPackets uint64
 	TxFreed   uint64 // forwarded but rejected by the TX queue
 	Dropped   uint64 // NF verdict was Drop
+
+	FastPathHits      uint64 // verdict taken from the flow cache
+	FastPathMisses    uint64 // slow path taken (includes bypassed)
+	FastPathBypassed  uint64 // slow path taken unexamined (cold-mode sampling)
+	FastPathEvictions uint64 // cache entries displaced or reclaimed dead
 }
 
 // add accumulates other into s (per-worker → engine aggregation).
@@ -62,6 +131,10 @@ func (s *PipelineStats) add(other PipelineStats) {
 	s.TxPackets += other.TxPackets
 	s.TxFreed += other.TxFreed
 	s.Dropped += other.Dropped
+	s.FastPathHits += other.FastPathHits
+	s.FastPathMisses += other.FastPathMisses
+	s.FastPathBypassed += other.FastPathBypassed
+	s.FastPathEvictions += other.FastPathEvictions
 }
 
 // Pipeline is the shared run-to-completion engine: each worker pulls RX
@@ -84,6 +157,17 @@ type Pipeline struct {
 	clock     libvig.Clock
 	amortized bool
 	shardNFs  []NF
+	// fastNFs[s] is shard s's NF as a FastPather, nil when the shard
+	// does not participate in the flow cache (read-only after
+	// construction). fastHits[s] is the same shard's hit handler,
+	// pre-bound at construction so a cache hit costs one indirect call.
+	fastNFs  []FastPather
+	fastHits []FastHitFunc
+	// fastSink receives per-shard flow-cache counters, when the NF's
+	// stats surface accepts them.
+	fastSink FastPathCounter
+	// fastEntries is the per-worker cache size; 0 disables the cache.
+	fastEntries int
 	// ownerLocal[s] is the owning worker's local slot for shard s
 	// (read-only after construction, shared by all workers).
 	ownerLocal []int
@@ -107,6 +191,22 @@ type worker struct {
 	verd       [][]Verdict
 	toInternal *libvig.Batcher[*dpdk.Mbuf]
 	toExternal *libvig.Batcher[*dpdk.Mbuf]
+
+	// cache is the worker's private flow cache (nil when disabled);
+	// meta holds the per-poll pre-processing extraction results,
+	// parallel to pkts. offer queues the burst positions of misses the
+	// doorkeeper admitted — the only packets the post-run offer pass
+	// revisits (reset per shard burst).
+	cache *fastpath.Table
+	meta  [][]fastpath.Meta
+	offer []int32
+	// Cold-mode (adaptive bypass) state: coldStreak counts consecutive
+	// all-miss bursts; once it reaches coldAfter the worker goes cold
+	// and probes only one in coldSample packets (coldTick phases the
+	// sampling) until a sampled hit or install re-warms it.
+	cold       bool
+	coldStreak int
+	coldTick   uint64
 
 	stats PipelineStats
 }
@@ -171,6 +271,10 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 			return nil, fmt.Errorf("nf: %s cannot switch off per-packet expiry", n.Name())
 		}
 	}
+	fastEntries, err := resolveFastPath(cfg.FastPath, cfg.Clock != nil)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pipeline{
 		nf:         n,
 		sharder:    sharder,
@@ -180,13 +284,33 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		clock:      cfg.Clock,
 		amortized:  cfg.AmortizedExpiry,
 		shardNFs:   make([]NF, nShards),
+		fastNFs:    make([]FastPather, nShards),
+		fastHits:   make([]FastHitFunc, nShards),
 		ownerLocal: make([]int, nShards),
 		workers:    make([]*worker, nWorkers),
 	}
+	anyFast := false
 	for s := 0; s < nShards; s++ {
 		p.shardNFs[s] = sharder.Shard(s)
 		p.ownerLocal[s] = s / nWorkers // local slot within the owning worker
+		if fastEntries > 0 {
+			if fp, ok := p.shardNFs[s].(FastPather); ok && fp.FastPathEnabled() {
+				p.fastNFs[s] = fp
+				if fh, ok := p.shardNFs[s].(FastHitFuncer); ok {
+					p.fastHits[s] = fh.FastHitFunc()
+				}
+				if p.fastHits[s] == nil {
+					p.fastHits[s] = fp.FastHit
+				}
+				anyFast = true
+			}
+		}
 	}
+	if !anyFast {
+		fastEntries = 0 // no participating shard: no cache, no extraction cost
+	}
+	p.fastEntries = fastEntries
+	p.fastSink, _ = n.(FastPathCounter)
 	for w := 0; w < nWorkers; w++ {
 		wk := &worker{
 			p:      p,
@@ -205,6 +329,14 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 			wk.pkts[li] = make([]Pkt, 0, perShard)
 			wk.bufs[li] = make([]*dpdk.Mbuf, 0, perShard)
 			wk.verd[li] = make([]Verdict, perShard)
+		}
+		if fastEntries > 0 {
+			wk.cache = fastpath.NewTable(fastEntries)
+			wk.meta = make([][]fastpath.Meta, len(wk.shards))
+			for li := range wk.shards {
+				wk.meta[li] = make([]fastpath.Meta, perShard)
+			}
+			wk.offer = make([]int32, 0, perShard)
 		}
 		var err error
 		wk.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(cfg.Internal, w))
@@ -264,6 +396,11 @@ func (p *Pipeline) NF() NF { return p.nf }
 
 // Workers returns the number of run-to-completion workers.
 func (p *Pipeline) Workers() int { return len(p.workers) }
+
+// FastPathEntries returns the per-worker flow-cache size after
+// resolution (0 when the cache is disabled — explicitly, by
+// environment, or because no shard participates).
+func (p *Pipeline) FastPathEntries() int { return p.fastEntries }
 
 // Stats returns a snapshot of the engine counters, aggregated across
 // workers. It must not be called concurrently with active PollWorker
@@ -334,8 +471,17 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 	}
 	wk.stats.RxPackets += uint64(n)
 
+	var now libvig.Time
+	if wk.cache != nil {
+		now = p.clock.Now()
+	}
 	for li, s := range wk.shards {
-		if len(wk.pkts[li]) > 0 {
+		if len(wk.pkts[li]) == 0 {
+			continue
+		}
+		if wk.cache != nil && p.fastNFs[s] != nil {
+			wk.processShardFast(li, s, now)
+		} else {
 			p.shardNFs[s].ProcessBatch(wk.pkts[li], wk.verd[li])
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 )
 
@@ -22,13 +23,19 @@ type ShardStats struct {
 }
 
 // statCell is one shard's engine-visible counters, padded so adjacent
-// shards (owned by different workers) never false-share.
+// shards (owned by different workers) never false-share. The fastpath
+// counters live in the same cell: they are written by the shard's
+// owning worker too (the engine flushes them after each burst), so the
+// single-writer-per-cell discipline is unchanged.
 type statCell struct {
-	processed atomic.Uint64
-	forwarded atomic.Uint64
-	dropped   atomic.Uint64
-	expired   atomic.Uint64
-	_         [4]uint64 // pad the cell to 64 bytes
+	processed   atomic.Uint64
+	forwarded   atomic.Uint64
+	dropped     atomic.Uint64
+	expired     atomic.Uint64
+	fpHits      atomic.Uint64
+	fpMisses    atomic.Uint64
+	fpEvictions atomic.Uint64
+	_           [1]uint64 // pad the cell to 64 bytes
 }
 
 // NewShardStats returns a stats block with one padded cell per shard.
@@ -59,6 +66,23 @@ func (s *ShardStats) add(i int, d Stats) {
 	if d.Expired != 0 {
 		c.expired.Add(d.Expired)
 	}
+	if d.FastPathHits != 0 {
+		c.fpHits.Add(d.FastPathHits)
+	}
+	if d.FastPathMisses != 0 {
+		c.fpMisses.Add(d.FastPathMisses)
+	}
+	if d.FastPathEvictions != 0 {
+		c.fpEvictions.Add(d.FastPathEvictions)
+	}
+}
+
+// AddFastPath folds the engine's flow-cache counters for one burst
+// into shard i's cell — the engine owns these (the NF never sees its
+// cache hits), so they arrive through their own entry point rather
+// than the CountedNF delta discipline.
+func (s *ShardStats) AddFastPath(i int, hits, misses, evictions uint64) {
+	s.add(i, Stats{FastPathHits: hits, FastPathMisses: misses, FastPathEvictions: evictions})
 }
 
 // ShardSnapshot returns shard i's counters. Safe to call from any
@@ -66,10 +90,13 @@ func (s *ShardStats) add(i int, d Stats) {
 func (s *ShardStats) ShardSnapshot(i int) Stats {
 	c := &s.cells[i]
 	return Stats{
-		Processed: c.processed.Load(),
-		Forwarded: c.forwarded.Load(),
-		Dropped:   c.dropped.Load(),
-		Expired:   c.expired.Load(),
+		Processed:         c.processed.Load(),
+		Forwarded:         c.forwarded.Load(),
+		Dropped:           c.dropped.Load(),
+		Expired:           c.expired.Load(),
+		FastPathHits:      c.fpHits.Load(),
+		FastPathMisses:    c.fpMisses.Load(),
+		FastPathEvictions: c.fpEvictions.Load(),
 	}
 }
 
@@ -98,19 +125,25 @@ func (s *ShardStats) Snapshot() Stats {
 // next wrapped call, or an explicit Sync, catches the cell up.
 type CountedNF struct {
 	inner NF
+	fp    FastPather // inner as a FastPather, nil when it is not one
 	block *ShardStats
 	shard int
 	last  Stats // last published totals; owner-goroutine only
 }
 
-var _ NF = (*CountedNF)(nil)
+var (
+	_ NF         = (*CountedNF)(nil)
+	_ FastPather = (*CountedNF)(nil)
+)
 
 // Counted wraps inner so its counters mirror into block's cell for
 // shard. Like the NF itself, the wrapper is single-threaded per
 // instance: only the owning worker calls its methods (snapshots go
 // through the block).
 func Counted(inner NF, block *ShardStats, shard int) *CountedNF {
-	return &CountedNF{inner: inner, block: block, shard: shard}
+	c := &CountedNF{inner: inner, block: block, shard: shard}
+	c.fp, _ = inner.(FastPather)
+	return c
 }
 
 // Name identifies the wrapped NF.
@@ -129,6 +162,12 @@ func (c *CountedNF) Sync() {
 	c.last = cur
 }
 
+// ExpireQuiet advances the inner NF's expiry without publishing a
+// stats delta. The engine's fast path calls this at most once per
+// shard burst (repeat sweeps at one timestamp are no-ops) and follows
+// the burst with a single Sync, so per-hit expiry costs no atomics.
+func (c *CountedNF) ExpireQuiet(now libvig.Time) { c.inner.Expire(now) }
+
 // Process runs one frame through the inner NF and publishes the delta.
 func (c *CountedNF) Process(frame []byte, fromInternal bool) Verdict {
 	v := c.inner.Process(frame, fromInternal)
@@ -141,6 +180,20 @@ func (c *CountedNF) Process(frame []byte, fromInternal bool) Verdict {
 func (c *CountedNF) ProcessBatch(pkts []Pkt, verdicts []Verdict) {
 	c.inner.ProcessBatch(pkts, verdicts)
 	c.Sync()
+}
+
+// ProcessBatchQuiet runs the burst through the inner NF without
+// publishing a stats delta, at the engine's burst timestamp when the
+// inner NF accepts one (nfkit adapters do). The engine's fast path
+// fragments a mixed burst into one slow run per cache hit and calls
+// this per fragment, paying the publication atomics and the clock
+// read once per burst instead of per fragment.
+func (c *CountedNF) ProcessBatchQuiet(pkts []Pkt, verdicts []Verdict, now libvig.Time) {
+	if ba, ok := c.inner.(BatchAtter); ok {
+		ba.ProcessBatchAt(pkts, verdicts, now)
+		return
+	}
+	c.inner.ProcessBatch(pkts, verdicts)
 }
 
 // Expire advances the inner NF's expiry and publishes the delta.
@@ -160,6 +213,41 @@ func (c *CountedNF) SetPerPacketExpiry(on bool) bool {
 		return em.SetPerPacketExpiry(on)
 	}
 	return false
+}
+
+// FastPathEnabled reports whether the inner NF participates in the
+// engine's flow cache.
+func (c *CountedNF) FastPathEnabled() bool { return c.fp != nil && c.fp.FastPathEnabled() }
+
+// FastOffer forwards a cache-install offer to the inner NF (a
+// read-only lookup; no counters move).
+func (c *CountedNF) FastOffer(key fastpath.Key) (uint64, fastpath.Guard, bool) {
+	if c.fp == nil {
+		return 0, fastpath.Guard{}, false
+	}
+	return c.fp.FastOffer(key)
+}
+
+// FastHit forwards a cache hit to the inner NF. Hits mutate the
+// core's own counters exactly like the slow path would; the engine
+// calls Sync once per shard burst to publish them (the same
+// once-per-batch cadence ProcessBatch uses), so the hit path itself
+// pays no atomics.
+func (c *CountedNF) FastHit(aux uint64, pktLen int, now libvig.Time) Verdict {
+	return c.fp.FastHit(aux, pktLen, now)
+}
+
+// FastHitFunc hands out the innermost pre-bound hit handler — the
+// wrapper adds nothing per hit (its counter mirroring runs at burst
+// end via Sync), so the engine may bypass it entirely.
+func (c *CountedNF) FastHitFunc() FastHitFunc {
+	if f, ok := c.inner.(FastHitFuncer); ok {
+		return f.FastHitFunc()
+	}
+	if c.fp != nil {
+		return c.fp.FastHit
+	}
+	return nil
 }
 
 // CountedShards is the shared plumbing every sharded NF needs around
@@ -242,3 +330,10 @@ func (c *CountedShards) StatsSnapshot() Stats { return c.stats.Snapshot() }
 // ShardStatsSnapshot returns shard i's engine-visible counters, with
 // the same concurrency guarantee as StatsSnapshot.
 func (c *CountedShards) ShardStatsSnapshot(i int) Stats { return c.stats.ShardSnapshot(i) }
+
+// AddFastPath folds the engine's flow-cache counters for one burst
+// into shard i's padded cell (the FastPathCounter hook the pipeline
+// uses; race-safe like every other cell write).
+func (c *CountedShards) AddFastPath(i int, hits, misses, evictions uint64) {
+	c.stats.AddFastPath(i, hits, misses, evictions)
+}

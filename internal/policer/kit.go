@@ -1,6 +1,7 @@
 package policer
 
 import (
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
@@ -53,6 +54,40 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Policer] {
 				Dropped:   s.Dropped(),
 				Expired:   s.BucketsExpired,
 			}
+		},
+		// The fast path never bypasses rate limiting: a meter hit
+		// carries only the bucket index, and Hit re-runs the real
+		// charge, so an over-budget packet drops exactly as on the slow
+		// path. Egress passthrough is stateless (guard-free); only
+		// TCP/UDP non-fragment frames are cacheable at all (the engine's
+		// pre-classifier rejects the rest), so the policer's broader
+		// any-IPv4 metering is unaffected for non-cacheable traffic.
+		FastPath: &nfkit.FastPathHooks[*Policer]{
+			Offer: func(p *Policer, key fastpath.Key) (uint64, fastpath.Guard, bool) {
+				if key.FromInternal {
+					return 1, fastpath.Guard{}, true // egress: unmetered passthrough
+				}
+				idx, ok := p.subs.Get(key.ID.DstIP)
+				if !ok {
+					return 0, fastpath.Guard{}, false
+				}
+				return uint64(idx) << 1, p.fpGens.Guard(idx), true
+			},
+			Hit: func(p *Policer, aux uint64, pktLen int, now libvig.Time) nf.Verdict {
+				p.stats.Processed++
+				if aux&1 != 0 {
+					p.stats.Passthrough++
+					return nf.Forward
+				}
+				idx := int(aux >> 1)
+				_ = p.chain.Rejuvenate(idx, now)
+				if p.buckets.Charge(idx, pktLen, now) {
+					p.stats.Conformed++
+					return nf.Forward
+				}
+				p.stats.DroppedOverRate++
+				return nf.Drop
+			},
 		},
 		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
 			var scratch netstack.Packet

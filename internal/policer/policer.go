@@ -27,6 +27,7 @@ import (
 	"errors"
 	"time"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
@@ -200,6 +201,9 @@ type Policer struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// fpGens invalidates engine flow-cache entries: one generation per
+	// bucket index, bumped when the subscriber's state is erased.
+	fpGens *fastpath.GenTable
 }
 
 // New builds a policer from cfg, drawing time from clock.
@@ -235,6 +239,7 @@ func New(cfg Config, clock libvig.Clock) (*Policer, error) {
 	}
 	p.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(p.eraseSubscriber)}
 	p.env.pol = p
+	p.fpGens = fastpath.NewGenTable(cfg.Capacity)
 	return p, nil
 }
 
@@ -245,7 +250,11 @@ func (p *Policer) eraseSubscriber(i int) error {
 	if err != nil {
 		return err
 	}
-	return p.subs.Erase(addr)
+	if err := p.subs.Erase(addr); err != nil {
+		return err
+	}
+	p.fpGens.Bump(i)
+	return nil
 }
 
 // Config returns the policer's configuration.

@@ -54,7 +54,7 @@ type chainRig struct {
 	pool    *dpdk.Mempool
 }
 
-func buildChainRig(t *testing.T, amortized bool) *chainRig {
+func buildChainRig(t *testing.T, amortized bool, fastPath int) *chainRig {
 	t.Helper()
 	clock := libvig.NewVirtualClock(0)
 	natCfg := nat.Config{
@@ -114,6 +114,7 @@ func buildChainRig(t *testing.T, amortized bool) *chainRig {
 		External:        extPort,
 		Clock:           clock,
 		AmortizedExpiry: amortized,
+		FastPath:        fastPath,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,8 +159,8 @@ func (r *chainRig) pollAndDrain(t *testing.T, drain []*dpdk.Mbuf) map[uint32]cha
 }
 
 func TestAmortizedExpiryOracleEquivalenceChain(t *testing.T) {
-	perPacket := buildChainRig(t, false)
-	amortized := buildChainRig(t, true)
+	perPacket := buildChainRig(t, false, nf.FastPathDisabled)
+	amortized := buildChainRig(t, true, nf.FastPathDisabled)
 	rigs := []*chainRig{perPacket, amortized}
 
 	const nHosts = 8
