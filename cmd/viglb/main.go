@@ -45,7 +45,7 @@ func main() {
 	nfkit.Main(nfkit.App{
 		Name:            "viglb",
 		DefaultCapacity: 65535,
-		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+		Build: func(o *nfkit.Options, clock libvig.Clock) (*nfkit.Run, error) {
 			balancer, err := lb.NewSharded(lb.Config{
 				VIP:         vip,
 				VIPPort:     vipPort,

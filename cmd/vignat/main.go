@@ -46,7 +46,7 @@ func main() {
 	nfkit.Main(nfkit.App{
 		Name:            "vignat",
 		DefaultCapacity: nat.DefaultCapacity,
-		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+		Build: func(o *nfkit.Options, clock libvig.Clock) (*nfkit.Run, error) {
 			cfg := core.DefaultConfig(core.IPv4(198, 18, 1, 1))
 			cfg.Timeout = o.Timeout
 			cfg.Capacity = o.Capacity

@@ -52,7 +52,7 @@ func main() {
 	nfkit.Main(nfkit.App{
 		Name:            "vigpol",
 		DefaultCapacity: 65535,
-		Build: func(o *nfkit.Options, clock *libvig.VirtualClock) (*nfkit.Run, error) {
+		Build: func(o *nfkit.Options, clock libvig.Clock) (*nfkit.Run, error) {
 			pol, err := policer.NewSharded(policer.Config{
 				Rate:     *rate,
 				Burst:    *bucket,

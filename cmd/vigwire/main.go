@@ -1,0 +1,181 @@
+// Command vigwire plays the tester's side of a NAT running in wire
+// mode (vignat -transport udp|unix): it owns both ends of the wire,
+// generating MoonGen-style flows into the NAT's internal port,
+// collecting the translated packets off its external port, answering
+// them as the remote servers would, and checking every observation
+// against the executable RFC 3022 oracle — the same differential
+// check the in-memory conformance suite runs, now across process
+// boundaries and a real kernel transport.
+//
+// A typical two-process session (see the README's transport section):
+//
+//	vignat -verify=false -transport udp \
+//	    -int-local 127.0.0.1:19001 -int-peer 127.0.0.1:29001 \
+//	    -ext-local 127.0.0.1:19101 -ext-peer 127.0.0.1:29101 &
+//	vigwire -transport udp \
+//	    -int-local 127.0.0.1:29001 -int-peer 127.0.0.1:19001 \
+//	    -ext-local 127.0.0.1:29101 -ext-peer 127.0.0.1:19101
+//
+// vigwire exits 0 iff every outbound packet came back translated
+// exactly as the spec demands and every reply was un-translated back
+// to the right internal host — including the return path, which is
+// where NAT bugs hide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/moongen"
+	"vignat/internal/nat"
+	"vignat/internal/nat/stateless"
+	"vignat/internal/netstack"
+	"vignat/internal/testbed"
+	"vignat/internal/vigor/spec"
+)
+
+func newWire(transport, local, peer string) (testbed.Wire, error) {
+	switch transport {
+	case "udp":
+		w, err := testbed.NewUDPWire(local)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.SetPeer(peer); err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+		return w, nil
+	case "unix":
+		w, err := testbed.NewUnixWire(local)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.SetPeer(peer); err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown transport %q (want udp or unix)", transport)
+}
+
+func main() {
+	transport := flag.String("transport", "udp", "wire backend: udp or unix (must match the NAT's)")
+	intLocal := flag.String("int-local", "", "this process's internal-side endpoint (the NAT's -int-peer)")
+	intPeer := flag.String("int-peer", "", "the NAT's internal port address (its -int-local)")
+	extLocal := flag.String("ext-local", "", "this process's external-side endpoint (the NAT's -ext-peer)")
+	extPeer := flag.String("ext-peer", "", "the NAT's external port address (its -ext-local)")
+	flows := flag.Int("flows", 64, "concurrent flows to generate")
+	packets := flag.Int("packets", 1024, "outbound packets to send")
+	capacity := flag.Int("capacity", nat.DefaultCapacity, "the NAT's flow-table capacity (oracle state bound)")
+	timeout := flag.Duration("timeout", 2*time.Second, "the NAT's Texp (oracle expiry; keep it well above the run length)")
+	extIPFlag := flag.String("ext-ip", "198.18.1.1", "the NAT's external IP")
+	portBase := flag.Int("port-base", nat.DefaultPortBase, "first external port the NAT hands out")
+	recvTimeout := flag.Duration("recv-timeout", 5*time.Second, "per-packet wait before declaring the NAT dropped it")
+	flag.Parse()
+
+	if err := run(*transport, *intLocal, *intPeer, *extLocal, *extPeer,
+		*flows, *packets, *capacity, *timeout, *extIPFlag, *portBase, *recvTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "vigwire: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseAddr(s string) (flow.Addr, error) {
+	var a, b, c, d int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("bad IP %q", s)
+	}
+	return flow.MakeAddr(byte(a), byte(b), byte(c), byte(d)), nil
+}
+
+func run(transport, intLocal, intPeer, extLocal, extPeer string,
+	nFlows, nPackets, capacity int, texp time.Duration, extIPStr string,
+	portBase int, recvTimeout time.Duration) error {
+	if intLocal == "" || intPeer == "" || extLocal == "" || extPeer == "" {
+		return fmt.Errorf("all four endpoints are required: -int-local -int-peer -ext-local -ext-peer")
+	}
+	extIP, err := parseAddr(extIPStr)
+	if err != nil {
+		return err
+	}
+	intWire, err := newWire(transport, intLocal, intPeer)
+	if err != nil {
+		return fmt.Errorf("internal wire: %w", err)
+	}
+	defer intWire.Close()
+	extWire, err := newWire(transport, extLocal, extPeer)
+	if err != nil {
+		return fmt.Errorf("external wire: %w", err)
+	}
+	defer extWire.Close()
+
+	specs, err := moongen.MakeFlows(0, nFlows, 0, 17)
+	if err != nil {
+		return err
+	}
+	oracle := spec.NewOracle(capacity, texp.Nanoseconds(), extIP, uint16(portBase), capacity)
+
+	// Phase 1 — outbound, lock-step: each internal packet must emerge on
+	// the external wire rewritten exactly as Fig. 6 demands. The
+	// external tuple the NAT picked is adopted per flow for the replies.
+	extTuple := make([]flow.ID, nFlows)
+	known := make([]bool, nFlows)
+	recvBuf := make([]byte, 4096)
+	frame := make([]byte, 2048)
+	var pkt netstack.Packet
+	for i := 0; i < nPackets; i++ {
+		f := &specs[i%nFlows]
+		out := frame[:len(f.Frame())]
+		copy(out, f.Frame()) // the NAT rewrites in place on its side; keep ours pristine
+		if !intWire.Send(out, 0) {
+			return fmt.Errorf("outbound packet %d: send failed (is the NAT up?)", i)
+		}
+		obs := spec.Observed{Verdict: stateless.VerdictDrop}
+		if n, ok := extWire.Recv(recvBuf, recvTimeout); ok {
+			if err := pkt.Parse(recvBuf[:n]); err != nil {
+				return fmt.Errorf("outbound packet %d: NAT emitted an unparseable frame: %v", i, err)
+			}
+			obs = spec.Observed{Verdict: stateless.VerdictToExternal, Tuple: pkt.FlowID()}
+			extTuple[i%nFlows] = pkt.FlowID()
+			known[i%nFlows] = true
+		}
+		if err := oracle.Step(f.ID, true, true, time.Now().UnixNano(), obs); err != nil {
+			return fmt.Errorf("outbound packet %d diverged from RFC 3022: %w", i, err)
+		}
+	}
+
+	// Phase 2 — return traffic: every established flow answers once,
+	// and the NAT must translate it back to the right internal host.
+	// This is the leg that catches inverted-lookup and
+	// unsolicited-forwarding bugs.
+	replies := 0
+	for fi := 0; fi < nFlows; fi++ {
+		if !known[fi] {
+			continue
+		}
+		reply := moongen.ReplyFrame(frame, extTuple[fi])
+		if !extWire.Send(reply, 0) {
+			return fmt.Errorf("reply for flow %d: send failed", fi)
+		}
+		obs := spec.Observed{Verdict: stateless.VerdictDrop}
+		if n, ok := intWire.Recv(recvBuf, recvTimeout); ok {
+			if err := pkt.Parse(recvBuf[:n]); err != nil {
+				return fmt.Errorf("reply for flow %d: NAT emitted an unparseable frame: %v", fi, err)
+			}
+			obs = spec.Observed{Verdict: stateless.VerdictToInternal, Tuple: pkt.FlowID()}
+		}
+		if err := oracle.Step(extTuple[fi].Reverse(), false, true, time.Now().UnixNano(), obs); err != nil {
+			return fmt.Errorf("reply for flow %d diverged from RFC 3022: %w", fi, err)
+		}
+		replies++
+	}
+
+	fmt.Printf("vigwire: %d outbound + %d return packets over %s, RFC 3022 oracle clean (%d sessions)\n",
+		nPackets, replies, transport, oracle.Size())
+	return nil
+}

@@ -254,6 +254,21 @@ func TestMultiQueuePortValidation(t *testing.T) {
 	}
 }
 
+func TestPoolPanicsOnMultiQueuePort(t *testing.T) {
+	poolA, _ := NewMempool(4)
+	poolB, _ := NewMempool(4)
+	port, err := NewMultiQueuePort(0, 2, 4, 4, []*Mempool{poolA, poolB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pool() on a 2-queue port did not panic")
+		}
+	}()
+	_ = port.Pool()
+}
+
 func TestPortTxBurstAndDrain(t *testing.T) {
 	pool, _ := NewMempool(16)
 	port, _ := NewPort(0, 4, 2, pool)

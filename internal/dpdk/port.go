@@ -3,6 +3,7 @@ package dpdk
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vignat/internal/libvig"
 )
@@ -18,8 +19,8 @@ const (
 type PortStats struct {
 	RxPackets uint64 // ipackets
 	TxPackets uint64 // opackets
-	RxDropped uint64 // imissed: RX queue full or mempool empty
-	TxDropped uint64 // TX queue full
+	RxDropped uint64 // imissed: RX queue full, mempool empty, oversize frame
+	TxDropped uint64 // TX queue full / send failed
 }
 
 // add accumulates other into s (per-queue → per-port aggregation).
@@ -30,41 +31,35 @@ func (s *PortStats) add(other PortStats) {
 	s.TxDropped += other.TxDropped
 }
 
-// queue is one RX/TX pair: the unit a run-to-completion worker owns.
-// Each queue draws RX mbufs from its own mempool (DPDK's
-// rte_eth_rx_queue_setup takes a mempool per queue for the same
-// reason), so two workers polling distinct queues never touch a shared
-// allocator — no lock sits anywhere on the packet path.
-type queue struct {
-	rx    *libvig.Ring[*Mbuf]
-	tx    *libvig.Ring[*Mbuf]
-	pool  *Mempool
-	stats PortStats
-}
-
 // Port is a polled network port with one or more RX/TX queue pairs,
-// RSS-style. The NF side uses RxBurst/TxBurst (queue 0) or the
-// queue-indexed variants; the testbed side uses DeliverRx (steered by
-// the configured RSS function, like a NIC's receive-side scaling) and
-// DrainTx.
+// RSS-style, layered over a pluggable Transport that owns the actual
+// packet I/O. The NF side uses RxBurst/TxBurst (queue 0) or the
+// queue-indexed variants against any backend; the wire side
+// (DeliverRx/DrainTx) is the in-memory backend's harness surface —
+// with a socket transport the kernel is the wire, and those methods
+// report nothing to deliver or drain.
 //
 // Concurrency contract: distinct queues may be used by distinct
-// goroutines concurrently — a queue's rings, mempool, and counters are
-// touched only through that queue's methods. A single queue is
-// single-producer single-consumer per ring, exactly like an rte_ring
-// in its default mode: one goroutine on the wire side, one on the NF
-// side, and in the lock-step harnesses those are the same goroutine.
-// Stats() aggregates across queues and must not race with live
-// traffic; call it from the wire/NF goroutine or after a join.
+// goroutines concurrently — a queue's rings/sockets, mempool, and
+// counters are touched only through that queue's methods. A single
+// queue is single-producer single-consumer per direction, exactly like
+// an rte_ring in its default mode. Stats() aggregates across queues
+// and must not race with live traffic; call it from the wire/NF
+// goroutine or after a join.
 type Port struct {
-	ID     uint16
-	queues []queue
-	rss    func(frame []byte) int
+	ID uint16
+	tr Transport
+	// mem caches the concrete in-memory transport so the hot RxBurst/
+	// TxBurst path on the default backend is a direct call, not an
+	// interface dispatch (the ≤3% in-memory regression budget), and so
+	// the wire-side harness methods know whether a wire exists at all.
+	mem   *MemTransport
+	pools []*Mempool
 }
 
-// NewPort creates a single-queue port with the given queue depths,
-// drawing RX mbufs from pool — the shape the paper's single-core NAT
-// uses.
+// NewPort creates a single-queue in-memory port with the given queue
+// depths, drawing RX mbufs from pool — the shape the paper's
+// single-core NAT uses.
 func NewPort(id uint16, rxDepth, txDepth int, pool *Mempool) (*Port, error) {
 	if pool == nil {
 		return nil, errors.New("dpdk: port needs a mempool")
@@ -72,18 +67,35 @@ func NewPort(id uint16, rxDepth, txDepth int, pool *Mempool) (*Port, error) {
 	return NewMultiQueuePort(id, 1, rxDepth, txDepth, []*Mempool{pool})
 }
 
-// NewMultiQueuePort creates a port with nQueues RX/TX queue pairs.
-// pools supplies the per-queue RX mempools: either one pool per queue
-// (len nQueues — required for concurrent per-queue use) or a single
-// shared pool (len 1 — fine for lock-step single-threaded harnesses).
+// NewMultiQueuePort creates an in-memory port with nQueues RX/TX queue
+// pairs. pools supplies the per-queue RX mempools: either one pool per
+// queue (len nQueues — required for concurrent per-queue use) or a
+// single shared pool (len 1 — fine for lock-step single-threaded
+// harnesses).
 func NewMultiQueuePort(id uint16, nQueues, rxDepth, txDepth int, pools []*Mempool) (*Port, error) {
+	tr, err := NewMemTransport(nQueues, rxDepth, txDepth)
+	if err != nil {
+		return nil, err
+	}
+	return NewPortOn(id, tr, pools)
+}
+
+// NewPortOn creates a port over an existing transport (mem, udp, unix,
+// or anything else implementing Transport). pools supplies the
+// per-queue RX mempools: one per queue, or a single shared pool for
+// lock-step harnesses.
+func NewPortOn(id uint16, tr Transport, pools []*Mempool) (*Port, error) {
+	if tr == nil {
+		return nil, errors.New("dpdk: port needs a transport")
+	}
+	nQueues := tr.Queues()
 	if nQueues < 1 {
 		return nil, errors.New("dpdk: port needs at least one queue")
 	}
 	if len(pools) != 1 && len(pools) != nQueues {
 		return nil, fmt.Errorf("dpdk: %d pools for %d queues (want 1 shared or one per queue)", len(pools), nQueues)
 	}
-	p := &Port{ID: id, queues: make([]queue, nQueues)}
+	expanded := make([]*Mempool, nQueues)
 	for q := 0; q < nQueues; q++ {
 		pool := pools[0]
 		if len(pools) == nQueues {
@@ -92,47 +104,74 @@ func NewMultiQueuePort(id uint16, nQueues, rxDepth, txDepth int, pools []*Mempoo
 		if pool == nil {
 			return nil, errors.New("dpdk: port needs a mempool")
 		}
-		rx, err := libvig.NewRing[*Mbuf](rxDepth)
-		if err != nil {
-			return nil, fmt.Errorf("dpdk: rx ring: %w", err)
-		}
-		tx, err := libvig.NewRing[*Mbuf](txDepth)
-		if err != nil {
-			return nil, fmt.Errorf("dpdk: tx ring: %w", err)
-		}
-		p.queues[q] = queue{rx: rx, tx: tx, pool: pool}
+		expanded[q] = pool
 	}
+	if err := tr.Bind(id, expanded); err != nil {
+		return nil, err
+	}
+	p := &Port{ID: id, tr: tr, pools: expanded}
+	p.mem, _ = tr.(*MemTransport)
 	return p, nil
 }
 
-// Queues returns the number of RX/TX queue pairs.
-func (p *Port) Queues() int { return len(p.queues) }
+// Transport returns the backend carrying this port's traffic.
+func (p *Port) Transport() Transport { return p.tr }
 
-// Pool returns the mempool backing queue 0's RX path.
-func (p *Port) Pool() *Mempool { return p.queues[0].pool }
+// Queues returns the number of RX/TX queue pairs.
+func (p *Port) Queues() int { return len(p.pools) }
+
+// Pool returns the mempool backing a single-queue port's RX path. On a
+// multi-queue port there is no "the" pool — each queue has its own
+// allocator precisely so workers never share one — and silently
+// returning queue 0's pool has bitten callers that then accounted or
+// freed against the wrong allocator. It panics there; use
+// QueuePool(q).
+func (p *Port) Pool() *Mempool {
+	if len(p.pools) > 1 {
+		panic(fmt.Sprintf("dpdk: Pool() on a %d-queue port is ambiguous; use QueuePool(q)", len(p.pools)))
+	}
+	return p.pools[0]
+}
 
 // QueuePool returns the mempool backing queue q's RX path.
-func (p *Port) QueuePool(q int) *Mempool { return p.queues[q].pool }
+func (p *Port) QueuePool(q int) *Mempool { return p.pools[q] }
 
-// SetRSS installs the wire-side steering function: DeliverRx places
-// each frame on queue fn(frame) mod Queues(). A nil fn restores the
-// default (everything on queue 0). This is the software analogue of
-// programming the NIC's RSS hash/indirection table; nf.Pipeline
-// installs the sharded NF's own steering function here so the wire and
-// the workers agree on flow placement.
-func (p *Port) SetRSS(fn func(frame []byte) int) { p.rss = fn }
+// SetRSS installs the receive-side steering function: received frames
+// are placed on queue fn(frame) mod Queues(). A nil fn restores the
+// default. This is the software analogue of programming the NIC's RSS
+// hash/indirection table; nf.Pipeline installs the sharded NF's own
+// steering function here so the wire and the workers agree on flow
+// placement. On the in-memory backend steering happens at DeliverRx;
+// socket backends re-steer frames between queues after the kernel
+// hands them over (software RSS on the RX side).
+func (p *Port) SetRSS(fn func(frame []byte) int) { p.tr.SetRSS(fn) }
 
 // Stats returns the port counters aggregated across queues.
 func (p *Port) Stats() PortStats {
 	var s PortStats
-	for q := range p.queues {
-		s.add(p.queues[q].stats)
+	for q := range p.pools {
+		s.add(p.tr.QueueStats(q))
 	}
 	return s
 }
 
 // QueueStats returns queue q's counters.
-func (p *Port) QueueStats(q int) PortStats { return p.queues[q].stats }
+func (p *Port) QueueStats(q int) PortStats { return p.tr.QueueStats(q) }
+
+// Close releases the backend's resources (sockets, files). Safe on the
+// in-memory backend (a no-op: rings stay drainable).
+func (p *Port) Close() error { return p.tr.Close() }
+
+// WaitRxQueue blocks until queue q plausibly has receivable traffic or
+// d elapses: the idle-poll parking hook. Transports with a waitable fd
+// (the socket backends) select on it; the rest sleep out the budget.
+func (p *Port) WaitRxQueue(q int, d time.Duration) {
+	if w, ok := p.tr.(RxWaiter); ok {
+		w.WaitRx(q, d)
+		return
+	}
+	time.Sleep(d)
+}
 
 // --- NF side (the DPDK API surface VigNAT uses) ---
 
@@ -144,130 +183,81 @@ func (p *Port) RxBurst(bufs []*Mbuf) int { return p.RxBurstQueue(0, bufs) }
 
 // RxBurstQueue receives up to len(bufs) packets from queue q.
 func (p *Port) RxBurstQueue(q int, bufs []*Mbuf) int {
-	rx := p.queues[q].rx
-	n := 0
-	for n < len(bufs) && !rx.Empty() {
-		m, _ := rx.PopFront()
-		bufs[n] = m
-		n++
+	if p.mem != nil {
+		return p.mem.RxBurst(q, bufs)
 	}
-	return n
+	return p.tr.RxBurst(q, bufs)
 }
 
 // TxBurst enqueues up to len(bufs) packets on queue 0 for
 // transmission, returning how many were accepted. Ownership of
-// accepted mbufs transfers to the port; rejected ones remain with the
-// caller (DPDK semantics: the caller must free them or retry).
+// accepted mbufs transfers to the transport; rejected ones remain with
+// the caller (DPDK semantics: the caller must free them or retry).
 func (p *Port) TxBurst(bufs []*Mbuf) int { return p.TxBurstQueue(0, bufs) }
 
 // TxBurstQueue enqueues up to len(bufs) packets on queue q.
 func (p *Port) TxBurstQueue(q int, bufs []*Mbuf) int {
-	qu := &p.queues[q]
-	n := 0
-	for n < len(bufs) && !qu.tx.Full() {
-		_ = qu.tx.PushBack(bufs[n])
-		n++
+	if p.mem != nil {
+		return p.mem.TxBurst(q, bufs)
 	}
-	qu.stats.TxPackets += uint64(n)
-	qu.stats.TxDropped += uint64(len(bufs) - n)
-	return n
+	return p.tr.TxBurst(q, bufs)
 }
 
-// --- wire side (used by the testbed) ---
+// --- wire side (the in-memory backend's harness surface) ---
 
 // DeliverRx places a frame arriving from the wire at time now into the
-// RX queue the RSS function steers it to (queue 0 when none is
-// configured), allocating an mbuf from that queue's pool. It reports
-// whether the frame was accepted; drops are counted like a NIC's
-// imissed.
+// RX queue the RSS function steers it to. Only the in-memory backend
+// has a software wire; on socket backends the kernel delivers, and
+// DeliverRx reports false.
 func (p *Port) DeliverRx(frame []byte, now libvig.Time) bool {
-	q := 0
-	if p.rss != nil && len(p.queues) > 1 {
-		q = p.rss(frame) % len(p.queues)
-		if q < 0 {
-			q = 0
-		}
+	if p.mem == nil {
+		return false
 	}
-	return p.DeliverRxQueue(q, frame, now)
+	return p.mem.DeliverRx(frame, now)
 }
 
 // DeliverRxQueue places a frame directly on queue q, bypassing RSS
-// (tests and per-worker wire drivers that pre-steer their traffic). A
-// frame aimed at a queue the port does not have is rejected rather
-// than crashing the wire: a NIC cannot be handed a descriptor for a
-// ring that was never set up, and a misconfigured software driver must
-// not take the port down with it.
+// (tests and per-worker wire drivers that pre-steer their traffic).
 func (p *Port) DeliverRxQueue(q int, frame []byte, now libvig.Time) bool {
-	if q < 0 || q >= len(p.queues) {
+	if p.mem == nil {
 		return false
 	}
-	qu := &p.queues[q]
-	if qu.rx.Full() {
-		qu.stats.RxDropped++
-		return false
-	}
-	m := qu.pool.Alloc()
-	if m == nil {
-		qu.stats.RxDropped++
-		return false
-	}
-	if err := m.SetFrame(frame); err != nil {
-		_ = qu.pool.Free(m)
-		qu.stats.RxDropped++
-		return false
-	}
-	m.Port = p.ID
-	m.RxTime = now
-	_ = qu.rx.PushBack(m)
-	qu.stats.RxPackets++
-	return true
+	return p.mem.DeliverRxQueue(q, frame, now)
 }
 
 // DrainTx removes up to len(bufs) transmitted frames from the TX
-// queues (sweeping queue 0 upward) for the wire to carry. Ownership
-// transfers to the caller (the testbed frees them after copying the
-// frame onto the wire). Lock-step harnesses use this to observe all of
-// a port's output regardless of which queue it left on; concurrent
-// per-worker drivers use DrainTxQueue instead.
+// queues (sweeping queue 0 upward) for the wire to carry; in-memory
+// backend only (socket backends transmit and free at TxBurst).
 func (p *Port) DrainTx(bufs []*Mbuf) int {
-	n := 0
-	for q := range p.queues {
-		if n == len(bufs) {
-			break
-		}
-		n += p.DrainTxQueue(q, bufs[n:])
+	if p.mem == nil {
+		return 0
 	}
-	return n
+	return p.mem.DrainTx(bufs)
 }
 
 // DrainTxQueue removes up to len(bufs) transmitted frames from queue
-// q's TX ring.
+// q's TX ring; in-memory backend only.
 func (p *Port) DrainTxQueue(q int, bufs []*Mbuf) int {
-	tx := p.queues[q].tx
-	n := 0
-	for n < len(bufs) && !tx.Empty() {
-		m, _ := tx.PopFront()
-		bufs[n] = m
-		n++
+	if p.mem == nil {
+		return 0
 	}
-	return n
+	return p.mem.DrainTxQueue(q, bufs)
 }
 
-// RxQueueLen returns the total RX ring occupancy across queues (tests
-// and backpressure modelling).
+// RxQueueLen returns the total RX buffering across queues (tests and
+// end-of-run mbuf accounting). Socket backends hold no mbufs at rest:
+// frames buffer in the kernel until RxBurst allocates for them.
 func (p *Port) RxQueueLen() int {
-	n := 0
-	for q := range p.queues {
-		n += p.queues[q].rx.Len()
+	if p.mem == nil {
+		return 0
 	}
-	return n
+	return p.mem.RxQueueLen()
 }
 
-// TxQueueLen returns the total TX ring occupancy across queues.
+// TxQueueLen returns the total TX buffering across queues.
 func (p *Port) TxQueueLen() int {
-	n := 0
-	for q := range p.queues {
-		n += p.queues[q].tx.Len()
+	if p.mem == nil {
+		return 0
 	}
-	return n
+	return p.mem.TxQueueLen()
 }

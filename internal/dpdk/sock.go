@@ -1,0 +1,285 @@
+package dpdk
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vignat/internal/libvig"
+)
+
+// This file is the shared machinery of the socket transports: the
+// kernel is the wire, one nonblocking socket per queue, frames as
+// datagrams. What a NIC does in hardware — receive timestamping and
+// RSS steering — happens here in software: frames are stamped with the
+// configured clock at read time, and a frame the RSS function steers
+// to a different queue than the socket it arrived on is re-steered
+// through that queue's staging channel (the indirection-table hop a
+// NIC performs before DMA). Everything mbuf-shaped obeys the same
+// conservation discipline as the in-memory backend.
+
+// DefaultStagingDepth bounds each queue's software-RSS re-steering
+// buffer (frames parked for a queue other than the receiving socket's).
+const DefaultStagingDepth = 512
+
+// SocketConfig parameterizes a socket transport.
+type SocketConfig struct {
+	// Queues is the number of RX/TX queue pairs (default 1).
+	Queues int
+	// Local is the receive address. UDP: "host:port", where queue q
+	// binds port+q (port 0 binds ephemeral ports; read them back with
+	// LocalAddr). Unix: a filesystem path prefix, where queue q listens
+	// at "<Local>.q<q>".
+	Local string
+	// Peer is where transmitted frames go. UDP: "host:port" (the far
+	// end's queue-0 socket). Unix: the far end's path prefix (frames
+	// connect to "<Peer>.q0"). The receiving side's software RSS
+	// re-steers to the right queue, so one peer endpoint suffices. May
+	// be empty at construction and set later with SetPeer (before
+	// traffic); transmitting with no peer drops like a NIC with no
+	// link.
+	Peer string
+	// Clock stamps received frames (Mbuf.RxTime). Defaults to the
+	// system clock — wire backends live on real time.
+	Clock libvig.Clock
+	// StagingDepth bounds the per-queue software-RSS re-steering buffer
+	// (default DefaultStagingDepth). Overflow drops count as RxDropped
+	// on the receiving queue.
+	StagingDepth int
+	// SndBuf/RcvBuf, when positive, set SO_SNDBUF/SO_RCVBUF on every
+	// socket (tests use tiny buffers to force backpressure quickly).
+	SndBuf, RcvBuf int
+}
+
+func (cfg *SocketConfig) withDefaults() SocketConfig {
+	c := *cfg
+	if c.Queues == 0 {
+		c.Queues = 1
+	}
+	if c.Clock == nil {
+		c.Clock = libvig.NewSystemClock()
+	}
+	if c.StagingDepth == 0 {
+		c.StagingDepth = DefaultStagingDepth
+	}
+	return c
+}
+
+// stagedFrame is a frame parked between the socket it arrived on and
+// the queue RSS steers it to, carrying its read-time stamp.
+type stagedFrame struct {
+	buf    [DataRoomSize]byte
+	n      int
+	rxTime libvig.Time
+}
+
+// sockQueue is the per-queue state shared by the socket transports.
+// stats follows the single-writer discipline: only the goroutine
+// driving queue q's bursts touches queues[q].stats — including the
+// RxDropped counted when q's socket receives a frame it must re-steer
+// and the target's staging buffer is full (the drop charges the
+// receiving queue, whose goroutine is the one running).
+type sockQueue struct {
+	fd      int
+	stats   PortStats
+	staging chan *stagedFrame
+	scratch []byte // DataRoomSize+1: one spare byte detects oversize frames
+}
+
+// sock is the common core of UDPTransport and UnixTransport.
+type sock struct {
+	name   string
+	cfg    SocketConfig // defaults applied; read-only after construction
+	portID uint16
+	pools  []*Mempool
+	clock  libvig.Clock
+	rss    func(frame []byte) int
+	queues []sockQueue
+	closed atomic.Bool
+}
+
+func newSock(name string, cfg SocketConfig) *sock {
+	s := &sock{name: name, cfg: cfg, clock: cfg.Clock, queues: make([]sockQueue, cfg.Queues)}
+	for q := range s.queues {
+		s.queues[q] = sockQueue{
+			fd:      -1,
+			staging: make(chan *stagedFrame, cfg.StagingDepth),
+			scratch: make([]byte, DataRoomSize+1),
+		}
+	}
+	return s
+}
+
+func (s *sock) Name() string { return s.name }
+func (s *sock) Queues() int  { return len(s.queues) }
+
+func (s *sock) SetRSS(fn func(frame []byte) int) { s.rss = fn }
+
+func (s *sock) QueueStats(q int) PortStats { return s.queues[q].stats }
+
+func (s *sock) bindPools(portID uint16, pools []*Mempool) error {
+	if len(pools) != len(s.queues) {
+		return fmt.Errorf("dpdk: %d pools for %d queues", len(pools), len(s.queues))
+	}
+	s.portID = portID
+	s.pools = pools
+	return nil
+}
+
+// steerOf maps a received frame to its RSS queue.
+func (s *sock) steerOf(frame []byte) int {
+	if s.rss == nil || len(s.queues) == 1 {
+		return -1 // no re-steering configured: stay on the receiving queue
+	}
+	q := s.rss(frame) % len(s.queues)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// makeMbuf allocates from queue q's pool and fills in the frame plus
+// RX metadata, counting the packet (or the pool-exhaustion drop) on q.
+func (s *sock) makeMbuf(q int, frame []byte, now libvig.Time) *Mbuf {
+	qu := &s.queues[q]
+	m := s.pools[q].Alloc()
+	if m == nil {
+		qu.stats.RxDropped++
+		return nil
+	}
+	_ = m.SetFrame(frame) // length pre-checked against DataRoomSize
+	m.Port = s.portID
+	m.RxTime = now
+	qu.stats.RxPackets++
+	return m
+}
+
+// place routes one frame received on queue rq: oversize frames drop
+// (defined behavior — a frame that cannot fit an mbuf is cut, not
+// truncated into a valid-looking prefix), frames RSS keeps on rq
+// become mbufs immediately, and frames steered elsewhere park in the
+// target queue's staging channel for its next RxBurst. Returns the
+// updated fill count of bufs.
+func (s *sock) place(rq int, frame []byte, now libvig.Time, bufs []*Mbuf, n int) int {
+	if len(frame) > DataRoomSize {
+		s.queues[rq].stats.RxDropped++
+		return n
+	}
+	tq := s.steerOf(frame)
+	if tq < 0 || tq == rq {
+		if m := s.makeMbuf(rq, frame, now); m != nil {
+			bufs[n] = m
+			n++
+		}
+		return n
+	}
+	sf := &stagedFrame{n: len(frame), rxTime: now}
+	copy(sf.buf[:], frame)
+	select {
+	case s.queues[tq].staging <- sf:
+	default:
+		s.queues[rq].stats.RxDropped++ // staging full: charge the receiver
+	}
+	return n
+}
+
+// drainStaging moves re-steered frames parked for queue q into bufs.
+func (s *sock) drainStaging(q int, bufs []*Mbuf) int {
+	n := 0
+	for n < len(bufs) {
+		select {
+		case sf := <-s.queues[q].staging:
+			if m := s.makeMbuf(q, sf.buf[:sf.n], sf.rxTime); m != nil {
+				bufs[n] = m
+				n++
+			}
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// stagingReady reports whether queue q has parked frames (WaitRx must
+// not sleep past traffic that is already here).
+func (s *sock) stagingReady(q int) bool { return len(s.queues[q].staging) > 0 }
+
+// setBufs applies the configured socket buffer sizes to fd.
+func setBufs(fd int, cfg *SocketConfig) error {
+	if cfg.SndBuf > 0 {
+		if err := syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_SNDBUF, cfg.SndBuf); err != nil {
+			return fmt.Errorf("dpdk: SO_SNDBUF: %w", err)
+		}
+	}
+	if cfg.RcvBuf > 0 {
+		if err := syscall.SetsockoptInt(fd, syscall.SOL_SOCKET, syscall.SO_RCVBUF, cfg.RcvBuf); err != nil {
+			return fmt.Errorf("dpdk: SO_RCVBUF: %w", err)
+		}
+	}
+	return nil
+}
+
+// wouldBlock reports the errnos that mean "retry later" rather than a
+// failed send/receive.
+func wouldBlock(err error) bool {
+	return err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.ENOBUFS
+}
+
+// waitFDs blocks until one of fds is readable or d elapses, via
+// select(2). Descriptors outside FD_SETSIZE (or an empty set) fall
+// back to sleeping out the budget — parking, not correctness, is at
+// stake.
+func waitFDs(fds []int, d time.Duration) {
+	var set syscall.FdSet
+	maxfd := -1
+	for _, fd := range fds {
+		if fd < 0 {
+			continue
+		}
+		if fd >= 1024 {
+			time.Sleep(d)
+			return
+		}
+		set.Bits[fd/64] |= 1 << (uint(fd) % 64)
+		if fd > maxfd {
+			maxfd = fd
+		}
+	}
+	if maxfd < 0 {
+		time.Sleep(d)
+		return
+	}
+	tv := syscall.NsecToTimeval(d.Nanoseconds())
+	_, _ = syscall.Select(maxfd+1, &set, nil, nil, &tv)
+}
+
+// parseUDPAddr resolves a numeric "host:port" into a sockaddr (no DNS:
+// transports must not block on resolution; an empty host means
+// loopback).
+func parseUDPAddr(addr string) (*syscall.SockaddrInet4, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: udp address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 || port > 65535 {
+		return nil, fmt.Errorf("dpdk: udp address %q: bad port", addr)
+	}
+	sa := &syscall.SockaddrInet4{Port: port}
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return nil, fmt.Errorf("dpdk: udp address %q: host must be a literal IP", addr)
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return nil, fmt.Errorf("dpdk: udp address %q: IPv4 only", addr)
+	}
+	copy(sa.Addr[:], v4)
+	return sa, nil
+}

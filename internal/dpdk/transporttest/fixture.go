@@ -1,0 +1,376 @@
+// Package transporttest is the shared conformance fixture every
+// dpdk.Transport backend must pass: the same burst, steering,
+// overflow, conservation, and failure-mode checks run against the
+// in-memory rings and both kernel-socket wires. A transport that
+// passes here is substitutable under every NF in the repository —
+// the spec suites check protocol behavior, this fixture checks the
+// I/O contract those suites stand on.
+package transporttest
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/libvig"
+	"vignat/internal/testbed"
+)
+
+// Backend describes one transport under test.
+type Backend struct {
+	// Name labels the subtests ("mem", "udp", "unix").
+	Name string
+	// HasTxBackpressure is true when a full TX path rejects bursts back
+	// to the caller (in-memory ring-full, unix SNDBUF exhaustion) and
+	// false when the wire is lossy instead (UDP: a full receiver drops,
+	// the sender never learns).
+	HasTxBackpressure bool
+	// New builds a port on this backend with nQueues queue pairs
+	// drawing from a fresh pool of poolSize mbufs, plus the tester-side
+	// wire talking to it. Cleanup registers with t.
+	New func(t *testing.T, nQueues, poolSize int) (*dpdk.Port, testbed.Wire)
+	// NewBackpressure builds a single-queue port whose TX path rejects
+	// after a bounded number of accepted frames — no consumer drains
+	// the far end. Nil when HasTxBackpressure is false.
+	NewBackpressure func(t *testing.T, poolSize int) *dpdk.Port
+}
+
+const (
+	collectTimeout = 5 * time.Second
+	frameLen       = 64
+)
+
+// mkFrame builds a test frame: byte 0 is the RSS steering tag, byte 1
+// the identity, the rest a fixed pattern.
+func mkFrame(tag, id byte, size int) []byte {
+	f := make([]byte, size)
+	for i := range f {
+		f[i] = 0xA5
+	}
+	f[0], f[1] = tag, id
+	return f
+}
+
+// rxCollect polls every queue (parking briefly when idle) until want
+// mbufs arrive or the deadline passes, returning them per queue.
+func rxCollect(p *dpdk.Port, want int, timeout time.Duration) [][]*dpdk.Mbuf {
+	perQ := make([][]*dpdk.Mbuf, p.Queues())
+	bufs := make([]*dpdk.Mbuf, 64)
+	total := 0
+	deadline := time.Now().Add(timeout)
+	for total < want && !time.Now().After(deadline) {
+		progress := 0
+		for q := 0; q < p.Queues(); q++ {
+			n := p.RxBurstQueue(q, bufs)
+			perQ[q] = append(perQ[q], bufs[:n]...)
+			progress += n
+		}
+		total += progress
+		if progress == 0 {
+			p.WaitRxQueue(0, time.Millisecond)
+		}
+	}
+	return perQ
+}
+
+func freeAll(t *testing.T, ms []*dpdk.Mbuf) {
+	t.Helper()
+	for _, m := range ms {
+		if err := m.Pool().Free(m); err != nil {
+			t.Fatalf("free: %v", err)
+		}
+	}
+}
+
+// Run drives the full conformance suite against one backend.
+func Run(t *testing.T, b Backend) {
+	t.Run("BurstRoundtrip", func(t *testing.T) { testBurstRoundtrip(t, b) })
+	t.Run("RSSSteering", func(t *testing.T) { testRSSSteering(t, b) })
+	t.Run("OversizeDrop", func(t *testing.T) { testOversizeDrop(t, b) })
+	t.Run("PoolExhaustion", func(t *testing.T) { testPoolExhaustion(t, b) })
+	t.Run("TxBackpressure", func(t *testing.T) { testTxBackpressure(t, b) })
+	t.Run("CloseMidBurst", func(t *testing.T) { testCloseMidBurst(t, b) })
+}
+
+// testBurstRoundtrip sends a burst through the wire, receives it on
+// the NF side with metadata intact, echoes it back, and checks the
+// wire sees every frame — with the pool drained to zero at the end.
+func testBurstRoundtrip(t *testing.T, b Backend) {
+	const k = 32
+	port, wire := b.New(t, 1, 2*k)
+	pool := port.Pool()
+
+	for i := 0; i < k; i++ {
+		if !wire.Send(mkFrame(0, byte(i), frameLen), libvig.Time(1000*(i+1))) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	got := rxCollect(port, k, collectTimeout)[0]
+	if len(got) != k {
+		t.Fatalf("received %d frames, want %d", len(got), k)
+	}
+	seen := map[byte]bool{}
+	for _, m := range got {
+		if m.Port != port.ID {
+			t.Fatalf("mbuf port %d, want %d", m.Port, port.ID)
+		}
+		if m.RxTime <= 0 {
+			t.Fatalf("mbuf not timestamped: RxTime=%d", m.RxTime)
+		}
+		if len(m.Data) != frameLen || m.Data[0] != 0 || m.Data[2] != 0xA5 {
+			t.Fatalf("frame corrupted: len=%d head=%v", len(m.Data), m.Data[:3])
+		}
+		seen[m.Data[1]] = true
+	}
+	if len(seen) != k {
+		t.Fatalf("got %d distinct frames, want %d", len(seen), k)
+	}
+
+	if n := port.TxBurstQueue(0, got); n != k {
+		t.Fatalf("echo accepted %d, want %d", n, k)
+	}
+	back := map[byte]bool{}
+	buf := make([]byte, 4096)
+	for i := 0; i < k; i++ {
+		n, ok := wire.Recv(buf, collectTimeout)
+		if !ok {
+			t.Fatalf("wire received %d echoed frames, want %d", i, k)
+		}
+		if n != frameLen {
+			t.Fatalf("echoed frame length %d, want %d", n, frameLen)
+		}
+		back[buf[1]] = true
+	}
+	if len(back) != k {
+		t.Fatalf("wire saw %d distinct frames, want %d", len(back), k)
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leaks %d mbufs after roundtrip", pool.InUse())
+	}
+	st := port.Stats()
+	if st.RxPackets != k || st.TxPackets != k {
+		t.Fatalf("stats rx=%d tx=%d, want %d/%d", st.RxPackets, st.TxPackets, k, k)
+	}
+}
+
+// testRSSSteering checks that with a 4-queue port and a steering
+// function on byte 0, every frame lands on (and is counted by) the
+// queue the function names — whether the backend steers at delivery
+// (mem) or re-steers after the kernel hands frames over (sockets).
+func testRSSSteering(t *testing.T, b Backend) {
+	const nq, k = 4, 64
+	port, wire := b.New(t, nq, 2*k)
+	port.SetRSS(func(f []byte) int { return int(f[0]) })
+
+	for i := 0; i < k; i++ {
+		if !wire.Send(mkFrame(byte(i%nq), byte(i), frameLen), libvig.Time(1000*(i+1))) {
+			t.Fatalf("send %d failed", i)
+		}
+	}
+	perQ := rxCollect(port, k, collectTimeout)
+	total := 0
+	var rx uint64
+	for q := 0; q < nq; q++ {
+		for _, m := range perQ[q] {
+			if int(m.Data[0]) != q {
+				t.Fatalf("frame tagged %d landed on queue %d", m.Data[0], q)
+			}
+		}
+		if len(perQ[q]) != k/nq {
+			t.Fatalf("queue %d got %d frames, want %d", q, len(perQ[q]), k/nq)
+		}
+		total += len(perQ[q])
+		rx += port.QueueStats(q).RxPackets
+		freeAll(t, perQ[q])
+	}
+	if total != k || rx != k {
+		t.Fatalf("steered %d frames (stats %d), want %d", total, rx, k)
+	}
+	if port.QueuePool(0).InUse() != 0 {
+		t.Fatalf("pool leaks %d mbufs", port.QueuePool(0).InUse())
+	}
+}
+
+// testOversizeDrop checks the defined behavior for frames that cannot
+// fit an mbuf: dropped whole and counted, never truncated into a
+// valid-looking prefix.
+func testOversizeDrop(t *testing.T, b Backend) {
+	port, wire := b.New(t, 1, 16)
+	oversize := make([]byte, dpdk.DataRoomSize+1)
+	for i := range oversize {
+		oversize[i] = 0xEE
+	}
+	wire.Send(oversize, 1000) // mem rejects at delivery, sockets at read: both fine
+	if !wire.Send(mkFrame(0, 7, frameLen), 2000) {
+		t.Fatal("valid send failed")
+	}
+	got := rxCollect(port, 1, collectTimeout)[0]
+	if len(got) != 1 || len(got[0].Data) != frameLen || got[0].Data[1] != 7 {
+		t.Fatalf("want exactly the valid frame, got %d frames", len(got))
+	}
+	if st := port.Stats(); st.RxDropped != 1 {
+		t.Fatalf("RxDropped=%d, want 1 (the oversize frame)", st.RxDropped)
+	}
+	freeAll(t, got)
+}
+
+// testPoolExhaustion checks that an empty mempool turns arrivals into
+// counted drops — not crashes, not stalls — and that service resumes
+// once mbufs come back.
+func testPoolExhaustion(t *testing.T, b Backend) {
+	const poolSize, sent = 4, 8
+	port, wire := b.New(t, 1, poolSize)
+	pool := port.Pool()
+	for i := 0; i < sent; i++ {
+		wire.Send(mkFrame(0, byte(i), frameLen), libvig.Time(1000*(i+1)))
+	}
+	got := rxCollect(port, poolSize, collectTimeout)[0]
+	if len(got) != poolSize {
+		t.Fatalf("received %d frames, want %d (pool bound)", len(got), poolSize)
+	}
+	// Drain any stragglers the backend still buffers: with the pool
+	// empty they must drop, not stall the port.
+	extra := rxCollect(port, sent-poolSize, time.Second)[0]
+	if len(extra) != 0 {
+		t.Fatalf("received %d frames with an empty pool", len(extra))
+	}
+	if st := port.Stats(); st.RxDropped != sent-poolSize {
+		t.Fatalf("RxDropped=%d, want %d", st.RxDropped, sent-poolSize)
+	}
+	freeAll(t, got)
+	// Service resumes with mbufs back.
+	if !wire.Send(mkFrame(0, 99, frameLen), 9000) {
+		t.Fatal("post-recovery send failed")
+	}
+	again := rxCollect(port, 1, collectTimeout)[0]
+	if len(again) != 1 || again[0].Data[1] != 99 {
+		t.Fatalf("port did not recover after pool refill")
+	}
+	freeAll(t, again)
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leaks %d mbufs", pool.InUse())
+	}
+}
+
+// testTxBackpressure checks mbuf conservation under TX short write:
+// with no consumer, the transport accepts a bounded number of frames
+// then rejects; rejected mbufs stay with the caller (retriable,
+// freeable, never double-freed), accepted ones are accounted exactly.
+func testTxBackpressure(t *testing.T, b Backend) {
+	if !b.HasTxBackpressure {
+		t.Skipf("%s is lossy: a full far end drops instead of backpressuring", b.Name)
+	}
+	const poolSize = 64
+	port := b.NewBackpressure(t, poolSize)
+	pool := port.Pool()
+
+	frame := mkFrame(0, 1, 1024) // big frames fill socket buffers fast
+	sent := 0
+	var rejected *dpdk.Mbuf
+	for i := 0; i < poolSize; i++ {
+		m := pool.Alloc()
+		if m == nil {
+			t.Fatalf("pool empty after %d sends: accepted frames not freed?", sent)
+		}
+		if err := m.SetFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		if port.TxBurstQueue(0, []*dpdk.Mbuf{m}) == 0 {
+			rejected = m
+			break
+		}
+		sent++
+	}
+	if rejected == nil {
+		t.Fatalf("no TX rejection within %d frames on a full path", poolSize)
+	}
+	// A rejected mbuf is still the caller's: retrying must not
+	// double-consume it.
+	if port.TxBurstQueue(0, []*dpdk.Mbuf{rejected}) != 0 {
+		t.Fatal("retry accepted on a still-full path")
+	}
+	if err := rejected.Pool().Free(rejected); err != nil {
+		t.Fatalf("rejected mbuf not ours to free: %v", err)
+	}
+	if st := port.Stats(); st.TxPackets != uint64(sent) {
+		t.Fatalf("TxPackets=%d, want %d", st.TxPackets, sent)
+	}
+	// Conservation: whatever the pool still holds must be exactly what
+	// the transport parked for the wire (zero on socket backends, the
+	// TX ring occupancy on mem).
+	if pool.InUse() != port.TxQueueLen() {
+		t.Fatalf("pool holds %d mbufs but transport parks %d", pool.InUse(), port.TxQueueLen())
+	}
+	drain := make([]*dpdk.Mbuf, poolSize)
+	for {
+		n := port.DrainTx(drain)
+		if n == 0 {
+			break
+		}
+		freeAll(t, drain[:n])
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leaks %d mbufs after drain", pool.InUse())
+	}
+}
+
+// testCloseMidBurst checks that closing the port while a receive loop
+// runs neither panics, deadlocks, nor strands mbufs — and that TX
+// after close consumes nothing it shouldn't.
+func testCloseMidBurst(t *testing.T, b Backend) {
+	const k = 16
+	port, wire := b.New(t, 1, 2*k)
+	pool := port.Pool()
+	for i := 0; i < k; i++ {
+		wire.Send(mkFrame(0, byte(i), frameLen), libvig.Time(1000*(i+1)))
+	}
+	closed := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bufs := make([]*dpdk.Mbuf, 8)
+		for {
+			n := port.RxBurstQueue(0, bufs)
+			for _, m := range bufs[:n] {
+				_ = m.Pool().Free(m)
+			}
+			if n == 0 {
+				select {
+				case <-closed:
+					return
+				default:
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := port.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	close(closed)
+	select {
+	case <-done:
+	case <-time.After(collectTimeout):
+		t.Fatal("receive loop deadlocked across Close")
+	}
+	// TX after close: accepted-or-rejected, every mbuf accounted.
+	m := pool.Alloc()
+	_ = m.SetFrame(mkFrame(0, 0, frameLen))
+	if port.TxBurstQueue(0, []*dpdk.Mbuf{m}) == 0 {
+		if err := pool.Free(m); err != nil {
+			t.Fatalf("rejected mbuf not ours: %v", err)
+		}
+	}
+	drain := make([]*dpdk.Mbuf, 2*k)
+	for {
+		n := port.DrainTx(drain)
+		if n == 0 {
+			break
+		}
+		freeAll(t, drain[:n])
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool leaks %d mbufs after close", pool.InUse())
+	}
+}

@@ -323,11 +323,23 @@ func mpps(packets int, d time.Duration) float64 {
 	return float64(packets) / d.Seconds() / 1e6
 }
 
+// PipelinePrimaryColumn names the authoritative scaling column for
+// this host: "measured" when real cores back the worker goroutines,
+// "modeled" on a single-core host where wall-clock parallelism
+// flattens at 1× no matter what the code does and only the makespan
+// model preserves the per-shard scaling shape.
+func PipelinePrimaryColumn() string {
+	if runtime.NumCPU() > 1 {
+		return "measured"
+	}
+	return "modeled"
+}
+
 // FormatPipeline renders the scaling rows as a paper-style table.
 func FormatPipeline(rows []PipelineRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "(measured = W-goroutine run-to-completion over W RSS queue pairs, wall clock, GOMAXPROCS=%d; modeled = per-shard isolation makespan)\n",
-		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "(primary column: %s; measured = W-goroutine run-to-completion over W RSS queue pairs, wall clock, GOMAXPROCS=%d, NumCPU=%d; modeled = per-shard isolation makespan)\n",
+		PipelinePrimaryColumn(), runtime.GOMAXPROCS(0), runtime.NumCPU())
 	fmt.Fprintf(&b, "%-8s %13s %13s %14s %10s %13s %9s\n",
 		"workers", "per-pkt Mpps", "batched Mpps", "measured Mpps", "speedup", "modeled Mpps", "speedup")
 	for _, r := range rows {

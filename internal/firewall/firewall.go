@@ -16,6 +16,7 @@ package firewall
 import (
 	"time"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
@@ -130,6 +131,12 @@ type Firewall struct {
 	clock   libvig.Clock
 	texp    libvig.Time
 	env     prodEnv
+	// fpGens invalidates engine flow-cache entries: one generation per
+	// session index, bumped by an eraser whenever a session expires —
+	// the same discipline as the NAT's erase hook. Without the guard a
+	// cached verdict could rejuvenate a freed (possibly reallocated)
+	// index and keep forwarding unsolicited external traffic.
+	fpGens *fastpath.GenTable
 
 	perPacketExpiry             bool
 	processed, dropped, expired uint64
@@ -149,7 +156,11 @@ func New(capacity int, timeout time.Duration, clock libvig.Clock) (*Firewall, er
 		return nil, err
 	}
 	fw := &Firewall{dmap: dm, chain: ch, clock: clock, texp: timeout.Nanoseconds(), perPacketExpiry: true}
-	fw.erasers = []libvig.IndexEraser{libvig.IndexEraserFunc(fw.dmap.Erase)}
+	fw.fpGens = fastpath.NewGenTable(capacity)
+	fw.erasers = []libvig.IndexEraser{
+		libvig.IndexEraserFunc(fw.dmap.Erase),
+		libvig.IndexEraserFunc(func(i int) error { fw.fpGens.Bump(i); return nil }),
+	}
 	fw.env.fw = fw
 	return fw, nil
 }

@@ -3,6 +3,7 @@ package firewall
 import (
 	"time"
 
+	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
@@ -45,6 +46,34 @@ func Kit(capacity int, timeout time.Duration, clock libvig.Clock) nfkit.Decl[*Fi
 				Dropped:   dropped,
 				Expired:   fw.Expired(),
 			}
+		},
+		// The fast path caches live sessions: Offer resolves the
+		// direction-appropriate membership lookup (the only state read
+		// the established branch performs — the firewall rewrites
+		// nothing, so the cached template is an identity rewrite), and
+		// Hit replays that branch's mutations: rejuvenate plus the
+		// processed counter. The fpGens eraser bumps generations on
+		// expiry, so a dead session's cached verdict misses instead of
+		// re-admitting external traffic.
+		FastPath: &nfkit.FastPathHooks[*Firewall]{
+			Offer: func(fw *Firewall, key fastpath.Key) (uint64, fastpath.Guard, bool) {
+				var idx int
+				var ok bool
+				if key.FromInternal {
+					idx, ok = fw.dmap.GetByFst(key.ID)
+				} else {
+					idx, ok = fw.dmap.GetBySnd(key.ID)
+				}
+				if !ok {
+					return 0, fastpath.Guard{}, false
+				}
+				return uint64(idx), fw.fpGens.Guard(idx), true
+			},
+			Hit: func(fw *Firewall, aux uint64, _ int, now libvig.Time) nf.Verdict {
+				_ = fw.chain.Rejuvenate(int(aux), now)
+				fw.processed++
+				return nf.Forward
+			},
 		},
 		ShardOf: func(frame []byte, fromInternal bool, shards int) int {
 			var scratch netstack.Packet

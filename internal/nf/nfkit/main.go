@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"vignat/internal/dpdk"
@@ -22,8 +25,9 @@ import (
 
 // Options are the shared engine flags every demo binary exposes:
 // -packets, -timeout, -capacity, -shards, -workers, -burst, -metrics,
-// -amortized. Workers is resolved (0 → one per shard) and validated
-// before Build runs.
+// -amortized, plus the transport selection (-transport with its
+// address flags and -duration). Workers is resolved (0 → one per
+// shard) and validated before Build runs.
 type Options struct {
 	Packets  int
 	Timeout  time.Duration
@@ -33,6 +37,19 @@ type Options struct {
 	Burst    int
 	Metrics  string
 	Amortize bool
+	// Transport picks the packet-I/O backend: "mem" (default) drives
+	// the NF with the built-in traffic over in-memory rings on a
+	// virtual clock; "udp" and "unix" run the NF as a daemon on real
+	// kernel sockets and the system clock, processing whatever a peer
+	// process sends.
+	Transport string
+	// IntLocal/IntPeer and ExtLocal/ExtPeer are the wire addresses of
+	// the internal and external ports (udp: "host:port" with queue q
+	// bound at port+q; unix: a path prefix with queue q at
+	// "<prefix>.q<q>").
+	IntLocal, IntPeer, ExtLocal, ExtPeer string
+	// Duration bounds a wire-mode run (0 = run until SIGINT/SIGTERM).
+	Duration time.Duration
 }
 
 // App is one demo binary's declaration. Register NF-specific flags
@@ -44,7 +61,11 @@ type App struct {
 	// DefaultCapacity seeds the shared -capacity flag.
 	DefaultCapacity int
 	// Build constructs the NF and its traffic once flags are parsed.
-	Build func(o *Options, clock *libvig.VirtualClock) (*Run, error)
+	// The clock is the one the engine will drive expiry with: a
+	// VirtualClock advanced by the in-memory harness, or the system
+	// clock in wire mode — build the NF against the interface, not a
+	// concrete clock.
+	Build func(o *Options, clock libvig.Clock) (*Run, error)
 }
 
 // Run is what an App's Build hands the kit to drive.
@@ -105,6 +126,12 @@ func Main(app App) {
 	flag.IntVar(&o.Burst, "burst", nf.DefaultBurst, "RX/TX burst size")
 	flag.StringVar(&o.Metrics, "metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
 	flag.BoolVar(&o.Amortize, "amortized", false, "engine-level once-per-poll expiry instead of per-packet")
+	flag.StringVar(&o.Transport, "transport", "mem", "packet I/O backend: mem (in-memory harness), udp, unix")
+	flag.StringVar(&o.IntLocal, "int-local", "", "wire mode: internal port's local address (udp host:port / unix path prefix)")
+	flag.StringVar(&o.IntPeer, "int-peer", "", "wire mode: where the internal port transmits")
+	flag.StringVar(&o.ExtLocal, "ext-local", "", "wire mode: external port's local address")
+	flag.StringVar(&o.ExtPeer, "ext-peer", "", "wire mode: where the external port transmits")
+	flag.DurationVar(&o.Duration, "duration", 0, "wire mode: stop after this long (0 = until SIGINT/SIGTERM)")
 	flag.Parse()
 	if err := run(app, o); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", app.Name, err)
@@ -125,6 +152,13 @@ func run(app App, o *Options) error {
 	}
 	if o.Workers < 1 || o.Workers > o.Shards {
 		return fmt.Errorf("workers must be in [1,%d] (one queue pair per worker, shards spread across workers)", o.Shards)
+	}
+	switch o.Transport {
+	case "", "mem":
+	case "udp", "unix":
+		return runWire(app, o)
+	default:
+		return fmt.Errorf("unknown transport %q (want mem, udp, or unix)", o.Transport)
 	}
 
 	clock := libvig.NewVirtualClock(0)
@@ -278,6 +312,176 @@ func run(app App, o *Options) error {
 	fmt.Printf("  rx port: rx=%d rx_dropped=%d | tx port: tx=%d tx_dropped=%d\n",
 		rs.RxPackets, rs.RxDropped, ts.TxPackets, ts.TxDropped)
 	if err := nf.MbufAccounting(rxPort.RxQueueLen()+txPort.TxQueueLen(),
+		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
+		return err
+	}
+	fmt.Println("mbuf accounting clean (no leaks)")
+	return nil
+}
+
+// wireAddresser is what both socket transports expose for printing
+// where each queue actually listens (ephemeral UDP ports resolve at
+// bind time).
+type wireAddresser interface{ LocalAddr(q int) string }
+
+func newWireTransport(kind string, queues int, local, peer string, clock libvig.Clock) (dpdk.Transport, error) {
+	cfg := dpdk.SocketConfig{Queues: queues, Local: local, Peer: peer, Clock: clock}
+	switch kind {
+	case "udp":
+		return dpdk.NewUDPTransport(cfg)
+	case "unix":
+		return dpdk.NewUnixTransport(cfg)
+	}
+	return nil, fmt.Errorf("unknown transport %q", kind)
+}
+
+// wireIdleWait is how long an idle wire-mode worker parks in select(2)
+// per poll. Long enough to burn no measurable CPU between packets,
+// short enough that expiry sweeps stay fresh.
+const wireIdleWait = 2 * time.Millisecond
+
+// runWire runs the NF as a daemon over kernel sockets: the peer
+// process is the traffic source and sink, the system clock drives
+// expiry, and the run ends on SIGINT/SIGTERM or -duration. The App's
+// Report is skipped — its invariants describe the built-in traffic,
+// and on a real wire the peer decides what arrives — but the engine
+// report, port counters, and mbuf accounting still print and check.
+func runWire(app App, o *Options) error {
+	clock := libvig.NewSystemClock()
+	b, err := app.Build(o, clock)
+	if err != nil {
+		return err
+	}
+	switch {
+	case b.NF == nil:
+		return fmt.Errorf("app declares no NF")
+	case b.ShardOf == nil:
+		return fmt.Errorf("app declares no steering")
+	case b.Snapshot == nil:
+		return fmt.Errorf("app declares no stats snapshot")
+	}
+
+	newSide := func(name string, id uint16, local, peer string) (*dpdk.Port, []*dpdk.Mempool, error) {
+		tr, err := newWireTransport(o.Transport, o.Workers, local, peer, clock)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s port: %w (set -%s-local / -%s-peer)", name, err, name[:3], name[:3])
+		}
+		pools := make([]*dpdk.Mempool, o.Workers)
+		for w := range pools {
+			if pools[w], err = dpdk.NewMempool(4096 / o.Workers); err != nil {
+				_ = tr.Close()
+				return nil, nil, err
+			}
+		}
+		port, err := dpdk.NewPortOn(id, tr, pools)
+		if err != nil {
+			_ = tr.Close()
+			return nil, nil, err
+		}
+		return port, pools, nil
+	}
+	intPort, intPools, err := newSide("internal", b.InternalPortID, o.IntLocal, o.IntPeer)
+	if err != nil {
+		return err
+	}
+	defer intPort.Close()
+	extPort, extPools, err := newSide("external", b.ExternalPortID, o.ExtLocal, o.ExtPeer)
+	if err != nil {
+		return err
+	}
+	defer extPort.Close()
+
+	pipe, err := nf.NewPipeline(b.NF, nf.Config{
+		Internal:        intPort,
+		External:        extPort,
+		Burst:           o.Burst,
+		Workers:         o.Workers,
+		Clock:           clock,
+		AmortizedExpiry: o.Amortize,
+		IdleWait:        wireIdleWait,
+	})
+	if err != nil {
+		return err
+	}
+
+	if o.Metrics != "" {
+		m, err := nf.ServeMetrics(o.Metrics, nf.MetricSource{Name: app.Name, Snapshot: b.Snapshot})
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
+	}
+	if b.Banner != "" {
+		fmt.Println(b.Banner)
+	}
+	for _, side := range []struct {
+		name string
+		port *dpdk.Port
+	}{{"internal", intPort}, {"external", extPort}} {
+		if a, ok := side.port.Transport().(wireAddresser); ok {
+			addrs := make([]string, o.Workers)
+			for q := range addrs {
+				addrs[q] = a.LocalAddr(q)
+			}
+			fmt.Printf("%s port: %s %s\n", side.name, o.Transport, strings.Join(addrs, " "))
+		}
+	}
+
+	stop := make(chan struct{})
+	errs := make([]error, o.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := pipe.PollWorker(w); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var expired <-chan time.Time
+	if o.Duration > 0 {
+		expired = time.After(o.Duration)
+	}
+	select {
+	case <-sigc:
+	case <-expired:
+	}
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	ps := pipe.Stats()
+	fmt.Printf("ran %.1fs on %s transport: %.3f Mpps forwarded\n",
+		elapsed.Seconds(), o.Transport, float64(ps.TxPackets)/elapsed.Seconds()/1e6)
+	nf.FprintEngineReport(os.Stdout, ps, b.Snapshot())
+	is, es := intPort.Stats(), extPort.Stats()
+	fmt.Printf("  internal: rx=%d rx_dropped=%d tx=%d tx_dropped=%d | external: rx=%d rx_dropped=%d tx=%d tx_dropped=%d\n",
+		is.RxPackets, is.RxDropped, is.TxPackets, is.TxDropped,
+		es.RxPackets, es.RxDropped, es.TxPackets, es.TxDropped)
+	// Socket transports hold no mbufs at rest: everything RxBurst
+	// allocated was transmitted-and-freed or freed on drop, so the
+	// pools must be whole again.
+	if err := nf.MbufAccounting(0,
 		append(append([]*dpdk.Mempool(nil), intPools...), extPools...)...); err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"vignat/internal/dpdk"
 	"vignat/internal/fastpath"
@@ -76,6 +77,14 @@ type Config struct {
 	// off). FastPathDisabled forces it off. NFs that do not implement
 	// FastPather (or decline it) are unaffected either way.
 	FastPath int
+	// IdleWait, when positive, parks an idle PollWorker (zero packets
+	// after its expiry sweep) for up to that long waiting for RX
+	// traffic, half the budget on each port. On socket transports the
+	// wait is a select(2) on the queue's descriptor — wire mode burns
+	// no CPU between packets; on the in-memory transport it is a plain
+	// sleep, so lock-step harnesses leave it zero and busy-poll like
+	// DPDK.
+	IdleWait time.Duration
 }
 
 // resolveFastPath turns Config.FastPath plus the environment into a
@@ -168,6 +177,8 @@ type Pipeline struct {
 	fastSink FastPathCounter
 	// fastEntries is the per-worker cache size; 0 disables the cache.
 	fastEntries int
+	// idleWait is the idle-poll parking budget (0 = busy-poll).
+	idleWait time.Duration
 	// ownerLocal[s] is the owning worker's local slot for shard s
 	// (read-only after construction, shared by all workers).
 	ownerLocal []int
@@ -283,6 +294,7 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		burst:      burst,
 		clock:      cfg.Clock,
 		amortized:  cfg.AmortizedExpiry,
+		idleWait:   cfg.IdleWait,
 		shardNFs:   make([]NF, nShards),
 		fastNFs:    make([]FastPather, nShards),
 		fastHits:   make([]FastHitFunc, nShards),
@@ -466,6 +478,12 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 			for _, s := range wk.shards {
 				p.shardNFs[s].Expire(now)
 			}
+		}
+		if p.idleWait > 0 {
+			// Park until traffic plausibly arrived on either port: wire
+			// mode's alternative to the DPDK busy-poll.
+			p.intPort.WaitRxQueue(w, p.idleWait/2)
+			p.extPort.WaitRxQueue(w, p.idleWait/2)
 		}
 		return 0, nil
 	}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vignat/internal/dpdk"
+	"vignat/internal/firewall"
 	"vignat/internal/flow"
 	"vignat/internal/lb"
 	"vignat/internal/libvig"
@@ -682,6 +683,128 @@ func TestFastPathLBConformanceDrain(t *testing.T) {
 		t.Fatalf("trace never exercised drain+expiry: %+v", st)
 	}
 	t.Logf("LB fast-path conformance: %+v; lb %+v", ps, st)
+}
+
+// TestFastPathFirewallConformance is the firewall leg: the membership
+// NF whose fast path caches an identity rewrite, where the property
+// that matters most is negative — once a session expires, a cached
+// inbound verdict MUST miss (the fpGens guard), or the firewall
+// forwards unsolicited external traffic forever. The trace mixes
+// steady outbound repeats (hit traffic), inbound replies cached in
+// their own right, full-table drops (24 flows against 16 sessions),
+// unsolicited junk, and expiry spells; cached and uncached rigs must
+// stay byte-identical and end on identical counters.
+func TestFastPathFirewallConformance(t *testing.T) {
+	const (
+		fwCap  = 16
+		fwTexp = 300 * time.Millisecond
+	)
+	clock := libvig.NewVirtualClock(0)
+	mkFW := func() *firewall.Sharded {
+		fw, err := firewall.NewSharded(fwCap, fwTexp, clock, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fw
+	}
+	onFW, offFW := mkFW(), mkFW()
+	on := buildFPRig(t, onFW, clock, 1024, false)
+	off := buildFPRig(t, offFW, clock, nf.FastPathDisabled, false)
+	if on.pipe.FastPathEntries() == 0 || off.pipe.FastPathEntries() != 0 {
+		t.Fatal("rig fast-path resolution wrong")
+	}
+
+	intIDs := make([]flow.ID, 24) // over capacity: full-table drops occur
+	for i := range intIDs {
+		proto := flow.UDP
+		if i%2 == 0 {
+			proto = flow.TCP
+		}
+		intIDs[i] = flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, 0, byte(1+i)),
+			SrcPort: uint16(20000 + i),
+			DstIP:   flow.MakeAddr(93, 184, 216, byte(1+i%3)),
+			DstPort: uint16(80 + i%2),
+			Proto:   proto,
+		}
+	}
+	rigs := []*fpPipeRig{on, off}
+	rng := rand.New(rand.NewSource(31))
+	buf := make([]byte, 2048)
+	drain := make([]*dpdk.Mbuf, 64)
+	var seq uint32
+
+	for iter := 0; iter < 900; iter++ {
+		if rng.Intn(29) == 0 {
+			// Expiry spell: sessions die, cached inbound entries with them.
+			clock.Advance(libvig.Time(2 * fwTexp.Nanoseconds()))
+		} else {
+			clock.Advance(libvig.Time(rng.Intn(int(fwTexp.Nanoseconds() / 8))))
+		}
+		burst := 3 + rng.Intn(6)
+		for p := 0; p < burst; p++ {
+			seq++
+			i := rng.Intn(len(intIDs))
+			id := intIDs[i]
+			fromInternal := true
+			switch rng.Intn(6) {
+			case 0, 1, 2: // outbound; repeats are the hit traffic
+			case 3, 4: // reply: forwarded iff the session is live
+				id = intIDs[i].Reverse()
+				fromInternal = false
+			case 5: // unsolicited external probe at an internal host
+				id = flow.ID{
+					SrcIP:   flow.MakeAddr(203, 0, 113, byte(1+rng.Intn(250))),
+					SrcPort: uint16(1024 + rng.Intn(60000)),
+					DstIP:   flow.MakeAddr(10, 0, 0, byte(1+rng.Intn(len(intIDs)))),
+					DstPort: uint16(20000 + rng.Intn(len(intIDs))),
+					Proto:   flow.UDP,
+				}
+				fromInternal = false
+			}
+			frame := polCraft(buf, id, 4, seq)
+			for _, r := range rigs {
+				port := r.intPort
+				if !fromInternal {
+					port = r.extPort
+				}
+				if !port.DeliverRx(frame, clock.Now()) {
+					t.Fatal("rx rejected")
+				}
+			}
+		}
+		for _, r := range rigs {
+			if _, err := r.pipe.Poll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fpCompareOutputs(t, iter, on.fpDrainAll(t, drain), off.fpDrainAll(t, drain))
+	}
+
+	onCore, offCore := onFW.ShardFirewall(0), offFW.ShardFirewall(0)
+	onProc, onDrop := onCore.Stats()
+	offProc, offDrop := offCore.Stats()
+	if onProc != offProc || onDrop != offDrop || onCore.Expired() != offCore.Expired() {
+		t.Fatalf("firewall counters diverged\ncached   proc=%d drop=%d exp=%d\nuncached proc=%d drop=%d exp=%d",
+			onProc, onDrop, onCore.Expired(), offProc, offDrop, offCore.Expired())
+	}
+	if onFW.Sessions() != offFW.Sessions() {
+		t.Fatalf("session counts diverged: cached %d, uncached %d", onFW.Sessions(), offFW.Sessions())
+	}
+	ps := on.pipe.Stats()
+	if ps.FastPathHits == 0 || ps.FastPathEvictions == 0 {
+		t.Fatalf("trace never exercised the cache: %+v", ps)
+	}
+	if onCore.Expired() == 0 || onDrop == 0 {
+		t.Fatalf("trace too gentle: drops=%d expired=%d", onDrop, onCore.Expired())
+	}
+	for _, r := range rigs {
+		if r.pool.InUse() != 0 {
+			t.Fatalf("mbuf leak: %d in use", r.pool.InUse())
+		}
+	}
+	t.Logf("firewall fast-path conformance: %+v; fw proc=%d drop=%d expired=%d",
+		ps, onProc, onDrop, onCore.Expired())
 }
 
 // TestFastPathGatewayChainConformance covers the composite case: the

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Two-process UDP smoke test: a vignat daemon in wire mode and the
+# vigwire generator/sink exchange real packets over loopback UDP
+# sockets — separate processes, kernel transport, no shared memory.
+# The run passes only if vigwire's RFC 3022 oracle accepts every
+# observed translation, including the return traffic, and the NAT
+# shuts down cleanly (zero drops, no mbuf leaks) on SIGINT.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+nat_pid=""
+cleanup() {
+    [ -n "$nat_pid" ] && kill "$nat_pid" 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin/vignat" ./cmd/vignat
+go build -o "$bin/vigwire" ./cmd/vigwire
+
+# -duration is a watchdog: the NAT exits on its own even if this script
+# dies before delivering SIGINT.
+"$bin/vignat" -verify=false -transport udp \
+    -int-local 127.0.0.1:19001 -int-peer 127.0.0.1:29001 \
+    -ext-local 127.0.0.1:19101 -ext-peer 127.0.0.1:29101 \
+    -duration 60s &
+nat_pid=$!
+
+sleep 1 # let the NAT bind its sockets
+
+"$bin/vigwire" -transport udp \
+    -int-local 127.0.0.1:29001 -int-peer 127.0.0.1:19001 \
+    -ext-local 127.0.0.1:29101 -ext-peer 127.0.0.1:19101 \
+    -flows 64 -packets 1024
+
+kill -INT "$nat_pid"
+wait "$nat_pid"
+nat_pid=""
+echo "wire smoke: OK"
