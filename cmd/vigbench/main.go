@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|policer|fastpath|ablation|all] [-scale F]
+//	vigbench [-fig 12|12x|13|14|v1|pipeline|lb|policer|fastpath|telemetry|ablation|all] [-scale F]
 //
 // -scale shrinks experiment durations (1.0 = full paper-shaped run,
 // 0.2 = quick look). Absolute numbers are testbed-model calibrated; the
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, telemetry, ablation, all")
 	scale := flag.Float64("scale", 1.0, "duration scale (0.2 = quick)")
 	benchOut := flag.String("bench-out", "BENCH_pipeline.json",
 		"where the pipeline experiment writes its machine-readable results (empty disables)")
@@ -31,6 +31,8 @@ func main() {
 		"where the policer experiment writes its machine-readable results (empty disables)")
 	fastpathOut := flag.String("fastpath-out", "BENCH_fastpath.json",
 		"where the fastpath experiment writes its machine-readable results (empty disables)")
+	telemetryOut := flag.String("telemetry-out", "BENCH_telemetry.json",
+		"where the telemetry experiment writes its machine-readable results (empty disables)")
 	flag.Parse()
 
 	s := experiments.Scale(*scale)
@@ -168,6 +170,22 @@ func main() {
 		return nil
 	})
 
+	run("telemetry", func() error {
+		fmt.Println("=== Telemetry overhead: gateway chain off vs on, NAT fast/slow split ===")
+		res, err := experiments.TelemetryOverhead(experiments.TelemetryConfig{Scale: s})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTelemetry(res))
+		if *telemetryOut != "" {
+			if err := experiments.WriteTelemetryJSON(*telemetryOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("(results written to %s)\n", *telemetryOut)
+		}
+		return nil
+	})
+
 	run("ablation", func() error {
 		fmt.Println("=== Flow-table ablation: open addressing (verified) vs chaining (unverified) ===")
 		rows, err := experiments.RunAblation([]float64{0.25, 0.5, 0.75, 0.92, 0.99}, 0)
@@ -181,7 +199,7 @@ func main() {
 	// A -fig value that matched no experiment is a user error, not a
 	// silent no-op: name the figure and list the valid ones.
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "vigbench: unknown figure %q (valid: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, ablation, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "vigbench: unknown figure %q (valid: 12, 12x, 13, 14, v1, pipeline, lb, policer, fastpath, telemetry, ablation, all)\n", *fig)
 		flag.Usage()
 		os.Exit(2)
 	}

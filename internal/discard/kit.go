@@ -1,10 +1,13 @@
 package discard
 
 import (
+	"fmt"
+
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 )
 
 // This file is the discard protocol's nfkit declaration: the
@@ -15,10 +18,58 @@ import (
 // form). The NF is stateless and clockless — the smallest possible
 // declaration: a Process closure, a stats map, and a steering hash.
 
+// Reason IDs: the discard protocol's declared outcome taxonomy —
+// two reasons for a two-path NF (see symSpec's classifier).
+const (
+	ReasonFwd telemetry.ReasonID = iota
+	ReasonDropPort9
+	numReasons
+)
+
+// Reasons is the discard protocol's outcome taxonomy.
+var Reasons = telemetry.MustReasonSet("discard",
+	telemetry.Reason{ID: ReasonFwd, Name: "fwd", Help: "frame forwarded unmodified (not discard-protocol traffic)"},
+	telemetry.Reason{ID: ReasonDropPort9, Name: "drop_port9", Drop: true, Help: "frame addressed to the discard port (RFC 863)"},
+)
+
+// frameEnv is the frame-level decision's window onto the world — one
+// predicate, two outputs, the smallest stateless logic in the
+// repository, written once and executed by both the production core
+// and the symbolic engine (the same discipline as every other NF).
+type frameEnv interface {
+	DstPortIs9() bool
+	Forward()
+	Drop()
+}
+
+// processFrame is the frame-level stateless logic: discard port 9,
+// forward everything else.
+func processFrame(env frameEnv) {
+	if env.DstPortIs9() {
+		env.Drop()
+	} else {
+		env.Forward()
+	}
+}
+
+// prodFrameEnv binds frameEnv to one parsed frame.
+type prodFrameEnv struct {
+	port9   bool
+	verdict nf.Verdict
+}
+
+func (e *prodFrameEnv) DstPortIs9() bool { return e.port9 }
+func (e *prodFrameEnv) Forward()         { e.verdict = nf.Forward }
+func (e *prodFrameEnv) Drop()            { e.verdict = nf.Drop }
+
 // Frame is the stateless production core the kit binds: drop frames
 // addressed to port 9 (RFC 863), forward everything else unmodified.
 type Frame struct {
 	stats nf.Stats
+	// reasonCounts[r] totals frames tagged with reason r; lastReason is
+	// the most recent tag. Single-writer, like the stats fields.
+	reasonCounts [numReasons]uint64
+	lastReason   telemetry.ReasonID
 }
 
 // ProcessAt runs one frame; the NF is clockless, so now is unused.
@@ -26,12 +77,60 @@ type Frame struct {
 // FromFrame's convention.
 func (d *Frame) ProcessAt(frame []byte, _ bool, _ libvig.Time) nf.Verdict {
 	d.stats.Processed++
-	if FromFrame(frame).Port == 9 {
+	e := prodFrameEnv{port9: FromFrame(frame).Port == 9}
+	processFrame(&e)
+	if e.verdict == nf.Drop {
 		d.stats.Dropped++
-		return nf.Drop
+		d.reasonCounts[ReasonDropPort9]++
+		d.lastReason = ReasonDropPort9
+	} else {
+		d.stats.Forwarded++
+		d.reasonCounts[ReasonFwd]++
+		d.lastReason = ReasonFwd
 	}
-	d.stats.Forwarded++
-	return nf.Forward
+	return e.verdict
+}
+
+// frameSym drives processFrame under the engine via the kit driver.
+type frameSym struct{ d *nfkit.SymDriver }
+
+var _ frameEnv = frameSym{}
+
+func (e frameSym) DstPortIs9() bool { return e.d.Guard("dst_port_is_9") }
+func (e frameSym) Forward()         { e.d.Output("forward") }
+func (e frameSym) Drop()            { e.d.Output("drop") }
+
+// symSpec is the frame-level discard declaration: two paths, one
+// guard — small enough to read the whole derived pipeline through.
+func symSpec() *nfkit.SymSpec {
+	return &nfkit.SymSpec{
+		NF:      "discard",
+		Outputs: []string{"forward", "drop"},
+		Drive:   func(d *nfkit.SymDriver) { processFrame(frameSym{d}) },
+		Spec: func(p *nfkit.SymPath) error {
+			is9, asked := p.Ret("dst_port_is_9")
+			if !asked {
+				return fmt.Errorf("port predicate never evaluated")
+			}
+			if is9 && p.Output() != "drop" {
+				return fmt.Errorf("port-9 frame must drop, path does %s", p.Output())
+			}
+			if !is9 && p.Output() != "forward" {
+				return fmt.Errorf("non-port-9 frame must forward, path does %s", p.Output())
+			}
+			return nil
+		},
+		PathReason: func(p *nfkit.SymPath) (telemetry.ReasonID, error) {
+			is9, asked := p.Ret("dst_port_is_9")
+			if !asked {
+				return 0, fmt.Errorf("port predicate never evaluated")
+			}
+			if is9 {
+				return ReasonDropPort9, nil
+			}
+			return ReasonFwd, nil
+		},
+	}
 }
 
 // Kit returns the discard protocol's capability declaration. Any shard
@@ -52,6 +151,12 @@ func Kit() nfkit.Decl[*Frame] {
 			}
 			return int(scratch.FlowID().Hash() % uint64(shards))
 		},
+		Reasons: Reasons,
+		ReasonCounts: func(d *Frame) []uint64 {
+			return d.reasonCounts[:]
+		},
+		LastReason: func(d *Frame) telemetry.ReasonID { return d.lastReason },
+		Sym:        symSpec(),
 	}
 }
 

@@ -1,0 +1,81 @@
+package discard
+
+import (
+	"testing"
+
+	"vignat/internal/flow"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
+)
+
+// frameTo crafts a UDP frame destined for dst.
+func frameTo(t *testing.T, dst uint16) []byte {
+	t.Helper()
+	spec := &netstack.FrameSpec{ID: flow.ID{
+		SrcIP:   flow.MakeAddr(10, 0, 0, 1),
+		DstIP:   flow.MakeAddr(198, 51, 100, 1),
+		SrcPort: 3000,
+		DstPort: dst,
+		Proto:   flow.UDP,
+	}}
+	return netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec)
+}
+
+// TestFrameVerified runs the kit-derived pipeline on the frame-level
+// logic: two paths, one guard (the ring-model proof in verify.go covers
+// the §3 callback form; this covers the pipeline binding).
+func TestFrameVerified(t *testing.T) {
+	rep, err := nfkit.VerifySym(*symSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("proof failed: %s\nP1=%v\nP2=%v\nP4=%v",
+			rep.Summary(), rep.P1Failures, rep.P2Violations, rep.P4Violations)
+	}
+	if rep.Paths != 2 {
+		t.Fatalf("paths %d, want 2", rep.Paths)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestFrameReasonsConsistent cross-checks the declared reason taxonomy
+// against the symbolic path enumeration.
+func TestFrameReasonsConsistent(t *testing.T) {
+	rep, err := Kit().VerifyReasons()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("taxonomy drifted: %s\n%v", rep.Summary(), rep.Failures)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestFrameReasonCounts checks production tagging matches the verdicts.
+func TestFrameReasonCounts(t *testing.T) {
+	d := &Frame{}
+	if v := d.ProcessAt(frameTo(t, 9), true, 0); v != nf.Drop {
+		t.Fatalf("port-9 frame: verdict %v, want Drop", v)
+	}
+	if v := d.ProcessAt(frameTo(t, 80), true, 0); v != nf.Forward {
+		t.Fatalf("port-80 frame: verdict %v, want Forward", v)
+	}
+	if d.reasonCounts[ReasonDropPort9] != 1 || d.reasonCounts[ReasonFwd] != 1 {
+		t.Fatalf("reason counts %v, want one each", d.reasonCounts)
+	}
+	if d.lastReason != ReasonFwd {
+		t.Fatalf("lastReason %d, want ReasonFwd", d.lastReason)
+	}
+	var drops uint64
+	for id, n := range d.reasonCounts {
+		if Reasons.IsDrop(telemetry.ReasonID(id)) {
+			drops += n
+		}
+	}
+	if drops != d.stats.Dropped {
+		t.Fatalf("drop-class reasons sum to %d, stats.Dropped is %d", drops, d.stats.Dropped)
+	}
+}

@@ -72,7 +72,7 @@ type fpRig struct {
 	engine  *nf.Pipeline
 }
 
-func newFPRig(fastPath int) (*fpRig, error) {
+func newFPRig(fastPath, telemetry int) (*fpRig, error) {
 	sh, err := nat.NewSharded(nat.Config{
 		Capacity:     Capacity,
 		Timeout:      time.Hour,
@@ -97,10 +97,14 @@ func newFPRig(fastPath int) (*fpRig, error) {
 		return nil, err
 	}
 	engine, err := nf.NewPipeline(sh, nf.Config{
-		Internal: intPort,
-		External: extPort,
-		Clock:    libvig.NewSystemClock(),
-		FastPath: fastPath,
+		Internal:  intPort,
+		External:  extPort,
+		Clock:     libvig.NewSystemClock(),
+		FastPath:  fastPath,
+		Telemetry: telemetry,
+		// The split leg reads exact per-burst fast/slow costs, so when
+		// telemetry is on here, every poll is timed.
+		TimingStride: 1,
 	})
 	if err != nil {
 		return nil, err
@@ -286,7 +290,9 @@ func FastPathSweep(cfg FastPathConfig) ([]FastPathRow, error) {
 				if side == 1 {
 					fastPath = nf.FastPathDisabled
 				}
-				rig, err := newFPRig(fastPath)
+				// Telemetry force-off: the sweep's ratio must not absorb
+				// the observability layer's (small) cost on either side.
+				rig, err := newFPRig(fastPath, nf.TelemetryDisabled)
 				if err != nil {
 					return nil, err
 				}

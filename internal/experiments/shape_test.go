@@ -3,6 +3,8 @@ package experiments
 import (
 	"testing"
 	"time"
+
+	"vignat/internal/nf/telemetry"
 )
 
 // TestFig12Shape asserts the paper's qualitative result on a scaled-down
@@ -125,6 +127,47 @@ func TestAblationRuns(t *testing.T) {
 		}
 	}
 	t.Log("\n" + FormatAblation(rows))
+}
+
+// TestTelemetryOverheadShape runs the telemetry experiment scaled down
+// and checks its structure: both modes produced sane timings, the
+// enabled rig's histograms and trace ring were populated by the
+// measured traffic, and the fast/slow split is nonempty on both sides
+// (the acceptance bar for the PR 6 tail view). The ≤3% budget itself
+// is held by the full-scale CI run — a 0.1-scale pass on a noisy host
+// is no basis for a tight ratio assertion.
+func TestTelemetryOverheadShape(t *testing.T) {
+	res, err := TelemetryOverhead(TelemetryConfig{Rounds: 2, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Gateway
+	if g.NsOff <= 0 || g.NsOn <= 0 {
+		t.Fatalf("degenerate gateway timings: %+v", g)
+	}
+	if g.PollSamples == 0 || g.PktSamples == 0 || g.BurstSamples == 0 || g.TxDrainSamples == 0 {
+		t.Fatalf("enabled rig left histograms empty: %+v", g)
+	}
+	if g.TraceRecords == 0 {
+		t.Fatalf("trace ring never sampled: %+v", g)
+	}
+	// The timing histograms sample one poll in telemetry.TimingStride,
+	// and the enabled rig runs telPasses passes per round: the sampled
+	// per-packet weights must still cover at least half the expected
+	// share of the measured region (half absorbs poll phase).
+	want := uint64(g.Packets) * telPasses / telemetry.TimingStride / 2
+	if g.PktSamples < want {
+		t.Fatalf("per-packet histogram undercounts the measured region: %d pkts over %d passes at stride %d, %d samples < %d",
+			g.Packets, telPasses, telemetry.TimingStride, g.PktSamples, want)
+	}
+	s := res.Split
+	if s.FastPkts == 0 || s.SlowPkts == 0 {
+		t.Fatalf("fast/slow split empty on one side: %+v", s)
+	}
+	if s.ObservedHitRate <= 0 {
+		t.Fatalf("cache never hit in the split leg: %+v", s)
+	}
+	t.Log("\n" + FormatTelemetry(res))
 }
 
 func TestBuildMiddleboxUnknown(t *testing.T) {

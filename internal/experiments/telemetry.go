@@ -1,0 +1,589 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"vignat/internal/dpdk"
+	"vignat/internal/firewall"
+	"vignat/internal/flow"
+	"vignat/internal/lb"
+	"vignat/internal/libvig"
+	"vignat/internal/nat"
+	"vignat/internal/netstack"
+	"vignat/internal/nf"
+	"vignat/internal/policer"
+)
+
+// TelemetryConfig parameterizes the telemetry-overhead measurement.
+type TelemetryConfig struct {
+	// Packets is the measured packet count per gateway pass (default
+	// 12000 — short enough that a pass often fits between scheduler
+	// preemptions, so the min over telPasses reaches a clean floor).
+	Packets int
+	// Rounds is the number of fresh-rig repetitions; each round pairs
+	// an off rig's min-of-telPasses floor against an on rig's
+	// (default 48).
+	Rounds int
+	// Hosts is the established home-host population behind the gateway;
+	// each host keeps one HTTP flow and one DNS flow warm (default 64).
+	Hosts int
+	// SplitPackets is the measured packet count of the fast/slow-split
+	// leg (default 12000).
+	SplitPackets int
+	// Scale shrinks Packets and SplitPackets for quick runs.
+	Scale Scale
+}
+
+const (
+	// telCap sizes every NF in the gateway chain: large enough that the
+	// fresh-flow universe never hits a full table (drops would then
+	// depend on arrival order, not the taxonomy), small enough that the
+	// working set stays cache-resident and rig construction stays cheap
+	// across rounds.
+	telCap = 8192
+	// telFreshDiv opens a fresh flow every telFreshDiv-th packet — the
+	// full state-creation walk through all four NFs.
+	telFreshDiv = 8
+	// telJunkDiv makes every telJunkDiv-th packet unsolicited external
+	// junk, dropped on the NAT's verified unsolicited path, so the
+	// measured mix exercises drop outcomes too.
+	telJunkDiv = 16
+	// telPasses is the number of timed passes each side runs per round;
+	// a side's per-round time is the min of its passes. A pass is only
+	// a few milliseconds, usually shorter than the gap between
+	// scheduler preemptions, so the min of eight almost always lands on
+	// a preemption-free window — the side's clean floor. The first pass
+	// walks state creation for every fresh flow; later passes revisit
+	// the same universe, so the floor times the steady-state mix on
+	// both sides identically.
+	telPasses = 8
+)
+
+// telVIP is the gateway chain's DNS virtual IP.
+var telVIP = flow.MakeAddr(10, 53, 53, 53)
+
+// TelemetryGateway is the overhead leg: the same packet sequence driven
+// through two identical firewall→policer→LB→NAT gateway pipelines, one
+// with telemetry force-disabled and one with histograms plus the trace
+// ring on. NsOff/NsOn time the engine's Poll calls only (RX delivery
+// and TX drain model NIC DMA and are untimed, as in the fast-path
+// sweep) and report each side's min over every timed pass — the noise
+// floor.
+// OverheadPct, the headline number CI tracks against the ≤3% budget,
+// is NOT the ratio of those minima: each side's min can land in a
+// different machine regime, and comparing the off side's luckiest
+// window against the on side's merely-average one fabricates percents
+// in either direction. Instead, each round runs both sides back to
+// back — each side's time the min of telPasses short passes, short
+// enough that the min lands on a preemption-free window — and the
+// per-round paired ratio of those floors cancels regime drift;
+// OverheadPct is the median of the per-round ratios, which rejects
+// the rounds that went bad anyway.
+type TelemetryGateway struct {
+	Packets     int     `json:"packets"`
+	Rounds      int     `json:"rounds"`
+	NsOff       float64 `json:"ns_per_pkt_off"`
+	NsOn        float64 `json:"ns_per_pkt_on"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Sample counts of the enabled rig's merged histograms over the
+	// final round's measured region — nonzero proves the scrape surface
+	// was populated by real traffic, not construction.
+	PollSamples    uint64 `json:"poll_samples"`
+	PktSamples     uint64 `json:"pkt_samples"`
+	BurstSamples   uint64 `json:"burst_samples"`
+	TxDrainSamples uint64 `json:"tx_drain_samples"`
+	TraceRecords   int    `json:"trace_records"`
+	// PollP99NsLE is the inclusive upper bound of the bucket holding the
+	// p99 poll time — the log2-resolution tail view operators get.
+	PollP99NsLE uint64 `json:"poll_p99_ns_le"`
+	// Ratios is the sorted per-round paired-ratio sample OverheadPct is
+	// the median of — diagnostic only, not persisted.
+	Ratios []float64 `json:"-"`
+}
+
+// TelemetrySplit is the fast/slow-split leg. The gateway chain itself
+// declines the flow cache (a composite walk cannot carry one cached
+// verdict), so the split that PR 6's cache makes visible is measured
+// where the cache runs: a single-worker NAT pipeline with the cache at
+// its default size and telemetry on, driven with a mixed
+// established/fresh sequence. Both counts nonzero is the acceptance
+// bar: the histograms separate cache-resolved bursts from full-walk
+// bursts.
+type TelemetrySplit struct {
+	FastPkts        uint64  `json:"fast_pkts"`
+	SlowPkts        uint64  `json:"slow_pkts"`
+	FastMeanNs      float64 `json:"fast_mean_ns"`
+	SlowMeanNs      float64 `json:"slow_mean_ns"`
+	FastP50NsLE     uint64  `json:"fast_p50_ns_le"`
+	SlowP50NsLE     uint64  `json:"slow_p50_ns_le"`
+	ObservedHitRate float64 `json:"observed_hit_rate"`
+}
+
+// TelemetryResult is the full measurement.
+type TelemetryResult struct {
+	Gateway TelemetryGateway `json:"gateway"`
+	Split   TelemetrySplit   `json:"fastpath_split"`
+}
+
+// telFrame is one crafted frame plus the side it arrives on.
+type telFrame struct {
+	data     []byte
+	internal bool
+}
+
+// telRig is one telemetry mode's complete gateway stand.
+type telRig struct {
+	pool    *dpdk.Mempool
+	intPort *dpdk.Port
+	extPort *dpdk.Port
+	engine  *nf.Pipeline
+}
+
+func newTelRig(telemetry int) (*telRig, error) {
+	clock := libvig.NewSystemClock()
+	gwNAT, err := nat.New(nat.Config{
+		Capacity:     telCap,
+		Timeout:      time.Hour,
+		ExternalIP:   ExtIP,
+		PortBase:     PortBase,
+		InternalPort: 0,
+		ExternalPort: 1,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := firewall.New(telCap, time.Hour, clock)
+	if err != nil {
+		return nil, err
+	}
+	// The policer's budget is generous: over-rate clipping is a
+	// behavior experiment (chain_amortized, fastpath conformance), not
+	// an overhead one, and a starved meter would let drop processing
+	// replace the forward path being timed.
+	pol, err := policer.New(policer.Config{
+		Rate: 1 << 30, Burst: 1 << 30, Capacity: telCap, Timeout: time.Hour,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+	gwLB, err := lb.New(lb.Config{
+		VIP:             telVIP,
+		VIPPort:         53,
+		Capacity:        telCap,
+		Timeout:         time.Hour,
+		MaxBackends:     4,
+		ClientsInternal: true,
+		Passthrough:     true,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := gwLB.AddBackend(flow.MakeAddr(9, 9, 9, byte(9+i)), clock.Now()); err != nil {
+			return nil, err
+		}
+	}
+	chain, err := nf.NewChain("homegw",
+		firewall.AsNF(fw), policer.AsNF(pol), lb.AsNF(gwLB), nat.AsNF(gwNAT))
+	if err != nil {
+		return nil, err
+	}
+	pool, err := dpdk.NewMempool(1024)
+	if err != nil {
+		return nil, err
+	}
+	intPort, err := dpdk.NewPort(0, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		return nil, err
+	}
+	extPort, err := dpdk.NewPort(1, dpdk.DefaultRxQueue, dpdk.DefaultTxQueue, pool)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := nf.NewPipeline(chain, nf.Config{
+		Internal:        intPort,
+		External:        extPort,
+		Clock:           clock,
+		AmortizedExpiry: true,
+		FastPath:        nf.FastPathDisabled, // the chain declines it anyway
+		Telemetry:       telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &telRig{pool: pool, intPort: intPort, extPort: extPort, engine: engine}, nil
+}
+
+// run drives frames through the rig in chunks: each chunk is delivered
+// into the RX rings untimed, the Poll calls that consume it are timed,
+// and the TX rings are drained untimed — the same discipline as the
+// fast-path sweep.
+func (r *telRig) run(frames []telFrame, timed bool) (time.Duration, error) {
+	const chunk = 8 * nf.DefaultBurst
+	drain := make([]*dpdk.Mbuf, nf.DefaultBurst)
+	var elapsed time.Duration
+	for done := 0; done < len(frames); {
+		c := chunk
+		if done+c > len(frames) {
+			c = len(frames) - done
+		}
+		for j := 0; j < c; j++ {
+			f := frames[done+j]
+			port := r.intPort
+			if !f.internal {
+				port = r.extPort
+			}
+			if !port.DeliverRx(f.data, 0) {
+				return 0, fmt.Errorf("experiments: telemetry rx ring rejected frame %d", done+j)
+			}
+		}
+		start := time.Now()
+		for consumed := 0; consumed < c; {
+			n, err := r.engine.Poll()
+			if err != nil {
+				return 0, err
+			}
+			if n == 0 {
+				return 0, fmt.Errorf("experiments: engine idle with %d frames queued", c-consumed)
+			}
+			consumed += n
+		}
+		if timed {
+			elapsed += time.Since(start)
+		}
+		for _, port := range []*dpdk.Port{r.extPort, r.intPort} {
+			for {
+				k := port.DrainTx(drain)
+				if k == 0 {
+					break
+				}
+				for i := 0; i < k; i++ {
+					if err := drain[i].Pool().Free(drain[i]); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		done += c
+	}
+	return elapsed, nil
+}
+
+// telEstablishedFrames crafts each home host's warm pair: one HTTP
+// flow to the open internet and one DNS query to the gateway's VIP
+// (exercising the balancer's rewrite on every revisit).
+func telEstablishedFrames(hosts int) []telFrame {
+	out := make([]telFrame, 0, 2*hosts)
+	for h := 0; h < hosts; h++ {
+		http := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(h>>8), byte(1+h%250)),
+			SrcPort: uint16(20000 + h),
+			DstIP:   flow.MakeAddr(93, 184, 216, byte(1+h%3)),
+			DstPort: 80,
+			Proto:   flow.UDP,
+		}}
+		dns := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 0, byte(h>>8), byte(1+h%250)),
+			SrcPort: uint16(30000 + h),
+			DstIP:   telVIP,
+			DstPort: 53,
+			Proto:   flow.UDP,
+		}}
+		out = append(out,
+			telFrame{netstack.Craft(make([]byte, netstack.FrameLen(http)), http), true},
+			telFrame{netstack.Craft(make([]byte, netstack.FrameLen(dns)), dns), true})
+	}
+	return out
+}
+
+// telFreshFrames crafts n distinct internal tuples — each one walks
+// state creation through firewall, LB passthrough, and the NAT's
+// allocator on its first appearance.
+func telFreshFrames(n int) []telFrame {
+	out := make([]telFrame, n)
+	for i := range out {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(10, 1, byte(i>>8), byte(i)),
+			SrcPort: 7777,
+			DstIP:   flow.MakeAddr(93, 184, 216, 9),
+			DstPort: 443,
+			Proto:   flow.UDP,
+		}}
+		out[i] = telFrame{netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec), true}
+	}
+	return out
+}
+
+// telJunkFrames crafts unsolicited external probes against the NAT's
+// public address: no flow matches, so each is dropped on the verified
+// unsolicited path.
+func telJunkFrames(n int) []telFrame {
+	out := make([]telFrame, n)
+	for i := range out {
+		spec := &netstack.FrameSpec{ID: flow.ID{
+			SrcIP:   flow.MakeAddr(203, 0, 113, byte(1+i%250)),
+			SrcPort: uint16(1024 + i%60000),
+			DstIP:   ExtIP,
+			DstPort: uint16(PortBase + i%telCap),
+			Proto:   flow.UDP,
+		}}
+		out[i] = telFrame{netstack.Craft(make([]byte, netstack.FrameLen(spec)), spec), false}
+	}
+	return out
+}
+
+// telMix interleaves the three populations into the measured sequence:
+// mostly established revisits, a fresh flow every telFreshDiv packets,
+// junk every telJunkDiv.
+func telMix(est, fresh, junk []telFrame, packets int) []telFrame {
+	mixed := make([]telFrame, 0, packets)
+	e, f, j := 0, 0, 0
+	for i := 0; i < packets; i++ {
+		switch {
+		case (i+1)%telJunkDiv == 0:
+			mixed = append(mixed, junk[j%len(junk)])
+			j++
+		case (i+1)%telFreshDiv == 0:
+			mixed = append(mixed, fresh[f%len(fresh)])
+			f++
+		default:
+			mixed = append(mixed, est[e%len(est)])
+			e++
+		}
+	}
+	return mixed
+}
+
+// TelemetryOverhead measures both legs: the gateway-chain overhead of
+// enabling telemetry (min-of-rounds ns/pkt, off vs on) and the NAT
+// fast/slow histogram split.
+func TelemetryOverhead(cfg TelemetryConfig) (*TelemetryResult, error) {
+	packets := cfg.Packets
+	if packets == 0 {
+		packets = 12000
+	}
+	packets = cfg.Scale.applyInt(packets)
+	rounds := cfg.Rounds
+	if rounds == 0 {
+		// The effect being measured is ~1% on a shared single-core host
+		// where even paired min-of-passes floors differ by a few percent
+		// round to round; the median's sampling error shrinks as
+		// 1/sqrt(rounds), and 48 rounds (~4s) put it near half a
+		// percent.
+		rounds = 48
+	}
+	hosts := cfg.Hosts
+	if hosts == 0 {
+		hosts = 64
+	}
+	// Capacity budget: every fresh packet must be a genuine creation in
+	// all four NFs on its first pass, never a table-full rejection.
+	const slack = 64
+	if packets/telFreshDiv+2*hosts+slack > telCap {
+		return nil, fmt.Errorf("experiments: telemetry gateway needs %d fresh + %d established <= %d capacity",
+			packets/telFreshDiv, 2*hosts, telCap)
+	}
+
+	est := telEstablishedFrames(hosts)
+	fresh := telFreshFrames(packets/telFreshDiv + 1)
+	junk := telJunkFrames(1024)
+	mixed := telMix(est, fresh, junk, packets)
+
+	res := &TelemetryResult{Gateway: TelemetryGateway{Packets: packets, Rounds: rounds}}
+	g := &res.Gateway
+	ratios := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		var times [2]time.Duration
+		// Alternate which side runs first, so neither side's floor
+		// inherits allocator or frequency-scaling bias.
+		order := []int{0, 1}
+		if round%2 == 1 {
+			order = []int{1, 0}
+		}
+		for _, side := range order {
+			mode := nf.TelemetryDisabled
+			if side == 1 {
+				mode = 1
+			}
+			rig, err := newTelRig(mode)
+			if err != nil {
+				return nil, err
+			}
+			// Warm pass: create every established flow's state in all
+			// four NFs, untimed.
+			if _, err := rig.run(est, false); err != nil {
+				return nil, err
+			}
+			runtime.GC()
+			var best time.Duration
+			for pass := 0; pass < telPasses; pass++ {
+				elapsed, err := rig.run(mixed, true)
+				if err != nil {
+					return nil, err
+				}
+				if best == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			times[side] = best
+			if side == 1 {
+				snap := rig.engine.Telemetry().Snapshot()
+				g.PollSamples = snap.PollNs.Count
+				g.PktSamples = snap.FastPktNs.Count + snap.SlowPktNs.Count
+				g.BurstSamples = snap.BurstOccupancy.Count
+				g.TxDrainSamples = snap.TxDrain.Count
+				g.TraceRecords = len(rig.engine.Telemetry().TraceSnapshot())
+				g.PollP99NsLE = snap.PollNs.Quantile(0.99)
+			}
+			if rig.pool.InUse() != 0 {
+				return nil, fmt.Errorf("experiments: telemetry gateway leaked %d mbufs", rig.pool.InUse())
+			}
+		}
+		nsOff := float64(times[0].Nanoseconds()) / float64(packets)
+		nsOn := float64(times[1].Nanoseconds()) / float64(packets)
+		if g.NsOff == 0 || nsOff < g.NsOff {
+			g.NsOff = nsOff
+		}
+		if g.NsOn == 0 || nsOn < g.NsOn {
+			g.NsOn = nsOn
+		}
+		if nsOff > 0 {
+			ratios = append(ratios, nsOn/nsOff)
+		}
+	}
+	sort.Float64s(ratios)
+	g.Ratios = ratios
+	if len(ratios) > 0 {
+		mid := len(ratios) / 2
+		median := ratios[mid]
+		if len(ratios)%2 == 0 {
+			median = (ratios[mid-1] + ratios[mid]) / 2
+		}
+		g.OverheadPct = 100 * (median - 1)
+	}
+
+	split, err := telemetrySplit(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Split = *split
+	return res, nil
+}
+
+// telemetrySplit runs the fast/slow-split leg on the cached NAT rig.
+func telemetrySplit(cfg TelemetryConfig) (*TelemetrySplit, error) {
+	packets := cfg.SplitPackets
+	if packets == 0 {
+		packets = 12000
+	}
+	packets = cfg.Scale.applyInt(packets)
+	const established = 2048
+	const slack = 587
+	if packets+established+slack > Capacity {
+		return nil, fmt.Errorf("experiments: telemetry split needs packets+%d+%d <= %d",
+			established, slack, Capacity)
+	}
+	rig, err := newFPRig(nf.DefaultFastPathEntries, 1)
+	if err != nil {
+		return nil, err
+	}
+	estFrames := fpEstablishedFrames(established)
+	freshFrames := fpTupleFrames(packets, 1)
+	// 75% established, 25% fresh — but block-aligned to the burst size:
+	// the fast histogram records bursts *fully* resolved by the cache,
+	// so an error-diffused mix (one fresh packet in every burst, as the
+	// sweep uses) would classify everything slow. Whole bursts of
+	// established traffic alternate with whole bursts of fresh flows.
+	mixed := make([][]byte, 0, packets)
+	e, f := 0, 0
+	for len(mixed) < packets {
+		for k := 0; k < 3*nf.DefaultBurst && len(mixed) < packets; k++ {
+			mixed = append(mixed, estFrames[e%len(estFrames)])
+			e++
+		}
+		for k := 0; k < nf.DefaultBurst && len(mixed) < packets; k++ {
+			mixed = append(mixed, freshFrames[f%len(freshFrames)])
+			f++
+		}
+	}
+	// Three warm passes, as in the sweep: create, admit past the
+	// doorkeeper and install, re-warm the adaptive bypass.
+	for pass := 0; pass < 3; pass++ {
+		if _, err := rig.run(estFrames, false); err != nil {
+			return nil, err
+		}
+	}
+	before := rig.engine.Telemetry().Snapshot()
+	statsBefore := rig.engine.Stats()
+	if _, err := rig.run(mixed, false); err != nil {
+		return nil, err
+	}
+	snap := rig.engine.Telemetry().Snapshot()
+	stats := rig.engine.Stats()
+	split := &TelemetrySplit{
+		FastPkts:    snap.FastPktNs.Count - before.FastPktNs.Count,
+		SlowPkts:    snap.SlowPktNs.Count - before.SlowPktNs.Count,
+		FastMeanNs:  snap.FastPktNs.Mean(),
+		SlowMeanNs:  snap.SlowPktNs.Mean(),
+		FastP50NsLE: snap.FastPktNs.Quantile(0.5),
+		SlowP50NsLE: snap.SlowPktNs.Quantile(0.5),
+	}
+	hits := stats.FastPathHits - statsBefore.FastPathHits
+	misses := stats.FastPathMisses - statsBefore.FastPathMisses
+	if hits+misses > 0 {
+		split.ObservedHitRate = float64(hits) / float64(hits+misses)
+	}
+	if rig.pipe.InUse() != 0 {
+		return nil, fmt.Errorf("experiments: telemetry split leaked %d mbufs", rig.pipe.InUse())
+	}
+	return split, nil
+}
+
+// FormatTelemetry renders the measurement as a paper-style table.
+func FormatTelemetry(r *TelemetryResult) string {
+	var b strings.Builder
+	g := r.Gateway
+	b.WriteString("(firewall→policer→LB→NAT gateway, single worker; ns/pkt over Poll calls only, min of rounds)\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s %10s\n", "telemetry", "off ns/pkt", "on ns/pkt", "overhead")
+	fmt.Fprintf(&b, "%-22s %14.1f %14.1f %9.2f%%\n", "gateway chain", g.NsOff, g.NsOn, g.OverheadPct)
+	fmt.Fprintf(&b, "enabled-rig histograms: poll=%d pkt=%d burst=%d txdrain=%d trace=%d poll-p99≤%dns\n",
+		g.PollSamples, g.PktSamples, g.BurstSamples, g.TxDrainSamples, g.TraceRecords, g.PollP99NsLE)
+	s := r.Split
+	b.WriteString("\n(fast/slow split on the cached single-NF NAT rig, 75% established)\n")
+	fmt.Fprintf(&b, "%-12s %10s %12s %12s\n", "path", "packets", "mean ns/pkt", "p50 ≤ ns")
+	fmt.Fprintf(&b, "%-12s %10d %12.1f %12d\n", "fast (hit)", s.FastPkts, s.FastMeanNs, s.FastP50NsLE)
+	fmt.Fprintf(&b, "%-12s %10d %12.1f %12d\n", "slow", s.SlowPkts, s.SlowMeanNs, s.SlowP50NsLE)
+	fmt.Fprintf(&b, "observed hit rate %.1f%%\n", 100*s.ObservedHitRate)
+	return b.String()
+}
+
+// TelemetryBench is the machine-readable record, written as
+// BENCH_telemetry.json so CI can hold the ≤3% overhead budget and the
+// telemetry-disabled baseline across commits.
+type TelemetryBench struct {
+	Experiment  string           `json:"experiment"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	Gateway     TelemetryGateway `json:"gateway"`
+	Split       TelemetrySplit   `json:"fastpath_split"`
+}
+
+// WriteTelemetryJSON writes the result (plus host metadata) to path as
+// indented JSON.
+func WriteTelemetryJSON(path string, r *TelemetryResult) error {
+	return writeBenchJSON(path, TelemetryBench{
+		Experiment:  "telemetry-overhead",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Gateway:     r.Gateway,
+		Split:       r.Split,
+	})
+}

@@ -20,6 +20,28 @@ import (
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
+	"vignat/internal/nf/telemetry"
+)
+
+// Reason IDs: the firewall's declared outcome taxonomy, cross-checked
+// against the symbolic path enumeration (every ID below maps onto ≥1
+// enumerated path; see symspec.go's pathReason).
+const (
+	ReasonFwdOut telemetry.ReasonID = iota
+	ReasonFwdIn
+	ReasonDropParse
+	ReasonDropTableFull
+	ReasonDropUnsolicited
+	numReasons
+)
+
+// Reasons is the firewall's outcome taxonomy.
+var Reasons = telemetry.MustReasonSet("firewall",
+	telemetry.Reason{ID: ReasonFwdOut, Name: "fwd_out", Help: "internal packet forwarded (session live or created)"},
+	telemetry.Reason{ID: ReasonFwdIn, Name: "fwd_in", Help: "external packet of a live session forwarded"},
+	telemetry.Reason{ID: ReasonDropParse, Name: "drop_parse", Drop: true, Help: "frame failed the parse/validation chain"},
+	telemetry.Reason{ID: ReasonDropTableFull, Name: "drop_table_full", Drop: true, Help: "new session refused: table at capacity"},
+	telemetry.Reason{ID: ReasonDropUnsolicited, Name: "drop_unsolicited", Drop: true, Help: "external packet matching no session"},
 )
 
 // SessionHandle is the firewall's opaque session reference, with the
@@ -140,6 +162,10 @@ type Firewall struct {
 
 	perPacketExpiry             bool
 	processed, dropped, expired uint64
+	// reasonCounts[r] totals packets tagged with reason r; lastReason
+	// is the most recent tag. Single-writer, like every hot counter.
+	reasonCounts [numReasons]uint64
+	lastReason   telemetry.ReasonID
 }
 
 // New builds a firewall tracking up to capacity sessions with the given
@@ -199,6 +225,8 @@ func (fw *Firewall) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) 
 	if e.verdict == VerdictDrop {
 		fw.dropped++
 	}
+	fw.reasonCounts[e.reason]++
+	fw.lastReason = e.reason
 	return e.verdict
 }
 
@@ -219,6 +247,12 @@ type prodEnv struct {
 	fromInternal bool
 	now          libvig.Time
 	verdict      Verdict
+	// reason tags the packet's outcome. The decisive env-call sites
+	// overwrite the parse-failure default (the policer's
+	// overRate/tableFull flags are the same pattern): a create failure
+	// means table-full, an inbound miss means unsolicited, the outputs
+	// stamp the forward reasons.
+	reason telemetry.ReasonID
 }
 
 var _ Env = (*prodEnv)(nil)
@@ -228,6 +262,7 @@ func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
 	e.fromInternal = fromInternal
 	e.now = now
 	e.verdict = VerdictDrop
+	e.reason = ReasonDropParse
 }
 
 func (e *prodEnv) FrameIntact() bool     { return len(e.pkt.Data) >= netstack.EthHeaderLen }
@@ -255,17 +290,22 @@ func (e *prodEnv) LookupOutbound() (SessionHandle, bool) {
 
 func (e *prodEnv) LookupInbound() (SessionHandle, bool) {
 	i, ok := e.fw.dmap.GetBySnd(e.pkt.FlowID())
+	if !ok {
+		e.reason = ReasonDropUnsolicited // the miss decides the drop
+	}
 	return SessionHandle(i), ok
 }
 
 func (e *prodEnv) CreateSession() (SessionHandle, bool) {
 	idx, err := e.fw.chain.Allocate(e.now)
 	if err != nil {
+		e.reason = ReasonDropTableFull
 		return 0, false
 	}
 	out := e.pkt.FlowID()
 	if err := e.fw.dmap.Put(idx, session{Out: out, In: out.Reverse()}); err != nil {
 		_ = e.fw.chain.Free(idx)
+		e.reason = ReasonDropTableFull
 		return 0, false
 	}
 	return SessionHandle(idx), true
@@ -275,6 +315,6 @@ func (e *prodEnv) Rejuvenate(h SessionHandle) {
 	_ = e.fw.chain.Rejuvenate(int(h), e.now)
 }
 
-func (e *prodEnv) ForwardOut() { e.verdict = VerdictForwardOut }
-func (e *prodEnv) ForwardIn()  { e.verdict = VerdictForwardIn }
+func (e *prodEnv) ForwardOut() { e.verdict, e.reason = VerdictForwardOut, ReasonFwdOut }
+func (e *prodEnv) ForwardIn()  { e.verdict, e.reason = VerdictForwardIn, ReasonFwdIn }
 func (e *prodEnv) Drop()       { e.verdict = VerdictDrop }

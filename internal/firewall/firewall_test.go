@@ -150,6 +150,20 @@ func TestFirewallVerified(t *testing.T) {
 	t.Log(rep.Summary())
 }
 
+// TestFirewallReasonsConsistent cross-checks the declared reason
+// taxonomy against the same path enumeration: every declared reason
+// reachable, every drop path tagged drop-class.
+func TestFirewallReasonsConsistent(t *testing.T) {
+	rep, err := Kit(16, time.Second, libvig.NewVirtualClock(0)).VerifyReasons()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("taxonomy drifted: %s\n%v", rep.Summary(), rep.Failures)
+	}
+	t.Log(rep.Summary())
+}
+
 // TestFirewallBuggyVariantCaught: omitting the inbound-session check
 // (forward everything inbound) must fail the semantic property.
 func TestFirewallBuggyVariantCaught(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 )
 
 // This file is the firewall's one nfkit declaration. Beyond replacing
@@ -52,26 +53,36 @@ func Kit(capacity int, timeout time.Duration, clock libvig.Clock) nfkit.Decl[*Fi
 		// the established branch performs — the firewall rewrites
 		// nothing, so the cached template is an identity rewrite), and
 		// Hit replays that branch's mutations: rejuvenate plus the
-		// processed counter. The fpGens eraser bumps generations on
+		// processed counter and the direction's reason tag (aux carries
+		// the session index shifted over a direction bit, the same
+		// encoding the NAT uses). The fpGens eraser bumps generations on
 		// expiry, so a dead session's cached verdict misses instead of
 		// re-admitting external traffic.
 		FastPath: &nfkit.FastPathHooks[*Firewall]{
 			Offer: func(fw *Firewall, key fastpath.Key) (uint64, fastpath.Guard, bool) {
 				var idx int
 				var ok bool
+				aux := uint64(0)
 				if key.FromInternal {
 					idx, ok = fw.dmap.GetByFst(key.ID)
+					aux = 1
 				} else {
 					idx, ok = fw.dmap.GetBySnd(key.ID)
 				}
 				if !ok {
 					return 0, fastpath.Guard{}, false
 				}
-				return uint64(idx), fw.fpGens.Guard(idx), true
+				return uint64(idx)<<1 | aux, fw.fpGens.Guard(idx), true
 			},
 			Hit: func(fw *Firewall, aux uint64, _ int, now libvig.Time) nf.Verdict {
-				_ = fw.chain.Rejuvenate(int(aux), now)
+				_ = fw.chain.Rejuvenate(int(aux>>1), now)
 				fw.processed++
+				r := ReasonFwdIn
+				if aux&1 != 0 {
+					r = ReasonFwdOut
+				}
+				fw.reasonCounts[r]++
+				fw.lastReason = r
 				return nf.Forward
 			},
 		},
@@ -88,7 +99,12 @@ func Kit(capacity int, timeout time.Duration, clock libvig.Clock) nfkit.Decl[*Fi
 			}
 			return int(id.Hash() % uint64(shards))
 		},
-		Sym: symSpec(),
+		Reasons: Reasons,
+		ReasonCounts: func(fw *Firewall) []uint64 {
+			return fw.reasonCounts[:]
+		},
+		LastReason: func(fw *Firewall) telemetry.ReasonID { return fw.lastReason },
+		Sym:        symSpec(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 	"vignat/internal/vigor/sym"
 )
 
@@ -106,11 +107,43 @@ func symSpec() *nfkit.SymSpec {
 
 func symSpecFor(logic func(Env)) *nfkit.SymSpec {
 	return &nfkit.SymSpec{
-		NF:      "firewall",
-		Outputs: []string{"forward_out", "forward_in", "drop"},
-		Drive:   func(d *nfkit.SymDriver) { logic(fwSym{d}) },
-		Spec:    checkSpec,
+		NF:         "firewall",
+		Outputs:    []string{"forward_out", "forward_in", "drop"},
+		Drive:      func(d *nfkit.SymDriver) { logic(fwSym{d}) },
+		Spec:       checkSpec,
+		PathReason: pathReason,
 	}
+}
+
+// pathReason classifies one enumerated symbolic path onto the declared
+// reason taxonomy — the mapping VerifyReasons cross-checks: every
+// declared reason must label ≥1 path, every drop path exactly one
+// drop-class reason. It mirrors checkSpec's branch structure, so a
+// taxonomy that drifts from the verified paths fails the derived test.
+func pathReason(p *nfkit.SymPath) (telemetry.ReasonID, error) {
+	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid",
+		"not_fragment", "l4_supported", "l4_header_intact"} {
+		val, evaluated := p.Ret(g)
+		if !evaluated || !val {
+			return ReasonDropParse, nil
+		}
+	}
+	fromInternal, ok := p.Ret("packet_from_internal")
+	if !ok {
+		return 0, fmt.Errorf("interface never determined")
+	}
+	if fromInternal {
+		hit, _ := p.Ret("dmap_get_by_out_key")
+		created, createdAsked := p.Ret("session_create")
+		if hit || (createdAsked && created) {
+			return ReasonFwdOut, nil
+		}
+		return ReasonDropTableFull, nil
+	}
+	if hit, _ := p.Ret("dmap_get_by_in_key"); hit {
+		return ReasonFwdIn, nil
+	}
+	return ReasonDropUnsolicited, nil
 }
 
 // Verify runs the derived pipeline on the firewall's stateless logic

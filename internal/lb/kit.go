@@ -9,6 +9,7 @@ import (
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 )
 
 // Fast-path aux encodings: sticky index << 2 | kind. Passthrough
@@ -101,16 +102,22 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 			},
 			Hit: func(b *Balancer, aux uint64, _ int, now libvig.Time) nf.Verdict {
 				b.stats.Processed++
+				var r telemetry.ReasonID
 				switch aux & 3 {
 				case fpToBackend:
 					_ = b.flowChain.Rejuvenate(int(aux>>2), now)
 					b.stats.ToBackend++
+					r = ReasonFwdBackend
 				case fpToClient:
 					_ = b.flowChain.Rejuvenate(int(aux>>2), now)
 					b.stats.ToClient++
+					r = ReasonFwdClient
 				default:
 					b.stats.Passthrough++
+					r = ReasonPassNonVIP
 				}
+				b.reasonCounts[r]++
+				b.lastReason = r
 				return nf.Forward
 			},
 		},
@@ -127,7 +134,15 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 			}
 			return int(id.Hash() % uint64(shards))
 		},
-		Sym: symSpec(),
+		// The taxonomy and the symbolic spec share cfg.Passthrough, so
+		// the cross-check proves the deployed orientation, not a fixed
+		// one.
+		Reasons: ReasonsFor(cfg.Passthrough),
+		ReasonCounts: func(b *Balancer) []uint64 {
+			return b.reasonCounts[:]
+		},
+		LastReason: func(b *Balancer) telemetry.ReasonID { return b.lastReason },
+		Sym:        symSpecFor(ProcessPacket, cfg.Passthrough),
 	}
 }
 

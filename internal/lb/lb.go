@@ -29,7 +29,45 @@ import (
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
+	"vignat/internal/nf/telemetry"
 )
+
+// Reason IDs: the balancer's declared outcome taxonomy, cross-checked
+// against the symbolic path enumeration (see symspec.go's
+// pathReasonFor). The IDs are config-independent; whether the two
+// not-owned classifications forward or drop depends on
+// Config.Passthrough, so the ReasonSet — names and drop classes — is
+// built per configuration by ReasonsFor.
+const (
+	ReasonFwdBackend telemetry.ReasonID = iota
+	ReasonFwdClient
+	ReasonPassNonVIP    // client-side traffic not addressed to the VIP
+	ReasonPassNoSession // backend-side traffic matching no live sticky entry
+	ReasonDropParse
+	ReasonDropNoBackend
+	ReasonDropTableFull
+	numReasons
+)
+
+// ReasonsFor builds the balancer's outcome taxonomy for one
+// orientation of Config.Passthrough: in passthrough (service-chain)
+// mode not-owned traffic is forwarded, standalone it is dropped — same
+// IDs, same tagging code, different names and drop classes.
+func ReasonsFor(passthrough bool) *telemetry.ReasonSet {
+	passName, sessName := "pass_non_vip", "pass_no_session"
+	if !passthrough {
+		passName, sessName = "drop_non_vip", "drop_no_session"
+	}
+	return telemetry.MustReasonSet("viglb",
+		telemetry.Reason{ID: ReasonFwdBackend, Name: "fwd_backend", Help: "VIP packet steered to its (sticky or freshly selected) backend"},
+		telemetry.Reason{ID: ReasonFwdClient, Name: "fwd_client", Help: "backend reply forwarded to the client, source restored to the VIP"},
+		telemetry.Reason{ID: ReasonPassNonVIP, Name: passName, Drop: !passthrough, Help: "client-side packet not addressed to the VIP"},
+		telemetry.Reason{ID: ReasonPassNoSession, Name: sessName, Drop: !passthrough, Help: "backend-side packet matching no live sticky entry"},
+		telemetry.Reason{ID: ReasonDropParse, Name: "drop_parse", Drop: true, Help: "frame failed the parse/validation chain"},
+		telemetry.Reason{ID: ReasonDropNoBackend, Name: "drop_no_backend", Drop: true, Help: "VIP packet refused: no live backend in the CHT"},
+		telemetry.Reason{ID: ReasonDropTableFull, Name: "drop_table_full", Drop: true, Help: "VIP packet refused: sticky table at capacity"},
+	)
+}
 
 // Verdict is the externally visible outcome for one packet.
 type Verdict uint8
@@ -267,6 +305,10 @@ type Balancer struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// reasonCounts[r] totals packets tagged with reason r; lastReason
+	// is the most recent tag. Single-writer, like the stats fields.
+	reasonCounts [numReasons]uint64
+	lastReason   telemetry.ReasonID
 	// fpGens invalidates engine flow-cache entries: one generation per
 	// sticky index, bumped whenever a sticky entry is erased — by
 	// inactivity expiry or because its backend drained.
@@ -504,6 +546,8 @@ func (b *Balancer) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) V
 	case VerdictPassthrough:
 		b.stats.Passthrough++
 	}
+	b.reasonCounts[e.reason]++
+	b.lastReason = e.reason
 	return e.verdict
 }
 
@@ -545,6 +589,12 @@ type prodEnv struct {
 	fromInternal bool
 	now          libvig.Time
 	verdict      Verdict
+	// reason tags the packet's outcome. The decisive env-call sites
+	// overwrite the parse-failure default: a failed backend selection
+	// means no-backend, a failed sticky creation table-full, the
+	// outputs stamp the forward/pass reasons — the same flag pattern as
+	// the policer's overRate/tableFull.
+	reason telemetry.ReasonID
 }
 
 var _ Env = (*prodEnv)(nil)
@@ -554,6 +604,7 @@ func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
 	e.fromInternal = fromInternal
 	e.now = now
 	e.verdict = VerdictDrop
+	e.reason = ReasonDropParse
 }
 
 // --- packet predicates ---
@@ -598,6 +649,9 @@ func (e *prodEnv) LookupReply() (FlowHandle, bool) {
 
 func (e *prodEnv) SelectBackend() (BackendHandle, bool) {
 	i, ok := e.lb.cht.Lookup(e.pkt.FlowID().Hash())
+	if !ok {
+		e.reason = ReasonDropNoBackend
+	}
 	return BackendHandle(i), ok
 }
 
@@ -605,16 +659,19 @@ func (e *prodEnv) CreateSticky(bh BackendHandle) (FlowHandle, bool) {
 	lb := e.lb
 	be, err := lb.backends.Get(int(bh))
 	if err != nil {
+		e.reason = ReasonDropTableFull
 		return 0, false
 	}
 	idx, err := lb.flowChain.Allocate(e.now)
 	if err != nil {
+		e.reason = ReasonDropTableFull
 		return 0, false
 	}
 	client := e.pkt.FlowID()
 	s := sticky{Client: client, Reply: replyKey(client, be.IP), Backend: int32(bh)}
 	if err := lb.flows.Put(idx, s); err != nil {
 		_ = lb.flowChain.Free(idx)
+		e.reason = ReasonDropTableFull
 		return 0, false
 	}
 	lb.stats.FlowsCreated++
@@ -630,20 +687,32 @@ func (e *prodEnv) Rejuvenate(h FlowHandle) {
 func (e *prodEnv) ForwardToBackend(h FlowHandle) {
 	s := e.lb.flows.Value(int(h))
 	if s == nil {
+		// Invariant breach (a forwarded handle with no record); keep the
+		// drop-class default reason.
 		e.verdict = VerdictDrop
 		return
 	}
 	e.pkt.SetDstIP(s.Reply.SrcIP) // the backend's address
 	e.verdict = VerdictToBackend
+	e.reason = ReasonFwdBackend
 }
 
 func (e *prodEnv) ForwardToClient(h FlowHandle) {
 	e.pkt.SetSrcIP(e.lb.cfg.VIP)
 	e.verdict = VerdictToClient
+	e.reason = ReasonFwdClient
 	_ = h
 }
 
 func (e *prodEnv) Passthrough() {
+	// The reason records the classification (which side, what missed);
+	// whether it forwards or drops is configuration, mirrored in the
+	// ReasonSet's drop class (ReasonsFor).
+	if e.PacketFromClient() {
+		e.reason = ReasonPassNonVIP
+	} else {
+		e.reason = ReasonPassNoSession
+	}
 	if e.lb.cfg.Passthrough {
 		e.verdict = VerdictPassthrough
 	} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 	"vignat/internal/vigor/sym"
 )
 
@@ -17,8 +18,15 @@ import (
 // backend selection only after a sticky miss (stickiness), sticky
 // creation only from a successfully selected — hence live — backend.
 
-// lbSym drives ProcessPacket under the engine via the kit driver.
-type lbSym struct{ d *nfkit.SymDriver }
+// lbSym drives ProcessPacket under the engine via the kit driver. It
+// carries the Passthrough orientation: the production Passthrough()
+// action forwards or drops by configuration, and the model mirrors
+// that, so each configuration's enumerated paths carry the outputs its
+// deployment actually produces.
+type lbSym struct {
+	d           *nfkit.SymDriver
+	passthrough bool
+}
 
 var _ Env = lbSym{}
 
@@ -140,20 +148,74 @@ func (e lbSym) ForwardToClient(h FlowHandle) {
 	e.d.Output("forward_to_client")
 }
 
-func (e lbSym) Passthrough() { e.d.Output("passthrough") }
-func (e lbSym) Drop()        { e.d.Output("drop") }
+func (e lbSym) Passthrough() {
+	if e.passthrough {
+		e.d.Output("passthrough")
+	} else {
+		e.d.Output("drop")
+	}
+}
+func (e lbSym) Drop() { e.d.Output("drop") }
 
-// symSpec is the balancer's symbolic-verification declaration.
+// symSpec is the balancer's symbolic-verification declaration, in the
+// service-chain (passthrough) orientation Verify has always proven.
 func symSpec() *nfkit.SymSpec {
-	return symSpecFor(ProcessPacket)
+	return symSpecFor(ProcessPacket, true)
 }
 
-func symSpecFor(logic func(Env)) *nfkit.SymSpec {
+func symSpecFor(logic func(Env), passthrough bool) *nfkit.SymSpec {
 	return &nfkit.SymSpec{
-		NF:      "viglb",
-		Outputs: []string{"forward_to_backend", "forward_to_client", "passthrough", "drop"},
-		Drive:   func(d *nfkit.SymDriver) { logic(lbSym{d}) },
-		Spec:    checkSpec,
+		NF:         "viglb",
+		Outputs:    []string{"forward_to_backend", "forward_to_client", "passthrough", "drop"},
+		Drive:      func(d *nfkit.SymDriver) { logic(lbSym{d: d, passthrough: passthrough}) },
+		Spec:       checkSpecFor(passthrough),
+		PathReason: pathReasonFor(passthrough),
+	}
+}
+
+// pathReasonFor classifies one enumerated symbolic path onto the
+// declared taxonomy for the given orientation; VerifyReasons
+// cross-checks the mapping (the Kit declares ReasonsFor(passthrough)
+// next to symSpecFor(..., passthrough), so classes line up by
+// construction only when the tagging code does too).
+func pathReasonFor(passthrough bool) func(p *nfkit.SymPath) (telemetry.ReasonID, error) {
+	_ = passthrough // the IDs are orientation-independent; only the set's classes flip
+	return func(p *nfkit.SymPath) (telemetry.ReasonID, error) {
+		for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid",
+			"not_fragment", "l4_supported", "l4_header_intact"} {
+			val, evaluated := p.Ret(g)
+			if !evaluated || !val {
+				return ReasonDropParse, nil
+			}
+		}
+		fromClient, ok := p.Ret("packet_from_client")
+		if !ok {
+			return 0, fmt.Errorf("side never determined")
+		}
+		if fromClient {
+			isVIP, vipAsked := p.Ret("dst_is_vip")
+			if !vipAsked {
+				return 0, fmt.Errorf("client packet's VIP test never ran")
+			}
+			if !isVIP {
+				return ReasonPassNonVIP, nil
+			}
+			hit, _ := p.Ret("sticky_get_by_client")
+			selected, selectAsked := p.Ret("cht_lookup")
+			created, createAsked := p.Ret("sticky_create")
+			switch {
+			case hit, createAsked && created:
+				return ReasonFwdBackend, nil
+			case selectAsked && !selected:
+				return ReasonDropNoBackend, nil
+			default:
+				return ReasonDropTableFull, nil
+			}
+		}
+		if hit, _ := p.Ret("sticky_get_by_reply"); hit {
+			return ReasonFwdClient, nil
+		}
+		return ReasonPassNoSession, nil
 	}
 }
 
@@ -178,11 +240,23 @@ func Verify() (*nfkit.Report, error) {
 // verifyLogic runs the pipeline over any balancer-shaped stateless
 // logic; tests use it to demonstrate that buggy variants fail.
 func verifyLogic(logic func(Env)) (*nfkit.Report, error) {
-	return nfkit.VerifySym(*symSpecFor(logic))
+	return nfkit.VerifySym(*symSpecFor(logic, true))
 }
 
-// checkSpec is the balancer's steering specification, trace form.
-func checkSpec(p *nfkit.SymPath) error {
+// checkSpecFor is the balancer's steering specification, trace form,
+// for one Passthrough orientation: not-owned traffic must pass through
+// in service-chain mode and drop standalone.
+func checkSpecFor(passthrough bool) func(p *nfkit.SymPath) error {
+	passOut := "passthrough"
+	if !passthrough {
+		passOut = "drop"
+	}
+	return func(p *nfkit.SymPath) error { return checkSpec(p, passOut) }
+}
+
+// checkSpec checks one path, with passOut the output not-owned traffic
+// must take.
+func checkSpec(p *nfkit.SymPath, passOut string) error {
 	out := p.Output()
 	// Non-parseable → drop.
 	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid",
@@ -205,8 +279,8 @@ func checkSpec(p *nfkit.SymPath) error {
 			return fmt.Errorf("client packet's VIP test never ran")
 		}
 		if !isVIP {
-			if out != "passthrough" {
-				return fmt.Errorf("non-VIP client packet must pass through, does %s", out)
+			if out != passOut {
+				return fmt.Errorf("non-VIP client packet must %s, does %s", passOut, out)
 			}
 			return nil
 		}
@@ -257,8 +331,8 @@ func checkSpec(p *nfkit.SymPath) error {
 	}
 	hit, _ := p.Ret("sticky_get_by_reply")
 	if !hit {
-		if out != "passthrough" {
-			return fmt.Errorf("non-session backend packet must pass through, does %s", out)
+		if out != passOut {
+			return fmt.Errorf("non-session backend packet must %s, does %s", passOut, out)
 		}
 		return nil
 	}

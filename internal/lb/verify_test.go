@@ -1,6 +1,12 @@
 package lb
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+)
 
 // TestLBVerified runs the kit-derived pipeline on the balancer's
 // stateless logic: the roadmap's "verify the LB composition" item —
@@ -24,6 +30,27 @@ func TestLBVerified(t *testing.T) {
 		t.Fatalf("paths %d, want 13", rep.Paths)
 	}
 	t.Log(rep.Summary())
+}
+
+// TestLBReasonsConsistent cross-checks the declared reason taxonomy
+// against the path enumeration — in both Passthrough orientations,
+// since the taxonomy's drop classes flip with the configuration.
+func TestLBReasonsConsistent(t *testing.T) {
+	for _, passthrough := range []bool{true, false} {
+		cfg := Config{
+			VIP: flow.MakeAddr(10, 0, 0, 1), Capacity: 16, Timeout: time.Second,
+			MaxBackends: 4, Passthrough: passthrough,
+		}
+		rep, err := Kit(cfg, libvig.NewVirtualClock(0)).VerifyReasons()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("passthrough=%v: taxonomy drifted: %s\n%v",
+				passthrough, rep.Summary(), rep.Failures)
+		}
+		t.Logf("passthrough=%v: %s", passthrough, rep.Summary())
+	}
 }
 
 // TestLBBuggyDeadBackendSteerCaught: ignoring the CHT's "no live

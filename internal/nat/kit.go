@@ -7,15 +7,18 @@ import (
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 )
 
 // This file is the NAT's one nfkit declaration: everything the engine,
 // the sharded composition, and the demo binaries need, in one place.
 // The bespoke AsNF adapter and the hand-written Sharded implementation
 // this replaces were the first copy of the five-part recipe the kit
-// amortizes. (The NAT's symbolic binding predates the kit's derived
-// form and stays on the richer CallKind/validator pipeline in
-// vigor/symbex — it is the paper's original artifact.)
+// amortizes. (The NAT's authoritative proof predates the kit and stays
+// on the richer CallKind/validator pipeline in vigor/symbex — the
+// paper's original artifact; symspec.go re-expresses the decision
+// structure in the kit's derived form so the reason taxonomy can be
+// cross-checked like every other NF's.)
 
 // verdictOf collapses the NAT's directional verdict onto the pipeline
 // pair: both forward directions mean "out the opposite interface".
@@ -85,11 +88,15 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
 			Hit: func(n *NAT, aux uint64, _ int, now libvig.Time) nf.Verdict {
 				_ = n.table.Rejuvenate(int(aux>>1), now)
 				n.stats.Processed++
+				r := ReasonFwdIn
 				if aux&1 != 0 {
 					n.stats.ForwardedOut++
+					r = ReasonFwdOut
 				} else {
 					n.stats.ForwardedIn++
 				}
+				n.reasonCounts[r]++
+				n.lastReason = r
 				return nf.Forward
 			},
 		},
@@ -109,6 +116,12 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
 			}
 			return off / perShard
 		},
+		Reasons: Reasons,
+		ReasonCounts: func(n *NAT) []uint64 {
+			return n.reasonCounts[:]
+		},
+		LastReason: func(n *NAT) telemetry.ReasonID { return n.lastReason },
+		Sym:        symSpec(),
 	}
 }
 

@@ -1,0 +1,42 @@
+package nat
+
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/libvig"
+)
+
+// TestNATDerivedVerified runs the kit-derived pipeline on the NAT's
+// stateless logic. The bespoke vigor/symbex proof remains the
+// authoritative artifact; this checks the derived re-expression stays
+// consistent with it (same decision structure, same path count as the
+// firewall's isomorphic table shape).
+func TestNATDerivedVerified(t *testing.T) {
+	rep, err := VerifyDerived()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("proof failed: %s\nP1=%v\nP2=%v\nP4=%v",
+			rep.Summary(), rep.P1Failures, rep.P2Violations, rep.P4Violations)
+	}
+	if rep.Paths != 11 {
+		t.Fatalf("paths %d, want 11", rep.Paths)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestNATReasonsConsistent cross-checks the declared reason taxonomy
+// against the derived path enumeration.
+func TestNATReasonsConsistent(t *testing.T) {
+	cfg := Config{Capacity: 16, Timeout: time.Second, ExternalIP: tExtIP, PortBase: 1}
+	rep, err := Kit(cfg, libvig.NewVirtualClock(0)).VerifyReasons()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("taxonomy drifted: %s\n%v", rep.Summary(), rep.Failures)
+	}
+	t.Log(rep.Summary())
+}

@@ -7,6 +7,28 @@ import (
 	"vignat/internal/libvig"
 	"vignat/internal/nat/stateless"
 	"vignat/internal/netstack"
+	"vignat/internal/nf/telemetry"
+)
+
+// Reason IDs: the NAT's declared outcome taxonomy, cross-checked
+// against the derived symbolic path enumeration (see symspec.go's
+// pathReason).
+const (
+	ReasonFwdOut telemetry.ReasonID = iota
+	ReasonFwdIn
+	ReasonDropParse
+	ReasonDropTableFull
+	ReasonDropUnsolicited
+	numReasons
+)
+
+// Reasons is the NAT's outcome taxonomy.
+var Reasons = telemetry.MustReasonSet("vignat",
+	telemetry.Reason{ID: ReasonFwdOut, Name: "fwd_out", Help: "internal packet translated and emitted external"},
+	telemetry.Reason{ID: ReasonFwdIn, Name: "fwd_in", Help: "external packet of a live flow translated back and emitted internal"},
+	telemetry.Reason{ID: ReasonDropParse, Name: "drop_parse", Drop: true, Help: "frame failed the parse/validation chain (non-NATable)"},
+	telemetry.Reason{ID: ReasonDropTableFull, Name: "drop_table_full", Drop: true, Help: "new flow refused: table or port range exhausted"},
+	telemetry.Reason{ID: ReasonDropUnsolicited, Name: "drop_unsolicited", Drop: true, Help: "external packet matching no flow"},
 )
 
 // Stats counts VigNAT's externally visible actions.
@@ -31,6 +53,10 @@ type NAT struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// reasonCounts[r] totals packets tagged with reason r; lastReason
+	// is the most recent tag. Single-writer, like the stats fields.
+	reasonCounts [numReasons]uint64
+	lastReason   telemetry.ReasonID
 	// fpGens invalidates engine flow-cache entries: one generation per
 	// flow index, bumped by the table's erase hook whenever a flow dies.
 	fpGens *fastpath.GenTable
@@ -93,6 +119,8 @@ func (n *NAT) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) statel
 	case stateless.VerdictToInternal:
 		n.stats.ForwardedIn++
 	}
+	n.reasonCounts[e.reason]++
+	n.lastReason = e.reason
 	return e.verdict
 }
 
@@ -116,6 +144,11 @@ type prodEnv struct {
 	fromInternal bool
 	now          libvig.Time
 	verdict      stateless.Verdict
+	// reason tags the packet's outcome. The decisive env-call sites
+	// overwrite the parse-failure default: an allocation failure means
+	// table-full, an external miss unsolicited, the emits stamp the
+	// forward reasons — the same flag pattern as the other NFs.
+	reason telemetry.ReasonID
 }
 
 var _ stateless.Env = (*prodEnv)(nil)
@@ -125,6 +158,7 @@ func (e *prodEnv) reset(frame []byte, fromInternal bool, now libvig.Time) {
 	e.fromInternal = fromInternal
 	e.now = now
 	e.verdict = stateless.VerdictDrop
+	e.reason = ReasonDropParse
 }
 
 // --- packet predicates ---
@@ -165,6 +199,9 @@ func (e *prodEnv) LookupInternal() (stateless.FlowHandle, bool) {
 
 func (e *prodEnv) LookupExternal() (stateless.FlowHandle, bool) {
 	i, ok := e.nat.table.LookupExt(e.pkt.FlowID())
+	if !ok {
+		e.reason = ReasonDropUnsolicited // the miss decides the drop
+	}
 	return stateless.FlowHandle(i), ok
 }
 
@@ -172,6 +209,8 @@ func (e *prodEnv) AllocateFlow() (stateless.FlowHandle, bool) {
 	i, ok := e.nat.table.Add(e.pkt.FlowID(), e.now)
 	if ok {
 		e.nat.stats.FlowsCreated++
+	} else {
+		e.reason = ReasonDropTableFull
 	}
 	return stateless.FlowHandle(i), ok
 }
@@ -187,6 +226,7 @@ func (e *prodEnv) EmitExternal(h stateless.FlowHandle) {
 	e.pkt.SetSrcIP(f.ExtKey.DstIP) // EXT_IP
 	e.pkt.SetSrcPort(f.ExtPort())
 	e.verdict = stateless.VerdictToExternal
+	e.reason = ReasonFwdOut
 }
 
 func (e *prodEnv) EmitInternal(h stateless.FlowHandle) {
@@ -194,6 +234,7 @@ func (e *prodEnv) EmitInternal(h stateless.FlowHandle) {
 	e.pkt.SetDstIP(f.IntIP())
 	e.pkt.SetDstPort(f.IntPort())
 	e.verdict = stateless.VerdictToInternal
+	e.reason = ReasonFwdIn
 }
 
 func (e *prodEnv) Drop() { e.verdict = stateless.VerdictDrop }

@@ -30,6 +30,12 @@ type Chain struct {
 	batchVerd []Verdict
 	batchIdx  []int
 
+	// lastDrop is the index (internal→external order) of the element
+	// that dropped the most recently dropped packet, -1 before the
+	// first drop — the trace ring's "which chain element" label. One
+	// plain store per dropped packet, owner goroutine only.
+	lastDrop int
+
 	stats Stats
 }
 
@@ -45,7 +51,30 @@ func NewChain(name string, elems ...NF) (*Chain, error) {
 			return nil, errors.New("nf: nil chain element")
 		}
 	}
-	return &Chain{name: name, elems: elems}, nil
+	return &Chain{name: name, elems: elems, lastDrop: -1}, nil
+}
+
+// LastDropElem returns the internal→external index of the element that
+// dropped the most recently dropped packet (-1 before any drop).
+// Owner goroutine only, like every other hot-path counter.
+func (c *Chain) LastDropElem() int { return c.lastDrop }
+
+// LastReasonName returns the declared reason label of the element that
+// dropped the most recently dropped packet, when that element exposes
+// one — the chain itself declares no taxonomy, its elements do.
+func (c *Chain) LastReasonName() string {
+	if c.lastDrop < 0 || c.lastDrop >= len(c.elems) {
+		return ""
+	}
+	switch e := c.elems[c.lastDrop].(type) {
+	case ReasonStatser:
+		if set := e.ReasonSet(); set != nil {
+			return set.Name(e.LastReason())
+		}
+	case interface{ LastReasonName() string }:
+		return e.LastReasonName()
+	}
+	return ""
 }
 
 // Name returns the chain's name plus its element names.
@@ -64,9 +93,10 @@ func (c *Chain) Elems() []NF { return c.elems }
 func (c *Chain) Process(frame []byte, fromInternal bool) Verdict {
 	c.stats.Processed++
 	if fromInternal {
-		for _, e := range c.elems {
+		for ei, e := range c.elems {
 			if e.Process(frame, fromInternal) == Drop {
 				c.stats.Dropped++
+				c.lastDrop = ei
 				return Drop
 			}
 		}
@@ -74,6 +104,7 @@ func (c *Chain) Process(frame []byte, fromInternal bool) Verdict {
 		for i := len(c.elems) - 1; i >= 0; i-- {
 			if c.elems[i].Process(frame, fromInternal) == Drop {
 				c.stats.Dropped++
+				c.lastDrop = i
 				return Drop
 			}
 		}
@@ -136,38 +167,40 @@ func (c *Chain) directionPass(pkts []Pkt, verdicts []Verdict, fromInternal bool)
 	if lo := live[0]; live[len(live)-1]-lo == len(live)-1 {
 		// Contiguous run: the steer pass already built this element's
 		// input, so the first element reads pkts directly.
-		e := c.elems[0]
+		ei := 0
 		if !fromInternal {
-			e = c.elems[len(c.elems)-1]
+			ei = len(c.elems) - 1
 		}
-		e.ProcessBatch(pkts[lo:lo+len(live)], c.batchVerd)
+		c.elems[ei].ProcessBatch(pkts[lo:lo+len(live)], c.batchVerd)
 		kept := live[:0]
 		for j, i := range live {
 			if c.batchVerd[j] == Forward {
 				kept = append(kept, i)
 			} else {
 				verdicts[i] = Drop
+				c.lastDrop = ei
 			}
 		}
 		live = kept
 		step = 1
 	}
 	for ; step < len(c.elems) && len(live) > 0; step++ {
-		e := c.elems[step]
+		ei := step
 		if !fromInternal {
-			e = c.elems[len(c.elems)-1-step]
+			ei = len(c.elems) - 1 - step
 		}
 		sub := c.batchPkts[:0]
 		for _, i := range live {
 			sub = append(sub, pkts[i])
 		}
-		e.ProcessBatch(sub, c.batchVerd)
+		c.elems[ei].ProcessBatch(sub, c.batchVerd)
 		kept := live[:0]
 		for j, i := range live {
 			if c.batchVerd[j] == Forward {
 				kept = append(kept, i)
 			} else {
 				verdicts[i] = Drop
+				c.lastDrop = ei
 			}
 		}
 		live = kept

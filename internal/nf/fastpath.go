@@ -55,7 +55,7 @@ type FastHitFuncer interface {
 // the same padded cells the metrics endpoint scrapes); the pipeline
 // resolves it from its NF once at construction.
 type FastPathCounter interface {
-	AddFastPath(shard int, hits, misses, evictions uint64)
+	AddFastPath(shard int, hits, misses, evictions, bypassed uint64)
 }
 
 // syncer lets the engine publish a counted shard's pending counter
@@ -242,7 +242,7 @@ func (wk *worker) processShardFast(li, s int, now libvig.Time) {
 	wk.stats.FastPathBypassed += bypassed
 	wk.stats.FastPathEvictions += evictions
 	if p.fastSink != nil {
-		p.fastSink.AddFastPath(s, hits, misses, evictions)
+		p.fastSink.AddFastPath(s, hits, misses, evictions, bypassed)
 	}
 }
 

@@ -595,17 +595,17 @@ func TestShardStatsAddFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	block.AddFastPath(1, 10, 3, 1)
-	block.AddFastPath(1, 5, 0, 0)
+	block.AddFastPath(1, 10, 3, 1, 2)
+	block.AddFastPath(1, 5, 0, 0, 4)
 	got := block.ShardSnapshot(1)
-	if got.FastPathHits != 15 || got.FastPathMisses != 3 || got.FastPathEvictions != 1 {
+	if got.FastPathHits != 15 || got.FastPathMisses != 3 || got.FastPathEvictions != 1 || got.FastPathBypassed != 6 {
 		t.Fatalf("shard snapshot %+v", got)
 	}
 	if other := block.ShardSnapshot(0); other.FastPathHits != 0 {
 		t.Fatalf("counters leaked across cells: %+v", other)
 	}
 	agg := block.Snapshot()
-	if agg.FastPathHits != 15 || agg.FastPathMisses != 3 || agg.FastPathEvictions != 1 {
+	if agg.FastPathHits != 15 || agg.FastPathMisses != 3 || agg.FastPathEvictions != 1 || agg.FastPathBypassed != 6 {
 		t.Fatalf("aggregate %+v", agg)
 	}
 }

@@ -5,33 +5,92 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
 	"time"
+
+	"vignat/internal/nf/telemetry"
 )
 
 // MetricSource names one stats surface the metrics endpoint exposes.
 // Snapshot must be safe to call from any goroutine at any time —
 // CountedShards.StatsSnapshot (per-shard padded atomic cells) is the
 // intended producer; Pipeline.Stats, which walks worker-owned state, is
-// not.
+// not. The optional fields extend the exposition when the source has
+// more to say; all of them must honor the same any-goroutine contract.
 type MetricSource struct {
 	Name     string
 	Snapshot func() Stats
+	// Reasons, when set, is the NF's declared outcome taxonomy and
+	// ReasonCounts its aggregated per-reason totals (indexed by
+	// ReasonID) — CountedShards.ReasonSnapshot is the intended producer.
+	Reasons      *telemetry.ReasonSet
+	ReasonCounts func() []uint64
+	// Telemetry, when set, supplies the engine telemetry block backing
+	// the latency histograms and the sampled trace ring; it may return
+	// nil (telemetry disabled), in which case those sections are simply
+	// absent. Pipeline.Telemetry is the intended producer.
+	Telemetry func() *telemetry.PipelineTel
 }
 
-// Metrics is a running metrics endpoint: the ROADMAP's "actual metrics
-// endpoint" over the per-shard stats cells. It serves
+// ReasonSnapshotter is the concurrency-safe per-reason scrape surface
+// sharded NFs expose (CountedShards implements it; the padded per-shard
+// reason cells are the backing store).
+type ReasonSnapshotter interface {
+	ReasonSet() *telemetry.ReasonSet
+	ReasonSnapshot() []uint64
+}
+
+// SourceOf assembles the richest MetricSource the given NF supports:
+// the mandatory Stats snapshot, the per-reason totals when the NF
+// exposes the concurrency-safe reason surface, and the engine
+// telemetry when pipe carries one.
+func SourceOf(name string, nfi NF, snapshot func() Stats, pipe *Pipeline) MetricSource {
+	src := MetricSource{Name: name, Snapshot: snapshot}
+	if rs, ok := nfi.(ReasonSnapshotter); ok && rs.ReasonSet() != nil {
+		src.Reasons = rs.ReasonSet()
+		src.ReasonCounts = rs.ReasonSnapshot
+	}
+	if pipe != nil {
+		src.Telemetry = pipe.Telemetry
+	}
+	return src
+}
+
+// expvar's registry is global and write-once, so ServeMetrics publishes
+// each name once as a Func that reads through this slot table. Close
+// unbinds the slot (the Func then reports nil) and a later ServeMetrics
+// rebinds it — no stale closure ever serves an old source — while a
+// name that is still bound, or was published by someone else entirely,
+// is a collision ServeMetrics reports instead of silently skipping.
+var (
+	expvarMu    sync.Mutex
+	expvarSlots = map[string]func() Stats{}
+)
+
+// Metrics is a running metrics endpoint: the engine's scrape surface
+// over the per-shard stats cells and the per-worker telemetry blocks.
+// It serves
 //
-//	/metrics     — JSON {source: {processed, forwarded, dropped, expired}}
-//	/debug/vars  — the standard Go expvar surface (same numbers, plus
-//	               the runtime's own variables)
+//	/metrics      — content-negotiated: Prometheus text exposition when
+//	                the Accept header asks for text/plain or OpenMetrics
+//	                (what a Prometheus scraper sends), JSON otherwise;
+//	                ?format=prometheus|json overrides.
+//	/debug/vars   — the standard Go expvar surface (same numbers, plus
+//	                the runtime's own variables)
+//	/debug/pprof/ — the standard Go profiling surface (heap, CPU,
+//	                goroutine, ...)
+//	/debug/trace  — the sampled per-packet trace rings as JSON, for
+//	                sources wired to an engine with telemetry enabled
 //
-// and publishes every source as an expvar.Func, so any expvar-speaking
-// collector scrapes the NFs without custom glue. Scrapes run
-// concurrently with traffic: the snapshot path is a handful of
-// uncontended atomic loads per shard and never touches worker-owned
-// state.
+// Scrapes run concurrently with traffic: the snapshot path is a
+// handful of uncontended atomic loads per shard (histograms add one
+// load per bucket) and never touches worker-owned state.
 type Metrics struct {
 	ln      net.Listener
 	srv     *http.Server
@@ -40,8 +99,9 @@ type Metrics struct {
 
 // ServeMetrics listens on addr (e.g. ":9090", or "127.0.0.1:0" for an
 // ephemeral port) and serves the sources until Close. Source names must
-// be unique within the process: expvar's registry is global and
-// write-once.
+// be unique among the endpoints currently open in the process; a name
+// already serving (or taken in the expvar registry by a foreign
+// publisher) is an error naming the duplicate, not a silent skip.
 func ServeMetrics(addr string, sources ...MetricSource) (*Metrics, error) {
 	if len(sources) == 0 {
 		return nil, errors.New("nf: metrics endpoint needs at least one source")
@@ -51,31 +111,253 @@ func ServeMetrics(addr string, sources ...MetricSource) (*Metrics, error) {
 			return nil, errors.New("nf: metric source needs a name and a snapshot function")
 		}
 	}
+	if err := bindExpvar(sources); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		unbindExpvar(sources)
 		return nil, fmt.Errorf("nf: metrics listen: %w", err)
 	}
 	m := &Metrics{ln: ln, sources: sources}
-	for _, s := range sources {
-		s := s
-		name := "nf." + s.Name
-		if expvar.Get(name) == nil {
-			expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
-		}
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/debug/trace", m.handleTrace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = m.srv.Serve(ln) }()
 	return m, nil
 }
 
-// handleMetrics renders every source's snapshot as one JSON object.
-func (m *Metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	out := make(map[string]Stats, len(m.sources))
+// bindExpvar claims every source's expvar slot or reports the
+// collision. All-or-nothing: a failed claim releases the ones made.
+func bindExpvar(sources []MetricSource) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	bound := make([]string, 0, len(sources))
+	fail := func(err error) error {
+		for _, name := range bound {
+			expvarSlots[name] = nil
+		}
+		return err
+	}
+	for _, s := range sources {
+		name := "nf." + s.Name
+		slot, ours := expvarSlots[name]
+		switch {
+		case slot != nil:
+			return fail(fmt.Errorf("nf: metric source %q already serving (expvar name %q is bound; close the other endpoint first)", s.Name, name))
+		case !ours && expvar.Get(name) != nil:
+			return fail(fmt.Errorf("nf: metric source %q collides with a foreign expvar publication %q", s.Name, name))
+		}
+		expvarSlots[name] = s.Snapshot
+		bound = append(bound, name)
+		if !ours {
+			name := name
+			expvar.Publish(name, expvar.Func(func() any {
+				expvarMu.Lock()
+				snap := expvarSlots[name]
+				expvarMu.Unlock()
+				if snap == nil {
+					return nil
+				}
+				return snap()
+			}))
+		}
+	}
+	return nil
+}
+
+// unbindExpvar releases the sources' slots (the write-once expvar
+// entries stay registered and report nil until a rebind).
+func unbindExpvar(sources []MetricSource) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	for _, s := range sources {
+		expvarSlots["nf."+s.Name] = nil
+	}
+}
+
+// sourceJSON is one source's /metrics JSON rendering: the flat Stats
+// fields (unchanged on the wire — existing map[string]Stats decoders
+// keep working and ignore the additions) plus the per-reason totals.
+type sourceJSON struct {
+	Stats
+	Reasons map[string]uint64 `json:"reasons,omitempty"`
+}
+
+// wantsProm decides the /metrics rendering: Prometheus text when the
+// client asks for it (Accept: text/plain or OpenMetrics — the
+// Prometheus scraper's request), JSON otherwise; an explicit ?format=
+// wins.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleMetrics renders every source's snapshot, negotiated between
+// the JSON object and the Prometheus text exposition.
+func (m *Metrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.writeProm(w)
+		return
+	}
+	out := make(map[string]sourceJSON, len(m.sources))
 	for _, s := range m.sources {
-		out[s.Name] = s.Snapshot()
+		j := sourceJSON{Stats: s.Snapshot()}
+		if s.Reasons != nil && s.ReasonCounts != nil {
+			counts := s.ReasonCounts()
+			j.Reasons = make(map[string]uint64, len(counts))
+			for id, n := range counts {
+				j.Reasons[s.Reasons.Name(telemetry.ReasonID(id))] = n
+			}
+		}
+		out[s.Name] = j
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// statCounters orders the Stats fields for exposition.
+var statCounters = []struct {
+	name, help string
+	get        func(Stats) uint64
+}{
+	{"nf_processed_total", "Packets processed.", func(s Stats) uint64 { return s.Processed }},
+	{"nf_forwarded_total", "Packets forwarded out the opposite interface.", func(s Stats) uint64 { return s.Forwarded }},
+	{"nf_dropped_total", "Packets dropped by NF verdict.", func(s Stats) uint64 { return s.Dropped }},
+	{"nf_expired_total", "State entries expired.", func(s Stats) uint64 { return s.Expired }},
+	{"nf_fastpath_hits_total", "Verdicts taken from the established-flow cache.", func(s Stats) uint64 { return s.FastPathHits }},
+	{"nf_fastpath_misses_total", "Packets that took the full slow path.", func(s Stats) uint64 { return s.FastPathMisses }},
+	{"nf_fastpath_evictions_total", "Flow-cache entries displaced or reclaimed dead.", func(s Stats) uint64 { return s.FastPathEvictions }},
+	{"nf_fastpath_bypassed_total", "Packets sent around the flow cache in cold mode.", func(s Stats) uint64 { return s.FastPathBypassed }},
+}
+
+// telHists orders the telemetry histograms for exposition. The path
+// label splits the shared per-packet-cost metric by how the burst was
+// resolved.
+var telHists = []struct {
+	name, labels, help string
+	get                func(telemetry.Snapshot) telemetry.HistSnapshot
+}{
+	{"nf_poll_ns", "", "Wall time of one non-empty poll, nanoseconds.",
+		func(s telemetry.Snapshot) telemetry.HistSnapshot { return s.PollNs }},
+	{"nf_pkt_ns", `path="fast",`, "Amortized per-packet cost, nanoseconds, by resolution path.",
+		func(s telemetry.Snapshot) telemetry.HistSnapshot { return s.FastPktNs }},
+	{"nf_pkt_ns", `path="slow",`, "Amortized per-packet cost, nanoseconds, by resolution path.",
+		func(s telemetry.Snapshot) telemetry.HistSnapshot { return s.SlowPktNs }},
+	{"nf_burst_occupancy", "", "Packets per non-empty RX burst.",
+		func(s telemetry.Snapshot) telemetry.HistSnapshot { return s.BurstOccupancy }},
+	{"nf_tx_drain", "", "Mbufs per non-empty TX flush.",
+		func(s telemetry.Snapshot) telemetry.HistSnapshot { return s.TxDrain }},
+}
+
+// writeProm renders the Prometheus text exposition: the Stats
+// counters, the per-reason totals with their drop/forward class, and
+// the merged per-worker histograms in cumulative-bucket form.
+func (m *Metrics) writeProm(w io.Writer) {
+	for _, c := range statCounters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
+		for _, s := range m.sources {
+			fmt.Fprintf(w, "%s{nf=%q} %d\n", c.name, s.Name, c.get(s.Snapshot()))
+		}
+	}
+
+	headed := false
+	for _, s := range m.sources {
+		if s.Reasons == nil || s.ReasonCounts == nil {
+			continue
+		}
+		if !headed {
+			fmt.Fprintf(w, "# HELP nf_reason_total Packets per declared, path-conformance-checked outcome reason.\n# TYPE nf_reason_total counter\n")
+			headed = true
+		}
+		counts := s.ReasonCounts()
+		for id, n := range counts {
+			rid := telemetry.ReasonID(id)
+			class := "forward"
+			if s.Reasons.IsDrop(rid) {
+				class = "drop"
+			}
+			fmt.Fprintf(w, "nf_reason_total{nf=%q,reason=%q,class=%q} %d\n",
+				s.Name, s.Reasons.Name(rid), class, n)
+		}
+	}
+
+	snaps := make(map[string]telemetry.Snapshot)
+	var telSources []string
+	for _, s := range m.sources {
+		if s.Telemetry == nil {
+			continue
+		}
+		t := s.Telemetry()
+		if t == nil {
+			continue
+		}
+		snaps[s.Name] = t.Snapshot()
+		telSources = append(telSources, s.Name)
+	}
+	lastName := ""
+	for _, h := range telHists {
+		if h.name != lastName {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+			lastName = h.name
+		}
+		for _, name := range telSources {
+			writePromHist(w, h.name, fmt.Sprintf("nf=%q,%s", name, h.labels), h.get(snaps[name]))
+		}
+	}
+}
+
+// writePromHist renders one merged histogram in Prometheus cumulative
+// form, trimming trailing empty buckets (the le bounds are the
+// log2-bucket inclusive upper bounds, 2^k − 1).
+func writePromHist(w io.Writer, name, labels string, s telemetry.HistSnapshot) {
+	var cum uint64
+	for k := 0; k <= s.MaxBucket(); k++ {
+		cum += s.Buckets[k]
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, labels, telemetry.UpperBound(k), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, s.Count)
+	bare := strings.TrimSuffix(labels, ",")
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, bare, s.Sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, bare, s.Count)
+}
+
+// handleTrace renders the sampled per-packet trace rings as one JSON
+// object {source: [records]}, oldest first per worker. Sources without
+// telemetry (or with it disabled) are absent.
+func (m *Metrics) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string][]telemetry.Record)
+	for _, s := range m.sources {
+		if s.Telemetry == nil {
+			continue
+		}
+		t := s.Telemetry()
+		if t == nil {
+			continue
+		}
+		recs := t.TraceSnapshot()
+		sort.SliceStable(recs, func(i, j int) bool {
+			if recs[i].Worker != recs[j].Worker {
+				return recs[i].Worker < recs[j].Worker
+			}
+			return recs[i].Seq < recs[j].Seq
+		})
+		out[s.Name] = recs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
@@ -85,7 +367,11 @@ func (m *Metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // ephemeral ":0" bind).
 func (m *Metrics) Addr() string { return m.ln.Addr().String() }
 
-// Close stops serving. Published expvar entries remain registered (the
-// registry is write-once) and keep reporting the last sources bound to
-// their names.
-func (m *Metrics) Close() error { return m.srv.Close() }
+// Close stops serving and releases the sources' expvar slots: the
+// write-once registry entries stay published but report nil until a
+// later ServeMetrics rebinds the names.
+func (m *Metrics) Close() error {
+	err := m.srv.Close()
+	unbindExpvar(m.sources)
+	return err
+}

@@ -7,28 +7,37 @@ package nf_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"vignat/internal/discard"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
+	"vignat/internal/nf/telemetry"
 	"vignat/internal/policer"
 )
 
 const scrapeShards = 4
 
+// generousPolicer is the never-drops configuration the pure-scrape
+// tests use; the reason-conformance test swaps in a starved one.
+var generousPolicer = policer.Config{
+	Rate: 1 << 30, Burst: 1 << 30, Capacity: 1024, Timeout: time.Hour,
+}
+
 // buildScrapePolicer returns a sharded policer plus per-shard ingress
 // frames, pre-steered with ShardOf so each driving goroutine touches
 // only the shard it owns.
-func buildScrapePolicer(t testing.TB) (*policer.Sharded, [][][]byte) {
+func buildScrapePolicer(t testing.TB, cfg policer.Config) (*policer.Sharded, [][][]byte) {
 	t.Helper()
-	s, err := policer.NewSharded(policer.Config{
-		Rate: 1 << 30, Burst: 1 << 30, Capacity: 1024, Timeout: time.Hour,
-	}, libvig.NewVirtualClock(0), scrapeShards)
+	s, err := policer.NewSharded(cfg, libvig.NewVirtualClock(0), scrapeShards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +65,7 @@ func buildScrapePolicer(t testing.TB) (*policer.Sharded, [][][]byte) {
 // while scraper goroutines hammer StatsSnapshot and per-shard
 // snapshots. Snapshots must be race-free and monotone.
 func TestCountedShardsConcurrentScrapeWithPolicer(t *testing.T) {
-	s, frames := buildScrapePolicer(t)
+	s, frames := buildScrapePolicer(t, generousPolicer)
 	const perShard = 3000
 
 	var wg sync.WaitGroup
@@ -110,7 +119,7 @@ func TestCountedShardsConcurrentScrapeWithPolicer(t *testing.T) {
 // policer being driven concurrently and checks both surfaces: the JSON
 // /metrics document and the expvar registry.
 func TestServeMetricsScrapesUnderTraffic(t *testing.T) {
-	s, frames := buildScrapePolicer(t)
+	s, frames := buildScrapePolicer(t, generousPolicer)
 	m, err := nf.ServeMetrics("127.0.0.1:0",
 		nf.MetricSource{Name: "vigpol-test", Snapshot: s.StatsSnapshot})
 	if err != nil {
@@ -170,5 +179,311 @@ func TestServeMetricsScrapesUnderTraffic(t *testing.T) {
 	resp.Body.Close()
 	if _, ok := vars["nf.vigpol-test"]; !ok {
 		t.Fatal("expvar registry missing nf.vigpol-test")
+	}
+}
+
+// scrapeProm fetches /metrics the way a Prometheus scraper does and
+// returns the text exposition.
+func scrapeProm(t *testing.T, addr string) string {
+	t.Helper()
+	req, err := http.NewRequest("GET", "http://"+addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain;version=0.0.4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus scrape negotiated content-type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// promVals returns the sample values of metric whose label set contains
+// every substring in sel.
+func promVals(t *testing.T, doc, metric string, sel ...string) []uint64 {
+	t.Helper()
+	var out []uint64
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, metric+"{") {
+			continue
+		}
+		matched := true
+		for _, s := range sel {
+			if !strings.Contains(line, s) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseUint(f[1], 10, 64)
+		if err != nil {
+			t.Fatalf("non-integer sample in %q: %v", line, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func sumU64(vs []uint64) uint64 {
+	var s uint64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// TestServeMetricsDuplicateAndReopen pins the expvar collision
+// contract: a second endpoint reusing a live source name is an error
+// naming the duplicate (not a silent skip), and after Close the
+// write-once expvar entry serves the NEW source on reopen rather than
+// a stale closure over the old one.
+func TestServeMetricsDuplicateAndReopen(t *testing.T) {
+	snapA := func() nf.Stats { return nf.Stats{Processed: 1} }
+	m1, err := nf.ServeMetrics("127.0.0.1:0", nf.MetricSource{Name: "dup-src", Snapshot: snapA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nf.ServeMetrics("127.0.0.1:0",
+		nf.MetricSource{Name: "dup-src", Snapshot: snapA}); err == nil || !strings.Contains(err.Error(), "dup-src") {
+		m1.Close()
+		t.Fatalf("duplicate live source not rejected by name (err=%v)", err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The same name twice in one call is the same collision.
+	if _, err := nf.ServeMetrics("127.0.0.1:0",
+		nf.MetricSource{Name: "dup-twice", Snapshot: snapA},
+		nf.MetricSource{Name: "dup-twice", Snapshot: snapA}); err == nil || !strings.Contains(err.Error(), "dup-twice") {
+		t.Fatalf("same-call duplicate not rejected by name (err=%v)", err)
+	}
+	snapB := func() nf.Stats { return nf.Stats{Processed: 77} }
+	m2, err := nf.ServeMetrics("127.0.0.1:0", nf.MetricSource{Name: "dup-src", Snapshot: snapB})
+	if err != nil {
+		t.Fatalf("reopen after close rejected: %v", err)
+	}
+	defer m2.Close()
+	resp, err := http.Get("http://" + m2.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	var got nf.Stats
+	if err := json.Unmarshal(vars["nf.dup-src"], &got); err != nil {
+		t.Fatalf("nf.dup-src not decodable after reopen: %v", err)
+	}
+	if got.Processed != 77 {
+		t.Fatalf("expvar serves Processed=%d after reopen, want 77 (stale closure?)", got.Processed)
+	}
+}
+
+// TestServeMetricsPrometheusReasonConformance is the in-process scrape
+// conformance check CI pins under -race: a starved policer driven from
+// one goroutine per shard while the Prometheus surface is scraped
+// mid-traffic. Counters must be monotone across scrapes, and once
+// traffic quiesces the drop-class reason totals must sum exactly to
+// Dropped (the taxonomy invariant the symbolic cross-check promises).
+func TestServeMetricsPrometheusReasonConformance(t *testing.T) {
+	starved := policer.Config{Rate: 1, Burst: 1, Capacity: 1024, Timeout: time.Hour}
+	s, frames := buildScrapePolicer(t, starved)
+	m, err := nf.ServeMetrics("127.0.0.1:0", nf.SourceOf("vigpol-prom", s, s.StatsSnapshot, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const perShard = 1500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var last uint64
+		for {
+			doc := scrapeProm(t, m.Addr())
+			vals := promVals(t, doc, "nf_processed_total", `nf="vigpol-prom"`)
+			if len(vals) != 1 {
+				t.Errorf("want one nf_processed_total sample, got %d", len(vals))
+				return
+			}
+			if vals[0] < last {
+				t.Errorf("nf_processed_total went backwards: %d then %d", last, vals[0])
+				return
+			}
+			last = vals[0]
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	for w := 0; w < scrapeShards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			shard := s.Shard(w)
+			for i := 0; i < perShard; i++ {
+				f := frames[w][i%len(frames[w])]
+				// Ingress: the 1-byte budget rejects every frame (over
+				// rate). Egress: unmetered passthrough, forwarded.
+				if shard.Process(f, false) != nf.Drop {
+					t.Error("starved ingress forwarded")
+					return
+				}
+				if shard.Process(f, true) != nf.Forward {
+					t.Error("egress passthrough dropped")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+
+	const want = scrapeShards * perShard
+	doc := scrapeProm(t, m.Addr())
+	dropped := promVals(t, doc, "nf_dropped_total", `nf="vigpol-prom"`)
+	if len(dropped) != 1 || dropped[0] != want {
+		t.Fatalf("nf_dropped_total %v, want [%d]", dropped, want)
+	}
+	dropSum := sumU64(promVals(t, doc, "nf_reason_total", `nf="vigpol-prom"`, `class="drop"`))
+	if dropSum != dropped[0] {
+		t.Fatalf("drop-class reasons sum to %d, nf_dropped_total is %d", dropSum, dropped[0])
+	}
+	fwdSum := sumU64(promVals(t, doc, "nf_reason_total", `nf="vigpol-prom"`, `class="forward"`))
+	if fwdSum != want {
+		t.Fatalf("forward-class reasons sum to %d, want %d", fwdSum, want)
+	}
+	if over := promVals(t, doc, "nf_reason_total", `reason="drop_over_rate"`); sumU64(over) != want {
+		t.Fatalf("drop_over_rate %v, want all %d ingress drops", over, want)
+	}
+
+	// The JSON surface carries the same reasons and agrees with the
+	// snapshot the cells report.
+	resp, err := http.Get("http://" + m.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jdoc map[string]struct {
+		nf.Stats
+		Reasons map[string]uint64 `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jdoc); err != nil {
+		t.Fatal(err)
+	}
+	src := jdoc["vigpol-prom"]
+	var jsonDropSum uint64
+	for name, n := range src.Reasons {
+		if r, ok := policer.Reasons.ByName(name); ok && r.Drop {
+			jsonDropSum += n
+		}
+	}
+	if jsonDropSum != src.Dropped || src.Dropped != want {
+		t.Fatalf("JSON reasons: drop-class sum %d vs Dropped %d (want %d)", jsonDropSum, src.Dropped, want)
+	}
+}
+
+// TestMetricsTelemetryTraceExposition runs the engine with telemetry
+// on and checks the two surfaces it feeds: the Prometheus histogram
+// rendering and the sampled /debug/trace ring (including the
+// NF-declared reason label on a dropped packet).
+func TestMetricsTelemetryTraceExposition(t *testing.T) {
+	pool, intPort, extPort := twoPorts(t, 32)
+	pipe, err := nf.NewPipeline(discard.NewFrameNF(), nf.Config{
+		Internal: intPort, External: extPort,
+		Telemetry: 1, TraceSample: 1, TimingStride: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nf.ServeMetrics("127.0.0.1:0",
+		nf.SourceOf("discard-tel", pipe.NF(), pipe.NF().NFStats, pipe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	buf := make([]byte, 2048)
+	host, server := flow.MakeAddr(10, 0, 0, 1), flow.MakeAddr(198, 51, 100, 1)
+	for _, dst := range []uint16{80, 9} { // one forward, one drop, separate bursts
+		id := flow.ID{SrcIP: host, DstIP: server, SrcPort: 4000, DstPort: dst}
+		if !intPort.DeliverRx(udpFrame(t, buf, id), 0) {
+			t.Fatal("rx rejected")
+		}
+		if _, err := pipe.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainAll(t, extPort, pool)
+
+	doc := scrapeProm(t, m.Addr())
+	if n := len(promVals(t, doc, "nf_poll_ns_bucket", `nf="discard-tel"`)); n == 0 {
+		t.Fatal("no nf_poll_ns_bucket samples with telemetry enabled")
+	}
+	if slow := promVals(t, doc, "nf_pkt_ns_count", `path="slow"`); len(slow) != 1 || slow[0] != 2 {
+		t.Fatalf("nf_pkt_ns_count{path=slow} %v, want [2]", slow)
+	}
+	if occ := promVals(t, doc, "nf_burst_occupancy_count", `nf="discard-tel"`); len(occ) != 1 || occ[0] != 2 {
+		t.Fatalf("nf_burst_occupancy_count %v, want [2]", occ)
+	}
+
+	resp, err := http.Get("http://" + m.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces map[string][]telemetry.Record
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	recs := traces["discard-tel"]
+	if len(recs) != 2 {
+		t.Fatalf("trace ring holds %d records, want 2 (sample=1, 2 bursts)", len(recs))
+	}
+	var sawDrop bool
+	for _, r := range recs {
+		if !r.Forwarded {
+			sawDrop = true
+			if r.Reason != "drop_port9" {
+				t.Fatalf("dropped record carries reason %q, want drop_port9", r.Reason)
+			}
+			if r.DstPort != 9 {
+				t.Fatalf("dropped record tuple %v:%d, want dst port 9", r.Dst, r.DstPort)
+			}
+		}
+	}
+	if !sawDrop {
+		t.Fatal("no dropped packet in the trace ring")
+	}
+
+	// The profiling surface is mounted on the same endpoint.
+	resp2, err := http.Get("http://" + m.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ returned %d", resp2.StatusCode)
 	}
 }

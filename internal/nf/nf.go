@@ -13,7 +13,10 @@
 // its input/fwd threads.
 package nf
 
-import "vignat/internal/libvig"
+import (
+	"vignat/internal/libvig"
+	"vignat/internal/nf/telemetry"
+)
 
 // Verdict is the pipeline-level outcome for one packet. NFs in this
 // repository are two-interface middleboxes, so "forward" always means
@@ -66,6 +69,10 @@ type Stats struct {
 	FastPathHits      uint64
 	FastPathMisses    uint64
 	FastPathEvictions uint64
+	// FastPathBypassed counts packets the engine deliberately sent
+	// around the cache while a shard was in cold mode (churn-heavy
+	// traffic where probing would cost more than it saves).
+	FastPathBypassed uint64
 }
 
 // Add accumulates other into s (shard and chain aggregation).
@@ -77,6 +84,7 @@ func (s *Stats) Add(other Stats) {
 	s.FastPathHits += other.FastPathHits
 	s.FastPathMisses += other.FastPathMisses
 	s.FastPathEvictions += other.FastPathEvictions
+	s.FastPathBypassed += other.FastPathBypassed
 }
 
 // NF is a network function the pipeline can drive. Implementations live
@@ -127,6 +135,28 @@ type NF interface {
 // deadlines.
 type ExpiryModer interface {
 	SetPerPacketExpiry(on bool) bool
+}
+
+// ReasonStatser is implemented by NFs that declare a telemetry reason
+// taxonomy: every packet outcome is tagged with a ReasonID from the
+// declared set, and the per-reason totals ride the same single-writer
+// counter discipline as the rest of NFStats. The nfkit adapter derives
+// the implementation from Decl.Reasons; the engine's counted wrappers
+// mirror the totals into padded per-shard cells so they are scrapeable
+// race-free.
+type ReasonStatser interface {
+	// ReasonSet returns the NF's declared taxonomy, or nil when the
+	// implementation carries none (derived adapters implement the
+	// interface unconditionally; consumers must check).
+	ReasonSet() *telemetry.ReasonSet
+	// ReasonCounts returns the NF's live per-reason totals, indexed by
+	// ReasonID. The slice is the NF's own single-writer storage: only
+	// the owning worker may read it (snapshots go through the counted
+	// wrapper's mirrored cells).
+	ReasonCounts() []uint64
+	// LastReason returns the reason tagged on the most recently
+	// processed packet — the trace ring's best-effort label.
+	LastReason() telemetry.ReasonID
 }
 
 // Sharder is implemented by NFs whose state is partitioned into

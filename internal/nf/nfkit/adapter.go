@@ -6,6 +6,7 @@ import (
 	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/nf"
+	"vignat/internal/nf/telemetry"
 )
 
 // Adapter is the derived production binding of one core onto the
@@ -19,9 +20,10 @@ type Adapter[C any] struct {
 }
 
 var (
-	_ nf.NF          = (*Adapter[int])(nil)
-	_ nf.ExpiryModer = (*Adapter[int])(nil)
-	_ nf.FastPather  = (*Adapter[int])(nil)
+	_ nf.NF            = (*Adapter[int])(nil)
+	_ nf.ExpiryModer   = (*Adapter[int])(nil)
+	_ nf.FastPather    = (*Adapter[int])(nil)
+	_ nf.ReasonStatser = (*Adapter[int])(nil)
 )
 
 // Adapt exposes an existing core as a pipeline network function, the
@@ -82,6 +84,37 @@ func (a *Adapter[C]) SetPerPacketExpiry(on bool) bool {
 
 // NFStats snapshots the core's engine-visible counters.
 func (a *Adapter[C]) NFStats() nf.Stats { return a.d.Stats(a.core) }
+
+// ReasonSet returns the declared outcome taxonomy, nil when the NF
+// declares none (nf.ReasonStatser consumers must check).
+func (a *Adapter[C]) ReasonSet() *telemetry.ReasonSet { return a.d.Reasons }
+
+// ReasonCounts returns the core's live per-reason totals (owner
+// goroutine only), nil when no taxonomy is declared.
+func (a *Adapter[C]) ReasonCounts() []uint64 {
+	if a.d.ReasonCounts == nil {
+		return nil
+	}
+	return a.d.ReasonCounts(a.core)
+}
+
+// LastReason returns the reason tagged on the most recently processed
+// packet (owner goroutine only; zero when no taxonomy is declared).
+func (a *Adapter[C]) LastReason() telemetry.ReasonID {
+	if a.d.LastReason == nil {
+		return 0
+	}
+	return a.d.LastReason(a.core)
+}
+
+// LastReasonName returns the declared label of LastReason, "" when no
+// taxonomy is declared — the trace ring's label hook.
+func (a *Adapter[C]) LastReasonName() string {
+	if a.d.Reasons == nil {
+		return ""
+	}
+	return a.d.Reasons.Name(a.d.LastReason(a.core))
+}
 
 // FastPathEnabled reports whether the declaration opts into the
 // engine's established-flow cache.

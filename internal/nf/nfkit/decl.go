@@ -37,6 +37,7 @@ import (
 	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
 	"vignat/internal/nf"
+	"vignat/internal/nf/telemetry"
 )
 
 // Decl is one network function's capability declaration: the closures
@@ -107,6 +108,26 @@ type Decl[C any] struct {
 	// slow path unconditionally.
 	FastPath *FastPathHooks[C]
 
+	// Reasons, when set, declares the NF's outcome taxonomy: every
+	// packet the core processes is tagged with one ReasonID from this
+	// set, counted in ReasonCounts. The taxonomy is cross-checked
+	// against the symbolic path enumeration (VerifyReasons via
+	// Sym.PathReason): every declared reason must be reachable by ≥1
+	// enumerated path and every drop path must map to exactly one
+	// drop-class reason — the labels are derived from the proof, not
+	// hand-maintained. Requires ReasonCounts and LastReason.
+	Reasons *telemetry.ReasonSet
+
+	// ReasonCounts returns the core's live per-reason totals, indexed
+	// by ReasonID — the core's own single-writer storage, read only by
+	// the owning worker (the counted wrapper mirrors deltas into padded
+	// scrapeable cells).
+	ReasonCounts func(core C) []uint64
+
+	// LastReason returns the reason tagged on the core's most recently
+	// processed packet (the sampled trace ring's label).
+	LastReason func(core C) telemetry.ReasonID
+
 	// Sym, when set, is the NF's symbolic-verification declaration;
 	// Verify() derives the full proof run from it. See verify.go.
 	Sym *SymSpec
@@ -147,7 +168,33 @@ func (d *Decl[C]) validate(forSharding bool) error {
 	if d.FastPath != nil && (d.FastPath.Offer == nil || d.FastPath.Hit == nil) {
 		return fmt.Errorf("nfkit: %s declares a partial fast path (needs both Offer and Hit)", d.Name)
 	}
+	if d.Reasons != nil && (d.ReasonCounts == nil || d.LastReason == nil) {
+		return fmt.Errorf("nfkit: %s declares a reason taxonomy without ReasonCounts/LastReason", d.Name)
+	}
+	if d.Reasons == nil && (d.ReasonCounts != nil || d.LastReason != nil) {
+		return fmt.Errorf("nfkit: %s declares reason hooks without a Reasons taxonomy", d.Name)
+	}
 	return nil
+}
+
+// VerifyReasons cross-checks the declared reason taxonomy against the
+// declared symbolic spec's enumerated paths (see the package-level
+// VerifyReasons). It is the uniform entry the conformance test calls
+// on every Kit: errors when the declaration carries no Sym, no
+// Sym.PathReason, or no Reasons — an NF that declares a taxonomy
+// without the proof-side classifier is exactly the drift the check
+// exists to catch.
+func (d Decl[C]) VerifyReasons() (*ReasonReport, error) {
+	if err := d.validate(false); err != nil {
+		return nil, err
+	}
+	if d.Reasons == nil {
+		return nil, fmt.Errorf("nfkit: %s declares no reason taxonomy", d.Name)
+	}
+	if d.Sym == nil {
+		return nil, fmt.Errorf("nfkit: %s declares a reason taxonomy but no symbolic spec to check it against", d.Name)
+	}
+	return VerifyReasons(*d.Sym, d.Reasons)
 }
 
 // now reads the declared clock, or 0 for clockless NFs.

@@ -37,6 +37,12 @@ type Options struct {
 	Burst    int
 	Metrics  string
 	Amortize bool
+	// Telemetry and TraceSample mirror nf.Config's fields: telemetry 1
+	// enables the per-worker histograms and trace ring, -1 forces them
+	// off, 0 defers to VIGNAT_TELEMETRY; the sample is the trace ring's
+	// 1-in-N period.
+	Telemetry   int
+	TraceSample int
 	// Transport picks the packet-I/O backend: "mem" (default) drives
 	// the NF with the built-in traffic over in-memory rings on a
 	// virtual clock; "udp" and "unix" run the NF as a daemon on real
@@ -126,6 +132,8 @@ func Main(app App) {
 	flag.IntVar(&o.Burst, "burst", nf.DefaultBurst, "RX/TX burst size")
 	flag.StringVar(&o.Metrics, "metrics", "", "serve StatsSnapshot over HTTP/expvar on this address (e.g. :9090)")
 	flag.BoolVar(&o.Amortize, "amortized", false, "engine-level once-per-poll expiry instead of per-packet")
+	flag.IntVar(&o.Telemetry, "telemetry", 0, "per-worker latency histograms + trace ring: 1 on, -1 off, 0 defer to VIGNAT_TELEMETRY")
+	flag.IntVar(&o.TraceSample, "trace-sample", 0, "trace ring sampling period, 1 record per N packets (0 = default, negative = histograms only)")
 	flag.StringVar(&o.Transport, "transport", "mem", "packet I/O backend: mem (in-memory harness), udp, unix")
 	flag.StringVar(&o.IntLocal, "int-local", "", "wire mode: internal port's local address (udp host:port / unix path prefix)")
 	flag.StringVar(&o.IntPeer, "int-peer", "", "wire mode: where the internal port transmits")
@@ -195,18 +203,20 @@ func run(app App, o *Options) error {
 		Workers:         o.Workers,
 		Clock:           clock,
 		AmortizedExpiry: o.Amortize,
+		Telemetry:       o.Telemetry,
+		TraceSample:     o.TraceSample,
 	})
 	if err != nil {
 		return err
 	}
 
 	if o.Metrics != "" {
-		m, err := nf.ServeMetrics(o.Metrics, nf.MetricSource{Name: app.Name, Snapshot: b.Snapshot})
+		m, err := nf.ServeMetrics(o.Metrics, nf.SourceOf(app.Name, b.NF, b.Snapshot, pipe))
 		if err != nil {
 			return err
 		}
 		defer m.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof/, trace at /debug/trace)\n", m.Addr())
 	}
 
 	if b.Banner != "" {
@@ -398,6 +408,8 @@ func runWire(app App, o *Options) error {
 		Workers:         o.Workers,
 		Clock:           clock,
 		AmortizedExpiry: o.Amortize,
+		Telemetry:       o.Telemetry,
+		TraceSample:     o.TraceSample,
 		IdleWait:        wireIdleWait,
 	})
 	if err != nil {
@@ -405,12 +417,12 @@ func runWire(app App, o *Options) error {
 	}
 
 	if o.Metrics != "" {
-		m, err := nf.ServeMetrics(o.Metrics, nf.MetricSource{Name: app.Name, Snapshot: b.Snapshot})
+		m, err := nf.ServeMetrics(o.Metrics, nf.SourceOf(app.Name, b.NF, b.Snapshot, pipe))
 		if err != nil {
 			return err
 		}
 		defer m.Close()
-		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars)\n", m.Addr())
+		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof/, trace at /debug/trace)\n", m.Addr())
 	}
 	if b.Banner != "" {
 		fmt.Println(b.Banner)

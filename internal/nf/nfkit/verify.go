@@ -3,7 +3,9 @@ package nfkit
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"vignat/internal/nf/telemetry"
 	"vignat/internal/vigor/sym"
 	"vignat/internal/vigor/symbex"
 	"vignat/internal/vigor/trace"
@@ -29,6 +31,13 @@ type SymSpec struct {
 	// Spec checks one feasible path against the NF's semantic
 	// specification (P1), returning an error describing the violation.
 	Spec func(p *SymPath) error
+	// PathReason, when set, classifies one feasible path onto the NF's
+	// declared reason taxonomy (Decl.Reasons). VerifyReasons uses it to
+	// cross-check the taxonomy against the enumerated paths: every path
+	// must classify, drop paths (output action "drop") must carry
+	// drop-class reasons and only those, and every declared reason must
+	// label at least one path.
+	PathReason func(p *SymPath) (telemetry.ReasonID, error)
 }
 
 // Report summarizes one NF's verification, in the shape every per-NF
@@ -163,5 +172,129 @@ func VerifySym(s SymSpec) (*Report, error) {
 			rep.P1Failures = append(rep.P1Failures, fmt.Sprintf("path %d: %v", i, err))
 		}
 	}
+	return rep, nil
+}
+
+// DropOutput is the output-action name VerifyReasons treats as the
+// drop class; every NF in this repo names its drop output this way.
+const DropOutput = "drop"
+
+// ReasonReport summarizes the taxonomy/path cross-check: how many
+// enumerated paths each declared reason labels, and every way the
+// mapping failed to line up.
+type ReasonReport struct {
+	NF    string
+	Paths int
+	// PathsPerReason[id] is the number of enumerated paths classified
+	// onto reason id, indexed like the declared set.
+	PathsPerReason []int
+	// Failures lists every cross-check violation: unclassifiable paths,
+	// out-of-taxonomy IDs, drop/forward class mismatches, and declared
+	// reasons labeling no path (stale taxonomy entries).
+	Failures []string
+}
+
+// OK reports whether the taxonomy is exactly the verified paths' image.
+func (r *ReasonReport) OK() bool { return r.Paths > 0 && len(r.Failures) == 0 }
+
+// Summary renders the report.
+func (r *ReasonReport) Summary() string {
+	status := "REASONS CONSISTENT"
+	if !r.OK() {
+		status = "REASONS INCONSISTENT"
+	}
+	return fmt.Sprintf("%s (%s): %d paths over %d reasons, %d failures",
+		status, r.NF, r.Paths, len(r.PathsPerReason), len(r.Failures))
+}
+
+// VerifyReasons cross-checks a declared reason taxonomy against the
+// NF's enumerated symbolic paths. It re-runs the same exploration as
+// VerifySym and demands, per path: the spec's PathReason classifies it
+// (totality), the returned ID is declared in set, and the path's class
+// matches the reason's — a path whose single output action is
+// DropOutput must map to a Drop reason, every other path to a non-Drop
+// one. Finally every declared reason must label at least one path, so
+// a reason no verified path can produce (dead taxonomy) fails too.
+//
+// Paths that fail the single-output rule are reported as failures here
+// as well (they cannot be classified); run VerifySym for the full P4
+// diagnosis.
+func VerifyReasons(s SymSpec, set *telemetry.ReasonSet) (*ReasonReport, error) {
+	if s.Drive == nil {
+		return nil, errors.New("nfkit: symbolic spec needs Drive")
+	}
+	if s.PathReason == nil {
+		return nil, errors.New("nfkit: symbolic spec declares no PathReason classifier")
+	}
+	if set == nil {
+		return nil, errors.New("nfkit: no reason taxonomy to cross-check")
+	}
+	if len(s.Outputs) == 0 {
+		return nil, errors.New("nfkit: symbolic spec declares no output actions")
+	}
+	res, err := symbex.Explore(func(m *symbex.Machine) {
+		d := newSymDriver(m, s.Outputs)
+		s.Drive(d)
+		m.AttachMeta(d)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReasonReport{NF: s.NF, Paths: len(res.Paths), PathsPerReason: make([]int, set.Len())}
+	outSet := make(map[string]bool, len(s.Outputs))
+	for _, o := range s.Outputs {
+		outSet[o] = true
+	}
+	var solver sym.Solver
+	for i, t := range res.Paths {
+		d, ok := t.Meta.(*SymDriver)
+		if !ok {
+			return nil, fmt.Errorf("nfkit: path %d carries no driver vocabulary", i)
+		}
+		outs := 0
+		var outName string
+		for j := range t.Seq {
+			c := &t.Seq[j]
+			if c.Kind == trace.CallGeneric && outSet[c.Name] {
+				outs++
+				outName = c.Name
+			}
+		}
+		if outs != 1 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("path %d: %d output actions, cannot classify", i, outs))
+			continue
+		}
+		id, err := s.PathReason(&SymPath{t: t, d: d, out: outName, solver: &solver})
+		if err != nil {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("path %d (%s): unclassifiable: %v", i, outName, err))
+			continue
+		}
+		if int(id) >= set.Len() {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("path %d (%s): reason id %d not declared in taxonomy %q",
+					i, outName, id, set.NF()))
+			continue
+		}
+		rep.PathsPerReason[id]++
+		isDropPath := outName == DropOutput
+		if isDropPath && !set.IsDrop(id) {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("path %d drops but reason %q is not drop-class", i, set.Name(id)))
+		}
+		if !isDropPath && set.IsDrop(id) {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("path %d outputs %s but reason %q is drop-class", i, outName, set.Name(id)))
+		}
+	}
+	for id, n := range rep.PathsPerReason {
+		if n == 0 {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("declared reason %q labels no enumerated path (stale taxonomy entry)",
+					set.Name(telemetry.ReasonID(id))))
+		}
+	}
+	sort.Strings(rep.Failures)
 	return rep, nil
 }

@@ -10,6 +10,7 @@ import (
 	"vignat/internal/dpdk"
 	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
+	"vignat/internal/nf/telemetry"
 )
 
 // DefaultBurst is the RX/TX burst size, matching the C NFs' 32-packet
@@ -31,6 +32,20 @@ const FastPathDisabled = -1
 // per-worker size. CI uses it to force the whole conformance suite
 // through the fast path.
 const FastPathEnv = "VIGNAT_FASTPATH"
+
+// TelemetryDisabled forces telemetry off regardless of the environment
+// (Config.Telemetry).
+const TelemetryDisabled = -1
+
+// TelemetryEnv is the environment variable consulted when
+// Config.Telemetry is zero: unset, empty, "0", "off", or "false" leave
+// telemetry disabled; "1", "on", or "true" enable it.
+const TelemetryEnv = "VIGNAT_TELEMETRY"
+
+// DefaultTraceSample is the trace ring's sampling period when
+// telemetry is enabled without an explicit Config.TraceSample: one
+// record per 1024 packets.
+const DefaultTraceSample = 1024
 
 // Config parameterizes a Pipeline.
 type Config struct {
@@ -77,6 +92,25 @@ type Config struct {
 	// off). FastPathDisabled forces it off. NFs that do not implement
 	// FastPather (or decline it) are unaffected either way.
 	FastPath int
+	// Telemetry switches the per-worker histograms and the sampled
+	// trace ring on (positive), off (TelemetryDisabled), or defers to
+	// the TelemetryEnv environment variable (zero). Disabled telemetry
+	// costs the hot path one nil pointer check per burst; enabled, it
+	// costs a few clock reads on one poll in TimingStride (≤3%,
+	// BENCH_telemetry).
+	Telemetry int
+	// TraceSample is the trace ring's sampling period when telemetry is
+	// enabled: one record per TraceSample packets seen on timed polls
+	// (default DefaultTraceSample; negative disables tracing but keeps
+	// the histograms).
+	TraceSample int
+	// TimingStride is the poll-sampling period of the timing
+	// histograms when telemetry is enabled: one poll in TimingStride
+	// is fully timed, the rest pay a single counter increment (default
+	// telemetry.TimingStride; must be a power of two). Lock-step
+	// harnesses that assert on histogram counts set 1 to time every
+	// poll.
+	TimingStride int
 	// IdleWait, when positive, parks an idle PollWorker (zero packets
 	// after its expiry sweep) for up to that long waiting for RX
 	// traffic, half the budget on each port. On socket transports the
@@ -116,6 +150,26 @@ func resolveFastPath(cfg int, haveClock bool) (int, error) {
 			return 0, nil
 		}
 		return n, nil
+	}
+}
+
+// resolveTelemetry turns Config.Telemetry plus the environment into an
+// on/off decision, mirroring resolveFastPath's contract (zero defers
+// to TelemetryEnv, a bad value is an error rather than a silent off).
+func resolveTelemetry(cfg int) (bool, error) {
+	switch {
+	case cfg < 0:
+		return false, nil
+	case cfg > 0:
+		return true, nil
+	}
+	switch v := os.Getenv(TelemetryEnv); v {
+	case "", "0", "off", "false":
+		return false, nil
+	case "1", "on", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("nf: bad %s value %q", TelemetryEnv, v)
 	}
 }
 
@@ -177,6 +231,18 @@ type Pipeline struct {
 	fastSink FastPathCounter
 	// fastEntries is the per-worker cache size; 0 disables the cache.
 	fastEntries int
+	// tel is the engine telemetry (nil when disabled — the hot path's
+	// only cost then is this nil check).
+	tel *telemetry.PipelineTel
+	// telEpoch anchors telemetry timestamps: boundaries are captured as
+	// time.Since(telEpoch), a monotonic-only read — roughly half the
+	// cost of time.Now(), which also reads the wall clock the
+	// histograms never use.
+	telEpoch time.Time
+	// telMask samples the timing instrumentation: a poll is fully
+	// timed when telTick&telMask == 0 (stride from Config.TimingStride,
+	// default telemetry.TimingStride).
+	telMask uint64
 	// idleWait is the idle-poll parking budget (0 = busy-poll).
 	idleWait time.Duration
 	// ownerLocal[s] is the owning worker's local slot for shard s
@@ -218,6 +284,14 @@ type worker struct {
 	cold       bool
 	coldStreak int
 	coldTick   uint64
+
+	// tel is this worker's private telemetry block (nil when disabled);
+	// traceTick accumulates packets toward the next trace sample and
+	// telTick counts polls toward the next fully-timed one (see
+	// telemetry.TimingStride).
+	tel       *telemetry.WorkerTel
+	traceTick uint64
+	telTick   uint64
 
 	stats PipelineStats
 }
@@ -286,6 +360,10 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	telOn, err := resolveTelemetry(cfg.Telemetry)
+	if err != nil {
+		return nil, err
+	}
 	p := &Pipeline{
 		nf:         n,
 		sharder:    sharder,
@@ -323,11 +401,33 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	}
 	p.fastEntries = fastEntries
 	p.fastSink, _ = n.(FastPathCounter)
+	if telOn {
+		sample := cfg.TraceSample
+		switch {
+		case sample == 0:
+			sample = DefaultTraceSample
+		case sample < 0:
+			sample = 0 // histograms only, no trace ring
+		}
+		p.tel = telemetry.NewPipelineTel(nWorkers, uint64(sample))
+		p.telEpoch = time.Now()
+		stride := cfg.TimingStride
+		if stride == 0 {
+			stride = telemetry.TimingStride
+		}
+		if stride < 1 || stride&(stride-1) != 0 {
+			return nil, fmt.Errorf("nf: timing stride %d is not a power of two", stride)
+		}
+		p.telMask = uint64(stride - 1)
+	}
 	for w := 0; w < nWorkers; w++ {
 		wk := &worker{
 			p:      p,
 			id:     w,
 			rxBufs: make([]*dpdk.Mbuf, burst),
+		}
+		if p.tel != nil {
+			wk.tel = p.tel.Worker(w)
 		}
 		for s := w; s < nShards; s += nWorkers {
 			wk.shards = append(wk.shards, s)
@@ -390,6 +490,9 @@ func (p *Pipeline) clampShard(s int) int {
 // ownership is conserved even on the error path.
 func (wk *worker) txFlush(port *dpdk.Port, q int) func([]*dpdk.Mbuf) error {
 	return func(bufs []*dpdk.Mbuf) error {
+		if wk.tel != nil && len(bufs) > 0 {
+			wk.tel.TxDrain.Observe(uint64(len(bufs)))
+		}
 		sent := port.TxBurstQueue(q, bufs)
 		wk.stats.TxPackets += uint64(sent)
 		var firstErr error
@@ -413,6 +516,10 @@ func (p *Pipeline) Workers() int { return len(p.workers) }
 // resolution (0 when the cache is disabled — explicitly, by
 // environment, or because no shard participates).
 func (p *Pipeline) FastPathEntries() int { return p.fastEntries }
+
+// Telemetry returns the engine's telemetry block, nil when disabled.
+// Snapshots of it are safe concurrently with running workers.
+func (p *Pipeline) Telemetry() *telemetry.PipelineTel { return p.tel }
 
 // Stats returns a snapshot of the engine counters, aggregated across
 // workers. It must not be called concurrently with active PollWorker
@@ -458,6 +565,21 @@ func (p *Pipeline) Poll() (int, error) {
 func (p *Pipeline) PollWorker(w int) (int, error) {
 	wk := p.workers[w]
 	wk.stats.Polls++
+	// Telemetry times the whole non-empty poll (RX, steer, process,
+	// emit); idle polls are not observed, so the histogram reflects
+	// work, not parking. Boundaries are monotonic-only reads against
+	// the pipeline's epoch (see telEpoch), and only one poll in
+	// telemetry.TimingStride is timed at all — the others pay one
+	// counter increment.
+	var pollStart time.Duration
+	timed := false
+	if wk.tel != nil {
+		wk.telTick++
+		timed = wk.telTick&p.telMask == 0
+		if timed {
+			pollStart = time.Since(p.telEpoch)
+		}
+	}
 	for li := range wk.pkts {
 		wk.pkts[li] = wk.pkts[li][:0]
 		wk.bufs[li] = wk.bufs[li][:0]
@@ -493,17 +615,89 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 	if wk.cache != nil {
 		now = p.clock.Now()
 	}
+	tel := wk.tel
 	for li, s := range wk.shards {
-		if len(wk.pkts[li]) == 0 {
+		np := len(wk.pkts[li])
+		if np == 0 {
 			continue
+		}
+		// On a timed poll, telemetry times the whole shard burst with two
+		// clock reads and attributes the amortized per-packet cost to the
+		// fast-path histogram when the cache resolved every packet, the
+		// slow-path one otherwise (mixed bursts count as slow: the slow
+		// fragments dominate their wall time).
+		var hitsBefore uint64
+		var burstStart time.Duration
+		if timed {
+			hitsBefore = wk.stats.FastPathHits
+			burstStart = time.Since(p.telEpoch)
 		}
 		if wk.cache != nil && p.fastNFs[s] != nil {
 			wk.processShardFast(li, s, now)
 		} else {
 			p.shardNFs[s].ProcessBatch(wk.pkts[li], wk.verd[li])
 		}
+		if timed {
+			perPkt := uint64(time.Since(p.telEpoch)-burstStart) / uint64(np)
+			pureHit := wk.stats.FastPathHits-hitsBefore == uint64(np)
+			if pureHit {
+				tel.FastPktNs.ObserveN(perPkt, uint64(np))
+			} else {
+				tel.SlowPktNs.ObserveN(perPkt, uint64(np))
+			}
+			wk.maybeTrace(li, s, np, perPkt, pureHit, now)
+		}
 	}
-	return n, wk.emit()
+	err := wk.emit()
+	if timed {
+		tel.PollNs.Observe(uint64(time.Since(p.telEpoch) - pollStart))
+	}
+	return n, err
+}
+
+// maybeTrace leaves one sampled trace record per Sample packets seen
+// on timed polls (so the effective period is Sample×TimingStride
+// processed packets): the final packet of the burst that crossed the
+// threshold,
+// with the burst's amortized per-packet cost and best-effort reason
+// and chain-element labels. Called only with telemetry enabled.
+func (wk *worker) maybeTrace(li, s, np int, perPkt uint64, pureHit bool, now libvig.Time) {
+	sample := wk.p.tel.Sample
+	if sample == 0 {
+		return
+	}
+	wk.traceTick += uint64(np)
+	if wk.traceTick < sample {
+		return
+	}
+	wk.traceTick %= sample
+	i := np - 1
+	pkt := wk.pkts[li][i]
+	rec := telemetry.Record{
+		Now:          int64(now),
+		Worker:       wk.id,
+		FromInternal: pkt.FromInternal,
+		Forwarded:    wk.verd[li][i] == Forward,
+		Elem:         -1,
+		PktNs:        perPkt,
+		FastPath:     pureHit,
+	}
+	if m := fastpath.Extract(pkt.Frame); m.OK {
+		id := m.FlowID()
+		rec.Src, rec.Dst = id.SrcIP.String(), id.DstIP.String()
+		rec.SrcPort, rec.DstPort = id.SrcPort, id.DstPort
+		rec.Proto = uint8(id.Proto)
+	}
+	snf := wk.p.shardNFs[s]
+	if lr, ok := snf.(interface{ LastReasonName() string }); ok {
+		rec.Reason = lr.LastReasonName()
+	}
+	if !rec.Forwarded {
+		if de, ok := snf.(interface{ LastDropElem() int }); ok {
+			rec.Elem = de.LastDropElem()
+		}
+	}
+	wk.tel.Trace.Push(rec)
 }
 
 // rxSteer pulls one burst from the worker's queue on port and
@@ -515,6 +709,9 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 func (wk *worker) rxSteer(port *dpdk.Port, fromInternal bool) int {
 	p := wk.p
 	cnt := port.RxBurstQueue(wk.id, wk.rxBufs)
+	if wk.tel != nil && cnt > 0 {
+		wk.tel.BurstOccupancy.Observe(uint64(cnt))
+	}
 	for i := 0; i < cnt; i++ {
 		m := wk.rxBufs[i]
 		if len(wk.shards) == 0 {

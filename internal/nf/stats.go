@@ -6,6 +6,7 @@ import (
 
 	"vignat/internal/fastpath"
 	"vignat/internal/libvig"
+	"vignat/internal/nf/telemetry"
 )
 
 // ShardStats is the cheap per-shard stats surface sharded NFs expose
@@ -20,6 +21,9 @@ import (
 // two shards' counters from ever sharing a cache line.
 type ShardStats struct {
 	cells []statCell
+	// reasons holds the per-shard reason counters when the wrapped NF
+	// declares a telemetry taxonomy; nil otherwise.
+	reasons *ReasonStats
 }
 
 // statCell is one shard's engine-visible counters, padded so adjacent
@@ -35,7 +39,7 @@ type statCell struct {
 	fpHits      atomic.Uint64
 	fpMisses    atomic.Uint64
 	fpEvictions atomic.Uint64
-	_           [1]uint64 // pad the cell to 64 bytes
+	fpBypassed  atomic.Uint64 // eighth counter fills the 64-byte cell exactly
 }
 
 // NewShardStats returns a stats block with one padded cell per shard.
@@ -75,14 +79,21 @@ func (s *ShardStats) add(i int, d Stats) {
 	if d.FastPathEvictions != 0 {
 		c.fpEvictions.Add(d.FastPathEvictions)
 	}
+	if d.FastPathBypassed != 0 {
+		c.fpBypassed.Add(d.FastPathBypassed)
+	}
 }
 
 // AddFastPath folds the engine's flow-cache counters for one burst
 // into shard i's cell — the engine owns these (the NF never sees its
 // cache hits), so they arrive through their own entry point rather
-// than the CountedNF delta discipline.
-func (s *ShardStats) AddFastPath(i int, hits, misses, evictions uint64) {
-	s.add(i, Stats{FastPathHits: hits, FastPathMisses: misses, FastPathEvictions: evictions})
+// than the CountedNF delta discipline. Bypassed rides along so the
+// cold-mode bypass rate is scrapeable race-free like hits and misses.
+func (s *ShardStats) AddFastPath(i int, hits, misses, evictions, bypassed uint64) {
+	s.add(i, Stats{
+		FastPathHits: hits, FastPathMisses: misses,
+		FastPathEvictions: evictions, FastPathBypassed: bypassed,
+	})
 }
 
 // ShardSnapshot returns shard i's counters. Safe to call from any
@@ -97,6 +108,7 @@ func (s *ShardStats) ShardSnapshot(i int) Stats {
 		FastPathHits:      c.fpHits.Load(),
 		FastPathMisses:    c.fpMisses.Load(),
 		FastPathEvictions: c.fpEvictions.Load(),
+		FastPathBypassed:  c.fpBypassed.Load(),
 	}
 }
 
@@ -112,6 +124,55 @@ func (s *ShardStats) Snapshot() Stats {
 	return agg
 }
 
+// ReasonStats is the per-shard reason-counter block: one flat array of
+// atomic words, shard i owning the stride-aligned slice
+// [i*stride, i*stride+len(set)). The stride rounds the declared reason
+// count up to a whole number of 64-byte lines so two shards' reasons
+// never false-share, the same padding discipline as statCell.
+type ReasonStats struct {
+	set    *telemetry.ReasonSet
+	stride int
+	cells  []atomic.Uint64
+}
+
+// newReasonStats builds the block for shards shards of set's taxonomy.
+func newReasonStats(set *telemetry.ReasonSet, shards int) *ReasonStats {
+	const line = 8 // uint64 words per 64-byte cache line
+	stride := (set.Len() + line - 1) / line * line
+	return &ReasonStats{set: set, stride: stride, cells: make([]atomic.Uint64, stride*shards)}
+}
+
+// Set returns the taxonomy the block counts.
+func (r *ReasonStats) Set() *telemetry.ReasonSet { return r.set }
+
+// add folds n occurrences of reason id into shard i's counters.
+func (r *ReasonStats) add(i int, id telemetry.ReasonID, n uint64) {
+	r.cells[i*r.stride+int(id)].Add(n)
+}
+
+// ShardSnapshot returns shard i's per-reason totals, indexed by
+// ReasonID. Safe from any goroutine.
+func (r *ReasonStats) ShardSnapshot(i int) []uint64 {
+	out := make([]uint64, r.set.Len())
+	base := i * r.stride
+	for j := range out {
+		out[j] = r.cells[base+j].Load()
+	}
+	return out
+}
+
+// Snapshot returns the per-reason totals aggregated across shards.
+func (r *ReasonStats) Snapshot() []uint64 {
+	out := make([]uint64, r.set.Len())
+	for i := 0; i < len(r.cells)/r.stride; i++ {
+		base := i * r.stride
+		for j := range out {
+			out[j] += r.cells[base+j].Load()
+		}
+	}
+	return out
+}
+
 // CountedNF wraps one shard of a sharded NF so that its activity is
 // mirrored into a ShardStats cell: after every batch (or single call)
 // the wrapper diffs the inner NF's own counters against the last
@@ -124,11 +185,13 @@ func (s *ShardStats) Snapshot() Stats {
 // bypasses the wrapper (a harness calling the inner NF directly): the
 // next wrapped call, or an explicit Sync, catches the cell up.
 type CountedNF struct {
-	inner NF
-	fp    FastPather // inner as a FastPather, nil when it is not one
-	block *ShardStats
-	shard int
-	last  Stats // last published totals; owner-goroutine only
+	inner       NF
+	fp          FastPather    // inner as a FastPather, nil when it is not one
+	rs          ReasonStatser // inner as a ReasonStatser, nil when it is not one
+	block       *ShardStats
+	shard       int
+	last        Stats    // last published totals; owner-goroutine only
+	lastReasons []uint64 // last published per-reason totals; owner-goroutine only
 }
 
 var (
@@ -143,6 +206,10 @@ var (
 func Counted(inner NF, block *ShardStats, shard int) *CountedNF {
 	c := &CountedNF{inner: inner, block: block, shard: shard}
 	c.fp, _ = inner.(FastPather)
+	if rs, ok := inner.(ReasonStatser); ok && block.reasons != nil {
+		c.rs = rs
+		c.lastReasons = make([]uint64, block.reasons.set.Len())
+	}
 	return c
 }
 
@@ -160,6 +227,18 @@ func (c *CountedNF) Sync() {
 		Expired:   cur.Expired - c.last.Expired,
 	})
 	c.last = cur
+	if c.rs != nil {
+		counts := c.rs.ReasonCounts()
+		for id, v := range counts {
+			if id >= len(c.lastReasons) {
+				break
+			}
+			if d := v - c.lastReasons[id]; d != 0 {
+				c.block.reasons.add(c.shard, telemetry.ReasonID(id), d)
+				c.lastReasons[id] = v
+			}
+		}
+	}
 }
 
 // ExpireQuiet advances the inner NF's expiry without publishing a
@@ -215,6 +294,16 @@ func (c *CountedNF) SetPerPacketExpiry(on bool) bool {
 	return false
 }
 
+// LastReasonName returns the declared label of the most recently
+// processed packet's reason, or "" when the inner NF declares no
+// taxonomy — the trace ring's best-effort label. Owner goroutine only.
+func (c *CountedNF) LastReasonName() string {
+	if c.rs == nil {
+		return ""
+	}
+	return c.rs.ReasonSet().Name(c.rs.LastReason())
+}
+
 // FastPathEnabled reports whether the inner NF participates in the
 // engine's flow cache.
 func (c *CountedNF) FastPathEnabled() bool { return c.fp != nil && c.fp.FastPathEnabled() }
@@ -266,6 +355,14 @@ func NewCountedShards(shards []NF) (*CountedShards, error) {
 	block, err := NewShardStats(len(shards))
 	if err != nil {
 		return nil, err
+	}
+	// A taxonomy is a property of the NF type, so shard 0 speaks for
+	// all: when it declares reasons, the block grows padded per-shard
+	// reason cells and every counted wrapper mirrors into them.
+	if len(shards) > 0 {
+		if rs, ok := shards[0].(ReasonStatser); ok && rs.ReasonSet() != nil {
+			block.reasons = newReasonStats(rs.ReasonSet(), len(shards))
+		}
 	}
 	c := &CountedShards{
 		counted: make([]*CountedNF, len(shards)),
@@ -334,6 +431,34 @@ func (c *CountedShards) ShardStatsSnapshot(i int) Stats { return c.stats.ShardSn
 // AddFastPath folds the engine's flow-cache counters for one burst
 // into shard i's padded cell (the FastPathCounter hook the pipeline
 // uses; race-safe like every other cell write).
-func (c *CountedShards) AddFastPath(i int, hits, misses, evictions uint64) {
-	c.stats.AddFastPath(i, hits, misses, evictions)
+func (c *CountedShards) AddFastPath(i int, hits, misses, evictions, bypassed uint64) {
+	c.stats.AddFastPath(i, hits, misses, evictions, bypassed)
+}
+
+// ReasonSet returns the wrapped NF's declared taxonomy, or nil when it
+// declares none.
+func (c *CountedShards) ReasonSet() *telemetry.ReasonSet {
+	if c.stats.reasons == nil {
+		return nil
+	}
+	return c.stats.reasons.Set()
+}
+
+// ReasonSnapshot returns the per-reason totals aggregated across
+// shards (indexed by ReasonID), or nil when no taxonomy is declared.
+// Safe to call concurrently with workers processing traffic.
+func (c *CountedShards) ReasonSnapshot() []uint64 {
+	if c.stats.reasons == nil {
+		return nil
+	}
+	return c.stats.reasons.Snapshot()
+}
+
+// ShardReasonSnapshot returns shard i's per-reason totals, or nil when
+// no taxonomy is declared.
+func (c *CountedShards) ShardReasonSnapshot(i int) []uint64 {
+	if c.stats.reasons == nil {
+		return nil
+	}
+	return c.stats.reasons.ShardSnapshot(i)
 }

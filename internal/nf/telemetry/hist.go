@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every histogram: bucket k
+// holds observations v with bits.Len64(v) == k, i.e. v in
+// [2^(k-1), 2^k-1] (bucket 0 holds v == 0), clamped at the top. The
+// inclusive upper bound of bucket k is 2^k − 1 nanoseconds — a
+// power-of-two log scale wide enough for anything from sub-ns
+// per-packet costs to multi-second stalls.
+const HistBuckets = 64
+
+// Hist is a log2-bucketed histogram with a single-writer update
+// discipline: exactly one goroutine calls Observe*, any goroutine may
+// Snapshot. Updates are atomic.Uint64 Store(Load()+n) — plain MOVs on
+// the hot path, no LOCK'd RMW, no false sharing with other workers
+// because each worker owns a whole WorkerTel.
+type Hist struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one observation. Single writer only.
+func (h *Hist) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records n observations of value v (the batched form: a
+// burst's per-packet cost is recorded once as ObserveN(total/n, n)).
+// Single writer only.
+func (h *Hist) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	b := &h.buckets[bucketOf(v)]
+	b.Store(b.Load() + n)
+	h.count.Store(h.count.Load() + n)
+	h.sum.Store(h.sum.Load() + v*n)
+}
+
+// Snapshot returns a consistent-enough copy for scraping: each word is
+// read atomically; cross-word skew is at most the observations racing
+// the scrape, which monotone counters tolerate.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a scraped histogram, mergeable across workers.
+type HistSnapshot struct {
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+}
+
+// Merge adds o into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// UpperBound returns bucket k's inclusive upper bound, 2^k − 1 (the
+// Prometheus `le` value). The top bucket is unbounded (+Inf in
+// exposition); its numeric bound is returned for callers that want one.
+func UpperBound(k int) uint64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(k) - 1
+}
+
+// MaxBucket returns the index of the highest nonzero bucket, or -1 for
+// an empty histogram — exposition trims trailing zero buckets with it.
+func (s *HistSnapshot) MaxBucket() int {
+	for i := HistBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the inclusive upper bound of the bucket holding the
+// q-quantile observation (0 < q ≤ 1) — an upper estimate with log2
+// resolution, which is what a tail-latency view needs.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= target {
+			return UpperBound(i)
+		}
+	}
+	return UpperBound(HistBuckets - 1)
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import "fmt"
+
+// ReasonID names one outcome of an NF's stateless logic — a single
+// verified execution-path class: "dropped because the session table is
+// full", "forwarded out after rejuvenation". IDs are small dense
+// integers (array indices into the per-shard reason counters), declared
+// per NF as a ReasonSet on its nfkit.Decl next to the symbolic spec,
+// and cross-checked against the enumerated symbolic paths: every
+// declared reason must be reachable by ≥1 path and every drop path
+// must map to exactly one reason (nfkit.VerifyReasons).
+type ReasonID uint8
+
+// Reason is one declared outcome class.
+type Reason struct {
+	// ID is the dense index; the n reasons of a set must carry IDs
+	// 0..n-1 in declaration order.
+	ID ReasonID
+	// Name is the snake_case label used in /metrics (Prometheus
+	// `reason` label) and the trace ring.
+	Name string
+	// Drop reports whether packets with this reason are dropped; the
+	// complement covers every way a packet leaves the NF alive
+	// (forwarded, passed through). The split is what lets scrapers
+	// assert Σ drop-reasons == Dropped.
+	Drop bool
+	// Help is a one-line description for documentation output.
+	Help string
+}
+
+// ReasonSet is one NF's complete, validated outcome taxonomy.
+type ReasonSet struct {
+	nf      string
+	reasons []Reason
+	byName  map[string]ReasonID
+}
+
+// NewReasonSet validates and freezes an NF's taxonomy. IDs must be
+// dense 0..n-1 in order, names unique and nonempty.
+func NewReasonSet(nfName string, reasons ...Reason) (*ReasonSet, error) {
+	if nfName == "" {
+		return nil, fmt.Errorf("telemetry: reason set needs an NF name")
+	}
+	if len(reasons) == 0 {
+		return nil, fmt.Errorf("telemetry: %s: empty reason set", nfName)
+	}
+	if len(reasons) > 256 {
+		return nil, fmt.Errorf("telemetry: %s: %d reasons overflow ReasonID", nfName, len(reasons))
+	}
+	byName := make(map[string]ReasonID, len(reasons))
+	for i, r := range reasons {
+		if r.ID != ReasonID(i) {
+			return nil, fmt.Errorf("telemetry: %s: reason %q has ID %d, want %d (IDs must be dense, in order)",
+				nfName, r.Name, r.ID, i)
+		}
+		if r.Name == "" {
+			return nil, fmt.Errorf("telemetry: %s: reason %d has no name", nfName, i)
+		}
+		if _, dup := byName[r.Name]; dup {
+			return nil, fmt.Errorf("telemetry: %s: duplicate reason name %q", nfName, r.Name)
+		}
+		byName[r.Name] = r.ID
+	}
+	return &ReasonSet{nf: nfName, reasons: append([]Reason(nil), reasons...), byName: byName}, nil
+}
+
+// MustReasonSet is NewReasonSet that panics on a malformed set — for
+// package-level taxonomy declarations, which are programming errors to
+// get wrong.
+func MustReasonSet(nfName string, reasons ...Reason) *ReasonSet {
+	s, err := NewReasonSet(nfName, reasons...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NF returns the owning NF's name.
+func (s *ReasonSet) NF() string { return s.nf }
+
+// Len returns the number of declared reasons.
+func (s *ReasonSet) Len() int { return len(s.reasons) }
+
+// Reasons returns the declared reasons in ID order.
+func (s *ReasonSet) Reasons() []Reason { return append([]Reason(nil), s.reasons...) }
+
+// Name returns the label of id, or "reason(<id>)" for an undeclared id.
+func (s *ReasonSet) Name(id ReasonID) string {
+	if int(id) < len(s.reasons) {
+		return s.reasons[id].Name
+	}
+	return fmt.Sprintf("reason(%d)", id)
+}
+
+// IsDrop reports whether id is a drop-class reason.
+func (s *ReasonSet) IsDrop(id ReasonID) bool {
+	return int(id) < len(s.reasons) && s.reasons[id].Drop
+}
+
+// ByName returns the reason named name.
+func (s *ReasonSet) ByName(name string) (Reason, bool) {
+	id, ok := s.byName[name]
+	if !ok {
+		return Reason{}, false
+	}
+	return s.reasons[id], true
+}
+
+// SumDrops totals the drop-class counters of counts (indexed by
+// ReasonID). Extra trailing entries beyond the declared set are
+// ignored.
+func (s *ReasonSet) SumDrops(counts []uint64) uint64 {
+	var sum uint64
+	for i, r := range s.reasons {
+		if r.Drop && i < len(counts) {
+			sum += counts[i]
+		}
+	}
+	return sum
+}

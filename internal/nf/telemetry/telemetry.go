@@ -1,0 +1,17 @@
+// Package telemetry is the engine's zero-when-disabled observability
+// layer: per-NF drop/forward reason taxonomies cross-checked against
+// the symbolic path enumeration, per-worker log-bucketed latency
+// histograms, and a sampled per-packet trace ring.
+//
+// The design discipline mirrors the engine's stats discipline
+// (internal/nf/stats.go): every hot-path counter and histogram bucket
+// has exactly one writer — the owning worker goroutine — and is stored
+// in an atomic.Uint64 updated with Store(Load()+n). On amd64/arm64
+// that compiles to plain loads and stores (no LOCK'd read-modify-write,
+// no contention), while scrapers on other goroutines read the same
+// words atomically, so the engine stays race-detector-clean without
+// paying for synchronization the single-writer structure doesn't need.
+//
+// When telemetry is disabled the pipeline holds a nil *PipelineTel and
+// the hot path pays one pointer nil-check per burst — unmeasurable.
+package telemetry

@@ -1,0 +1,77 @@
+package telemetry
+
+import "sync"
+
+// Record is one sampled packet's postmortem line: the tuple, which
+// chain element decided its fate, the verdict, the NF-declared reason,
+// and the burst's per-packet cost. Records are best-effort — a 1-in-N
+// sample for debugging, not an accounting surface (the reason counters
+// are the accounted, conformance-checked numbers).
+type Record struct {
+	// Seq is the worker-local sample sequence number (monotone).
+	Seq uint64 `json:"seq"`
+	// Now is the engine clock (ns) when the burst was processed.
+	Now int64 `json:"now_ns"`
+	// Worker is the owning worker/queue-pair id.
+	Worker int `json:"worker"`
+	// Src..Proto are the sampled packet's 5-tuple (empty/zero when the
+	// frame didn't parse far enough for the extractor).
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	SrcPort uint16 `json:"src_port"`
+	DstPort uint16 `json:"dst_port"`
+	Proto   uint8  `json:"proto"`
+	// FromInternal is the packet's ingress side.
+	FromInternal bool `json:"from_internal"`
+	// Forwarded is the verdict.
+	Forwarded bool `json:"forwarded"`
+	// Elem is the chain element index that decided a drop (-1 when
+	// forwarded, unknown, or the NF is not a chain).
+	Elem int `json:"elem"`
+	// Reason is the NF-declared reason label ("" when the shard NF
+	// declares no taxonomy).
+	Reason string `json:"reason"`
+	// PktNs is the burst's amortized per-packet cost in nanoseconds.
+	PktNs uint64 `json:"pkt_ns"`
+	// FastPath reports whether the burst was resolved entirely by the
+	// established-flow cache.
+	FastPath bool `json:"fast_path"`
+}
+
+// ringSize is the per-worker trace capacity. Small on purpose: the
+// ring answers "what happened to packets like mine just now", not
+// "what happened all day".
+const ringSize = 256
+
+// Ring is a per-worker sampled trace buffer. The single worker writes
+// under the mutex (cheap: writes happen 1-in-N packets), scrapers copy
+// under the same mutex.
+type Ring struct {
+	mu   sync.Mutex
+	recs [ringSize]Record
+	n    uint64 // total records ever written
+}
+
+// Push appends r, overwriting the oldest record when full.
+func (r *Ring) Push(rec Record) {
+	r.mu.Lock()
+	rec.Seq = r.n
+	r.recs[r.n%ringSize] = rec
+	r.n++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the buffered records, oldest first.
+func (r *Ring) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if n > ringSize {
+		out := make([]Record, 0, ringSize)
+		for i := n; i < n+ringSize; i++ {
+			out = append(out, r.recs[i%ringSize])
+		}
+		return out
+	}
+	return append([]Record(nil), r.recs[:n]...)
+}

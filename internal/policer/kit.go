@@ -6,6 +6,7 @@ import (
 	"vignat/internal/netstack"
 	"vignat/internal/nf"
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 )
 
 // This file is the policer's one nfkit declaration. Sharding a policer
@@ -77,15 +78,21 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Policer] {
 				p.stats.Processed++
 				if aux&1 != 0 {
 					p.stats.Passthrough++
+					p.reasonCounts[ReasonPassthrough]++
+					p.lastReason = ReasonPassthrough
 					return nf.Forward
 				}
 				idx := int(aux >> 1)
 				_ = p.chain.Rejuvenate(idx, now)
 				if p.buckets.Charge(idx, pktLen, now) {
 					p.stats.Conformed++
+					p.reasonCounts[ReasonConform]++
+					p.lastReason = ReasonConform
 					return nf.Forward
 				}
 				p.stats.DroppedOverRate++
+				p.reasonCounts[ReasonDropOverRate]++
+				p.lastReason = ReasonDropOverRate
 				return nf.Drop
 			},
 		},
@@ -100,7 +107,12 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Policer] {
 			}
 			return int(addr.Hash() % uint64(shards))
 		},
-		Sym: symSpec(),
+		Reasons: Reasons,
+		ReasonCounts: func(p *Policer) []uint64 {
+			return p.reasonCounts[:]
+		},
+		LastReason: func(p *Policer) telemetry.ReasonID { return p.lastReason },
+		Sym:        symSpec(),
 	}
 }
 

@@ -31,6 +31,27 @@ import (
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/netstack"
+	"vignat/internal/nf/telemetry"
+)
+
+// Reason IDs: the policer's declared outcome taxonomy, cross-checked
+// against the symbolic path enumeration (see symspec.go's pathReason).
+const (
+	ReasonPassthrough telemetry.ReasonID = iota
+	ReasonConform
+	ReasonDropMalformed
+	ReasonDropTableFull
+	ReasonDropOverRate
+	numReasons
+)
+
+// Reasons is the policer's outcome taxonomy.
+var Reasons = telemetry.MustReasonSet("vigpol",
+	telemetry.Reason{ID: ReasonPassthrough, Name: "passthrough", Help: "egress packet forwarded unmetered"},
+	telemetry.Reason{ID: ReasonConform, Name: "conform", Help: "ingress packet within its subscriber's budget"},
+	telemetry.Reason{ID: ReasonDropMalformed, Name: "drop_malformed", Drop: true, Help: "frame failed the IPv4 parse chain"},
+	telemetry.Reason{ID: ReasonDropTableFull, Name: "drop_table_full", Drop: true, Help: "fresh subscriber refused: table at capacity"},
+	telemetry.Reason{ID: ReasonDropOverRate, Name: "drop_over_rate", Drop: true, Help: "charge exceeded the subscriber's budget"},
 )
 
 // BucketHandle is the policer's opaque subscriber reference, with the
@@ -201,6 +222,10 @@ type Policer struct {
 	perPacketExpiry bool
 	stats           Stats
 	env             prodEnv
+	// reasonCounts[r] totals packets tagged with reason r; lastReason
+	// is the most recent tag. Single-writer, like the stats fields.
+	reasonCounts [numReasons]uint64
+	lastReason   telemetry.ReasonID
 	// fpGens invalidates engine flow-cache entries: one generation per
 	// bucket index, bumped when the subscriber's state is erased.
 	fpGens *fastpath.GenTable
@@ -311,21 +336,31 @@ func (p *Policer) ProcessAt(frame []byte, fromInternal bool, now libvig.Time) Ve
 	e.reset(frame, fromInternal, now)
 	ProcessPacket(e)
 	p.stats.Processed++
+	// The reason tag falls out of the same decision the stats switch
+	// already makes — the overRate/tableFull flags the env raised.
+	var r telemetry.ReasonID
 	switch e.verdict {
 	case VerdictConform:
 		p.stats.Conformed++
+		r = ReasonConform
 	case VerdictPassthrough:
 		p.stats.Passthrough++
+		r = ReasonPassthrough
 	default:
 		switch {
 		case e.overRate:
 			p.stats.DroppedOverRate++
+			r = ReasonDropOverRate
 		case e.tableFull:
 			p.stats.DroppedTableFull++
+			r = ReasonDropTableFull
 		default:
 			p.stats.DroppedMalformed++
+			r = ReasonDropMalformed
 		}
 	}
+	p.reasonCounts[r]++
+	p.lastReason = r
 	return e.verdict
 }
 

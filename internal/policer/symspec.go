@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vignat/internal/nf/nfkit"
+	"vignat/internal/nf/telemetry"
 	"vignat/internal/vigor/sym"
 )
 
@@ -84,11 +85,45 @@ func symSpec() *nfkit.SymSpec {
 
 func symSpecFor(logic func(Env)) *nfkit.SymSpec {
 	return &nfkit.SymSpec{
-		NF:      "vigpol",
-		Outputs: []string{"conform_forward", "passthrough", "drop"},
-		Drive:   func(d *nfkit.SymDriver) { logic(polSym{d}) },
-		Spec:    checkSpec,
+		NF:         "vigpol",
+		Outputs:    []string{"conform_forward", "passthrough", "drop"},
+		Drive:      func(d *nfkit.SymDriver) { logic(polSym{d}) },
+		Spec:       checkSpec,
+		PathReason: pathReason,
 	}
+}
+
+// pathReason classifies one enumerated symbolic path onto the declared
+// reason taxonomy; VerifyReasons cross-checks the mapping. It mirrors
+// checkSpec's branch structure, so a taxonomy drifting from the
+// verified paths fails the derived test.
+func pathReason(p *nfkit.SymPath) (telemetry.ReasonID, error) {
+	for _, g := range []string{"frame_intact", "ether_is_ipv4", "ipv4_header_valid"} {
+		val, evaluated := p.Ret(g)
+		if !evaluated || !val {
+			return ReasonDropMalformed, nil
+		}
+	}
+	fromInternal, ok := p.Ret("packet_from_internal")
+	if !ok {
+		return 0, fmt.Errorf("interface never determined")
+	}
+	if fromInternal {
+		return ReasonPassthrough, nil
+	}
+	hit, _ := p.Ret("map_get_by_client_ip")
+	created, createdAsked := p.Ret("bucket_create")
+	if !hit && !(createdAsked && created) {
+		return ReasonDropTableFull, nil
+	}
+	conformed, chargedAsked := p.Ret("bucket_charge")
+	if !chargedAsked {
+		return 0, fmt.Errorf("ingress packet with a bucket was never charged")
+	}
+	if !conformed {
+		return ReasonDropOverRate, nil
+	}
+	return ReasonConform, nil
 }
 
 // Verify runs the derived pipeline on the policer's stateless logic

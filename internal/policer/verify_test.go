@@ -1,6 +1,11 @@
 package policer
 
-import "testing"
+import (
+	"testing"
+	"time"
+
+	"vignat/internal/libvig"
+)
 
 // TestPolicerVerified runs the full pipeline on the policer's stateless
 // logic: the §7 amortization claim, fourth NF proven with the same
@@ -18,6 +23,20 @@ func TestPolicerVerified(t *testing.T) {
 	// miss×create{charge(2), full}} = 3+1+5 = 9 feasible paths.
 	if rep.Paths != 9 {
 		t.Fatalf("paths %d, want 9", rep.Paths)
+	}
+	t.Log(rep.Summary())
+}
+
+// TestPolicerReasonsConsistent cross-checks the declared reason
+// taxonomy against the same path enumeration.
+func TestPolicerReasonsConsistent(t *testing.T) {
+	cfg := Config{Rate: 1000, Burst: 1500, Capacity: 16, Timeout: time.Second}
+	rep, err := Kit(cfg, libvig.NewVirtualClock(0)).VerifyReasons()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("taxonomy drifted: %s\n%v", rep.Summary(), rep.Failures)
 	}
 	t.Log(rep.Summary())
 }
