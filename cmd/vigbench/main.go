@@ -160,6 +160,16 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// The firewall leg brackets the other end of the cache's design
+		// space: a pass-through NF whose entries carry the identity flag,
+		// so a hit resolves the verdict without replaying any rewrite.
+		fwRows, err := experiments.FastPathSweep(experiments.FastPathConfig{
+			NF: "firewall", HitPcts: []int{0, 50, 100}, Scale: s,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, fwRows...)
 		fmt.Print(experiments.FormatFastpath(rows))
 		if *fastpathOut != "" {
 			if err := experiments.WriteFastpathJSON(*fastpathOut, rows); err != nil {

@@ -82,6 +82,7 @@ func main() {
 				NF:             balancer,
 				ShardOf:        balancer.ShardOf,
 				Snapshot:       balancer.StatsSnapshot,
+				Backends:       balancer,
 				Frames:         frames,
 				FromInternal:   false, // clients face the external port
 				InternalPortID: 0,     // backend side

@@ -92,6 +92,7 @@ func main() {
 				NF:             pol,
 				ShardOf:        pol.ShardOf,
 				Snapshot:       pol.StatsSnapshot,
+				Rate:           pol,
 				Frames:         frames,
 				FromInternal:   false, // downstream traffic enters upstream-side
 				InternalPortID: 0,     // subscriber side

@@ -3,6 +3,7 @@ package dpdk
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"vignat/internal/libvig"
 )
@@ -28,7 +29,10 @@ type memQueue struct {
 type MemTransport struct {
 	portID uint16
 	queues []memQueue
-	rss    func(frame []byte) int
+	// rss holds a func(frame []byte) int, atomically swappable so the
+	// control plane can re-steer mid-run (a reshard reprograms RSS while
+	// the wire side keeps delivering).
+	rss atomic.Value
 }
 
 var _ Transport = (*MemTransport)(nil)
@@ -76,7 +80,18 @@ func (t *MemTransport) Bind(portID uint16, pools []*Mempool) error {
 }
 
 // SetRSS installs the wire-side steering function DeliverRx consults.
-func (t *MemTransport) SetRSS(fn func(frame []byte) int) { t.rss = fn }
+// Safe to call while the wire side delivers: the swap is atomic, and a
+// delivery sees either the old or the new function in full.
+func (t *MemTransport) SetRSS(fn func(frame []byte) int) { t.rss.Store(fn) }
+
+// loadRSS returns the current steering function, nil when none is set.
+func (t *MemTransport) loadRSS() func(frame []byte) int {
+	v := t.rss.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(func(frame []byte) int)
+}
 
 // QueueStats returns queue q's counters.
 func (t *MemTransport) QueueStats(q int) PortStats { return t.queues[q].stats }
@@ -123,8 +138,8 @@ func (t *MemTransport) TxBurst(q int, bufs []*Mbuf) int {
 // imissed.
 func (t *MemTransport) DeliverRx(frame []byte, now libvig.Time) bool {
 	q := 0
-	if t.rss != nil && len(t.queues) > 1 {
-		q = t.rss(frame) % len(t.queues)
+	if rss := t.loadRSS(); rss != nil && len(t.queues) > 1 {
+		q = rss(frame) % len(t.queues)
 		if q < 0 {
 			q = 0
 		}

@@ -96,7 +96,10 @@ type sock struct {
 	portID uint16
 	pools  []*Mempool
 	clock  libvig.Clock
-	rss    func(frame []byte) int
+	// rss holds a func(frame []byte) int, atomically swappable so the
+	// control plane can re-steer live traffic (reshard) while the
+	// per-queue poll goroutines keep receiving.
+	rss    atomic.Value
 	queues []sockQueue
 	closed atomic.Bool
 }
@@ -116,7 +119,16 @@ func newSock(name string, cfg SocketConfig) *sock {
 func (s *sock) Name() string { return s.name }
 func (s *sock) Queues() int  { return len(s.queues) }
 
-func (s *sock) SetRSS(fn func(frame []byte) int) { s.rss = fn }
+func (s *sock) SetRSS(fn func(frame []byte) int) { s.rss.Store(fn) }
+
+// loadRSS returns the current steering function, nil when none is set.
+func (s *sock) loadRSS() func(frame []byte) int {
+	v := s.rss.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(func(frame []byte) int)
+}
 
 func (s *sock) QueueStats(q int) PortStats { return s.queues[q].stats }
 
@@ -131,10 +143,11 @@ func (s *sock) bindPools(portID uint16, pools []*Mempool) error {
 
 // steerOf maps a received frame to its RSS queue.
 func (s *sock) steerOf(frame []byte) int {
-	if s.rss == nil || len(s.queues) == 1 {
+	rss := s.loadRSS()
+	if rss == nil || len(s.queues) == 1 {
 		return -1 // no re-steering configured: stay on the receiving queue
 	}
-	q := s.rss(frame) % len(s.queues)
+	q := rss(frame) % len(s.queues)
 	if q < 0 {
 		q = 0
 	}

@@ -23,8 +23,11 @@ import "time"
 //
 // Concurrency contract: distinct queues may be used by distinct
 // goroutines concurrently; a single queue is single-caller per
-// direction. SetRSS and Bind happen before traffic. Close may race
-// with in-flight bursts: they return 0 / reject gracefully.
+// direction. Bind happens before traffic; SetRSS may be called again
+// while traffic flows (the steering swap is atomic — a live reshard
+// re-programs RSS the way a NIC's indirection table is rewritten),
+// and in-flight frames see either the old or the new function. Close
+// may race with in-flight bursts: they return 0 / reject gracefully.
 type Transport interface {
 	// Name identifies the backend ("mem", "udp", "unix") in flags,
 	// stats, and bench metadata.

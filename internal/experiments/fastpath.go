@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vignat/internal/dpdk"
+	"vignat/internal/firewall"
 	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/nat"
@@ -16,6 +17,13 @@ import (
 
 // FastPathConfig parameterizes the established-flow fast-path sweep.
 type FastPathConfig struct {
+	// NF selects the network function under the cache: "nat" (default)
+	// rewrites headers on every packet, so a cache hit still replays the
+	// stored rewrite template; "firewall" rewrites nothing, so its
+	// entries carry the identity flag and a hit skips template replay
+	// entirely — the two legs bracket what the cache buys a rewriting
+	// versus a pass-through NF.
+	NF string
 	// HitPcts lists the established-traffic percentages to sweep
 	// (default 0, 25, 50, 75, 100).
 	HitPcts []int
@@ -56,6 +64,7 @@ type FastPathConfig struct {
 // the measured region (hits over hits+misses), confirming each row
 // exercised the mix it advertises.
 type FastPathRow struct {
+	NF              string  `json:"nf"`
 	HitPct          int     `json:"hit_pct"`
 	NsOn            float64 `json:"ns_per_pkt_on"`
 	NsOff           float64 `json:"ns_per_pkt_off"`
@@ -72,15 +81,24 @@ type fpRig struct {
 	engine  *nf.Pipeline
 }
 
-func newFPRig(fastPath, telemetry int) (*fpRig, error) {
-	sh, err := nat.NewSharded(nat.Config{
-		Capacity:     Capacity,
-		Timeout:      time.Hour,
-		ExternalIP:   ExtIP,
-		PortBase:     PortBase,
-		InternalPort: 0,
-		ExternalPort: 1,
-	}, libvig.NewSystemClock(), 1)
+func newFPRig(nfName string, fastPath, telemetry int) (*fpRig, error) {
+	var sh nf.NF
+	var err error
+	switch nfName {
+	case "", "nat":
+		sh, err = nat.NewSharded(nat.Config{
+			Capacity:     Capacity,
+			Timeout:      time.Hour,
+			ExternalIP:   ExtIP,
+			PortBase:     PortBase,
+			InternalPort: 0,
+			ExternalPort: 1,
+		}, libvig.NewSystemClock(), 1)
+	case "firewall":
+		sh, err = firewall.NewSharded(Capacity, time.Hour, libvig.NewSystemClock(), 1)
+	default:
+		err = fmt.Errorf("experiments: unknown fastpath NF %q", nfName)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +290,12 @@ func FastPathSweep(cfg FastPathConfig) ([]FastPathRow, error) {
 	for _, pct := range hitPcts {
 		mixed, fresh := fpMix(estFrames, freshFrames, packets, pct)
 		bg := bgMax - fresh
+		nfName := cfg.NF
+		if nfName == "" {
+			nfName = "nat"
+		}
 		row := FastPathRow{
+			NF:             nfName,
 			HitPct:         pct,
 			StartOccupancy: float64(bg+established) / float64(Capacity),
 		}
@@ -292,7 +315,7 @@ func FastPathSweep(cfg FastPathConfig) ([]FastPathRow, error) {
 				}
 				// Telemetry force-off: the sweep's ratio must not absorb
 				// the observability layer's (small) cost on either side.
-				rig, err := newFPRig(fastPath, nf.TelemetryDisabled)
+				rig, err := newFPRig(cfg.NF, fastPath, nf.TelemetryDisabled)
 				if err != nil {
 					return nil, err
 				}
@@ -354,12 +377,12 @@ func FastPathSweep(cfg FastPathConfig) ([]FastPathRow, error) {
 // FormatFastpath renders the sweep as a paper-style table.
 func FormatFastpath(rows []FastPathRow) string {
 	var b strings.Builder
-	b.WriteString("(single-worker NAT engine at the paper's near-capacity operating point; ns/pkt over Poll calls only — RX delivery and TX drain model NIC DMA and are untimed; min of rounds)\n")
-	fmt.Fprintf(&b, "%-14s %12s %12s %9s %14s %10s\n",
-		"established", "cache ns/pkt", "plain ns/pkt", "speedup", "observed hits", "start occ")
+	b.WriteString("(single-worker engine at the paper's near-capacity operating point; ns/pkt over Poll calls only — RX delivery and TX drain model NIC DMA and are untimed; min of rounds; firewall rows exercise the identity fast path: no rewrite template to replay)\n")
+	fmt.Fprintf(&b, "%-10s %-14s %12s %12s %9s %14s %10s\n",
+		"nf", "established", "cache ns/pkt", "plain ns/pkt", "speedup", "observed hits", "start occ")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-13d%% %12.1f %12.1f %8.2fx %13.1f%% %9.2f\n",
-			r.HitPct, r.NsOn, r.NsOff, r.Speedup, 100*r.ObservedHitRate, r.StartOccupancy)
+		fmt.Fprintf(&b, "%-10s %-13d%% %12.1f %12.1f %8.2fx %13.1f%% %9.2f\n",
+			r.NF, r.HitPct, r.NsOn, r.NsOff, r.Speedup, 100*r.ObservedHitRate, r.StartOccupancy)
 	}
 	return b.String()
 }

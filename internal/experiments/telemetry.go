@@ -487,7 +487,7 @@ func telemetrySplit(cfg TelemetryConfig) (*TelemetrySplit, error) {
 		return nil, fmt.Errorf("experiments: telemetry split needs packets+%d+%d <= %d",
 			established, slack, Capacity)
 	}
-	rig, err := newFPRig(nf.DefaultFastPathEntries, 1)
+	rig, err := newFPRig("nat", nf.DefaultFastPathEntries, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+package fastpath_test
+
+import (
+	"testing"
+
+	"vignat/internal/fastpath"
+	"vignat/internal/flow"
+	"vignat/internal/netstack"
+)
+
+// TestEntryIdentityFlag pins the install-time identity bit: an entry
+// whose template rewrites nothing reports Identity (the engine skips
+// the template replay), one with any rewriting field does not, and a
+// same-key refresh recomputes the bit in both directions.
+func TestEntryIdentityFlag(t *testing.T) {
+	pre := flow.ID{
+		SrcIP: flow.MakeAddr(10, 0, 0, 1), SrcPort: 20000,
+		DstIP: flow.MakeAddr(93, 184, 216, 34), DstPort: 80, Proto: flow.UDP,
+	}
+	post := flow.ID{
+		SrcIP: flow.MakeAddr(198, 18, 1, 1), SrcPort: 1007,
+		DstIP: pre.DstIP, DstPort: pre.DstPort, Proto: flow.UDP,
+	}
+	frame := craft(t, &netstack.FrameSpec{ID: pre, PayloadLen: 8})
+	m := fastpath.Extract(frame)
+	if !m.OK {
+		t.Fatal("crafted frame did not extract")
+	}
+
+	idTmpl := fastpath.MakeTemplate(m, frame) // pre == post: no rewrite
+	if !idTmpl.Identity() {
+		t.Fatal("no-op template does not report Identity")
+	}
+	rewritten := craft(t, &netstack.FrameSpec{ID: post, PayloadLen: 8})
+	rwTmpl := fastpath.MakeTemplate(m, rewritten)
+	if rwTmpl.Identity() {
+		t.Fatal("rewriting template reports Identity")
+	}
+
+	tb := fastpath.NewTable(0)
+	key := fastpath.Key{ID: pre, FromInternal: true}
+	h := key.Hash()
+	tb.Install(key, h, 0, 1, fastpath.Guard{}, idTmpl)
+	e := tb.Find(key, h)
+	if e == nil || !e.Identity() {
+		t.Fatal("identity template did not set the entry's identity bit")
+	}
+
+	// Refresh with a rewriting template clears the bit, and back again.
+	tb.Install(key, h, 0, 2, fastpath.Guard{}, rwTmpl)
+	if e := tb.Find(key, h); e == nil || e.Identity() {
+		t.Fatal("refresh with a rewriting template left the identity bit set")
+	}
+	tb.Install(key, h, 0, 3, fastpath.Guard{}, idTmpl)
+	if e := tb.Find(key, h); e == nil || !e.Identity() {
+		t.Fatal("refresh back to a no-op template did not restore the identity bit")
+	}
+
+	// The bit tells the truth: applying the rewriting template changes
+	// the frame, applying the identity one does not.
+	probe := craft(t, &netstack.FrameSpec{ID: pre, PayloadLen: 8})
+	idTmpl.Apply(probe, m)
+	if string(probe) != string(frame) {
+		t.Fatal("identity template modified the frame")
+	}
+	rwTmpl.Apply(probe, m)
+	if string(probe) == string(frame) {
+		t.Fatal("rewriting template left the frame unmodified")
+	}
+}

@@ -22,7 +22,17 @@ type Entry struct {
 	slot   int32    // index in the table, for tag maintenance on release
 	shard  int16
 	greg   uint8 // guard: registry index of the generation table (0 = none)
+	flags  uint8 // entryIdentity and friends, precomputed at install
 }
+
+// entryIdentity marks an entry whose template rewrites nothing (a
+// non-rewriting NF: firewall, policer, LB passthrough). The bit is
+// computed once at install so the per-hit path can skip the template
+// replay without inspecting the template's field mask.
+const entryIdentity = uint8(1 << 0)
+
+// Identity reports whether the entry's cached rewrite is a no-op.
+func (e *Entry) Identity() bool { return e.flags&entryIdentity != 0 }
 
 // The one-line budget is load-bearing (it is the point of the packed
 // layout); grow Entry past it and this fails to compile.
@@ -229,6 +239,10 @@ func (t *Table) Install(k Key, h uint64, shard int32, aux uint64, guard Guard, t
 		return false // registry full: skip the install, never unsafe
 	}
 	lo, hi := k.pack()
+	var flags uint8
+	if tmpl.Identity() {
+		flags = entryIdentity
+	}
 	free, dead := int32(-1), int32(-1)
 	for i := 0; i < probeWindow; i++ {
 		j := int32((h + uint64(i)) & t.mask)
@@ -239,7 +253,7 @@ func (t *Table) Install(k Key, h uint64, shard int32, aux uint64, guard Guard, t
 				free = j
 			}
 		case e.k0 == lo && e.k1 == hi:
-			e.shard, e.aux, e.tmpl = int16(shard), aux, tmpl
+			e.shard, e.aux, e.tmpl, e.flags = int16(shard), aux, tmpl, flags
 			e.gidx, e.ggen, e.greg = guard.idx, guard.gen, greg
 			t.tags[j] = tagOf(h)
 			return false
@@ -260,7 +274,7 @@ func (t *Table) Install(k Key, h uint64, shard int32, aux uint64, guard Guard, t
 	}
 	t.entries[victim] = Entry{
 		k0: lo, k1: hi, slot: victim, shard: int16(shard), aux: aux,
-		gidx: guard.idx, ggen: guard.gen, greg: greg, tmpl: tmpl,
+		gidx: guard.idx, ggen: guard.gen, greg: greg, tmpl: tmpl, flags: flags,
 	}
 	t.tags[victim] = tagOf(h)
 	return evicted

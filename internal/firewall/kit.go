@@ -104,6 +104,7 @@ func Kit(capacity int, timeout time.Duration, clock libvig.Clock) nfkit.Decl[*Fi
 			return fw.reasonCounts[:]
 		},
 		LastReason: func(fw *Firewall) telemetry.ReasonID { return fw.lastReason },
+		Codec:      shardCodec(),
 		Sym:        symSpec(),
 	}
 }

@@ -15,9 +15,10 @@ import (
 // Fast-path aux encodings: sticky index << 2 | kind. Passthrough
 // entries carry no index (the classification is pure configuration).
 const (
-	fpToBackend   = 0 // client → backend, rejuvenates the sticky entry
-	fpToClient    = 1 // backend → client, rejuvenates the sticky entry
-	fpPassthrough = 2 // client-side non-VIP traffic, stateless
+	fpToBackend     = 0 // client → backend, rejuvenates the sticky entry
+	fpToClient      = 1 // backend → client, rejuvenates the sticky entry
+	fpPassthrough   = 2 // client-side non-VIP traffic, stateless
+	fpPassNoSession = 3 // backend-side traffic with no live sticky entry
 )
 
 // This file is the balancer's one nfkit declaration. Unlike the NAT —
@@ -74,12 +75,13 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 				Expired:   s.FlowsExpired,
 			}
 		},
-		// The fast path caches VIP flows by their sticky entry, and
-		// client-side non-VIP passthrough by configuration alone.
-		// Backend-side traffic that is NOT a live reply is never cached:
-		// it passes through today, but a sticky entry created later
-		// could turn the very same tuple into a rewrite — a mutable
-		// outcome the offer contract requires declining.
+		// The fast path caches VIP flows by their sticky entry,
+		// client-side non-VIP passthrough by configuration alone, and
+		// backend-side no-session passthrough under the epoch guard: a
+		// sticky entry created later could turn the very same tuple into
+		// a rewrite, so the cached verdict is pinned to the
+		// sticky-creation epoch (the extra GenTable slot past the flow
+		// indices) and any sticky creation retires it wholesale.
 		FastPath: &nfkit.FastPathHooks[*Balancer]{
 			Offer: func(b *Balancer, key fastpath.Key) (uint64, fastpath.Guard, bool) {
 				if key.FromInternal == cfg.ClientsInternal {
@@ -96,7 +98,10 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 				}
 				idx, ok := b.flows.GetBySnd(key.ID)
 				if !ok {
-					return 0, fastpath.Guard{}, false
+					if !cfg.Passthrough {
+						return 0, fastpath.Guard{}, false
+					}
+					return fpPassNoSession, b.fpGens.Guard(b.flowChain.Capacity()), true
 				}
 				return uint64(idx)<<2 | fpToClient, b.fpGens.Guard(idx), true
 			},
@@ -112,6 +117,9 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 					_ = b.flowChain.Rejuvenate(int(aux>>2), now)
 					b.stats.ToClient++
 					r = ReasonFwdClient
+				case fpPassNoSession:
+					b.stats.Passthrough++
+					r = ReasonPassNoSession
 				default:
 					b.stats.Passthrough++
 					r = ReasonPassNonVIP
@@ -142,6 +150,7 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Balancer] {
 			return b.reasonCounts[:]
 		},
 		LastReason: func(b *Balancer) telemetry.ReasonID { return b.lastReason },
+		Codec:      shardCodec(),
 		Sym:        symSpecFor(ProcessPacket, cfg.Passthrough),
 	}
 }

@@ -360,7 +360,10 @@ func New(cfg Config, clock libvig.Clock) (*Balancer, error) {
 
 		perPacketExpiry: true,
 	}
-	b.fpGens = fastpath.NewGenTable(cfg.Capacity)
+	// One generation slot per sticky index, plus one extra: slot
+	// cfg.Capacity is the sticky-creation epoch guarding cached
+	// backend-side no-session passthrough verdicts (kit.go Offer).
+	b.fpGens = fastpath.NewGenTable(cfg.Capacity + 1)
 	b.flowErasers = []libvig.IndexEraser{libvig.IndexEraserFunc(b.eraseFlow)}
 	b.env.lb = b
 	return b, nil
@@ -675,6 +678,9 @@ func (e *prodEnv) CreateSticky(bh BackendHandle) (FlowHandle, bool) {
 		return 0, false
 	}
 	lb.stats.FlowsCreated++
+	// The new sticky's reply tuple may be cached as a no-session
+	// passthrough; retire every such entry by bumping the epoch slot.
+	lb.fpGens.Bump(lb.flowChain.Capacity())
 	return FlowHandle(idx), true
 }
 

@@ -7,6 +7,7 @@ var (
 	ErrChainFull     = errors.New("libvig: no free index in chain")
 	ErrChainNotAlloc = errors.New("libvig: index not allocated")
 	ErrChainRange    = errors.New("libvig: index out of range")
+	ErrChainBusy     = errors.New("libvig: index already allocated")
 )
 
 // DChain is libVig's "double chain" index allocator, the core of the
@@ -130,6 +131,30 @@ func (c *DChain) Allocate(now Time) (int, error) {
 	c.timestamps[i] = now
 	c.size++
 	return int(i), nil
+}
+
+// AllocateIndex takes a specific free index, stamps it with now, and
+// places it at the young end of the allocated list — the restore half
+// of shard migration, where an index is not just a handle but a name
+// other state refers to (an LB backend slot referenced by CHT buckets
+// and sticky flows must keep its number across a move). The caller is
+// responsible for stamp monotonicity: like Allocate, now must be ≥
+// every timestamp already in the allocated list, which restore paths
+// guarantee by replaying records in stamp order. Requires i free
+// (checked).
+func (c *DChain) AllocateIndex(i int, now Time) error {
+	if i < 0 || i >= len(c.alloc) {
+		return ErrChainRange
+	}
+	if c.alloc[i] {
+		return ErrChainBusy
+	}
+	c.unlink(int32(i))
+	c.linkBefore(int32(i), int32(c.allocHead()))
+	c.alloc[i] = true
+	c.timestamps[i] = now
+	c.size++
+	return nil
 }
 
 // Rejuvenate refreshes index i's timestamp to now and moves it to the

@@ -1,0 +1,140 @@
+package libvig
+
+import "testing"
+
+// TestTokenBucketResizeClampLaw pins Resize's mid-refill contract: the
+// elapsed time before the resize is settled at the OLD rate (never
+// re-priced), levels are then clamped to the NEW burst, and time after
+// the resize accrues at the NEW rate.
+func TestTokenBucketResizeClampLaw(t *testing.T) {
+	const sec = int64(1_000_000_000)
+	tb := newTB(t, 2, 100, 1000) // 100 B/s, 1000 B deep
+	for i := 0; i < 2; i++ {
+		if err := tb.Fill(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tb.Charge(0, 1000, 0) {
+		t.Fatal("full bucket refused its burst")
+	}
+
+	// 5 s later, shallower and slower: 10 B/s, 300 B.
+	if err := tb.Resize(10, 300, Time(5*sec)); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 0 earned 100 B/s × 5 s = 500 B under the old terms, then
+	// forfeits down to the new 300 B cap. Settling at the new rate
+	// instead would leave 50 B — the re-pricing bug this test exists
+	// to catch.
+	if lvl, err := tb.LevelUnits(0); err != nil || lvl != 300*tokenUnitsPerByte {
+		t.Fatalf("bucket 0 after resize: %d units, %v; want 300 B settled at the old rate then clamped", lvl, err)
+	}
+	// Bucket 1 sat full at 1000 B and forfeits everything above the cap.
+	if lvl, err := tb.LevelUnits(1); err != nil || lvl != 300*tokenUnitsPerByte {
+		t.Fatalf("bucket 1 after resize: %d units, %v; want clamp to the new burst", lvl, err)
+	}
+
+	// Time after the resize is priced at the new rate: drain to 50 B,
+	// then 10 s at 10 B/s buys exactly 100 B more. The old rate would
+	// hit the cap.
+	if !tb.Charge(0, 250, Time(5*sec)) {
+		t.Fatal("clamped bucket refused a conforming draw")
+	}
+	if lvl, err := tb.Level(0, Time(15*sec)); err != nil || lvl != 150 {
+		t.Fatalf("bucket 0 at t=15s: %d B, %v; want 50 + 10 B/s × 10 s = 150", lvl, err)
+	}
+
+	// Deepening keeps the level and earns the headroom only through
+	// future refills.
+	if err := tb.Resize(100, 2000, Time(15*sec)); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, err := tb.LevelUnits(0); err != nil || lvl != 150*tokenUnitsPerByte {
+		t.Fatalf("deepening moved the level: %d units, %v", lvl, err)
+	}
+	if lvl, err := tb.Level(0, Time(16*sec)); err != nil || lvl != 250 {
+		t.Fatalf("bucket 0 at t=16s: %d B, %v; want 150 + 100", lvl, err)
+	}
+
+	// The validation matches the constructor's.
+	if err := tb.Resize(0, 300, Time(16*sec)); err != ErrBadRate {
+		t.Fatalf("zero rate: %v", err)
+	}
+	if err := tb.Resize(100, 0, Time(16*sec)); err != ErrBadBurst {
+		t.Fatalf("zero burst: %v", err)
+	}
+}
+
+// TestTokenBucketRestoreClamps pins Restore's migration contract: the
+// captured level lands verbatim when it fits and is clamped into
+// [0, burst] when the destination's parameters differ.
+func TestTokenBucketRestoreClamps(t *testing.T) {
+	tb := newTB(t, 2, 100, 1000)
+	if err := tb.Restore(0, 400*tokenUnitsPerByte, 7); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, _ := tb.LevelUnits(0); lvl != 400*tokenUnitsPerByte {
+		t.Fatalf("restore moved a fitting level: %d", lvl)
+	}
+	if last, _ := tb.LastRefill(0); last != 7 {
+		t.Fatalf("restore lost the refill clock: %d", last)
+	}
+	if err := tb.Restore(1, 5000*tokenUnitsPerByte, 7); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, _ := tb.LevelUnits(1); lvl != 1000*tokenUnitsPerByte {
+		t.Fatalf("oversized restore not clamped to burst: %d", lvl)
+	}
+	if err := tb.Restore(0, -1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, _ := tb.LevelUnits(0); lvl != 0 {
+		t.Fatalf("negative restore not clamped to zero: %d", lvl)
+	}
+	if err := tb.Restore(2, 0, 0); err != ErrBucketRange {
+		t.Fatalf("out-of-range restore: %v", err)
+	}
+}
+
+// TestDChainAllocateIndex pins the restore-side allocator: a specific
+// free index is taken with its original stamp, a busy or out-of-range
+// index is refused, and the expiry order interleaves restored and
+// normally allocated indices by stamp.
+func TestDChainAllocateIndex(t *testing.T) {
+	c, err := NewDChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AllocateIndex(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsAllocated(2) || c.Size() != 1 {
+		t.Fatalf("index 2 not allocated (size %d)", c.Size())
+	}
+	if ts, err := c.Timestamp(2); err != nil || ts != 10 {
+		t.Fatalf("timestamp %d, %v; want the restored stamp 10", ts, err)
+	}
+	if err := c.AllocateIndex(2, 20); err != ErrChainBusy {
+		t.Fatalf("double allocate: %v, want ErrChainBusy", err)
+	}
+	if err := c.AllocateIndex(4, 0); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	// Stamp-ordered restore then a fresh Allocate: expiry walks 10, 20,
+	// 30 regardless of how each index entered the chain.
+	if err := c.AllocateIndex(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if i, err := c.Allocate(30); err != nil || i == 0 || i == 2 {
+		t.Fatalf("fresh allocate: %d, %v", i, err)
+	}
+	want := []int{2, 0}
+	for _, w := range want {
+		if i, ok := c.ExpireOne(25); !ok || i != w {
+			t.Fatalf("expiry order: got %d, want %d", i, w)
+		}
+	}
+	if _, ok := c.ExpireOne(25); ok {
+		t.Fatal("expired the young index")
+	}
+}

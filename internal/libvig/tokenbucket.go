@@ -143,6 +143,55 @@ func (tb *TokenBucket) Charge(i int, bytes int, now Time) bool {
 	return true
 }
 
+// Resize changes the vector's shared (rate, burst) configuration live,
+// preserving the clamp law mid-refill: every bucket is first refilled
+// to now at the OLD rate (so no elapsed time is ever re-priced at the
+// new rate — the budget already earned is settled before the terms
+// change), then its level is clamped to the NEW burst. A deepened
+// bucket keeps its level and earns the extra headroom only through
+// future refills; a shallowed one forfeits tokens above the new cap
+// immediately, exactly as if it had always been that deep. The new
+// parameters are validated like NewTokenBucket's.
+func (tb *TokenBucket) Resize(rate, burst int64, now Time) error {
+	if rate <= 0 || rate > MaxRateBytesPerSec {
+		return ErrBadRate
+	}
+	if burst <= 0 || burst > MaxBurstBytes {
+		return ErrBadBurst
+	}
+	for i := range tb.levels {
+		tb.refill(i, now)
+	}
+	tb.rate = rate
+	tb.burstUnits = burst * tokenUnitsPerByte
+	for i := range tb.levels {
+		if tb.levels[i] > tb.burstUnits {
+			tb.levels[i] = tb.burstUnits
+		}
+	}
+	return nil
+}
+
+// Restore overwrites bucket i with a previously captured (LevelUnits,
+// LastRefill) pair — the restore half of shard migration. The level is
+// clamped into [0, burstUnits] so a snapshot taken under different
+// parameters can never violate the bucket invariant.
+// Requires i in range (checked).
+func (tb *TokenBucket) Restore(i int, levelUnits int64, last Time) error {
+	if i < 0 || i >= len(tb.levels) {
+		return ErrBucketRange
+	}
+	if levelUnits < 0 {
+		levelUnits = 0
+	}
+	if levelUnits > tb.burstUnits {
+		levelUnits = tb.burstUnits
+	}
+	tb.levels[i] = levelUnits
+	tb.last[i] = last
+	return nil
+}
+
 // Level returns bucket i's available tokens in whole bytes after a
 // refill to now (the refill is applied — Level is an access like any
 // other). Requires i in range (checked).

@@ -138,6 +138,30 @@ func (t *FlowTable) Add(intKey flow.ID, now libvig.Time) (idx int, ok bool) {
 	return idx, true
 }
 
+// Restore re-creates a migrated flow: a chain slot at its original
+// stamp (the shard codec replays records in stamp order, so the chain
+// contract's monotonicity holds), its original external port — which
+// must lie in this shard's range — and the table entry. No creation
+// counter moves: a migrated flow was created once, on the shard it
+// came from.
+func (t *FlowTable) Restore(intKey flow.ID, extPort uint16, stamp libvig.Time) error {
+	idx, err := t.chain.Allocate(stamp)
+	if err != nil {
+		return err
+	}
+	if err := t.ports.AllocateSpecific(extPort); err != nil {
+		_ = t.chain.Free(idx)
+		return err
+	}
+	f := flow.MakeFlow(intKey, t.extIP, extPort)
+	if err := t.dmap.Put(idx, f); err != nil {
+		_ = t.ports.Release(extPort)
+		_ = t.chain.Free(idx)
+		return err
+	}
+	return nil
+}
+
 // Remove deletes flow i regardless of age (administrative removal; also
 // used by extensions like TCP RST/FIN tracking).
 func (t *FlowTable) Remove(i int) error {

@@ -2,6 +2,7 @@ package nat
 
 import (
 	"vignat/internal/fastpath"
+	"vignat/internal/flow"
 	"vignat/internal/libvig"
 	"vignat/internal/nat/stateless"
 	"vignat/internal/netstack"
@@ -37,6 +38,14 @@ func verdictOf(v stateless.Verdict) nf.Verdict {
 // its own range, and an inbound reply's destination port alone names
 // the shard.
 func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
+	return kit(cfg, clock, nil)
+}
+
+// kit is Kit plus the sharded composition's steering override: steer,
+// when non-nil, pins migrated flows' outbound steering to their
+// port-range home after a live reshard (see steer.go). The standalone
+// Kit has no reshard verb and needs no override.
+func kit(cfg Config, clock libvig.Clock, steer *steering) nfkit.Decl[*NAT] {
 	return nfkit.Decl[*NAT]{
 		Name:     "vignat",
 		Clock:    clock,
@@ -106,7 +115,13 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
 				return 0
 			}
 			if fromInternal {
-				return int(scratch.FlowID().Hash() % uint64(shards))
+				id := scratch.FlowID()
+				if steer != nil {
+					if s, ok := steer.lookup(id); ok && s < shards {
+						return s
+					}
+				}
+				return int(id.Hash() % uint64(shards))
 			}
 			// Only the inbound port-range branch pays the split math.
 			perShard := cfg.Capacity / shards
@@ -121,6 +136,7 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*NAT] {
 			return n.reasonCounts[:]
 		},
 		LastReason: func(n *NAT) telemetry.ReasonID { return n.lastReason },
+		Codec:      shardCodec(cfg),
 		Sym:        symSpec(),
 	}
 }
@@ -132,6 +148,8 @@ func AsNF(n *NAT) nf.NF { return Kit(n.cfg, n.clock).Adapt(n) }
 // accessors (port-range bookkeeping, flow drill-down) callers use.
 type Sharded struct {
 	*nfkit.Sharded[*NAT]
+	cfg      Config
+	steer    *steering
 	perShard int
 }
 
@@ -144,11 +162,34 @@ func NewSharded(cfg Config, clock libvig.Clock, nShards int) (*Sharded, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ks, err := nfkit.NewSharded(Kit(cfg, clock), nShards)
+	steer := &steering{}
+	ks, err := nfkit.NewSharded(kit(cfg, clock, steer), nShards)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{Sharded: ks, perShard: cfg.Capacity / nShards}, nil
+	return &Sharded{Sharded: ks, cfg: cfg, steer: steer, perShard: cfg.Capacity / nShards}, nil
+}
+
+// Reshard migrates the NAT to n shards through the derived codec, then
+// re-derives what the codec cannot see globally: the per-shard split
+// bookkeeping and the outbound steering override for flows whose new
+// hash shard is not their port-range home.
+func (s *Sharded) Reshard(n int) error {
+	if err := s.Sharded.Reshard(n); err != nil {
+		return err
+	}
+	s.perShard = s.cfg.Capacity / n
+	over := make(map[flow.ID]int)
+	for shard, core := range s.Cores() {
+		core.Table().ForEach(func(_ int, f *flow.Flow, _ libvig.Time) bool {
+			if int(f.IntKey.Hash()%uint64(n)) != shard {
+				over[f.IntKey] = shard
+			}
+			return true
+		})
+	}
+	s.steer.publish(over)
+	return nil
 }
 
 // ShardNAT returns shard i's underlying NAT (tests, stats drill-down).

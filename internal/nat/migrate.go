@@ -1,0 +1,110 @@
+package nat
+
+import (
+	"fmt"
+
+	"vignat/internal/flow"
+	"vignat/internal/libvig"
+	"vignat/internal/nf/nfkit"
+)
+
+// This file is the NAT's shard codec: the snapshot/restore walk over
+// the flow table and the counter fold that make NAT shards movable
+// units. Flows migrate to the shard whose external-port range holds
+// their port — the only placement that keeps an inbound reply's
+// port-arithmetic steering correct without renumbering the port an
+// external peer already targets. Outbound consistency for flows whose
+// hash shard moved away is restored by the steering override
+// (steer.go), which the Sharded wrapper rebuilds after every reshard.
+
+// flowRec migrates one flow: its internal-side identity and the
+// external port it holds. The external IP is configuration; the DChain
+// stamp rides the StateRecord envelope.
+type flowRec struct {
+	intKey  flow.ID
+	extPort uint16
+}
+
+// snapshotRecords serializes every live flow.
+func (n *NAT) snapshotRecords() []nfkit.StateRecord {
+	recs := make([]nfkit.StateRecord, 0, n.table.Size())
+	n.table.ForEach(func(_ int, f *flow.Flow, last libvig.Time) bool {
+		recs = append(recs, nfkit.StateRecord{
+			Stamp: last,
+			Data:  flowRec{intKey: f.IntKey, extPort: f.ExtPort()},
+		})
+		return true
+	})
+	return recs
+}
+
+// restoreRecord replays one flow into the core, fully or not at all
+// (FlowTable.Restore rolls back). FlowsCreated does not move.
+func (n *NAT) restoreRecord(rec nfkit.StateRecord) error {
+	d, ok := rec.Data.(flowRec)
+	if !ok {
+		return fmt.Errorf("nat: unknown state record %T", rec.Data)
+	}
+	return n.table.Restore(d.intKey, d.extPort, rec.Stamp)
+}
+
+// counterVector captures the core's full counter state in the codec's
+// fixed order: the seven Stats fields, then the reason taxonomy.
+func (n *NAT) counterVector() []uint64 {
+	v := []uint64{
+		n.stats.Processed,
+		n.stats.Dropped,
+		n.stats.ForwardedOut,
+		n.stats.ForwardedIn,
+		n.stats.FlowsCreated,
+		n.stats.FlowsExpired,
+		n.stats.ParseFailures,
+	}
+	return append(v, n.reasonCounts[:]...)
+}
+
+// seedCounters adds a counterVector into the core.
+func (n *NAT) seedCounters(v []uint64) {
+	if len(v) < 7+int(numReasons) {
+		return
+	}
+	n.stats.Processed += v[0]
+	n.stats.Dropped += v[1]
+	n.stats.ForwardedOut += v[2]
+	n.stats.ForwardedIn += v[3]
+	n.stats.FlowsCreated += v[4]
+	n.stats.FlowsExpired += v[5]
+	n.stats.ParseFailures += v[6]
+	for i := 0; i < int(numReasons); i++ {
+		n.reasonCounts[i] += v[7+i]
+	}
+}
+
+// shardCodec is the NAT's migration declaration for cfg.
+func shardCodec(cfg Config) *nfkit.ShardCodec[*NAT] {
+	return &nfkit.ShardCodec[*NAT]{
+		Check: func(shards int) error {
+			if cfg.Capacity%shards != 0 {
+				return fmt.Errorf("nat: capacity %d does not divide into %d shards (external port ranges would misalign)",
+					cfg.Capacity, shards)
+			}
+			return nil
+		},
+		Snapshot: (*NAT).snapshotRecords,
+		Restore:  (*NAT).restoreRecord,
+		Shard: func(rec nfkit.StateRecord, shards int) int {
+			d, ok := rec.Data.(flowRec)
+			if !ok {
+				return 0
+			}
+			per := cfg.Capacity / shards
+			off := int(d.extPort) - int(cfg.PortBase)
+			if off < 0 || off >= per*shards {
+				return 0
+			}
+			return off / per
+		},
+		Counters: (*NAT).counterVector,
+		Seed:     (*NAT).seedCounters,
+	}
+}

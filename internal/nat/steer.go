@@ -1,0 +1,48 @@
+package nat
+
+import (
+	"sync/atomic"
+
+	"vignat/internal/flow"
+)
+
+// steering is the sharded NAT's outbound override table. A NAT flow
+// lives on the shard whose external-port range holds its port: at
+// creation the two steering rules agree by construction (a flow is
+// created on its internal-ID hash shard and draws a port from that
+// shard's own range), but a live reshard re-partitions the ranges
+// while migrated flows keep their ports — so a migrated flow's range
+// home can differ from its new hash shard. Inbound replies still find
+// it by pure port arithmetic; outbound packets need this table: flow
+// IDs whose hash shard is not their range home are pinned here.
+//
+// The map is immutable once published and swapped through an atomic
+// pointer: readers are every worker's steering pass AND the ports'
+// RSS goroutines, which the control plane does not quiesce. It is
+// rebuilt from live flows on every reshard, so dead flows' pins age
+// out at the next reshard; until then a stale pin only steers a flow
+// ID to the shard that last owned it, where it is recreated with a
+// port from that shard's own range — the invariant self-restores.
+type steering struct {
+	over atomic.Pointer[map[flow.ID]int]
+}
+
+// lookup returns the pinned shard for id, if any.
+func (st *steering) lookup(id flow.ID) (int, bool) {
+	m := st.over.Load()
+	if m == nil {
+		return 0, false
+	}
+	s, ok := (*m)[id]
+	return s, ok
+}
+
+// publish swaps in a freshly built override map (nil when no flow
+// needs pinning, so the common path costs one nil check).
+func (st *steering) publish(m map[flow.ID]int) {
+	if len(m) == 0 {
+		st.over.Store(nil)
+		return
+	}
+	st.over.Store(&m)
+}

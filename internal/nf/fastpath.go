@@ -203,7 +203,9 @@ func (wk *worker) processShardFast(li, s int, now libvig.Time) {
 			}
 			runStart = i + 1
 			v := fastHit(e.Aux(), len(pkts[i].Frame), now)
-			if v == Forward {
+			if v == Forward && !e.Identity() {
+				// Non-rewriting NFs skip the template replay outright —
+				// the identity bit was precomputed at install.
 				e.Apply(pkts[i].Frame, m)
 			}
 			verd[i] = v

@@ -1,6 +1,7 @@
 package nf
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -94,6 +95,7 @@ var (
 type Metrics struct {
 	ln      net.Listener
 	srv     *http.Server
+	mux     *http.ServeMux
 	sources []MetricSource
 }
 
@@ -121,6 +123,7 @@ func ServeMetrics(addr string, sources ...MetricSource) (*Metrics, error) {
 	}
 	m := &Metrics{ln: ln, sources: sources}
 	mux := http.NewServeMux()
+	m.mux = mux
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	mux.HandleFunc("/debug/trace", m.handleTrace)
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -367,11 +370,30 @@ func (m *Metrics) handleTrace(w http.ResponseWriter, _ *http.Request) {
 // ephemeral ":0" bind).
 func (m *Metrics) Addr() string { return m.ln.Addr().String() }
 
-// Close stops serving and releases the sources' expvar slots: the
-// write-once registry entries stay published but report nil until a
-// later ServeMetrics rebinds the names.
+// Handle mounts an additional handler on the endpoint's mux — the hook
+// the control plane uses to share the metrics listener. Call it before
+// traffic reaches the pattern; ServeMux registration is not
+// synchronized against serving.
+func (m *Metrics) Handle(pattern string, h http.Handler) {
+	m.mux.Handle(pattern, h)
+}
+
+// Close stops serving immediately — in-flight scrapes are abandoned —
+// and releases the sources' expvar slots: the write-once registry
+// entries stay published but report nil until a later ServeMetrics
+// rebinds the names.
 func (m *Metrics) Close() error {
 	err := m.srv.Close()
+	unbindExpvar(m.sources)
+	return err
+}
+
+// Shutdown is the graceful counterpart of Close: it stops accepting
+// new connections, waits for in-flight requests to finish (bounded by
+// ctx), then releases the expvar slots. A control verb that arrived
+// just before shutdown gets its response instead of a reset.
+func (m *Metrics) Shutdown(ctx context.Context) error {
+	err := m.srv.Shutdown(ctx)
 	unbindExpvar(m.sources)
 	return err
 }

@@ -128,9 +128,70 @@ type Decl[C any] struct {
 	// processed packet (the sampled trace ring's label).
 	LastReason func(core C) telemetry.ReasonID
 
+	// Codec, when set, makes the NF's shards movable, serializable
+	// units: the control plane snapshots a shard's state into
+	// StateRecords, rebuilds the composition at a different shard
+	// count, and restores every record into the shard that owns it
+	// under the new partitioning — the live-reshard verb. Nil keeps
+	// the shard count fixed at construction.
+	Codec *ShardCodec[C]
+
 	// Sym, when set, is the NF's symbolic-verification declaration;
 	// Verify() derives the full proof run from it. See verify.go.
 	Sym *SymSpec
+}
+
+// StateRecord is one migratable unit of NF state — a flow-table
+// session, an LB backend or sticky flow, a policer subscriber — as the
+// shard codec serializes it. Records are restored in ascending
+// (Pass, Stamp) order: Pass separates structurally dependent families
+// (LB backends must exist before the stickies that reference them),
+// and Stamp carries the record's DChain last-touch time so each
+// restore replays allocations in stamp order, preserving both the
+// expiry order and the DChain contract's stamp monotonicity.
+type StateRecord struct {
+	// Pass is the restore ordering class (lower restores first).
+	Pass int
+	// Stamp is the record's last-touch time.
+	Stamp libvig.Time
+	// Data is the NF-opaque payload the codec's Restore interprets.
+	Data any
+}
+
+// ShardCodec is the declarative form of shard migration: five closures
+// from which the kit derives Sharded.Reshard. Snapshot and Restore
+// must round-trip — restoring a core's snapshot into a fresh core of
+// the same configuration yields observably identical state (same
+// lookups, same expiry order, same counters-relevant behavior) — and
+// Restore must NOT bump creation counters: a migrated session was
+// created once, on the old shard, and the aggregate conservation law
+// (created − expired − unpinned − migration-dropped == live) must hold
+// across the move.
+type ShardCodec[C any] struct {
+	// Check, when set, vetoes shard counts the NF cannot partition to
+	// (the NAT requires capacity divisible by the shard count, or the
+	// external port ranges would misalign with the table split).
+	Check func(shards int) error
+	// Snapshot serializes every migratable record the core holds, in
+	// any order (Reshard sorts by (Pass, Stamp) before restoring).
+	Snapshot func(core C) []StateRecord
+	// Restore replays one record into a core. It must either fully
+	// apply the record or leave the core unchanged (rolling back
+	// partial effects), so a failed record degrades to a dropped
+	// session rather than corrupted state.
+	Restore func(core C, rec StateRecord) error
+	// Shard maps a record to the shard owning it under the given
+	// count, consistently with the declared ShardOf steering. A
+	// negative result broadcasts the record to every shard (state
+	// every shard replicates, like the balancer's backend table).
+	Shard func(rec StateRecord, shards int) int
+	// Counters captures the core's full internal counter vector
+	// (stats plus reason counts, in a codec-chosen fixed order);
+	// Seed adds such a vector into a fresh core's counters. Reshard
+	// folds the old cores' vectors and seeds the sum into new shard 0,
+	// so aggregated totals stay continuous and monotone across a move.
+	Counters func(core C) []uint64
+	Seed     func(core C, counters []uint64)
 }
 
 // FastPathHooks is the declarative form of nf.FastPather: the two

@@ -1,6 +1,7 @@
 package nfkit
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"vignat/internal/ctlplane"
 	"vignat/internal/dpdk"
 	"vignat/internal/libvig"
 	"vignat/internal/nf"
@@ -56,6 +58,13 @@ type Options struct {
 	IntLocal, IntPeer, ExtLocal, ExtPeer string
 	// Duration bounds a wire-mode run (0 = run until SIGINT/SIGTERM).
 	Duration time.Duration
+	// Control mounts the /control/v1 management API on the metrics
+	// mux (wire mode only; requires -metrics).
+	Control bool
+	// MaxWorkers sizes the wire transports' queue pairs beyond the
+	// initial worker count, leaving headroom for a live reshard to
+	// grow (0 = exactly Workers queues, no growth).
+	MaxWorkers int
 }
 
 // App is one demo binary's declaration. Register NF-specific flags
@@ -99,6 +108,12 @@ type Run struct {
 	// Mid, when set, splits the run in two halves and runs between
 	// them with no traffic in flight (backend churn and the like).
 	Mid func() error
+	// Backends, when set, is the balancer surface the control plane's
+	// lb verbs drive (lb.Sharded implements it).
+	Backends ctlplane.BackendManager
+	// Rate, when set, is the policer surface behind the control
+	// plane's resize verb (policer.Sharded implements it).
+	Rate ctlplane.RateManager
 	// Report writes the NF-specific end-of-run summary and checks its
 	// invariants; returning an error fails the binary.
 	Report func(w io.Writer, r *RunReport) error
@@ -140,6 +155,8 @@ func Main(app App) {
 	flag.StringVar(&o.ExtLocal, "ext-local", "", "wire mode: external port's local address")
 	flag.StringVar(&o.ExtPeer, "ext-peer", "", "wire mode: where the external port transmits")
 	flag.DurationVar(&o.Duration, "duration", 0, "wire mode: stop after this long (0 = until SIGINT/SIGTERM)")
+	flag.BoolVar(&o.Control, "control", false, "wire mode: mount the /control/v1 management API on the metrics mux (requires -metrics)")
+	flag.IntVar(&o.MaxWorkers, "max-workers", 0, "wire mode: queue pairs to provision per port, headroom for live worker growth (0 = workers)")
 	flag.Parse()
 	if err := run(app, o); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", app.Name, err)
@@ -163,6 +180,9 @@ func run(app App, o *Options) error {
 	}
 	switch o.Transport {
 	case "", "mem":
+		if o.Control {
+			return fmt.Errorf("-control needs a wire transport (the in-memory harness drives workers externally, so live worker changes cannot apply)")
+		}
 	case "udp", "unix":
 		return runWire(app, o)
 	default:
@@ -370,15 +390,28 @@ func runWire(app App, o *Options) error {
 	case b.Snapshot == nil:
 		return fmt.Errorf("app declares no stats snapshot")
 	}
+	if o.Control && o.Metrics == "" {
+		return fmt.Errorf("-control needs -metrics (the management API mounts on the metrics mux)")
+	}
+	// Queue pairs are provisioned up front (the wire peer binds to
+	// them); MaxWorkers leaves headroom for the workers verb to grow
+	// into.
+	queues := o.MaxWorkers
+	if queues == 0 {
+		queues = o.Workers
+	}
+	if queues < o.Workers {
+		return fmt.Errorf("-max-workers %d below -workers %d", queues, o.Workers)
+	}
 
 	newSide := func(name string, id uint16, local, peer string) (*dpdk.Port, []*dpdk.Mempool, error) {
-		tr, err := newWireTransport(o.Transport, o.Workers, local, peer, clock)
+		tr, err := newWireTransport(o.Transport, queues, local, peer, clock)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s port: %w (set -%s-local / -%s-peer)", name, err, name[:3], name[:3])
 		}
-		pools := make([]*dpdk.Mempool, o.Workers)
+		pools := make([]*dpdk.Mempool, queues)
 		for w := range pools {
-			if pools[w], err = dpdk.NewMempool(4096 / o.Workers); err != nil {
+			if pools[w], err = dpdk.NewMempool(4096 / queues); err != nil {
 				_ = tr.Close()
 				return nil, nil, err
 			}
@@ -421,7 +454,25 @@ func runWire(app App, o *Options) error {
 		if err != nil {
 			return err
 		}
-		defer m.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = m.Shutdown(ctx)
+		}()
+		if o.Control {
+			ctl, err := ctlplane.New(ctlplane.Config{
+				Pipeline:   pipe,
+				Clock:      clock,
+				Backends:   b.Backends,
+				Rate:       b.Rate,
+				MaxWorkers: queues,
+			})
+			if err != nil {
+				return err
+			}
+			ctl.Mount(m)
+			fmt.Printf("control: http://%s/control/v1/status\n", m.Addr())
+		}
 		fmt.Printf("metrics: http://%s/metrics (expvar at /debug/vars, profiles at /debug/pprof/, trace at /debug/trace)\n", m.Addr())
 	}
 	if b.Banner != "" {
@@ -432,7 +483,7 @@ func runWire(app App, o *Options) error {
 		port *dpdk.Port
 	}{{"internal", intPort}, {"external", extPort}} {
 		if a, ok := side.port.Transport().(wireAddresser); ok {
-			addrs := make([]string, o.Workers)
+			addrs := make([]string, queues)
 			for q := range addrs {
 				addrs[q] = a.LocalAddr(q)
 			}
@@ -440,26 +491,11 @@ func runWire(app App, o *Options) error {
 		}
 	}
 
-	stop := make(chan struct{})
-	errs := make([]error, o.Workers)
-	var wg sync.WaitGroup
+	// The pipeline owns the drive goroutines (Start/Stop), which is
+	// what lets the workers verb swap the worker set live.
 	start := time.Now()
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				if _, err := pipe.PollWorker(w); err != nil {
-					errs[w] = err
-					return
-				}
-			}
-		}(w)
+	if err := pipe.Start(); err != nil {
+		return err
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -473,13 +509,9 @@ func runWire(app App, o *Options) error {
 	case <-sigc:
 	case <-expired:
 	}
-	close(stop)
-	wg.Wait()
 	elapsed := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := pipe.Stop(); err != nil {
+		return err
 	}
 
 	ps := pipe.Stats()

@@ -2,8 +2,12 @@ package nfkit
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
+	"vignat/internal/libvig"
 	"vignat/internal/nf"
+	"vignat/internal/nf/telemetry"
 )
 
 // Sharded is the derived RSS-style sharded composition: nShards
@@ -17,11 +21,35 @@ import (
 // synchronization on the fast path — the per-core partitioning a
 // multi-queue DPDK NF gets from NIC RSS, exactly as before the kit;
 // what changed is that the composition is now written once.
+//
+// The composition's (cores, counted-stats) pair is published through
+// one atomic pointer so that Reshard — the live worker-change verb —
+// can swap the whole partitioning in a single store: packet-path
+// readers are quiesced by the pipeline around the swap, and the
+// always-on readers that are not (metrics scrapes hitting the padded
+// stats cells) see either the old block or the new one, never a torn
+// mix.
 type Sharded[C any] struct {
-	*nf.CountedShards // Shard/Expire/NFStats/StatsSnapshot plumbing
-
 	decl  Decl[C]
-	cores []C
+	state atomic.Pointer[shardedState[C]]
+
+	// migrated counts state records carried across Reshard calls;
+	// migrationDropped counts records a reshard could not place (the
+	// destination shard refused the restore — e.g. a hash-skewed
+	// repartition overflowing one shard's slice of the capacity). The
+	// conservation law across a composition's lifetime is
+	// created − expired − unpinned − migrationDropped == live.
+	// Both are control-path state: written under the pipeline's
+	// control mutex, read by the control plane.
+	migrated         uint64
+	migrationDropped uint64
+}
+
+// shardedState is one immutable generation of the composition: the
+// cores and their counted-stats block always swap together.
+type shardedState[C any] struct {
+	counted *nf.CountedShards
+	cores   []C
 }
 
 var (
@@ -29,6 +57,43 @@ var (
 	_ nf.Sharder     = (*Sharded[int])(nil)
 	_ nf.ExpiryModer = (*Sharded[int])(nil)
 )
+
+// buildState constructs nShards fresh cores plus their counted block.
+func buildState[C any](d *Decl[C], nShards int) (*shardedState[C], error) {
+	perShard := 0
+	if d.Capacity > 0 {
+		perShard = d.Capacity / nShards
+	}
+	st := &shardedState[C]{cores: make([]C, nShards)}
+	shardNFs := make([]nf.NF, nShards)
+	for i := 0; i < nShards; i++ {
+		core, err := d.New(i, nShards, perShard)
+		if err != nil {
+			return nil, fmt.Errorf("nfkit: %s shard %d: %w", d.Name, i, err)
+		}
+		st.cores[i] = core
+		shardNFs[i] = d.Adapt(core)
+	}
+	var err error
+	if st.counted, err = nf.NewCountedShards(shardNFs); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// checkShardCount validates a shard count against the declaration.
+func checkShardCount[C any](d *Decl[C], nShards int) error {
+	if nShards < 1 {
+		return fmt.Errorf("nfkit: %s shard count must be at least 1", d.Name)
+	}
+	if nShards > 1 && d.ShardOf == nil {
+		return fmt.Errorf("nfkit: %s declares no shard steering", d.Name)
+	}
+	if d.Capacity > 0 && d.Capacity/nShards == 0 {
+		return fmt.Errorf("nfkit: %s capacity %d cannot fill %d shards", d.Name, d.Capacity, nShards)
+	}
+	return nil
+}
 
 // NewSharded builds the declared NF's nShards-shard composition. With
 // nShards == 1 this is exactly one core behind the nf.NF interface;
@@ -38,50 +103,34 @@ func NewSharded[C any](d Decl[C], nShards int) (*Sharded[C], error) {
 	if err := d.validate(true); err != nil {
 		return nil, err
 	}
-	if nShards < 1 {
-		return nil, fmt.Errorf("nfkit: %s shard count must be at least 1", d.Name)
-	}
-	if nShards > 1 && d.ShardOf == nil {
-		return nil, fmt.Errorf("nfkit: %s declares no shard steering", d.Name)
-	}
-	if d.Capacity > 0 && d.Capacity/nShards == 0 {
-		return nil, fmt.Errorf("nfkit: %s capacity %d cannot fill %d shards", d.Name, d.Capacity, nShards)
-	}
-	perShard := 0
-	if d.Capacity > 0 {
-		perShard = d.Capacity / nShards
-	}
-	s := &Sharded[C]{decl: d, cores: make([]C, nShards)}
-	shardNFs := make([]nf.NF, nShards)
-	for i := 0; i < nShards; i++ {
-		core, err := d.New(i, nShards, perShard)
-		if err != nil {
-			return nil, fmt.Errorf("nfkit: %s shard %d: %w", d.Name, i, err)
-		}
-		s.cores[i] = core
-		shardNFs[i] = d.Adapt(core)
-	}
-	var err error
-	if s.CountedShards, err = nf.NewCountedShards(shardNFs); err != nil {
+	if err := checkShardCount(&d, nShards); err != nil {
 		return nil, err
 	}
+	s := &Sharded[C]{decl: d}
+	st, err := buildState(&s.decl, nShards)
+	if err != nil {
+		return nil, err
+	}
+	s.state.Store(st)
 	return s, nil
 }
 
 // Name identifies the sharded NF.
 func (s *Sharded[C]) Name() string {
-	if len(s.cores) == 1 {
-		return s.decl.Name
+	if n := len(s.state.Load().cores); n > 1 {
+		return fmt.Sprintf("%s×%d", s.decl.Name, n)
 	}
-	return fmt.Sprintf("%s×%d", s.decl.Name, len(s.cores))
+	return s.decl.Name
 }
 
 // Core returns shard i's production core (tests, stats drill-down).
-func (s *Sharded[C]) Core(i int) C { return s.cores[i] }
+func (s *Sharded[C]) Core(i int) C { return s.state.Load().cores[i] }
 
 // Cores returns every shard's core, in shard order. The slice is the
-// composition's own; callers must not mutate it.
-func (s *Sharded[C]) Cores() []C { return s.cores }
+// composition's own; callers must not mutate it. A Reshard replaces
+// it wholesale, so long-lived callers should re-read rather than
+// cache.
+func (s *Sharded[C]) Cores() []C { return s.state.Load().cores }
 
 // ShardOf steers a frame to the shard owning its flow via the declared
 // steering function, clamping misdeclared results onto shard 0 (the
@@ -90,11 +139,12 @@ func (s *Sharded[C]) Cores() []C { return s.cores }
 // and safe for concurrent use whenever the declared function is, which
 // the declaration contract requires.
 func (s *Sharded[C]) ShardOf(frame []byte, fromInternal bool) int {
-	if len(s.cores) == 1 {
+	n := len(s.state.Load().cores)
+	if n == 1 {
 		return 0
 	}
-	shard := s.decl.ShardOf(frame, fromInternal, len(s.cores))
-	if shard < 0 || shard >= len(s.cores) {
+	shard := s.decl.ShardOf(frame, fromInternal, n)
+	if shard < 0 || shard >= n {
 		return 0
 	}
 	return shard
@@ -102,24 +152,95 @@ func (s *Sharded[C]) ShardOf(frame []byte, fromInternal bool) int {
 
 // Process steers one frame to its shard and runs it there.
 func (s *Sharded[C]) Process(frame []byte, fromInternal bool) nf.Verdict {
-	return s.CountedShard(s.ShardOf(frame, fromInternal)).Process(frame, fromInternal)
+	st := s.state.Load()
+	shard := s.shardOf(st, frame, fromInternal)
+	return st.counted.CountedShard(shard).Process(frame, fromInternal)
+}
+
+// shardOf is ShardOf against an already-loaded state generation.
+func (s *Sharded[C]) shardOf(st *shardedState[C], frame []byte, fromInternal bool) int {
+	n := len(st.cores)
+	if n == 1 {
+		return 0
+	}
+	shard := s.decl.ShardOf(frame, fromInternal, n)
+	if shard < 0 || shard >= n {
+		return 0
+	}
+	return shard
 }
 
 // ProcessBatch steers and processes a burst, reading the clock once.
 func (s *Sharded[C]) ProcessBatch(pkts []nf.Pkt, verdicts []nf.Verdict) {
+	st := s.state.Load()
 	now := s.decl.now()
 	for i := range pkts {
-		shard := s.ShardOf(pkts[i].Frame, pkts[i].FromInternal)
-		verdicts[i] = s.decl.Process(s.cores[shard], pkts[i].Frame, pkts[i].FromInternal, now)
+		shard := s.shardOf(st, pkts[i].Frame, pkts[i].FromInternal)
+		verdicts[i] = s.decl.Process(st.cores[shard], pkts[i].Frame, pkts[i].FromInternal, now)
 	}
-	s.SyncAll()
+	st.counted.SyncAll()
+}
+
+// The nf.CountedShards surface, forwarded through the current state
+// generation (see the type comment for why the indirection exists).
+
+// Shards returns the shard count.
+func (s *Sharded[C]) Shards() int { return s.state.Load().counted.Shards() }
+
+// Shard returns shard i as a standalone counted NF.
+func (s *Sharded[C]) Shard(i int) nf.NF { return s.state.Load().counted.Shard(i) }
+
+// CountedShard returns shard i's counted wrapper.
+func (s *Sharded[C]) CountedShard(i int) *nf.CountedNF {
+	return s.state.Load().counted.CountedShard(i)
+}
+
+// SyncAll publishes every shard's pending counter deltas.
+func (s *Sharded[C]) SyncAll() { s.state.Load().counted.SyncAll() }
+
+// SetPerPacketExpiry forwards the expiry-mode switch to every shard.
+func (s *Sharded[C]) SetPerPacketExpiry(on bool) bool {
+	return s.state.Load().counted.SetPerPacketExpiry(on)
+}
+
+// Expire advances expiry on every shard.
+func (s *Sharded[C]) Expire(now libvig.Time) int { return s.state.Load().counted.Expire(now) }
+
+// NFStats returns StatsSnapshot.
+func (s *Sharded[C]) NFStats() nf.Stats { return s.state.Load().counted.NFStats() }
+
+// StatsSnapshot returns the counters aggregated across shards, safe
+// concurrently with traffic (and with a live reshard: the atomic state
+// load pins one generation for the whole read).
+func (s *Sharded[C]) StatsSnapshot() nf.Stats { return s.state.Load().counted.StatsSnapshot() }
+
+// ShardStatsSnapshot returns shard i's counters.
+func (s *Sharded[C]) ShardStatsSnapshot(i int) nf.Stats {
+	return s.state.Load().counted.ShardStatsSnapshot(i)
+}
+
+// AddFastPath folds the engine's flow-cache counters into shard i.
+func (s *Sharded[C]) AddFastPath(i int, hits, misses, evictions, bypassed uint64) {
+	s.state.Load().counted.AddFastPath(i, hits, misses, evictions, bypassed)
+}
+
+// ReasonSet returns the declared taxonomy, or nil.
+func (s *Sharded[C]) ReasonSet() *telemetry.ReasonSet { return s.state.Load().counted.ReasonSet() }
+
+// ReasonSnapshot returns the per-reason totals aggregated across
+// shards, or nil when no taxonomy is declared.
+func (s *Sharded[C]) ReasonSnapshot() []uint64 { return s.state.Load().counted.ReasonSnapshot() }
+
+// ShardReasonSnapshot returns shard i's per-reason totals, or nil.
+func (s *Sharded[C]) ShardReasonSnapshot(i int) []uint64 {
+	return s.state.Load().counted.ShardReasonSnapshot(i)
 }
 
 // AggregateStats folds an NF-specific per-core stats snapshot across
 // shards: the helper the per-NF Stats() aggregators share.
 func AggregateStats[C, S any](s *Sharded[C], snap func(C) S, add func(agg *S, one S)) S {
 	var agg S
-	for _, core := range s.cores {
+	for _, core := range s.Cores() {
 		add(&agg, snap(core))
 	}
 	return agg
@@ -131,10 +252,134 @@ func AggregateStats[C, S any](s *Sharded[C], snap func(C) S, add func(agg *S, on
 // control-path mutations in the repository it must not run
 // concurrently with packet processing.
 func (s *Sharded[C]) Broadcast(op func(shard int, core C) error) error {
-	for i, core := range s.cores {
+	for i, core := range s.Cores() {
 		if err := op(i, core); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// Migrated returns the cumulative number of state records carried to a
+// new shard by Reshard calls (broadcast records count once per
+// receiving shard — they are genuinely replicated).
+func (s *Sharded[C]) Migrated() uint64 { return s.migrated }
+
+// MigrationDropped returns the cumulative number of state records a
+// Reshard could not place. These are the sessions a repartition
+// evicts, the "migrated" term of the conservation law; a hitless
+// reshard leaves it unchanged.
+func (s *Sharded[C]) MigrationDropped() uint64 { return s.migrationDropped }
+
+// Reshard rebuilds the composition at a new shard count, migrating
+// every state record through the declared codec — the hitless-reshard
+// verb. The protocol is copy-then-switch: fresh cores are built,
+// every record is restored into the shard owning it under the new
+// partitioning, and the folded counters are seeded and pre-published,
+// all before the single atomic store that commits the move — so a
+// refused reshard (bad count, constructor failure, broadcast-restore
+// failure) leaves the composition exactly as it was, and an observer
+// never sees counters dip. Per-record restore failures on
+// non-broadcast records degrade to dropped sessions (counted in
+// MigrationDropped) rather than refusing the whole move, matching how
+// a hash-skewed repartition must behave when one destination shard
+// cannot hold its share.
+//
+// Counters survive the move: the old cores' internal counter vectors
+// are folded and seeded into new shard 0 (codec Seed), and the new
+// counted block syncs once before the swap, so the aggregate snapshot
+// stays continuous and monotone. Restores never bump creation
+// counters (codec contract), so created−expired−unpinned−
+// migrationDropped == live holds across the move.
+//
+// Like every control-path mutation it must not run concurrently with
+// packet processing; the pipeline quiesces its workers around it.
+func (s *Sharded[C]) Reshard(n int) error {
+	d := &s.decl
+	if d.Codec == nil {
+		return fmt.Errorf("nfkit: %s declares no shard codec", d.Name)
+	}
+	c := d.Codec
+	if c.Snapshot == nil || c.Restore == nil || c.Shard == nil {
+		return fmt.Errorf("nfkit: %s declares a partial shard codec", d.Name)
+	}
+	if err := checkShardCount(d, n); err != nil {
+		return err
+	}
+	if c.Check != nil {
+		if err := c.Check(n); err != nil {
+			return fmt.Errorf("nfkit: %s cannot reshard to %d: %w", d.Name, n, err)
+		}
+	}
+	old := s.state.Load()
+
+	// Snapshot every old core and fold the counter vectors.
+	var recs []StateRecord
+	for _, core := range old.cores {
+		recs = append(recs, c.Snapshot(core)...)
+	}
+	var counters []uint64
+	if c.Counters != nil {
+		for _, core := range old.cores {
+			v := c.Counters(core)
+			if counters == nil {
+				counters = make([]uint64, len(v))
+			}
+			for i := 0; i < len(v) && i < len(counters); i++ {
+				counters[i] += v[i]
+			}
+		}
+	}
+
+	// Restore order: structural pass first, stamp order within a pass,
+	// so DChain allocations replay with monotone timestamps and
+	// referenced state (LB backends) exists before its referrers.
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Pass != recs[j].Pass {
+			return recs[i].Pass < recs[j].Pass
+		}
+		return recs[i].Stamp < recs[j].Stamp
+	})
+
+	st, err := buildState(d, n)
+	if err != nil {
+		return fmt.Errorf("nfkit: %s reshard to %d: %w", d.Name, n, err)
+	}
+
+	var moved, dropped uint64
+	for _, rec := range recs {
+		target := c.Shard(rec, n)
+		if target < 0 {
+			// Broadcast records are structural (replicated control
+			// state); a failure here refuses the whole reshard.
+			for i := range st.cores {
+				if err := c.Restore(st.cores[i], rec); err != nil {
+					return fmt.Errorf("nfkit: %s reshard to %d: broadcast restore: %w", d.Name, n, err)
+				}
+				moved++
+			}
+			continue
+		}
+		if target >= n {
+			target = 0 // misdeclared codec: clamp like ShardOf does
+		}
+		if err := c.Restore(st.cores[target], rec); err != nil {
+			dropped++
+			continue
+		}
+		moved++
+	}
+
+	if counters != nil && c.Seed != nil {
+		c.Seed(st.cores[0], counters)
+	}
+	// Pre-publish the seeded totals into the new padded cells, so the
+	// commit below never exposes a zeroed snapshot to a scraper.
+	st.counted.SyncAll()
+
+	// Commit: everything above touched only locals.
+	s.state.Store(st)
+	s.migrated += moved
+	s.migrationDropped += dropped
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"vignat/internal/dpdk"
@@ -232,8 +234,13 @@ type Pipeline struct {
 	// fastEntries is the per-worker cache size; 0 disables the cache.
 	fastEntries int
 	// tel is the engine telemetry (nil when disabled — the hot path's
-	// only cost then is this nil check).
-	tel *telemetry.PipelineTel
+	// only per-worker cost then is a nil check). It is an atomic
+	// pointer because a live worker-count change rebuilds the
+	// per-worker blocks while scrapers keep reading.
+	tel atomic.Pointer[telemetry.PipelineTel]
+	// telSample is the resolved trace sampling period, retained so a
+	// worker-count change rebuilds telemetry with the same config.
+	telSample uint64
 	// telEpoch anchors telemetry timestamps: boundaries are captured as
 	// time.Since(telEpoch), a monotonic-only read — roughly half the
 	// cost of time.Now(), which also reads the wall clock the
@@ -246,9 +253,18 @@ type Pipeline struct {
 	// idleWait is the idle-poll parking budget (0 = busy-poll).
 	idleWait time.Duration
 	// ownerLocal[s] is the owning worker's local slot for shard s
-	// (read-only after construction, shared by all workers).
+	// (read-only between worker changes, shared by all workers).
 	ownerLocal []int
 	workers    []*worker
+
+	// Control plane (control.go): ctlMu serializes management verbs,
+	// pause+inPoll implement the worker quiesce handshake, base folds
+	// retired workers' counters across worker-count changes, and drv
+	// holds the managed drive goroutines while Start()ed.
+	ctlMu sync.Mutex
+	pause atomic.Bool
+	base  PipelineStats
+	drv   *pipeDrivers
 }
 
 // worker is one run-to-completion execution context: a queue pair
@@ -286,12 +302,20 @@ type worker struct {
 	coldTick   uint64
 
 	// tel is this worker's private telemetry block (nil when disabled);
+	// sample is the trace ring's period (copied here so the packet
+	// path never reads the pipeline's swappable telemetry pointer);
 	// traceTick accumulates packets toward the next trace sample and
 	// telTick counts polls toward the next fully-timed one (see
 	// telemetry.TimingStride).
 	tel       *telemetry.WorkerTel
+	sample    uint64
 	traceTick uint64
 	telTick   uint64
+
+	// inPoll is the worker's half of the control-plane quiesce
+	// handshake: true exactly while a PollWorker call is inside the
+	// packet path (see Pipeline.Apply in control.go).
+	inPoll atomic.Bool
 
 	stats PipelineStats
 }
@@ -335,9 +359,8 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 	if !ok {
 		sharder = singleShard{n}
 	}
-	nShards := sharder.Shards()
-	if nShards < 1 {
-		return nil, fmt.Errorf("nf: %s reports %d shards", n.Name(), nShards)
+	if ns := sharder.Shards(); ns < 1 {
+		return nil, fmt.Errorf("nf: %s reports %d shards", n.Name(), ns)
 	}
 	if cfg.AmortizedExpiry {
 		if cfg.Clock == nil {
@@ -365,23 +388,62 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{
-		nf:         n,
-		sharder:    sharder,
-		intPort:    cfg.Internal,
-		extPort:    cfg.External,
-		burst:      burst,
-		clock:      cfg.Clock,
-		amortized:  cfg.AmortizedExpiry,
-		idleWait:   cfg.IdleWait,
-		shardNFs:   make([]NF, nShards),
-		fastNFs:    make([]FastPather, nShards),
-		fastHits:   make([]FastHitFunc, nShards),
-		ownerLocal: make([]int, nShards),
-		workers:    make([]*worker, nWorkers),
+		nf:          n,
+		sharder:     sharder,
+		intPort:     cfg.Internal,
+		extPort:     cfg.External,
+		burst:       burst,
+		clock:       cfg.Clock,
+		amortized:   cfg.AmortizedExpiry,
+		idleWait:    cfg.IdleWait,
+		fastEntries: fastEntries,
 	}
+	p.fastSink, _ = n.(FastPathCounter)
+	if telOn {
+		sample := cfg.TraceSample
+		switch {
+		case sample == 0:
+			sample = DefaultTraceSample
+		case sample < 0:
+			sample = 0 // histograms only, no trace ring
+		}
+		p.telSample = uint64(sample)
+		p.tel.Store(telemetry.NewPipelineTel(nWorkers, uint64(sample)))
+		p.telEpoch = time.Now()
+		stride := cfg.TimingStride
+		if stride == 0 {
+			stride = telemetry.TimingStride
+		}
+		if stride < 1 || stride&(stride-1) != 0 {
+			return nil, fmt.Errorf("nf: timing stride %d is not a power of two", stride)
+		}
+		p.telMask = uint64(stride - 1)
+	}
+	if err := p.rebuild(nWorkers); err != nil {
+		return nil, err
+	}
+	p.installRSS()
+	return p, nil
+}
+
+// rebuild derives the per-shard tables and constructs nWorkers fresh
+// workers from the sharder's current shard count — the shared body of
+// NewPipeline and the live worker-count change (control.go). The
+// caller guarantees no worker is polling.
+func (p *Pipeline) rebuild(nWorkers int) error {
+	nShards := p.sharder.Shards()
+	if nShards < 1 {
+		return fmt.Errorf("nf: %s reports %d shards", p.nf.Name(), nShards)
+	}
+	p.shardNFs = make([]NF, nShards)
+	p.fastNFs = make([]FastPather, nShards)
+	p.fastHits = make([]FastHitFunc, nShards)
+	p.ownerLocal = make([]int, nShards)
+	p.workers = make([]*worker, nWorkers)
+	fastEntries := p.fastEntries
 	anyFast := false
 	for s := 0; s < nShards; s++ {
-		p.shardNFs[s] = sharder.Shard(s)
+		p.shardNFs[s] = p.sharder.Shard(s)
 		p.ownerLocal[s] = s / nWorkers // local slot within the owning worker
 		if fastEntries > 0 {
 			if fp, ok := p.shardNFs[s].(FastPather); ok && fp.FastPathEnabled() {
@@ -400,34 +462,17 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 		fastEntries = 0 // no participating shard: no cache, no extraction cost
 	}
 	p.fastEntries = fastEntries
-	p.fastSink, _ = n.(FastPathCounter)
-	if telOn {
-		sample := cfg.TraceSample
-		switch {
-		case sample == 0:
-			sample = DefaultTraceSample
-		case sample < 0:
-			sample = 0 // histograms only, no trace ring
-		}
-		p.tel = telemetry.NewPipelineTel(nWorkers, uint64(sample))
-		p.telEpoch = time.Now()
-		stride := cfg.TimingStride
-		if stride == 0 {
-			stride = telemetry.TimingStride
-		}
-		if stride < 1 || stride&(stride-1) != 0 {
-			return nil, fmt.Errorf("nf: timing stride %d is not a power of two", stride)
-		}
-		p.telMask = uint64(stride - 1)
-	}
+	burst := p.burst
+	tel := p.tel.Load()
 	for w := 0; w < nWorkers; w++ {
 		wk := &worker{
 			p:      p,
 			id:     w,
 			rxBufs: make([]*dpdk.Mbuf, burst),
 		}
-		if p.tel != nil {
-			wk.tel = p.tel.Worker(w)
+		if tel != nil {
+			wk.tel = tel.Worker(w)
+			wk.sample = tel.Sample
 		}
 		for s := w; s < nShards; s += nWorkers {
 			wk.shards = append(wk.shards, s)
@@ -451,25 +496,39 @@ func NewPipeline(n NF, cfg Config) (*Pipeline, error) {
 			wk.offer = make([]int32, 0, perShard)
 		}
 		var err error
-		wk.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(cfg.Internal, w))
+		wk.toInternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(p.intPort, w))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		wk.toExternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(cfg.External, w))
+		wk.toExternal, err = libvig.NewBatcher[*dpdk.Mbuf](burst, wk.txFlush(p.extPort, w))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.workers[w] = wk
 	}
-	// Wire-side RSS: a frame's queue is its owning worker's index, so
-	// worker w's queue pair carries exactly its shards' traffic.
-	cfg.Internal.SetRSS(func(frame []byte) int {
-		return p.clampShard(sharder.ShardOf(frame, true)) % nWorkers
+	return nil
+}
+
+// installRSS (re)programs both ports' steering: a frame's queue is its
+// owning worker's index, so worker w's queue pair carries exactly its
+// shards' traffic. Counts are captured by value — an RSS function
+// installed before a worker-count change stays internally consistent
+// until the swap replaces it, exactly like a NIC indirection table.
+func (p *Pipeline) installRSS() {
+	sharder := p.sharder
+	ns, nw := len(p.shardNFs), len(p.workers)
+	clamp := func(s int) int {
+		if s < 0 || s >= ns {
+			return 0
+		}
+		return s
+	}
+	p.intPort.SetRSS(func(frame []byte) int {
+		return clamp(sharder.ShardOf(frame, true)) % nw
 	})
-	cfg.External.SetRSS(func(frame []byte) int {
-		return p.clampShard(sharder.ShardOf(frame, false)) % nWorkers
+	p.extPort.SetRSS(func(frame []byte) int {
+		return clamp(sharder.ShardOf(frame, false)) % nw
 	})
-	return p, nil
 }
 
 // clampShard maps out-of-range steering results onto shard 0 (the
@@ -518,14 +577,19 @@ func (p *Pipeline) Workers() int { return len(p.workers) }
 func (p *Pipeline) FastPathEntries() int { return p.fastEntries }
 
 // Telemetry returns the engine's telemetry block, nil when disabled.
-// Snapshots of it are safe concurrently with running workers.
-func (p *Pipeline) Telemetry() *telemetry.PipelineTel { return p.tel }
+// Snapshots of it are safe concurrently with running workers. A live
+// worker-count change replaces the block (the per-worker layout
+// changes with it); long-lived scrapers should call Telemetry per
+// scrape rather than cache the pointer.
+func (p *Pipeline) Telemetry() *telemetry.PipelineTel { return p.tel.Load() }
 
-// Stats returns a snapshot of the engine counters, aggregated across
-// workers. It must not be called concurrently with active PollWorker
-// calls (poll from the same goroutines, or call after a join).
+// Stats returns a snapshot of the engine counters: the live workers'
+// aggregated with the base retired by control-plane worker changes.
+// It must not be called concurrently with active PollWorker calls
+// (poll from the same goroutines, call after a join, or read it
+// inside Apply — the control plane's status path does).
 func (p *Pipeline) Stats() PipelineStats {
-	var s PipelineStats
+	s := p.base
 	for _, wk := range p.workers {
 		s.add(wk.stats)
 	}
@@ -564,6 +628,21 @@ func (p *Pipeline) Poll() (int, error) {
 // concurrently; a single worker must not.
 func (p *Pipeline) PollWorker(w int) (int, error) {
 	wk := p.workers[w]
+	// Control-plane handshake (Dekker-style, both sides sequentially
+	// consistent): announce the poll, then re-check the pause flag. If
+	// a management verb is applying, step back out and park — Apply
+	// waits until every worker's announcement is clear, so the verb
+	// never observes a worker mid-poll, and the atomics give the verb's
+	// mutations a happens-before edge to the next poll.
+	for {
+		wk.inPoll.Store(true)
+		if !p.pause.Load() {
+			break
+		}
+		wk.inPoll.Store(false)
+		p.awaitResume()
+	}
+	defer wk.inPoll.Store(false)
 	wk.stats.Polls++
 	// Telemetry times the whole non-empty poll (RX, steer, process,
 	// emit); idle polls are not observed, so the histogram reflects
@@ -662,7 +741,7 @@ func (p *Pipeline) PollWorker(w int) (int, error) {
 // with the burst's amortized per-packet cost and best-effort reason
 // and chain-element labels. Called only with telemetry enabled.
 func (wk *worker) maybeTrace(li, s, np int, perPkt uint64, pureHit bool, now libvig.Time) {
-	sample := wk.p.tel.Sample
+	sample := wk.sample
 	if sample == 0 {
 		return
 	}

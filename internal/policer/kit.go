@@ -112,6 +112,7 @@ func Kit(cfg Config, clock libvig.Clock) nfkit.Decl[*Policer] {
 			return p.reasonCounts[:]
 		},
 		LastReason: func(p *Policer) telemetry.ReasonID { return p.lastReason },
+		Codec:      shardCodec(),
 		Sym:        symSpec(),
 	}
 }

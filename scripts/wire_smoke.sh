@@ -12,30 +12,68 @@
 # sum to nf_dropped_total, and the per-worker poll histogram must be
 # populated — the live-observability half of the verified-path
 # telemetry acceptance.
+#
+# The control plane rides the same run: the NAT mounts /control/v1 on
+# the metrics mux, and mid-exchange the script reshards it 2 → 4 → 3
+# workers — the oracle must stay clean across both live migrations.
+# Every control transaction is recorded in reshard_trace.json (JSONL),
+# the artifact CI uploads. Two further legs then hold a viglb and a
+# vigpol wire daemon under open-loop traffic (vigblast) while a live
+# backend drain/add and a rate resize land over /control/v1.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 metrics_addr=127.0.0.1:19890
+lb_metrics=127.0.0.1:19891
+pol_metrics=127.0.0.1:19892
+trace=reshard_trace.json
 bin=$(mktemp -d)
 nat_pid=""
 wire_pid=""
+lb_pid=""
+pol_pid=""
+blast_pid=""
 cleanup() {
+    [ -n "$blast_pid" ] && kill "$blast_pid" 2>/dev/null || true
     [ -n "$wire_pid" ] && kill "$wire_pid" 2>/dev/null || true
     [ -n "$nat_pid" ] && kill "$nat_pid" 2>/dev/null || true
+    [ -n "$lb_pid" ] && kill "$lb_pid" 2>/dev/null || true
+    [ -n "$pol_pid" ] && kill "$pol_pid" 2>/dev/null || true
     rm -rf "$bin"
 }
 trap cleanup EXIT
 
 go build -o "$bin/vignat" ./cmd/vignat
 go build -o "$bin/vigwire" ./cmd/vigwire
+go build -o "$bin/viglb" ./cmd/viglb
+go build -o "$bin/vigpol" ./cmd/vigpol
+go build -o "$bin/vigblast" ./cmd/vigblast
+
+# One numeric field from a JSON body (flat bodies only — good enough
+# for the control API's replies without a jq dependency).
+jget() {
+    printf '%s' "$1" | grep -o "\"$2\":[0-9]*" | head -1 | cut -d: -f2
+}
+
+# Record one control transaction in the trace artifact.
+: > "$trace"
+rec() {
+    printf '{"ts":"%s","verb":"%s","response":%s}\n' \
+        "$(date -u +%FT%TZ)" "$1" "$2" >> "$trace"
+}
+
+# --- Leg 1: NAT + oracle exchange, resharded live mid-traffic -------
 
 # -duration is a watchdog: the NAT exits on its own even if this script
 # dies before delivering SIGINT.
+# -capacity 65532 divides evenly into 2, 3, and 4 shards — the NAT's
+# external port ranges must stay aligned across every reshard target.
 "$bin/vignat" -verify=false -transport udp \
+    -shards 2 -workers 2 -max-workers 4 -capacity 65532 \
     -int-local 127.0.0.1:19001 -int-peer 127.0.0.1:29001 \
     -ext-local 127.0.0.1:19101 -ext-peer 127.0.0.1:29101 \
-    -metrics "$metrics_addr" -telemetry 1 \
+    -metrics "$metrics_addr" -telemetry 1 -control \
     -duration 60s &
 nat_pid=$!
 
@@ -51,13 +89,23 @@ metric() {
     printf '%s\n' "$1" | awk -v pat="$2" '$0 ~ pat {print $2; exit}'
 }
 
+status=$(curl -fsS "http://$metrics_addr/control/v1/status")
+rec "GET status" "$status"
+if [ "$(jget "$status" workers)" -ne 2 ]; then
+    echo "wire smoke: control status reports $(jget "$status" workers) workers at launch, want 2" >&2
+    exit 1
+fi
+
 "$bin/vigwire" -transport udp \
     -int-local 127.0.0.1:29001 -int-peer 127.0.0.1:19001 \
     -ext-local 127.0.0.1:29101 -ext-peer 127.0.0.1:19101 \
-    -flows 64 -packets 8192 &
+    -capacity 65532 -flows 64 -packets 8192 &
 wire_pid=$!
 
 # Mid-traffic scrapes: nf_processed_total must never move backwards.
+# At scrape 3 the control plane grows the NAT to 4 workers, at scrape
+# 12 it shrinks to 3 — two live shard-state migrations under the
+# oracle's nose.
 prev=0
 scrapes=0
 while kill -0 "$wire_pid" 2>/dev/null && [ "$scrapes" -lt 50 ]; do
@@ -70,12 +118,30 @@ while kill -0 "$wire_pid" 2>/dev/null && [ "$scrapes" -lt 50 ]; do
     fi
     prev=$cur
     scrapes=$((scrapes + 1))
+    for step in "3 4" "12 3"; do
+        set -- $step
+        if [ "$scrapes" -eq "$1" ]; then
+            reply=$(curl -fsS -X POST -d "{\"workers\":$2}" "http://$metrics_addr/control/v1/workers")
+            rec "POST workers $2" "$reply"
+            if [ "$(jget "$reply" workers)" -ne "$2" ]; then
+                echo "wire smoke: workers verb replied $reply, want $2 workers" >&2
+                exit 1
+            fi
+        fi
+    done
     sleep 0.1
 done
 wait "$wire_pid"
 wire_pid=""
-if [ "$scrapes" -lt 2 ]; then
-    echo "wire smoke: only $scrapes mid-traffic scrapes landed; slow the generator down" >&2
+if [ "$scrapes" -lt 13 ]; then
+    echo "wire smoke: only $scrapes mid-traffic scrapes landed; the reshards did not run mid-exchange" >&2
+    exit 1
+fi
+
+status=$(curl -fsS "http://$metrics_addr/control/v1/status")
+rec "GET status" "$status"
+if [ "$(jget "$status" workers)" -ne 3 ]; then
+    echo "wire smoke: $(jget "$status" workers) workers after the 4→3 reshard, want 3" >&2
     exit 1
 fi
 
@@ -100,9 +166,92 @@ if [ -z "$polls" ] || [ "$polls" -eq 0 ]; then
     echo "wire smoke: poll histogram empty with telemetry on" >&2
     exit 1
 fi
-echo "wire smoke: $scrapes mid-traffic scrapes, processed=$final dropped=$dropped (reason sum $drop_sum), polls=$polls"
+echo "wire smoke: $scrapes mid-traffic scrapes, processed=$final dropped=$dropped (reason sum $drop_sum), polls=$polls, oracle clean across 2→4→3 reshard"
 
 kill -INT "$nat_pid"
 wait "$nat_pid"
 nat_pid=""
-echo "wire smoke: OK"
+
+# --- Leg 2: LB backend drain/add under live traffic -----------------
+
+"$bin/viglb" -transport udp -shards 2 -workers 2 -backends 4 -churn=false \
+    -int-local 127.0.0.1:19201 -ext-local 127.0.0.1:19301 \
+    -metrics "$lb_metrics" -control -duration 45s &
+lb_pid=$!
+sleep 1
+
+"$bin/vigblast" -kind lb -peer 127.0.0.1:19301 -flows 64 -packets 3000 -interval 1ms &
+blast_pid=$!
+sleep 0.5
+
+status=$(curl -fsS "http://$lb_metrics/control/v1/status")
+rec "GET lb status" "$status"
+live=$(printf '%s' "$status" | grep -o '"index":' | wc -l)
+if [ "$live" -ne 4 ]; then
+    echo "wire smoke: LB status lists $live backends, want 4" >&2
+    exit 1
+fi
+reply=$(curl -fsS -X POST -d '{"op":"drain","index":0}' "http://$lb_metrics/control/v1/lb/backends")
+rec "POST lb drain 0" "$reply"
+if [ "$(jget "$reply" live)" -ne 3 ]; then
+    echo "wire smoke: drain left $(jget "$reply" live) backends live, want 3" >&2
+    exit 1
+fi
+reply=$(curl -fsS -X POST -d '{"op":"add","ip":"10.9.9.99"}' "http://$lb_metrics/control/v1/lb/backends")
+rec "POST lb add" "$reply"
+if [ "$(jget "$reply" live)" -ne 4 ]; then
+    echo "wire smoke: add left $(jget "$reply" live) backends live, want 4" >&2
+    exit 1
+fi
+reply=$(curl -fsS -X POST -d '{"op":"heartbeat","index":1}' "http://$lb_metrics/control/v1/lb/backends")
+rec "POST lb heartbeat 1" "$reply"
+
+wait "$blast_pid"
+blast_pid=""
+doc=$(curl -fsS -H 'Accept: text/plain; version=0.0.4' "http://$lb_metrics/metrics")
+lb_processed=$(metric "$doc" '^nf_processed_total\{')
+if [ -z "$lb_processed" ] || [ "$lb_processed" -eq 0 ]; then
+    echo "wire smoke: LB processed nothing under the blast" >&2
+    exit 1
+fi
+kill -INT "$lb_pid"
+wait "$lb_pid"
+lb_pid=""
+echo "wire smoke: LB drained+re-added a backend mid-traffic (processed=$lb_processed), clean shutdown"
+
+# --- Leg 3: policer rate resize under live traffic ------------------
+
+"$bin/vigpol" -transport udp -shards 2 -workers 2 \
+    -int-local 127.0.0.1:19401 -ext-local 127.0.0.1:19501 \
+    -metrics "$pol_metrics" -control -duration 45s &
+pol_pid=$!
+sleep 1
+
+"$bin/vigblast" -kind policer -peer 127.0.0.1:19501 -flows 32 -packets 3000 -interval 1ms &
+blast_pid=$!
+sleep 0.5
+
+reply=$(curl -fsS -X POST -d '{"rate":500000,"burst":100000}' "http://$pol_metrics/control/v1/policer/resize")
+rec "POST policer resize" "$reply"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"rate":0,"burst":100}' "http://$pol_metrics/control/v1/policer/resize")
+if [ "$code" -ne 400 ]; then
+    echo "wire smoke: zero-rate resize returned HTTP $code, want 400" >&2
+    exit 1
+fi
+reply=$(curl -fsS -X POST -d '{"rate":1000000,"burst":16384}' "http://$pol_metrics/control/v1/policer/resize")
+rec "POST policer resize back" "$reply"
+
+wait "$blast_pid"
+blast_pid=""
+doc=$(curl -fsS -H 'Accept: text/plain; version=0.0.4' "http://$pol_metrics/metrics")
+pol_processed=$(metric "$doc" '^nf_processed_total\{')
+if [ -z "$pol_processed" ] || [ "$pol_processed" -eq 0 ]; then
+    echo "wire smoke: policer processed nothing under the blast" >&2
+    exit 1
+fi
+kill -INT "$pol_pid"
+wait "$pol_pid"
+pol_pid=""
+echo "wire smoke: policer resized live (processed=$pol_processed), bad resize rejected with 400, clean shutdown"
+
+echo "wire smoke: OK ($(wc -l < "$trace") control transactions traced to $trace)"
